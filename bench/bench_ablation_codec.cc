@@ -1,0 +1,147 @@
+/// Ablation: wire/file codec costs — TDF encode/decode (export path), legacy
+/// binary row encode/decode, CSV staging encode/parse, LDWP message framing.
+
+#include <benchmark/benchmark.h>
+
+#include "cdw/staging_format.h"
+#include "common/random.h"
+#include "legacy/parcel.h"
+#include "legacy/row_format.h"
+#include "tdf/tdf.h"
+
+using namespace hyperq;
+
+namespace {
+
+types::Schema BenchSchema() {
+  types::Schema s;
+  s.AddField(types::Field("ID", types::TypeDesc::Int64()));
+  s.AddField(types::Field("NAME", types::TypeDesc::Varchar(32)));
+  s.AddField(types::Field("D", types::TypeDesc::Date()));
+  s.AddField(types::Field("AMT", types::TypeDesc::Decimal(12, 2)));
+  return s;
+}
+
+std::vector<types::Row> BenchRows(size_t n) {
+  common::Random rng(17);
+  std::vector<types::Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({types::Value::Int(static_cast<int64_t>(i)),
+                    types::Value::String(rng.NextAlnum(24)),
+                    types::Value::Date(static_cast<int32_t>(rng.NextBounded(20000))),
+                    types::Value::Dec(types::Decimal(rng.NextInRange(0, 99999), 2))});
+  }
+  return rows;
+}
+
+void BM_TdfEncode(benchmark::State& state) {
+  auto rows = BenchRows(1000);
+  tdf::TdfWriter writer(tdf::TdfSchema::FromFlat(BenchSchema()));
+  for (auto _ : state) {
+    for (const auto& row : rows) (void)writer.AppendFlatRow(row);
+    auto packet = writer.Finish();
+    benchmark::DoNotOptimize(packet);
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TdfEncode);
+
+void BM_TdfDecode(benchmark::State& state) {
+  auto rows = BenchRows(1000);
+  tdf::TdfWriter writer(tdf::TdfSchema::FromFlat(BenchSchema()));
+  for (const auto& row : rows) (void)writer.AppendFlatRow(row);
+  auto packet = writer.Finish();
+  for (auto _ : state) {
+    auto reader = tdf::TdfReader::Open(packet.AsSlice());
+    benchmark::DoNotOptimize(reader);
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TdfDecode);
+
+void BM_LegacyBinaryEncode(benchmark::State& state) {
+  auto rows = BenchRows(1000);
+  legacy::BinaryRowCodec codec(BenchSchema());
+  for (auto _ : state) {
+    common::ByteBuffer buf;
+    for (const auto& row : rows) (void)codec.EncodeRow(row, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LegacyBinaryEncode);
+
+void BM_LegacyBinaryDecode(benchmark::State& state) {
+  auto rows = BenchRows(1000);
+  legacy::BinaryRowCodec codec(BenchSchema());
+  common::ByteBuffer buf;
+  for (const auto& row : rows) (void)codec.EncodeRow(row, &buf);
+  for (auto _ : state) {
+    auto decoded = codec.DecodeAll(buf.AsSlice());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LegacyBinaryDecode);
+
+void BM_CsvEncode(benchmark::State& state) {
+  auto rows = BenchRows(1000);
+  cdw::CsvOptions options;
+  for (auto _ : state) {
+    common::ByteBuffer buf;
+    for (const auto& row : rows) {
+      cdw::CsvRecord record;
+      for (const auto& v : row) record.push_back(types::ValueToCdwText(v));
+      cdw::EncodeCsvRecord(record, options, &buf);
+    }
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CsvEncode);
+
+void BM_CsvParse(benchmark::State& state) {
+  auto rows = BenchRows(1000);
+  cdw::CsvOptions options;
+  common::ByteBuffer buf;
+  for (const auto& row : rows) {
+    cdw::CsvRecord record;
+    for (const auto& v : row) record.push_back(types::ValueToCdwText(v));
+    cdw::EncodeCsvRecord(record, options, &buf);
+  }
+  for (auto _ : state) {
+    auto parsed = cdw::ParseCsv(buf.AsSlice(), options);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CsvParse);
+
+void BM_LdwpFraming(benchmark::State& state) {
+  legacy::DataChunkBody chunk;
+  chunk.chunk_seq = 1;
+  chunk.row_count = 1000;
+  chunk.payload.assign(500 * 1000, 0x5A);
+  legacy::Message msg = legacy::MakeMessage(1, 1, chunk.Encode());
+  common::ByteBuffer wire;
+  legacy::EncodeMessage(msg, &wire);
+  for (auto _ : state) {
+    legacy::Message decoded;
+    auto consumed = legacy::TryDecodeMessage(wire.AsSlice(), &decoded);
+    benchmark::DoNotOptimize(consumed);
+  }
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * wire.size(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LdwpFraming);
+
+}  // namespace
+
+BENCHMARK_MAIN();

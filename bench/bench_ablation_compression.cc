@@ -1,0 +1,57 @@
+/// Ablation: staging-file compression (Section 6 tuning). Throughput and
+/// compression ratio of the HQZ codec on CSV-shaped staging data.
+
+#include <benchmark/benchmark.h>
+
+#include "cloudstore/compression.h"
+#include "workload/dataset.h"
+
+using namespace hyperq;
+
+namespace {
+
+std::vector<uint8_t> StagingLikeData(size_t approx_bytes) {
+  workload::DatasetSpec spec;
+  spec.rows = approx_bytes / 500 + 1;
+  spec.row_bytes = 500;
+  workload::CustomerDataset dataset(spec);
+  std::string text;
+  for (uint64_t i = 0; i < spec.rows; ++i) {
+    text += dataset.MakeLine(i);
+    text += '\n';
+  }
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+void BM_Compress(benchmark::State& state) {
+  auto data = StagingLikeData(static_cast<size_t>(state.range(0)));
+  size_t compressed_size = 0;
+  for (auto _ : state) {
+    common::ByteBuffer out;
+    cloud::Compress(common::Slice(data), &out);
+    compressed_size = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * data.size(), benchmark::Counter::kIsRate);
+  state.counters["ratio"] =
+      static_cast<double>(data.size()) / static_cast<double>(compressed_size);
+}
+BENCHMARK(BM_Compress)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_Decompress(benchmark::State& state) {
+  auto data = StagingLikeData(static_cast<size_t>(state.range(0)));
+  common::ByteBuffer compressed;
+  cloud::Compress(common::Slice(data), &compressed);
+  for (auto _ : state) {
+    auto out = cloud::Decompress(compressed.AsSlice());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * data.size(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Decompress)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/// Ablation: DataConverter throughput (the dominant acquisition-phase cost).
+/// Measures legacy->CDW conversion for both wire encodings and several row
+/// widths; rows/s and bytes/s counters.
+
+#include <benchmark/benchmark.h>
+
+#include "hyperq/data_converter.h"
+#include "legacy/row_format.h"
+#include "types/date.h"
+#include "workload/dataset.h"
+
+using namespace hyperq;
+
+namespace {
+
+core::ConversionInput MakeVartextInput(size_t rows, size_t row_bytes,
+                                       workload::CustomerDataset* dataset_out,
+                                       types::Schema* layout_out) {
+  workload::DatasetSpec spec;
+  spec.rows = rows;
+  spec.row_bytes = row_bytes;
+  workload::CustomerDataset dataset(spec);
+  *layout_out = dataset.MakeLayout();
+  common::ByteBuffer payload;
+  for (uint64_t i = 0; i < rows; ++i) {
+    std::string line = dataset.MakeLine(i);
+    legacy::VartextRecord record;
+    size_t start = 0;
+    for (size_t p = 0; p <= line.size(); ++p) {
+      if (p == line.size() || line[p] == '|') {
+        record.push_back({false, line.substr(start, p - start)});
+        start = p + 1;
+      }
+    }
+    (void)legacy::EncodeVartextRecord(record, '|', &payload);
+  }
+  core::ConversionInput input;
+  input.first_row_number = 1;
+  input.chunk.row_count = static_cast<uint32_t>(rows);
+  input.chunk.payload = payload.vector();
+  *dataset_out = dataset;
+  return input;
+}
+
+void BM_ConvertVartext(benchmark::State& state) {
+  size_t row_bytes = static_cast<size_t>(state.range(0));
+  workload::DatasetSpec spec;
+  spec.rows = 1;
+  workload::CustomerDataset dataset(spec);
+  types::Schema layout;
+  auto input = MakeVartextInput(1000, row_bytes, &dataset, &layout);
+  auto converter =
+      core::DataConverter::Create(layout, legacy::DataFormat::kVartext, '|').ValueOrDie();
+  for (auto _ : state) {
+    auto converted = converter.Convert(input);
+    benchmark::DoNotOptimize(converted);
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * input.chunk.payload.size(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvertVartext)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_ConvertBinary(benchmark::State& state) {
+  types::Schema layout;
+  layout.AddField(types::Field("ID", types::TypeDesc::Int64()));
+  layout.AddField(types::Field("D", types::TypeDesc::Date()));
+  layout.AddField(types::Field("AMT", types::TypeDesc::Decimal(12, 2)));
+  layout.AddField(types::Field("NAME", types::TypeDesc::Varchar(64)));
+  legacy::BinaryRowCodec codec(layout);
+  common::ByteBuffer payload;
+  common::Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    types::Row row{types::Value::Int(i),
+                   types::Value::Date(static_cast<int32_t>(rng.NextBounded(20000))),
+                   types::Value::Dec(types::Decimal(rng.NextInRange(0, 1000000), 2)),
+                   types::Value::String(rng.NextAlnum(40))};
+    (void)codec.EncodeRow(row, &payload);
+  }
+  core::ConversionInput input;
+  input.first_row_number = 1;
+  input.chunk.row_count = 1000;
+  input.chunk.payload = payload.vector();
+  auto converter =
+      core::DataConverter::Create(layout, legacy::DataFormat::kBinary, '|').ValueOrDie();
+  for (auto _ : state) {
+    auto converted = converter.Convert(input);
+    benchmark::DoNotOptimize(converted);
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvertBinary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

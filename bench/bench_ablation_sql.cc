@@ -1,0 +1,109 @@
+/// Ablation: PXC SQL path costs — tokenize, parse, transpile, print, and the
+/// full staging bind+transpile+print pipeline the adaptive error handler
+/// re-runs per range attempt.
+
+#include <benchmark/benchmark.h>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/token.h"
+#include "sql/transpiler.h"
+
+using namespace hyperq;
+
+namespace {
+
+const char* kLegacyDml =
+    "insert into PROD.CUSTOMER values (trim(:CUST_ID), trim(:CUST_NAME), "
+    "cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'), ZEROIFNULL(:AMT) + :AMT ** 2)";
+
+const char* kLegacySelect =
+    "sel t.a, count(*), sum(zeroifnull(t.amt)) from db.t t join s on t.k = s.k "
+    "where t.d >= DATE '2020-01-01' and t.name like 'A%' group by t.a having count(*) > 1 "
+    "order by 2 desc";
+
+types::Schema BindLayout() {
+  types::Schema layout;
+  layout.AddField(types::Field("CUST_ID", types::TypeDesc::Varchar(5)));
+  layout.AddField(types::Field("CUST_NAME", types::TypeDesc::Varchar(50)));
+  layout.AddField(types::Field("JOIN_DATE", types::TypeDesc::Varchar(10)));
+  layout.AddField(types::Field("AMT", types::TypeDesc::Varchar(12)));
+  return layout;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tokens = sql::Tokenize(kLegacySelect);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_ParseSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = sql::ParseStatement(kLegacySelect);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_ParseDml(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = sql::ParseStatement(kLegacyDml);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseDml);
+
+void BM_Transpile(benchmark::State& state) {
+  auto stmt = sql::ParseStatement(kLegacySelect).ValueOrDie();
+  for (auto _ : state) {
+    auto cdw = sql::TranspileStatement(*stmt);
+    benchmark::DoNotOptimize(cdw);
+  }
+}
+BENCHMARK(BM_Transpile);
+
+void BM_Print(benchmark::State& state) {
+  auto stmt = sql::ParseStatement(kLegacySelect).ValueOrDie();
+  for (auto _ : state) {
+    std::string text = sql::PrintStatement(*stmt);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_Print);
+
+/// The per-range cost of the adaptive error handler: bind to a staging row
+/// range, transpile, print.
+void BM_BindTranspilePrintRange(benchmark::State& state) {
+  auto stmt = sql::ParseStatement(kLegacyDml).ValueOrDie();
+  types::Schema layout = BindLayout();
+  uint64_t range_start = 1;
+  for (auto _ : state) {
+    sql::BindOptions options;
+    options.staging_table = "HQ_STG_JOB";
+    options.row_number_column = "HQ_ROWNUM";
+    options.first_row = static_cast<int64_t>(range_start);
+    options.last_row = static_cast<int64_t>(range_start + 1000);
+    auto bound = sql::BindDmlToStaging(*stmt, layout, options);
+    auto cdw = sql::TranspileStatement(**bound);
+    std::string text = sql::PrintStatement(**cdw);
+    benchmark::DoNotOptimize(text);
+    ++range_start;
+  }
+}
+BENCHMARK(BM_BindTranspilePrintRange);
+
+/// Full PXC round trip: legacy text in, CDW text out.
+void BM_FullCrossCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    auto out = sql::TranspileSqlText(kLegacySelect);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FullCrossCompile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/// Figure 8 — Effect of Row Width on Bulk Load Performance.
+///
+/// Paper setup: four datasets with the SAME total size but different average
+/// row widths (one has 250-byte rows and 100M rows; another 4x the width and
+/// 25% of the rows). Expected shape: wider rows load faster, because the
+/// acquisition phase performs fewer per-row conversion/serialization
+/// iterations per data chunk.
+///
+/// Scaled down 1000x: constant ~25 MB total, widths 250/500/1000/2000 bytes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hyperq;
+
+int main() {
+  std::printf("=== Figure 8: effect of row width (constant total bytes) ===\n");
+  const uint64_t kTotalBytes = 40ull * 1000 * 1000;
+  const size_t kWidths[] = {250, 500, 1000, 2000};
+
+  workload::ReportTable table(
+      {"row_bytes", "rows", "acquisition_s", "throughput_MB_s", "total_s"});
+  double prev_acq = 0;
+  bool monotone_faster = true;
+
+  for (size_t width : kWidths) {
+    bench::JobRunConfig config;
+    config.dataset.rows = kTotalBytes / width;
+    config.dataset.row_bytes = width;
+    config.dataset.seed = 8;
+    config.sessions = 4;
+    config.chunk_rows = std::max<size_t>(64, 512 * 1024 / width);  // ~512KB chunks
+    config.hyperq.converter_workers = 2;
+    config.hyperq.file_writers = 2;
+    config.cdw.statement_startup_micros = 2000;
+    config.cdw.copy_startup_micros = 20000;
+    config.work_dir = "/tmp/hyperq_bench_fig8";
+
+    // Best of two runs per width to suppress machine noise.
+    auto run = bench::RunImportJob(config);
+    auto run2 = bench::RunImportJob(config);
+    if (!run.ok() || !run2.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    if (run2->acquisition_seconds < run->acquisition_seconds) run = std::move(run2);
+    table.AddRow({std::to_string(width), std::to_string(config.dataset.rows),
+                  workload::FormatSeconds(run->acquisition_seconds),
+                  workload::FormatDouble(run->acquisition_mb_per_s(), 1),
+                  workload::FormatSeconds(run->total_seconds)});
+    if (prev_acq != 0 && run->acquisition_seconds > prev_acq * 1.05) monotone_faster = false;
+    prev_acq = run->acquisition_seconds;
+  }
+  table.Print();
+  std::printf("shape: wider rows load faster (acquisition non-increasing): %s\n",
+              monotone_faster ? "YES" : "NO");
+  return 0;
+}

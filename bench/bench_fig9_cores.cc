@@ -1,0 +1,133 @@
+/// Figure 9 — Data Acquisition Scalability with Number of CPU Cores.
+///
+/// Paper setup: the same acquisition workload on Hyper-Q machines with 2, 4,
+/// 8, 12, 16 cores. Reported: wall-clock as % of the 2-core run (left axis)
+/// and speedup efficiency S = Ts / (Tp * P), where P is the resource
+/// multiple of the 2-core baseline. Expected shape: good efficiency up to
+/// ~12 cores, degradation at 16 caused by the fixed setup/teardown cost of
+/// the acquisition phase.
+///
+/// The reproduction host has 2 cores, so this experiment runs on the
+/// calibrated discrete-event pipeline simulator (src/pipesim). Stage costs
+/// are calibrated from the REAL DataConverter and FileWriter on this
+/// machine, then the pipeline is simulated with 2..16 converter workers.
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "hyperq/data_converter.h"
+#include "hyperq/file_writer.h"
+#include "pipesim/pipesim.h"
+#include "workload/dataset.h"
+#include "workload/report.h"
+
+using namespace hyperq;
+
+namespace {
+
+/// Measures real per-chunk conversion cost (seconds) for 500-byte rows.
+double CalibrateConvertCost(size_t rows_per_chunk) {
+  workload::DatasetSpec spec;
+  spec.rows = rows_per_chunk;
+  spec.row_bytes = 500;
+  workload::CustomerDataset dataset(spec);
+  auto converter =
+      core::DataConverter::Create(dataset.MakeLayout(), legacy::DataFormat::kVartext, '|')
+          .ValueOrDie();
+  common::ByteBuffer payload;
+  for (uint64_t i = 0; i < spec.rows; ++i) {
+    legacy::VartextRecord record;
+    std::string line = dataset.MakeLine(i);
+    size_t start = 0;
+    for (size_t p = 0; p <= line.size(); ++p) {
+      if (p == line.size() || line[p] == '|') {
+        record.push_back({false, line.substr(start, p - start)});
+        start = p + 1;
+      }
+    }
+    (void)legacy::EncodeVartextRecord(record, '|', &payload);
+  }
+  core::ConversionInput input;
+  input.first_row_number = 1;
+  input.chunk.row_count = static_cast<uint32_t>(rows_per_chunk);
+  input.chunk.payload = payload.vector();
+
+  constexpr int kReps = 20;
+  common::Stopwatch timer;
+  for (int i = 0; i < kReps; ++i) {
+    auto converted = converter.Convert(input);
+    if (!converted.ok()) return 0.002;
+  }
+  return timer.ElapsedSeconds() / kReps;
+}
+
+/// Measures real per-chunk file write cost.
+double CalibrateWriteCost(size_t chunk_bytes) {
+  core::FileWriterOptions options;
+  options.directory = "/tmp/hyperq_bench_fig9";
+  options.file_size_threshold = 64u << 20;
+  core::FileWriter writer(options, "calib");
+  std::string chunk(chunk_bytes, 'x');
+  std::vector<core::FinalizedFile> finalized;
+  constexpr int kReps = 50;
+  common::Stopwatch timer;
+  for (int i = 0; i < kReps; ++i) {
+    (void)writer.Append(common::Slice(std::string_view(chunk)), &finalized);
+  }
+  double cost = timer.ElapsedSeconds() / kReps;
+  (void)writer.Finish(&finalized);
+  for (const auto& f : finalized) std::remove(f.path.c_str());
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 9: acquisition scalability with CPU cores (calibrated DES) ===\n");
+  const size_t kRowsPerChunk = 1000;
+  double convert_cost = CalibrateConvertCost(kRowsPerChunk);
+  double write_cost = CalibrateWriteCost(kRowsPerChunk * 500);
+  std::printf("calibration: convert %.3f ms/chunk, write %.3f ms/chunk (%zu rows x 500 B)\n",
+              convert_cost * 1e3, write_cost * 1e3, kRowsPerChunk);
+
+  pipesim::PipeSimParams base;
+  base.sessions = 8;
+  base.chunks = 100000;  // 100M rows at 1000 rows/chunk: the paper's scale
+  base.credits = 512;
+  base.recv_seconds_per_chunk = convert_cost * 0.15;  // wire receive is cheap
+  base.convert_seconds_per_chunk = convert_cost;
+  base.write_seconds_per_chunk = write_cost;
+  base.setup_seconds = 5.0;  // startup + teardown, core-count independent
+
+  const int kCores[] = {2, 4, 8, 12, 16};
+  double t2 = 0;
+  workload::ReportTable table({"cores", "time_s", "time_%_of_2c", "speedup_eff_S",
+                               "backpressure", "conv_util"});
+  double prev_eff = 1.0;
+  bool efficiency_decays = true;
+  double eff16 = 1.0;
+
+  for (int cores : kCores) {
+    pipesim::PipeSimParams p = base;
+    p.converter_workers = cores;
+    p.file_writers = std::max(1, cores / 2);
+    auto result = pipesim::SimulateAcquisition(p);
+    if (cores == 2) t2 = result.total_seconds;
+    double pct = result.total_seconds / t2 * 100.0;
+    double multiple = cores / 2.0;
+    double eff = t2 / (result.total_seconds * multiple);
+    table.AddRow({std::to_string(cores), workload::FormatSeconds(result.total_seconds),
+                  workload::FormatDouble(pct, 1) + "%", workload::FormatDouble(eff, 3),
+                  std::to_string(result.backpressure_blocks),
+                  workload::FormatPercent(result.converter_utilization)});
+    if (eff > prev_eff + 0.02) efficiency_decays = false;
+    prev_eff = eff;
+    if (cores == 16) eff16 = eff;
+  }
+  table.Print();
+  std::printf("shape: speedup efficiency decays with cores: %s\n",
+              efficiency_decays ? "YES" : "NO");
+  std::printf("shape: visible degradation at 16 cores (S < 0.8): %s\n",
+              eff16 < 0.8 ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "cdw/cdw_server.h"
+#include "cloudstore/bulk_loader.h"
+#include "cloudstore/object_store.h"
+#include "common/stopwatch.h"
+#include "etlscript/etl_client.h"
+#include "hyperq/server.h"
+#include "workload/dataset.h"
+#include "workload/report.h"
+
+/// \file bench_util.h
+/// Shared harness for the figure benchmarks: stands up the full stack
+/// (object store + CDW + Hyper-Q node), generates a dataset, runs the
+/// unmodified legacy import script through the pipeline, and reports phase
+/// timings the way the paper's evaluation section does.
+
+namespace hyperq::bench {
+
+struct JobRunConfig {
+  workload::DatasetSpec dataset;
+  core::HyperQOptions hyperq;
+  cdw::CdwServerOptions cdw;
+  cloud::ObjectStoreOptions store;
+  int sessions = 4;
+  size_t chunk_rows = 1000;
+  uint64_t max_errors = 0;  ///< 0 = server default
+  std::string work_dir = "/tmp/hyperq_bench";
+};
+
+struct JobRunResult {
+  double total_seconds = 0;
+  double acquisition_seconds = 0;  ///< server-side: receipt..COPY complete
+  double application_seconds = 0;  ///< server-side: DML apply
+  double other_seconds = 0;        ///< total - acquisition - application
+  core::AcquisitionStats stats;
+  core::DmlApplyResult dml;
+  legacy::JobReportBody report;
+  uint64_t bytes_input = 0;
+
+  double acquisition_mb_per_s() const {
+    return acquisition_seconds > 0
+               ? static_cast<double>(bytes_input) / 1e6 / acquisition_seconds
+               : 0;
+  }
+};
+
+/// Runs one complete import job; terminates the process on infrastructure
+/// errors (benchmarks want loud failures), but returns the pipeline error
+/// for runs that are *expected* to fail (e.g. the simulated-OOM credit run).
+inline common::Result<JobRunResult> RunImportJob(const JobRunConfig& config) {
+  namespace fs = std::filesystem;
+  fs::remove_all(config.work_dir);
+  fs::create_directories(config.work_dir);
+
+  workload::CustomerDataset dataset(config.dataset);
+  std::string data_file = config.work_dir + "/input.txt";
+  HQ_RETURN_NOT_OK(dataset.WriteDataFile(data_file));
+  uint64_t bytes_input = fs::file_size(data_file);
+
+  cloud::ObjectStore store(config.store);
+  cdw::CdwServer cdw(&store, config.cdw);
+  core::HyperQOptions hyperq_options = config.hyperq;
+  hyperq_options.local_staging_dir = config.work_dir + "/staging";
+  core::HyperQServer node(&cdw, &store, hyperq_options);
+  node.Start();
+
+  etlscript::EtlClientOptions client_options;
+  client_options.working_dir = config.work_dir;
+  client_options.chunk_rows = config.chunk_rows;
+  client_options.connector =
+      [&node](const std::string&) -> common::Result<std::shared_ptr<net::Transport>> {
+    auto t = node.Connect();
+    if (!t) return common::Status::IOError("node down");
+    return t;
+  };
+  etlscript::EtlClient client(client_options);
+
+  const std::string target = "BENCH.TARGET";
+  std::string script = std::string(".logon hq/u,p;\n") + dataset.MakeTargetDdl(target) + ";\n";
+  std::string import_script = dataset.MakeImportScript("hq", target, data_file,
+                                                       config.sessions, config.max_errors);
+  script += import_script.substr(import_script.find('\n') + 1);  // drop duplicate .logon
+
+  common::Stopwatch total_timer;
+  auto run = client.RunScript(script);
+  double total = total_timer.ElapsedSeconds();
+  if (!run.ok()) {
+    node.Stop();
+    return run.status();
+  }
+
+  JobRunResult result;
+  result.total_seconds = total;
+  result.bytes_input = bytes_input;
+  result.report = run->imports.at(0).report;
+  const std::string& job_id = run->imports.at(0).job_id;
+  auto timings = node.JobTimings(job_id);
+  auto stats = node.JobStats(job_id);
+  auto dml = node.JobDmlResult(job_id);
+  if (timings.ok()) {
+    result.acquisition_seconds = timings->acquisition_seconds;
+    result.application_seconds = timings->application_seconds;
+    result.other_seconds =
+        std::max(0.0, total - timings->acquisition_seconds - timings->application_seconds);
+  }
+  if (stats.ok()) result.stats = *stats;
+  if (dml.ok()) result.dml = *dml;
+  node.Stop();
+  return result;
+}
+
+}  // namespace hyperq::bench

@@ -1,0 +1,86 @@
+/// Workload analysis example (paper Section 8): before a replatforming
+/// project, the ETL scripts are scanned to inventory legacy constructs and
+/// flag the (small) share of statements needing a manual rewrite — the paper
+/// reports "less than 1% of the queries in ETL jobs had to be rewritten
+/// manually" and credits qInsight with identifying them upfront.
+///
+/// This example builds a synthetic workload of 400 statements resembling a
+/// retail ETL estate (loads, upserts, purges, report extracts, a couple of
+/// statements using constructs outside the transpiler's reach) and prints
+/// the analyzer's inventory.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "qinsight/analyzer.h"
+
+using namespace hyperq;
+
+namespace {
+
+std::vector<std::string> SynthesizeWorkload() {
+  common::Random rng(2023);
+  std::vector<std::string> statements;
+  for (int i = 0; i < 400; ++i) {
+    int pick = static_cast<int>(rng.NextBounded(100));
+    std::string table = "RETAIL.T" + std::to_string(rng.NextBounded(30));
+    if (pick < 35) {
+      // Load DML with placeholders and a legacy date cast.
+      statements.push_back("insert into " + table +
+                           " values (trim(:ID), :NAME, cast(:D as DATE format 'YYYY-MM-DD'))");
+    } else if (pick < 50) {
+      // Atomic upsert.
+      statements.push_back("update " + table +
+                           " set QTY = QTY + :DELTA where SKU = :SKU "
+                           "else insert values (:SKU, :DELTA)");
+    } else if (pick < 60) {
+      // Purge.
+      statements.push_back("del from " + table + " where D < DATE '2015-01-01'");
+    } else if (pick < 85) {
+      // Report extract with legacy spellings.
+      statements.push_back("sel TOP 100 REGION, ZEROIFNULL(SUM(AMT)) from " + table +
+                           " where D >= DATE '2020-01-01' group by REGION order by 2 desc");
+    } else if (pick < 97) {
+      // DDL with legacy types.
+      statements.push_back("create multiset table " + table +
+                           "_NEW (ID BYTEINT, NOTE CHAR(400), NAME VARCHAR(20) CHARACTER SET "
+                           "UNICODE) UNIQUE PRIMARY INDEX (ID)");
+    } else if (pick < 99) {
+      // Constructs outside the transpiler: flagged for manual rewrite.
+      statements.push_back("sel HASHROW(ID) from " + table);
+    } else {
+      statements.push_back("LOCKING ROW FOR ACCESS SELECT * FROM " + table);
+    }
+  }
+  return statements;
+}
+
+}  // namespace
+
+int main() {
+  qinsight::WorkloadAnalyzer analyzer;
+  std::vector<qinsight::StatementReport> reports;
+  for (const auto& sql : SynthesizeWorkload()) {
+    reports.push_back(analyzer.AnalyzeStatement(sql));
+  }
+  auto workload = analyzer.Summarize(std::move(reports));
+
+  std::printf("=== pre-replatforming workload analysis ===\n%s\n",
+              workload.ToString().c_str());
+
+  std::printf("statements flagged for manual rewrite:\n");
+  for (const auto& report : workload.details) {
+    if (!report.NeedsManualRewrite()) continue;
+    std::string reason;
+    for (const auto& f : report.findings) {
+      if (f.disposition == qinsight::Disposition::kManualRewrite) {
+        reason = std::string(qinsight::FeatureKindName(f.kind)) +
+                 (f.detail.empty() ? "" : " (" + f.detail + ")");
+        break;
+      }
+    }
+    std::printf("  [%s] %.60s...\n", reason.c_str(), report.sql.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cdw/table.h"
+#include "common/result.h"
+
+/// \file catalog.h
+/// Case-insensitive table catalog of the simulated CDW. Names may be
+/// schema-qualified ("PROD.CUSTOMER"); lookups match the full dotted name.
+
+namespace hyperq::cdw {
+
+class Catalog {
+ public:
+  /// Creates a table; AlreadyExists unless `or_ignore`.
+  common::Result<TablePtr> CreateTable(const std::string& name, types::Schema schema,
+                                       std::vector<std::string> primary_key = {},
+                                       bool unique_primary = false, bool or_ignore = false);
+
+  common::Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  common::Status DropTable(const std::string& name, bool if_exists = false);
+
+  std::vector<std::string> ListTables() const;
+
+ private:
+  static std::string NormalizeName(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace hyperq::cdw

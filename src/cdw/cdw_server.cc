@@ -1,0 +1,37 @@
+#include "cdw/cdw_server.h"
+
+#include <chrono>
+#include <thread>
+
+namespace hyperq::cdw {
+
+using common::Result;
+using common::Status;
+
+void CdwServer::PayStartupCost(int64_t micros) const {
+  if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+Result<ExecResult> CdwServer::ExecuteSql(std::string_view sql, const ExecOptions& options) {
+  PayStartupCost(options_.statement_startup_micros);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++statements_executed_;
+  return executor_.ExecuteSql(sql, options);
+}
+
+Result<ExecResult> CdwServer::Execute(const sql::Statement& stmt, const ExecOptions& options) {
+  PayStartupCost(options_.statement_startup_micros);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++statements_executed_;
+  return executor_.Execute(stmt, options);
+}
+
+Result<uint64_t> CdwServer::CopyInto(const std::string& table_name, const std::string& prefix,
+                                     const CopyOptions& options) {
+  PayStartupCost(options_.copy_startup_micros);
+  std::lock_guard<std::mutex> lock(mu_);
+  HQ_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
+  return CopyFromStore(table.get(), *store_, prefix, options);
+}
+
+}  // namespace hyperq::cdw

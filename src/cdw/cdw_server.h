@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cdw/catalog.h"
+#include "cdw/copy.h"
+#include "cdw/executor.h"
+#include "cloudstore/object_store.h"
+
+/// \file cdw_server.h
+/// Facade of the simulated cloud data warehouse: one catalog, one executor,
+/// one attached object store, and a warehouse-level statement lock (cloud
+/// DWs serialize DML per table; a single lock is a faithful-enough model for
+/// the ETL workloads here). A configurable per-statement startup cost models
+/// query compilation/queueing in the cloud service — it is what makes
+/// singleton-insert loading (the Figure 11 baseline) pay a per-row round
+/// trip while bulk statements amortize it.
+
+namespace hyperq::cdw {
+
+struct CdwServerOptions {
+  /// Fixed cost added to every statement execution, microseconds.
+  int64_t statement_startup_micros = 0;
+  /// Fixed cost added to every COPY, microseconds.
+  int64_t copy_startup_micros = 0;
+};
+
+class CdwServer {
+ public:
+  explicit CdwServer(cloud::ObjectStore* store, CdwServerOptions options = {})
+      : store_(store), options_(options), executor_(&catalog_) {}
+
+  Catalog* catalog() { return &catalog_; }
+  cloud::ObjectStore* store() { return store_; }
+
+  /// Executes one SQL statement (CDW dialect text).
+  common::Result<ExecResult> ExecuteSql(std::string_view sql, const ExecOptions& options = {});
+
+  /// Executes a parsed statement.
+  common::Result<ExecResult> Execute(const sql::Statement& stmt, const ExecOptions& options = {});
+
+  /// COPY INTO <table> FROM @store/<prefix>.
+  common::Result<uint64_t> CopyInto(const std::string& table_name, const std::string& prefix,
+                                    const CopyOptions& options = {});
+
+  uint64_t statements_executed() const { return statements_executed_; }
+
+ private:
+  void PayStartupCost(int64_t micros) const;
+
+  cloud::ObjectStore* store_;
+  CdwServerOptions options_;
+  Catalog catalog_;
+  Executor executor_;
+  mutable std::mutex mu_;
+  uint64_t statements_executed_ = 0;
+};
+
+}  // namespace hyperq::cdw

@@ -1,0 +1,56 @@
+#include "cdw/copy.h"
+
+#include "cloudstore/compression.h"
+
+namespace hyperq::cdw {
+
+using common::Result;
+using common::Slice;
+using common::Status;
+using types::Row;
+using types::Value;
+
+Result<uint64_t> CopyFromStore(Table* table, const cloud::ObjectStore& store,
+                               const std::string& prefix, const CopyOptions& options) {
+  std::vector<std::string> keys = store.List(prefix);
+  std::vector<Row> staged;
+  for (const auto& key : keys) {
+    HQ_ASSIGN_OR_RETURN(auto blob, store.Get(key));
+    Slice raw(*blob);
+    common::ByteBuffer decompressed;
+    if (options.auto_decompress && cloud::IsCompressed(raw)) {
+      HQ_ASSIGN_OR_RETURN(decompressed, cloud::Decompress(raw));
+      raw = decompressed.AsSlice();
+    }
+    HQ_ASSIGN_OR_RETURN(std::vector<CsvRecord> records, ParseCsv(raw, options.csv));
+    for (const auto& record : records) {
+      if (record.size() != table->schema().num_fields()) {
+        return Status::ConversionError(
+            "COPY: record in " + key + " has " + std::to_string(record.size()) +
+            " fields, table " + table->name() + " has " +
+            std::to_string(table->schema().num_fields()));
+      }
+      Row row;
+      row.reserve(record.size());
+      for (size_t c = 0; c < record.size(); ++c) {
+        const types::Field& field = table->schema().field(c);
+        if (!record[c].has_value()) {
+          if (!field.nullable) {
+            return Status::ConversionError("COPY: NULL in NOT NULL column " + field.name);
+          }
+          row.push_back(Value::Null());
+          continue;
+        }
+        HQ_ASSIGN_OR_RETURN(Value v,
+                            types::CastValue(Value::String(*record[c]), field.type));
+        row.push_back(std::move(v));
+      }
+      staged.push_back(std::move(row));
+    }
+  }
+  uint64_t count = staged.size();
+  HQ_RETURN_NOT_OK(table->AppendRows(std::move(staged)));
+  return count;
+}
+
+}  // namespace hyperq::cdw

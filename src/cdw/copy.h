@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "cdw/staging_format.h"
+#include "cdw/table.h"
+#include "cloudstore/object_store.h"
+#include "common/result.h"
+
+/// \file copy.h
+/// The in-the-cloud COPY operation (paper Section 3: "Hyper-Q initiates an
+/// in-the-cloud COPY operation to move data to a staging table in the CDW").
+/// Reads every staged object under a prefix, auto-decompresses, parses the
+/// CSV staging format and appends typed rows to the target table.
+
+namespace hyperq::cdw {
+
+struct CopyOptions {
+  CsvOptions csv;
+  /// Transparently decompress HQZ1 objects.
+  bool auto_decompress = true;
+};
+
+/// Returns the number of rows loaded. Set-oriented: any malformed record or
+/// type mismatch aborts the COPY with the table unchanged.
+common::Result<uint64_t> CopyFromStore(Table* table, const cloud::ObjectStore& store,
+                                       const std::string& prefix,
+                                       const CopyOptions& options = {});
+
+}  // namespace hyperq::cdw

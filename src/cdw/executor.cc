@@ -1,0 +1,823 @@
+#include "cdw/executor.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace hyperq::cdw {
+
+using common::EqualsIgnoreCase;
+using common::Result;
+using common::Status;
+using sql::ExprKind;
+using sql::SelectStmt;
+using types::Row;
+using types::Schema;
+using types::TypeDesc;
+using types::Value;
+
+namespace {
+
+/// Lexicographic row comparator built on Value::Compare (DISTINCT, GROUP BY).
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// A scan source: table plus the alias it is visible under.
+struct Source {
+  std::string alias;
+  TablePtr table;
+};
+
+Result<Source> BindSource(Catalog* catalog, const sql::TableRef& ref) {
+  HQ_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(ref.name));
+  Source src;
+  src.alias = ref.alias.empty() ? ref.name : ref.alias;
+  src.table = std::move(table);
+  return src;
+}
+
+/// Builds an EvalContext over a combined row: one binding per source.
+EvalContext MakeContext(const std::vector<Source>& sources, const std::vector<Row>& rows) {
+  EvalContext ctx;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    ctx.AddBinding(sources[i].alias, &sources[i].table->schema(), &rows[i]);
+  }
+  return ctx;
+}
+
+Result<bool> PredicateTrue(const sql::Expr* where, const EvalContext& ctx) {
+  if (where == nullptr) return true;
+  HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*where, ctx));
+  if (v.is_null()) return false;
+  if (!v.is_boolean()) return Status::TypeError("WHERE predicate is not boolean");
+  return v.boolean();
+}
+
+/// Key of the declared unique primary key for one row.
+Row PrimaryKeyOf(const Table& table, const Row& row) {
+  Row key;
+  key.reserve(table.primary_key_indexes().size());
+  for (size_t idx : table.primary_key_indexes()) key.push_back(row[idx]);
+  return key;
+}
+
+/// Same, reading the key columns straight from storage (no full-row copy).
+Row PrimaryKeyOfStored(const Table& table, size_t row) {
+  Row key;
+  key.reserve(table.primary_key_indexes().size());
+  for (size_t idx : table.primary_key_indexes()) key.push_back(table.At(row, idx));
+  return key;
+}
+
+/// Validates + coerces a row against a table schema (set-oriented: any error
+/// aborts the caller's statement). NOTE: the error message intentionally
+/// carries no row identification — cloud warehouses report bulk failures at
+/// statement granularity.
+Result<Row> CoerceRowToTable(const Table& table, const Row& row) {
+  if (row.size() != table.schema().num_fields()) {
+    return Status::Invalid("value count does not match column count of " + table.name());
+  }
+  Row out;
+  out.reserve(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    const types::Field& field = table.schema().field(c);
+    HQ_ASSIGN_OR_RETURN(Value v, types::CastValue(row[c], field.type));
+    if (v.is_null() && !field.nullable) {
+      return Status::ConversionError("NULL value in NOT NULL column " + field.name + " of " +
+                                     table.name());
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+/// Reorders an insert row according to an explicit column list; absent
+/// columns become NULL.
+Result<Row> ApplyColumnList(const Table& table, const std::vector<std::string>& columns,
+                            Row values) {
+  if (columns.empty()) return values;
+  if (values.size() != columns.size()) {
+    return Status::Invalid("value count does not match column list");
+  }
+  Row out(table.schema().num_fields(), Value::Null());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    HQ_ASSIGN_OR_RETURN(size_t idx, table.schema().RequireFieldIndex(columns[i]));
+    out[idx] = std::move(values[i]);
+  }
+  return out;
+}
+
+/// Uniqueness emulation: verifies declared unique PK over existing + staged
+/// rows. Aborts with a chunk-level ConstraintViolation, no tuple identified.
+Status CheckUniqueness(const Table& table, const std::vector<Row>& staged_rows,
+                       const std::vector<size_t>* replaced_rows = nullptr) {
+  if (!table.unique_primary() || table.primary_key_indexes().empty()) return Status::OK();
+  std::set<Row, RowLess> keys;
+  std::set<size_t> replaced;
+  if (replaced_rows != nullptr) replaced.insert(replaced_rows->begin(), replaced_rows->end());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (replaced.count(r) != 0) continue;  // row being rewritten
+    keys.insert(PrimaryKeyOfStored(table, r));
+  }
+  for (const auto& row : staged_rows) {
+    Row key = PrimaryKeyOf(table, row);
+    bool key_has_null = false;
+    for (const auto& v : key) key_has_null |= v.is_null();
+    if (key_has_null) continue;  // NULL keys never collide (SQL semantics)
+    if (!keys.insert(std::move(key)).second) {
+      return Status::ConstraintViolation("duplicate unique primary key in table " + table.name());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExecResult> Executor::Execute(const sql::Statement& stmt, const ExecOptions& options) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      return ExecuteSelect(static_cast<const SelectStmt&>(stmt));
+    case sql::StatementKind::kInsert:
+      return ExecuteInsert(static_cast<const sql::InsertStmt&>(stmt), options);
+    case sql::StatementKind::kUpdate:
+      return ExecuteUpdate(static_cast<const sql::UpdateStmt&>(stmt), options);
+    case sql::StatementKind::kDelete:
+      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(stmt));
+    case sql::StatementKind::kMerge:
+      return ExecuteMerge(static_cast<const sql::MergeStmt&>(stmt), options);
+    case sql::StatementKind::kCreateTable:
+      return ExecuteCreateTable(static_cast<const sql::CreateTableStmt&>(stmt));
+    case sql::StatementKind::kDropTable:
+      return ExecuteDropTable(static_cast<const sql::DropTableStmt&>(stmt));
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<ExecResult> Executor::ExecuteSql(std::string_view sql, const ExecOptions& options) {
+  HQ_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  return Execute(*stmt, options);
+}
+
+// --- SELECT -----------------------------------------------------------------
+
+namespace {
+
+/// Static output-type inference; falls back to VARCHAR for computed items.
+TypeDesc InferItemType(const sql::Expr& expr, const std::vector<Source>& sources) {
+  if (expr.kind == ExprKind::kColumnRef) {
+    const auto& col = static_cast<const sql::ColumnRefExpr&>(expr);
+    for (const auto& src : sources) {
+      if (!col.table.empty() && !EqualsIgnoreCase(src.alias, col.table)) continue;
+      int idx = src.table->schema().FieldIndex(col.column);
+      if (idx >= 0) return src.table->schema().field(static_cast<size_t>(idx)).type;
+    }
+  }
+  if (expr.kind == ExprKind::kCast) {
+    return static_cast<const sql::CastExpr&>(expr).target;
+  }
+  if (expr.kind == ExprKind::kFunction) {
+    const auto& fn = static_cast<const sql::FunctionExpr&>(expr);
+    if (EqualsIgnoreCase(fn.name, "COUNT")) return TypeDesc::Int64();
+    if (EqualsIgnoreCase(fn.name, "TO_DATE")) return TypeDesc::Date();
+    if (EqualsIgnoreCase(fn.name, "LENGTH") || EqualsIgnoreCase(fn.name, "POSITION")) {
+      return TypeDesc::Int64();
+    }
+  }
+  if (expr.kind == ExprKind::kLiteral) {
+    const Value& v = static_cast<const sql::LiteralExpr&>(expr).value;
+    if (v.is_int()) return TypeDesc::Int64();
+    if (v.is_float()) return TypeDesc::Float64();
+    if (v.is_date()) return TypeDesc::Date();
+    if (v.is_boolean()) return TypeDesc::Boolean();
+  }
+  return TypeDesc::Varchar(0);
+}
+
+std::string ItemName(const sql::SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == ExprKind::kColumnRef) {
+    return static_cast<const sql::ColumnRefExpr&>(*item.expr).column;
+  }
+  return "EXPR_" + std::to_string(index + 1);
+}
+
+/// Evaluates an expression in aggregate context: aggregate calls compute over
+/// the group's combined rows; other column refs bind to the group's first row.
+Result<Value> EvaluateWithAggregates(const sql::Expr& expr, const std::vector<Source>& sources,
+                                     const std::vector<std::vector<Row>>& group_rows) {
+  if (expr.kind == ExprKind::kFunction) {
+    const auto& fn = static_cast<const sql::FunctionExpr&>(expr);
+    if (IsAggregateFunction(fn.name)) {
+      const bool is_count = EqualsIgnoreCase(fn.name, "COUNT");
+      const bool count_star =
+          is_count && fn.args.size() == 1 && fn.args[0]->kind == ExprKind::kStar;
+      if (fn.args.size() != 1) return Status::Invalid(fn.name + " takes one argument");
+      std::vector<Value> inputs;
+      inputs.reserve(group_rows.size());
+      std::set<Row, RowLess> distinct_seen;
+      for (const auto& combined : group_rows) {
+        if (count_star) {
+          inputs.push_back(Value::Int(1));
+          continue;
+        }
+        EvalContext ctx = MakeContext(sources, combined);
+        HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*fn.args[0], ctx));
+        if (v.is_null()) continue;  // aggregates skip NULLs
+        if (fn.distinct) {
+          Row key{v};
+          if (!distinct_seen.insert(key).second) continue;
+        }
+        inputs.push_back(std::move(v));
+      }
+      if (is_count) return Value::Int(static_cast<int64_t>(inputs.size()));
+      if (inputs.empty()) return Value::Null();
+      if (EqualsIgnoreCase(fn.name, "MIN") || EqualsIgnoreCase(fn.name, "MAX")) {
+        const bool want_max = EqualsIgnoreCase(fn.name, "MAX");
+        Value best = inputs[0];
+        for (size_t i = 1; i < inputs.size(); ++i) {
+          int c = inputs[i].Compare(best);
+          if ((want_max && c > 0) || (!want_max && c < 0)) best = inputs[i];
+        }
+        return best;
+      }
+      // SUM / AVG.
+      double total = 0;
+      bool all_int = true;
+      int64_t int_total = 0;
+      for (const auto& v : inputs) {
+        if (v.is_int()) {
+          int_total += v.int_value();
+          total += static_cast<double>(v.int_value());
+        } else if (v.is_float()) {
+          all_int = false;
+          total += v.float_value();
+        } else if (v.is_decimal()) {
+          all_int = false;
+          total += v.decimal_value().ToDouble();
+        } else {
+          return Status::TypeError(fn.name + " over non-numeric values");
+        }
+      }
+      if (EqualsIgnoreCase(fn.name, "SUM")) {
+        return all_int ? Value::Int(int_total) : Value::Float(total);
+      }
+      return Value::Float(total / static_cast<double>(inputs.size()));
+    }
+    // Non-aggregate function: recurse so nested aggregates work.
+    auto copy = std::make_unique<sql::FunctionExpr>();
+    copy->name = fn.name;
+    copy->distinct = fn.distinct;
+    for (const auto& a : fn.args) {
+      HQ_ASSIGN_OR_RETURN(Value v, EvaluateWithAggregates(*a, sources, group_rows));
+      copy->args.push_back(std::make_unique<sql::LiteralExpr>(std::move(v)));
+    }
+    EvalContext empty;
+    return EvaluateExpr(*copy, empty);
+  }
+  if (!ContainsAggregate(expr)) {
+    if (group_rows.empty()) return Value::Null();
+    EvalContext ctx = MakeContext(sources, group_rows[0]);
+    return EvaluateExpr(expr, ctx);
+  }
+  // Composite expression containing aggregates: rebuild with aggregate
+  // results folded in as literals.
+  switch (expr.kind) {
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const sql::UnaryExpr&>(expr);
+      HQ_ASSIGN_OR_RETURN(Value v, EvaluateWithAggregates(*u.operand, sources, group_rows));
+      sql::UnaryExpr lifted(u.op, std::make_unique<sql::LiteralExpr>(std::move(v)));
+      EvalContext empty;
+      return EvaluateExpr(lifted, empty);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      HQ_ASSIGN_OR_RETURN(Value l, EvaluateWithAggregates(*b.left, sources, group_rows));
+      HQ_ASSIGN_OR_RETURN(Value r, EvaluateWithAggregates(*b.right, sources, group_rows));
+      sql::BinaryExpr lifted(b.op, std::make_unique<sql::LiteralExpr>(std::move(l)),
+                             std::make_unique<sql::LiteralExpr>(std::move(r)));
+      EvalContext empty;
+      return EvaluateExpr(lifted, empty);
+    }
+    case ExprKind::kCast: {
+      const auto& c = static_cast<const sql::CastExpr&>(expr);
+      HQ_ASSIGN_OR_RETURN(Value v, EvaluateWithAggregates(*c.operand, sources, group_rows));
+      sql::CastExpr lifted(std::make_unique<sql::LiteralExpr>(std::move(v)), c.target, c.format);
+      EvalContext empty;
+      return EvaluateExpr(lifted, empty);
+    }
+    default:
+      return Status::NotImplemented("aggregate inside this expression form");
+  }
+}
+
+}  // namespace
+
+Result<ExecResult> Executor::ExecuteSelect(const SelectStmt& stmt) {
+  // FROM-less SELECT: evaluate items once against an empty context.
+  std::vector<Source> sources;
+  if (stmt.has_from) {
+    HQ_ASSIGN_OR_RETURN(Source src, BindSource(catalog_, stmt.from));
+    sources.push_back(std::move(src));
+    for (const auto& join : stmt.joins) {
+      HQ_ASSIGN_OR_RETURN(Source jsrc, BindSource(catalog_, join.table));
+      sources.push_back(std::move(jsrc));
+    }
+  }
+
+  // Expand stars into per-column items.
+  std::vector<sql::SelectItem> items;
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      if (sources.empty()) return Status::Invalid("SELECT * requires a FROM clause");
+      for (const auto& src : sources) {
+        for (const auto& f : src.table->schema().fields()) {
+          sql::SelectItem expanded;
+          expanded.expr = std::make_unique<sql::ColumnRefExpr>(src.alias, f.name);
+          expanded.alias = f.name;
+          items.push_back(std::move(expanded));
+        }
+      }
+    } else {
+      sql::SelectItem copy;
+      copy.expr = item.expr->Clone();
+      copy.alias = item.alias;
+      items.push_back(std::move(copy));
+    }
+  }
+
+  ExecResult result;
+  bool has_aggregates = !stmt.group_by.empty();
+  for (const auto& item : items) has_aggregates |= ContainsAggregate(*item.expr);
+
+  // Output schema.
+  for (size_t i = 0; i < items.size(); ++i) {
+    result.schema.AddField(
+        types::Field(ItemName(items[i], i), InferItemType(*items[i].expr, sources)));
+  }
+
+  // Fast path: single-table (or table-less) scan without aggregation streams
+  // rows straight into the result — this is the shape of every staged DML
+  // SELECT, so it must not materialize the whole table.
+  if (sources.size() <= 1 && !has_aggregates) {
+    const Table* table = sources.empty() ? nullptr : sources[0].table.get();
+    const size_t scan_rows = table != nullptr ? table->num_rows() : 1;
+    Row current;
+    for (size_t r = 0; r < scan_rows; ++r) {
+      EvalContext ctx;
+      if (table != nullptr) {
+        current = table->GetRow(r);
+        ctx.AddBinding(sources[0].alias, &table->schema(), &current);
+      }
+      HQ_ASSIGN_OR_RETURN(bool keep, PredicateTrue(stmt.where.get(), ctx));
+      if (!keep) continue;
+      Row out;
+      out.reserve(items.size());
+      for (const auto& item : items) {
+        HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*item.expr, ctx));
+        out.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(out));
+    }
+    HQ_RETURN_NOT_OK(FinishSelect(stmt, &result));
+    return result;
+  }
+
+  // Materialize the (joined) working set of combined rows.
+  std::vector<std::vector<Row>> working;
+  if (sources.empty()) {
+    working.emplace_back();  // one empty combined row
+  } else {
+    // Nested-loop join with per-level ON filtering.
+    std::vector<Row> combined(sources.size());
+    // Recursive lambda over join levels.
+    std::function<Result<bool>(size_t)> descend = [&](size_t level) -> Result<bool> {
+      if (level == sources.size()) {
+        working.push_back(combined);
+        return true;
+      }
+      const Table& table = *sources[level].table;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        combined[level] = table.GetRow(r);
+        if (level > 0) {
+          // Evaluate this join's ON with bindings visible so far.
+          EvalContext ctx;
+          for (size_t i = 0; i <= level; ++i) {
+            ctx.AddBinding(sources[i].alias, &sources[i].table->schema(), &combined[i]);
+          }
+          HQ_ASSIGN_OR_RETURN(bool ok, PredicateTrue(stmt.joins[level - 1].on.get(), ctx));
+          if (!ok) continue;
+        }
+        HQ_ASSIGN_OR_RETURN(bool cont, descend(level + 1));
+        if (!cont) return false;
+      }
+      return true;
+    };
+    HQ_RETURN_NOT_OK(descend(0).status());
+  }
+
+  // WHERE.
+  std::vector<std::vector<Row>> filtered;
+  filtered.reserve(working.size());
+  for (auto& combined : working) {
+    EvalContext ctx = MakeContext(sources, combined);
+    HQ_ASSIGN_OR_RETURN(bool keep, PredicateTrue(stmt.where.get(), ctx));
+    if (keep) filtered.push_back(std::move(combined));
+  }
+
+  if (has_aggregates) {
+    std::map<Row, std::vector<std::vector<Row>>, RowLess> groups;
+    if (stmt.group_by.empty()) {
+      groups[Row{}] = std::move(filtered);
+    } else {
+      for (auto& combined : filtered) {
+        EvalContext ctx = MakeContext(sources, combined);
+        Row key;
+        key.reserve(stmt.group_by.size());
+        for (const auto& g : stmt.group_by) {
+          HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*g, ctx));
+          key.push_back(std::move(v));
+        }
+        groups[std::move(key)].push_back(std::move(combined));
+      }
+    }
+    for (const auto& [key, group_rows] : groups) {
+      if (stmt.having) {
+        HQ_ASSIGN_OR_RETURN(Value h, EvaluateWithAggregates(*stmt.having, sources, group_rows));
+        if (!(h.is_boolean() && h.boolean())) continue;
+      }
+      Row out;
+      out.reserve(items.size());
+      for (const auto& item : items) {
+        HQ_ASSIGN_OR_RETURN(Value v, EvaluateWithAggregates(*item.expr, sources, group_rows));
+        out.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(out));
+    }
+  } else {
+    result.rows.reserve(filtered.size());
+    for (const auto& combined : filtered) {
+      EvalContext ctx = MakeContext(sources, combined);
+      Row out;
+      out.reserve(items.size());
+      for (const auto& item : items) {
+        HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*item.expr, ctx));
+        out.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(out));
+    }
+  }
+
+  HQ_RETURN_NOT_OK(FinishSelect(stmt, &result));
+  return result;
+}
+
+// DISTINCT / ORDER BY / LIMIT tail shared by the scan and join paths.
+Status Executor::FinishSelect(const SelectStmt& stmt, ExecResult* result_out) {
+  ExecResult& result = *result_out;
+  if (stmt.distinct) {
+    std::set<Row, RowLess> seen;
+    std::vector<Row> unique;
+    for (auto& row : result.rows) {
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    }
+    result.rows = std::move(unique);
+  }
+
+  if (!stmt.order_by.empty()) {
+    // Evaluate sort keys; order keys computed against the *output* row when
+    // the expression is a plain output column, otherwise re-evaluated is not
+    // possible post-projection — we map output-name references; positional
+    // literals (ORDER BY 1) also supported.
+    struct Keyed {
+      Row keys;
+      Row row;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(result.rows.size());
+    for (auto& row : result.rows) {
+      Row keys;
+      for (const auto& o : stmt.order_by) {
+        if (o.expr->kind == ExprKind::kLiteral) {
+          const Value& v = static_cast<const sql::LiteralExpr&>(*o.expr).value;
+          if (v.is_int() && v.int_value() >= 1 &&
+              v.int_value() <= static_cast<int64_t>(row.size())) {
+            keys.push_back(row[static_cast<size_t>(v.int_value() - 1)]);
+            continue;
+          }
+        }
+        if (o.expr->kind == ExprKind::kColumnRef) {
+          const auto& col = static_cast<const sql::ColumnRefExpr&>(*o.expr);
+          int idx = result.schema.FieldIndex(col.column);
+          if (idx >= 0) {
+            keys.push_back(row[static_cast<size_t>(idx)]);
+            continue;
+          }
+        }
+        return Status::NotImplemented(
+            "ORDER BY expression must be an output column or position");
+      }
+      keyed.push_back(Keyed{std::move(keys), std::move(row)});
+    }
+    std::stable_sort(keyed.begin(), keyed.end(), [&](const Keyed& a, const Keyed& b) {
+      for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+        int c = a.keys[i].Compare(b.keys[i]);
+        if (c != 0) return stmt.order_by[i].descending ? c > 0 : c < 0;
+      }
+      return false;
+    });
+    result.rows.clear();
+    for (auto& k : keyed) result.rows.push_back(std::move(k.row));
+  }
+
+  if (stmt.top >= 0 && result.rows.size() > static_cast<size_t>(stmt.top)) {
+    result.rows.resize(static_cast<size_t>(stmt.top));
+  }
+  return Status::OK();
+}
+
+// --- INSERT -----------------------------------------------------------------
+
+Result<ExecResult> Executor::ExecuteInsert(const sql::InsertStmt& stmt,
+                                           const ExecOptions& options) {
+  HQ_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(stmt.table));
+  std::vector<Row> staged;
+
+  if (stmt.select) {
+    HQ_ASSIGN_OR_RETURN(ExecResult select_result, ExecuteSelect(*stmt.select));
+    staged.reserve(select_result.rows.size());
+    for (auto& row : select_result.rows) {
+      HQ_ASSIGN_OR_RETURN(Row positioned, ApplyColumnList(*table, stmt.columns, std::move(row)));
+      HQ_ASSIGN_OR_RETURN(Row coerced, CoerceRowToTable(*table, positioned));
+      staged.push_back(std::move(coerced));
+    }
+  } else {
+    EvalContext empty;
+    for (const auto& exprs : stmt.rows) {
+      Row values;
+      values.reserve(exprs.size());
+      for (const auto& e : exprs) {
+        HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e, empty));
+        values.push_back(std::move(v));
+      }
+      HQ_ASSIGN_OR_RETURN(Row positioned, ApplyColumnList(*table, stmt.columns, std::move(values)));
+      HQ_ASSIGN_OR_RETURN(Row coerced, CoerceRowToTable(*table, positioned));
+      staged.push_back(std::move(coerced));
+    }
+  }
+
+  if (options.enforce_unique_primary) {
+    HQ_RETURN_NOT_OK(CheckUniqueness(*table, staged));
+  }
+  size_t count = staged.size();
+  HQ_RETURN_NOT_OK(table->AppendRows(std::move(staged)));
+  ExecResult result;
+  result.rows_inserted = count;
+  return result;
+}
+
+// --- UPDATE -----------------------------------------------------------------
+
+Result<ExecResult> Executor::ExecuteUpdate(const sql::UpdateStmt& stmt,
+                                           const ExecOptions& options) {
+  if (stmt.has_else_insert) {
+    return Status::NotImplemented(
+        "UPDATE ... ELSE INSERT is a legacy-EDW construct the CDW does not support (requires "
+        "Hyper-Q transpilation into MERGE)");
+  }
+  HQ_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(stmt.table.name));
+  std::string target_alias = stmt.table.alias.empty() ? stmt.table.name : stmt.table.alias;
+
+  TablePtr from_table;
+  std::string from_alias;
+  if (stmt.has_from) {
+    HQ_ASSIGN_OR_RETURN(from_table, catalog_->GetTable(stmt.from.name));
+    from_alias = stmt.from.alias.empty() ? stmt.from.name : stmt.from.alias;
+  }
+
+  // Resolve assignment targets.
+  std::vector<size_t> assign_cols;
+  for (const auto& a : stmt.assignments) {
+    HQ_ASSIGN_OR_RETURN(size_t idx, table->schema().RequireFieldIndex(a.column));
+    assign_cols.push_back(idx);
+  }
+
+  // Stage: row index -> new full row.
+  std::vector<std::pair<size_t, Row>> staged;
+  std::vector<size_t> touched_rows;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    Row target_row = table->GetRow(r);
+    bool matched = false;
+    Row new_row;
+    auto try_source = [&](const Row* source_row) -> Status {
+      EvalContext ctx;
+      ctx.AddBinding(target_alias, &table->schema(), &target_row);
+      if (source_row != nullptr) {
+        ctx.AddBinding(from_alias, &from_table->schema(), source_row);
+      }
+      HQ_ASSIGN_OR_RETURN(bool ok, PredicateTrue(stmt.where.get(), ctx));
+      if (!ok) return Status::OK();
+      matched = true;
+      new_row = target_row;
+      for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+        HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*stmt.assignments[i].value, ctx));
+        const types::Field& field = table->schema().field(assign_cols[i]);
+        HQ_ASSIGN_OR_RETURN(Value coerced, types::CastValue(v, field.type));
+        if (coerced.is_null() && !field.nullable) {
+          return Status::ConversionError("NULL value in NOT NULL column " + field.name);
+        }
+        new_row[assign_cols[i]] = std::move(coerced);
+      }
+      return Status::OK();
+    };
+    if (from_table) {
+      for (size_t s = 0; s < from_table->num_rows() && !matched; ++s) {
+        Row source_row = from_table->GetRow(s);
+        HQ_RETURN_NOT_OK(try_source(&source_row));
+      }
+    } else {
+      HQ_RETURN_NOT_OK(try_source(nullptr));
+    }
+    if (matched) {
+      staged.emplace_back(r, std::move(new_row));
+      touched_rows.push_back(r);
+    }
+  }
+
+  if (options.enforce_unique_primary && table->unique_primary()) {
+    std::vector<Row> new_rows;
+    new_rows.reserve(staged.size());
+    for (const auto& [r, row] : staged) new_rows.push_back(row);
+    HQ_RETURN_NOT_OK(CheckUniqueness(*table, new_rows, &touched_rows));
+  }
+
+  for (auto& [r, row] : staged) {
+    HQ_RETURN_NOT_OK(table->ReplaceRow(r, std::move(row)));
+  }
+  ExecResult result;
+  result.rows_updated = staged.size();
+  return result;
+}
+
+// --- DELETE -----------------------------------------------------------------
+
+Result<ExecResult> Executor::ExecuteDelete(const sql::DeleteStmt& stmt) {
+  HQ_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(stmt.table.name));
+  std::string target_alias = stmt.table.alias.empty() ? stmt.table.name : stmt.table.alias;
+
+  TablePtr using_table;
+  std::string using_alias;
+  if (stmt.has_using) {
+    HQ_ASSIGN_OR_RETURN(using_table, catalog_->GetTable(stmt.using_table.name));
+    using_alias = stmt.using_table.alias.empty() ? stmt.using_table.name : stmt.using_table.alias;
+  }
+
+  std::vector<size_t> doomed;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    Row target_row = table->GetRow(r);
+    bool matched = false;
+    if (using_table) {
+      for (size_t s = 0; s < using_table->num_rows() && !matched; ++s) {
+        Row source_row = using_table->GetRow(s);
+        EvalContext ctx;
+        ctx.AddBinding(target_alias, &table->schema(), &target_row);
+        ctx.AddBinding(using_alias, &using_table->schema(), &source_row);
+        HQ_ASSIGN_OR_RETURN(matched, PredicateTrue(stmt.where.get(), ctx));
+      }
+    } else {
+      EvalContext ctx;
+      ctx.AddBinding(target_alias, &table->schema(), &target_row);
+      HQ_ASSIGN_OR_RETURN(matched, PredicateTrue(stmt.where.get(), ctx));
+    }
+    if (matched) doomed.push_back(r);
+  }
+  HQ_RETURN_NOT_OK(table->RemoveRows(doomed));
+  ExecResult result;
+  result.rows_deleted = doomed.size();
+  return result;
+}
+
+// --- MERGE ------------------------------------------------------------------
+
+Result<ExecResult> Executor::ExecuteMerge(const sql::MergeStmt& stmt, const ExecOptions& options) {
+  HQ_ASSIGN_OR_RETURN(TablePtr target, catalog_->GetTable(stmt.target.name));
+  HQ_ASSIGN_OR_RETURN(TablePtr source, catalog_->GetTable(stmt.source.name));
+  std::string target_alias = stmt.target.alias.empty() ? stmt.target.name : stmt.target.alias;
+  std::string source_alias = stmt.source.alias.empty() ? stmt.source.name : stmt.source.alias;
+
+  // Snapshot of target rows for matching (MERGE matches pre-statement state).
+  const size_t target_rows_before = target->num_rows();
+
+  std::vector<size_t> update_cols;
+  for (const auto& a : stmt.matched_update) {
+    HQ_ASSIGN_OR_RETURN(size_t idx, target->schema().RequireFieldIndex(a.column));
+    update_cols.push_back(idx);
+  }
+
+  std::vector<std::pair<size_t, Row>> staged_updates;
+  std::vector<size_t> touched_rows;
+  std::vector<Row> staged_inserts;
+
+  for (size_t s = 0; s < source->num_rows(); ++s) {
+    Row source_row = source->GetRow(s);
+    if (stmt.source_filter) {
+      EvalContext filter_ctx;
+      filter_ctx.AddBinding(source_alias, &source->schema(), &source_row);
+      HQ_ASSIGN_OR_RETURN(bool pass, PredicateTrue(stmt.source_filter.get(), filter_ctx));
+      if (!pass) continue;
+    }
+    int matched_target = -1;
+    for (size_t t = 0; t < target_rows_before; ++t) {
+      Row target_row = target->GetRow(t);
+      EvalContext ctx;
+      ctx.AddBinding(target_alias, &target->schema(), &target_row);
+      ctx.AddBinding(source_alias, &source->schema(), &source_row);
+      HQ_ASSIGN_OR_RETURN(bool on, PredicateTrue(stmt.on.get(), ctx));
+      if (on) {
+        if (matched_target >= 0) {
+          return Status::Invalid("MERGE source row matches multiple target rows");
+        }
+        matched_target = static_cast<int>(t);
+      }
+    }
+    if (matched_target >= 0) {
+      if (stmt.matched_update.empty()) continue;
+      Row target_row = target->GetRow(static_cast<size_t>(matched_target));
+      EvalContext ctx;
+      ctx.AddBinding(target_alias, &target->schema(), &target_row);
+      ctx.AddBinding(source_alias, &source->schema(), &source_row);
+      Row new_row = target_row;
+      for (size_t i = 0; i < stmt.matched_update.size(); ++i) {
+        HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*stmt.matched_update[i].value, ctx));
+        const types::Field& field = target->schema().field(update_cols[i]);
+        HQ_ASSIGN_OR_RETURN(Value coerced, types::CastValue(v, field.type));
+        if (coerced.is_null() && !field.nullable) {
+          return Status::ConversionError("NULL value in NOT NULL column " + field.name);
+        }
+        new_row[update_cols[i]] = std::move(coerced);
+      }
+      staged_updates.emplace_back(static_cast<size_t>(matched_target), std::move(new_row));
+      touched_rows.push_back(static_cast<size_t>(matched_target));
+    } else {
+      if (stmt.insert_values.empty()) continue;
+      EvalContext ctx;
+      ctx.AddBinding(source_alias, &source->schema(), &source_row);
+      Row values;
+      values.reserve(stmt.insert_values.size());
+      for (const auto& e : stmt.insert_values) {
+        HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e, ctx));
+        values.push_back(std::move(v));
+      }
+      HQ_ASSIGN_OR_RETURN(Row positioned,
+                          ApplyColumnList(*target, stmt.insert_columns, std::move(values)));
+      HQ_ASSIGN_OR_RETURN(Row coerced, CoerceRowToTable(*target, positioned));
+      staged_inserts.push_back(std::move(coerced));
+    }
+  }
+
+  if (options.enforce_unique_primary && target->unique_primary()) {
+    std::vector<Row> all_new;
+    for (const auto& [r, row] : staged_updates) all_new.push_back(row);
+    for (const auto& row : staged_inserts) all_new.push_back(row);
+    std::sort(touched_rows.begin(), touched_rows.end());
+    HQ_RETURN_NOT_OK(CheckUniqueness(*target, all_new, &touched_rows));
+  }
+
+  for (auto& [r, row] : staged_updates) {
+    HQ_RETURN_NOT_OK(target->ReplaceRow(r, std::move(row)));
+  }
+  size_t inserted = staged_inserts.size();
+  HQ_RETURN_NOT_OK(target->AppendRows(std::move(staged_inserts)));
+
+  ExecResult result;
+  result.rows_updated = staged_updates.size();
+  result.rows_inserted = inserted;
+  return result;
+}
+
+// --- DDL --------------------------------------------------------------------
+
+Result<ExecResult> Executor::ExecuteCreateTable(const sql::CreateTableStmt& stmt) {
+  HQ_RETURN_NOT_OK(catalog_
+                       ->CreateTable(stmt.table, stmt.schema, stmt.primary_key,
+                                     stmt.unique_primary, stmt.if_not_exists)
+                       .status());
+  return ExecResult{};
+}
+
+Result<ExecResult> Executor::ExecuteDropTable(const sql::DropTableStmt& stmt) {
+  HQ_RETURN_NOT_OK(catalog_->DropTable(stmt.table, stmt.if_exists));
+  return ExecResult{};
+}
+
+}  // namespace hyperq::cdw

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "cdw/catalog.h"
+#include "cdw/expr_eval.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+/// \file executor.h
+/// Set-oriented SQL execution over the catalog. Statement semantics mirror a
+/// cloud warehouse:
+///   - a statement either fully applies or fully aborts: one bad tuple
+///     (conversion failure, constraint violation) rolls back the whole
+///     statement and the error does NOT identify the offending tuple —
+///     exactly the behaviour that motivates adaptive error handling
+///     (paper Section 7);
+///   - declared unique primary keys are NOT enforced natively; enforcement
+///     happens only when the caller (Hyper-Q's Beta process) requests the
+///     emulation via ExecOptions::enforce_unique_primary.
+
+namespace hyperq::cdw {
+
+struct ExecResult {
+  uint64_t rows_inserted = 0;
+  uint64_t rows_updated = 0;
+  uint64_t rows_deleted = 0;
+  types::Schema schema;          ///< non-empty for SELECT
+  std::vector<types::Row> rows;  ///< SELECT result rows
+
+  uint64_t activity_count() const {
+    if (schema.num_fields() > 0) return rows.size();
+    return rows_inserted + rows_updated + rows_deleted;
+  }
+};
+
+struct ExecOptions {
+  /// Hyper-Q's uniqueness emulation: validate declared unique primary keys
+  /// during INSERT/MERGE/UPDATE; violations abort the statement.
+  bool enforce_unique_primary = false;
+};
+
+class Executor {
+ public:
+  explicit Executor(Catalog* catalog) : catalog_(catalog) {}
+
+  common::Result<ExecResult> Execute(const sql::Statement& stmt, const ExecOptions& options = {});
+
+  /// Parses and executes one statement of SQL text (CDW dialect).
+  common::Result<ExecResult> ExecuteSql(std::string_view sql, const ExecOptions& options = {});
+
+ private:
+  common::Result<ExecResult> ExecuteSelect(const sql::SelectStmt& stmt);
+  common::Status FinishSelect(const sql::SelectStmt& stmt, ExecResult* result);
+  common::Result<ExecResult> ExecuteInsert(const sql::InsertStmt& stmt,
+                                           const ExecOptions& options);
+  common::Result<ExecResult> ExecuteUpdate(const sql::UpdateStmt& stmt,
+                                           const ExecOptions& options);
+  common::Result<ExecResult> ExecuteDelete(const sql::DeleteStmt& stmt);
+  common::Result<ExecResult> ExecuteMerge(const sql::MergeStmt& stmt, const ExecOptions& options);
+  common::Result<ExecResult> ExecuteCreateTable(const sql::CreateTableStmt& stmt);
+  common::Result<ExecResult> ExecuteDropTable(const sql::DropTableStmt& stmt);
+
+  Catalog* catalog_;
+};
+
+}  // namespace hyperq::cdw

@@ -1,0 +1,615 @@
+#include "cdw/expr_eval.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "types/date.h"
+
+namespace hyperq::cdw {
+
+using common::EqualsIgnoreCase;
+using common::Result;
+using common::Status;
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using types::Decimal;
+using types::TypeDesc;
+using types::TypeId;
+using types::Value;
+
+Result<Value> EvalContext::ResolveColumn(const std::string& qualifier,
+                                         const std::string& name) const {
+  const RowBinding* found = nullptr;
+  for (const auto& binding : bindings_) {
+    if (!qualifier.empty() && !EqualsIgnoreCase(binding.alias, qualifier)) continue;
+    int idx = binding.schema->FieldIndex(name);
+    if (idx < 0) continue;
+    if (found != nullptr) {
+      return Status::Invalid("ambiguous column reference: " + name);
+    }
+    found = &binding;
+  }
+  if (found == nullptr) {
+    std::string full = qualifier.empty() ? name : qualifier + "." + name;
+    return Status::NotFound("column not found: " + full);
+  }
+  return (*found->row)[static_cast<size_t>(found->schema->FieldIndex(name))];
+}
+
+bool IsAggregateFunction(std::string_view name) {
+  return EqualsIgnoreCase(name, "COUNT") || EqualsIgnoreCase(name, "SUM") ||
+         EqualsIgnoreCase(name, "MIN") || EqualsIgnoreCase(name, "MAX") ||
+         EqualsIgnoreCase(name, "AVG");
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kFunction: {
+      const auto& fn = static_cast<const sql::FunctionExpr&>(expr);
+      if (IsAggregateFunction(fn.name)) return true;
+      for (const auto& a : fn.args) {
+        if (ContainsAggregate(*a)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kUnary:
+      return ContainsAggregate(*static_cast<const sql::UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      return ContainsAggregate(*b.left) || ContainsAggregate(*b.right);
+    }
+    case ExprKind::kCast:
+      return ContainsAggregate(*static_cast<const sql::CastExpr&>(expr).operand);
+    case ExprKind::kCase: {
+      const auto& c = static_cast<const sql::CaseExpr&>(expr);
+      if (c.operand && ContainsAggregate(*c.operand)) return true;
+      for (const auto& [w, t] : c.whens) {
+        if (ContainsAggregate(*w) || ContainsAggregate(*t)) return true;
+      }
+      return c.else_expr && ContainsAggregate(*c.else_expr);
+    }
+    case ExprKind::kIsNull:
+      return ContainsAggregate(*static_cast<const sql::IsNullExpr&>(expr).operand);
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      if (ContainsAggregate(*in.operand)) return true;
+      for (const auto& e : in.list) {
+        if (ContainsAggregate(*e)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const sql::BetweenExpr&>(expr);
+      return ContainsAggregate(*bt.operand) || ContainsAggregate(*bt.low) ||
+             ContainsAggregate(*bt.high);
+    }
+    default:
+      return false;
+  }
+}
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative wildcard match: % = any run, _ = single char.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+bool IsNumericValue(const Value& v) { return v.is_int() || v.is_float() || v.is_decimal(); }
+
+double AsDouble(const Value& v) {
+  if (v.is_int()) return static_cast<double>(v.int_value());
+  if (v.is_float()) return v.float_value();
+  return v.decimal_value().ToDouble();
+}
+
+/// Implicit coercion for comparisons: strings parse toward the other side's
+/// family (legacy-compatible behaviour preserved by the CDW).
+Result<int> CompareValues(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Status::Internal("null in CompareValues");
+  if (a.is_string() && IsNumericValue(b)) {
+    HQ_ASSIGN_OR_RETURN(Value parsed, types::CastValue(a, TypeDesc::Float64()));
+    return CompareValues(parsed, b);
+  }
+  if (IsNumericValue(a) && b.is_string()) {
+    HQ_ASSIGN_OR_RETURN(Value parsed, types::CastValue(b, TypeDesc::Float64()));
+    return CompareValues(a, parsed);
+  }
+  if (a.is_string() && b.is_date()) {
+    HQ_ASSIGN_OR_RETURN(Value parsed, types::CastValue(a, TypeDesc::Date()));
+    return CompareValues(parsed, b);
+  }
+  if (a.is_date() && b.is_string()) {
+    HQ_ASSIGN_OR_RETURN(Value parsed, types::CastValue(b, TypeDesc::Date()));
+    return CompareValues(a, parsed);
+  }
+  return a.Compare(b);
+}
+
+Result<Value> EvalComparison(BinaryOp op, const Value& left, const Value& right) {
+  if (left.is_null() || right.is_null()) return Value::Null();
+  if (op == BinaryOp::kLike) {
+    if (!left.is_string() || !right.is_string()) {
+      return Status::TypeError("LIKE requires string operands");
+    }
+    return Value::Boolean(LikeMatch(left.string_value(), right.string_value()));
+  }
+  HQ_ASSIGN_OR_RETURN(int cmp, CompareValues(left, right));
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Boolean(cmp == 0);
+    case BinaryOp::kNe:
+      return Value::Boolean(cmp != 0);
+    case BinaryOp::kLt:
+      return Value::Boolean(cmp < 0);
+    case BinaryOp::kLe:
+      return Value::Boolean(cmp <= 0);
+    case BinaryOp::kGt:
+      return Value::Boolean(cmp > 0);
+    case BinaryOp::kGe:
+      return Value::Boolean(cmp >= 0);
+    default:
+      return Status::Internal("not a comparison op");
+  }
+}
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& left, const Value& right) {
+  if (left.is_null() || right.is_null()) return Value::Null();
+  if (!IsNumericValue(left) || !IsNumericValue(right)) {
+    // Strings that look numeric coerce (legacy implicit cast the CDW keeps).
+    if (left.is_string() || right.is_string()) {
+      HQ_ASSIGN_OR_RETURN(Value l2, left.is_string()
+                                        ? types::CastValue(left, TypeDesc::Float64())
+                                        : Result<Value>(left));
+      HQ_ASSIGN_OR_RETURN(Value r2, right.is_string()
+                                        ? types::CastValue(right, TypeDesc::Float64())
+                                        : Result<Value>(right));
+      return EvalArithmetic(op, l2, r2);
+    }
+    return Status::TypeError("arithmetic on non-numeric values");
+  }
+  // Decimal path when both sides are int/decimal and the op is exact.
+  const bool exact = !left.is_float() && !right.is_float();
+  if (exact && (left.is_decimal() || right.is_decimal()) &&
+      (op == BinaryOp::kAdd || op == BinaryOp::kSub || op == BinaryOp::kMul)) {
+    Decimal l = left.is_decimal() ? left.decimal_value() : Decimal::FromInt64(left.int_value(), 0);
+    Decimal r =
+        right.is_decimal() ? right.decimal_value() : Decimal::FromInt64(right.int_value(), 0);
+    Result<Decimal> out = op == BinaryOp::kAdd   ? l.Add(r)
+                          : op == BinaryOp::kSub ? l.Subtract(r)
+                                                 : l.Multiply(r);
+    HQ_RETURN_NOT_OK(out.status());
+    return Value::Dec(out.ValueOrDie());
+  }
+  if (left.is_int() && right.is_int()) {
+    int64_t a = left.int_value();
+    int64_t b = right.int_value();
+    int64_t out;
+    switch (op) {
+      case BinaryOp::kAdd:
+        if (__builtin_add_overflow(a, b, &out)) return Status::ConversionError("integer overflow");
+        return Value::Int(out);
+      case BinaryOp::kSub:
+        if (__builtin_sub_overflow(a, b, &out)) return Status::ConversionError("integer overflow");
+        return Value::Int(out);
+      case BinaryOp::kMul:
+        if (__builtin_mul_overflow(a, b, &out)) return Status::ConversionError("integer overflow");
+        return Value::Int(out);
+      case BinaryOp::kDiv:
+        if (b == 0) return Status::ConversionError("division by zero");
+        return Value::Int(a / b);
+      case BinaryOp::kMod:
+        if (b == 0) return Status::ConversionError("division by zero");
+        return Value::Int(a % b);
+      default:
+        return Status::Internal("not an arithmetic op");
+    }
+  }
+  double a = AsDouble(left);
+  double b = AsDouble(right);
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Float(a + b);
+    case BinaryOp::kSub:
+      return Value::Float(a - b);
+    case BinaryOp::kMul:
+      return Value::Float(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0) return Status::ConversionError("division by zero");
+      return Value::Float(a / b);
+    case BinaryOp::kMod:
+      if (b == 0) return Status::ConversionError("division by zero");
+      return Value::Float(std::fmod(a, b));
+    default:
+      return Status::Internal("not an arithmetic op");
+  }
+}
+
+std::string ToText(const Value& v) {
+  if (v.is_string()) return v.string_value();
+  return types::ValueToCdwText(v);
+}
+
+Result<Value> EvalFunction(const sql::FunctionExpr& fn, const EvalContext& ctx) {
+  if (IsAggregateFunction(fn.name)) {
+    return Status::Invalid("aggregate function " + fn.name +
+                           " is not allowed in this context");
+  }
+  // Legacy-only functions must have been transpiled away.
+  if (EqualsIgnoreCase(fn.name, "ZEROIFNULL") || EqualsIgnoreCase(fn.name, "NULLIFZERO") ||
+      EqualsIgnoreCase(fn.name, "INDEX") || EqualsIgnoreCase(fn.name, "CHARACTERS")) {
+    return Status::NotImplemented("function " + fn.name +
+                                  " is a legacy-EDW construct the CDW does not support "
+                                  "(requires Hyper-Q transpilation)");
+  }
+
+  std::vector<Value> args;
+  args.reserve(fn.args.size());
+  for (const auto& a : fn.args) {
+    HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*a, ctx));
+    args.push_back(std::move(v));
+  }
+  auto need_args = [&](size_t lo, size_t hi) -> Status {
+    if (args.size() < lo || args.size() > hi) {
+      return Status::Invalid(fn.name + ": wrong argument count");
+    }
+    return Status::OK();
+  };
+
+  if (EqualsIgnoreCase(fn.name, "TRIM") || EqualsIgnoreCase(fn.name, "LTRIM") ||
+      EqualsIgnoreCase(fn.name, "RTRIM")) {
+    HQ_RETURN_NOT_OK(need_args(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    std::string s = ToText(args[0]);
+    size_t b = 0;
+    size_t e = s.size();
+    if (!EqualsIgnoreCase(fn.name, "RTRIM")) {
+      while (b < e && s[b] == ' ') ++b;
+    }
+    if (!EqualsIgnoreCase(fn.name, "LTRIM")) {
+      while (e > b && s[e - 1] == ' ') --e;
+    }
+    return Value::String(s.substr(b, e - b));
+  }
+  if (EqualsIgnoreCase(fn.name, "UPPER")) {
+    HQ_RETURN_NOT_OK(need_args(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    return Value::String(common::ToUpper(ToText(args[0])));
+  }
+  if (EqualsIgnoreCase(fn.name, "LOWER")) {
+    HQ_RETURN_NOT_OK(need_args(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    return Value::String(common::ToLower(ToText(args[0])));
+  }
+  if (EqualsIgnoreCase(fn.name, "LENGTH")) {
+    HQ_RETURN_NOT_OK(need_args(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    return Value::Int(static_cast<int64_t>(ToText(args[0]).size()));
+  }
+  if (EqualsIgnoreCase(fn.name, "SUBSTR")) {
+    HQ_RETURN_NOT_OK(need_args(2, 3));
+    if (args[0].is_null() || args[1].is_null()) return Value::Null();
+    std::string s = ToText(args[0]);
+    HQ_ASSIGN_OR_RETURN(Value start_v, types::CastValue(args[1], TypeDesc::Int64()));
+    int64_t start = start_v.int_value();
+    int64_t len = static_cast<int64_t>(s.size());
+    if (args.size() == 3) {
+      if (args[2].is_null()) return Value::Null();
+      HQ_ASSIGN_OR_RETURN(Value len_v, types::CastValue(args[2], TypeDesc::Int64()));
+      len = len_v.int_value();
+    }
+    if (len < 0) return Status::Invalid("SUBSTR: negative length");
+    // 1-based; positions before 1 shrink the window (SQL semantics).
+    int64_t begin = start - 1;
+    if (begin < 0) {
+      len += begin;
+      begin = 0;
+    }
+    if (begin >= static_cast<int64_t>(s.size()) || len <= 0) return Value::String("");
+    len = std::min<int64_t>(len, static_cast<int64_t>(s.size()) - begin);
+    return Value::String(s.substr(static_cast<size_t>(begin), static_cast<size_t>(len)));
+  }
+  if (EqualsIgnoreCase(fn.name, "POSITION")) {
+    HQ_RETURN_NOT_OK(need_args(2, 2));
+    if (args[0].is_null() || args[1].is_null()) return Value::Null();
+    std::string needle = ToText(args[0]);
+    std::string hay = ToText(args[1]);
+    size_t pos = hay.find(needle);
+    return Value::Int(pos == std::string::npos ? 0 : static_cast<int64_t>(pos) + 1);
+  }
+  if (EqualsIgnoreCase(fn.name, "COALESCE")) {
+    if (args.empty()) return Status::Invalid("COALESCE needs arguments");
+    for (const auto& a : args) {
+      if (!a.is_null()) return a;
+    }
+    return Value::Null();
+  }
+  if (EqualsIgnoreCase(fn.name, "NULLIF")) {
+    HQ_RETURN_NOT_OK(need_args(2, 2));
+    if (args[0].is_null()) return Value::Null();
+    if (args[1].is_null()) return args[0];
+    HQ_ASSIGN_OR_RETURN(int cmp, CompareValues(args[0], args[1]));
+    return cmp == 0 ? Value::Null() : args[0];
+  }
+  if (EqualsIgnoreCase(fn.name, "ABS")) {
+    HQ_RETURN_NOT_OK(need_args(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    if (args[0].is_int()) return Value::Int(std::llabs(args[0].int_value()));
+    if (args[0].is_decimal()) {
+      const Decimal& d = args[0].decimal_value();
+      return Value::Dec(Decimal(std::llabs(d.unscaled()), d.scale()));
+    }
+    if (args[0].is_float()) return Value::Float(std::fabs(args[0].float_value()));
+    return Status::TypeError("ABS on non-numeric value");
+  }
+  if (EqualsIgnoreCase(fn.name, "ROUND")) {
+    HQ_RETURN_NOT_OK(need_args(1, 2));
+    if (args[0].is_null()) return Value::Null();
+    int64_t digits = 0;
+    if (args.size() == 2) {
+      if (args[1].is_null()) return Value::Null();
+      HQ_ASSIGN_OR_RETURN(Value d, types::CastValue(args[1], TypeDesc::Int64()));
+      digits = d.int_value();
+    }
+    if (args[0].is_decimal()) {
+      HQ_ASSIGN_OR_RETURN(Decimal r, args[0].decimal_value().Rescale(
+                                          static_cast<int32_t>(std::max<int64_t>(0, digits))));
+      return Value::Dec(r);
+    }
+    double scale = std::pow(10.0, static_cast<double>(digits));
+    HQ_ASSIGN_OR_RETURN(Value x, types::CastValue(args[0], TypeDesc::Float64()));
+    return Value::Float(std::round(x.float_value() * scale) / scale);
+  }
+  if (EqualsIgnoreCase(fn.name, "FLOOR") || EqualsIgnoreCase(fn.name, "CEIL") ||
+      EqualsIgnoreCase(fn.name, "CEILING")) {
+    HQ_RETURN_NOT_OK(need_args(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    HQ_ASSIGN_OR_RETURN(Value x, types::CastValue(args[0], TypeDesc::Float64()));
+    double v = x.float_value();
+    return Value::Float(EqualsIgnoreCase(fn.name, "FLOOR") ? std::floor(v) : std::ceil(v));
+  }
+  if (EqualsIgnoreCase(fn.name, "POWER")) {
+    HQ_RETURN_NOT_OK(need_args(2, 2));
+    if (args[0].is_null() || args[1].is_null()) return Value::Null();
+    HQ_ASSIGN_OR_RETURN(Value a, types::CastValue(args[0], TypeDesc::Float64()));
+    HQ_ASSIGN_OR_RETURN(Value b, types::CastValue(args[1], TypeDesc::Float64()));
+    return Value::Float(std::pow(a.float_value(), b.float_value()));
+  }
+  if (EqualsIgnoreCase(fn.name, "MOD")) {
+    HQ_RETURN_NOT_OK(need_args(2, 2));
+    return EvalArithmetic(BinaryOp::kMod, args[0], args[1]);
+  }
+  if (EqualsIgnoreCase(fn.name, "TO_DATE")) {
+    HQ_RETURN_NOT_OK(need_args(2, 2));
+    if (args[0].is_null()) return Value::Null();
+    if (!args[1].is_string()) return Status::TypeError("TO_DATE format must be a string");
+    HQ_ASSIGN_OR_RETURN(types::DateDays days,
+                        types::ParseDate(ToText(args[0]), args[1].string_value()));
+    return Value::Date(days);
+  }
+  if (EqualsIgnoreCase(fn.name, "TO_TIMESTAMP")) {
+    HQ_RETURN_NOT_OK(need_args(1, 2));
+    if (args[0].is_null()) return Value::Null();
+    HQ_ASSIGN_OR_RETURN(types::TimestampMicros ts, types::ParseTimestampIso(ToText(args[0])));
+    return Value::Timestamp(ts);
+  }
+  if (EqualsIgnoreCase(fn.name, "EXTRACT")) {
+    HQ_RETURN_NOT_OK(need_args(2, 2));
+    if (!args[0].is_string()) return Status::TypeError("EXTRACT unit must be a string");
+    if (args[1].is_null()) return Value::Null();
+    HQ_ASSIGN_OR_RETURN(Value d, types::CastValue(args[1], TypeDesc::Date()));
+    types::YearMonthDay ymd = types::YmdFromDays(d.date_days());
+    const std::string& unit = args[0].string_value();
+    if (EqualsIgnoreCase(unit, "YEAR")) return Value::Int(ymd.year);
+    if (EqualsIgnoreCase(unit, "MONTH")) return Value::Int(ymd.month);
+    if (EqualsIgnoreCase(unit, "DAY")) return Value::Int(ymd.day);
+    return Status::Invalid("unsupported EXTRACT unit: " + unit);
+  }
+  if (EqualsIgnoreCase(fn.name, "ADD_MONTHS")) {
+    HQ_RETURN_NOT_OK(need_args(2, 2));
+    if (args[0].is_null() || args[1].is_null()) return Value::Null();
+    HQ_ASSIGN_OR_RETURN(Value d, types::CastValue(args[0], TypeDesc::Date()));
+    HQ_ASSIGN_OR_RETURN(Value n, types::CastValue(args[1], TypeDesc::Int64()));
+    types::YearMonthDay ymd = types::YmdFromDays(d.date_days());
+    int64_t months = (ymd.year * 12 + ymd.month - 1) + n.int_value();
+    int32_t year = static_cast<int32_t>(months / 12);
+    int32_t month = static_cast<int32_t>(months % 12) + 1;
+    // Clamp to the target month's last day (Oracle/Teradata semantics).
+    int32_t day = ymd.day;
+    while (day > 28 && !types::IsValidDate(year, month, day)) --day;
+    HQ_ASSIGN_OR_RETURN(types::DateDays out, types::DaysFromYmd(year, month, day));
+    return Value::Date(out);
+  }
+  if (EqualsIgnoreCase(fn.name, "LAST_DAY")) {
+    HQ_RETURN_NOT_OK(need_args(1, 1));
+    if (args[0].is_null()) return Value::Null();
+    HQ_ASSIGN_OR_RETURN(Value d, types::CastValue(args[0], TypeDesc::Date()));
+    types::YearMonthDay ymd = types::YmdFromDays(d.date_days());
+    int32_t day = 31;
+    while (!types::IsValidDate(ymd.year, ymd.month, day)) --day;
+    HQ_ASSIGN_OR_RETURN(types::DateDays out, types::DaysFromYmd(ymd.year, ymd.month, day));
+    return Value::Date(out);
+  }
+  if (EqualsIgnoreCase(fn.name, "TO_CHAR")) {
+    HQ_RETURN_NOT_OK(need_args(1, 2));
+    if (args[0].is_null()) return Value::Null();
+    if (args.size() == 1) return Value::String(ToText(args[0]));
+    if (!args[1].is_string()) return Status::TypeError("TO_CHAR format must be a string");
+    if (args[0].is_date()) {
+      HQ_ASSIGN_OR_RETURN(std::string out,
+                          types::FormatDate(args[0].date_days(), args[1].string_value()));
+      return Value::String(out);
+    }
+    return Value::String(ToText(args[0]));
+  }
+  return Status::NotImplemented("unknown function: " + fn.name);
+}
+
+}  // namespace
+
+Result<Value> EvaluateExpr(const Expr& expr, const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const sql::LiteralExpr&>(expr).value;
+    case ExprKind::kColumnRef: {
+      const auto& col = static_cast<const sql::ColumnRefExpr&>(expr);
+      return ctx.ResolveColumn(col.table, col.column);
+    }
+    case ExprKind::kPlaceholder:
+      return Status::Invalid(
+          ":placeholders cannot execute in the CDW; Hyper-Q must bind them to staging columns");
+    case ExprKind::kStar:
+      return Status::Invalid("'*' is not a scalar expression");
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const sql::UnaryExpr&>(expr);
+      HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*u.operand, ctx));
+      if (v.is_null()) return Value::Null();
+      if (u.op == sql::UnaryOp::kNot) {
+        if (!v.is_boolean()) return Status::TypeError("NOT on non-boolean");
+        return Value::Boolean(!v.boolean());
+      }
+      // Negation.
+      if (v.is_int()) return Value::Int(-v.int_value());
+      if (v.is_float()) return Value::Float(-v.float_value());
+      if (v.is_decimal()) {
+        return Value::Dec(Decimal(-v.decimal_value().unscaled(), v.decimal_value().scale()));
+      }
+      return Status::TypeError("negation of non-numeric value");
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      if (b.op == BinaryOp::kPow) {
+        return Status::NotImplemented(
+            "'**' is a legacy-EDW operator the CDW does not support (requires Hyper-Q "
+            "transpilation)");
+      }
+      if (b.op == BinaryOp::kAnd || b.op == BinaryOp::kOr) {
+        HQ_ASSIGN_OR_RETURN(Value l, EvaluateExpr(*b.left, ctx));
+        HQ_ASSIGN_OR_RETURN(Value r, EvaluateExpr(*b.right, ctx));
+        // Three-valued logic.
+        auto truth = [](const Value& v) -> Result<int> {
+          if (v.is_null()) return -1;
+          if (!v.is_boolean()) return Status::TypeError("boolean operand expected");
+          return v.boolean() ? 1 : 0;
+        };
+        HQ_ASSIGN_OR_RETURN(int lt, truth(l));
+        HQ_ASSIGN_OR_RETURN(int rt, truth(r));
+        if (b.op == BinaryOp::kAnd) {
+          if (lt == 0 || rt == 0) return Value::Boolean(false);
+          if (lt == -1 || rt == -1) return Value::Null();
+          return Value::Boolean(true);
+        }
+        if (lt == 1 || rt == 1) return Value::Boolean(true);
+        if (lt == -1 || rt == -1) return Value::Null();
+        return Value::Boolean(false);
+      }
+      HQ_ASSIGN_OR_RETURN(Value left, EvaluateExpr(*b.left, ctx));
+      HQ_ASSIGN_OR_RETURN(Value right, EvaluateExpr(*b.right, ctx));
+      switch (b.op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return EvalArithmetic(b.op, left, right);
+        case BinaryOp::kConcat: {
+          if (left.is_null() || right.is_null()) return Value::Null();
+          return Value::String(ToText(left) + ToText(right));
+        }
+        default:
+          return EvalComparison(b.op, left, right);
+      }
+    }
+    case ExprKind::kFunction:
+      return EvalFunction(static_cast<const sql::FunctionExpr&>(expr), ctx);
+    case ExprKind::kCast: {
+      const auto& cast = static_cast<const sql::CastExpr&>(expr);
+      if (!cast.format.empty()) {
+        return Status::NotImplemented(
+            "CAST ... FORMAT is a legacy-EDW construct the CDW does not support (requires "
+            "Hyper-Q transpilation)");
+      }
+      HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*cast.operand, ctx));
+      return types::CastValue(v, cast.target);
+    }
+    case ExprKind::kCase: {
+      const auto& c = static_cast<const sql::CaseExpr&>(expr);
+      Value operand;
+      bool has_operand = static_cast<bool>(c.operand);
+      if (has_operand) {
+        HQ_ASSIGN_OR_RETURN(operand, EvaluateExpr(*c.operand, ctx));
+      }
+      for (const auto& [when, then] : c.whens) {
+        HQ_ASSIGN_OR_RETURN(Value w, EvaluateExpr(*when, ctx));
+        bool matched = false;
+        if (has_operand) {
+          if (!operand.is_null() && !w.is_null()) {
+            HQ_ASSIGN_OR_RETURN(int cmp, CompareValues(operand, w));
+            matched = cmp == 0;
+          }
+        } else {
+          matched = w.is_boolean() && w.boolean();
+        }
+        if (matched) return EvaluateExpr(*then, ctx);
+      }
+      if (c.else_expr) return EvaluateExpr(*c.else_expr, ctx);
+      return Value::Null();
+    }
+    case ExprKind::kIsNull: {
+      const auto& isn = static_cast<const sql::IsNullExpr&>(expr);
+      HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*isn.operand, ctx));
+      return Value::Boolean(isn.negated ? !v.is_null() : v.is_null());
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*in.operand, ctx));
+      if (v.is_null()) return Value::Null();
+      bool any_null = false;
+      for (const auto& e : in.list) {
+        HQ_ASSIGN_OR_RETURN(Value item, EvaluateExpr(*e, ctx));
+        if (item.is_null()) {
+          any_null = true;
+          continue;
+        }
+        HQ_ASSIGN_OR_RETURN(int cmp, CompareValues(v, item));
+        if (cmp == 0) return Value::Boolean(!in.negated);
+      }
+      if (any_null) return Value::Null();
+      return Value::Boolean(in.negated);
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const sql::BetweenExpr&>(expr);
+      HQ_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*bt.operand, ctx));
+      HQ_ASSIGN_OR_RETURN(Value lo, EvaluateExpr(*bt.low, ctx));
+      HQ_ASSIGN_OR_RETURN(Value hi, EvaluateExpr(*bt.high, ctx));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      HQ_ASSIGN_OR_RETURN(int cl, CompareValues(v, lo));
+      HQ_ASSIGN_OR_RETURN(int ch, CompareValues(v, hi));
+      bool inside = cl >= 0 && ch <= 0;
+      return Value::Boolean(bt.negated ? !inside : inside);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace hyperq::cdw

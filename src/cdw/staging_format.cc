@@ -1,0 +1,108 @@
+#include "cdw/staging_format.h"
+
+namespace hyperq::cdw {
+
+using common::ByteBuffer;
+using common::Result;
+using common::Slice;
+using common::Status;
+
+void EncodeCsvRecord(const CsvRecord& record, const CsvOptions& options, ByteBuffer* out) {
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (i != 0) out->AppendByte(static_cast<uint8_t>(options.delimiter));
+    const CsvField& field = record[i];
+    if (!field.has_value()) continue;  // NULL: empty unquoted
+    const std::string& text = *field;
+    bool needs_quotes = text.empty();  // empty string must differ from NULL
+    for (char c : text) {
+      if (c == options.delimiter || c == '"' || c == '\n' || c == '\r') {
+        needs_quotes = true;
+        break;
+      }
+    }
+    if (!needs_quotes) {
+      out->AppendString(text);
+    } else {
+      out->AppendByte('"');
+      for (char c : text) {
+        if (c == '"') out->AppendByte('"');
+        out->AppendByte(static_cast<uint8_t>(c));
+      }
+      out->AppendByte('"');
+    }
+  }
+  out->AppendByte('\n');
+}
+
+Result<std::vector<CsvRecord>> ParseCsv(Slice data, const CsvOptions& options) {
+  std::vector<CsvRecord> records;
+  CsvRecord current;
+  std::string field;
+  bool field_quoted = false;
+  bool in_quotes = false;
+  size_t i = 0;
+  const size_t n = data.size();
+
+  auto end_field = [&] {
+    if (!field_quoted && field.empty()) {
+      current.push_back(std::nullopt);  // NULL
+    } else {
+      current.push_back(std::move(field));
+    }
+    field.clear();
+    field_quoted = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+
+  while (i < n) {
+    char c = static_cast<char>(data[i]);
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && data[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_quoted) {
+      in_quotes = true;
+      field_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == options.delimiter) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      end_record();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {  // tolerate CRLF
+      ++i;
+      continue;
+    }
+    field += c;
+    ++i;
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (!field.empty() || field_quoted || !current.empty()) {
+    end_record();  // final record without trailing newline
+  }
+  return records;
+}
+
+}  // namespace hyperq::cdw

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+/// \file staging_format.h
+/// The CDW staging-file format: CSV with proper quoting. This is the format
+/// the DataConverter emits and the COPY operation consumes — the target of
+/// the on-the-fly conversion the paper describes in Section 4 ("detecting
+/// null values, handling empty strings, and escaping special characters"):
+///   - NULL        -> completely empty field
+///   - empty string-> "" (quoted empty field; distinct from NULL!)
+///   - fields containing delimiter/quote/newline are quoted, '"' doubled.
+
+namespace hyperq::cdw {
+
+struct CsvOptions {
+  char delimiter = ',';
+};
+
+/// One staged cell: nullopt = SQL NULL.
+using CsvField = std::optional<std::string>;
+using CsvRecord = std::vector<CsvField>;
+
+/// Appends one encoded CSV line (with trailing '\n').
+void EncodeCsvRecord(const CsvRecord& record, const CsvOptions& options,
+                     common::ByteBuffer* out);
+
+/// Parses an entire CSV buffer into records. Handles quoted fields spanning
+/// the delimiter and embedded newlines.
+common::Result<std::vector<CsvRecord>> ParseCsv(common::Slice data, const CsvOptions& options);
+
+}  // namespace hyperq::cdw

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/schema.h"
+
+/// \file table.h
+/// Column-organized table of the simulated cloud data warehouse. Values are
+/// stored per column; rows are assembled on demand. Mutations are staged by
+/// the executor and committed atomically (set-oriented statement semantics:
+/// a failing tuple aborts the whole statement with no partial effects, which
+/// is exactly the behaviour that forces Hyper-Q's adaptive error handling).
+///
+/// The table records a declared unique primary key but does NOT enforce it:
+/// like the cloud warehouses the paper targets, constraints are metadata
+/// only, and Hyper-Q emulates enforcement (paper Section 7).
+
+namespace hyperq::cdw {
+
+class Table {
+ public:
+  Table(std::string name, types::Schema schema, std::vector<std::string> primary_key = {},
+        bool unique_primary = false);
+
+  const std::string& name() const { return name_; }
+  const types::Schema& schema() const { return schema_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  bool unique_primary() const { return unique_primary_; }
+  /// Column indexes of the primary key.
+  const std::vector<size_t>& primary_key_indexes() const { return pk_indexes_; }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.num_fields(); }
+
+  /// Cell accessor (no bounds checking beyond asserts).
+  const types::Value& At(size_t row, size_t col) const { return columns_[col][row]; }
+
+  /// Materializes one row.
+  types::Row GetRow(size_t row) const;
+
+  /// Appends a pre-validated row (values must already match column types).
+  common::Status AppendRow(types::Row row);
+
+  /// Appends many rows.
+  common::Status AppendRows(std::vector<types::Row> rows);
+
+  /// Overwrites one row in place (used by committed updates).
+  common::Status ReplaceRow(size_t row, types::Row values);
+
+  /// Removes the rows whose indexes are listed (sorted ascending).
+  common::Status RemoveRows(const std::vector<size_t>& sorted_rows);
+
+  /// Removes all rows.
+  void Truncate();
+
+  /// Approximate bytes held by the table (memory accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  types::Schema schema_;
+  std::vector<std::string> primary_key_;
+  bool unique_primary_;
+  std::vector<size_t> pk_indexes_;
+  std::vector<std::vector<types::Value>> columns_;
+  size_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace hyperq::cdw

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloudstore/object_store.h"
+#include "common/result.h"
+
+/// \file bulk_loader.h
+/// The CDW bulk-load utility (stands in for `aws s3 cp` / AzCopy, paper
+/// Section 6). Uploads local staging files produced by the FileWriter into
+/// the object store, optionally compressing and batching whole directories.
+
+namespace hyperq::cloud {
+
+struct BulkLoaderOptions {
+  /// Compress files before upload (worth it when the link is slow).
+  bool compress = false;
+  /// Upload a whole directory as one batch request instead of per-file
+  /// requests (amortizes per-request latency).
+  bool batch_directory = true;
+};
+
+struct UploadReport {
+  size_t files_uploaded = 0;
+  uint64_t bytes_local = 0;     ///< pre-compression bytes read from disk
+  uint64_t bytes_uploaded = 0;  ///< bytes that went over the simulated link
+  double elapsed_seconds = 0;
+};
+
+class BulkLoader {
+ public:
+  BulkLoader(ObjectStore* store, BulkLoaderOptions options = {})
+      : store_(store), options_(options) {}
+
+  /// Uploads one local file as `remote_key`.
+  common::Result<UploadReport> UploadFile(const std::string& local_path,
+                                          const std::string& remote_key);
+
+  /// Uploads every regular file in `local_dir` under `remote_prefix`
+  /// (non-recursive), in deterministic name order.
+  common::Result<UploadReport> UploadDirectory(const std::string& local_dir,
+                                               const std::string& remote_prefix);
+
+ private:
+  common::Status UploadOne(const std::string& local_path, const std::string& remote_key,
+                           UploadReport* report);
+
+  ObjectStore* store_;
+  BulkLoaderOptions options_;
+};
+
+/// Reads a whole local file.
+common::Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+/// Writes bytes to a local file (creating parent dirs is the caller's job).
+common::Status WriteFileBytes(const std::string& path, common::Slice data);
+
+}  // namespace hyperq::cloud

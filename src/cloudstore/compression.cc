@@ -1,0 +1,134 @@
+#include "cloudstore/compression.h"
+
+#include <cstring>
+#include <vector>
+
+namespace hyperq::cloud {
+
+using common::ByteBuffer;
+using common::ByteReader;
+using common::Result;
+using common::Slice;
+using common::Status;
+
+namespace {
+constexpr uint32_t kMagic = 0x315A5148U;  // "HQZ1"
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 4 + 255;
+constexpr size_t kWindow = 1 << 16;
+constexpr size_t kHashBits = 15;
+
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutVarint(uint64_t v, ByteBuffer* out) {
+  while (v >= 0x80) {
+    out->AppendByte(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->AppendByte(static_cast<uint8_t>(v));
+}
+
+Result<uint64_t> GetVarint(ByteReader* reader) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    HQ_ASSIGN_OR_RETURN(uint8_t b, reader->ReadByte());
+    if (shift >= 64) return Status::ProtocolError("varint overflow in HQZ stream");
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+void FlushLiterals(const uint8_t* data, size_t start, size_t end, ByteBuffer* out) {
+  while (start < end) {
+    size_t run = std::min<size_t>(end - start, 128);
+    out->AppendByte(static_cast<uint8_t>(run - 1));  // 0x00..0x7F
+    out->AppendBytes(data + start, run);
+    start += run;
+  }
+}
+
+}  // namespace
+
+void Compress(Slice input, ByteBuffer* out) {
+  out->AppendU32(kMagic);
+  out->AppendU32(static_cast<uint32_t>(input.size()));
+
+  const uint8_t* data = input.data();
+  const size_t n = input.size();
+  std::vector<int64_t> head(1 << kHashBits, -1);
+
+  size_t i = 0;
+  size_t literal_start = 0;
+  while (i + kMinMatch <= n) {
+    uint32_t h = Hash4(data + i);
+    int64_t cand = head[h];
+    head[h] = static_cast<int64_t>(i);
+    if (cand >= 0 && i - static_cast<size_t>(cand) <= kWindow &&
+        std::memcmp(data + cand, data + i, kMinMatch) == 0) {
+      // Extend the match.
+      size_t len = kMinMatch;
+      size_t max_len = std::min(kMaxMatch, n - i);
+      while (len < max_len && data[cand + len] == data[i + len]) ++len;
+      FlushLiterals(data, literal_start, i, out);
+      out->AppendByte(0x80);
+      out->AppendByte(static_cast<uint8_t>(len - kMinMatch));
+      PutVarint(i - static_cast<size_t>(cand), out);
+      // Insert hashes inside the match (sparse, every 4th) to keep speed.
+      size_t end = i + len;
+      for (size_t j = i + 1; j + kMinMatch <= end && j + kMinMatch <= n; j += 4) {
+        head[Hash4(data + j)] = static_cast<int64_t>(j);
+      }
+      i = end;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  FlushLiterals(data, literal_start, n, out);
+}
+
+Result<ByteBuffer> Decompress(Slice input) {
+  ByteReader reader(input);
+  HQ_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMagic) return Status::ProtocolError("bad HQZ magic");
+  HQ_ASSIGN_OR_RETURN(uint32_t raw_size, reader.ReadU32());
+  ByteBuffer out;
+  out.reserve(raw_size);
+  while (!reader.AtEnd()) {
+    HQ_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadByte());
+    if ((tag & 0x80) == 0) {
+      size_t run = static_cast<size_t>(tag) + 1;
+      HQ_ASSIGN_OR_RETURN(Slice lit, reader.ReadSlice(run));
+      out.AppendSlice(lit);
+    } else {
+      HQ_ASSIGN_OR_RETURN(uint8_t len_byte, reader.ReadByte());
+      size_t len = static_cast<size_t>(len_byte) + kMinMatch;
+      HQ_ASSIGN_OR_RETURN(uint64_t distance, GetVarint(&reader));
+      if (distance == 0 || distance > out.size()) {
+        return Status::ProtocolError("invalid HQZ match distance");
+      }
+      size_t src = out.size() - static_cast<size_t>(distance);
+      for (size_t j = 0; j < len; ++j) out.AppendByte(out.data()[src + j]);
+    }
+  }
+  if (out.size() != raw_size) {
+    return Status::ProtocolError("HQZ raw size mismatch: expected " + std::to_string(raw_size) +
+                                 ", got " + std::to_string(out.size()));
+  }
+  return out;
+}
+
+bool IsCompressed(Slice input) {
+  if (input.size() < 4) return false;
+  uint32_t magic;
+  std::memcpy(&magic, input.data(), 4);
+  return magic == kMagic;
+}
+
+}  // namespace hyperq::cloud

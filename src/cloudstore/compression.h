@@ -1,0 +1,30 @@
+#pragma once
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+/// \file compression.h
+/// Self-contained LZ77-style codec ("HQZ1") used by the FileWriter when
+/// finalizing staging files (paper Section 5: the FileWriter "performs any
+/// operations needed to finalize the serialized files, such as applying
+/// compression") and by the bulk loader when the link to the cloud store is
+/// slow (Section 6).
+///
+/// Format: magic 'HQZ1' | raw-size u32 | token stream. Token: literal run
+/// (tag byte 0x00..0x7F = run length - 1, then bytes) or match (tag 0x80 |
+/// (len-4 capped 0x7F... see code), varint distance). Greedy hash-chain
+/// matcher; ~2-4x on delimited text.
+
+namespace hyperq::cloud {
+
+/// Compresses `input`, appending to `out`. Always succeeds (worst case ~
+/// input size + input/128 + 8 bytes overhead).
+void Compress(common::Slice input, common::ByteBuffer* out);
+
+/// Decompresses a buffer produced by Compress.
+common::Result<common::ByteBuffer> Decompress(common::Slice input);
+
+/// True if the buffer starts with the HQZ1 magic.
+bool IsCompressed(common::Slice input);
+
+}  // namespace hyperq::cloud

@@ -1,0 +1,108 @@
+#include "cloudstore/object_store.h"
+
+#include <chrono>
+#include <thread>
+
+namespace hyperq::cloud {
+
+using common::Result;
+using common::Slice;
+using common::Status;
+
+void ObjectStore::PayCost(size_t bytes) const {
+  int64_t delay_us = options_.per_request_latency_micros;
+  if (options_.upload_bandwidth_bps != 0) {
+    delay_us += static_cast<int64_t>(
+        (static_cast<double>(bytes) / static_cast<double>(options_.upload_bandwidth_bps)) * 1e6);
+  }
+  if (delay_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+}
+
+Status ObjectStore::Put(const std::string& key, Slice data) {
+  if (key.empty()) return Status::Invalid("object key must not be empty");
+  PayCost(data.size());
+  auto blob = std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + data.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[key] = std::move(blob);
+  ++stats_.put_requests;
+  stats_.bytes_uploaded += data.size();
+  return Status::OK();
+}
+
+Status ObjectStore::PutBatch(const std::vector<std::pair<std::string, Slice>>& objects) {
+  size_t total_bytes = 0;
+  for (const auto& [key, data] : objects) {
+    if (key.empty()) return Status::Invalid("object key must not be empty");
+    total_bytes += data.size();
+  }
+  PayCost(total_bytes);  // one request: latency charged once
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, data] : objects) {
+    objects_[key] =
+        std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + data.size());
+    stats_.bytes_uploaded += data.size();
+  }
+  ++stats_.put_requests;
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const std::vector<uint8_t>>> ObjectStore::Get(
+    const std::string& key) const {
+  std::shared_ptr<const std::vector<uint8_t>> blob;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) return Status::NotFound("object not found: " + key);
+    blob = it->second;
+    ++stats_.get_requests;
+    stats_.bytes_downloaded += blob->size();
+  }
+  PayCost(blob->size());
+  return blob;
+}
+
+std::vector<std::string> ObjectStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+Status ObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (objects_.erase(key) == 0) return Status::NotFound("object not found: " + key);
+  return Status::OK();
+}
+
+size_t ObjectStore::DeletePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  auto it = objects_.lower_bound(prefix);
+  while (it != objects_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = objects_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+bool ObjectStore::Exists(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(key) != 0;
+}
+
+Result<size_t> ObjectStore::ObjectSize(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("object not found: " + key);
+  return it->second->size();
+}
+
+ObjectStoreStats ObjectStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hyperq::cloud

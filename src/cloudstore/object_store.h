@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+/// \file object_store.h
+/// Simulated cloud object store (stands in for Azure Blob / S3). Uploads pay
+/// a configurable per-request latency plus bandwidth cost, so the file-size
+/// and directory-upload tuning the paper discusses in Section 6 has a real
+/// effect in benchmarks.
+
+namespace hyperq::cloud {
+
+struct ObjectStoreOptions {
+  /// Upload bandwidth in bytes/second; 0 = unlimited.
+  uint64_t upload_bandwidth_bps = 0;
+  /// Fixed cost per PUT/GET request, microseconds (models HTTP round trip).
+  int64_t per_request_latency_micros = 0;
+};
+
+struct ObjectStoreStats {
+  uint64_t put_requests = 0;
+  uint64_t get_requests = 0;
+  uint64_t bytes_uploaded = 0;
+  uint64_t bytes_downloaded = 0;
+};
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(ObjectStoreOptions options = {}) : options_(options) {}
+
+  /// Uploads one object (overwrites). Pays latency + bandwidth.
+  common::Status Put(const std::string& key, common::Slice data);
+
+  /// Uploads several objects in one request: the per-request latency is paid
+  /// once for the whole batch (this is what makes directory upload cheaper
+  /// than per-file upload, Section 6 of the paper).
+  common::Status PutBatch(const std::vector<std::pair<std::string, common::Slice>>& objects);
+
+  /// Downloads one object.
+  common::Result<std::shared_ptr<const std::vector<uint8_t>>> Get(const std::string& key) const;
+
+  /// Keys with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  common::Status Delete(const std::string& key);
+  /// Deletes every object under a prefix; returns the count removed.
+  size_t DeletePrefix(const std::string& prefix);
+
+  bool Exists(const std::string& key) const;
+  common::Result<size_t> ObjectSize(const std::string& key) const;
+
+  ObjectStoreStats stats() const;
+
+ private:
+  void PayCost(size_t bytes) const;
+
+  ObjectStoreOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const std::vector<uint8_t>>> objects_;
+  mutable ObjectStoreStats stats_;
+};
+
+}  // namespace hyperq::cloud

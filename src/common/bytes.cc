@@ -1,0 +1,75 @@
+#include "common/bytes.h"
+
+namespace hyperq::common {
+
+template <typename U>
+Result<U> ByteReader::ReadLE() {
+  if (remaining() < sizeof(U)) {
+    return Status::ProtocolError("byte reader underflow: need " + std::to_string(sizeof(U)) +
+                                 " bytes, have " + std::to_string(remaining()));
+  }
+  U v = 0;
+  for (size_t i = 0; i < sizeof(U); ++i) {
+    v |= static_cast<U>(static_cast<U>(slice_[pos_ + i]) << (8 * i));
+  }
+  pos_ += sizeof(U);
+  return v;
+}
+
+Result<uint8_t> ByteReader::ReadByte() { return ReadLE<uint8_t>(); }
+Result<uint16_t> ByteReader::ReadU16() { return ReadLE<uint16_t>(); }
+Result<uint32_t> ByteReader::ReadU32() { return ReadLE<uint32_t>(); }
+Result<uint64_t> ByteReader::ReadU64() { return ReadLE<uint64_t>(); }
+
+Result<int8_t> ByteReader::ReadI8() {
+  HQ_ASSIGN_OR_RETURN(uint8_t v, ReadLE<uint8_t>());
+  return static_cast<int8_t>(v);
+}
+Result<int16_t> ByteReader::ReadI16() {
+  HQ_ASSIGN_OR_RETURN(uint16_t v, ReadLE<uint16_t>());
+  return static_cast<int16_t>(v);
+}
+Result<int32_t> ByteReader::ReadI32() {
+  HQ_ASSIGN_OR_RETURN(uint32_t v, ReadLE<uint32_t>());
+  return static_cast<int32_t>(v);
+}
+Result<int64_t> ByteReader::ReadI64() {
+  HQ_ASSIGN_OR_RETURN(uint64_t v, ReadLE<uint64_t>());
+  return static_cast<int64_t>(v);
+}
+Result<double> ByteReader::ReadF64() {
+  HQ_ASSIGN_OR_RETURN(uint64_t bits, ReadLE<uint64_t>());
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Result<Slice> ByteReader::ReadSlice(size_t len) {
+  if (remaining() < len) {
+    return Status::ProtocolError("byte reader underflow reading slice of " + std::to_string(len) +
+                                 " bytes, have " + std::to_string(remaining()));
+  }
+  Slice out = slice_.SubSlice(pos_, len);
+  pos_ += len;
+  return out;
+}
+
+Result<Slice> ByteReader::ReadLengthPrefixed16() {
+  HQ_ASSIGN_OR_RETURN(uint16_t len, ReadU16());
+  return ReadSlice(len);
+}
+
+Result<Slice> ByteReader::ReadLengthPrefixed32() {
+  HQ_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  return ReadSlice(len);
+}
+
+Status ByteReader::Skip(size_t len) {
+  if (remaining() < len) {
+    return Status::ProtocolError("byte reader underflow skipping " + std::to_string(len));
+  }
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace hyperq::common

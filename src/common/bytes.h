@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// \file bytes.h
+/// Owned byte buffers plus little-endian read/write cursors. These are the
+/// building blocks for all wire formats (LDWP parcels, legacy row encodings,
+/// TDF packets, CDW staging files).
+
+namespace hyperq::common {
+
+/// Non-owning view over raw bytes (like arrow::util::string_view over bytes).
+class Slice {
+ public:
+  Slice() = default;
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::vector<uint8_t>& v) : data_(v.data()), size_(v.size()) {}  // NOLINT
+  explicit Slice(std::string_view s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Sub-slice [offset, offset+len); caller must ensure bounds.
+  Slice SubSlice(size_t offset, size_t len) const { return Slice(data_ + offset, len); }
+
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::string ToString() const { return std::string(ToStringView()); }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Growable owned byte buffer with append-style little-endian writers.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* data() { return bytes_.data(); }
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  void clear() { bytes_.clear(); }
+  void reserve(size_t n) { bytes_.reserve(n); }
+  void resize(size_t n) { bytes_.resize(n); }
+
+  Slice AsSlice() const { return Slice(bytes_.data(), bytes_.size()); }
+  std::vector<uint8_t>& vector() { return bytes_; }
+  const std::vector<uint8_t>& vector() const { return bytes_; }
+
+  void AppendByte(uint8_t b) { bytes_.push_back(b); }
+  void AppendBytes(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + len);
+  }
+  void AppendSlice(Slice s) { AppendBytes(s.data(), s.size()); }
+  void AppendString(std::string_view s) { AppendBytes(s.data(), s.size()); }
+
+  void AppendU16(uint16_t v) { AppendLE(v); }
+  void AppendU32(uint32_t v) { AppendLE(v); }
+  void AppendU64(uint64_t v) { AppendLE(v); }
+  void AppendI8(int8_t v) { AppendByte(static_cast<uint8_t>(v)); }
+  void AppendI16(int16_t v) { AppendLE(static_cast<uint16_t>(v)); }
+  void AppendI32(int32_t v) { AppendLE(static_cast<uint32_t>(v)); }
+  void AppendI64(int64_t v) { AppendLE(static_cast<uint64_t>(v)); }
+  void AppendF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    AppendLE(bits);
+  }
+
+  /// Writes a 16-bit length prefix followed by the bytes. Fails (via caller
+  /// contract) if s exceeds 64 KiB; asserts in debug.
+  void AppendLengthPrefixed16(std::string_view s) {
+    AppendU16(static_cast<uint16_t>(s.size()));
+    AppendString(s);
+  }
+  /// 32-bit length-prefixed byte string for payloads that may exceed 64 KiB.
+  void AppendLengthPrefixed32(Slice s) {
+    AppendU32(static_cast<uint32_t>(s.size()));
+    AppendSlice(s);
+  }
+
+  /// Patches a previously-written little-endian u32 at `offset`.
+  void PatchU32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+
+ private:
+  template <typename U>
+  void AppendLE(U v) {
+    for (size_t i = 0; i < sizeof(U); ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// Sequential little-endian reader over a Slice with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(Slice slice) : slice_(slice) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return slice_.size() - pos_; }
+  bool AtEnd() const { return pos_ == slice_.size(); }
+
+  Result<uint8_t> ReadByte();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int8_t> ReadI8();
+  Result<int16_t> ReadI16();
+  Result<int32_t> ReadI32();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+
+  /// Reads exactly `len` raw bytes as a view into the underlying slice.
+  Result<Slice> ReadSlice(size_t len);
+  /// Reads a 16-bit length prefix then that many bytes.
+  Result<Slice> ReadLengthPrefixed16();
+  /// Reads a 32-bit length prefix then that many bytes.
+  Result<Slice> ReadLengthPrefixed32();
+
+  /// Skips `len` bytes.
+  Status Skip(size_t len);
+
+ private:
+  template <typename U>
+  Result<U> ReadLE();
+
+  Slice slice_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hyperq::common

@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace hyperq::common {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), msg.c_str());
+}
+
+}  // namespace hyperq::common

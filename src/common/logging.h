@@ -1,0 +1,44 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logger. Quiet by default (warnings and errors only) so
+/// tests and benchmarks stay readable; raise the level for debugging.
+
+namespace hyperq::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line to stderr if `level` passes the global filter.
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace hyperq::common
+
+#define HQ_LOG_DEBUG() ::hyperq::common::internal::LogStream(::hyperq::common::LogLevel::kDebug)
+#define HQ_LOG_INFO() ::hyperq::common::internal::LogStream(::hyperq::common::LogLevel::kInfo)
+#define HQ_LOG_WARN() ::hyperq::common::internal::LogStream(::hyperq::common::LogLevel::kWarn)
+#define HQ_LOG_ERROR() ::hyperq::common::internal::LogStream(::hyperq::common::LogLevel::kError)

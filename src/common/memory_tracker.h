@@ -1,0 +1,86 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+/// \file memory_tracker.h
+/// Global accounting of in-flight pipeline memory (buffered data chunks).
+///
+/// The paper reports that with the CreditManager pool pushed to one million
+/// credits, Hyper-Q "ran out of memory and crashed" (Section 9, Figure 10
+/// discussion). We reproduce that failure mode deterministically: stages
+/// reserve bytes against a configurable budget and an exceeded budget
+/// surfaces as Status::ResourceExhausted instead of an actual crash.
+
+namespace hyperq::common {
+
+class MemoryTracker {
+ public:
+  /// `budget_bytes` == 0 disables enforcement (accounting still runs).
+  explicit MemoryTracker(uint64_t budget_bytes = 0) : budget_(budget_bytes) {}
+
+  /// Reserves `bytes`; fails when the budget would be exceeded.
+  Status Reserve(uint64_t bytes) {
+    uint64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+    if (budget_ != 0 && now > budget_) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "memory budget exceeded: in-flight " + std::to_string(now) + " bytes > budget " +
+          std::to_string(budget_) + " bytes (simulated out-of-memory)");
+    }
+    return Status::OK();
+  }
+
+  /// Releases previously reserved bytes.
+  void Release(uint64_t bytes) { used_.fetch_sub(bytes, std::memory_order_relaxed); }
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t budget() const { return budget_; }
+
+ private:
+  const uint64_t budget_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// RAII reservation against a MemoryTracker.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(MemoryTracker* tracker, uint64_t bytes) : tracker_(tracker), bytes_(bytes) {}
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      ReleaseNow();
+      tracker_ = other.tracker_;
+      bytes_ = other.bytes_;
+      other.tracker_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~MemoryReservation() { ReleaseNow(); }
+
+  void ReleaseNow() {
+    if (tracker_ != nullptr && bytes_ != 0) tracker_->Release(bytes_);
+    tracker_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  MemoryTracker* tracker_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace hyperq::common

@@ -1,0 +1,51 @@
+#include "common/random.h"
+
+namespace hyperq::common {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Random::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+int64_t Random::NextInRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Random::NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+bool Random::NextBool(double p) { return NextDouble() < p; }
+
+std::string Random::NextAlnum(size_t len) {
+  static const char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out(len, '\0');
+  for (size_t i = 0; i < len; ++i) out[i] = kAlphabet[NextBounded(sizeof(kAlphabet) - 1)];
+  return out;
+}
+
+}  // namespace hyperq::common

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file random.h
+/// Deterministic PRNG (xoshiro256**) for workload generation. We avoid
+/// std::mt19937 so dataset bytes are reproducible across standard libraries.
+
+namespace hyperq::common {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextU64();
+  /// Uniform in [0, bound) (bound > 0).
+  uint64_t NextBounded(uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// True with probability p.
+  bool NextBool(double p = 0.5);
+  /// Random ASCII alphanumeric string of exactly `len` characters.
+  std::string NextAlnum(size_t len);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hyperq::common

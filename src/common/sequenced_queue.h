@@ -1,0 +1,66 @@
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+
+/// \file sequenced_queue.h
+/// Reordering hand-off: producers push items tagged with a dense sequence
+/// number in any order; consumers pop items strictly in sequence order.
+/// Used between the DataConverter pool (completion order is arbitrary) and
+/// the FileWriter stage ("Converted chunks are ordered and passed to the
+/// next stage", paper Section 5).
+
+namespace hyperq::common {
+
+template <typename T>
+class SequencedQueue {
+ public:
+  /// Inserts an item with its sequence number. Returns false after Close().
+  bool Push(uint64_t seq, T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    items_.emplace(seq, std::move(item));
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Pops the next item in sequence order; blocks until it arrives. Returns
+  /// nullopt once closed and the next-in-order item can no longer arrive.
+  std::optional<T> PopNext() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = items_.find(next_);
+      if (it != items_.end()) {
+        T item = std::move(it->second);
+        items_.erase(it);
+        ++next_;
+        return item;
+      }
+      if (closed_) return std::nullopt;
+      cv_.wait(lock);
+    }
+  }
+
+  /// No more pushes; consumers drain whatever is already in order.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, T> items_;
+  uint64_t next_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hyperq::common

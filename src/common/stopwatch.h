@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// \file stopwatch.h
+/// Wall-clock stopwatch used by the phase-timing instrumentation.
+
+namespace hyperq::common {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hyperq::common

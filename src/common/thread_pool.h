@@ -1,0 +1,51 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// Fixed-size worker pool. Pipeline stages that need bounded concurrency
+/// (DataConverter workers, FileWriter workers) each own a pool.
+
+namespace hyperq::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers immediately (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until every queued and running task has finished.
+  void WaitIdle();
+
+  /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  /// Tasks queued but not yet started.
+  size_t queued() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hyperq::common

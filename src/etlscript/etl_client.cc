@@ -1,0 +1,415 @@
+#include "etlscript/etl_client.h"
+
+#include <atomic>
+#include <thread>
+
+#include "cloudstore/bulk_loader.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "legacy/row_format.h"
+
+namespace hyperq::etlscript {
+
+using common::Result;
+using common::Status;
+using legacy::DataChunkBody;
+using legacy::DataFormat;
+using legacy::LegacySession;
+using types::Schema;
+
+namespace {
+/// Job ids must be unique per Hyper-Q node even when many client tools run
+/// concurrently in one process (the §8 batch-group setting).
+std::atomic<uint64_t> g_job_sequence{0};
+}  // namespace
+
+Result<std::shared_ptr<net::Transport>> EtlClient::Connect(const std::string& host) {
+  if (!options_.connector) return Status::Invalid("no connector configured");
+  return options_.connector(host);
+}
+
+Result<RunResult> EtlClient::RunScript(const std::string& script_text) {
+  HQ_ASSIGN_OR_RETURN(Script script, ParseScript(script_text));
+  return Run(script);
+}
+
+Result<RunResult> EtlClient::Run(const Script& script) {
+  RunResult result;
+  ImportState import_state;
+  ExportState export_state;
+
+  for (const auto& cmd : script.commands) {
+    switch (cmd.kind) {
+      case CommandKind::kLogon: {
+        HQ_ASSIGN_OR_RETURN(auto transport, Connect(cmd.host));
+        control_ = std::make_unique<LegacySession>(transport);
+        HQ_RETURN_NOT_OK(control_->Logon(cmd.host, cmd.user, cmd.password));
+        logon_host_ = cmd.host;
+        logon_user_ = cmd.user;
+        logon_password_ = cmd.password;
+        break;
+      }
+      case CommandKind::kLogoff: {
+        if (control_) {
+          HQ_RETURN_NOT_OK(control_->Logoff());
+          control_.reset();
+        }
+        break;
+      }
+      case CommandKind::kSessions:
+        sessions_ = cmd.number;
+        break;
+      case CommandKind::kSet:
+        if (cmd.set_name == "max_errors") {
+          max_errors_ = static_cast<uint64_t>(cmd.number);
+        } else if (cmd.set_name == "max_retries") {
+          max_retries_ = cmd.number;
+        } else if (cmd.set_name == "chunk_rows") {
+          options_.chunk_rows = static_cast<size_t>(cmd.number);
+        } else {
+          return Status::Invalid("unknown .set parameter: " + cmd.set_name);
+        }
+        break;
+      case CommandKind::kLayout:
+        layouts_[cmd.name] = Schema();
+        open_layout_ = cmd.name;
+        break;
+      case CommandKind::kField: {
+        if (open_layout_.empty()) {
+          return Status::Invalid(".field outside a .layout block (line " +
+                                 std::to_string(cmd.line) + ")");
+        }
+        HQ_ASSIGN_OR_RETURN(types::TypeDesc type, types::ParseTypeName(cmd.type_text));
+        layouts_[open_layout_].AddField(types::Field(cmd.name, type));
+        break;
+      }
+      case CommandKind::kBeginImport:
+        if (import_state.active) return Status::Invalid("nested .begin import");
+        import_state = ImportState();
+        import_state.active = true;
+        import_state.begin = cmd;
+        break;
+      case CommandKind::kDml:
+        if (cmd.sql.empty()) {
+          return Status::Invalid(".dml label " + cmd.name + " has no SQL statement attached");
+        }
+        dmls_[common::ToUpper(cmd.name)] = cmd.sql;
+        break;
+      case CommandKind::kImport:
+        if (!import_state.active) return Status::Invalid(".import outside .begin import");
+        import_state.import_cmd = cmd;
+        HQ_RETURN_NOT_OK(DoImportTransfer(&import_state, &result));
+        break;
+      case CommandKind::kEndLoad:
+        if (!import_state.active) return Status::Invalid(".end load outside .begin import");
+        HQ_RETURN_NOT_OK(DoEndLoad(&import_state, &result));
+        import_state = ImportState();
+        break;
+      case CommandKind::kBeginExport:
+        if (export_state.active) return Status::Invalid("nested .begin export");
+        export_state = ExportState();
+        export_state.active = true;
+        export_state.begin = cmd;
+        break;
+      case CommandKind::kExportSelect:
+        if (!export_state.active) return Status::Invalid("SELECT outside .begin export");
+        export_state.select_sql = cmd.sql;
+        break;
+      case CommandKind::kEndExport:
+        if (!export_state.active) return Status::Invalid(".end export outside .begin export");
+        HQ_RETURN_NOT_OK(DoExport(export_state, &result));
+        export_state = ExportState();
+        break;
+      case CommandKind::kSql: {
+        if (!control_) return Status::Invalid("SQL before .logon");
+        HQ_ASSIGN_OR_RETURN(legacy::QueryResult qr, control_->ExecuteSql(cmd.sql));
+        result.queries.emplace_back(cmd.sql, std::move(qr));
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::vector<DataChunkBody>> EtlClient::BuildChunks(const std::string& path,
+                                                          const Schema& layout,
+                                                          DataFormat format, char delimiter,
+                                                          uint64_t* total_rows) {
+  std::string full_path =
+      path.empty() || path[0] == '/' ? path : options_.working_dir + "/" + path;
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, cloud::ReadFileBytes(full_path));
+
+  std::vector<DataChunkBody> chunks;
+  DataChunkBody current;
+  common::ByteBuffer payload;
+  uint32_t rows_in_chunk = 0;
+  uint64_t rows_total = 0;
+
+  auto flush = [&] {
+    if (rows_in_chunk == 0) return;
+    current.chunk_seq = chunks.size();
+    current.row_count = rows_in_chunk;
+    current.payload = std::move(payload.vector());
+    chunks.push_back(std::move(current));
+    current = DataChunkBody();
+    payload = common::ByteBuffer();
+    rows_in_chunk = 0;
+  };
+
+  std::optional<legacy::BinaryRowCodec> codec;
+  if (format == DataFormat::kBinary) codec.emplace(layout);
+
+  std::string_view text(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line =
+        nl == std::string_view::npos ? text.substr(start) : text.substr(start, nl - start);
+    start = nl == std::string_view::npos ? text.size() : nl + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    // Split the input line into layout fields.
+    legacy::VartextRecord record;
+    size_t field_start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == delimiter) {
+        legacy::VartextField field;
+        field.text = std::string(line.substr(field_start, i - field_start));
+        field.null = field.text.empty();
+        record.push_back(std::move(field));
+        field_start = i + 1;
+      }
+    }
+
+    if (format == DataFormat::kVartext) {
+      // Ship as-is; the server validates arity (data errors land in the ET
+      // table, the legacy tuple-at-a-time behaviour).
+      HQ_RETURN_NOT_OK(legacy::EncodeVartextRecord(record, delimiter, &payload));
+    } else {
+      // Binary mode: the client itself types the fields per the layout.
+      if (record.size() != layout.num_fields()) {
+        return Status::ConversionError("input row " + std::to_string(rows_total + 1) + " has " +
+                                       std::to_string(record.size()) + " fields, layout has " +
+                                       std::to_string(layout.num_fields()));
+      }
+      types::Row row;
+      row.reserve(record.size());
+      for (size_t i = 0; i < record.size(); ++i) {
+        if (record[i].null) {
+          row.push_back(types::Value::Null());
+          continue;
+        }
+        HQ_ASSIGN_OR_RETURN(types::Value v,
+                            types::CastValue(types::Value::String(record[i].text),
+                                             layout.field(i).type));
+        row.push_back(std::move(v));
+      }
+      HQ_RETURN_NOT_OK(codec->EncodeRow(row, &payload));
+    }
+    ++rows_in_chunk;
+    ++rows_total;
+    if (rows_in_chunk >= options_.chunk_rows) flush();
+  }
+  flush();
+  *total_rows = rows_total;
+  return chunks;
+}
+
+Status EtlClient::DoImportTransfer(ImportState* import_state, RunResult* result) {
+  (void)result;
+  if (!control_) return Status::Invalid(".import before .logon");
+  const Command& import_cmd = import_state->import_cmd;
+  auto layout_it = layouts_.find(import_cmd.layout_name);
+  if (layout_it == layouts_.end()) {
+    return Status::Invalid("unknown layout: " + import_cmd.layout_name);
+  }
+  if (dmls_.find(common::ToUpper(import_cmd.apply_label)) == dmls_.end()) {
+    return Status::Invalid("unknown DML label: " + import_cmd.apply_label);
+  }
+
+  common::Stopwatch timer;
+  legacy::BeginLoadBody begin;
+  ++job_counter_;
+  begin.job_id = "job_" + std::to_string(g_job_sequence.fetch_add(1) + 1);
+  begin.target_table = import_state->begin.target_table;
+  begin.error_table_et = import_state->begin.error_table_et;
+  begin.error_table_uv = import_state->begin.error_table_uv;
+  begin.format = import_cmd.format;
+  begin.delimiter = import_cmd.delimiter;
+  begin.layout = layout_it->second;
+  begin.max_errors = max_errors_;
+  begin.max_retries = static_cast<int32_t>(max_retries_);
+
+  uint64_t total_rows = 0;
+  HQ_ASSIGN_OR_RETURN(
+      std::vector<DataChunkBody> chunks,
+      BuildChunks(import_cmd.file, begin.layout, begin.format, begin.delimiter, &total_rows));
+
+  // Attach the control session to the job.
+  HQ_RETURN_NOT_OK(control_->BeginLoad(begin));
+
+  // Parallel data-loading sessions (paper Section 2, step 2-3).
+  size_t num_sessions = static_cast<size_t>(std::max<int64_t>(1, sessions_));
+  num_sessions = std::min(num_sessions, std::max<size_t>(1, chunks.size()));
+
+  std::vector<std::unique_ptr<LegacySession>> data_sessions;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    HQ_ASSIGN_OR_RETURN(auto transport, Connect(logon_host_));
+    auto session = std::make_unique<LegacySession>(transport);
+    HQ_RETURN_NOT_OK(session->Logon(logon_host_, logon_user_, logon_password_));
+    HQ_RETURN_NOT_OK(session->BeginLoad(begin));
+    data_sessions.push_back(std::move(session));
+  }
+
+  // Round-robin chunks over sessions; each session streams synchronously.
+  std::vector<Status> session_status(num_sessions);
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    threads.emplace_back([&, s] {
+      for (size_t i = s; i < chunks.size(); i += num_sessions) {
+        Status st = data_sessions[s]->SendDataChunk(chunks[i]);
+        if (!st.ok()) {
+          session_status[s] = st;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& st : session_status) {
+    HQ_RETURN_NOT_OK(st);
+  }
+  for (auto& session : data_sessions) {
+    HQ_RETURN_NOT_OK(session->Logoff());
+  }
+
+  import_state->job_id = begin.job_id;
+  import_state->rows_sent = total_rows;
+  import_state->chunks_sent = chunks.size();
+  import_state->sessions_used = num_sessions;
+  import_state->imported = true;
+  import_state->acquisition_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Status EtlClient::DoEndLoad(ImportState* import_state, RunResult* result) {
+  if (!control_) return Status::Invalid(".end load before .logon");
+  if (!import_state->imported) return Status::Invalid(".end load before .import");
+
+  common::Stopwatch acq_tail_timer;
+  HQ_RETURN_NOT_OK(control_->EndLoad(import_state->chunks_sent, import_state->rows_sent));
+  double acq_tail = acq_tail_timer.ElapsedSeconds();
+
+  const std::string& label = import_state->import_cmd.apply_label;
+  const std::string& dml = dmls_.at(common::ToUpper(label));
+  common::Stopwatch app_timer;
+  HQ_ASSIGN_OR_RETURN(legacy::JobReportBody report, control_->ApplyDml(label, dml));
+
+  ImportJobSummary summary;
+  summary.job_id = import_state->job_id;
+  summary.target_table = import_state->begin.target_table;
+  summary.rows_sent = import_state->rows_sent;
+  summary.chunks_sent = import_state->chunks_sent;
+  summary.sessions_used = import_state->sessions_used;
+  summary.report = report;
+  summary.acquisition_seconds = import_state->acquisition_seconds + acq_tail;
+  summary.application_seconds = app_timer.ElapsedSeconds();
+  result->imports.push_back(std::move(summary));
+  return Status::OK();
+}
+
+Status EtlClient::DoExport(const ExportState& export_state, RunResult* result) {
+  if (!control_) return Status::Invalid(".end export before .logon");
+  if (export_state.select_sql.empty()) {
+    return Status::Invalid("export block has no SELECT statement");
+  }
+  common::Stopwatch timer;
+
+  legacy::BeginExportBody begin;
+  ++job_counter_;
+  begin.job_id = "exp_" + std::to_string(g_job_sequence.fetch_add(1) + 1);
+  begin.select_sql = export_state.select_sql;
+  begin.format = export_state.begin.format;
+  begin.delimiter = export_state.begin.delimiter;
+
+  HQ_ASSIGN_OR_RETURN(legacy::ExportReadyBody ready, control_->BeginExport(begin));
+  uint64_t total_chunks = ready.total_chunks;
+
+  size_t num_sessions = static_cast<size_t>(std::max<int64_t>(1, export_state.begin.number));
+  num_sessions = std::min<size_t>(num_sessions, std::max<uint64_t>(1, total_chunks));
+
+  std::vector<std::unique_ptr<LegacySession>> sessions;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    HQ_ASSIGN_OR_RETURN(auto transport, Connect(logon_host_));
+    auto session = std::make_unique<LegacySession>(transport);
+    HQ_RETURN_NOT_OK(session->Logon(logon_host_, logon_user_, logon_password_));
+    HQ_RETURN_NOT_OK(session->BeginExport(begin).status());
+    sessions.push_back(std::move(session));
+  }
+
+  std::vector<legacy::ExportChunkBody> collected(total_chunks);
+  std::vector<Status> session_status(num_sessions);
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < num_sessions; ++s) {
+    threads.emplace_back([&, s] {
+      for (uint64_t seq = s; seq < total_chunks; seq += num_sessions) {
+        auto chunk = sessions[s]->FetchExportChunk(seq);
+        if (!chunk.ok()) {
+          session_status[s] = chunk.status();
+          return;
+        }
+        collected[seq] = std::move(chunk).ValueOrDie();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& st : session_status) {
+    HQ_RETURN_NOT_OK(st);
+  }
+  for (auto& session : sessions) {
+    HQ_RETURN_NOT_OK(session->EndExport());
+    HQ_RETURN_NOT_OK(session->Logoff());
+  }
+
+  // Decode chunks in order and write the output file.
+  std::string out_path = export_state.begin.file.empty() || export_state.begin.file[0] == '/'
+                             ? export_state.begin.file
+                             : options_.working_dir + "/" + export_state.begin.file;
+  common::ByteBuffer file_bytes;
+  uint64_t rows_written = 0;
+  for (const auto& chunk : collected) {
+    if (begin.format == DataFormat::kVartext) {
+      HQ_ASSIGN_OR_RETURN(
+          auto records,
+          legacy::DecodeAllVartext(common::Slice(chunk.payload), begin.delimiter));
+      for (const auto& record : records) {
+        std::string line;
+        for (size_t i = 0; i < record.size(); ++i) {
+          if (i != 0) line += begin.delimiter;
+          if (!record[i].null) line += record[i].text;
+        }
+        line += '\n';
+        file_bytes.AppendString(line);
+        ++rows_written;
+      }
+    } else {
+      // Binary export: write the raw legacy records.
+      file_bytes.AppendBytes(chunk.payload.data(), chunk.payload.size());
+      rows_written += chunk.row_count;
+    }
+  }
+  HQ_RETURN_NOT_OK(cloud::WriteFileBytes(out_path, file_bytes.AsSlice()));
+
+  ExportJobSummary summary;
+  summary.job_id = begin.job_id;
+  summary.outfile = out_path;
+  summary.rows_written = rows_written;
+  summary.chunks_fetched = total_chunks;
+  summary.sessions_used = num_sessions;
+  summary.elapsed_seconds = timer.ElapsedSeconds();
+  result->exports.push_back(std::move(summary));
+  return Status::OK();
+}
+
+}  // namespace hyperq::etlscript

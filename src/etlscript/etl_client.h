@@ -1,0 +1,114 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "etlscript/script_ast.h"
+#include "legacy/session.h"
+#include "net/transport.h"
+#include "types/schema.h"
+
+/// \file etl_client.h
+/// The legacy ETL client tool: interprets ETL scripts and drives the legacy
+/// wire protocol exactly as it would against the original EDW. The paper's
+/// central claim is that this tool needs NO changes to run against Hyper-Q —
+/// only the connection target ("host") is repointed, which is what the
+/// `connector` callback models.
+
+namespace hyperq::etlscript {
+
+struct EtlClientOptions {
+  /// Resolves a script's .logon host to a transport (e.g. dial a Hyper-Q
+  /// server or a legacy EDW emulator).
+  std::function<common::Result<std::shared_ptr<net::Transport>>(const std::string& host)>
+      connector;
+  /// Records per data chunk.
+  size_t chunk_rows = 2000;
+  /// Directory against which infile/outfile names resolve.
+  std::string working_dir = ".";
+};
+
+struct ImportJobSummary {
+  std::string job_id;
+  std::string target_table;
+  uint64_t rows_sent = 0;
+  uint64_t chunks_sent = 0;
+  uint64_t sessions_used = 1;
+  legacy::JobReportBody report;
+  double acquisition_seconds = 0;  ///< client-observed data transfer time
+  double application_seconds = 0;  ///< client-observed DML apply time
+};
+
+struct ExportJobSummary {
+  std::string job_id;
+  std::string outfile;
+  uint64_t rows_written = 0;
+  uint64_t chunks_fetched = 0;
+  uint64_t sessions_used = 1;
+  double elapsed_seconds = 0;
+};
+
+struct RunResult {
+  std::vector<ImportJobSummary> imports;
+  std::vector<ExportJobSummary> exports;
+  /// Results of bare SQL statements, in script order.
+  std::vector<std::pair<std::string, legacy::QueryResult>> queries;
+};
+
+class EtlClient {
+ public:
+  explicit EtlClient(EtlClientOptions options) : options_(std::move(options)) {}
+
+  /// Parses and runs a script.
+  common::Result<RunResult> RunScript(const std::string& script_text);
+
+  /// Runs a parsed script.
+  common::Result<RunResult> Run(const Script& script);
+
+ private:
+  struct ImportState {
+    bool active = false;
+    Command begin;        // kBeginImport
+    Command import_cmd;   // kImport
+    bool imported = false;
+    std::string job_id;
+    uint64_t rows_sent = 0;
+    uint64_t chunks_sent = 0;
+    uint64_t sessions_used = 1;
+    double acquisition_seconds = 0;
+  };
+  struct ExportState {
+    bool active = false;
+    Command begin;  // kBeginExport
+    std::string select_sql;
+  };
+
+  common::Result<std::shared_ptr<net::Transport>> Connect(const std::string& host);
+  common::Status DoImportTransfer(ImportState* import_state, RunResult* result);
+  common::Status DoEndLoad(ImportState* import_state, RunResult* result);
+  common::Status DoExport(const ExportState& export_state, RunResult* result);
+
+  /// Builds the chunk payloads for an input file under a layout.
+  common::Result<std::vector<legacy::DataChunkBody>> BuildChunks(
+      const std::string& path, const types::Schema& layout, legacy::DataFormat format,
+      char delimiter, uint64_t* total_rows);
+
+  EtlClientOptions options_;
+  std::unique_ptr<legacy::LegacySession> control_;
+  std::string logon_host_;
+  std::string logon_user_;
+  std::string logon_password_;
+  std::map<std::string, types::Schema> layouts_;
+  std::string open_layout_;  ///< layout receiving .field commands
+  std::map<std::string, std::string> dmls_;
+  int64_t sessions_ = 1;
+  uint64_t max_errors_ = 0;
+  int64_t max_retries_ = 0;
+  uint64_t job_counter_ = 0;
+};
+
+}  // namespace hyperq::etlscript

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "legacy/parcel.h"
+#include "types/schema.h"
+
+/// \file script_ast.h
+/// Command model of the legacy ETL scripting language of Example 2.1:
+///
+///   .logon host/user,pass;
+///   .sessions 4;
+///   .layout CustLayout;
+///   .field CUST_ID varchar(5);
+///   ...
+///   .begin import tables PROD.CUSTOMER
+///       errortables PROD.CUSTOMER_ET PROD.CUSTOMER_UV;
+///   .dml label InsApply;
+///   insert into PROD.CUSTOMER values (...);
+///   .import infile input.txt format vartext '|' layout CustLayout
+///       apply InsApply;
+///   .end load;
+///   .begin export outfile out.txt format vartext '|' sessions 2;
+///   select ...;
+///   .end export;
+///   .set max_errors 10;
+///   .logoff;
+///
+/// Bare SQL statements outside .dml/.begin-export blocks run on the control
+/// session (BTEQ-style).
+
+namespace hyperq::etlscript {
+
+enum class CommandKind : uint8_t {
+  kLogon,
+  kLogoff,
+  kSessions,
+  kLayout,     ///< .layout NAME; followed by .field commands
+  kField,
+  kBeginImport,
+  kDml,        ///< .dml label NAME; + attached SQL text
+  kImport,
+  kEndLoad,
+  kBeginExport,
+  kExportSelect,  ///< the SELECT inside an export block
+  kEndExport,
+  kSet,
+  kSql,  ///< bare SQL on the control session
+};
+
+struct Command {
+  CommandKind kind;
+  size_t line = 0;
+
+  // kLogon
+  std::string host;
+  std::string user;
+  std::string password;
+
+  // kSessions / kSet
+  std::string set_name;
+  int64_t number = 0;
+
+  // kLayout / kField
+  std::string name;       ///< layout name, field name, dml label
+  std::string type_text;  ///< field type as written
+
+  // kBeginImport
+  std::string target_table;
+  std::string error_table_et;
+  std::string error_table_uv;
+
+  // kDml / kExportSelect / kSql
+  std::string sql;
+
+  // kImport / kBeginExport
+  std::string file;
+  legacy::DataFormat format = legacy::DataFormat::kVartext;
+  char delimiter = '|';
+  std::string layout_name;
+  std::string apply_label;
+};
+
+/// A parsed script: the raw command sequence.
+struct Script {
+  std::vector<Command> commands;
+};
+
+/// Parses ETL script text.
+common::Result<Script> ParseScript(std::string_view text);
+
+}  // namespace hyperq::etlscript

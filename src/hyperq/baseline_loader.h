@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdw/cdw_server.h"
+#include "common/result.h"
+#include "legacy/row_format.h"
+#include "sql/ast.h"
+#include "types/schema.h"
+
+/// \file baseline_loader.h
+/// The Figure-11 baseline: "loads data records using singleton inserts, and
+/// when an erroneous tuple is encountered, it is inserted right away into
+/// the error log." Each input record becomes its own DML statement against
+/// the CDW — no staging, no bulk COPY, no adaptive splitting — so it pays
+/// the per-statement round trip for every row, but its cost is flat in the
+/// error rate.
+
+namespace hyperq::core {
+
+struct BaselineReport {
+  uint64_t rows_loaded = 0;
+  uint64_t errors_logged = 0;
+  uint64_t statements_issued = 0;
+  double elapsed_seconds = 0;
+};
+
+class BaselineSingletonLoader {
+ public:
+  BaselineSingletonLoader(cdw::CdwServer* cdw, std::string error_table)
+      : cdw_(cdw), error_table_(std::move(error_table)) {}
+
+  /// Applies `legacy_dml` once per record, substituting each :field with the
+  /// record's literal value. `layout` names the fields positionally.
+  common::Result<BaselineReport> Load(const sql::Statement& legacy_dml,
+                                      const types::Schema& layout,
+                                      const std::vector<legacy::VartextRecord>& records);
+
+ private:
+  cdw::CdwServer* cdw_;
+  std::string error_table_;
+};
+
+/// Substitutes :placeholders in an expression tree with literal values
+/// (exposed for tests).
+common::Result<sql::ExprPtr> SubstitutePlaceholders(const sql::Expr& expr,
+                                                    const types::Schema& layout,
+                                                    const legacy::VartextRecord& record);
+
+}  // namespace hyperq::core

@@ -1,0 +1,37 @@
+#include "hyperq/coalescer.h"
+
+namespace hyperq::core {
+
+using common::ByteBuffer;
+using common::Result;
+using common::Slice;
+using common::Status;
+
+Result<legacy::Message> Coalescer::NextMessage() {
+  for (;;) {
+    legacy::Message msg;
+    HQ_ASSIGN_OR_RETURN(size_t consumed, legacy::TryDecodeMessage(Slice(pending_), &msg));
+    if (consumed > 0) {
+      pending_.erase(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(consumed));
+      ++stats_.messages_formed;
+      return msg;
+    }
+    uint8_t buf[64 * 1024];
+    HQ_ASSIGN_OR_RETURN(size_t n, transport_->Read(buf, sizeof(buf)));
+    if (n == 0) {
+      if (pending_.empty()) return Status::Cancelled("client closed connection");
+      return Status::ProtocolError("client closed connection mid-frame");
+    }
+    ++stats_.reads;
+    stats_.bytes_received += n;
+    pending_.insert(pending_.end(), buf, buf + n);
+  }
+}
+
+Status Coalescer::Send(const legacy::Message& msg) {
+  ByteBuffer buf;
+  legacy::EncodeMessage(msg, &buf);
+  return transport_->Write(buf.AsSlice());
+}
+
+}  // namespace hyperq::core

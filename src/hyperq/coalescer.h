@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+
+#include "legacy/parcel.h"
+#include "net/transport.h"
+
+/// \file coalescer.h
+/// The Coalescer process (paper Section 3): "interacts with a Coalescer
+/// process to form complete TCP messages from the raw bytes received over
+/// the wire". Reassembles LDWP frames from an arbitrary byte stream and
+/// keeps wire statistics.
+
+namespace hyperq::core {
+
+struct CoalescerStats {
+  uint64_t bytes_received = 0;
+  uint64_t messages_formed = 0;
+  uint64_t reads = 0;  ///< transport reads (fragments)
+};
+
+class Coalescer {
+ public:
+  explicit Coalescer(std::shared_ptr<net::Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  /// Blocks for the next complete message. Cancelled = clean EOF.
+  common::Result<legacy::Message> NextMessage();
+
+  /// Sends one message back to the client.
+  common::Status Send(const legacy::Message& msg);
+
+  const CoalescerStats& stats() const { return stats_; }
+  net::Transport* transport() { return transport_.get(); }
+
+ private:
+  std::shared_ptr<net::Transport> transport_;
+  std::vector<uint8_t> pending_;
+  CoalescerStats stats_;
+};
+
+}  // namespace hyperq::core

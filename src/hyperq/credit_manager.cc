@@ -1,0 +1,65 @@
+#include "hyperq/credit_manager.h"
+
+#include <algorithm>
+
+namespace hyperq::core {
+
+Credit& Credit::operator=(Credit&& other) noexcept {
+  if (this != &other) {
+    Return();
+    pool_ = other.pool_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void Credit::Return() {
+  if (pool_ != nullptr) {
+    pool_->ReturnOne();
+    pool_ = nullptr;
+  }
+}
+
+Credit CreditManager::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.acquisitions;
+  if (available_ == 0) {
+    ++stats_.blocked_acquisitions;
+    cv_.wait(lock, [&] { return available_ > 0; });
+  }
+  --available_;
+  stats_.max_outstanding = std::max(stats_.max_outstanding, pool_size_ - available_);
+  return Credit(this);
+}
+
+Credit CreditManager::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (available_ == 0) return Credit();
+  ++stats_.acquisitions;
+  --available_;
+  stats_.max_outstanding = std::max(stats_.max_outstanding, pool_size_ - available_);
+  return Credit(this);
+}
+
+uint64_t CreditManager::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+uint64_t CreditManager::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_size_ - available_;
+}
+
+CreditStats CreditManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void CreditManager::ReturnOne() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++available_;
+  cv_.notify_one();
+}
+
+}  // namespace hyperq::core

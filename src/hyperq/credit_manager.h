@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+/// \file credit_manager.h
+/// The back-pressure watchdog of Section 5 / Figure 4. One CreditManager is
+/// spawned per Hyper-Q node and shared by all concurrent ETL jobs. A session
+/// must hold a credit before handing a chunk to the DataConverter; the
+/// credit travels with the chunk through conversion and is returned to the
+/// pool just before the FileWriter writes the data to disk. An empty pool
+/// blocks acquisition, throttling the otherwise immediately-acknowledged
+/// client stream.
+
+namespace hyperq::core {
+
+class CreditManager;
+
+/// RAII credit. Returns itself to the pool on destruction unless already
+/// returned explicitly (the FileWriter returns it just before the write).
+class Credit {
+ public:
+  Credit() = default;
+  explicit Credit(CreditManager* pool) : pool_(pool) {}
+  Credit(Credit&& other) noexcept : pool_(other.pool_) { other.pool_ = nullptr; }
+  Credit& operator=(Credit&& other) noexcept;
+  ~Credit() { Return(); }
+
+  /// Returns the credit to the pool now.
+  void Return();
+
+  bool held() const { return pool_ != nullptr; }
+
+ private:
+  CreditManager* pool_ = nullptr;
+};
+
+struct CreditStats {
+  uint64_t acquisitions = 0;
+  uint64_t blocked_acquisitions = 0;  ///< had to wait (back-pressure events)
+  uint64_t max_outstanding = 0;
+};
+
+class CreditManager {
+ public:
+  explicit CreditManager(uint64_t pool_size) : available_(pool_size), pool_size_(pool_size) {}
+
+  /// Blocks until a credit is available.
+  Credit Acquire();
+
+  /// Non-blocking; returns an empty Credit when the pool is exhausted.
+  Credit TryAcquire();
+
+  uint64_t pool_size() const { return pool_size_; }
+  uint64_t available() const;
+  uint64_t outstanding() const;
+  CreditStats stats() const;
+
+ private:
+  friend class Credit;
+  void ReturnOne();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t available_;
+  const uint64_t pool_size_;
+  CreditStats stats_;
+};
+
+}  // namespace hyperq::core

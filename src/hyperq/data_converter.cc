@@ -1,0 +1,119 @@
+#include "hyperq/data_converter.h"
+
+#include "legacy/errors.h"
+#include "types/type_mapping.h"
+
+namespace hyperq::core {
+
+using common::ByteReader;
+using common::Result;
+using common::Slice;
+using common::Status;
+using types::Row;
+using types::Schema;
+using types::TypeId;
+using types::Value;
+
+Result<Schema> MakeStagingSchema(const Schema& layout) {
+  HQ_ASSIGN_OR_RETURN(Schema mapped, types::MapLegacySchemaToCdw(layout));
+  if (mapped.FieldIndex(kRowNumColumn) >= 0) {
+    return Status::Invalid(std::string("layout already contains reserved column ") +
+                           kRowNumColumn);
+  }
+  mapped.AddField(types::Field(kRowNumColumn, types::TypeDesc::Int64(), /*nullable=*/false));
+  return mapped;
+}
+
+Result<DataConverter> DataConverter::Create(Schema layout, legacy::DataFormat format,
+                                            char delimiter, cdw::CsvOptions csv_options) {
+  if (layout.num_fields() == 0) return Status::Invalid("empty load layout");
+  if (format == legacy::DataFormat::kVartext) {
+    for (const auto& f : layout.fields()) {
+      if (f.type.id != TypeId::kVarchar) {
+        return Status::Invalid("vartext layouts require all fields to be VARCHAR (legacy "
+                               "restriction); field " +
+                               f.name + " is " + f.type.ToString());
+      }
+    }
+  }
+  return DataConverter(std::move(layout), format, delimiter, csv_options);
+}
+
+DataConverter::DataConverter(Schema layout, legacy::DataFormat format, char delimiter,
+                             cdw::CsvOptions csv_options)
+    : layout_(std::move(layout)),
+      format_(format),
+      delimiter_(delimiter),
+      csv_options_(csv_options) {}
+
+Result<ConvertedChunk> DataConverter::Convert(const ConversionInput& input) const {
+  ConvertedChunk out;
+  out.order_index = input.order_index;
+  out.first_row_number = input.first_row_number;
+  out.rows_in = input.chunk.row_count;
+  out.csv.reserve(input.chunk.payload.size() + input.chunk.payload.size() / 8);
+
+  uint64_t row_number = input.first_row_number;
+  cdw::CsvRecord record;
+  record.reserve(layout_.num_fields() + 1);
+
+  if (format_ == legacy::DataFormat::kVartext) {
+    ByteReader reader(Slice(input.chunk.payload));
+    while (!reader.AtEnd()) {
+      auto decoded = legacy::DecodeVartextRecord(&reader, delimiter_, layout_.num_fields());
+      if (!decoded.ok()) {
+        // Field-count mismatch is a recoverable per-record data error; a
+        // framing error poisons the rest of the chunk.
+        if (decoded.status().IsConversionError()) {
+          out.errors.push_back(RecordError{row_number, legacy::kErrFieldCountMismatch, "",
+                                           decoded.status().message()});
+          ++row_number;
+          continue;
+        }
+        return decoded.status().WithContext("chunk " + std::to_string(input.chunk.chunk_seq));
+      }
+      record.clear();
+      for (const auto& field : *decoded) {
+        if (field.null) {
+          record.push_back(std::nullopt);
+        } else {
+          record.push_back(field.text);
+        }
+      }
+      record.push_back(std::to_string(row_number));
+      cdw::EncodeCsvRecord(record, csv_options_, &out.csv);
+      ++out.rows_out;
+      ++row_number;
+    }
+  } else {
+    legacy::BinaryRowCodec codec(layout_);
+    ByteReader reader(Slice(input.chunk.payload));
+    while (!reader.AtEnd()) {
+      auto decoded = codec.DecodeRow(&reader);
+      if (!decoded.ok()) {
+        // Binary decode is positional: a bad record invalidates the rest of
+        // the chunk payload.
+        out.errors.push_back(RecordError{row_number, legacy::kErrFormatViolation, "",
+                                         decoded.status().message() +
+                                             " (remainder of chunk skipped)"});
+        break;
+      }
+      const Row& row = *decoded;
+      record.clear();
+      for (const auto& v : row) {
+        if (v.is_null()) {
+          record.push_back(std::nullopt);
+        } else {
+          record.push_back(types::ValueToCdwText(v));
+        }
+      }
+      record.push_back(std::to_string(row_number));
+      cdw::EncodeCsvRecord(record, csv_options_, &out.csv);
+      ++out.rows_out;
+      ++row_number;
+    }
+  }
+  return out;
+}
+
+}  // namespace hyperq::core

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdw/staging_format.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "legacy/parcel.h"
+#include "legacy/row_format.h"
+#include "types/schema.h"
+
+/// \file data_converter.h
+/// The DataConverter stage (paper Section 4): converts chunks from the
+/// legacy wire encoding (binary indicdata or vartext) into the CDW staging
+/// CSV format, "detecting null values, handling empty strings, and escaping
+/// special characters" on the fly. Conversion is lazy with respect to the
+/// client: the PXC acknowledges the chunk first and conversion runs in the
+/// background on a worker pool.
+///
+/// Each converted record gains a trailing HQ_ROWNUM column carrying its
+/// global input row number — the handle the adaptive error handler uses to
+/// re-apply sub-ranges of the staging table (Section 7).
+
+namespace hyperq::core {
+
+/// Name of the synthetic row-number column appended to staging tables.
+inline constexpr const char* kRowNumColumn = "HQ_ROWNUM";
+
+/// Builds the CDW staging-table schema for a load layout: mapped layout
+/// columns plus HQ_ROWNUM BIGINT.
+common::Result<types::Schema> MakeStagingSchema(const types::Schema& layout);
+
+/// A record that failed conversion (a *data error* in the paper's taxonomy;
+/// it is recorded in the ET error table and excluded from the load).
+struct RecordError {
+  uint64_t row_number = 0;
+  uint32_t code = 0;
+  std::string field;
+  std::string message;
+};
+
+struct ConversionInput {
+  /// Dense arrival index used for ordered hand-off to the FileWriters.
+  uint64_t order_index = 0;
+  /// Global row number of the chunk's first record (1-based).
+  uint64_t first_row_number = 0;
+  legacy::DataChunkBody chunk;
+};
+
+struct ConvertedChunk {
+  uint64_t order_index = 0;
+  uint64_t first_row_number = 0;
+  uint32_t rows_in = 0;
+  uint32_t rows_out = 0;
+  common::ByteBuffer csv;
+  std::vector<RecordError> errors;
+};
+
+class DataConverter {
+ public:
+  /// Fails fast on invalid combinations (vartext requires an all-VARCHAR
+  /// layout, the legacy restriction).
+  static common::Result<DataConverter> Create(types::Schema layout, legacy::DataFormat format,
+                                              char delimiter,
+                                              cdw::CsvOptions csv_options = {});
+
+  /// Converts one chunk. Per-record data errors (field-count mismatch,
+  /// undecodable binary record) are collected, the offending record is
+  /// skipped, and conversion continues (tuple-at-a-time error semantics of
+  /// the legacy EDW, Section 7).
+  common::Result<ConvertedChunk> Convert(const ConversionInput& input) const;
+
+  const types::Schema& layout() const { return layout_; }
+
+ private:
+  DataConverter(types::Schema layout, legacy::DataFormat format, char delimiter,
+                cdw::CsvOptions csv_options);
+
+  types::Schema layout_;
+  legacy::DataFormat format_;
+  char delimiter_;
+  cdw::CsvOptions csv_options_;
+};
+
+}  // namespace hyperq::core

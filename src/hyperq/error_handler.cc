@@ -1,0 +1,216 @@
+#include "hyperq/error_handler.h"
+
+#include "common/string_util.h"
+#include "hyperq/data_converter.h"
+#include "legacy/errors.h"
+#include "sql/binder.h"
+#include "sql/printer.h"
+#include "sql/transpiler.h"
+
+namespace hyperq::core {
+
+using common::Result;
+using common::Status;
+using types::Schema;
+using types::TypeDesc;
+using types::Value;
+
+Schema MakeEtErrorSchema() {
+  Schema schema;
+  schema.AddField(types::Field("ERRORCODE", TypeDesc::Int32(), /*nullable=*/true));
+  schema.AddField(types::Field("ERRORFIELD", TypeDesc::Varchar(128)));
+  schema.AddField(types::Field("ERRORMESSAGE", TypeDesc::Varchar(1024)));
+  return schema;
+}
+
+Schema MakeUvErrorSchema(const Schema& layout) {
+  Schema schema;
+  for (const auto& f : layout.fields()) {
+    int32_t width = f.type.length > 0 ? f.type.length : 64;
+    schema.AddField(types::Field(f.name, TypeDesc::Varchar(width)));
+  }
+  schema.AddField(types::Field("SEQNO", TypeDesc::Int64()));
+  schema.AddField(types::Field("ERRCODE", TypeDesc::Int32()));
+  return schema;
+}
+
+std::string SqlQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+AdaptiveDmlApplier::AdaptiveDmlApplier(cdw::CdwServer* cdw, const sql::Statement* legacy_dml,
+                                       Schema layout, std::string staging_table,
+                                       std::string target_table, std::string et_table,
+                                       std::string uv_table, AdaptiveOptions options)
+    : cdw_(cdw),
+      legacy_dml_(legacy_dml),
+      layout_(std::move(layout)),
+      staging_table_(std::move(staging_table)),
+      target_table_(std::move(target_table)),
+      et_table_(std::move(et_table)),
+      uv_table_(std::move(uv_table)),
+      options_(options) {}
+
+bool AdaptiveDmlApplier::IsAbsorbableFailure(const Status& s) {
+  return s.IsConversionError() || s.IsConstraintViolation();
+}
+
+Result<cdw::ExecResult> AdaptiveDmlApplier::ExecuteBound(uint64_t first, uint64_t last,
+                                                         DmlApplyResult* result) {
+  sql::BindOptions bind;
+  bind.staging_table = staging_table_;
+  bind.row_number_column = kRowNumColumn;
+  bind.first_row = static_cast<int64_t>(first);
+  bind.last_row = static_cast<int64_t>(last);
+  HQ_ASSIGN_OR_RETURN(sql::StatementPtr bound, sql::BindDmlToStaging(*legacy_dml_, layout_, bind));
+  HQ_ASSIGN_OR_RETURN(sql::StatementPtr cdw_stmt, sql::TranspileStatement(*bound));
+  // Hyper-Q ships SQL text to the warehouse, so round-trip through the
+  // printer exactly as the real system does.
+  std::string sql_text = sql::PrintStatement(*cdw_stmt);
+  cdw::ExecOptions exec;
+  exec.enforce_unique_primary = options_.enforce_uniqueness;
+  ++result->statements_issued;
+  return cdw_->ExecuteSql(sql_text, exec);
+}
+
+Result<DmlApplyResult> AdaptiveDmlApplier::Apply(uint64_t first_row, uint64_t last_row) {
+  DmlApplyResult result;
+  if (last_row < first_row) return result;  // empty load
+  HQ_RETURN_NOT_OK(ApplyRange(first_row, last_row, 0, &result));
+  return result;
+}
+
+Status AdaptiveDmlApplier::ApplyRange(uint64_t first, uint64_t last, int depth,
+                                      DmlApplyResult* result) {
+  auto attempt = ExecuteBound(first, last, result);
+  if (attempt.ok()) {
+    result->rows_inserted += attempt->rows_inserted;
+    result->rows_updated += attempt->rows_updated;
+    result->rows_deleted += attempt->rows_deleted;
+    return Status::OK();
+  }
+  const Status& failure = attempt.status();
+  if (!IsAbsorbableFailure(failure)) return failure;
+
+  if (first == last) {
+    return RecordSingletonError(first, failure, result);
+  }
+  if (errors_recorded_ >= options_.max_errors || depth >= options_.max_retries) {
+    // Stop splitting: record the whole failing range (Figure 6's final row).
+    return RecordRangeError(first, last, result);
+  }
+  uint64_t mid = first + (last - first) / 2;
+  HQ_RETURN_NOT_OK(ApplyRange(first, mid, depth + 1, result));
+  HQ_RETURN_NOT_OK(ApplyRange(mid + 1, last, depth + 1, result));
+  return Status::OK();
+}
+
+std::string AdaptiveDmlApplier::IdentifyErrorField(uint64_t row) {
+  // Only the INSERT form carries per-target-column expressions we can probe
+  // one at a time.
+  if (legacy_dml_->kind != sql::StatementKind::kInsert) return "";
+  const auto& ins = static_cast<const sql::InsertStmt&>(*legacy_dml_);
+  if (ins.rows.size() != 1) return "";
+
+  // Resolve target column names for labelling.
+  std::vector<std::string> column_names = ins.columns;
+  if (column_names.empty()) {
+    auto table = cdw_->catalog()->GetTable(ins.table);
+    if (table.ok()) {
+      for (const auto& f : (*table)->schema().fields()) column_names.push_back(f.name);
+    }
+  }
+
+  for (size_t i = 0; i < ins.rows[0].size(); ++i) {
+    // Probe: SELECT <expr_i> FROM staging S WHERE S.HQ_ROWNUM BETWEEN row AND row.
+    sql::InsertStmt probe_insert;
+    probe_insert.table = ins.table;
+    std::vector<sql::ExprPtr> one_row;
+    one_row.push_back(ins.rows[0][i]->Clone());
+    probe_insert.rows.push_back(std::move(one_row));
+
+    sql::BindOptions bind;
+    bind.staging_table = staging_table_;
+    bind.row_number_column = kRowNumColumn;
+    bind.first_row = static_cast<int64_t>(row);
+    bind.last_row = static_cast<int64_t>(row);
+    auto bound = sql::BindDmlToStaging(probe_insert, layout_, bind);
+    if (!bound.ok()) return "";
+    // Execute only the SELECT part of the bound INSERT ... SELECT.
+    auto& bound_insert = static_cast<sql::InsertStmt&>(**bound);
+    if (!bound_insert.select) return "";
+    auto transpiled = sql::TranspileStatement(*bound_insert.select);
+    if (!transpiled.ok()) return "";
+    auto probe = cdw_->Execute(**transpiled);
+    if (!probe.ok() && IsAbsorbableFailure(probe.status())) {
+      if (i < column_names.size()) return column_names[i];
+      return "";
+    }
+  }
+  return "";
+}
+
+Status AdaptiveDmlApplier::RecordSingletonError(uint64_t row, const Status& failure,
+                                                DmlApplyResult* result) {
+  ++errors_recorded_;
+  if (failure.IsConstraintViolation()) {
+    // Uniqueness violation: copy the staging tuple into the UV table with
+    // SEQNO and the legacy error code (Figure 5c).
+    std::string select_cols;
+    for (const auto& f : layout_.fields()) {
+      if (!select_cols.empty()) select_cols += ", ";
+      select_cols += "CAST(S." + f.name + " AS VARCHAR(" +
+                     std::to_string(f.type.length > 0 ? f.type.length : 64) + "))";
+    }
+    std::string sql_text =
+        "INSERT INTO " + uv_table_ + " SELECT " + select_cols + ", S." + kRowNumColumn + ", " +
+        std::to_string(legacy::kErrUniquenessViolation) + " FROM " + staging_table_ +
+        " S WHERE S." + kRowNumColumn + " = " + std::to_string(row);
+    ++result->statements_issued;
+    HQ_RETURN_NOT_OK(cdw_->ExecuteSql(sql_text).status());
+    ++result->uv_errors;
+    return Status::OK();
+  }
+  // Transformation error: Figure 6 shape.
+  std::string field = IdentifyErrorField(row);
+  const bool is_date = failure.message().find("DATE conversion") != std::string::npos;
+  uint32_t code = is_date ? legacy::kErrDateConversionDml : legacy::kErrFormatViolation;
+  std::string message;
+  if (is_date) {
+    message = "DATE conversion failed during DML on " + target_table_ +
+              ", row number: " + std::to_string(row);
+  } else {
+    message = failure.message() + " during DML on " + target_table_ +
+              ", row number: " + std::to_string(row);
+  }
+  std::string sql_text = "INSERT INTO " + et_table_ + " VALUES (" + std::to_string(code) + ", " +
+                         (field.empty() ? std::string("NULL") : SqlQuote(field)) + ", " +
+                         SqlQuote(message) + ")";
+  ++result->statements_issued;
+  HQ_RETURN_NOT_OK(cdw_->ExecuteSql(sql_text).status());
+  ++result->et_errors;
+  return Status::OK();
+}
+
+Status AdaptiveDmlApplier::RecordRangeError(uint64_t first, uint64_t last,
+                                            DmlApplyResult* result) {
+  std::string message = "Max number of errors reached during DML on " + target_table_ +
+                        ", row numbers: (" + std::to_string(first) + ", " + std::to_string(last) +
+                        ")";
+  std::string sql_text = "INSERT INTO " + et_table_ + " VALUES (" +
+                         std::to_string(legacy::kErrMaxErrorsReached) + ", NULL, " +
+                         SqlQuote(message) + ")";
+  ++result->statements_issued;
+  HQ_RETURN_NOT_OK(cdw_->ExecuteSql(sql_text).status());
+  ++result->et_errors;
+  ++result->range_errors;
+  return Status::OK();
+}
+
+}  // namespace hyperq::core

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <string>
+
+#include "cdw/cdw_server.h"
+#include "common/result.h"
+#include "sql/ast.h"
+#include "types/schema.h"
+
+/// \file error_handler.h
+/// Adaptive error handling (paper Section 7). The application phase runs the
+/// bound DML over the whole staging table in one set-oriented statement. If
+/// the CDW aborts it (a conversion failure or an emulated uniqueness
+/// violation, reported at chunk granularity with no tuple identified), the
+/// handler recursively re-applies the DML on halves of the row range until
+/// either a single row isolates the faulty tuple (recorded in the ET or UV
+/// error table) or a preconfigured limit stops the search:
+///   - max_errors: once this many individual errors are recorded, remaining
+///     failing ranges are logged as a single range error (code 9057,
+///     "row numbers: (a, b)") instead of being split further — Figure 6;
+///   - max_retries: maximum split depth for any chunk.
+
+namespace hyperq::core {
+
+struct AdaptiveOptions {
+  uint64_t max_errors = 100;
+  int max_retries = 64;
+  bool enforce_uniqueness = true;
+};
+
+struct DmlApplyResult {
+  uint64_t rows_inserted = 0;
+  uint64_t rows_updated = 0;
+  uint64_t rows_deleted = 0;
+  uint64_t et_errors = 0;  ///< transformation/data errors recorded
+  uint64_t uv_errors = 0;  ///< uniqueness violations recorded
+  uint64_t range_errors = 0;  ///< 9057 range entries among et_errors
+  /// DML statements issued against the CDW (instrumentation for benchmarks).
+  uint64_t statements_issued = 0;
+};
+
+/// Schemas of the error tables Hyper-Q materializes in the CDW.
+/// ET (transformation errors): ERRORCODE INTEGER, ERRORFIELD VARCHAR(128),
+///   ERRORMESSAGE VARCHAR(1024)    — Figure 6 shape.
+/// UV (uniqueness violations): the layout's columns as text, plus
+///   SEQNO BIGINT, ERRCODE INTEGER — Figure 5(c) shape.
+types::Schema MakeEtErrorSchema();
+types::Schema MakeUvErrorSchema(const types::Schema& layout);
+
+class AdaptiveDmlApplier {
+ public:
+  /// `legacy_dml` is the un-bound legacy DML (with :placeholders).
+  /// `staging_table` must contain the layout columns plus HQ_ROWNUM.
+  AdaptiveDmlApplier(cdw::CdwServer* cdw, const sql::Statement* legacy_dml,
+                     types::Schema layout, std::string staging_table, std::string target_table,
+                     std::string et_table, std::string uv_table, AdaptiveOptions options);
+
+  /// Applies the DML over staging rows [first_row, last_row] (inclusive,
+  /// 1-based global row numbers).
+  common::Result<DmlApplyResult> Apply(uint64_t first_row, uint64_t last_row);
+
+ private:
+  common::Status ApplyRange(uint64_t first, uint64_t last, int depth, DmlApplyResult* result);
+  /// True when the status is a tuple-level failure the handler absorbs.
+  static bool IsAbsorbableFailure(const common::Status& s);
+
+  common::Status RecordSingletonError(uint64_t row, const common::Status& failure,
+                                      DmlApplyResult* result);
+  common::Status RecordRangeError(uint64_t first, uint64_t last, DmlApplyResult* result);
+  /// Finds which target column's expression fails for a given staging row
+  /// (best-effort; empty when not identifiable).
+  std::string IdentifyErrorField(uint64_t row);
+
+  /// Executes the bound+transpiled DML for a row range.
+  common::Result<cdw::ExecResult> ExecuteBound(uint64_t first, uint64_t last,
+                                               DmlApplyResult* result);
+
+  cdw::CdwServer* cdw_;
+  const sql::Statement* legacy_dml_;
+  types::Schema layout_;
+  std::string staging_table_;
+  std::string target_table_;
+  std::string et_table_;
+  std::string uv_table_;
+  AdaptiveOptions options_;
+  uint64_t errors_recorded_ = 0;
+};
+
+/// SQL-quotes a string literal (doubling single quotes).
+std::string SqlQuote(const std::string& s);
+
+}  // namespace hyperq::core

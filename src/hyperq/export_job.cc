@@ -1,0 +1,78 @@
+#include "hyperq/export_job.h"
+
+#include "legacy/row_format.h"
+#include "sql/transpiler.h"
+
+namespace hyperq::core {
+
+using common::Result;
+using common::Status;
+using types::Row;
+using types::Value;
+
+Result<std::shared_ptr<ExportJob>> ExportJob::Create(const std::string& job_id,
+                                                     const legacy::BeginExportBody& begin,
+                                                     cdw::CdwServer* cdw,
+                                                     const HyperQOptions& options) {
+  // PXC: transpile the legacy SELECT and run it in the CDW.
+  HQ_ASSIGN_OR_RETURN(std::string cdw_sql, sql::TranspileSqlText(begin.select_sql));
+  HQ_ASSIGN_OR_RETURN(cdw::ExecResult result, cdw->ExecuteSql(cdw_sql));
+  if (result.schema.num_fields() == 0) {
+    return Status::Invalid("export statement did not produce a result set");
+  }
+  TdfCursorOptions cursor_options;
+  cursor_options.chunk_rows = options.export_chunk_rows;
+  cursor_options.prefetch = options.export_prefetch_chunks;
+  auto cursor =
+      std::make_unique<TdfCursor>(result.schema, std::move(result.rows), cursor_options);
+  return std::shared_ptr<ExportJob>(
+      new ExportJob(job_id, begin, std::move(result.schema), std::move(cursor)));
+}
+
+ExportJob::ExportJob(std::string job_id, legacy::BeginExportBody begin, types::Schema schema,
+                     std::unique_ptr<TdfCursor> cursor)
+    : job_id_(std::move(job_id)),
+      begin_(std::move(begin)),
+      schema_(std::move(schema)),
+      cursor_(std::move(cursor)) {}
+
+Result<legacy::ExportChunkBody> ExportJob::GetChunk(uint64_t seq) {
+  legacy::ExportChunkBody chunk;
+  chunk.chunk_seq = seq;
+  if (cursor_->PastEnd(seq)) {
+    chunk.row_count = 0;
+    chunk.last = true;
+    return chunk;
+  }
+  HQ_ASSIGN_OR_RETURN(auto packet, cursor_->FetchChunk(seq));
+  // PXC: unwrap the TDF packet and re-encode rows in the legacy format.
+  HQ_ASSIGN_OR_RETURN(tdf::TdfReader reader, tdf::TdfReader::Open(packet->AsSlice()));
+  HQ_ASSIGN_OR_RETURN(std::vector<Row> rows, reader.ToFlatRows());
+
+  common::ByteBuffer payload;
+  if (begin_.format == legacy::DataFormat::kVartext) {
+    for (const auto& row : rows) {
+      legacy::VartextRecord record = legacy::RowToVartext(row);
+      HQ_RETURN_NOT_OK(legacy::EncodeVartextRecord(record, begin_.delimiter, &payload));
+    }
+  } else {
+    legacy::BinaryRowCodec codec(schema_);
+    for (const auto& row : rows) {
+      // Coerce each value to the declared column type before encoding
+      // (computed columns carry VARCHAR(0) typing).
+      Row coerced;
+      coerced.reserve(row.size());
+      for (size_t i = 0; i < row.size(); ++i) {
+        HQ_ASSIGN_OR_RETURN(Value v, types::CastValue(row[i], schema_.field(i).type));
+        coerced.push_back(std::move(v));
+      }
+      HQ_RETURN_NOT_OK(codec.EncodeRow(coerced, &payload));
+    }
+  }
+  chunk.row_count = static_cast<uint32_t>(rows.size());
+  chunk.last = seq + 1 >= cursor_->total_chunks();
+  chunk.payload = std::move(payload.vector());
+  return chunk;
+}
+
+}  // namespace hyperq::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cdw/cdw_server.h"
+#include "common/result.h"
+#include "hyperq/hyperq_config.h"
+#include "hyperq/tdf_cursor.h"
+#include "legacy/parcel.h"
+
+/// \file export_job.h
+/// One virtualized export job (Figure 2b): the legacy SELECT is transpiled
+/// and executed in the CDW; results are retrieved through a TDFCursor that
+/// buffers TDF-encoded chunks ahead of demand; per client request, the PXC
+/// unwraps the TDF packet and re-encodes the rows in the legacy wire format
+/// the client expects.
+
+namespace hyperq::core {
+
+class ExportJob {
+ public:
+  static common::Result<std::shared_ptr<ExportJob>> Create(const std::string& job_id,
+                                                           const legacy::BeginExportBody& begin,
+                                                           cdw::CdwServer* cdw,
+                                                           const HyperQOptions& options);
+
+  const types::Schema& schema() const { return schema_; }
+  uint64_t total_chunks() const { return cursor_->total_chunks(); }
+  const std::string& job_id() const { return job_id_; }
+
+  /// Fetches chunk `seq` re-encoded in the legacy format. Chunks past the
+  /// end return an empty final chunk (row_count 0, last = true).
+  common::Result<legacy::ExportChunkBody> GetChunk(uint64_t seq);
+
+  const TdfCursor& cursor() const { return *cursor_; }
+
+ private:
+  ExportJob(std::string job_id, legacy::BeginExportBody begin, types::Schema schema,
+            std::unique_ptr<TdfCursor> cursor);
+
+  std::string job_id_;
+  legacy::BeginExportBody begin_;
+  types::Schema schema_;
+  std::unique_ptr<TdfCursor> cursor_;
+};
+
+}  // namespace hyperq::core

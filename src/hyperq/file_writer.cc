@@ -1,0 +1,89 @@
+#include "hyperq/file_writer.h"
+
+#include <filesystem>
+
+#include "cloudstore/bulk_loader.h"
+#include "cloudstore/compression.h"
+
+namespace hyperq::core {
+
+using common::ByteBuffer;
+using common::Slice;
+using common::Status;
+
+FileWriter::FileWriter(FileWriterOptions options, std::string prefix)
+    : options_(std::move(options)), prefix_(std::move(prefix)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.directory, ec);
+}
+
+FileWriter::~FileWriter() {
+  if (current_ != nullptr) {
+    std::fclose(current_);
+    std::remove(current_path_.c_str());
+  }
+}
+
+Status FileWriter::OpenNext() {
+  current_path_ =
+      options_.directory + "/" + prefix_ + "_" + std::to_string(next_file_index_++) + ".csv";
+  current_ = std::fopen(current_path_.c_str(), "wb");
+  if (current_ == nullptr) {
+    return Status::IOError("cannot create staging file: " + current_path_);
+  }
+  current_bytes_ = 0;
+  return Status::OK();
+}
+
+Status FileWriter::FinalizeCurrent(std::vector<FinalizedFile>* finalized) {
+  if (current_ == nullptr) return Status::OK();
+  std::fclose(current_);
+  current_ = nullptr;
+  FinalizedFile file;
+  file.raw_bytes = current_bytes_;
+  if (options_.compress) {
+    HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, cloud::ReadFileBytes(current_path_));
+    ByteBuffer compressed;
+    cloud::Compress(Slice(raw), &compressed);
+    std::string compressed_path = current_path_ + ".hqz";
+    HQ_RETURN_NOT_OK(cloud::WriteFileBytes(compressed_path, compressed.AsSlice()));
+    std::remove(current_path_.c_str());
+    file.path = compressed_path;
+    file.final_bytes = compressed.size();
+  } else {
+    file.path = current_path_;
+    file.final_bytes = current_bytes_;
+  }
+  finalized->push_back(std::move(file));
+  ++files_finalized_;
+  return Status::OK();
+}
+
+Status FileWriter::Append(Slice data, std::vector<FinalizedFile>* finalized) {
+  if (current_ == nullptr) {
+    HQ_RETURN_NOT_OK(OpenNext());
+  }
+  if (data.size() != 0 &&
+      std::fwrite(data.data(), 1, data.size(), current_) != data.size()) {
+    return Status::IOError("short write to staging file: " + current_path_);
+  }
+  current_bytes_ += data.size();
+  bytes_written_ += data.size();
+  if (current_bytes_ >= options_.file_size_threshold) {
+    HQ_RETURN_NOT_OK(FinalizeCurrent(finalized));
+  }
+  return Status::OK();
+}
+
+Status FileWriter::Finish(std::vector<FinalizedFile>* finalized) {
+  if (current_ != nullptr && current_bytes_ == 0) {
+    // Empty open file: discard.
+    std::fclose(current_);
+    current_ = nullptr;
+    std::remove(current_path_.c_str());
+    return Status::OK();
+  }
+  return FinalizeCurrent(finalized);
+}
+
+}  // namespace hyperq::core

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+/// \file file_writer.h
+/// The FileWriter stage (paper Section 5): serializes converted chunks to
+/// local disk files, rotating at a tuned size threshold and finalizing files
+/// (optionally compressing) for upload. Each writer thread owns one
+/// FileWriter instance producing its own file series, so multiple writers
+/// parallelize serialization without coordination.
+
+namespace hyperq::core {
+
+struct FileWriterOptions {
+  std::string directory;
+  size_t file_size_threshold = 4u << 20;
+  bool compress = false;
+};
+
+struct FinalizedFile {
+  std::string path;
+  size_t raw_bytes = 0;
+  size_t final_bytes = 0;
+};
+
+class FileWriter {
+ public:
+  /// `prefix` distinguishes this writer's file series (e.g. "job1_w0").
+  FileWriter(FileWriterOptions options, std::string prefix);
+  ~FileWriter();
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  /// Appends chunk bytes to the current file; rotates when the threshold is
+  /// crossed. Any finalized files are appended to `finalized`.
+  common::Status Append(common::Slice data, std::vector<FinalizedFile>* finalized);
+
+  /// Flushes and finalizes the in-progress file (if any).
+  common::Status Finish(std::vector<FinalizedFile>* finalized);
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t files_finalized() const { return files_finalized_; }
+
+ private:
+  common::Status OpenNext();
+  common::Status FinalizeCurrent(std::vector<FinalizedFile>* finalized);
+
+  FileWriterOptions options_;
+  std::string prefix_;
+  std::FILE* current_ = nullptr;
+  std::string current_path_;
+  size_t current_bytes_ = 0;
+  uint64_t next_file_index_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t files_finalized_ = 0;
+};
+
+}  // namespace hyperq::core

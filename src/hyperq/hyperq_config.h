@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file hyperq_config.h
+/// Tuning surface of a Hyper-Q node. These are the knobs the paper describes
+/// customers configuring per ETL job requirement (Sections 5-7).
+
+namespace hyperq::core {
+
+struct HyperQOptions {
+  /// DataConverter worker threads (paper: "several chunks are converted
+  /// concurrently").
+  size_t converter_workers = 4;
+
+  /// FileWriter worker threads (paper: "multiple FileWriter processes
+  /// working in parallel").
+  size_t file_writers = 2;
+
+  /// CreditManager pool size; one pool per node shared by all jobs.
+  uint64_t credit_pool_size = 64;
+
+  /// Staging file rotation threshold in bytes ("the maximum size of the
+  /// serialized file is chosen to maximize the load performance").
+  size_t file_size_threshold = 4u << 20;
+
+  /// Compress finalized staging files before upload.
+  bool compress_staging_files = false;
+
+  /// In-flight pipeline memory budget (0 = unlimited). Exceeding it is the
+  /// simulated out-of-memory condition of Figure 10's one-million-credit run.
+  uint64_t memory_budget_bytes = 0;
+
+  /// Local directory for intermediate staging files.
+  std::string local_staging_dir = "/tmp/hyperq_staging";
+
+  /// Adaptive error handling (Section 7).
+  uint64_t max_errors = 100;
+  int max_retries = 64;
+
+  /// Export chunking.
+  size_t export_chunk_rows = 4096;
+  size_t export_prefetch_chunks = 8;
+
+  /// Emulated uniqueness enforcement (Section 7: "the CDW might not provide
+  /// native support for uniqueness constraints. In those cases, Hyper-Q
+  /// enforces uniqueness through emulation").
+  bool enforce_uniqueness = true;
+
+  std::string server_banner = "Hyper-Q ETL virtualization (LDWP bridge)";
+};
+
+}  // namespace hyperq::core

@@ -1,0 +1,344 @@
+#include "hyperq/import_job.h"
+
+#include <cctype>
+
+#include "cloudstore/bulk_loader.h"
+#include "common/logging.h"
+#include "legacy/errors.h"
+#include "sql/parser.h"
+
+namespace hyperq::core {
+
+using common::Result;
+using common::Slice;
+using common::Status;
+
+namespace {
+
+std::string SanitizeId(const std::string& id) {
+  std::string out;
+  for (char c : id) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+Status RecreateTable(cdw::CdwServer* cdw, const std::string& name, const types::Schema& schema,
+                     std::vector<std::string> primary_key = {}, bool unique = false) {
+  HQ_RETURN_NOT_OK(cdw->catalog()->DropTable(name, /*if_exists=*/true));
+  return cdw->catalog()->CreateTable(name, schema, std::move(primary_key), unique).status();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<ImportJob>> ImportJob::Create(const std::string& job_id,
+                                                     const legacy::BeginLoadBody& begin,
+                                                     JobContext ctx) {
+  if (ctx.cdw == nullptr || ctx.store == nullptr || ctx.credits == nullptr ||
+      ctx.converter_pool == nullptr || ctx.memory == nullptr) {
+    return Status::Invalid("incomplete job context");
+  }
+  // The target table must already exist in the CDW.
+  HQ_RETURN_NOT_OK(ctx.cdw->catalog()->GetTable(begin.target_table).status());
+
+  HQ_ASSIGN_OR_RETURN(types::Schema staging_schema, MakeStagingSchema(begin.layout));
+  HQ_ASSIGN_OR_RETURN(
+      DataConverter converter,
+      DataConverter::Create(begin.layout, begin.format, begin.delimiter, cdw::CsvOptions{}));
+
+  // Per-job error-handling overrides from the client script (.set commands).
+  if (begin.max_errors != 0) ctx.options.max_errors = begin.max_errors;
+  if (begin.max_retries != 0) ctx.options.max_retries = begin.max_retries;
+
+  auto job = std::shared_ptr<ImportJob>(
+      new ImportJob(job_id, begin, std::move(ctx), std::move(converter), staging_schema));
+
+  // CDW-side state: staging table + fresh error tables.
+  HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->staging_table_, staging_schema));
+  HQ_RETURN_NOT_OK(
+      RecreateTable(job->ctx_.cdw, job->begin_.error_table_et, MakeEtErrorSchema()));
+  HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->begin_.error_table_uv,
+                                 MakeUvErrorSchema(begin.layout)));
+  job->StartWriters();
+  return job;
+}
+
+ImportJob::ImportJob(std::string job_id, legacy::BeginLoadBody begin, JobContext ctx,
+                     DataConverter converter, types::Schema staging_schema)
+    : job_id_(std::move(job_id)),
+      begin_(std::move(begin)),
+      ctx_(std::move(ctx)),
+      converter_(std::move(converter)),
+      staging_schema_(std::move(staging_schema)) {
+  staging_table_ = "HQ_STG_" + SanitizeId(job_id_);
+  remote_prefix_ = "staging/" + SanitizeId(job_id_) + "/";
+  if (begin_.error_table_et.empty()) begin_.error_table_et = begin_.target_table + "_ET";
+  if (begin_.error_table_uv.empty()) begin_.error_table_uv = begin_.target_table + "_UV";
+}
+
+ImportJob::~ImportJob() {
+  ordered_chunks_.Close();
+  for (auto& t : writer_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ImportJob::StartWriters() {
+  size_t n = std::max<size_t>(1, ctx_.options.file_writers);
+  FileWriterOptions fw_options;
+  fw_options.directory = ctx_.options.local_staging_dir + "/" + SanitizeId(job_id_);
+  fw_options.file_size_threshold = ctx_.options.file_size_threshold;
+  fw_options.compress = ctx_.options.compress_staging_files;
+  for (size_t i = 0; i < n; ++i) {
+    file_writers_.push_back(
+        std::make_unique<FileWriter>(fw_options, "part_w" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    writer_threads_.emplace_back([this, i] { WriterLoop(i); });
+  }
+}
+
+void ImportJob::NoteFatal(const Status& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fatal_.ok()) fatal_ = s;
+}
+
+Status ImportJob::fatal_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fatal_;
+}
+
+Status ImportJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
+  HQ_RETURN_NOT_OK(fatal_status());
+
+  // Back-pressure: block while the node-wide credit pool is exhausted
+  // (Figure 4). The ack to the client is sent only after this returns.
+  Credit credit = ctx_.credits->Acquire();
+
+  // Reserve in-flight memory for the raw chunk plus the converted output
+  // (estimated at parity). Exhaustion is the simulated OOM of Figure 10.
+  uint64_t reserve_bytes = static_cast<uint64_t>(chunk.payload.size()) * 2;
+  Status mem = ctx_.memory->Reserve(reserve_bytes);
+  if (!mem.ok()) {
+    NoteFatal(mem);
+    return mem;
+  }
+
+  uint64_t order;
+  uint64_t first_row;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    order = chunk_counter_++;
+    first_row = row_counter_ + 1;
+    row_counter_ += chunk.row_count;
+    bytes_received_ += chunk.payload.size();
+    ++outstanding_conversions_;
+  }
+
+  // Move-only state shared into the std::function task.
+  struct TaskState {
+    legacy::DataChunkBody chunk;
+    Credit credit;
+    common::MemoryReservation reservation;
+  };
+  auto state = std::make_shared<TaskState>();
+  state->chunk = chunk;
+  state->credit = std::move(credit);
+  state->reservation = common::MemoryReservation(ctx_.memory, reserve_bytes);
+
+  bool submitted = ctx_.converter_pool->Submit([this, state, order, first_row] {
+    ConversionInput input;
+    input.order_index = order;
+    input.first_row_number = first_row;
+    input.chunk = std::move(state->chunk);
+    auto converted = converter_.Convert(input);
+
+    WorkItem item;
+    item.credit = std::move(state->credit);
+    item.reservation = std::move(state->reservation);
+    if (converted.ok()) {
+      item.converted = std::move(converted).ValueOrDie();
+    } else {
+      item.status = converted.status();
+    }
+    ordered_chunks_.Push(order, std::move(item));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_conversions_;
+      if (outstanding_conversions_ == 0) conversions_done_.notify_all();
+    }
+  });
+  if (!submitted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_conversions_;
+    return Status::Cancelled("converter pool is shut down");
+  }
+  return Status::OK();
+}
+
+void ImportJob::WriterLoop(size_t writer_index) {
+  FileWriter& writer = *file_writers_[writer_index];
+  for (;;) {
+    std::optional<WorkItem> item = ordered_chunks_.PopNext();
+    if (!item.has_value()) break;
+    if (!item->status.ok()) {
+      NoteFatal(item->status);
+      continue;  // credit + reservation released by WorkItem destruction
+    }
+    // Return the credit to the pool just before the disk write (Figure 4).
+    item->credit.Return();
+    std::vector<FinalizedFile> finalized;
+    Status s = writer.Append(item->converted.csv.AsSlice(), &finalized);
+    if (!s.ok()) {
+      NoteFatal(s);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      rows_staged_ += item->converted.rows_out;
+      for (auto& e : item->converted.errors) data_errors_.push_back(std::move(e));
+    }
+    if (!finalized.empty()) {
+      std::lock_guard<std::mutex> lock(finalize_mu_);
+      for (auto& f : finalized) finalized_files_.push_back(std::move(f));
+    }
+  }
+  std::vector<FinalizedFile> finalized;
+  Status s = writer.Finish(&finalized);
+  if (!s.ok()) NoteFatal(s);
+  if (!finalized.empty()) {
+    std::lock_guard<std::mutex> lock(finalize_mu_);
+    for (auto& f : finalized) finalized_files_.push_back(std::move(f));
+  }
+}
+
+Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t client_total_rows) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (acquisition_finished_) return fatal_;
+    conversions_done_.wait(lock, [&] { return outstanding_conversions_ == 0; });
+    acquisition_finished_ = true;
+  }
+  ordered_chunks_.Close();
+  for (auto& t : writer_threads_) {
+    if (t.joinable()) t.join();
+  }
+  HQ_RETURN_NOT_OK(fatal_status());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (client_total_chunks != 0 && client_total_chunks != chunk_counter_) {
+      return Status::ProtocolError("client reported " + std::to_string(client_total_chunks) +
+                                   " chunks, received " + std::to_string(chunk_counter_));
+    }
+    if (client_total_rows != 0 && client_total_rows != row_counter_) {
+      return Status::ProtocolError("client reported " + std::to_string(client_total_rows) +
+                                   " rows, received " + std::to_string(row_counter_));
+    }
+  }
+
+  // Bulk-upload all finalized staging files in one batched request.
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<std::pair<std::string, Slice>> batch;
+  uint64_t bytes_uploaded = 0;
+  {
+    std::lock_guard<std::mutex> lock(finalize_mu_);
+    payloads.reserve(finalized_files_.size());
+    for (const auto& f : finalized_files_) {
+      HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, cloud::ReadFileBytes(f.path));
+      bytes_uploaded += bytes.size();
+      payloads.push_back(std::move(bytes));
+    }
+    for (size_t i = 0; i < finalized_files_.size(); ++i) {
+      std::string name = finalized_files_[i].path;
+      size_t slash = name.find_last_of('/');
+      if (slash != std::string::npos) name = name.substr(slash + 1);
+      batch.emplace_back(remote_prefix_ + name, Slice(payloads[i]));
+    }
+  }
+  if (!batch.empty()) {
+    HQ_RETURN_NOT_OK(ctx_.store->PutBatch(batch));
+  }
+  // Local staging files have served their purpose.
+  for (const auto& f : finalized_files_) std::remove(f.path.c_str());
+
+  // In-the-cloud COPY into the staging table.
+  HQ_ASSIGN_OR_RETURN(uint64_t copied, ctx_.cdw->CopyInto(staging_table_, remote_prefix_));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.chunks = chunk_counter_;
+  stats_.rows_received = row_counter_;
+  stats_.rows_staged = rows_staged_;
+  stats_.bytes_received = bytes_received_;
+  stats_.data_errors = data_errors_.size();
+  stats_.files_uploaded = batch.size();
+  stats_.bytes_uploaded = bytes_uploaded;
+  stats_.rows_copied = copied;
+  timings_.acquisition_seconds = acquisition_timer_.ElapsedSeconds();
+  if (copied != rows_staged_) {
+    return Status::Internal("COPY loaded " + std::to_string(copied) + " rows, staged " +
+                            std::to_string(rows_staged_));
+  }
+  return Status::OK();
+}
+
+Result<legacy::JobReportBody> ImportJob::ApplyDml(const std::string& label,
+                                                  const std::string& sql) {
+  (void)label;
+  HQ_RETURN_NOT_OK(fatal_status());
+  common::Stopwatch app_timer;
+
+  HQ_ASSIGN_OR_RETURN(sql::StatementPtr legacy_stmt, sql::ParseStatement(sql));
+
+  // Record acquisition-phase data errors in the ET table first (the legacy
+  // tuple-at-a-time semantics: bad input records are excluded and logged).
+  std::vector<RecordError> data_errors;
+  uint64_t total_rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_errors = data_errors_;
+    total_rows = row_counter_;
+  }
+  for (const auto& e : data_errors) {
+    std::string sql_text =
+        "INSERT INTO " + begin_.error_table_et + " VALUES (" + std::to_string(e.code) + ", " +
+        (e.field.empty() ? std::string("NULL") : SqlQuote(e.field)) + ", " +
+        SqlQuote(e.message + " (input row number: " + std::to_string(e.row_number) + ")") + ")";
+    HQ_RETURN_NOT_OK(ctx_.cdw->ExecuteSql(sql_text).status());
+  }
+
+  AdaptiveOptions adaptive;
+  adaptive.max_errors = ctx_.options.max_errors;
+  adaptive.max_retries = ctx_.options.max_retries;
+  adaptive.enforce_uniqueness = ctx_.options.enforce_uniqueness;
+  AdaptiveDmlApplier applier(ctx_.cdw, legacy_stmt.get(), begin_.layout, staging_table_,
+                             begin_.target_table, begin_.error_table_et, begin_.error_table_uv,
+                             adaptive);
+  HQ_ASSIGN_OR_RETURN(dml_result_, applier.Apply(1, total_rows));
+
+  // Staging table is job-scoped scratch state.
+  HQ_RETURN_NOT_OK(ctx_.cdw->catalog()->DropTable(staging_table_, /*if_exists=*/true));
+
+  timings_.application_seconds = app_timer.ElapsedSeconds();
+
+  legacy::JobReportBody report;
+  report.rows_inserted = dml_result_.rows_inserted;
+  report.rows_updated = dml_result_.rows_updated;
+  report.rows_deleted = dml_result_.rows_deleted;
+  report.et_errors = dml_result_.et_errors + data_errors.size();
+  report.uv_errors = dml_result_.uv_errors;
+  report.message = "job " + job_id_ + " complete";
+  return report;
+}
+
+PhaseTimings ImportJob::timings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timings_;
+}
+
+AcquisitionStats ImportJob::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hyperq::core

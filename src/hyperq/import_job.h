@@ -1,0 +1,143 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cdw/cdw_server.h"
+#include "cloudstore/object_store.h"
+#include "common/memory_tracker.h"
+#include "common/sequenced_queue.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "hyperq/credit_manager.h"
+#include "hyperq/data_converter.h"
+#include "hyperq/error_handler.h"
+#include "hyperq/file_writer.h"
+#include "hyperq/hyperq_config.h"
+#include "legacy/parcel.h"
+
+/// \file import_job.h
+/// One virtualized import job (Figure 2a of the paper): receives legacy data
+/// chunks from any number of parallel client sessions, converts them in the
+/// background, serializes staging files, uploads them to the cloud store,
+/// COPYs into a CDW staging table, and finally applies the job's DML
+/// transformation with adaptive error handling.
+///
+/// Pipeline stages and hand-offs (Sections 4-5):
+///   session thread: CreditManager.Acquire -> submit -> ack client
+///   converter pool: legacy encoding -> staging CSV (+ data-error capture)
+///   sequenced queue: restores chunk order
+///   writer threads: return credit, write/rotate/finalize local files
+///   finish: bulk-upload -> COPY -> (ApplyDml) adaptive application
+
+namespace hyperq::core {
+
+struct JobContext {
+  cdw::CdwServer* cdw = nullptr;
+  cloud::ObjectStore* store = nullptr;
+  CreditManager* credits = nullptr;
+  common::ThreadPool* converter_pool = nullptr;
+  common::MemoryTracker* memory = nullptr;
+  HyperQOptions options;
+};
+
+struct PhaseTimings {
+  double acquisition_seconds = 0;  ///< data receipt + conversion + upload + COPY
+  double application_seconds = 0;  ///< DML transformation in the CDW
+  double other_seconds = 0;        ///< startup/teardown bookkeeping
+};
+
+struct AcquisitionStats {
+  uint64_t chunks = 0;
+  uint64_t rows_received = 0;
+  uint64_t rows_staged = 0;
+  uint64_t bytes_received = 0;
+  uint64_t data_errors = 0;
+  uint64_t files_uploaded = 0;
+  uint64_t bytes_uploaded = 0;
+  uint64_t rows_copied = 0;
+};
+
+class ImportJob {
+ public:
+  /// Creates CDW-side state (staging + error tables) and starts the writer
+  /// stage. `job_id` must be unique on the node.
+  static common::Result<std::shared_ptr<ImportJob>> Create(const std::string& job_id,
+                                                           const legacy::BeginLoadBody& begin,
+                                                           JobContext ctx);
+
+  ~ImportJob();
+
+  /// Accepts one data chunk from a client session. Blocks while the credit
+  /// pool is empty (back-pressure); the caller acknowledges the chunk to the
+  /// client after this returns.
+  common::Status SubmitChunk(const legacy::DataChunkBody& chunk);
+
+  /// Drains the pipeline, finalizes and uploads staging files, and COPYs
+  /// into the staging table. Idempotent.
+  common::Status FinishAcquisition(uint64_t client_total_chunks, uint64_t client_total_rows);
+
+  /// Application phase: transpiles and applies the legacy DML with adaptive
+  /// error handling; records data errors; drops the staging table.
+  common::Result<legacy::JobReportBody> ApplyDml(const std::string& label,
+                                                 const std::string& sql);
+
+  const std::string& job_id() const { return job_id_; }
+  const legacy::BeginLoadBody& begin() const { return begin_; }
+  PhaseTimings timings() const;
+  AcquisitionStats stats() const;
+  const DmlApplyResult& dml_result() const { return dml_result_; }
+
+ private:
+  ImportJob(std::string job_id, legacy::BeginLoadBody begin, JobContext ctx,
+            DataConverter converter, types::Schema staging_schema);
+
+  struct WorkItem {
+    ConvertedChunk converted;
+    Credit credit;
+    common::MemoryReservation reservation;
+    common::Status status;  ///< conversion failure (fatal)
+  };
+
+  void StartWriters();
+  void WriterLoop(size_t writer_index);
+  void NoteFatal(const common::Status& s);
+  common::Status fatal_status() const;
+
+  std::string job_id_;
+  legacy::BeginLoadBody begin_;
+  JobContext ctx_;
+  DataConverter converter_;
+  types::Schema staging_schema_;
+  std::string staging_table_;
+  std::string remote_prefix_;
+
+  common::SequencedQueue<WorkItem> ordered_chunks_;
+  std::vector<std::thread> writer_threads_;
+  std::vector<std::unique_ptr<FileWriter>> file_writers_;
+  std::vector<FinalizedFile> finalized_files_;  // guarded by finalize_mu_
+  std::mutex finalize_mu_;
+
+  mutable std::mutex mu_;
+  std::condition_variable conversions_done_;
+  uint64_t outstanding_conversions_ = 0;
+  uint64_t chunk_counter_ = 0;
+  uint64_t row_counter_ = 0;
+  uint64_t bytes_received_ = 0;
+  std::vector<RecordError> data_errors_;
+  uint64_t rows_staged_ = 0;
+  common::Status fatal_;
+  bool acquisition_finished_ = false;
+
+  AcquisitionStats stats_;
+  common::Stopwatch acquisition_timer_;
+  PhaseTimings timings_;
+  DmlApplyResult dml_result_;
+};
+
+}  // namespace hyperq::core

@@ -1,0 +1,394 @@
+#include "hyperq/server.h"
+
+#include "common/logging.h"
+#include "hyperq/coalescer.h"
+#include "legacy/row_format.h"
+#include "sql/transpiler.h"
+
+namespace hyperq::core {
+
+using common::Result;
+using common::Status;
+using legacy::Message;
+using legacy::Parcel;
+using legacy::ParcelKind;
+
+namespace {
+
+/// Maps internal status codes to legacy-style numeric error codes for
+/// Failure parcels.
+uint32_t LegacyCodeFor(const Status& s) {
+  switch (s.code()) {
+    case common::StatusCode::kParseError:
+      return 3706;  // syntax error
+    case common::StatusCode::kNotFound:
+      return 3807;  // object does not exist
+    case common::StatusCode::kConstraintViolation:
+      return 2801;  // duplicate unique key
+    case common::StatusCode::kConversionError:
+      return 2666;
+    case common::StatusCode::kResourceExhausted:
+      return 3710;  // insufficient memory
+    default:
+      return 9000 + static_cast<uint32_t>(s.code());
+  }
+}
+
+Message FailureMessage(uint32_t session_id, uint32_t seq, const Status& s) {
+  legacy::FailureBody failure;
+  failure.code = LegacyCodeFor(s);
+  failure.message = s.ToString();
+  return legacy::MakeMessage(session_id, seq, failure.Encode());
+}
+
+}  // namespace
+
+HyperQServer::HyperQServer(cdw::CdwServer* cdw, cloud::ObjectStore* store, HyperQOptions options)
+    : cdw_(cdw),
+      store_(store),
+      options_(std::move(options)),
+      credits_(options_.credit_pool_size),
+      converter_pool_(options_.converter_workers),
+      memory_(options_.memory_budget_bytes) {}
+
+HyperQServer::~HyperQServer() { Stop(); }
+
+void HyperQServer::Start() {
+  if (started_) return;
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void HyperQServer::Stop() {
+  if (!started_) return;
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(session_threads_);
+    // Force EOF on any session whose client is still connected.
+    for (auto& weak : session_transports_) {
+      if (auto transport = weak.lock()) transport->Close();
+    }
+    session_transports_.clear();
+  }
+  for (auto& t : sessions) {
+    if (t.joinable()) t.join();
+  }
+  started_ = false;
+}
+
+std::shared_ptr<net::Transport> HyperQServer::Connect() { return listener_.Dial(); }
+
+void HyperQServer::AcceptLoop() {
+  for (;;) {
+    auto transport = listener_.Accept();
+    if (!transport.has_value()) return;
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_transports_.push_back(*transport);
+    session_threads_.emplace_back(
+        [this, t = std::move(*transport)]() mutable { HandleSession(std::move(t)); });
+  }
+}
+
+Result<std::shared_ptr<ImportJob>> HyperQServer::GetOrCreateImportJob(
+    const legacy::BeginLoadBody& begin) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  auto it = import_jobs_.find(begin.job_id);
+  if (it != import_jobs_.end()) return it->second;
+  JobContext ctx;
+  ctx.cdw = cdw_;
+  ctx.store = store_;
+  ctx.credits = &credits_;
+  ctx.converter_pool = &converter_pool_;
+  ctx.memory = &memory_;
+  ctx.options = options_;
+  HQ_ASSIGN_OR_RETURN(std::shared_ptr<ImportJob> job,
+                      ImportJob::Create(begin.job_id, begin, std::move(ctx)));
+  import_jobs_[begin.job_id] = job;
+  return job;
+}
+
+Result<std::shared_ptr<ExportJob>> HyperQServer::GetOrCreateExportJob(
+    const legacy::BeginExportBody& begin) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  auto it = export_jobs_.find(begin.job_id);
+  if (it != export_jobs_.end()) return it->second;
+  HQ_ASSIGN_OR_RETURN(std::shared_ptr<ExportJob> job,
+                      ExportJob::Create(begin.job_id, begin, cdw_, options_));
+  export_jobs_[begin.job_id] = job;
+  return job;
+}
+
+void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
+  Coalescer coalescer(std::move(transport));
+  uint32_t session_id = 0;
+  uint32_t seq = 0;
+  std::shared_ptr<ImportJob> import_job;
+  std::shared_ptr<ExportJob> export_job;
+
+  auto reply = [&](Message msg) { return coalescer.Send(msg); };
+  auto reply_failure = [&](const Status& s) {
+    (void)reply(FailureMessage(session_id, ++seq, s));
+  };
+
+  for (;;) {
+    auto msg = coalescer.NextMessage();
+    if (!msg.ok()) {
+      if (!msg.status().IsCancelled()) {
+        HQ_LOG_WARN() << "session " << session_id << ": " << msg.status().ToString();
+      }
+      return;
+    }
+    if (msg->parcels.empty()) continue;
+    const Parcel& parcel = msg->parcels[0];
+
+    switch (parcel.kind) {
+      case ParcelKind::kLogonRequest: {
+        auto body = legacy::LogonRequestBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        session_id = next_session_id_.fetch_add(1);
+        legacy::LogonOkBody ok;
+        ok.session_id = session_id;
+        ok.server_banner = options_.server_banner;
+        (void)reply(legacy::MakeMessage(session_id, ++seq, ok.Encode()));
+        break;
+      }
+
+      case ParcelKind::kRunRequest: {
+        // PXC: cross-compile the legacy SQL; Beta: execute + encode results.
+        auto body = legacy::RunRequestBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        auto cdw_sql = sql::TranspileSqlText(body->sql);
+        if (!cdw_sql.ok()) {
+          reply_failure(cdw_sql.status());
+          break;
+        }
+        cdw::ExecOptions exec;
+        exec.enforce_unique_primary = options_.enforce_uniqueness;
+        auto result = cdw_->ExecuteSql(*cdw_sql, exec);
+        if (!result.ok()) {
+          reply_failure(result.status());
+          break;
+        }
+        Message out;
+        out.session_id = session_id;
+        out.seq = ++seq;
+        legacy::StatementStatusBody status_body;
+        status_body.code = 0;
+        status_body.activity_count = result->activity_count();
+        out.parcels.push_back(status_body.Encode());
+        if (result->schema.num_fields() > 0) {
+          legacy::DataSetHeaderBody header;
+          header.schema = result->schema;
+          out.parcels.push_back(header.Encode());
+          legacy::BinaryRowCodec codec(result->schema);
+          bool encode_ok = true;
+          for (const auto& row : result->rows) {
+            types::Row coerced;
+            coerced.reserve(row.size());
+            for (size_t i = 0; i < row.size(); ++i) {
+              auto v = types::CastValue(row[i], result->schema.field(i).type);
+              if (!v.ok()) {
+                reply_failure(v.status());
+                encode_ok = false;
+                break;
+              }
+              coerced.push_back(std::move(v).ValueOrDie());
+            }
+            if (!encode_ok) break;
+            common::ByteBuffer record;
+            Status s = codec.EncodeRow(coerced, &record);
+            if (!s.ok()) {
+              reply_failure(s);
+              encode_ok = false;
+              break;
+            }
+            Parcel rec;
+            rec.kind = ParcelKind::kRecord;
+            rec.payload = std::move(record.vector());
+            out.parcels.push_back(std::move(rec));
+          }
+          if (!encode_ok) break;
+          Parcel end;
+          end.kind = ParcelKind::kEndStatement;
+          out.parcels.push_back(std::move(end));
+        }
+        (void)reply(out);
+        break;
+      }
+
+      case ParcelKind::kBeginLoad: {
+        auto body = legacy::BeginLoadBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        auto job = GetOrCreateImportJob(*body);
+        if (!job.ok()) {
+          reply_failure(job.status());
+          break;
+        }
+        import_job = *job;
+        Parcel ready;
+        ready.kind = ParcelKind::kLoadReady;
+        (void)reply(legacy::MakeMessage(session_id, ++seq, std::move(ready)));
+        break;
+      }
+
+      case ParcelKind::kDataChunk: {
+        auto body = legacy::DataChunkBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        if (!import_job) {
+          reply_failure(Status::ProtocolError("DataChunk before BeginLoad"));
+          break;
+        }
+        Status s = import_job->SubmitChunk(*body);
+        if (!s.ok()) {
+          reply_failure(s);
+          break;
+        }
+        // Minimal processing done: acknowledge immediately; conversion and
+        // serialization continue in the background (Section 5).
+        legacy::ChunkAckBody ack;
+        ack.chunk_seq = body->chunk_seq;
+        (void)reply(legacy::MakeMessage(session_id, ++seq, ack.Encode()));
+        break;
+      }
+
+      case ParcelKind::kEndLoad: {
+        auto body = legacy::EndLoadBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        if (!import_job) {
+          reply_failure(Status::ProtocolError("EndLoad before BeginLoad"));
+          break;
+        }
+        Status s = import_job->FinishAcquisition(body->total_chunks, body->total_rows);
+        if (!s.ok()) {
+          reply_failure(s);
+          break;
+        }
+        legacy::StatementStatusBody status_body;
+        status_body.code = 0;
+        status_body.activity_count = import_job->stats().rows_copied;
+        status_body.message = "acquisition complete";
+        (void)reply(legacy::MakeMessage(session_id, ++seq, status_body.Encode()));
+        break;
+      }
+
+      case ParcelKind::kApplyDml: {
+        auto body = legacy::ApplyDmlBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        if (!import_job) {
+          reply_failure(Status::ProtocolError("ApplyDml before BeginLoad"));
+          break;
+        }
+        auto report = import_job->ApplyDml(body->label, body->sql);
+        if (!report.ok()) {
+          reply_failure(report.status());
+          break;
+        }
+        (void)reply(legacy::MakeMessage(session_id, ++seq, report->Encode()));
+        break;
+      }
+
+      case ParcelKind::kBeginExport: {
+        auto body = legacy::BeginExportBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        auto job = GetOrCreateExportJob(*body);
+        if (!job.ok()) {
+          reply_failure(job.status());
+          break;
+        }
+        export_job = *job;
+        legacy::ExportReadyBody ready;
+        ready.schema = export_job->schema();
+        ready.total_chunks = export_job->total_chunks();
+        (void)reply(legacy::MakeMessage(session_id, ++seq, ready.Encode()));
+        break;
+      }
+
+      case ParcelKind::kExportChunkRequest: {
+        auto body = legacy::ExportChunkRequestBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        if (!export_job) {
+          reply_failure(Status::ProtocolError("ExportChunkRequest before BeginExport"));
+          break;
+        }
+        auto chunk = export_job->GetChunk(body->chunk_seq);
+        if (!chunk.ok()) {
+          reply_failure(chunk.status());
+          break;
+        }
+        (void)reply(legacy::MakeMessage(session_id, ++seq, chunk->Encode()));
+        break;
+      }
+
+      case ParcelKind::kEndExport: {
+        if (export_job) {
+          std::lock_guard<std::mutex> lock(jobs_mu_);
+          export_jobs_.erase(export_job->job_id());
+          export_job.reset();
+        }
+        legacy::StatementStatusBody status_body;
+        status_body.code = 0;
+        status_body.message = "export complete";
+        (void)reply(legacy::MakeMessage(session_id, ++seq, status_body.Encode()));
+        break;
+      }
+
+      case ParcelKind::kLogoff:
+        return;
+
+      default:
+        reply_failure(Status::ProtocolError(
+            "unexpected parcel: " + std::string(legacy::ParcelKindName(parcel.kind))));
+        break;
+    }
+  }
+}
+
+Result<PhaseTimings> HyperQServer::JobTimings(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  auto it = import_jobs_.find(job_id);
+  if (it == import_jobs_.end()) return Status::NotFound("job not found: " + job_id);
+  return it->second->timings();
+}
+
+Result<AcquisitionStats> HyperQServer::JobStats(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  auto it = import_jobs_.find(job_id);
+  if (it == import_jobs_.end()) return Status::NotFound("job not found: " + job_id);
+  return it->second->stats();
+}
+
+Result<DmlApplyResult> HyperQServer::JobDmlResult(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  auto it = import_jobs_.find(job_id);
+  if (it == import_jobs_.end()) return Status::NotFound("job not found: " + job_id);
+  return it->second->dml_result();
+}
+
+}  // namespace hyperq::core

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cdw/cdw_server.h"
+#include "cloudstore/object_store.h"
+#include "common/memory_tracker.h"
+#include "common/thread_pool.h"
+#include "hyperq/credit_manager.h"
+#include "hyperq/export_job.h"
+#include "hyperq/hyperq_config.h"
+#include "hyperq/import_job.h"
+#include "net/listener.h"
+
+/// \file server.h
+/// The Hyper-Q node. The Alpha process (network listener) accepts legacy
+/// client connections; each connection is served by a session pipeline
+/// (Coalescer -> PXC -> data path or Beta). Node-wide resources exist once
+/// per node exactly as the paper prescribes: one CreditManager shared by all
+/// concurrent ETL jobs (Section 5), one DataConverter worker pool, one
+/// memory budget.
+
+namespace hyperq::core {
+
+class HyperQServer {
+ public:
+  HyperQServer(cdw::CdwServer* cdw, cloud::ObjectStore* store, HyperQOptions options = {});
+  ~HyperQServer();
+
+  HyperQServer(const HyperQServer&) = delete;
+  HyperQServer& operator=(const HyperQServer&) = delete;
+
+  /// Starts the Alpha accept loop.
+  void Start();
+
+  /// Stops accepting connections and joins finished session threads. Active
+  /// sessions end when their clients log off / close.
+  void Stop();
+
+  /// Client-side dial (legacy tools "connect" here instead of to the EDW).
+  std::shared_ptr<net::Transport> Connect();
+
+  CreditManager* credit_manager() { return &credits_; }
+  common::MemoryTracker* memory_tracker() { return &memory_; }
+  const HyperQOptions& options() const { return options_; }
+
+  /// Per-job instrumentation, available after the job's DML apply (jobs are
+  /// retained after completion).
+  common::Result<PhaseTimings> JobTimings(const std::string& job_id) const;
+  common::Result<AcquisitionStats> JobStats(const std::string& job_id) const;
+  common::Result<DmlApplyResult> JobDmlResult(const std::string& job_id) const;
+
+ private:
+  void AcceptLoop();
+  void HandleSession(std::shared_ptr<net::Transport> transport);
+
+  common::Result<std::shared_ptr<ImportJob>> GetOrCreateImportJob(
+      const legacy::BeginLoadBody& begin);
+  common::Result<std::shared_ptr<ExportJob>> GetOrCreateExportJob(
+      const legacy::BeginExportBody& begin);
+
+  cdw::CdwServer* cdw_;
+  cloud::ObjectStore* store_;
+  HyperQOptions options_;
+
+  CreditManager credits_;
+  common::ThreadPool converter_pool_;
+  common::MemoryTracker memory_;
+
+  net::Listener listener_;
+  std::thread accept_thread_;
+  std::mutex sessions_mu_;
+  std::vector<std::thread> session_threads_;
+  /// Live session transports; Stop() closes them so handler threads blocked
+  /// in a read observe EOF and exit (clients that never log off must not be
+  /// able to wedge shutdown).
+  std::vector<std::weak_ptr<net::Transport>> session_transports_;
+  bool started_ = false;
+  std::atomic<uint32_t> next_session_id_{1};
+
+  mutable std::mutex jobs_mu_;
+  std::map<std::string, std::shared_ptr<ImportJob>> import_jobs_;
+  std::map<std::string, std::shared_ptr<ExportJob>> export_jobs_;
+};
+
+}  // namespace hyperq::core

@@ -1,0 +1,87 @@
+#include "hyperq/tdf_cursor.h"
+
+#include <algorithm>
+
+namespace hyperq::core {
+
+using common::ByteBuffer;
+using common::Result;
+using common::Status;
+
+TdfCursor::TdfCursor(types::Schema schema, std::vector<types::Row> rows, TdfCursorOptions options)
+    : schema_(std::move(schema)), rows_(std::move(rows)), options_(options) {
+  if (options_.chunk_rows == 0) options_.chunk_rows = 1;
+  if (options_.prefetch == 0) options_.prefetch = 1;
+  total_chunks_ = (rows_.size() + options_.chunk_rows - 1) / options_.chunk_rows;
+  prefetcher_ = std::thread([this] { PrefetchLoop(); });
+}
+
+TdfCursor::~TdfCursor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    window_open_.notify_all();
+    chunk_ready_.notify_all();
+  }
+  if (prefetcher_.joinable()) prefetcher_.join();
+}
+
+void TdfCursor::PrefetchLoop() {
+  tdf::TdfWriter writer(tdf::TdfSchema::FromFlat(schema_));
+  for (;;) {
+    uint64_t seq;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      window_open_.wait(lock, [&] {
+        return shutdown_ || (next_to_encode_ < total_chunks_ &&
+                             next_to_encode_ < lowest_unserved_ + options_.prefetch);
+      });
+      if (shutdown_ || next_to_encode_ >= total_chunks_) return;
+      seq = next_to_encode_++;
+    }
+    // Encode outside the lock.
+    size_t begin = static_cast<size_t>(seq) * options_.chunk_rows;
+    size_t end = std::min(rows_.size(), begin + options_.chunk_rows);
+    for (size_t r = begin; r < end; ++r) {
+      // Rows came from the executor and match the schema; failures here are
+      // internal bugs and surface as an empty packet.
+      (void)writer.AppendFlatRow(rows_[r]);
+    }
+    auto packet = std::make_shared<const ByteBuffer>(writer.Finish());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buffered_[seq] = std::move(packet);
+      ++chunks_encoded_;
+      max_buffered_ = std::max<uint64_t>(max_buffered_, buffered_.size());
+      chunk_ready_.notify_all();
+    }
+  }
+}
+
+Result<std::shared_ptr<const ByteBuffer>> TdfCursor::FetchChunk(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (seq >= total_chunks_) return Status::NotFound("chunk past end of export cursor");
+  chunk_ready_.wait(lock, [&] { return shutdown_ || buffered_.count(seq) != 0; });
+  if (shutdown_) return Status::Cancelled("cursor shut down");
+  auto packet = buffered_.at(seq);
+  buffered_.erase(seq);
+  if (served_.size() < total_chunks_) served_.resize(total_chunks_, false);
+  served_[seq] = true;
+  while (lowest_unserved_ < total_chunks_ && served_[lowest_unserved_]) {
+    ++lowest_unserved_;
+  }
+  window_open_.notify_all();
+  return packet;
+}
+
+uint64_t TdfCursor::chunks_encoded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_encoded_;
+}
+
+uint64_t TdfCursor::max_buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_buffered_;
+}
+
+}  // namespace hyperq::core

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "tdf/tdf.h"
+#include "types/schema.h"
+
+/// \file tdf_cursor.h
+/// The TDFCursor process (paper Section 3): on-demand retrieval and
+/// buffering of result chunks for export jobs. A background thread pulls row
+/// batches from the query result, encodes each batch as a TDF packet, and
+/// buffers up to `prefetch` packets ahead of the slowest client session.
+/// Client sessions request chunks by order number; requests for a chunk past
+/// the end return nullopt.
+
+namespace hyperq::core {
+
+struct TdfCursorOptions {
+  size_t chunk_rows = 4096;
+  size_t prefetch = 8;
+};
+
+class TdfCursor {
+ public:
+  /// Takes ownership of the materialized result rows (the simulated CDW
+  /// returns results eagerly; the cursor re-batches them on demand).
+  TdfCursor(types::Schema schema, std::vector<types::Row> rows, TdfCursorOptions options = {});
+  ~TdfCursor();
+
+  TdfCursor(const TdfCursor&) = delete;
+  TdfCursor& operator=(const TdfCursor&) = delete;
+
+  const types::Schema& schema() const { return schema_; }
+  uint64_t total_chunks() const { return total_chunks_; }
+
+  /// Fetches chunk `seq` (0-based) as an encoded TDF packet; blocks until
+  /// prefetched. nullopt when `seq` is past the last chunk. Chunks may be
+  /// requested by different sessions in any interleaving, but each chunk at
+  /// most advances the prefetch window — fetching far ahead of the window
+  /// blocks until earlier chunks were served.
+  common::Result<std::shared_ptr<const common::ByteBuffer>> FetchChunk(uint64_t seq);
+
+  /// True when `seq` is beyond the final chunk.
+  bool PastEnd(uint64_t seq) const { return seq >= total_chunks_; }
+
+  /// Encoding/prefetch statistics.
+  uint64_t chunks_encoded() const;
+  uint64_t max_buffered() const;
+
+ private:
+  void PrefetchLoop();
+
+  types::Schema schema_;
+  std::vector<types::Row> rows_;
+  TdfCursorOptions options_;
+  uint64_t total_chunks_;
+
+  mutable std::mutex mu_;
+  std::condition_variable chunk_ready_;
+  std::condition_variable window_open_;
+  std::map<uint64_t, std::shared_ptr<const common::ByteBuffer>> buffered_;
+  std::vector<bool> served_;
+  uint64_t next_to_encode_ = 0;
+  uint64_t lowest_unserved_ = 0;
+  uint64_t chunks_encoded_ = 0;
+  uint64_t max_buffered_ = 0;
+  bool shutdown_ = false;
+  std::thread prefetcher_;
+};
+
+}  // namespace hyperq::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file errors.h
+/// Error codes of the simulated legacy EDW, matching the codes that appear in
+/// the paper's worked examples (Figures 5 and 6).
+
+namespace hyperq::legacy {
+
+/// Codes recorded in legacy-style error tables.
+enum LegacyErrorCode : uint32_t {
+  kErrNone = 0,
+  /// Data format violation detected while applying DML (Figure 5b).
+  kErrFormatViolation = 2666,
+  /// Uniqueness constraint violation (Figure 5c).
+  kErrUniquenessViolation = 2794,
+  /// DATE conversion failed during DML (Figure 6, Hyper-Q error table).
+  kErrDateConversionDml = 3103,
+  /// Maximum number of errors reached; a row range was skipped (Figure 6).
+  kErrMaxErrorsReached = 9057,
+  /// Input record had the wrong number of fields for the layout.
+  kErrFieldCountMismatch = 2673,
+  /// Generic numeric overflow during conversion.
+  kErrNumericOverflow = 2616,
+  /// String too long for target column.
+  kErrStringOverflow = 6706,
+  /// NOT NULL column received a NULL value.
+  kErrNullViolation = 3604,
+};
+
+}  // namespace hyperq::legacy

@@ -1,0 +1,34 @@
+#include "legacy/message_stream.h"
+
+namespace hyperq::legacy {
+
+using common::ByteBuffer;
+using common::Result;
+using common::Slice;
+using common::Status;
+
+Status MessageStream::Send(const Message& msg) {
+  ByteBuffer buf;
+  EncodeMessage(msg, &buf);
+  return transport_->Write(buf.AsSlice());
+}
+
+Result<Message> MessageStream::Receive() {
+  for (;;) {
+    Message msg;
+    HQ_ASSIGN_OR_RETURN(size_t consumed, TryDecodeMessage(Slice(pending_), &msg));
+    if (consumed > 0) {
+      pending_.erase(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(consumed));
+      return msg;
+    }
+    uint8_t buf[64 * 1024];
+    HQ_ASSIGN_OR_RETURN(size_t n, transport_->Read(buf, sizeof(buf)));
+    if (n == 0) {
+      if (pending_.empty()) return Status::Cancelled("connection closed");
+      return Status::ProtocolError("connection closed mid-frame");
+    }
+    pending_.insert(pending_.end(), buf, buf + n);
+  }
+}
+
+}  // namespace hyperq::legacy

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "legacy/parcel.h"
+#include "net/transport.h"
+
+/// \file message_stream.h
+/// Whole-message send/receive over a byte-stream Transport. The client tool
+/// uses this directly; on the Hyper-Q side the Coalescer process wraps the
+/// same reassembly with instrumentation.
+
+namespace hyperq::legacy {
+
+class MessageStream {
+ public:
+  explicit MessageStream(std::shared_ptr<net::Transport> transport)
+      : transport_(std::move(transport)) {}
+
+  /// Serializes and writes one message.
+  common::Status Send(const Message& msg);
+
+  /// Blocks for the next complete message. IOError at EOF mid-frame;
+  /// NotFound-free: clean EOF between frames returns Cancelled.
+  common::Result<Message> Receive();
+
+  net::Transport* transport() { return transport_.get(); }
+
+ private:
+  std::shared_ptr<net::Transport> transport_;
+  std::vector<uint8_t> pending_;
+};
+
+}  // namespace hyperq::legacy

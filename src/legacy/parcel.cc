@@ -1,0 +1,505 @@
+#include "legacy/parcel.h"
+
+namespace hyperq::legacy {
+
+using common::ByteBuffer;
+using common::ByteReader;
+using common::Result;
+using common::Slice;
+using common::Status;
+
+std::string_view ParcelKindName(ParcelKind kind) {
+  switch (kind) {
+    case ParcelKind::kLogonRequest:
+      return "LogonRequest";
+    case ParcelKind::kLogonOk:
+      return "LogonOk";
+    case ParcelKind::kFailure:
+      return "Failure";
+    case ParcelKind::kLogoff:
+      return "Logoff";
+    case ParcelKind::kRunRequest:
+      return "RunRequest";
+    case ParcelKind::kStatementStatus:
+      return "StatementStatus";
+    case ParcelKind::kDataSetHeader:
+      return "DataSetHeader";
+    case ParcelKind::kRecord:
+      return "Record";
+    case ParcelKind::kEndStatement:
+      return "EndStatement";
+    case ParcelKind::kBeginLoad:
+      return "BeginLoad";
+    case ParcelKind::kLoadReady:
+      return "LoadReady";
+    case ParcelKind::kDataChunk:
+      return "DataChunk";
+    case ParcelKind::kChunkAck:
+      return "ChunkAck";
+    case ParcelKind::kEndLoad:
+      return "EndLoad";
+    case ParcelKind::kApplyDml:
+      return "ApplyDml";
+    case ParcelKind::kJobReport:
+      return "JobReport";
+    case ParcelKind::kBeginExport:
+      return "BeginExport";
+    case ParcelKind::kExportReady:
+      return "ExportReady";
+    case ParcelKind::kExportChunkRequest:
+      return "ExportChunkRequest";
+    case ParcelKind::kExportChunk:
+      return "ExportChunk";
+    case ParcelKind::kEndExport:
+      return "EndExport";
+  }
+  return "Unknown";
+}
+
+void EncodeMessage(const Message& msg, ByteBuffer* out) {
+  size_t header_pos = out->size();
+  out->AppendU32(kLdwpMagic);
+  out->AppendU32(0);  // total_len patched below
+  out->AppendU32(msg.session_id);
+  out->AppendU32(msg.seq);
+  for (const auto& parcel : msg.parcels) {
+    out->AppendU16(static_cast<uint16_t>(parcel.kind));
+    out->AppendU32(static_cast<uint32_t>(parcel.payload.size()));
+    out->AppendBytes(parcel.payload.data(), parcel.payload.size());
+  }
+  out->PatchU32(header_pos + 4, static_cast<uint32_t>(out->size() - header_pos));
+}
+
+Result<uint32_t> PeekMessageLength(Slice buffer) {
+  if (buffer.size() < 8) return static_cast<uint32_t>(0);
+  ByteReader reader(buffer);
+  HQ_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kLdwpMagic) {
+    return Status::ProtocolError("bad LDWP magic: " + std::to_string(magic));
+  }
+  HQ_ASSIGN_OR_RETURN(uint32_t total_len, reader.ReadU32());
+  if (total_len < kMessageHeaderBytes || total_len > kMaxMessageBytes) {
+    return Status::ProtocolError("implausible LDWP frame length: " + std::to_string(total_len));
+  }
+  return total_len;
+}
+
+Result<size_t> TryDecodeMessage(Slice buffer, Message* msg) {
+  HQ_ASSIGN_OR_RETURN(uint32_t total_len, PeekMessageLength(buffer));
+  if (total_len == 0 || buffer.size() < total_len) return static_cast<size_t>(0);
+  ByteReader reader(buffer.SubSlice(0, total_len));
+  HQ_RETURN_NOT_OK(reader.Skip(8));  // magic + length
+  HQ_ASSIGN_OR_RETURN(msg->session_id, reader.ReadU32());
+  HQ_ASSIGN_OR_RETURN(msg->seq, reader.ReadU32());
+  msg->parcels.clear();
+  while (!reader.AtEnd()) {
+    HQ_ASSIGN_OR_RETURN(uint16_t kind, reader.ReadU16());
+    HQ_ASSIGN_OR_RETURN(Slice payload, reader.ReadLengthPrefixed32());
+    Parcel parcel;
+    parcel.kind = static_cast<ParcelKind>(kind);
+    parcel.payload.assign(payload.data(), payload.data() + payload.size());
+    msg->parcels.push_back(std::move(parcel));
+  }
+  return static_cast<size_t>(total_len);
+}
+
+namespace {
+
+Parcel Finish(ParcelKind kind, ByteBuffer buf) {
+  Parcel p;
+  p.kind = kind;
+  p.payload = std::move(buf.vector());
+  return p;
+}
+
+Status ExpectKind(const Parcel& p, ParcelKind kind) {
+  if (p.kind != kind) {
+    return Status::ProtocolError(std::string("expected parcel ") +
+                                 std::string(ParcelKindName(kind)) + ", got " +
+                                 std::string(ParcelKindName(p.kind)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeSchema(const types::Schema& schema, ByteBuffer* out) {
+  out->AppendU16(static_cast<uint16_t>(schema.num_fields()));
+  for (const auto& f : schema.fields()) {
+    out->AppendLengthPrefixed16(f.name);
+    out->AppendByte(static_cast<uint8_t>(f.type.id));
+    out->AppendI32(f.type.length);
+    out->AppendI32(f.type.precision);
+    out->AppendI32(f.type.scale);
+    out->AppendByte(static_cast<uint8_t>(f.type.charset));
+    out->AppendByte(f.nullable ? 1 : 0);
+  }
+}
+
+Result<types::Schema> DecodeSchema(ByteReader* reader) {
+  HQ_ASSIGN_OR_RETURN(uint16_t n, reader->ReadU16());
+  std::vector<types::Field> fields;
+  fields.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    HQ_ASSIGN_OR_RETURN(Slice name, reader->ReadLengthPrefixed16());
+    HQ_ASSIGN_OR_RETURN(uint8_t tid, reader->ReadByte());
+    types::TypeDesc type(static_cast<types::TypeId>(tid));
+    HQ_ASSIGN_OR_RETURN(type.length, reader->ReadI32());
+    HQ_ASSIGN_OR_RETURN(type.precision, reader->ReadI32());
+    HQ_ASSIGN_OR_RETURN(type.scale, reader->ReadI32());
+    HQ_ASSIGN_OR_RETURN(uint8_t cs, reader->ReadByte());
+    type.charset = static_cast<types::CharSet>(cs);
+    HQ_ASSIGN_OR_RETURN(uint8_t nullable, reader->ReadByte());
+    fields.emplace_back(name.ToString(), type, nullable != 0);
+  }
+  return types::Schema(std::move(fields));
+}
+
+// --- LogonRequest -----------------------------------------------------------
+
+Parcel LogonRequestBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed16(host);
+  buf.AppendLengthPrefixed16(user);
+  buf.AppendLengthPrefixed16(password);
+  return Finish(ParcelKind::kLogonRequest, std::move(buf));
+}
+
+Result<LogonRequestBody> LogonRequestBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kLogonRequest));
+  ByteReader reader(Slice(p.payload));
+  LogonRequestBody body;
+  HQ_ASSIGN_OR_RETURN(Slice host, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice user, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice password, reader.ReadLengthPrefixed16());
+  body.host = host.ToString();
+  body.user = user.ToString();
+  body.password = password.ToString();
+  return body;
+}
+
+// --- LogonOk ----------------------------------------------------------------
+
+Parcel LogonOkBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU32(session_id);
+  buf.AppendLengthPrefixed16(server_banner);
+  return Finish(ParcelKind::kLogonOk, std::move(buf));
+}
+
+Result<LogonOkBody> LogonOkBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kLogonOk));
+  ByteReader reader(Slice(p.payload));
+  LogonOkBody body;
+  HQ_ASSIGN_OR_RETURN(body.session_id, reader.ReadU32());
+  HQ_ASSIGN_OR_RETURN(Slice banner, reader.ReadLengthPrefixed16());
+  body.server_banner = banner.ToString();
+  return body;
+}
+
+// --- Failure ----------------------------------------------------------------
+
+Parcel FailureBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU32(code);
+  buf.AppendLengthPrefixed16(message);
+  return Finish(ParcelKind::kFailure, std::move(buf));
+}
+
+Result<FailureBody> FailureBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kFailure));
+  ByteReader reader(Slice(p.payload));
+  FailureBody body;
+  HQ_ASSIGN_OR_RETURN(body.code, reader.ReadU32());
+  HQ_ASSIGN_OR_RETURN(Slice msg, reader.ReadLengthPrefixed16());
+  body.message = msg.ToString();
+  return body;
+}
+
+// --- RunRequest -------------------------------------------------------------
+
+Parcel RunRequestBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed32(Slice(std::string_view(sql)));
+  return Finish(ParcelKind::kRunRequest, std::move(buf));
+}
+
+Result<RunRequestBody> RunRequestBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kRunRequest));
+  ByteReader reader(Slice(p.payload));
+  RunRequestBody body;
+  HQ_ASSIGN_OR_RETURN(Slice sql, reader.ReadLengthPrefixed32());
+  body.sql = sql.ToString();
+  return body;
+}
+
+// --- StatementStatus --------------------------------------------------------
+
+Parcel StatementStatusBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU32(code);
+  buf.AppendU64(activity_count);
+  buf.AppendLengthPrefixed16(message);
+  return Finish(ParcelKind::kStatementStatus, std::move(buf));
+}
+
+Result<StatementStatusBody> StatementStatusBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kStatementStatus));
+  ByteReader reader(Slice(p.payload));
+  StatementStatusBody body;
+  HQ_ASSIGN_OR_RETURN(body.code, reader.ReadU32());
+  HQ_ASSIGN_OR_RETURN(body.activity_count, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(Slice msg, reader.ReadLengthPrefixed16());
+  body.message = msg.ToString();
+  return body;
+}
+
+// --- DataSetHeader ----------------------------------------------------------
+
+Parcel DataSetHeaderBody::Encode() const {
+  ByteBuffer buf;
+  EncodeSchema(schema, &buf);
+  return Finish(ParcelKind::kDataSetHeader, std::move(buf));
+}
+
+Result<DataSetHeaderBody> DataSetHeaderBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kDataSetHeader));
+  ByteReader reader(Slice(p.payload));
+  DataSetHeaderBody body;
+  HQ_ASSIGN_OR_RETURN(body.schema, DecodeSchema(&reader));
+  return body;
+}
+
+// --- BeginLoad --------------------------------------------------------------
+
+Parcel BeginLoadBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed16(job_id);
+  buf.AppendLengthPrefixed16(target_table);
+  buf.AppendLengthPrefixed16(error_table_et);
+  buf.AppendLengthPrefixed16(error_table_uv);
+  buf.AppendByte(static_cast<uint8_t>(format));
+  buf.AppendByte(static_cast<uint8_t>(delimiter));
+  EncodeSchema(layout, &buf);
+  buf.AppendU64(max_errors);
+  buf.AppendI32(max_retries);
+  return Finish(ParcelKind::kBeginLoad, std::move(buf));
+}
+
+Result<BeginLoadBody> BeginLoadBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kBeginLoad));
+  ByteReader reader(Slice(p.payload));
+  BeginLoadBody body;
+  HQ_ASSIGN_OR_RETURN(Slice job_id, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice target, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice et, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice uv, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(uint8_t fmt, reader.ReadByte());
+  HQ_ASSIGN_OR_RETURN(uint8_t delim, reader.ReadByte());
+  HQ_ASSIGN_OR_RETURN(body.layout, DecodeSchema(&reader));
+  HQ_ASSIGN_OR_RETURN(body.max_errors, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.max_retries, reader.ReadI32());
+  body.job_id = job_id.ToString();
+  body.target_table = target.ToString();
+  body.error_table_et = et.ToString();
+  body.error_table_uv = uv.ToString();
+  body.format = static_cast<DataFormat>(fmt);
+  body.delimiter = static_cast<char>(delim);
+  return body;
+}
+
+// --- DataChunk --------------------------------------------------------------
+
+Parcel DataChunkBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU64(chunk_seq);
+  buf.AppendU32(row_count);
+  buf.AppendLengthPrefixed32(Slice(payload));
+  return Finish(ParcelKind::kDataChunk, std::move(buf));
+}
+
+Result<DataChunkBody> DataChunkBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kDataChunk));
+  ByteReader reader(Slice(p.payload));
+  DataChunkBody body;
+  HQ_ASSIGN_OR_RETURN(body.chunk_seq, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.row_count, reader.ReadU32());
+  HQ_ASSIGN_OR_RETURN(Slice payload, reader.ReadLengthPrefixed32());
+  body.payload.assign(payload.data(), payload.data() + payload.size());
+  return body;
+}
+
+// --- ChunkAck ---------------------------------------------------------------
+
+Parcel ChunkAckBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU64(chunk_seq);
+  return Finish(ParcelKind::kChunkAck, std::move(buf));
+}
+
+Result<ChunkAckBody> ChunkAckBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kChunkAck));
+  ByteReader reader(Slice(p.payload));
+  ChunkAckBody body;
+  HQ_ASSIGN_OR_RETURN(body.chunk_seq, reader.ReadU64());
+  return body;
+}
+
+// --- EndLoad ----------------------------------------------------------------
+
+Parcel EndLoadBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU64(total_chunks);
+  buf.AppendU64(total_rows);
+  return Finish(ParcelKind::kEndLoad, std::move(buf));
+}
+
+Result<EndLoadBody> EndLoadBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kEndLoad));
+  ByteReader reader(Slice(p.payload));
+  EndLoadBody body;
+  HQ_ASSIGN_OR_RETURN(body.total_chunks, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.total_rows, reader.ReadU64());
+  return body;
+}
+
+// --- ApplyDml ---------------------------------------------------------------
+
+Parcel ApplyDmlBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed16(label);
+  buf.AppendLengthPrefixed32(Slice(std::string_view(sql)));
+  return Finish(ParcelKind::kApplyDml, std::move(buf));
+}
+
+Result<ApplyDmlBody> ApplyDmlBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kApplyDml));
+  ByteReader reader(Slice(p.payload));
+  ApplyDmlBody body;
+  HQ_ASSIGN_OR_RETURN(Slice label, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice sql, reader.ReadLengthPrefixed32());
+  body.label = label.ToString();
+  body.sql = sql.ToString();
+  return body;
+}
+
+// --- JobReport --------------------------------------------------------------
+
+Parcel JobReportBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU64(rows_inserted);
+  buf.AppendU64(rows_updated);
+  buf.AppendU64(rows_deleted);
+  buf.AppendU64(et_errors);
+  buf.AppendU64(uv_errors);
+  buf.AppendLengthPrefixed16(message);
+  return Finish(ParcelKind::kJobReport, std::move(buf));
+}
+
+Result<JobReportBody> JobReportBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kJobReport));
+  ByteReader reader(Slice(p.payload));
+  JobReportBody body;
+  HQ_ASSIGN_OR_RETURN(body.rows_inserted, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.rows_updated, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.rows_deleted, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.et_errors, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.uv_errors, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(Slice msg, reader.ReadLengthPrefixed16());
+  body.message = msg.ToString();
+  return body;
+}
+
+// --- BeginExport ------------------------------------------------------------
+
+Parcel BeginExportBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed16(job_id);
+  buf.AppendLengthPrefixed32(Slice(std::string_view(select_sql)));
+  buf.AppendByte(static_cast<uint8_t>(format));
+  buf.AppendByte(static_cast<uint8_t>(delimiter));
+  return Finish(ParcelKind::kBeginExport, std::move(buf));
+}
+
+Result<BeginExportBody> BeginExportBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kBeginExport));
+  ByteReader reader(Slice(p.payload));
+  BeginExportBody body;
+  HQ_ASSIGN_OR_RETURN(Slice job_id, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice sql, reader.ReadLengthPrefixed32());
+  HQ_ASSIGN_OR_RETURN(uint8_t fmt, reader.ReadByte());
+  HQ_ASSIGN_OR_RETURN(uint8_t delim, reader.ReadByte());
+  body.job_id = job_id.ToString();
+  body.select_sql = sql.ToString();
+  body.format = static_cast<DataFormat>(fmt);
+  body.delimiter = static_cast<char>(delim);
+  return body;
+}
+
+// --- ExportReady ------------------------------------------------------------
+
+Parcel ExportReadyBody::Encode() const {
+  ByteBuffer buf;
+  EncodeSchema(schema, &buf);
+  buf.AppendU64(total_chunks);
+  return Finish(ParcelKind::kExportReady, std::move(buf));
+}
+
+Result<ExportReadyBody> ExportReadyBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kExportReady));
+  ByteReader reader(Slice(p.payload));
+  ExportReadyBody body;
+  HQ_ASSIGN_OR_RETURN(body.schema, DecodeSchema(&reader));
+  HQ_ASSIGN_OR_RETURN(body.total_chunks, reader.ReadU64());
+  return body;
+}
+
+// --- ExportChunkRequest -----------------------------------------------------
+
+Parcel ExportChunkRequestBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU64(chunk_seq);
+  return Finish(ParcelKind::kExportChunkRequest, std::move(buf));
+}
+
+Result<ExportChunkRequestBody> ExportChunkRequestBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kExportChunkRequest));
+  ByteReader reader(Slice(p.payload));
+  ExportChunkRequestBody body;
+  HQ_ASSIGN_OR_RETURN(body.chunk_seq, reader.ReadU64());
+  return body;
+}
+
+// --- ExportChunk ------------------------------------------------------------
+
+Parcel ExportChunkBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU64(chunk_seq);
+  buf.AppendU32(row_count);
+  buf.AppendByte(last ? 1 : 0);
+  buf.AppendLengthPrefixed32(Slice(payload));
+  return Finish(ParcelKind::kExportChunk, std::move(buf));
+}
+
+Result<ExportChunkBody> ExportChunkBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kExportChunk));
+  ByteReader reader(Slice(p.payload));
+  ExportChunkBody body;
+  HQ_ASSIGN_OR_RETURN(body.chunk_seq, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.row_count, reader.ReadU32());
+  HQ_ASSIGN_OR_RETURN(uint8_t last, reader.ReadByte());
+  body.last = last != 0;
+  HQ_ASSIGN_OR_RETURN(Slice payload, reader.ReadLengthPrefixed32());
+  body.payload.assign(payload.data(), payload.data() + payload.size());
+  return body;
+}
+
+Message MakeMessage(uint32_t session_id, uint32_t seq, Parcel parcel) {
+  Message msg;
+  msg.session_id = session_id;
+  msg.seq = seq;
+  msg.parcels.push_back(std::move(parcel));
+  return msg;
+}
+
+}  // namespace hyperq::legacy

@@ -1,0 +1,246 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "types/schema.h"
+
+/// \file parcel.h
+/// LDWP — the Legacy Data Warehouse Protocol. A parcel-structured binary
+/// protocol in the style of the proprietary EDW protocols the paper
+/// virtualizes: every message is a framed sequence of typed parcels, and data
+/// loading uses a synchronous chunk/acknowledgment flow (Section 5: "ETL
+/// clients typically use a synchronous protocol requiring an acknowledgment
+/// of one chunk before sending the next").
+///
+/// Wire layout (all integers little-endian):
+///   Message  := magic u32 ('L','D','W','1') | total_len u32 | session_id u32
+///               | seq u32 | parcel*
+///   Parcel   := kind u16 | payload_len u32 | payload bytes
+/// `total_len` covers the entire message including the 16-byte header.
+
+namespace hyperq::legacy {
+
+constexpr uint32_t kLdwpMagic = 0x3157444CU;  // "LDW1"
+constexpr size_t kMessageHeaderBytes = 16;
+/// Upper bound on a single message; larger frames are a protocol error.
+constexpr uint32_t kMaxMessageBytes = 64u << 20;
+
+enum class ParcelKind : uint16_t {
+  kLogonRequest = 1,
+  kLogonOk = 2,
+  kFailure = 3,
+  kLogoff = 4,
+  kRunRequest = 10,
+  kStatementStatus = 11,
+  kDataSetHeader = 12,
+  kRecord = 13,
+  kEndStatement = 14,
+  kBeginLoad = 20,
+  kLoadReady = 21,
+  kDataChunk = 22,
+  kChunkAck = 23,
+  kEndLoad = 24,
+  kApplyDml = 25,
+  kJobReport = 26,
+  kBeginExport = 30,
+  kExportReady = 31,
+  kExportChunkRequest = 32,
+  kExportChunk = 33,
+  kEndExport = 34,
+};
+
+std::string_view ParcelKindName(ParcelKind kind);
+
+/// A decoded parcel: kind + raw payload (interpreted by the typed codecs
+/// below).
+struct Parcel {
+  ParcelKind kind;
+  std::vector<uint8_t> payload;
+};
+
+/// A decoded message.
+struct Message {
+  uint32_t session_id = 0;
+  uint32_t seq = 0;
+  std::vector<Parcel> parcels;
+};
+
+/// Serializes a message into `out` (appends).
+void EncodeMessage(const Message& msg, common::ByteBuffer* out);
+
+/// Attempts to decode one complete message from the front of `buffer`.
+/// Returns the number of bytes consumed (0 when the frame is incomplete) and
+/// fills `*msg` when a full frame was present. This is the Coalescer
+/// primitive: callers accumulate stream bytes and call this repeatedly.
+common::Result<size_t> TryDecodeMessage(common::Slice buffer, Message* msg);
+
+/// Peeks the total frame length from a buffer holding at least the header;
+/// 0 when fewer than 8 bytes are available.
+common::Result<uint32_t> PeekMessageLength(common::Slice buffer);
+
+// ---------------------------------------------------------------------------
+// Typed parcel bodies. Each struct has Encode() -> Parcel and a Decode()
+// that parses a Parcel's payload.
+// ---------------------------------------------------------------------------
+
+/// How rows are encoded inside data chunks and export chunks.
+enum class DataFormat : uint8_t {
+  kBinary = 0,   ///< legacy "indicdata" binary records
+  kVartext = 1,  ///< delimited text records
+};
+
+struct LogonRequestBody {
+  std::string host;
+  std::string user;
+  std::string password;
+
+  Parcel Encode() const;
+  static common::Result<LogonRequestBody> Decode(const Parcel& p);
+};
+
+struct LogonOkBody {
+  uint32_t session_id = 0;
+  std::string server_banner;
+
+  Parcel Encode() const;
+  static common::Result<LogonOkBody> Decode(const Parcel& p);
+};
+
+struct FailureBody {
+  uint32_t code = 0;
+  std::string message;
+
+  Parcel Encode() const;
+  static common::Result<FailureBody> Decode(const Parcel& p);
+};
+
+struct RunRequestBody {
+  std::string sql;
+
+  Parcel Encode() const;
+  static common::Result<RunRequestBody> Decode(const Parcel& p);
+};
+
+struct StatementStatusBody {
+  uint32_t code = 0;  ///< 0 = success; otherwise a LegacyErrorCode
+  uint64_t activity_count = 0;
+  std::string message;
+
+  Parcel Encode() const;
+  static common::Result<StatementStatusBody> Decode(const Parcel& p);
+};
+
+/// Schema serialization shared by result sets, load layouts and exports.
+void EncodeSchema(const types::Schema& schema, common::ByteBuffer* out);
+common::Result<types::Schema> DecodeSchema(common::ByteReader* reader);
+
+struct DataSetHeaderBody {
+  types::Schema schema;
+
+  Parcel Encode() const;
+  static common::Result<DataSetHeaderBody> Decode(const Parcel& p);
+};
+
+struct BeginLoadBody {
+  std::string job_id;
+  std::string target_table;
+  std::string error_table_et;
+  std::string error_table_uv;
+  DataFormat format = DataFormat::kVartext;
+  char delimiter = '|';
+  types::Schema layout;
+  /// Error-handling knobs from the script's .set commands; 0 = server default.
+  uint64_t max_errors = 0;
+  int32_t max_retries = 0;
+
+  Parcel Encode() const;
+  static common::Result<BeginLoadBody> Decode(const Parcel& p);
+};
+
+struct DataChunkBody {
+  uint64_t chunk_seq = 0;
+  uint32_t row_count = 0;
+  std::vector<uint8_t> payload;
+
+  Parcel Encode() const;
+  static common::Result<DataChunkBody> Decode(const Parcel& p);
+};
+
+struct ChunkAckBody {
+  uint64_t chunk_seq = 0;
+
+  Parcel Encode() const;
+  static common::Result<ChunkAckBody> Decode(const Parcel& p);
+};
+
+struct EndLoadBody {
+  uint64_t total_chunks = 0;
+  uint64_t total_rows = 0;
+
+  Parcel Encode() const;
+  static common::Result<EndLoadBody> Decode(const Parcel& p);
+};
+
+struct ApplyDmlBody {
+  std::string label;
+  std::string sql;
+
+  Parcel Encode() const;
+  static common::Result<ApplyDmlBody> Decode(const Parcel& p);
+};
+
+struct JobReportBody {
+  uint64_t rows_inserted = 0;
+  uint64_t rows_updated = 0;
+  uint64_t rows_deleted = 0;
+  uint64_t et_errors = 0;
+  uint64_t uv_errors = 0;
+  std::string message;
+
+  Parcel Encode() const;
+  static common::Result<JobReportBody> Decode(const Parcel& p);
+};
+
+struct BeginExportBody {
+  std::string job_id;
+  std::string select_sql;
+  DataFormat format = DataFormat::kVartext;
+  char delimiter = '|';
+
+  Parcel Encode() const;
+  static common::Result<BeginExportBody> Decode(const Parcel& p);
+};
+
+struct ExportReadyBody {
+  types::Schema schema;
+  uint64_t total_chunks = 0;
+
+  Parcel Encode() const;
+  static common::Result<ExportReadyBody> Decode(const Parcel& p);
+};
+
+struct ExportChunkRequestBody {
+  uint64_t chunk_seq = 0;
+
+  Parcel Encode() const;
+  static common::Result<ExportChunkRequestBody> Decode(const Parcel& p);
+};
+
+struct ExportChunkBody {
+  uint64_t chunk_seq = 0;
+  uint32_t row_count = 0;
+  bool last = false;
+  std::vector<uint8_t> payload;
+
+  Parcel Encode() const;
+  static common::Result<ExportChunkBody> Decode(const Parcel& p);
+};
+
+/// Convenience: builds a single-parcel message.
+Message MakeMessage(uint32_t session_id, uint32_t seq, Parcel parcel);
+
+}  // namespace hyperq::legacy

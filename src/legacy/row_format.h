@@ -1,0 +1,88 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "types/schema.h"
+
+/// \file row_format.h
+/// The two legacy record encodings carried inside LDWP data chunks. These are
+/// what the DataConverter must translate to the CDW staging format (paper
+/// Section 4: "the binary format of the legacy system is used to encode data
+/// values in the message").
+///
+/// 1. Binary ("indicdata"): u16 record length | null-indicator bitmap
+///    (MSB-first, one bit per field) | field bytes. Fixed-width fields occupy
+///    their slot even when NULL. Legacy quirks preserved on purpose:
+///      - DATE is an int32 encoded (year-1900)*10000 + month*100 + day,
+///      - TIMESTAMP is 26 ASCII chars 'YYYY-MM-DD HH:MM:SS.FFFFFF',
+///      - CHAR(n) is blank-padded to n bytes,
+///      - DECIMAL is the raw unscaled int64.
+/// 2. Vartext: u16 record length | delimiter-joined text fields. An empty
+///    field is NULL. No escaping exists in the legacy format: the delimiter
+///    must not occur in data (the converter adds real escaping when writing
+///    CDW staging files).
+
+namespace hyperq::legacy {
+
+/// Encodes epoch days in the legacy int32 DATE representation.
+int32_t LegacyDateEncode(types::DateDays days);
+/// Decodes a legacy int32 DATE; fails on calendar-invalid encodings.
+common::Result<types::DateDays> LegacyDateDecode(int32_t encoded);
+
+/// Width in bytes of the legacy TIMESTAMP text field.
+constexpr size_t kLegacyTimestampWidth = 26;
+
+/// Encodes/decodes rows in the binary indicdata format for a fixed schema.
+class BinaryRowCodec {
+ public:
+  explicit BinaryRowCodec(types::Schema schema);
+
+  const types::Schema& schema() const { return schema_; }
+
+  /// Appends one encoded record. Values must positionally match the schema
+  /// (use CastValue beforehand); type mismatches are TypeError.
+  common::Status EncodeRow(const types::Row& row, common::ByteBuffer* out) const;
+
+  /// Decodes one record from the reader.
+  common::Result<types::Row> DecodeRow(common::ByteReader* reader) const;
+
+  /// Decodes every record in a chunk payload.
+  common::Result<std::vector<types::Row>> DecodeAll(common::Slice payload) const;
+
+ private:
+  types::Schema schema_;
+  size_t indicator_bytes_;
+};
+
+/// A vartext record: raw text per field; nullopt-like empty string == NULL is
+/// resolved by the consumer, so we keep an explicit null flag.
+struct VartextField {
+  bool null = false;
+  std::string text;
+
+  bool operator==(const VartextField&) const = default;
+};
+
+using VartextRecord = std::vector<VartextField>;
+
+/// Appends one length-prefixed vartext record.
+/// Fails if any field text contains the delimiter (legacy restriction).
+common::Status EncodeVartextRecord(const VartextRecord& fields, char delimiter,
+                                   common::ByteBuffer* out);
+
+/// Decodes one record; `expected_fields` = layout arity (0 = don't check).
+common::Result<VartextRecord> DecodeVartextRecord(common::ByteReader* reader, char delimiter,
+                                                  size_t expected_fields = 0);
+
+/// Decodes every vartext record in a chunk payload.
+common::Result<std::vector<VartextRecord>> DecodeAllVartext(common::Slice payload, char delimiter,
+                                                            size_t expected_fields = 0);
+
+/// Converts typed row values into a vartext record using legacy display
+/// formats (dates as YY/MM/DD etc.). Used for export jobs.
+VartextRecord RowToVartext(const types::Row& row);
+
+}  // namespace hyperq::legacy

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "legacy/message_stream.h"
+#include "legacy/parcel.h"
+#include "net/transport.h"
+#include "types/schema.h"
+
+/// \file session.h
+/// Client-side LDWP session: what a legacy ETL client tool holds per
+/// connection. One control session issues SQL and coordinates the job; N data
+/// sessions stream chunks in parallel (paper Section 5: "an ETL client might
+/// use parallel sessions to transmit data").
+
+namespace hyperq::legacy {
+
+/// Result of ExecuteSql: status code + activity count, plus an optional
+/// result set for SELECTs.
+struct QueryResult {
+  uint64_t activity_count = 0;
+  std::string message;
+  types::Schema schema;
+  std::vector<types::Row> rows;
+
+  bool has_result_set() const { return schema.num_fields() > 0; }
+};
+
+class LegacySession {
+ public:
+  explicit LegacySession(std::shared_ptr<net::Transport> transport)
+      : stream_(std::move(transport)) {}
+
+  /// Authenticates; on success session_id() is valid.
+  common::Status Logon(const std::string& host, const std::string& user,
+                       const std::string& password);
+
+  /// Runs one SQL request and collects the full response. Server-reported
+  /// SQL errors surface as a non-OK Status carrying the legacy error code in
+  /// the message.
+  common::Result<QueryResult> ExecuteSql(const std::string& sql);
+
+  /// Starts (or attaches this session to) a load job.
+  common::Status BeginLoad(const BeginLoadBody& body);
+
+  /// Sends one data chunk and blocks for the acknowledgment — the legacy
+  /// synchronous protocol the paper describes.
+  common::Status SendDataChunk(const DataChunkBody& chunk);
+
+  /// Declares the end of this session's data; on the control session the
+  /// totals cover the whole job.
+  common::Status EndLoad(uint64_t total_chunks, uint64_t total_rows);
+
+  /// Sends the DML transformation and waits for the final job report
+  /// (application phase).
+  common::Result<JobReportBody> ApplyDml(const std::string& label, const std::string& sql);
+
+  /// Starts an export job; the returned body carries the result schema.
+  common::Result<ExportReadyBody> BeginExport(const BeginExportBody& body);
+
+  /// Requests one export chunk by sequence number. A chunk with `last` set
+  /// and row_count 0 means the cursor is exhausted at/before `seq`.
+  common::Result<ExportChunkBody> FetchExportChunk(uint64_t seq);
+
+  /// Ends an export job.
+  common::Status EndExport();
+
+  /// Logs off and closes the connection.
+  common::Status Logoff();
+
+  uint32_t session_id() const { return session_id_; }
+
+ private:
+  common::Status SendParcel(Parcel parcel);
+  common::Result<Message> SendAndReceive(Parcel parcel);
+  /// Translates a Failure parcel (if that is what arrived) into a Status.
+  static common::Status CheckFailure(const Message& msg);
+
+  MessageStream stream_;
+  uint32_t session_id_ = 0;
+  uint32_t next_seq_ = 1;
+};
+
+}  // namespace hyperq::legacy

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/bounded_queue.h"
+#include "net/transport.h"
+
+/// \file listener.h
+/// Connection rendezvous: the client side "dials" a listener, the server
+/// side Accept()s the peer endpoint. Models the Alpha process's network port
+/// listener without real sockets.
+
+namespace hyperq::net {
+
+class Listener {
+ public:
+  explicit Listener(LinkOptions link_options = {}) : link_options_(link_options) {}
+
+  /// Client side: creates a channel, enqueues the server endpoint for
+  /// Accept(), and returns the client endpoint. Returns nullptr after Close.
+  std::shared_ptr<Transport> Dial() {
+    ChannelPair pair = MakeInMemoryChannel(link_options_);
+    if (!pending_.Push(pair.server)) return nullptr;
+    return pair.client;
+  }
+
+  /// Server side: blocks for the next inbound connection; nullopt after
+  /// Close() once the backlog drains.
+  std::optional<std::shared_ptr<Transport>> Accept() { return pending_.Pop(); }
+
+  /// Stops accepting new connections.
+  void Close() { pending_.Close(); }
+
+ private:
+  LinkOptions link_options_;
+  common::BoundedQueue<std::shared_ptr<Transport>> pending_;
+};
+
+}  // namespace hyperq::net

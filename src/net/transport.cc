@@ -1,0 +1,120 @@
+#include "net/transport.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace hyperq::net {
+
+using common::Result;
+using common::Slice;
+using common::Status;
+
+namespace {
+
+/// One direction of the duplex stream: a bounded byte ring with blocking
+/// writer/reader and close semantics.
+class Pipe {
+ public:
+  explicit Pipe(size_t capacity) : capacity_(capacity) {}
+
+  Status Write(Slice data) {
+    size_t offset = 0;
+    while (offset < data.size()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return closed_ || bytes_.size() < capacity_; });
+      if (closed_) return Status::IOError("write on closed channel");
+      size_t can = std::min(capacity_ - bytes_.size(), data.size() - offset);
+      bytes_.insert(bytes_.end(), data.data() + offset, data.data() + offset + can);
+      offset += can;
+      not_empty_.notify_one();
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> Read(uint8_t* buf, size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !bytes_.empty(); });
+    if (bytes_.empty()) return static_cast<size_t>(0);  // EOF
+    size_t n = std::min(max, bytes_.size());
+    for (size_t i = 0; i < n; ++i) {
+      buf[i] = bytes_.front();
+      bytes_.pop_front();
+    }
+    not_full_.notify_one();
+    return n;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<uint8_t> bytes_;
+  bool closed_ = false;
+};
+
+/// Endpoint adapter: writes go to `out`, reads come from `in`.
+class InMemoryEndpoint : public Transport {
+ public:
+  InMemoryEndpoint(std::shared_ptr<Pipe> in, std::shared_ptr<Pipe> out, LinkOptions options)
+      : in_(std::move(in)), out_(std::move(out)), options_(options) {}
+
+  ~InMemoryEndpoint() override { Close(); }
+
+  Status Write(Slice data) override {
+    ApplyShaping(data.size());
+    return out_->Write(data);
+  }
+
+  Result<size_t> Read(uint8_t* buf, size_t max) override { return in_->Read(buf, max); }
+
+  void Close() override {
+    in_->Close();
+    out_->Close();
+  }
+
+  bool closed() const override { return out_->closed(); }
+
+ private:
+  void ApplyShaping(size_t bytes) {
+    int64_t delay_us = options_.latency_micros;
+    if (options_.bandwidth_bytes_per_sec != 0) {
+      delay_us += static_cast<int64_t>(
+          (static_cast<double>(bytes) / static_cast<double>(options_.bandwidth_bytes_per_sec)) *
+          1e6);
+    }
+    if (delay_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+
+  std::shared_ptr<Pipe> in_;
+  std::shared_ptr<Pipe> out_;
+  LinkOptions options_;
+};
+
+}  // namespace
+
+ChannelPair MakeInMemoryChannel(const LinkOptions& options) {
+  auto a_to_b = std::make_shared<Pipe>(options.buffer_bytes);
+  auto b_to_a = std::make_shared<Pipe>(options.buffer_bytes);
+  ChannelPair pair;
+  pair.client = std::make_shared<InMemoryEndpoint>(b_to_a, a_to_b, options);
+  pair.server = std::make_shared<InMemoryEndpoint>(a_to_b, b_to_a, options);
+  return pair;
+}
+
+}  // namespace hyperq::net

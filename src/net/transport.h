@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+/// \file transport.h
+/// Duplex byte-stream abstraction standing in for the TCP connection between
+/// a legacy ETL client and the Hyper-Q listener. Byte-stream (not message)
+/// semantics are deliberate: the Coalescer stage must reassemble protocol
+/// messages from arbitrarily fragmented reads, exactly as with real TCP.
+
+namespace hyperq::net {
+
+/// One endpoint of a bidirectional byte stream.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Writes all bytes. Blocks when the peer's receive buffer is full
+  /// (flow control). Fails with IOError when the peer closed.
+  virtual common::Status Write(common::Slice data) = 0;
+
+  /// Reads between 1 and `max` bytes into `buf`, blocking until data is
+  /// available. Returns 0 when the peer closed the stream and all buffered
+  /// bytes were consumed.
+  virtual common::Result<size_t> Read(uint8_t* buf, size_t max) = 0;
+
+  /// Closes this endpoint; the peer's pending/future reads observe EOF.
+  virtual void Close() = 0;
+
+  virtual bool closed() const = 0;
+};
+
+/// Traffic-shaping knobs for the simulated link.
+struct LinkOptions {
+  /// Artificial one-way latency applied per Write, in microseconds.
+  int64_t latency_micros = 0;
+  /// Bandwidth cap in bytes/second; 0 = unlimited.
+  uint64_t bandwidth_bytes_per_sec = 0;
+  /// Per-direction receive buffer size (flow-control window) in bytes.
+  size_t buffer_bytes = 1 << 20;
+};
+
+/// A connected pair of endpoints: `first` is the client side, `second` the
+/// server side.
+struct ChannelPair {
+  std::shared_ptr<Transport> client;
+  std::shared_ptr<Transport> server;
+};
+
+/// Creates an in-memory duplex channel with optional shaping.
+ChannelPair MakeInMemoryChannel(const LinkOptions& options = {});
+
+}  // namespace hyperq::net

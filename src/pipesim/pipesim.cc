@@ -1,0 +1,157 @@
+#include "pipesim/pipesim.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <vector>
+
+namespace hyperq::pipesim {
+
+namespace {
+
+enum class EventKind : uint8_t { kRecvDone, kConvertDone, kWriteDone };
+
+struct Event {
+  double time;
+  EventKind kind;
+  int actor;      ///< session / converter / writer index
+  uint64_t chunk;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+PipeSimResult SimulateAcquisition(const PipeSimParams& params) {
+  PipeSimResult result;
+  const int sessions = std::max(1, params.sessions);
+  const int converters = std::max(1, params.converter_workers);
+  const int writers = std::max(1, params.file_writers);
+  const uint64_t total_chunks = params.chunks;
+
+  // Chunks per session, round-robin.
+  std::vector<uint64_t> session_remaining(sessions, total_chunks / sessions);
+  for (uint64_t i = 0; i < total_chunks % sessions; ++i) ++session_remaining[i];
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+
+  uint64_t credits_available = std::max<uint64_t>(1, params.credits);
+  uint64_t credits_held = 0;
+
+  std::deque<int> sessions_waiting_credit;   // blocked at acquire
+  std::deque<uint64_t> convert_queue;        // chunks awaiting a converter
+  std::deque<uint64_t> write_queue;          // converted chunks awaiting a writer
+  std::vector<bool> converter_busy(converters, false);
+  std::vector<bool> writer_busy(writers, false);
+
+  double now = 0;
+  double last_write_end = 0;
+  uint64_t next_chunk_id = 0;
+
+  // Kick off: every session starts receiving its first chunk.
+  for (int s = 0; s < sessions; ++s) {
+    if (session_remaining[s] > 0) {
+      events.push(Event{params.recv_seconds_per_chunk, EventKind::kRecvDone, s, 0});
+    }
+  }
+
+  auto try_start_converter = [&] {
+    for (int c = 0; c < converters && !convert_queue.empty(); ++c) {
+      if (converter_busy[c]) continue;
+      uint64_t chunk = convert_queue.front();
+      convert_queue.pop_front();
+      converter_busy[c] = true;
+      events.push(Event{now + params.convert_seconds_per_chunk, EventKind::kConvertDone, c, chunk});
+      result.converter_busy_seconds += params.convert_seconds_per_chunk;
+    }
+  };
+
+  std::deque<int> pending_session_starts;  // sessions granted a credit; ack+next recv
+
+  std::vector<int> chunk_session;  // chunk id -> originating session
+
+  auto grant_credit = [&](int session) {
+    --credits_available;
+    ++credits_held;
+    result.peak_in_flight = std::max(result.peak_in_flight, credits_held);
+    // Credit acquired: chunk enters the conversion stage.
+    chunk_session.push_back(session);
+    convert_queue.push_back(next_chunk_id++);
+    try_start_converter();
+    --session_remaining[session];
+    // Immediate-ack design: the session starts receiving its next chunk now.
+    // Synchronized alternative: the ack waits for the disk write (see
+    // kWriteDone handling below).
+    if (!params.ack_after_write && session_remaining[session] > 0) {
+      events.push(
+          Event{now + params.recv_seconds_per_chunk, EventKind::kRecvDone, session, 0});
+    }
+  };
+
+  auto try_start_writer = [&] {
+    for (int w = 0; w < writers && !write_queue.empty(); ++w) {
+      if (writer_busy[w]) continue;
+      uint64_t chunk = write_queue.front();
+      write_queue.pop_front();
+      writer_busy[w] = true;
+      // Credit returned just before the write.
+      ++credits_available;
+      --credits_held;
+      if (!sessions_waiting_credit.empty() && credits_available > 0) {
+        int session = sessions_waiting_credit.front();
+        sessions_waiting_credit.pop_front();
+        grant_credit(session);
+      }
+      events.push(Event{now + params.write_seconds_per_chunk, EventKind::kWriteDone, w, chunk});
+    }
+  };
+
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    switch (ev.kind) {
+      case EventKind::kRecvDone: {
+        // Session finished receiving a chunk; it must acquire a credit
+        // before acknowledging.
+        if (credits_available > 0) {
+          grant_credit(ev.actor);
+        } else {
+          ++result.backpressure_blocks;
+          sessions_waiting_credit.push_back(ev.actor);
+        }
+        break;
+      }
+      case EventKind::kConvertDone: {
+        converter_busy[ev.actor] = false;
+        write_queue.push_back(ev.chunk);
+        try_start_writer();
+        try_start_converter();
+        break;
+      }
+      case EventKind::kWriteDone: {
+        writer_busy[ev.actor] = false;
+        last_write_end = now;
+        if (params.ack_after_write) {
+          int session = chunk_session[ev.chunk];
+          if (session_remaining[session] > 0) {
+            events.push(Event{now + params.recv_seconds_per_chunk, EventKind::kRecvDone,
+                              session, 0});
+          }
+        }
+        try_start_writer();
+        break;
+      }
+    }
+  }
+
+  double span = last_write_end;
+  result.total_seconds = params.setup_seconds + span;
+  if (span > 0) {
+    result.converter_utilization =
+        result.converter_busy_seconds / (static_cast<double>(converters) * span);
+  }
+  return result;
+}
+
+}  // namespace hyperq::pipesim

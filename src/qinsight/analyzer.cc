@@ -1,0 +1,320 @@
+#include "qinsight/analyzer.h"
+
+#include "common/string_util.h"
+#include "etlscript/script_ast.h"
+#include "sql/parser.h"
+
+namespace hyperq::qinsight {
+
+using common::EqualsIgnoreCase;
+using common::Result;
+using sql::Expr;
+using sql::ExprKind;
+
+std::string_view FeatureKindName(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kSelAbbreviation:
+      return "statement-abbreviation";
+    case FeatureKind::kFormatCast:
+      return "cast-with-format";
+    case FeatureKind::kPowerOperator:
+      return "power-operator";
+    case FeatureKind::kModOperator:
+      return "mod-operator";
+    case FeatureKind::kLegacyFunction:
+      return "legacy-function";
+    case FeatureKind::kAtomicUpsert:
+      return "atomic-upsert";
+    case FeatureKind::kNamedPlaceholders:
+      return "named-placeholders";
+    case FeatureKind::kLegacyTypes:
+      return "legacy-types";
+    case FeatureKind::kUnicodeCharset:
+      return "unicode-charset";
+    case FeatureKind::kTopN:
+      return "top-n";
+    case FeatureKind::kDateLiteral:
+      return "date-literal";
+    case FeatureKind::kUniquePrimaryIndex:
+      return "unique-primary-index";
+    case FeatureKind::kUnknownFunction:
+      return "unknown-function";
+    case FeatureKind::kParseFailure:
+      return "parse-failure";
+  }
+  return "unknown";
+}
+
+std::string_view DispositionName(Disposition disposition) {
+  switch (disposition) {
+    case Disposition::kAutoTranspiled:
+      return "auto-transpiled";
+    case Disposition::kAutoViaBinding:
+      return "auto-via-binding";
+    case Disposition::kAutoEmulated:
+      return "auto-emulated";
+    case Disposition::kManualRewrite:
+      return "manual-rewrite";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Functions the PXC/CDW pair handles natively or by rewriting.
+bool IsKnownFunction(const std::string& name) {
+  static const char* kKnown[] = {
+      "TRIM",    "LTRIM",     "RTRIM",      "UPPER",   "LOWER",    "LENGTH",  "SUBSTR",
+      "POSITION", "COALESCE", "NULLIF",     "ABS",     "ROUND",    "FLOOR",   "CEIL",
+      "CEILING", "POWER",     "MOD",        "TO_DATE", "TO_CHAR",  "TO_TIMESTAMP",
+      "COUNT",   "SUM",       "MIN",        "MAX",     "AVG",     "EXTRACT",
+      "ADD_MONTHS", "LAST_DAY"};
+  for (const char* k : kKnown) {
+    if (EqualsIgnoreCase(name, k)) return true;
+  }
+  return false;
+}
+
+/// Legacy functions the transpiler rewrites.
+bool IsLegacyFunction(const std::string& name) {
+  static const char* kLegacy[] = {"ZEROIFNULL", "NULLIFZERO", "NVL", "INDEX", "CHARACTERS",
+                                  "CHAR_LENGTH"};
+  for (const char* k : kLegacy) {
+    if (EqualsIgnoreCase(name, k)) return true;
+  }
+  return false;
+}
+
+void Note(std::map<FeatureKind, Finding>* findings, FeatureKind kind, Disposition disposition,
+          const std::string& detail = "") {
+  Finding& f = (*findings)[kind];
+  f.kind = kind;
+  f.disposition = disposition;
+  ++f.count;
+  if (f.detail.empty()) f.detail = detail;
+}
+
+}  // namespace
+
+void WorkloadAnalyzer::AnalyzeExpr(const Expr& expr,
+                                   std::map<FeatureKind, Finding>* findings) const {
+  switch (expr.kind) {
+    case ExprKind::kPlaceholder:
+      Note(findings, FeatureKind::kNamedPlaceholders, Disposition::kAutoViaBinding);
+      return;
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const sql::LiteralExpr&>(expr);
+      if (lit.value.is_date() || lit.value.is_timestamp()) {
+        Note(findings, FeatureKind::kDateLiteral, Disposition::kAutoTranspiled);
+      }
+      return;
+    }
+    case ExprKind::kColumnRef:
+    case ExprKind::kStar:
+      return;
+    case ExprKind::kUnary:
+      AnalyzeExpr(*static_cast<const sql::UnaryExpr&>(expr).operand, findings);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const sql::BinaryExpr&>(expr);
+      if (b.op == sql::BinaryOp::kPow) {
+        Note(findings, FeatureKind::kPowerOperator, Disposition::kAutoTranspiled);
+      }
+      if (b.op == sql::BinaryOp::kMod) {
+        Note(findings, FeatureKind::kModOperator, Disposition::kAutoTranspiled);
+      }
+      AnalyzeExpr(*b.left, findings);
+      AnalyzeExpr(*b.right, findings);
+      return;
+    }
+    case ExprKind::kFunction: {
+      const auto& fn = static_cast<const sql::FunctionExpr&>(expr);
+      if (IsLegacyFunction(fn.name)) {
+        Note(findings, FeatureKind::kLegacyFunction, Disposition::kAutoTranspiled, fn.name);
+      } else if (!IsKnownFunction(fn.name)) {
+        Note(findings, FeatureKind::kUnknownFunction, Disposition::kManualRewrite, fn.name);
+      }
+      for (const auto& a : fn.args) AnalyzeExpr(*a, findings);
+      return;
+    }
+    case ExprKind::kCast: {
+      const auto& cast = static_cast<const sql::CastExpr&>(expr);
+      if (!cast.format.empty()) {
+        Note(findings, FeatureKind::kFormatCast, Disposition::kAutoTranspiled, cast.format);
+      }
+      AnalyzeExpr(*cast.operand, findings);
+      return;
+    }
+    case ExprKind::kCase: {
+      const auto& c = static_cast<const sql::CaseExpr&>(expr);
+      if (c.operand) AnalyzeExpr(*c.operand, findings);
+      for (const auto& [w, t] : c.whens) {
+        AnalyzeExpr(*w, findings);
+        AnalyzeExpr(*t, findings);
+      }
+      if (c.else_expr) AnalyzeExpr(*c.else_expr, findings);
+      return;
+    }
+    case ExprKind::kIsNull:
+      AnalyzeExpr(*static_cast<const sql::IsNullExpr&>(expr).operand, findings);
+      return;
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const sql::InListExpr&>(expr);
+      AnalyzeExpr(*in.operand, findings);
+      for (const auto& e : in.list) AnalyzeExpr(*e, findings);
+      return;
+    }
+    case ExprKind::kBetween: {
+      const auto& bt = static_cast<const sql::BetweenExpr&>(expr);
+      AnalyzeExpr(*bt.operand, findings);
+      AnalyzeExpr(*bt.low, findings);
+      AnalyzeExpr(*bt.high, findings);
+      return;
+    }
+  }
+}
+
+void WorkloadAnalyzer::AnalyzeParsedStatement(const sql::Statement& stmt,
+                                              std::map<FeatureKind, Finding>* findings) const {
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect: {
+      const auto& select = static_cast<const sql::SelectStmt&>(stmt);
+      if (select.top >= 0) {
+        Note(findings, FeatureKind::kTopN, Disposition::kAutoTranspiled);
+      }
+      for (const auto& item : select.items) AnalyzeExpr(*item.expr, findings);
+      for (const auto& join : select.joins) AnalyzeExpr(*join.on, findings);
+      if (select.where) AnalyzeExpr(*select.where, findings);
+      for (const auto& g : select.group_by) AnalyzeExpr(*g, findings);
+      if (select.having) AnalyzeExpr(*select.having, findings);
+      for (const auto& o : select.order_by) AnalyzeExpr(*o.expr, findings);
+      return;
+    }
+    case sql::StatementKind::kInsert: {
+      const auto& ins = static_cast<const sql::InsertStmt&>(stmt);
+      for (const auto& row : ins.rows) {
+        for (const auto& e : row) AnalyzeExpr(*e, findings);
+      }
+      if (ins.select) AnalyzeParsedStatement(*ins.select, findings);
+      return;
+    }
+    case sql::StatementKind::kUpdate: {
+      const auto& upd = static_cast<const sql::UpdateStmt&>(stmt);
+      if (upd.has_else_insert) {
+        Note(findings, FeatureKind::kAtomicUpsert, Disposition::kAutoViaBinding);
+        for (const auto& e : upd.else_insert_values) AnalyzeExpr(*e, findings);
+      }
+      for (const auto& a : upd.assignments) AnalyzeExpr(*a.value, findings);
+      if (upd.where) AnalyzeExpr(*upd.where, findings);
+      return;
+    }
+    case sql::StatementKind::kDelete: {
+      const auto& del = static_cast<const sql::DeleteStmt&>(stmt);
+      if (del.where) AnalyzeExpr(*del.where, findings);
+      return;
+    }
+    case sql::StatementKind::kMerge: {
+      const auto& merge = static_cast<const sql::MergeStmt&>(stmt);
+      AnalyzeExpr(*merge.on, findings);
+      if (merge.source_filter) AnalyzeExpr(*merge.source_filter, findings);
+      for (const auto& a : merge.matched_update) AnalyzeExpr(*a.value, findings);
+      for (const auto& e : merge.insert_values) AnalyzeExpr(*e, findings);
+      return;
+    }
+    case sql::StatementKind::kCreateTable: {
+      const auto& create = static_cast<const sql::CreateTableStmt&>(stmt);
+      for (const auto& f : create.schema.fields()) {
+        if (f.type.id == types::TypeId::kInt8 ||
+            (f.type.id == types::TypeId::kChar && f.type.length > 255)) {
+          Note(findings, FeatureKind::kLegacyTypes, Disposition::kAutoTranspiled,
+               f.type.ToString());
+        }
+        if (f.type.charset == types::CharSet::kUnicode) {
+          Note(findings, FeatureKind::kUnicodeCharset, Disposition::kAutoTranspiled);
+        }
+      }
+      if (create.unique_primary) {
+        Note(findings, FeatureKind::kUniquePrimaryIndex, Disposition::kAutoEmulated);
+      }
+      return;
+    }
+    case sql::StatementKind::kDropTable:
+      return;
+  }
+}
+
+StatementReport WorkloadAnalyzer::AnalyzeStatement(const std::string& sql_text) const {
+  StatementReport report;
+  report.sql = sql_text;
+  std::map<FeatureKind, Finding> findings;
+
+  // Detect shorthand spellings textually (the parser normalizes them away).
+  std::string_view trimmed = common::TrimView(sql_text);
+  for (const char* kw : {"SEL ", "INS ", "DEL ", "UPD "}) {
+    if (common::StartsWithIgnoreCase(trimmed, kw)) {
+      Note(&findings, FeatureKind::kSelAbbreviation, Disposition::kAutoTranspiled,
+           common::Trim(kw));
+    }
+  }
+
+  auto parsed = sql::ParseStatement(sql_text);
+  if (!parsed.ok()) {
+    report.parsed = false;
+    Note(&findings, FeatureKind::kParseFailure, Disposition::kManualRewrite,
+         parsed.status().message());
+  } else {
+    report.parsed = true;
+    AnalyzeParsedStatement(**parsed, &findings);
+  }
+  for (auto& [kind, finding] : findings) report.findings.push_back(std::move(finding));
+  return report;
+}
+
+Result<WorkloadReport> WorkloadAnalyzer::AnalyzeEtlScript(const std::string& script_text) const {
+  HQ_ASSIGN_OR_RETURN(etlscript::Script script, etlscript::ParseScript(script_text));
+  std::vector<StatementReport> reports;
+  for (const auto& cmd : script.commands) {
+    switch (cmd.kind) {
+      case etlscript::CommandKind::kDml:
+      case etlscript::CommandKind::kExportSelect:
+      case etlscript::CommandKind::kSql:
+        reports.push_back(AnalyzeStatement(cmd.sql));
+        break;
+      default:
+        break;
+    }
+  }
+  return Summarize(std::move(reports));
+}
+
+WorkloadReport WorkloadAnalyzer::Summarize(std::vector<StatementReport> reports) const {
+  WorkloadReport workload;
+  workload.statements = reports.size();
+  for (auto& report : reports) {
+    if (report.UsesLegacyConstructs()) ++workload.statements_with_legacy_constructs;
+    if (report.NeedsManualRewrite()) ++workload.statements_needing_manual_rewrite;
+    for (const auto& f : report.findings) workload.feature_counts[f.kind] += f.count;
+    workload.details.push_back(std::move(report));
+  }
+  return workload;
+}
+
+std::string WorkloadReport::ToString() const {
+  std::string out;
+  out += common::Sprintf("statements analyzed:            %zu\n", statements);
+  out += common::Sprintf("using legacy constructs:        %zu\n",
+                         statements_with_legacy_constructs);
+  out += common::Sprintf("needing manual rewrite:         %zu\n",
+                         statements_needing_manual_rewrite);
+  out += common::Sprintf("handled automatically:          %.1f%%\n",
+                         automatic_fraction() * 100.0);
+  if (!feature_counts.empty()) {
+    out += "construct inventory:\n";
+    for (const auto& [kind, count] : feature_counts) {
+      out += common::Sprintf("  %-24s %zu\n", std::string(FeatureKindName(kind)).c_str(), count);
+    }
+  }
+  return out;
+}
+
+}  // namespace hyperq::qinsight

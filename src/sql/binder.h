@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "types/schema.h"
+
+/// \file binder.h
+/// The two-step staging rewrite (paper Section 6): the job's DML transform
+/// references input-file fields through named :placeholders. Once the data
+/// sits in a CDW staging table, the PXC binds each :field to the staging
+/// column of the same name and restructures the statement so one set-oriented
+/// statement processes the whole staging table:
+///
+///   INSERT INTO t VALUES (f(:A), :B)
+///     -> INSERT INTO t SELECT f(S.A), S.B FROM stg S
+///   UPDATE t SET c = :A WHERE t.k = :K
+///     -> UPDATE t SET c = S.A FROM stg S WHERE t.k = S.K
+///   UPDATE t SET c = :A WHERE k = :K ELSE INSERT VALUES (:K, :A)
+///     -> MERGE INTO t USING stg S ON t.k = S.K
+///        WHEN MATCHED THEN UPDATE SET c = S.A
+///        WHEN NOT MATCHED THEN INSERT VALUES (S.K, S.A)
+///   DELETE FROM t WHERE t.k = :K
+///     -> DELETE FROM t USING stg S WHERE t.k = S.K
+///
+/// Bare column references in UPDATE/DELETE/MERGE predicates are qualified
+/// with the target alias; every placeholder must name a layout field.
+
+namespace hyperq::sql {
+
+struct BindOptions {
+  std::string staging_table;
+  std::string staging_alias = "S";
+  /// Optional range restriction on the staging table's row-number column;
+  /// used by the adaptive error handler to re-apply a sub-chunk
+  /// (paper Section 7). Bounds are inclusive; -1 disables.
+  std::string row_number_column;
+  int64_t first_row = -1;
+  int64_t last_row = -1;
+};
+
+/// Rewrites a legacy DML statement against the staging table. The input must
+/// be an INSERT (VALUES form), UPDATE (optionally ELSE INSERT) or DELETE.
+/// Statements without placeholders are restructured the same way when they
+/// are INSERT VALUES (constant loads also run set-oriented).
+common::Result<StatementPtr> BindDmlToStaging(const Statement& stmt, const types::Schema& layout,
+                                              const BindOptions& options);
+
+/// True when the expression tree contains any :placeholder.
+bool HasPlaceholders(const Expr& expr);
+
+}  // namespace hyperq::sql

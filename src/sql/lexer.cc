@@ -1,0 +1,184 @@
+#include <cctype>
+
+#include "common/string_util.h"
+#include "sql/token.h"
+
+namespace hyperq::sql {
+
+using common::Result;
+using common::Status;
+
+bool Token::IsSymbol(std::string_view s) const {
+  return kind == TokenKind::kSymbol && text == s;
+}
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == TokenKind::kIdentifier && common::EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '#' || c == '$';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '#' || c == '$';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t line = 1;
+  const size_t n = sql.size();
+
+  auto make = [&](TokenKind kind, std::string text, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) {
+        if (sql[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return Status::ParseError("unterminated block comment at offset " +
+                                  std::to_string(start));
+      }
+      i += 2;
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      size_t start = i;
+      ++i;
+      std::string body;
+      for (;;) {
+        if (i >= n) {
+          return Status::ParseError("unterminated string literal at offset " +
+                                    std::to_string(start));
+        }
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        if (sql[i] == '\n') ++line;
+        body += sql[i++];
+      }
+      make(TokenKind::kStringLiteral, std::move(body), start);
+      continue;
+    }
+    // Quoted identifier.
+    if (c == '"') {
+      size_t start = i;
+      ++i;
+      std::string body;
+      while (i < n && sql[i] != '"') body += sql[i++];
+      if (i >= n) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(start));
+      }
+      ++i;
+      make(TokenKind::kIdentifier, std::move(body), start);
+      continue;
+    }
+    // Placeholder :NAME.
+    if (c == ':' && i + 1 < n && IsIdentStart(sql[i + 1])) {
+      size_t start = i;
+      ++i;
+      std::string name;
+      while (i < n && IsIdentChar(sql[i])) name += sql[i++];
+      make(TokenKind::kPlaceholder, std::move(name), start);
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      std::string body;
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          body += d;
+          ++i;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          body += d;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !seen_exp && i + 1 < n &&
+                   (std::isdigit(static_cast<unsigned char>(sql[i + 1])) || sql[i + 1] == '+' ||
+                    sql[i + 1] == '-')) {
+          seen_exp = true;
+          body += d;
+          ++i;
+          if (sql[i] == '+' || sql[i] == '-') body += sql[i++];
+        } else {
+          break;
+        }
+      }
+      make(TokenKind::kNumberLiteral, std::move(body), start);
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      std::string body;
+      while (i < n && IsIdentChar(sql[i])) body += sql[i++];
+      make(TokenKind::kIdentifier, std::move(body), start);
+      continue;
+    }
+    // Multi-char operators.
+    auto two = [&](const char* op) {
+      return i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1];
+    };
+    size_t start = i;
+    if (two("<=") || two(">=") || two("<>") || two("!=") || two("||") || two("**")) {
+      make(TokenKind::kSymbol, std::string(sql.substr(i, 2)), start);
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "+-*/%(),.;=<>?";
+    if (kSingles.find(c) != std::string::npos) {
+      make(TokenKind::kSymbol, std::string(1, c), start);
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) + "' at offset " +
+                              std::to_string(i));
+  }
+  make(TokenKind::kEof, "", i);
+  return tokens;
+}
+
+}  // namespace hyperq::sql

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+/// \file parser.h
+/// Recursive-descent parser accepting the union of the legacy and CDW
+/// dialects. The legacy ETL client embeds legacy SQL (SEL/INS abbreviations,
+/// CAST ... FORMAT, :placeholders, UPDATE ... ELSE INSERT); the transpiler's
+/// CDW output (MERGE, UPDATE ... FROM, DELETE ... USING, TO_DATE) parses with
+/// the same grammar. Which constructs are *executable* is decided by the CDW
+/// engine, which rejects legacy-only forms.
+
+namespace hyperq::sql {
+
+/// Parses exactly one statement (trailing ';' allowed).
+common::Result<StatementPtr> ParseStatement(std::string_view sql);
+
+/// Parses a ';'-separated script into a statement list.
+common::Result<std::vector<StatementPtr>> ParseScript(std::string_view sql);
+
+/// Parses one scalar expression (used by tests and the ETL interpreter).
+common::Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace hyperq::sql

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "sql/ast.h"
+
+/// \file printer.h
+/// Renders AST back to SQL text. The printer is faithful: it renders exactly
+/// the constructs present in the tree, so `Parse(Print(ast))` round-trips.
+/// The PXC prints the *transpiled* tree to obtain the CDW SQL text it sends
+/// to the warehouse.
+
+namespace hyperq::sql {
+
+std::string PrintExpr(const Expr& expr);
+std::string PrintStatement(const Statement& stmt);
+
+}  // namespace hyperq::sql

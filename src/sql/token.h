@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file token.h
+/// SQL token model shared by the lexer and parser. One lexer serves both the
+/// legacy dialect (named :placeholders, CAST ... FORMAT, '**') and the CDW
+/// dialect the transpiler emits; the parser/executor decide what each dialect
+/// accepts.
+
+namespace hyperq::sql {
+
+enum class TokenKind : uint8_t {
+  kEof = 0,
+  kIdentifier,       ///< bare or "quoted" identifier
+  kStringLiteral,    ///< '...' with '' escaping
+  kNumberLiteral,    ///< integer or decimal text
+  kPlaceholder,      ///< :NAME (legacy DML binding)
+  kSymbol,           ///< punctuation/operator, text holds the symbol
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;    ///< identifier name (original case), literal body, or symbol
+  size_t offset = 0;   ///< byte offset in the input (error reporting)
+  size_t line = 1;
+
+  bool IsSymbol(std::string_view s) const;
+  /// Case-insensitive keyword test (only for identifiers).
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes SQL text. Handles -- and /* */ comments, quoted identifiers,
+/// string literals with doubled-quote escaping, numbers, multi-char operators
+/// (<=, >=, <>, !=, ||, **).
+common::Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace hyperq::sql

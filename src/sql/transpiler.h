@@ -1,0 +1,33 @@
+#pragma once
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+/// \file transpiler.h
+/// Legacy-dialect -> CDW-dialect rewriting (the SQL half of the paper's
+/// Protocol Cross Compiler). The output tree contains only constructs the CDW
+/// engine executes:
+///   CAST(x AS DATE FORMAT 'f')      -> TO_DATE(x, 'f')
+///   CAST(d AS VARCHAR FORMAT 'f')   -> TO_CHAR(d, 'f')
+///   a ** b                          -> POWER(a, b)
+///   a MOD b                         -> MOD(a, b)
+///   ZEROIFNULL(x)                   -> COALESCE(x, 0)
+///   NULLIFZERO(x)                   -> NULLIF(x, 0)
+///   NVL(a, b)                       -> COALESCE(a, b)
+///   INDEX(s, sub)                   -> POSITION(sub, s)
+///   CHARACTERS(s) / CHAR_LENGTH(s)  -> LENGTH(s)
+///   SEL / INS / DEL abbreviations   -> normalized by the parser
+///   CREATE TABLE types              -> mapped via MapLegacySchemaToCdw
+/// The legacy atomic upsert (UPDATE ... ELSE INSERT) is only translatable
+/// once bound to a staging source (see binder.h), where it becomes MERGE.
+
+namespace hyperq::sql {
+
+common::Result<ExprPtr> TranspileExpr(const Expr& expr);
+
+common::Result<StatementPtr> TranspileStatement(const Statement& stmt);
+
+/// Convenience: parse legacy SQL, transpile, print CDW SQL text.
+common::Result<std::string> TranspileSqlText(std::string_view legacy_sql);
+
+}  // namespace hyperq::sql

@@ -1,0 +1,443 @@
+#include "tdf/tdf.h"
+
+namespace hyperq::tdf {
+
+using common::ByteBuffer;
+using common::ByteReader;
+using common::Result;
+using common::Slice;
+using common::Status;
+using types::TypeDesc;
+using types::TypeId;
+using types::Value;
+
+namespace {
+constexpr uint32_t kTdfMagic = 0x31464454U;  // "TDF1"
+constexpr uint16_t kTdfVersion = 1;
+constexpr uint8_t kSectionSchema = 1;
+constexpr uint8_t kSectionRows = 2;
+}  // namespace
+
+// --- varints ----------------------------------------------------------------
+
+void PutUVarint(uint64_t v, ByteBuffer* out) {
+  while (v >= 0x80) {
+    out->AppendByte(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->AppendByte(static_cast<uint8_t>(v));
+}
+
+void PutSVarint(int64_t v, ByteBuffer* out) {
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  PutUVarint(zz, out);
+}
+
+Result<uint64_t> GetUVarint(ByteReader* reader) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    HQ_ASSIGN_OR_RETURN(uint8_t b, reader->ReadByte());
+    if (shift >= 64) return Status::ProtocolError("varint too long");
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Result<int64_t> GetSVarint(ByteReader* reader) {
+  HQ_ASSIGN_OR_RETURN(uint64_t zz, GetUVarint(reader));
+  return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+// --- fields / schema --------------------------------------------------------
+
+TdfField TdfField::Scalar(std::string name, TypeDesc type, bool nullable) {
+  TdfField f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kScalar;
+  f.scalar = type;
+  f.nullable = nullable;
+  return f;
+}
+
+TdfField TdfField::List(std::string name, TdfField element, bool nullable) {
+  TdfField f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kList;
+  f.children.push_back(std::move(element));
+  f.nullable = nullable;
+  return f;
+}
+
+TdfField TdfField::Struct(std::string name, std::vector<TdfField> members, bool nullable) {
+  TdfField f;
+  f.name = std::move(name);
+  f.kind = FieldKind::kStruct;
+  f.children = std::move(members);
+  f.nullable = nullable;
+  return f;
+}
+
+TdfSchema TdfSchema::FromFlat(const types::Schema& schema) {
+  TdfSchema out;
+  for (const auto& f : schema.fields()) {
+    out.fields.push_back(TdfField::Scalar(f.name, f.type, f.nullable));
+  }
+  return out;
+}
+
+Result<types::Schema> TdfSchema::ToFlat() const {
+  std::vector<types::Field> flat;
+  for (const auto& f : fields) {
+    if (f.kind != FieldKind::kScalar) {
+      return Status::TypeError("TDF schema has nested field '" + f.name +
+                               "'; flat view unavailable");
+    }
+    flat.emplace_back(f.name, f.scalar, f.nullable);
+  }
+  return types::Schema(std::move(flat));
+}
+
+// --- values -----------------------------------------------------------------
+
+bool TdfValue::ListBox::operator==(const ListBox& o) const { return *items == *o.items; }
+bool TdfValue::StructBox::operator==(const StructBox& o) const { return *members == *o.members; }
+
+TdfValue TdfValue::MakeList(TdfValueList items) {
+  TdfValue v;
+  v.payload_ = ListBox{std::make_shared<TdfValueList>(std::move(items))};
+  return v;
+}
+
+TdfValue TdfValue::MakeStruct(TdfValueList members) {
+  TdfValue v;
+  v.payload_ = StructBox{std::make_shared<TdfValueList>(std::move(members))};
+  return v;
+}
+
+const TdfValueList& TdfValue::list() const { return *std::get<ListBox>(payload_).items; }
+const TdfValueList& TdfValue::struct_members() const {
+  return *std::get<StructBox>(payload_).members;
+}
+
+bool TdfValue::operator==(const TdfValue& other) const { return payload_ == other.payload_; }
+
+// --- schema codec -----------------------------------------------------------
+
+namespace {
+
+void EncodeField(const TdfField& field, ByteBuffer* out) {
+  out->AppendLengthPrefixed16(field.name);
+  out->AppendByte(static_cast<uint8_t>(field.kind));
+  out->AppendByte(field.nullable ? 1 : 0);
+  if (field.kind == FieldKind::kScalar) {
+    out->AppendByte(static_cast<uint8_t>(field.scalar.id));
+    PutSVarint(field.scalar.length, out);
+    PutSVarint(field.scalar.precision, out);
+    PutSVarint(field.scalar.scale, out);
+    out->AppendByte(static_cast<uint8_t>(field.scalar.charset));
+  } else {
+    PutUVarint(field.children.size(), out);
+    for (const auto& child : field.children) EncodeField(child, out);
+  }
+}
+
+Result<TdfField> DecodeField(ByteReader* reader, int depth) {
+  if (depth > 32) return Status::ProtocolError("TDF schema nests too deeply");
+  TdfField field;
+  HQ_ASSIGN_OR_RETURN(Slice name, reader->ReadLengthPrefixed16());
+  field.name = name.ToString();
+  HQ_ASSIGN_OR_RETURN(uint8_t kind, reader->ReadByte());
+  field.kind = static_cast<FieldKind>(kind);
+  HQ_ASSIGN_OR_RETURN(uint8_t nullable, reader->ReadByte());
+  field.nullable = nullable != 0;
+  if (field.kind == FieldKind::kScalar) {
+    HQ_ASSIGN_OR_RETURN(uint8_t tid, reader->ReadByte());
+    field.scalar.id = static_cast<TypeId>(tid);
+    HQ_ASSIGN_OR_RETURN(int64_t length, GetSVarint(reader));
+    HQ_ASSIGN_OR_RETURN(int64_t precision, GetSVarint(reader));
+    HQ_ASSIGN_OR_RETURN(int64_t scale, GetSVarint(reader));
+    field.scalar.length = static_cast<int32_t>(length);
+    field.scalar.precision = static_cast<int32_t>(precision);
+    field.scalar.scale = static_cast<int32_t>(scale);
+    HQ_ASSIGN_OR_RETURN(uint8_t cs, reader->ReadByte());
+    field.scalar.charset = static_cast<types::CharSet>(cs);
+  } else {
+    HQ_ASSIGN_OR_RETURN(uint64_t n, GetUVarint(reader));
+    if (field.kind == FieldKind::kList && n != 1) {
+      return Status::ProtocolError("TDF list field must have exactly one child");
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      HQ_ASSIGN_OR_RETURN(TdfField child, DecodeField(reader, depth + 1));
+      field.children.push_back(std::move(child));
+    }
+  }
+  return field;
+}
+
+Result<TdfValue> DecodeValue(const TdfField& field, ByteReader* reader);
+
+Result<Value> DecodeScalar(const TypeDesc& type, ByteReader* reader) {
+  switch (type.id) {
+    case TypeId::kBoolean: {
+      HQ_ASSIGN_OR_RETURN(uint8_t b, reader->ReadByte());
+      return Value::Boolean(b != 0);
+    }
+    case TypeId::kInt8:
+    case TypeId::kInt16:
+    case TypeId::kInt32:
+    case TypeId::kInt64: {
+      HQ_ASSIGN_OR_RETURN(int64_t v, GetSVarint(reader));
+      return Value::Int(v);
+    }
+    case TypeId::kFloat64: {
+      HQ_ASSIGN_OR_RETURN(double v, reader->ReadF64());
+      return Value::Float(v);
+    }
+    case TypeId::kDecimal: {
+      HQ_ASSIGN_OR_RETURN(int64_t unscaled, GetSVarint(reader));
+      return Value::Dec(types::Decimal(unscaled, type.scale));
+    }
+    case TypeId::kDate: {
+      HQ_ASSIGN_OR_RETURN(int64_t days, GetSVarint(reader));
+      return Value::Date(static_cast<types::DateDays>(days));
+    }
+    case TypeId::kTimestamp: {
+      HQ_ASSIGN_OR_RETURN(int64_t micros, GetSVarint(reader));
+      return Value::Timestamp(micros);
+    }
+    case TypeId::kChar:
+    case TypeId::kVarchar: {
+      HQ_ASSIGN_OR_RETURN(uint64_t len, GetUVarint(reader));
+      HQ_ASSIGN_OR_RETURN(Slice text, reader->ReadSlice(len));
+      return Value::String(text.ToString());
+    }
+  }
+  return Status::ProtocolError("unknown TDF scalar type");
+}
+
+Result<TdfValue> DecodeValue(const TdfField& field, ByteReader* reader) {
+  HQ_ASSIGN_OR_RETURN(uint8_t present, reader->ReadByte());
+  if (present == 0) return TdfValue(Value::Null());
+  switch (field.kind) {
+    case FieldKind::kScalar: {
+      HQ_ASSIGN_OR_RETURN(Value v, DecodeScalar(field.scalar, reader));
+      return TdfValue(std::move(v));
+    }
+    case FieldKind::kList: {
+      HQ_ASSIGN_OR_RETURN(uint64_t n, GetUVarint(reader));
+      TdfValueList items;
+      items.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        HQ_ASSIGN_OR_RETURN(TdfValue item, DecodeValue(field.children[0], reader));
+        items.push_back(std::move(item));
+      }
+      return TdfValue::MakeList(std::move(items));
+    }
+    case FieldKind::kStruct: {
+      TdfValueList members;
+      members.reserve(field.children.size());
+      for (const auto& child : field.children) {
+        HQ_ASSIGN_OR_RETURN(TdfValue member, DecodeValue(child, reader));
+        members.push_back(std::move(member));
+      }
+      return TdfValue::MakeStruct(std::move(members));
+    }
+  }
+  return Status::ProtocolError("unknown TDF field kind");
+}
+
+}  // namespace
+
+// --- writer -----------------------------------------------------------------
+
+TdfWriter::TdfWriter(TdfSchema schema) : schema_(std::move(schema)) {}
+
+Status TdfWriter::EncodeValue(const TdfField& field, const TdfValue& value) {
+  if (value.is_null()) {
+    if (!field.nullable) {
+      return Status::TypeError("NULL in non-nullable TDF field '" + field.name + "'");
+    }
+    rows_.AppendByte(0);
+    return Status::OK();
+  }
+  rows_.AppendByte(1);
+  switch (field.kind) {
+    case FieldKind::kScalar: {
+      if (!value.is_scalar()) return Status::TypeError("expected scalar for '" + field.name + "'");
+      const Value& v = value.scalar();
+      switch (field.scalar.id) {
+        case TypeId::kBoolean:
+          if (!v.is_boolean()) return Status::TypeError("expected BOOLEAN for '" + field.name + "'");
+          rows_.AppendByte(v.boolean() ? 1 : 0);
+          return Status::OK();
+        case TypeId::kInt8:
+        case TypeId::kInt16:
+        case TypeId::kInt32:
+        case TypeId::kInt64:
+          if (!v.is_int()) return Status::TypeError("expected integer for '" + field.name + "'");
+          PutSVarint(v.int_value(), &rows_);
+          return Status::OK();
+        case TypeId::kFloat64:
+          if (!v.is_float()) return Status::TypeError("expected float for '" + field.name + "'");
+          rows_.AppendF64(v.float_value());
+          return Status::OK();
+        case TypeId::kDecimal: {
+          if (!v.is_decimal()) return Status::TypeError("expected decimal for '" + field.name + "'");
+          HQ_ASSIGN_OR_RETURN(types::Decimal d, v.decimal_value().Rescale(field.scalar.scale));
+          PutSVarint(d.unscaled(), &rows_);
+          return Status::OK();
+        }
+        case TypeId::kDate:
+          if (!v.is_date()) return Status::TypeError("expected date for '" + field.name + "'");
+          PutSVarint(v.date_days(), &rows_);
+          return Status::OK();
+        case TypeId::kTimestamp:
+          if (!v.is_timestamp()) {
+            return Status::TypeError("expected timestamp for '" + field.name + "'");
+          }
+          PutSVarint(v.timestamp_micros(), &rows_);
+          return Status::OK();
+        case TypeId::kChar:
+        case TypeId::kVarchar:
+          if (!v.is_string()) return Status::TypeError("expected string for '" + field.name + "'");
+          PutUVarint(v.string_value().size(), &rows_);
+          rows_.AppendString(v.string_value());
+          return Status::OK();
+      }
+      return Status::TypeError("unknown scalar type");
+    }
+    case FieldKind::kList: {
+      if (!value.is_list()) return Status::TypeError("expected list for '" + field.name + "'");
+      PutUVarint(value.list().size(), &rows_);
+      for (const auto& item : value.list()) {
+        HQ_RETURN_NOT_OK(EncodeValue(field.children[0], item));
+      }
+      return Status::OK();
+    }
+    case FieldKind::kStruct: {
+      if (!value.is_struct()) return Status::TypeError("expected struct for '" + field.name + "'");
+      if (value.struct_members().size() != field.children.size()) {
+        return Status::TypeError("struct arity mismatch for '" + field.name + "'");
+      }
+      for (size_t i = 0; i < field.children.size(); ++i) {
+        HQ_RETURN_NOT_OK(EncodeValue(field.children[i], value.struct_members()[i]));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::TypeError("unknown field kind");
+}
+
+Status TdfWriter::AppendRow(const TdfRow& row) {
+  if (row.size() != schema_.fields.size()) {
+    return Status::Invalid("TDF row arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    HQ_RETURN_NOT_OK(EncodeValue(schema_.fields[i], row[i]));
+  }
+  ++row_count_;
+  return Status::OK();
+}
+
+Status TdfWriter::AppendFlatRow(const types::Row& row) {
+  TdfRow tdf_row;
+  tdf_row.reserve(row.size());
+  for (const auto& v : row) tdf_row.emplace_back(v);
+  return AppendRow(tdf_row);
+}
+
+ByteBuffer TdfWriter::Finish() {
+  ByteBuffer packet;
+  packet.AppendU32(kTdfMagic);
+  packet.AppendU16(kTdfVersion);
+  // Schema section.
+  ByteBuffer schema_body;
+  PutUVarint(schema_.fields.size(), &schema_body);
+  for (const auto& f : schema_.fields) EncodeField(f, &schema_body);
+  packet.AppendByte(kSectionSchema);
+  packet.AppendU32(static_cast<uint32_t>(schema_body.size()));
+  packet.AppendSlice(schema_body.AsSlice());
+  // Rows section.
+  ByteBuffer rows_body;
+  PutUVarint(row_count_, &rows_body);
+  rows_body.AppendSlice(rows_.AsSlice());
+  packet.AppendByte(kSectionRows);
+  packet.AppendU32(static_cast<uint32_t>(rows_body.size()));
+  packet.AppendSlice(rows_body.AsSlice());
+
+  rows_.clear();
+  row_count_ = 0;
+  return packet;
+}
+
+// --- reader -----------------------------------------------------------------
+
+Result<TdfReader> TdfReader::Open(Slice packet) {
+  ByteReader reader(packet);
+  HQ_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kTdfMagic) return Status::ProtocolError("bad TDF magic");
+  HQ_ASSIGN_OR_RETURN(uint16_t version, reader.ReadU16());
+  if (version > kTdfVersion) {
+    return Status::ProtocolError("unsupported TDF version " + std::to_string(version));
+  }
+  TdfReader out;
+  bool have_schema = false;
+  common::Slice rows_section;
+  bool have_rows = false;
+  while (!reader.AtEnd()) {
+    HQ_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadByte());
+    HQ_ASSIGN_OR_RETURN(Slice body, reader.ReadLengthPrefixed32());
+    if (tag == kSectionSchema) {
+      ByteReader schema_reader(body);
+      HQ_ASSIGN_OR_RETURN(uint64_t n, GetUVarint(&schema_reader));
+      for (uint64_t i = 0; i < n; ++i) {
+        HQ_ASSIGN_OR_RETURN(TdfField field, DecodeField(&schema_reader, 0));
+        out.schema_.fields.push_back(std::move(field));
+      }
+      have_schema = true;
+    } else if (tag == kSectionRows) {
+      rows_section = body;
+      have_rows = true;
+    }
+    // Unknown tags: skipped (forward compatibility).
+  }
+  if (!have_schema) return Status::ProtocolError("TDF packet lacks a schema section");
+  if (have_rows) {
+    ByteReader rows_reader(rows_section);
+    HQ_ASSIGN_OR_RETURN(uint64_t n, GetUVarint(&rows_reader));
+    out.rows_.reserve(n);
+    for (uint64_t r = 0; r < n; ++r) {
+      TdfRow row;
+      row.reserve(out.schema_.fields.size());
+      for (const auto& field : out.schema_.fields) {
+        HQ_ASSIGN_OR_RETURN(TdfValue v, DecodeValue(field, &rows_reader));
+        row.push_back(std::move(v));
+      }
+      out.rows_.push_back(std::move(row));
+    }
+    if (!rows_reader.AtEnd()) {
+      return Status::ProtocolError("trailing bytes in TDF row section");
+    }
+  }
+  return out;
+}
+
+Result<std::vector<types::Row>> TdfReader::ToFlatRows() const {
+  HQ_RETURN_NOT_OK(schema_.ToFlat().status());
+  std::vector<types::Row> flat;
+  flat.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    types::Row out;
+    out.reserve(row.size());
+    for (const auto& v : row) {
+      if (!v.is_scalar()) return Status::TypeError("nested value in flat view");
+      out.push_back(v.scalar());
+    }
+    flat.push_back(std::move(out));
+  }
+  return flat;
+}
+
+}  // namespace hyperq::tdf

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "types/schema.h"
+
+/// \file tdf.h
+/// TDF — Tabular Data Format. The paper (Section 3): "TDF (Tabular Data
+/// Format) is an internal binary data message representation designed to be
+/// an extensible format that can handle arbitrarily large nested data."
+///
+/// A TDF packet is self-describing: it carries a (possibly nested) schema and
+/// a batch of rows. Nesting is expressed with LIST and STRUCT fields; scalar
+/// leaves reuse the shared TypeDesc. Integers use zig-zag LEB128 varints so
+/// the format stays compact and forward-extensible (unknown trailing packet
+/// sections are length-delimited and skippable).
+///
+/// Packet layout:
+///   magic 'TDF1' u32 | version u16 | section*                (each section:
+///   tag u8 | byte-length u32 | body). Sections: 1 = schema, 2 = row batch.
+///   Unknown tags are skipped, which is what makes the format extensible.
+
+namespace hyperq::tdf {
+
+enum class FieldKind : uint8_t { kScalar = 0, kList = 1, kStruct = 2 };
+
+/// A (possibly nested) TDF field.
+struct TdfField {
+  std::string name;
+  FieldKind kind = FieldKind::kScalar;
+  types::TypeDesc scalar;          ///< valid when kind == kScalar
+  std::vector<TdfField> children;  ///< list element (size 1) or struct members
+  bool nullable = true;
+
+  static TdfField Scalar(std::string name, types::TypeDesc type, bool nullable = true);
+  static TdfField List(std::string name, TdfField element, bool nullable = true);
+  static TdfField Struct(std::string name, std::vector<TdfField> members, bool nullable = true);
+
+  bool operator==(const TdfField&) const = default;
+};
+
+struct TdfSchema {
+  std::vector<TdfField> fields;
+
+  bool operator==(const TdfSchema&) const = default;
+
+  /// Lifts a flat relational schema (the common case: CDW result batches).
+  static TdfSchema FromFlat(const types::Schema& schema);
+  /// Lowers to a flat schema; fails when any field is nested.
+  common::Result<types::Schema> ToFlat() const;
+};
+
+/// A TDF value: scalar (types::Value) or nested list/struct.
+class TdfValue;
+using TdfValueList = std::vector<TdfValue>;
+
+class TdfValue {
+ public:
+  TdfValue() : payload_(types::Value::Null()) {}
+  TdfValue(types::Value v) : payload_(std::move(v)) {}  // NOLINT implicit
+  static TdfValue MakeList(TdfValueList items);
+  static TdfValue MakeStruct(TdfValueList members);
+
+  bool is_scalar() const { return std::holds_alternative<types::Value>(payload_); }
+  bool is_list() const { return std::holds_alternative<ListBox>(payload_); }
+  bool is_struct() const { return std::holds_alternative<StructBox>(payload_); }
+  bool is_null() const { return is_scalar() && scalar().is_null(); }
+
+  const types::Value& scalar() const { return std::get<types::Value>(payload_); }
+  const TdfValueList& list() const;
+  const TdfValueList& struct_members() const;
+
+  bool operator==(const TdfValue& other) const;
+
+ private:
+  struct ListBox {
+    std::shared_ptr<TdfValueList> items;
+    bool operator==(const ListBox& o) const;
+  };
+  struct StructBox {
+    std::shared_ptr<TdfValueList> members;
+    bool operator==(const StructBox& o) const;
+  };
+  std::variant<types::Value, ListBox, StructBox> payload_;
+};
+
+using TdfRow = std::vector<TdfValue>;
+
+/// Serializes one packet: schema section + row-batch section.
+class TdfWriter {
+ public:
+  explicit TdfWriter(TdfSchema schema);
+
+  /// Appends a row; arity and shape must match the schema.
+  common::Status AppendRow(const TdfRow& row);
+
+  /// Convenience for flat relational rows.
+  common::Status AppendFlatRow(const types::Row& row);
+
+  size_t row_count() const { return row_count_; }
+  /// Bytes of encoded row data so far (excludes header/schema).
+  size_t data_bytes() const { return rows_.size(); }
+
+  /// Finalizes and returns the packet bytes. The writer can be reused after
+  /// Finish() (it starts a new packet with the same schema).
+  common::ByteBuffer Finish();
+
+ private:
+  common::Status EncodeValue(const TdfField& field, const TdfValue& value);
+
+  TdfSchema schema_;
+  common::ByteBuffer rows_;
+  size_t row_count_ = 0;
+};
+
+/// Parses one packet.
+class TdfReader {
+ public:
+  /// Decodes the packet header and sections; rows are materialized eagerly.
+  static common::Result<TdfReader> Open(common::Slice packet);
+
+  const TdfSchema& schema() const { return schema_; }
+  const std::vector<TdfRow>& rows() const { return rows_; }
+
+  /// Flat relational view; fails when the schema is nested.
+  common::Result<std::vector<types::Row>> ToFlatRows() const;
+
+ private:
+  TdfReader() = default;
+
+  TdfSchema schema_;
+  std::vector<TdfRow> rows_;
+};
+
+// Varint primitives (exposed for tests).
+void PutUVarint(uint64_t v, common::ByteBuffer* out);
+void PutSVarint(int64_t v, common::ByteBuffer* out);
+common::Result<uint64_t> GetUVarint(common::ByteReader* reader);
+common::Result<int64_t> GetSVarint(common::ByteReader* reader);
+
+}  // namespace hyperq::tdf

@@ -1,0 +1,198 @@
+#include "types/decimal.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace hyperq::types {
+
+using common::Result;
+using common::Status;
+
+namespace {
+constexpr int64_t kPow10[] = {1LL,
+                              10LL,
+                              100LL,
+                              1000LL,
+                              10000LL,
+                              100000LL,
+                              1000000LL,
+                              10000000LL,
+                              100000000LL,
+                              1000000000LL,
+                              10000000000LL,
+                              100000000000LL,
+                              1000000000000LL,
+                              10000000000000LL,
+                              100000000000000LL,
+                              1000000000000000LL,
+                              10000000000000000LL,
+                              100000000000000000LL,
+                              1000000000000000000LL};
+constexpr int32_t kMaxScale = 18;
+constexpr int64_t kMaxUnscaled = 999999999999999999LL;  // 18 nines
+
+bool MulOverflows(int64_t a, int64_t b, int64_t* out) {
+  return __builtin_mul_overflow(a, b, out);
+}
+bool AddOverflows(int64_t a, int64_t b, int64_t* out) {
+  return __builtin_add_overflow(a, b, out);
+}
+}  // namespace
+
+Result<Decimal> Decimal::Parse(std::string_view text, int32_t scale) {
+  if (scale < 0 || scale > kMaxScale) return Status::Invalid("decimal scale out of range");
+  size_t i = 0;
+  bool neg = false;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+    neg = text[i] == '-';
+    ++i;
+  }
+  int64_t int_part = 0;
+  bool any_digit = false;
+  for (; i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])); ++i) {
+    any_digit = true;
+    if (MulOverflows(int_part, 10, &int_part) ||
+        AddOverflows(int_part, text[i] - '0', &int_part)) {
+      return Status::ConversionError("decimal overflow: " + std::string(text));
+    }
+  }
+  int64_t frac_part = 0;
+  int32_t frac_digits = 0;
+  int next_digit_after_scale = -1;
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    for (; i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])); ++i) {
+      any_digit = true;
+      if (frac_digits < scale) {
+        frac_part = frac_part * 10 + (text[i] - '0');
+        ++frac_digits;
+      } else if (next_digit_after_scale < 0) {
+        next_digit_after_scale = text[i] - '0';
+      }
+    }
+  }
+  if (!any_digit || i != text.size()) {
+    return Status::ConversionError("malformed decimal literal: '" + std::string(text) + "'");
+  }
+  while (frac_digits < scale) {
+    frac_part *= 10;
+    ++frac_digits;
+  }
+  int64_t unscaled;
+  if (MulOverflows(int_part, kPow10[scale], &unscaled) ||
+      AddOverflows(unscaled, frac_part, &unscaled)) {
+    return Status::ConversionError("decimal overflow: " + std::string(text));
+  }
+  if (next_digit_after_scale >= 5) {
+    if (AddOverflows(unscaled, 1, &unscaled)) {
+      return Status::ConversionError("decimal overflow: " + std::string(text));
+    }
+  }
+  if (unscaled > kMaxUnscaled) {
+    return Status::ConversionError("decimal exceeds 18 digits: " + std::string(text));
+  }
+  return Decimal(neg ? -unscaled : unscaled, scale);
+}
+
+std::string Decimal::ToString() const {
+  int64_t v = unscaled_;
+  bool neg = v < 0;
+  uint64_t mag = neg ? static_cast<uint64_t>(-(v + 1)) + 1 : static_cast<uint64_t>(v);
+  uint64_t pow = static_cast<uint64_t>(kPow10[scale_]);
+  uint64_t int_part = mag / pow;
+  uint64_t frac_part = mag % pow;
+  std::string out = neg ? "-" : "";
+  out += std::to_string(int_part);
+  if (scale_ > 0) {
+    std::string frac = std::to_string(frac_part);
+    out += ".";
+    out += std::string(static_cast<size_t>(scale_) - frac.size(), '0');
+    out += frac;
+  }
+  return out;
+}
+
+Result<Decimal> Decimal::Rescale(int32_t new_scale) const {
+  if (new_scale < 0 || new_scale > kMaxScale) return Status::Invalid("decimal scale out of range");
+  if (new_scale == scale_) return *this;
+  if (new_scale > scale_) {
+    int64_t out;
+    if (MulOverflows(unscaled_, kPow10[new_scale - scale_], &out) || out > kMaxUnscaled ||
+        out < -kMaxUnscaled) {
+      return Status::ConversionError("decimal rescale overflow");
+    }
+    return Decimal(out, new_scale);
+  }
+  int64_t div = kPow10[scale_ - new_scale];
+  int64_t q = unscaled_ / div;
+  int64_t r = unscaled_ % div;
+  // Round half away from zero.
+  if (std::llabs(r) * 2 >= div) q += (unscaled_ < 0 ? -1 : 1);
+  return Decimal(q, new_scale);
+}
+
+double Decimal::ToDouble() const {
+  return static_cast<double>(unscaled_) / static_cast<double>(kPow10[scale_]);
+}
+
+int64_t Decimal::ToInt64() const { return unscaled_ / kPow10[scale_]; }
+
+Result<Decimal> Decimal::FromDouble(double v, int32_t scale) {
+  if (scale < 0 || scale > kMaxScale) return Status::Invalid("decimal scale out of range");
+  double scaled = v * static_cast<double>(kPow10[scale]);
+  if (!std::isfinite(scaled) || scaled > static_cast<double>(kMaxUnscaled) ||
+      scaled < -static_cast<double>(kMaxUnscaled)) {
+    return Status::ConversionError("double out of decimal range");
+  }
+  return Decimal(static_cast<int64_t>(std::llround(scaled)), scale);
+}
+
+Decimal Decimal::FromInt64(int64_t v, int32_t scale) { return Decimal(v * kPow10[scale], scale); }
+
+Result<Decimal> Decimal::Add(const Decimal& other) const {
+  int32_t s = std::max(scale_, other.scale_);
+  HQ_ASSIGN_OR_RETURN(Decimal a, Rescale(s));
+  HQ_ASSIGN_OR_RETURN(Decimal b, other.Rescale(s));
+  int64_t out;
+  if (AddOverflows(a.unscaled_, b.unscaled_, &out) || out > kMaxUnscaled || out < -kMaxUnscaled) {
+    return Status::ConversionError("decimal addition overflow");
+  }
+  return Decimal(out, s);
+}
+
+Result<Decimal> Decimal::Subtract(const Decimal& other) const {
+  return Add(Decimal(-other.unscaled_, other.scale_));
+}
+
+Result<Decimal> Decimal::Multiply(const Decimal& other) const {
+  int64_t out;
+  if (MulOverflows(unscaled_, other.unscaled_, &out)) {
+    return Status::ConversionError("decimal multiplication overflow");
+  }
+  int32_t s = scale_ + other.scale_;
+  Decimal product(out, s);
+  if (s > kMaxScale) return product.Rescale(kMaxScale);
+  if (out > kMaxUnscaled || out < -kMaxUnscaled) {
+    return Status::ConversionError("decimal multiplication overflow");
+  }
+  return product;
+}
+
+int Decimal::Compare(const Decimal& other) const {
+  // Compare via double fast path is lossy; align scales instead. Overflow on
+  // alignment implies widely different magnitudes, so fall back to doubles.
+  int32_t s = std::max(scale_, other.scale_);
+  auto a = Rescale(s);
+  auto b = other.Rescale(s);
+  if (a.ok() && b.ok()) {
+    int64_t x = a.ValueOrDie().unscaled();
+    int64_t y = b.ValueOrDie().unscaled();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  double x = ToDouble();
+  double y = other.ToDouble();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+}  // namespace hyperq::types

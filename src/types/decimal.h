@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+/// \file decimal.h
+/// 18-digit fixed-point decimal (value = unscaled / 10^scale). Sufficient for
+/// the DECIMAL columns appearing in legacy ETL jobs; arithmetic saturates the
+/// legacy EDW's DECIMAL(18) ceiling.
+
+namespace hyperq::types {
+
+class Decimal {
+ public:
+  Decimal() = default;
+  Decimal(int64_t unscaled, int32_t scale) : unscaled_(unscaled), scale_(scale) {}
+
+  int64_t unscaled() const { return unscaled_; }
+  int32_t scale() const { return scale_; }
+
+  /// Parses "[-]digits[.digits]" and scales to `scale`, rounding half away
+  /// from zero. Fails on malformed text or overflow of 18 digits.
+  static common::Result<Decimal> Parse(std::string_view text, int32_t scale);
+
+  /// Renders with exactly scale() fractional digits, e.g. "-12.50".
+  std::string ToString() const;
+
+  /// Converts to a new scale (rounds half away from zero when narrowing).
+  common::Result<Decimal> Rescale(int32_t new_scale) const;
+
+  double ToDouble() const;
+  /// Truncates toward zero to an integer.
+  int64_t ToInt64() const;
+  static common::Result<Decimal> FromDouble(double v, int32_t scale);
+  static Decimal FromInt64(int64_t v, int32_t scale);
+
+  common::Result<Decimal> Add(const Decimal& other) const;
+  common::Result<Decimal> Subtract(const Decimal& other) const;
+  common::Result<Decimal> Multiply(const Decimal& other) const;
+
+  /// Three-way compare across scales.
+  int Compare(const Decimal& other) const;
+
+  bool operator==(const Decimal& other) const { return Compare(other) == 0; }
+
+ private:
+  int64_t unscaled_ = 0;
+  int32_t scale_ = 0;
+};
+
+}  // namespace hyperq::types

@@ -1,0 +1,44 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace hyperq::types {
+
+std::string Field::ToString() const {
+  std::string out = name + " " + type.ToString();
+  if (!nullable) out += " NOT NULL";
+  return out;
+}
+
+int Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (common::EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+common::Result<size_t> Schema::RequireFieldIndex(std::string_view name) const {
+  int idx = FieldIndex(name);
+  if (idx < 0) return common::Status::NotFound("column not found: " + std::string(name));
+  return static_cast<size_t>(idx);
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += fields_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t RowByteSize(const Row& row) {
+  size_t bytes = sizeof(Row) + row.size() * sizeof(Value);
+  for (const auto& v : row) {
+    if (v.is_string()) bytes += v.string_value().size();
+  }
+  return bytes;
+}
+
+}  // namespace hyperq::types

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/type.h"
+#include "types/value.h"
+
+/// \file schema.h
+/// Column schemas and row values shared by the legacy wire codecs, the TDF
+/// format, and the CDW engine.
+
+namespace hyperq::types {
+
+/// One column: name, type, nullability.
+struct Field {
+  std::string name;
+  TypeDesc type;
+  bool nullable = true;
+
+  Field() = default;
+  Field(std::string n, TypeDesc t, bool null_ok = true)
+      : name(std::move(n)), type(t), nullable(null_ok) {}
+
+  bool operator==(const Field&) const = default;
+
+  std::string ToString() const;
+};
+
+/// Ordered collection of fields. Lookup is case-insensitive (SQL rules).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Case-insensitive index lookup; -1 when absent.
+  int FieldIndex(std::string_view name) const;
+  common::Result<size_t> RequireFieldIndex(std::string_view name) const;
+
+  bool operator==(const Schema&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// A row of values positionally matching a Schema.
+using Row = std::vector<Value>;
+
+/// Approximate in-memory footprint of a row (used for memory accounting).
+size_t RowByteSize(const Row& row);
+
+}  // namespace hyperq::types

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+/// \file type.h
+/// The shared logical type system. Both the legacy EDW dialect and the CDW
+/// dialect describe column types as a TypeDesc; the legacy->CDW bridging is
+/// performed by type_mapping.h.
+
+namespace hyperq::types {
+
+enum class TypeId : uint8_t {
+  kBoolean = 0,
+  kInt8,      ///< legacy BYTEINT
+  kInt16,     ///< SMALLINT
+  kInt32,     ///< INTEGER
+  kInt64,     ///< BIGINT
+  kFloat64,   ///< FLOAT / DOUBLE PRECISION
+  kDecimal,   ///< DECIMAL(p,s), 18-digit fixed point
+  kChar,      ///< CHAR(n), blank padded
+  kVarchar,   ///< VARCHAR(n)
+  kDate,      ///< days since 1970-01-01
+  kTimestamp, ///< microseconds since 1970-01-01 00:00:00
+};
+
+std::string_view TypeIdName(TypeId id);
+
+/// True for kInt8..kFloat64 and kDecimal.
+bool IsNumeric(TypeId id);
+/// True for kChar and kVarchar.
+bool IsString(TypeId id);
+
+/// Character set of a string type. The legacy EDW distinguishes LATIN and
+/// UNICODE columns; the CDW maps UNICODE to its national varchar type
+/// (Section 6 of the paper).
+enum class CharSet : uint8_t { kLatin = 0, kUnicode };
+
+/// A concrete column/expression type: id plus parameters.
+struct TypeDesc {
+  TypeId id = TypeId::kVarchar;
+  int32_t length = 0;     ///< CHAR/VARCHAR declared length
+  int32_t precision = 0;  ///< DECIMAL precision
+  int32_t scale = 0;      ///< DECIMAL scale
+  CharSet charset = CharSet::kLatin;
+
+  TypeDesc() = default;
+  explicit TypeDesc(TypeId tid) : id(tid) {}
+
+  static TypeDesc Boolean() { return TypeDesc(TypeId::kBoolean); }
+  static TypeDesc Int8() { return TypeDesc(TypeId::kInt8); }
+  static TypeDesc Int16() { return TypeDesc(TypeId::kInt16); }
+  static TypeDesc Int32() { return TypeDesc(TypeId::kInt32); }
+  static TypeDesc Int64() { return TypeDesc(TypeId::kInt64); }
+  static TypeDesc Float64() { return TypeDesc(TypeId::kFloat64); }
+  static TypeDesc Date() { return TypeDesc(TypeId::kDate); }
+  static TypeDesc Timestamp() { return TypeDesc(TypeId::kTimestamp); }
+  static TypeDesc Decimal(int32_t precision, int32_t scale) {
+    TypeDesc t(TypeId::kDecimal);
+    t.precision = precision;
+    t.scale = scale;
+    return t;
+  }
+  static TypeDesc Char(int32_t length, CharSet cs = CharSet::kLatin) {
+    TypeDesc t(TypeId::kChar);
+    t.length = length;
+    t.charset = cs;
+    return t;
+  }
+  static TypeDesc Varchar(int32_t length, CharSet cs = CharSet::kLatin) {
+    TypeDesc t(TypeId::kVarchar);
+    t.length = length;
+    t.charset = cs;
+    return t;
+  }
+
+  bool operator==(const TypeDesc& other) const {
+    return id == other.id && length == other.length && precision == other.precision &&
+           scale == other.scale && charset == other.charset;
+  }
+
+  /// SQL-ish rendering, e.g. "VARCHAR(50)", "DECIMAL(18,2)".
+  std::string ToString() const;
+
+  /// Fixed wire width in the legacy binary row format; 0 for varlen types.
+  int32_t FixedWireWidth() const;
+};
+
+/// Parses a type name as written in ETL scripts / SQL, e.g. "varchar(5)",
+/// "DECIMAL(18,2)", "DATE", "byteint". Case-insensitive.
+common::Result<TypeDesc> ParseTypeName(std::string_view text);
+
+}  // namespace hyperq::types

@@ -1,0 +1,47 @@
+#include "types/type_mapping.h"
+
+namespace hyperq::types {
+
+using common::Result;
+
+namespace {
+/// CDW CHAR columns wider than this are stored as VARCHAR (mirrors cloud
+/// systems that discourage wide fixed-width columns).
+constexpr int32_t kMaxCdwCharWidth = 255;
+}  // namespace
+
+Result<TypeDesc> MapLegacyTypeToCdw(const TypeDesc& legacy) {
+  switch (legacy.id) {
+    case TypeId::kInt8:
+      // The CDW has no 1-byte integer; widen to SMALLINT.
+      return TypeDesc::Int16();
+    case TypeId::kChar:
+      if (legacy.length > kMaxCdwCharWidth) {
+        return TypeDesc::Varchar(legacy.length, legacy.charset);
+      }
+      return legacy;
+    case TypeId::kBoolean:
+    case TypeId::kInt16:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kFloat64:
+    case TypeId::kDecimal:
+    case TypeId::kVarchar:
+    case TypeId::kDate:
+    case TypeId::kTimestamp:
+      return legacy;
+  }
+  return common::Status::TypeError("unmappable legacy type");
+}
+
+Result<Schema> MapLegacySchemaToCdw(const Schema& legacy) {
+  std::vector<Field> fields;
+  fields.reserve(legacy.num_fields());
+  for (const auto& f : legacy.fields()) {
+    HQ_ASSIGN_OR_RETURN(TypeDesc mapped, MapLegacyTypeToCdw(f.type));
+    fields.emplace_back(f.name, mapped, f.nullable);
+  }
+  return Schema(std::move(fields));
+}
+
+}  // namespace hyperq::types

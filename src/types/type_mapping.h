@@ -1,0 +1,26 @@
+#pragma once
+
+#include "common/result.h"
+#include "types/schema.h"
+#include "types/type.h"
+
+/// \file type_mapping.h
+/// Legacy-EDW -> CDW type bridging (Section 6 of the paper): "a Unicode
+/// character type in the source script could be mapped to the national
+/// varchar type in the CDW type system". The simulated CDW models the common
+/// quirks of real cloud warehouses:
+///   - no BYTEINT (narrowest integer is SMALLINT),
+///   - UNICODE CHAR/VARCHAR map to national (NVARCHAR-style) types,
+///   - CHAR wider than a threshold becomes VARCHAR,
+///   - no native uniqueness enforcement (emulated by Hyper-Q, Section 7).
+
+namespace hyperq::types {
+
+/// Maps one legacy column type to the CDW type used for the staging and
+/// target tables.
+common::Result<TypeDesc> MapLegacyTypeToCdw(const TypeDesc& legacy);
+
+/// Maps a whole legacy schema (used when creating staging tables).
+common::Result<Schema> MapLegacySchemaToCdw(const Schema& legacy);
+
+}  // namespace hyperq::types

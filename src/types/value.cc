@@ -1,0 +1,301 @@
+#include "types/value.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace hyperq::types {
+
+using common::Result;
+using common::Status;
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_boolean()) return boolean() ? "TRUE" : "FALSE";
+  if (is_int()) return std::to_string(int_value());
+  if (is_float()) {
+    std::string s = common::Sprintf("%.17g", float_value());
+    return s;
+  }
+  if (is_decimal()) return decimal_value().ToString();
+  if (is_string()) return "'" + string_value() + "'";
+  if (is_date()) return FormatDateIso(date_days());
+  return FormatTimestampIso(timestamp_micros());
+}
+
+size_t Value::Hash() const {
+  std::size_t seed = payload_.index() * 0x9E3779B97F4A7C15ULL;
+  auto mix = [&seed](size_t h) { seed ^= h + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2); };
+  if (is_null()) return seed;
+  if (is_boolean()) {
+    mix(std::hash<bool>{}(boolean()));
+  } else if (is_int()) {
+    mix(std::hash<int64_t>{}(int_value()));
+  } else if (is_float()) {
+    mix(std::hash<double>{}(float_value()));
+  } else if (is_decimal()) {
+    // Normalize to scale-invariant representation: hash value as double.
+    mix(std::hash<double>{}(decimal_value().ToDouble()));
+  } else if (is_string()) {
+    mix(std::hash<std::string>{}(string_value()));
+  } else if (is_date()) {
+    mix(std::hash<int32_t>{}(date_days()));
+  } else {
+    mix(std::hash<int64_t>{}(timestamp_micros()));
+  }
+  return seed;
+}
+
+namespace {
+int CompareDoubles(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+int CompareInts(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+// Rank for cross-family comparisons (deterministic total order).
+int FamilyRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_boolean()) return 1;
+  if (v.is_int() || v.is_float() || v.is_decimal()) return 2;
+  if (v.is_string()) return 3;
+  if (v.is_date()) return 4;
+  return 5;
+}
+
+bool IsNumericValue(const Value& v) { return v.is_int() || v.is_float() || v.is_decimal(); }
+
+double NumericAsDouble(const Value& v) {
+  if (v.is_int()) return static_cast<double>(v.int_value());
+  if (v.is_float()) return v.float_value();
+  return v.decimal_value().ToDouble();
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (IsNumericValue(*this) && IsNumericValue(other)) {
+    if (is_int() && other.is_int()) return CompareInts(int_value(), other.int_value());
+    if (is_decimal() && other.is_decimal()) return decimal_value().Compare(other.decimal_value());
+    return CompareDoubles(NumericAsDouble(*this), NumericAsDouble(other));
+  }
+  int ra = FamilyRank(*this);
+  int rb = FamilyRank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  if (is_boolean()) return CompareInts(boolean(), other.boolean());
+  if (is_string()) {
+    int c = string_value().compare(other.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_date()) return CompareInts(date_days(), other.date_days());
+  return CompareInts(timestamp_micros(), other.timestamp_micros());
+}
+
+namespace {
+
+Result<int64_t> ParseInt(std::string_view text) {
+  std::string_view t = common::TrimView(text);
+  if (t.empty()) return Status::ConversionError("cannot convert empty string to integer");
+  errno = 0;
+  char* end = nullptr;
+  std::string buf(t);
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) {
+    return Status::ConversionError("invalid integer literal: '" + std::string(text) + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseFloat(std::string_view text) {
+  std::string_view t = common::TrimView(text);
+  if (t.empty()) return Status::ConversionError("cannot convert empty string to float");
+  errno = 0;
+  char* end = nullptr;
+  std::string buf(t);
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) {
+    return Status::ConversionError("invalid float literal: '" + std::string(text) + "'");
+  }
+  return v;
+}
+
+Result<Value> CheckedIntRange(int64_t v, const TypeDesc& target) {
+  int64_t lo;
+  int64_t hi;
+  switch (target.id) {
+    case TypeId::kInt8:
+      lo = -128;
+      hi = 127;
+      break;
+    case TypeId::kInt16:
+      lo = INT16_MIN;
+      hi = INT16_MAX;
+      break;
+    case TypeId::kInt32:
+      lo = INT32_MIN;
+      hi = INT32_MAX;
+      break;
+    default:
+      lo = INT64_MIN;
+      hi = INT64_MAX;
+      break;
+  }
+  if (v < lo || v > hi) {
+    return Status::ConversionError("integer value " + std::to_string(v) + " out of range for " +
+                                   target.ToString());
+  }
+  return Value::Int(v);
+}
+
+Result<Value> CastStringTo(const std::string& s, const TypeDesc& target, std::string_view format) {
+  switch (target.id) {
+    case TypeId::kBoolean: {
+      std::string up = common::ToUpper(common::TrimView(s));
+      if (up == "TRUE" || up == "T" || up == "1") return Value::Boolean(true);
+      if (up == "FALSE" || up == "F" || up == "0") return Value::Boolean(false);
+      return Status::ConversionError("invalid boolean literal: '" + s + "'");
+    }
+    case TypeId::kInt8:
+    case TypeId::kInt16:
+    case TypeId::kInt32:
+    case TypeId::kInt64: {
+      HQ_ASSIGN_OR_RETURN(int64_t v, ParseInt(s));
+      return CheckedIntRange(v, target);
+    }
+    case TypeId::kFloat64: {
+      HQ_ASSIGN_OR_RETURN(double v, ParseFloat(s));
+      return Value::Float(v);
+    }
+    case TypeId::kDecimal: {
+      HQ_ASSIGN_OR_RETURN(Decimal d, Decimal::Parse(common::Trim(s), target.scale));
+      return Value::Dec(d);
+    }
+    case TypeId::kDate: {
+      std::string_view fmt = format.empty() ? std::string_view("YYYY-MM-DD") : format;
+      HQ_ASSIGN_OR_RETURN(DateDays days, ParseDate(s, fmt));
+      return Value::Date(days);
+    }
+    case TypeId::kTimestamp: {
+      HQ_ASSIGN_OR_RETURN(TimestampMicros ts, ParseTimestampIso(s));
+      return Value::Timestamp(ts);
+    }
+    case TypeId::kChar:
+    case TypeId::kVarchar:
+      return Status::Internal("string-to-string cast handled by caller");
+  }
+  return Status::TypeError("unsupported cast target");
+}
+
+Result<Value> FitString(std::string s, const TypeDesc& target) {
+  if (target.length > 0 && static_cast<int32_t>(s.size()) > target.length) {
+    // Legacy semantics: trailing blanks may be truncated silently; other
+    // overflow is an error.
+    std::string trimmed = s;
+    while (!trimmed.empty() && trimmed.back() == ' ') trimmed.pop_back();
+    if (static_cast<int32_t>(trimmed.size()) > target.length) {
+      return Status::ConversionError("string value of length " + std::to_string(s.size()) +
+                                     " exceeds " + target.ToString());
+    }
+    s = std::move(trimmed);
+  }
+  if (target.id == TypeId::kChar && target.length > 0) {
+    s.resize(static_cast<size_t>(target.length), ' ');
+  }
+  return Value::String(std::move(s));
+}
+
+std::string ValueToPlainText(const Value& v) {
+  if (v.is_boolean()) return v.boolean() ? "TRUE" : "FALSE";
+  if (v.is_int()) return std::to_string(v.int_value());
+  if (v.is_float()) return common::Sprintf("%.17g", v.float_value());
+  if (v.is_decimal()) return v.decimal_value().ToString();
+  if (v.is_string()) return v.string_value();
+  if (v.is_date()) return FormatDateIso(v.date_days());
+  return FormatTimestampIso(v.timestamp_micros());
+}
+
+}  // namespace
+
+Result<Value> CastValue(const Value& v, const TypeDesc& target, std::string_view format) {
+  if (v.is_null()) return Value::Null();
+
+  if (IsString(target.id)) {
+    if (v.is_string()) return FitString(v.string_value(), target);
+    if (v.is_date() && !format.empty()) {
+      HQ_ASSIGN_OR_RETURN(std::string text, FormatDate(v.date_days(), format));
+      return FitString(std::move(text), target);
+    }
+    return FitString(ValueToPlainText(v), target);
+  }
+
+  if (v.is_string()) return CastStringTo(v.string_value(), target, format);
+
+  switch (target.id) {
+    case TypeId::kBoolean:
+      if (v.is_boolean()) return v;
+      if (v.is_int()) return Value::Boolean(v.int_value() != 0);
+      return Status::TypeError("cannot cast " + v.ToString() + " to BOOLEAN");
+    case TypeId::kInt8:
+    case TypeId::kInt16:
+    case TypeId::kInt32:
+    case TypeId::kInt64: {
+      if (v.is_int()) return CheckedIntRange(v.int_value(), target);
+      if (v.is_boolean()) return Value::Int(v.boolean() ? 1 : 0);
+      if (v.is_float()) {
+        double d = v.float_value();
+        if (!std::isfinite(d) || d < -9.3e18 || d > 9.3e18) {
+          return Status::ConversionError("float out of integer range");
+        }
+        return CheckedIntRange(static_cast<int64_t>(std::llround(d)), target);
+      }
+      if (v.is_decimal()) return CheckedIntRange(v.decimal_value().ToInt64(), target);
+      if (v.is_date()) return CheckedIntRange(v.date_days(), target);
+      return Status::TypeError("cannot cast " + v.ToString() + " to " + target.ToString());
+    }
+    case TypeId::kFloat64: {
+      if (v.is_float()) return v;
+      if (v.is_int()) return Value::Float(static_cast<double>(v.int_value()));
+      if (v.is_decimal()) return Value::Float(v.decimal_value().ToDouble());
+      return Status::TypeError("cannot cast " + v.ToString() + " to FLOAT");
+    }
+    case TypeId::kDecimal: {
+      if (v.is_decimal()) return v.decimal_value().Rescale(target.scale).ok()
+                                     ? Value::Dec(v.decimal_value().Rescale(target.scale).ValueOrDie())
+                                     : Result<Value>(Status::ConversionError("decimal rescale overflow"));
+      if (v.is_int()) return Value::Dec(Decimal::FromInt64(v.int_value(), 0));
+      if (v.is_float()) {
+        HQ_ASSIGN_OR_RETURN(Decimal d, Decimal::FromDouble(v.float_value(), target.scale));
+        return Value::Dec(d);
+      }
+      return Status::TypeError("cannot cast " + v.ToString() + " to DECIMAL");
+    }
+    case TypeId::kDate: {
+      if (v.is_date()) return v;
+      if (v.is_timestamp()) {
+        int64_t days = v.timestamp_micros() / 86400000000LL;
+        if (v.timestamp_micros() < 0 && v.timestamp_micros() % 86400000000LL != 0) --days;
+        return Value::Date(static_cast<DateDays>(days));
+      }
+      return Status::TypeError("cannot cast " + v.ToString() + " to DATE");
+    }
+    case TypeId::kTimestamp: {
+      if (v.is_timestamp()) return v;
+      if (v.is_date()) return Value::Timestamp(static_cast<int64_t>(v.date_days()) * 86400000000LL);
+      return Status::TypeError("cannot cast " + v.ToString() + " to TIMESTAMP");
+    }
+    case TypeId::kChar:
+    case TypeId::kVarchar:
+      break;  // handled above
+  }
+  return Status::TypeError("unsupported cast to " + target.ToString());
+}
+
+std::string ValueToCdwText(const Value& v) {
+  if (v.is_boolean()) return v.boolean() ? "1" : "0";
+  return ValueToPlainText(v);
+}
+
+}  // namespace hyperq::types

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "types/date.h"
+#include "types/decimal.h"
+#include "types/type.h"
+
+/// \file value.h
+/// Runtime scalar value. Canonical representation per type family:
+///   kBoolean            -> bool
+///   kInt8..kInt64       -> int64_t
+///   kFloat64            -> double
+///   kDecimal            -> Decimal
+///   kChar/kVarchar      -> std::string
+///   kDate               -> DateDays   (tagged)
+///   kTimestamp          -> TimestampMicros (tagged)
+
+namespace hyperq::types {
+
+/// Distinct wrapper so std::variant can tell dates from ints.
+struct DateValue {
+  DateDays days;
+  bool operator==(const DateValue&) const = default;
+};
+struct TimestampValue {
+  TimestampMicros micros;
+  bool operator==(const TimestampValue&) const = default;
+};
+
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Boolean(bool v) { return Value(Payload(v)); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Float(double v) { return Value(Payload(v)); }
+  static Value String(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Dec(Decimal v) { return Value(Payload(v)); }
+  static Value Date(DateDays days) { return Value(Payload(DateValue{days})); }
+  static Value Timestamp(TimestampMicros micros) { return Value(Payload(TimestampValue{micros})); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(payload_); }
+  bool is_boolean() const { return std::holds_alternative<bool>(payload_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(payload_); }
+  bool is_float() const { return std::holds_alternative<double>(payload_); }
+  bool is_string() const { return std::holds_alternative<std::string>(payload_); }
+  bool is_decimal() const { return std::holds_alternative<Decimal>(payload_); }
+  bool is_date() const { return std::holds_alternative<DateValue>(payload_); }
+  bool is_timestamp() const { return std::holds_alternative<TimestampValue>(payload_); }
+
+  bool boolean() const { return std::get<bool>(payload_); }
+  int64_t int_value() const { return std::get<int64_t>(payload_); }
+  double float_value() const { return std::get<double>(payload_); }
+  const std::string& string_value() const { return std::get<std::string>(payload_); }
+  const Decimal& decimal_value() const { return std::get<Decimal>(payload_); }
+  DateDays date_days() const { return std::get<DateValue>(payload_).days; }
+  TimestampMicros timestamp_micros() const { return std::get<TimestampValue>(payload_).micros; }
+
+  bool operator==(const Value& other) const { return payload_ == other.payload_; }
+
+  /// Debug / display rendering ("NULL", "42", "'abc'", dates as ISO).
+  std::string ToString() const;
+
+  /// Deterministic hash for uniqueness emulation and group-by.
+  size_t Hash() const;
+
+  /// Three-way ordering used by ORDER BY and uniqueness checks. NULLs sort
+  /// first; comparing incompatible families falls back to type rank.
+  int Compare(const Value& other) const;
+
+ private:
+  using Payload = std::variant<std::monostate, bool, int64_t, double, Decimal, std::string,
+                               DateValue, TimestampValue>;
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+/// Casts `v` to `target`, applying legacy EDW conversion rules:
+///  - strings parse to numerics/dates (optional `format` for dates)
+///  - CHAR(n) blank-pads, VARCHAR(n)/CHAR(n) overflow is a ConversionError
+///  - numerics widen implicitly, narrow with range check
+///  - NULL casts to NULL of any type
+common::Result<Value> CastValue(const Value& v, const TypeDesc& target,
+                                std::string_view format = {});
+
+/// Renders a value as CDW staging-file text (CSV cell, before escaping):
+/// dates ISO, timestamps ISO, decimals fixed-point, booleans 0/1.
+std::string ValueToCdwText(const Value& v);
+
+}  // namespace hyperq::types

@@ -1,0 +1,176 @@
+#include "workload/dataset.h"
+
+#include "cloudstore/bulk_loader.h"
+#include "common/string_util.h"
+#include "types/date.h"
+
+namespace hyperq::workload {
+
+using common::Status;
+using types::Schema;
+using types::TypeDesc;
+
+namespace {
+constexpr size_t kKeyWidth = 10;
+constexpr size_t kNameWidth = 16;
+constexpr size_t kDateWidth = 10;
+constexpr size_t kFillerTarget = 48;
+}  // namespace
+
+CustomerDataset::CustomerDataset(DatasetSpec spec) : spec_(spec) {
+  if (spec_.num_fields >= 3) {
+    num_fields_ = spec_.num_fields;
+  } else {
+    size_t base = kKeyWidth + kNameWidth + kDateWidth + 2;
+    size_t filler_bytes = spec_.row_bytes > base + 8 ? spec_.row_bytes - base : 0;
+    size_t filler_cols = filler_bytes == 0 ? 0 : std::max<size_t>(1, filler_bytes / kFillerTarget);
+    num_fields_ = 3 + filler_cols;
+  }
+  size_t filler_cols = num_fields_ - 3;
+  if (filler_cols > 0) {
+    size_t base = kKeyWidth + kNameWidth + kDateWidth + num_fields_ - 1;
+    size_t filler_bytes = spec_.row_bytes > base ? spec_.row_bytes - base : filler_cols;
+    filler_width_ = std::max<size_t>(1, filler_bytes / filler_cols);
+  } else {
+    filler_width_ = 0;
+  }
+  for (uint64_t i = 0; i < spec_.rows; ++i) {
+    RowClass rc = Classify(i);
+    if (rc.bad_date) ++bad_dates_;
+    if (rc.duplicate) ++duplicates_;
+    if (rc.short_row) ++short_rows_;
+  }
+}
+
+CustomerDataset::RowClass CustomerDataset::Classify(uint64_t i) const {
+  common::Random rng(spec_.seed * 0x9E3779B97F4A7C15ULL + i * 2654435761ULL + 17);
+  RowClass rc;
+  rc.bad_date = rng.NextBool(spec_.bad_date_fraction);
+  rc.duplicate = i > 0 && rng.NextBool(spec_.duplicate_fraction);
+  rc.short_row = num_fields_ > 3 && rng.NextBool(spec_.short_row_fraction);
+  return rc;
+}
+
+Schema CustomerDataset::MakeLayout() const {
+  Schema layout;
+  layout.AddField(types::Field("CUST_ID", TypeDesc::Varchar(static_cast<int32_t>(kKeyWidth + 2))));
+  layout.AddField(
+      types::Field("CUST_NAME", TypeDesc::Varchar(static_cast<int32_t>(kNameWidth + 8))));
+  layout.AddField(
+      types::Field("JOIN_DATE", TypeDesc::Varchar(static_cast<int32_t>(kDateWidth + 4))));
+  for (size_t f = 3; f < num_fields_; ++f) {
+    layout.AddField(types::Field("FILLER" + std::to_string(f - 2),
+                                 TypeDesc::Varchar(static_cast<int32_t>(filler_width_ + 8))));
+  }
+  return layout;
+}
+
+std::string CustomerDataset::MakeTargetDdl(const std::string& table_name) const {
+  std::string ddl = "CREATE MULTISET TABLE " + table_name + " (";
+  ddl += "CUST_ID VARCHAR(" + std::to_string(kKeyWidth + 2) + ") NOT NULL, ";
+  ddl += "CUST_NAME VARCHAR(" + std::to_string(kNameWidth + 8) + "), ";
+  ddl += "JOIN_DATE DATE";
+  for (size_t f = 3; f < num_fields_; ++f) {
+    ddl += ", FILLER" + std::to_string(f - 2) + " VARCHAR(" +
+           std::to_string(filler_width_ + 8) + ")";
+  }
+  ddl += ") UNIQUE PRIMARY INDEX (CUST_ID)";
+  return ddl;
+}
+
+std::string CustomerDataset::MakeInsertDml(const std::string& table_name) const {
+  std::string dml = "INSERT INTO " + table_name + " VALUES (";
+  dml += "TRIM(:CUST_ID), TRIM(:CUST_NAME), ";
+  dml += "CAST(:JOIN_DATE AS DATE FORMAT 'YYYY-MM-DD')";
+  for (size_t f = 3; f < num_fields_; ++f) {
+    dml += ", :FILLER" + std::to_string(f - 2);
+  }
+  dml += ")";
+  return dml;
+}
+
+std::string CustomerDataset::MakeLine(uint64_t i) const {
+  RowClass rc = Classify(i);
+  common::Random rng(spec_.seed * 0x51AFD6ED558CCD6DULL + i * 0x9E3779B97F4A7C15ULL + 3);
+
+  // A duplicate row reuses the *effective* key of an earlier row; that row
+  // may itself be a duplicate, so resolve transitively.
+  uint64_t key_of = i;
+  while (Classify(key_of).duplicate && key_of > 0) key_of /= 2;
+  std::string line = common::Sprintf("%0*llu", static_cast<int>(kKeyWidth),
+                                     static_cast<unsigned long long>(key_of + 1));
+  line += spec_.delimiter;
+  line += rng.NextAlnum(kNameWidth);
+  line += spec_.delimiter;
+  if (rc.bad_date) {
+    line += "xx" + rng.NextAlnum(kDateWidth - 2);
+  } else {
+    types::DateDays days =
+        types::DaysFromYmd(2000, 1, 1).ValueOrDie() + static_cast<int32_t>(rng.NextBounded(8400));
+    line += types::FormatDateIso(days);
+  }
+  size_t fillers = num_fields_ - 3;
+  if (rc.short_row && fillers > 0) --fillers;  // drop one field: data error
+  for (size_t f = 0; f < fillers; ++f) {
+    line += spec_.delimiter;
+    line += rng.NextAlnum(filler_width_);
+  }
+  return line;
+}
+
+Status CustomerDataset::WriteDataFile(const std::string& path) const {
+  common::ByteBuffer buf;
+  buf.reserve(spec_.rows * (spec_.row_bytes + 2));
+  for (uint64_t i = 0; i < spec_.rows; ++i) {
+    buf.AppendString(MakeLine(i));
+    buf.AppendByte('\n');
+  }
+  return cloud::WriteFileBytes(path, buf.AsSlice());
+}
+
+std::vector<legacy::VartextRecord> CustomerDataset::MakeRecords() const {
+  std::vector<legacy::VartextRecord> records;
+  records.reserve(spec_.rows);
+  for (uint64_t i = 0; i < spec_.rows; ++i) {
+    std::string line = MakeLine(i);
+    legacy::VartextRecord record;
+    size_t start = 0;
+    for (size_t p = 0; p <= line.size(); ++p) {
+      if (p == line.size() || line[p] == spec_.delimiter) {
+        legacy::VartextField field;
+        field.text = line.substr(start, p - start);
+        field.null = field.text.empty();
+        record.push_back(std::move(field));
+        start = p + 1;
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string CustomerDataset::MakeImportScript(const std::string& host,
+                                              const std::string& target_table,
+                                              const std::string& data_file, int sessions,
+                                              uint64_t max_errors) const {
+  Schema layout = MakeLayout();
+  std::string script;
+  script += ".logon " + host + "/etl_user,etl_pass;\n";
+  script += ".sessions " + std::to_string(sessions) + ";\n";
+  if (max_errors != 0) script += ".set max_errors " + std::to_string(max_errors) + ";\n";
+  script += ".layout CustLayout;\n";
+  for (const auto& f : layout.fields()) {
+    script += ".field " + f.name + " " + f.type.ToString() + ";\n";
+  }
+  script += ".begin import tables " + target_table + " errortables " + target_table + "_ET " +
+            target_table + "_UV;\n";
+  script += ".dml label InsApply;\n";
+  script += MakeInsertDml(target_table) + ";\n";
+  script += ".import infile " + data_file + " format vartext '" +
+            std::string(1, spec_.delimiter) + "' layout CustLayout apply InsApply;\n";
+  script += ".end load;\n";
+  script += ".logoff;\n";
+  return script;
+}
+
+}  // namespace hyperq::workload

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "legacy/row_format.h"
+#include "types/schema.h"
+
+/// \file dataset.h
+/// Synthetic workload generator standing in for the paper's real-world
+/// retail ingestion jobs (customer/sales feeds): delimited input files with
+/// a unique key, a name, a date column, and filler columns padding rows to a
+/// target width. Supports injecting the two error classes of Section 7:
+/// malformed dates (transformation errors) and duplicate keys (uniqueness
+/// violations), plus field-count data errors.
+
+namespace hyperq::workload {
+
+struct DatasetSpec {
+  uint64_t rows = 10000;
+  /// Approximate bytes per row in the delimited file.
+  size_t row_bytes = 500;
+  /// Total columns; 0 derives a count from row_bytes (filler columns of
+  /// ~48 bytes each). Minimum 3 (CUST_ID, CUST_NAME, JOIN_DATE).
+  size_t num_fields = 0;
+  /// Fraction of rows whose JOIN_DATE is malformed (DML transformation
+  /// errors).
+  double bad_date_fraction = 0;
+  /// Fraction of rows that duplicate an earlier CUST_ID (uniqueness
+  /// violations).
+  double duplicate_fraction = 0;
+  /// Fraction of rows with a missing field (data errors at conversion).
+  double short_row_fraction = 0;
+  uint64_t seed = 42;
+  char delimiter = '|';
+};
+
+class CustomerDataset {
+ public:
+  explicit CustomerDataset(DatasetSpec spec);
+
+  const DatasetSpec& spec() const { return spec_; }
+  size_t num_fields() const { return num_fields_; }
+
+  /// Vartext load layout: every field VARCHAR (legacy vartext restriction).
+  types::Schema MakeLayout() const;
+
+  /// CREATE TABLE DDL (legacy dialect) for the typed target table, with a
+  /// UNIQUE PRIMARY INDEX on CUST_ID.
+  std::string MakeTargetDdl(const std::string& table_name) const;
+
+  /// The job's DML transformation (legacy dialect): trims the key/name and
+  /// casts JOIN_DATE via a legacy FORMAT clause — Example 2.1 shape.
+  std::string MakeInsertDml(const std::string& table_name) const;
+
+  /// Generates the delimited line for row `i` (0-based). Deterministic.
+  std::string MakeLine(uint64_t i) const;
+
+  /// Writes the whole data file.
+  common::Status WriteDataFile(const std::string& path) const;
+
+  /// All records as parsed vartext (for the baseline loader).
+  std::vector<legacy::VartextRecord> MakeRecords() const;
+
+  /// ETL script running the whole job (Example 2.1 shape), parameterized by
+  /// host, sessions and data file.
+  std::string MakeImportScript(const std::string& host, const std::string& target_table,
+                               const std::string& data_file, int sessions,
+                               uint64_t max_errors = 0) const;
+
+  /// Number of rows whose JOIN_DATE was generated malformed.
+  uint64_t expected_bad_dates() const { return bad_dates_; }
+  uint64_t expected_duplicates() const { return duplicates_; }
+  uint64_t expected_short_rows() const { return short_rows_; }
+
+ private:
+  /// Per-row deterministic classification (same decision in MakeLine and the
+  /// expected_* counters).
+  struct RowClass {
+    bool bad_date;
+    bool duplicate;
+    bool short_row;
+  };
+  RowClass Classify(uint64_t i) const;
+
+  DatasetSpec spec_;
+  size_t num_fields_;
+  size_t filler_width_;
+  uint64_t bad_dates_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t short_rows_ = 0;
+};
+
+}  // namespace hyperq::workload

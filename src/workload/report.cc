@@ -1,0 +1,46 @@
+#include "workload/report.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace hyperq::workload {
+
+ReportTable::ReportTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      line += cell;
+      line += std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += "\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t rule_len = 0;
+  for (size_t w : widths) rule_len += w + 2;
+  out += std::string(rule_len > 2 ? rule_len - 2 : rule_len, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void ReportTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatSeconds(double seconds) { return common::Sprintf("%.3f", seconds); }
+std::string FormatPercent(double fraction) { return common::Sprintf("%.1f%%", fraction * 100); }
+std::string FormatDouble(double v, int decimals) { return common::Sprintf("%.*f", decimals, v); }
+
+}  // namespace hyperq::workload

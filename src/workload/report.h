@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file report.h
+/// Fixed-width table printer for the benchmark harness: every bench binary
+/// prints the rows/series of the paper figure it regenerates.
+
+namespace hyperq::workload {
+
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with padded columns, a header rule, and a trailing newline.
+  std::string ToString() const;
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with 3 decimal places.
+std::string FormatSeconds(double seconds);
+/// Formats a ratio as a percentage with 1 decimal place.
+std::string FormatPercent(double fraction);
+std::string FormatDouble(double v, int decimals = 2);
+
+}  // namespace hyperq::workload

@@ -1,0 +1,66 @@
+#include "cdw/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::cdw {
+namespace {
+
+types::Schema OneColumn() {
+  types::Schema s;
+  s.AddField(types::Field("A", types::TypeDesc::Int32()));
+  return s;
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("PROD.CUSTOMER", OneColumn()).ok());
+  EXPECT_TRUE(catalog.GetTable("PROD.CUSTOMER").ok());
+  EXPECT_TRUE(catalog.HasTable("PROD.CUSTOMER"));
+}
+
+TEST(CatalogTest, LookupIsCaseInsensitive) {
+  Catalog catalog;
+  catalog.CreateTable("Prod.Customer", OneColumn()).ok();
+  EXPECT_TRUE(catalog.GetTable("PROD.CUSTOMER").ok());
+  EXPECT_TRUE(catalog.GetTable("prod.customer").ok());
+}
+
+TEST(CatalogTest, DuplicateCreateFails) {
+  Catalog catalog;
+  catalog.CreateTable("t", OneColumn()).ok();
+  EXPECT_TRUE(catalog.CreateTable("T", OneColumn()).status().IsAlreadyExists());
+}
+
+TEST(CatalogTest, CreateOrIgnoreReturnsExisting) {
+  Catalog catalog;
+  auto t1 = catalog.CreateTable("t", OneColumn()).ValueOrDie();
+  auto t2 = catalog.CreateTable("t", OneColumn(), {}, false, /*or_ignore=*/true).ValueOrDie();
+  EXPECT_EQ(t1.get(), t2.get());
+}
+
+TEST(CatalogTest, GetMissingIsNotFound) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.GetTable("missing").status().IsNotFound());
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  catalog.CreateTable("t", OneColumn()).ok();
+  ASSERT_TRUE(catalog.DropTable("T").ok());
+  EXPECT_FALSE(catalog.HasTable("t"));
+  EXPECT_TRUE(catalog.DropTable("t").IsNotFound());
+  EXPECT_TRUE(catalog.DropTable("t", /*if_exists=*/true).ok());
+}
+
+TEST(CatalogTest, ListTablesSorted) {
+  Catalog catalog;
+  catalog.CreateTable("b", OneColumn()).ok();
+  catalog.CreateTable("a", OneColumn()).ok();
+  auto names = catalog.ListTables();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace hyperq::cdw

@@ -1,0 +1,85 @@
+#include "cdw/copy.h"
+
+#include <gtest/gtest.h>
+
+#include "cloudstore/compression.h"
+
+namespace hyperq::cdw {
+namespace {
+
+using common::Slice;
+using types::Field;
+using types::Schema;
+using types::TypeDesc;
+
+class CopyTest : public ::testing::Test {
+ protected:
+  CopyTest() {
+    schema_.AddField(Field("ID", TypeDesc::Int64(), false));
+    schema_.AddField(Field("NAME", TypeDesc::Varchar(20)));
+    schema_.AddField(Field("D", TypeDesc::Date()));
+  }
+
+  Schema schema_;
+  cloud::ObjectStore store_;
+};
+
+TEST_F(CopyTest, LoadsCsvObjects) {
+  store_.Put("s/p0.csv", Slice(std::string_view("1,Ada,2001-01-01\n2,Bob,\n"))).ok();
+  store_.Put("s/p1.csv", Slice(std::string_view("3,Cyd,2003-03-03\n"))).ok();
+  Table table("t", schema_);
+  auto rows = CopyFromStore(&table, store_, "s/");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(*rows, 3u);
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.At(0, 1).string_value(), "Ada");
+  EXPECT_TRUE(table.At(1, 2).is_null());
+  EXPECT_TRUE(table.At(2, 2).is_date());
+}
+
+TEST_F(CopyTest, AutoDecompressesHqzObjects) {
+  std::string csv = "1,Ada,2001-01-01\n";
+  common::ByteBuffer compressed;
+  cloud::Compress(Slice(std::string_view(csv)), &compressed);
+  store_.Put("s/p0.csv.hqz", compressed.AsSlice()).ok();
+  Table table("t", schema_);
+  EXPECT_EQ(CopyFromStore(&table, store_, "s/").ValueOrDie(), 1u);
+}
+
+TEST_F(CopyTest, EmptyPrefixLoadsNothing) {
+  Table table("t", schema_);
+  EXPECT_EQ(CopyFromStore(&table, store_, "nothing/").ValueOrDie(), 0u);
+}
+
+TEST_F(CopyTest, FieldCountMismatchAborts) {
+  store_.Put("s/p0.csv", Slice(std::string_view("1,Ada\n"))).ok();
+  Table table("t", schema_);
+  auto s = CopyFromStore(&table, store_, "s/").status();
+  EXPECT_TRUE(s.IsConversionError());
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST_F(CopyTest, TypeMismatchAbortsAtomically) {
+  store_.Put("s/p0.csv", Slice(std::string_view("1,Ada,2001-01-01\nxx,Bob,\n"))).ok();
+  Table table("t", schema_);
+  EXPECT_TRUE(CopyFromStore(&table, store_, "s/").status().IsConversionError());
+  EXPECT_EQ(table.num_rows(), 0u);  // all-or-nothing
+}
+
+TEST_F(CopyTest, NotNullColumnRejectsNull) {
+  store_.Put("s/p0.csv", Slice(std::string_view(",Ada,\n"))).ok();
+  Table table("t", schema_);
+  EXPECT_TRUE(CopyFromStore(&table, store_, "s/").status().IsConversionError());
+}
+
+TEST_F(CopyTest, QuotedEmptyStringIsNotNull) {
+  store_.Put("s/p0.csv", Slice(std::string_view("1,\"\",\n"))).ok();
+  Table table("t", schema_);
+  ASSERT_TRUE(CopyFromStore(&table, store_, "s/").ok());
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_FALSE(table.At(0, 1).is_null());
+  EXPECT_EQ(table.At(0, 1).string_value(), "");
+}
+
+}  // namespace
+}  // namespace hyperq::cdw

@@ -1,0 +1,99 @@
+#include "cdw/staging_format.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::cdw {
+namespace {
+
+using common::ByteBuffer;
+using common::Slice;
+
+std::string Encode(const CsvRecord& record, char delim = ',') {
+  ByteBuffer buf;
+  CsvOptions options;
+  options.delimiter = delim;
+  EncodeCsvRecord(record, options, &buf);
+  return buf.AsSlice().ToString();
+}
+
+std::vector<CsvRecord> Parse(const std::string& text, char delim = ',') {
+  CsvOptions options;
+  options.delimiter = delim;
+  auto records = ParseCsv(Slice(std::string_view(text)), options);
+  EXPECT_TRUE(records.ok()) << records.status().ToString();
+  return records.ok() ? *records : std::vector<CsvRecord>{};
+}
+
+TEST(CsvTest, PlainFields) {
+  EXPECT_EQ(Encode({CsvField("a"), CsvField("b"), CsvField("c")}), "a,b,c\n");
+}
+
+TEST(CsvTest, NullIsEmptyUnquoted) {
+  EXPECT_EQ(Encode({CsvField("a"), std::nullopt, CsvField("c")}), "a,,c\n");
+}
+
+TEST(CsvTest, EmptyStringIsQuotedAndDistinctFromNull) {
+  // Section 4: conversion must handle "empty strings" distinctly from NULL.
+  EXPECT_EQ(Encode({CsvField(""), std::nullopt}), "\"\",\n");
+  auto records = Parse("\"\",\n");
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].size(), 2u);
+  ASSERT_TRUE(records[0][0].has_value());
+  EXPECT_EQ(*records[0][0], "");
+  EXPECT_FALSE(records[0][1].has_value());
+}
+
+TEST(CsvTest, SpecialCharactersEscaped) {
+  std::string encoded = Encode({CsvField("a,b"), CsvField("say \"hi\""), CsvField("line\nbreak")});
+  auto records = Parse(encoded);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(*records[0][0], "a,b");
+  EXPECT_EQ(*records[0][1], "say \"hi\"");
+  EXPECT_EQ(*records[0][2], "line\nbreak");
+}
+
+TEST(CsvTest, RoundTripManyRecords) {
+  ByteBuffer buf;
+  CsvOptions options;
+  std::vector<CsvRecord> original;
+  for (int i = 0; i < 100; ++i) {
+    CsvRecord record{CsvField(std::to_string(i)),
+                     i % 3 == 0 ? std::nullopt : CsvField("name" + std::to_string(i)),
+                     i % 5 == 0 ? CsvField("") : CsvField("x,y")};
+    EncodeCsvRecord(record, options, &buf);
+    original.push_back(std::move(record));
+  }
+  auto parsed = ParseCsv(buf.AsSlice(), options).ValueOrDie();
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  std::string encoded = Encode({CsvField("a"), CsvField("b,c")}, '|');
+  EXPECT_EQ(encoded, "a|b,c\n");  // comma not special under '|'
+  auto records = Parse(encoded, '|');
+  EXPECT_EQ(*records[0][1], "b,c");
+}
+
+TEST(CsvTest, CrLfTolerated) {
+  auto records = Parse("a,b\r\nc,d\r\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(*records[1][0], "c");
+}
+
+TEST(CsvTest, FinalRecordWithoutNewline) {
+  auto records = Parse("a,b\nc,d");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(*records[1][1], "d");
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  CsvOptions options;
+  EXPECT_TRUE(ParseCsv(Slice(std::string_view("\"abc")), options).status().IsParseError());
+}
+
+TEST(CsvTest, EmptyInputYieldsNoRecords) {
+  EXPECT_EQ(Parse("").size(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperq::cdw

@@ -1,0 +1,83 @@
+#include "cdw/table.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::cdw {
+namespace {
+
+using types::Field;
+using types::Schema;
+using types::TypeDesc;
+using types::Value;
+
+Schema TwoColumnSchema() {
+  Schema s;
+  s.AddField(Field("K", TypeDesc::Int64(), false));
+  s.AddField(Field("V", TypeDesc::Varchar(20)));
+  return s;
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(2), Value::Null()}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.At(0, 0).int_value(), 1);
+  EXPECT_TRUE(t.At(1, 1).is_null());
+  EXPECT_EQ(t.GetRow(1)[0].int_value(), 2);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t("t", TwoColumnSchema());
+  EXPECT_FALSE(t.AppendRow({Value::Int(1)}).ok());
+}
+
+TEST(TableTest, ReplaceRow) {
+  Table t("t", TwoColumnSchema());
+  t.AppendRow({Value::Int(1), Value::String("a")}).ok();
+  ASSERT_TRUE(t.ReplaceRow(0, {Value::Int(9), Value::String("z")}).ok());
+  EXPECT_EQ(t.At(0, 0).int_value(), 9);
+  EXPECT_FALSE(t.ReplaceRow(5, {Value::Int(1), Value::Null()}).ok());
+}
+
+TEST(TableTest, RemoveRows) {
+  Table t("t", TwoColumnSchema());
+  for (int i = 0; i < 5; ++i) t.AppendRow({Value::Int(i), Value::Null()}).ok();
+  ASSERT_TRUE(t.RemoveRows({1, 3}).ok());
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.At(0, 0).int_value(), 0);
+  EXPECT_EQ(t.At(1, 0).int_value(), 2);
+  EXPECT_EQ(t.At(2, 0).int_value(), 4);
+}
+
+TEST(TableTest, RemoveRowsValidation) {
+  Table t("t", TwoColumnSchema());
+  t.AppendRow({Value::Int(1), Value::Null()}).ok();
+  EXPECT_FALSE(t.RemoveRows({0, 0}).ok());  // not strictly ascending
+  EXPECT_FALSE(t.RemoveRows({5}).ok());     // out of range
+  EXPECT_TRUE(t.RemoveRows({}).ok());       // empty is fine
+}
+
+TEST(TableTest, Truncate) {
+  Table t("t", TwoColumnSchema());
+  t.AppendRow({Value::Int(1), Value::Null()}).ok();
+  t.Truncate();
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, PrimaryKeyMetadata) {
+  Table t("t", TwoColumnSchema(), {"K"}, /*unique_primary=*/true);
+  EXPECT_TRUE(t.unique_primary());
+  ASSERT_EQ(t.primary_key_indexes().size(), 1u);
+  EXPECT_EQ(t.primary_key_indexes()[0], 0u);
+}
+
+TEST(TableTest, MemoryBytesGrowsWithData) {
+  Table t("t", TwoColumnSchema());
+  size_t empty = t.MemoryBytes();
+  t.AppendRow({Value::Int(1), Value::String(std::string(1000, 'x'))}).ok();
+  EXPECT_GT(t.MemoryBytes(), empty + 1000);
+}
+
+}  // namespace
+}  // namespace hyperq::cdw

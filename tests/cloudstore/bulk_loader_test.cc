@@ -1,0 +1,102 @@
+#include "cloudstore/bulk_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cloudstore/compression.h"
+
+namespace hyperq::cloud {
+namespace {
+
+class BulkLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/hq_bulk_loader_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  std::string WriteLocal(const std::string& name, const std::string& content) {
+    std::string path = dir_ + "/" + name;
+    EXPECT_TRUE(WriteFileBytes(path, common::Slice(std::string_view(content))).ok());
+    return path;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(BulkLoaderTest, FileHelpersRoundTrip) {
+  std::string path = WriteLocal("f.txt", "hello file");
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(std::string(bytes->begin(), bytes->end()), "hello file");
+}
+
+TEST_F(BulkLoaderTest, ReadMissingFileFails) {
+  EXPECT_TRUE(ReadFileBytes("/nonexistent/file").status().IsIOError());
+}
+
+TEST_F(BulkLoaderTest, UploadSingleFile) {
+  ObjectStore store;
+  BulkLoader loader(&store);
+  std::string path = WriteLocal("data.csv", "a,b,c\n");
+  auto report = loader.UploadFile(path, "staging/data.csv");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->files_uploaded, 1u);
+  EXPECT_EQ(report->bytes_local, 6u);
+  EXPECT_EQ(report->bytes_uploaded, 6u);
+  EXPECT_TRUE(store.Exists("staging/data.csv"));
+}
+
+TEST_F(BulkLoaderTest, UploadWithCompression) {
+  ObjectStore store;
+  BulkLoaderOptions options;
+  options.compress = true;
+  BulkLoader loader(&store, options);
+  std::string content(10000, 'z');
+  std::string path = WriteLocal("data.csv", content);
+  auto report = loader.UploadFile(path, "staging/data.csv");
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->bytes_uploaded, report->bytes_local / 5);
+  // The stored object is HQZ-compressed and decompresses to the original.
+  auto blob = store.Get("staging/data.csv").ValueOrDie();
+  ASSERT_TRUE(IsCompressed(common::Slice(*blob)));
+  auto raw = Decompress(common::Slice(*blob)).ValueOrDie();
+  EXPECT_EQ(raw.size(), content.size());
+}
+
+TEST_F(BulkLoaderTest, UploadDirectoryBatch) {
+  ObjectStore store;
+  BulkLoader loader(&store);  // batch_directory default on
+  WriteLocal("part_0.csv", "aaa");
+  WriteLocal("part_1.csv", "bbbb");
+  WriteLocal("part_2.csv", "c");
+  auto report = loader.UploadDirectory(dir_, "staging/job7/");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->files_uploaded, 3u);
+  EXPECT_EQ(report->bytes_local, 8u);
+  EXPECT_EQ(store.stats().put_requests, 1u);  // one batched request
+  EXPECT_EQ(store.List("staging/job7/").size(), 3u);
+}
+
+TEST_F(BulkLoaderTest, UploadDirectoryPerFileWhenBatchDisabled) {
+  ObjectStore store;
+  BulkLoaderOptions options;
+  options.batch_directory = false;
+  BulkLoader loader(&store, options);
+  WriteLocal("part_0.csv", "aaa");
+  WriteLocal("part_1.csv", "bbb");
+  auto report = loader.UploadDirectory(dir_, "s/");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(store.stats().put_requests, 2u);
+}
+
+TEST_F(BulkLoaderTest, UploadMissingDirectoryFails) {
+  ObjectStore store;
+  BulkLoader loader(&store);
+  EXPECT_TRUE(loader.UploadDirectory("/no/such/dir", "p/").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace hyperq::cloud

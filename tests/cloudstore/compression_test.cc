@@ -1,0 +1,107 @@
+#include "cloudstore/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hyperq::cloud {
+namespace {
+
+using common::ByteBuffer;
+using common::Slice;
+
+std::vector<uint8_t> RoundTrip(const std::vector<uint8_t>& input) {
+  ByteBuffer compressed;
+  Compress(Slice(input), &compressed);
+  auto decompressed = Decompress(compressed.AsSlice());
+  EXPECT_TRUE(decompressed.ok()) << decompressed.status().ToString();
+  return decompressed.ok() ? decompressed->vector() : std::vector<uint8_t>{};
+}
+
+TEST(CompressionTest, EmptyInput) {
+  EXPECT_EQ(RoundTrip({}), std::vector<uint8_t>{});
+}
+
+TEST(CompressionTest, TinyInput) {
+  std::vector<uint8_t> input{'a', 'b', 'c'};
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressionTest, RepetitiveTextCompressesWell) {
+  std::string text;
+  for (int i = 0; i < 1000; ++i) text += "customer_12345|2012-01-01|some filler text\n";
+  std::vector<uint8_t> input(text.begin(), text.end());
+  ByteBuffer compressed;
+  Compress(Slice(input), &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 3) << "expected >3x on repetitive CSV";
+  auto out = Decompress(compressed.AsSlice()).ValueOrDie();
+  EXPECT_EQ(out.vector(), input);
+}
+
+TEST(CompressionTest, IncompressibleDataSurvives) {
+  common::Random rng(99);
+  std::vector<uint8_t> input(10000);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.NextU64());
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(CompressionTest, IsCompressedDetection) {
+  ByteBuffer compressed;
+  std::vector<uint8_t> input{'x', 'y'};
+  Compress(Slice(input), &compressed);
+  EXPECT_TRUE(IsCompressed(compressed.AsSlice()));
+  EXPECT_FALSE(IsCompressed(Slice(input)));
+  EXPECT_FALSE(IsCompressed(Slice()));
+}
+
+TEST(CompressionTest, CorruptHeaderRejected) {
+  ByteBuffer junk;
+  junk.AppendU32(0x12345678);
+  junk.AppendU32(10);
+  EXPECT_TRUE(Decompress(junk.AsSlice()).status().IsProtocolError());
+}
+
+TEST(CompressionTest, TruncatedStreamRejected) {
+  std::string text(1000, 'a');
+  ByteBuffer compressed;
+  Compress(Slice(std::string_view(text)), &compressed);
+  Slice truncated(compressed.data(), compressed.size() - 3);
+  EXPECT_FALSE(Decompress(truncated).ok());
+}
+
+TEST(CompressionTest, SizeMismatchRejected) {
+  std::vector<uint8_t> input{'a', 'b', 'c', 'd'};
+  ByteBuffer compressed;
+  Compress(Slice(input), &compressed);
+  // Corrupt the declared raw size.
+  compressed.PatchU32(4, 999);
+  EXPECT_FALSE(Decompress(compressed.AsSlice()).ok());
+}
+
+class CompressionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressionPropertyTest, RandomStructuredDataRoundTrips) {
+  common::Random rng(GetParam());
+  // Mix of repetition and randomness resembling CSV staging files.
+  std::string text;
+  size_t target = 1000 + rng.NextBounded(50000);
+  std::vector<std::string> vocabulary;
+  for (int i = 0; i < 20; ++i) vocabulary.push_back(rng.NextAlnum(3 + rng.NextBounded(20)));
+  while (text.size() < target) {
+    text += vocabulary[rng.NextBounded(vocabulary.size())];
+    text += rng.NextBool(0.3) ? "\n" : ",";
+  }
+  std::vector<uint8_t> input(text.begin(), text.end());
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionPropertyTest, ::testing::Range(1, 16));
+
+TEST(CompressionTest, LongMatchesCapped) {
+  // A run far exceeding the max match length must still round-trip.
+  std::vector<uint8_t> input(100000, 'z');
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+}  // namespace
+}  // namespace hyperq::cloud

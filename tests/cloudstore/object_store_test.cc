@@ -1,0 +1,117 @@
+#include "cloudstore/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+
+namespace hyperq::cloud {
+namespace {
+
+using common::Slice;
+
+Slice S(std::string_view s) { return Slice(s); }
+
+TEST(ObjectStoreTest, PutGetRoundTrip) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Put("a/b/file1", S("payload")).ok());
+  auto blob = store.Get("a/b/file1");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(std::string((*blob)->begin(), (*blob)->end()), "payload");
+}
+
+TEST(ObjectStoreTest, GetMissingIsNotFound) {
+  ObjectStore store;
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
+}
+
+TEST(ObjectStoreTest, OverwriteReplaces) {
+  ObjectStore store;
+  store.Put("k", S("v1")).ok();
+  store.Put("k", S("v2")).ok();
+  EXPECT_EQ((*store.Get("k").ValueOrDie()).size(), 2u);
+  auto blob = store.Get("k").ValueOrDie();
+  EXPECT_EQ(std::string(blob->begin(), blob->end()), "v2");
+}
+
+TEST(ObjectStoreTest, EmptyKeyRejected) {
+  ObjectStore store;
+  EXPECT_TRUE(store.Put("", S("x")).IsInvalid());
+}
+
+TEST(ObjectStoreTest, ListByPrefix) {
+  ObjectStore store;
+  store.Put("staging/job1/f0", S("a")).ok();
+  store.Put("staging/job1/f1", S("b")).ok();
+  store.Put("staging/job2/f0", S("c")).ok();
+  store.Put("other", S("d")).ok();
+  auto keys = store.List("staging/job1/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "staging/job1/f0");
+  EXPECT_EQ(keys[1], "staging/job1/f1");
+  EXPECT_EQ(store.List("nothing/").size(), 0u);
+}
+
+TEST(ObjectStoreTest, DeleteAndDeletePrefix) {
+  ObjectStore store;
+  store.Put("p/a", S("1")).ok();
+  store.Put("p/b", S("2")).ok();
+  store.Put("q/c", S("3")).ok();
+  ASSERT_TRUE(store.Delete("p/a").ok());
+  EXPECT_TRUE(store.Delete("p/a").IsNotFound());
+  EXPECT_EQ(store.DeletePrefix("p/"), 1u);
+  EXPECT_TRUE(store.Exists("q/c"));
+  EXPECT_FALSE(store.Exists("p/b"));
+}
+
+TEST(ObjectStoreTest, ObjectSize) {
+  ObjectStore store;
+  store.Put("k", S("12345")).ok();
+  EXPECT_EQ(store.ObjectSize("k").ValueOrDie(), 5u);
+  EXPECT_TRUE(store.ObjectSize("nope").status().IsNotFound());
+}
+
+TEST(ObjectStoreTest, StatsAccumulate) {
+  ObjectStore store;
+  store.Put("a", S("1234")).ok();
+  store.Put("b", S("56")).ok();
+  store.Get("a").ok();
+  auto stats = store.stats();
+  EXPECT_EQ(stats.put_requests, 2u);
+  EXPECT_EQ(stats.get_requests, 1u);
+  EXPECT_EQ(stats.bytes_uploaded, 6u);
+  EXPECT_EQ(stats.bytes_downloaded, 4u);
+}
+
+TEST(ObjectStoreTest, PutBatchPaysOneRequest) {
+  ObjectStore store;
+  std::string d1 = "abc";
+  std::string d2 = "defg";
+  ASSERT_TRUE(store.PutBatch({{"x/1", S(d1)}, {"x/2", S(d2)}}).ok());
+  auto stats = store.stats();
+  EXPECT_EQ(stats.put_requests, 1u);
+  EXPECT_EQ(stats.bytes_uploaded, 7u);
+  EXPECT_TRUE(store.Exists("x/1"));
+  EXPECT_TRUE(store.Exists("x/2"));
+}
+
+TEST(ObjectStoreTest, LatencyShapingSlowsRequests) {
+  ObjectStoreOptions options;
+  options.per_request_latency_micros = 20000;  // 20 ms
+  ObjectStore store(options);
+  common::Stopwatch timer;
+  store.Put("k", S("x")).ok();
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(ObjectStoreTest, BandwidthShapingScalesWithSize) {
+  ObjectStoreOptions options;
+  options.upload_bandwidth_bps = 1000000;  // 1 MB/s
+  ObjectStore store(options);
+  std::string big(50000, 'x');  // 50 KB -> ~50 ms
+  common::Stopwatch timer;
+  store.Put("k", S(big)).ok();
+  EXPECT_GE(timer.ElapsedSeconds(), 0.04);
+}
+
+}  // namespace
+}  // namespace hyperq::cloud

@@ -1,0 +1,109 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hyperq::common {
+namespace {
+
+TEST(BoundedQueueTest, PushPopFifo) {
+  BoundedQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q;
+  q.Push(42);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 42);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, PushAfterCloseFails) {
+  BoundedQueue<int> q;
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+  EXPECT_FALSE(q.TryPush(1));
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, BlockingPushUnblocksOnPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] { EXPECT_TRUE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, BlockingPopUnblocksOnPush) {
+  BoundedQueue<int> q;
+  std::thread consumer([&] { EXPECT_EQ(q.Pop().value(), 5); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Push(5);
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, CloseUnblocksBlockedProducer) {
+  BoundedQueue<int> q(1);
+  q.Push(1);
+  // Producer blocks on the full queue; Close must wake it with failure.
+  std::thread producer([&] { EXPECT_FALSE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  // Existing item still drains.
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(8);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(1);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) total += *v;
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(total.load(), kPerProducer * kProducers);
+}
+
+TEST(BoundedQueueTest, SizeReflectsContents) {
+  BoundedQueue<int> q;
+  EXPECT_EQ(q.size(), 0u);
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hyperq::common

@@ -1,0 +1,116 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::common {
+namespace {
+
+TEST(ByteBufferTest, AppendScalarsRoundTrip) {
+  ByteBuffer buf;
+  buf.AppendByte(0xAB);
+  buf.AppendU16(0x1234);
+  buf.AppendU32(0xDEADBEEF);
+  buf.AppendU64(0x0123456789ABCDEFULL);
+  buf.AppendI8(-5);
+  buf.AppendI16(-1234);
+  buf.AppendI32(-123456);
+  buf.AppendI64(-9876543210LL);
+  buf.AppendF64(3.14159);
+
+  ByteReader reader(buf.AsSlice());
+  EXPECT_EQ(reader.ReadByte().ValueOrDie(), 0xAB);
+  EXPECT_EQ(reader.ReadU16().ValueOrDie(), 0x1234);
+  EXPECT_EQ(reader.ReadU32().ValueOrDie(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().ValueOrDie(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.ReadI8().ValueOrDie(), -5);
+  EXPECT_EQ(reader.ReadI16().ValueOrDie(), -1234);
+  EXPECT_EQ(reader.ReadI32().ValueOrDie(), -123456);
+  EXPECT_EQ(reader.ReadI64().ValueOrDie(), -9876543210LL);
+  EXPECT_DOUBLE_EQ(reader.ReadF64().ValueOrDie(), 3.14159);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteBufferTest, LittleEndianLayout) {
+  ByteBuffer buf;
+  buf.AppendU32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.data()[0], 0x04);
+  EXPECT_EQ(buf.data()[3], 0x01);
+}
+
+TEST(ByteBufferTest, LengthPrefixed16) {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed16("hello");
+  ByteReader reader(buf.AsSlice());
+  EXPECT_EQ(reader.ReadLengthPrefixed16().ValueOrDie().ToString(), "hello");
+}
+
+TEST(ByteBufferTest, LengthPrefixed16Empty) {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed16("");
+  ByteReader reader(buf.AsSlice());
+  EXPECT_EQ(reader.ReadLengthPrefixed16().ValueOrDie().size(), 0u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteBufferTest, LengthPrefixed32LargePayload) {
+  std::string big(100000, 'x');
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed32(Slice(std::string_view(big)));
+  ByteReader reader(buf.AsSlice());
+  EXPECT_EQ(reader.ReadLengthPrefixed32().ValueOrDie().size(), big.size());
+}
+
+TEST(ByteBufferTest, PatchU32) {
+  ByteBuffer buf;
+  buf.AppendU32(0);
+  buf.AppendString("payload");
+  buf.PatchU32(0, static_cast<uint32_t>(buf.size()));
+  ByteReader reader(buf.AsSlice());
+  EXPECT_EQ(reader.ReadU32().ValueOrDie(), buf.size());
+}
+
+TEST(ByteReaderTest, UnderflowIsProtocolError) {
+  ByteBuffer buf;
+  buf.AppendU16(7);
+  ByteReader reader(buf.AsSlice());
+  EXPECT_FALSE(reader.ReadU32().ok());
+  EXPECT_TRUE(reader.ReadU32().status().IsProtocolError());
+}
+
+TEST(ByteReaderTest, SliceUnderflow) {
+  ByteBuffer buf;
+  buf.AppendString("ab");
+  ByteReader reader(buf.AsSlice());
+  EXPECT_FALSE(reader.ReadSlice(3).ok());
+}
+
+TEST(ByteReaderTest, SkipAdvances) {
+  ByteBuffer buf;
+  buf.AppendString("abcdef");
+  ByteReader reader(buf.AsSlice());
+  ASSERT_TRUE(reader.Skip(4).ok());
+  EXPECT_EQ(reader.ReadSlice(2).ValueOrDie().ToString(), "ef");
+  EXPECT_FALSE(reader.Skip(1).ok());
+}
+
+TEST(SliceTest, SubSliceAndViews) {
+  std::string text = "hello world";
+  Slice s{std::string_view(text)};
+  EXPECT_EQ(s.size(), text.size());
+  EXPECT_EQ(s.SubSlice(6, 5).ToString(), "world");
+  EXPECT_EQ(s[0], 'h');
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(Slice().empty());
+}
+
+TEST(ByteBufferTest, VectorAccessAndClear) {
+  ByteBuffer buf;
+  buf.AppendString("abc");
+  EXPECT_EQ(buf.vector().size(), 3u);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+}  // namespace
+}  // namespace hyperq::common

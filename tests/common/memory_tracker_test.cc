@@ -1,0 +1,88 @@
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hyperq::common {
+namespace {
+
+TEST(MemoryTrackerTest, ReserveAndRelease) {
+  MemoryTracker tracker(1000);
+  ASSERT_TRUE(tracker.Reserve(400).ok());
+  EXPECT_EQ(tracker.used(), 400u);
+  tracker.Release(400);
+  EXPECT_EQ(tracker.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, BudgetExceededIsResourceExhausted) {
+  MemoryTracker tracker(100);
+  ASSERT_TRUE(tracker.Reserve(80).ok());
+  Status s = tracker.Reserve(30);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  // Failed reservation must not leak accounting.
+  EXPECT_EQ(tracker.used(), 80u);
+}
+
+TEST(MemoryTrackerTest, ZeroBudgetDisablesEnforcement) {
+  MemoryTracker tracker(0);
+  EXPECT_TRUE(tracker.Reserve(1ull << 40).ok());
+  EXPECT_EQ(tracker.used(), 1ull << 40);
+}
+
+TEST(MemoryTrackerTest, PeakTracksHighWater) {
+  MemoryTracker tracker(0);
+  tracker.Reserve(100).ok();
+  tracker.Reserve(200).ok();
+  tracker.Release(250);
+  tracker.Reserve(10).ok();
+  EXPECT_EQ(tracker.peak(), 300u);
+}
+
+TEST(MemoryTrackerTest, SimulatedOomMessageMentionsBudget) {
+  MemoryTracker tracker(64);
+  Status s = tracker.Reserve(65);
+  ASSERT_TRUE(s.IsResourceExhausted());
+  EXPECT_NE(s.message().find("budget"), std::string::npos);
+  EXPECT_NE(s.message().find("out-of-memory"), std::string::npos);
+}
+
+TEST(MemoryReservationTest, RaiiReleases) {
+  MemoryTracker tracker(0);
+  ASSERT_TRUE(tracker.Reserve(50).ok());
+  {
+    MemoryReservation reservation(&tracker, 50);
+    EXPECT_EQ(tracker.used(), 50u);
+  }
+  EXPECT_EQ(tracker.used(), 0u);
+}
+
+TEST(MemoryReservationTest, MoveTransfersOwnership) {
+  MemoryTracker tracker(0);
+  tracker.Reserve(10).ok();
+  MemoryReservation a(&tracker, 10);
+  MemoryReservation b = std::move(a);
+  a.ReleaseNow();  // no-op: a no longer owns
+  EXPECT_EQ(tracker.used(), 10u);
+  b.ReleaseNow();
+  EXPECT_EQ(tracker.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, ConcurrentReserveReleaseIsConsistent) {
+  MemoryTracker tracker(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        tracker.Reserve(3).ok();
+        tracker.Release(3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracker.used(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperq::common

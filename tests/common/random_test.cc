@@ -1,0 +1,68 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hyperq::common {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, BoundedStaysInBound) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.NextBounded(17), 17u);
+}
+
+TEST(RandomTest, RangeInclusive) {
+  Random r(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random r(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BoolProbabilityRoughlyHolds) {
+  Random r(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.NextBool(0.25);
+  EXPECT_GT(heads, 2000);
+  EXPECT_LT(heads, 3000);
+}
+
+TEST(RandomTest, AlnumLengthAndCharset) {
+  Random r(17);
+  std::string s = r.NextAlnum(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+}  // namespace hyperq::common

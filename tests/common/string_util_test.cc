@@ -1,0 +1,72 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::common {
+namespace {
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToUpper("aBc_1"), "ABC_1");
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+  EXPECT_EQ(ToUpper(""), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("select", "SELECT"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("sel", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\na b\r\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, TrimSpacesOnlyStripsSpaces) {
+  EXPECT_EQ(TrimSpaces("  x\t "), "x\t");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  auto parts = Split("abc", '|');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, SplitTrailingDelimiter) {
+  auto parts = Split("a|", '|');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, StartsWithIgnoreCase) {
+  EXPECT_TRUE(StartsWithIgnoreCase("SELECT * FROM t", "select"));
+  EXPECT_FALSE(StartsWithIgnoreCase("SEL", "SELECT"));
+}
+
+TEST(StringUtilTest, Sprintf) {
+  EXPECT_EQ(Sprintf("%04d-%02d", 2023, 7), "2023-07");
+  EXPECT_EQ(Sprintf("%s/%s", "a", "b"), "a/b");
+  // Long output exceeding any small static buffer.
+  std::string long_out = Sprintf("%0500d", 1);
+  EXPECT_EQ(long_out.size(), 500u);
+}
+
+}  // namespace
+}  // namespace hyperq::common

@@ -1,0 +1,204 @@
+#include "etlscript/etl_client.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cdw/cdw_server.h"
+#include "cloudstore/bulk_loader.h"
+#include "cloudstore/object_store.h"
+#include "hyperq/server.h"
+
+namespace hyperq::etlscript {
+namespace {
+
+/// Client-tool behaviours not covered by the protocol-level e2e tests:
+/// script state handling, connector repointing, multiple jobs per script.
+class EtlClientE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    work_dir_ = "/tmp/hq_etl_client_e2e";
+    std::filesystem::remove_all(work_dir_);
+    std::filesystem::create_directories(work_dir_);
+    store_ = std::make_unique<cloud::ObjectStore>();
+    cdw_ = std::make_unique<cdw::CdwServer>(store_.get());
+    core::HyperQOptions options;
+    options.local_staging_dir = work_dir_ + "/staging";
+    node_ = std::make_unique<core::HyperQServer>(cdw_.get(), store_.get(), options);
+    node_->Start();
+  }
+
+  void TearDown() override { node_->Stop(); }
+
+  EtlClient MakeClient() {
+    EtlClientOptions options;
+    options.working_dir = work_dir_;
+    options.chunk_rows = 10;
+    options.connector =
+        [this](const std::string& host) -> common::Result<std::shared_ptr<net::Transport>> {
+      // The repointing trick: the script says "legacy_edw" but we connect to
+      // Hyper-Q. No script change needed.
+      if (host != "legacy_edw") return common::Status::NotFound("unknown host " + host);
+      auto t = node_->Connect();
+      if (!t) return common::Status::IOError("down");
+      return t;
+    };
+    return EtlClient(options);
+  }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    ASSERT_TRUE(cloud::WriteFileBytes(work_dir_ + "/" + name,
+                                      common::Slice(std::string_view(content)))
+                    .ok());
+  }
+
+  std::string work_dir_;
+  std::unique_ptr<cloud::ObjectStore> store_;
+  std::unique_ptr<cdw::CdwServer> cdw_;
+  std::unique_ptr<core::HyperQServer> node_;
+};
+
+TEST_F(EtlClientE2eTest, UnknownHostFailsLogon) {
+  auto client = MakeClient();
+  EXPECT_FALSE(client.RunScript(".logon elsewhere/u,p;\n.logoff;").ok());
+}
+
+TEST_F(EtlClientE2eTest, SqlBeforeLogonFails) {
+  auto client = MakeClient();
+  EXPECT_TRUE(client.RunScript("select 1;").status().IsInvalid());
+}
+
+TEST_F(EtlClientE2eTest, QueriesReturnResultSets) {
+  auto client = MakeClient();
+  auto run = client.RunScript(
+      ".logon legacy_edw/u,p;\n"
+      "create table Q (A integer);\n"
+      "ins Q (41);\n"
+      "update Q set A = A + 1;\n"
+      "select A from Q;\n"
+      ".logoff;");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->queries.size(), 4u);
+  // Activity counts flow back through the protocol.
+  EXPECT_EQ(run->queries[1].second.activity_count, 1u);  // insert
+  EXPECT_EQ(run->queries[2].second.activity_count, 1u);  // update
+  const auto& select = run->queries[3].second;
+  ASSERT_TRUE(select.has_result_set());
+  EXPECT_EQ(select.rows[0][0].int_value(), 42);
+}
+
+TEST_F(EtlClientE2eTest, TwoImportJobsInOneScript) {
+  WriteFile("a.txt", "1|x\n2|y\n");
+  WriteFile("b.txt", "9|z\n");
+  auto client = MakeClient();
+  auto run = client.RunScript(R"(.logon legacy_edw/u,p;
+create table TA (K varchar(5), V varchar(5));
+create table TB (K varchar(5), V varchar(5));
+.layout L;
+.field K varchar(5);
+.field V varchar(5);
+.begin import tables TA errortables TA_ET TA_UV;
+.dml label IA;
+insert into TA values (:K, :V);
+.import infile a.txt format vartext '|' layout L apply IA;
+.end load;
+.begin import tables TB errortables TB_ET TB_UV;
+.dml label IB;
+insert into TB values (:K, :V);
+.import infile b.txt format vartext '|' layout L apply IB;
+.end load;
+.logoff;
+)");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->imports.size(), 2u);
+  EXPECT_EQ(run->imports[0].report.rows_inserted, 2u);
+  EXPECT_EQ(run->imports[1].report.rows_inserted, 1u);
+  EXPECT_NE(run->imports[0].job_id, run->imports[1].job_id);
+}
+
+TEST_F(EtlClientE2eTest, ImportThenExportInOneScript) {
+  WriteFile("in.txt", "1|alpha\n2|beta\n3|gamma\n");
+  auto client = MakeClient();
+  auto run = client.RunScript(R"(.logon legacy_edw/u,p;
+create table RT (K varchar(5), V varchar(10));
+.layout L;
+.field K varchar(5);
+.field V varchar(10);
+.begin import tables RT errortables RT_ET RT_UV;
+.dml label I;
+insert into RT values (:K, :V);
+.import infile in.txt format vartext '|' layout L apply I;
+.end load;
+.begin export outfile out.txt format vartext '|';
+select K, V from RT order by K;
+.end export;
+.logoff;
+)");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto bytes = cloud::ReadFileBytes(work_dir_ + "/out.txt").ValueOrDie();
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "1|alpha\n2|beta\n3|gamma\n");
+}
+
+TEST_F(EtlClientE2eTest, UnknownLayoutOrLabelFails) {
+  WriteFile("in.txt", "1|a\n");
+  auto client = MakeClient();
+  auto r1 = client.RunScript(R"(.logon legacy_edw/u,p;
+create table T1 (K varchar(5), V varchar(5));
+.begin import tables T1 errortables A B;
+.dml label I;
+insert into T1 values (:K, :V);
+.import infile in.txt format vartext '|' layout MISSING apply I;
+.end load;
+.logoff;
+)");
+  EXPECT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("MISSING"), std::string::npos);
+}
+
+TEST_F(EtlClientE2eTest, MissingInputFileFails) {
+  auto client = MakeClient();
+  auto run = client.RunScript(R"(.logon legacy_edw/u,p;
+create table T2 (K varchar(5));
+.layout L;
+.field K varchar(5);
+.begin import tables T2 errortables A B;
+.dml label I;
+insert into T2 values (:K);
+.import infile nothere.txt format vartext '|' layout L apply I;
+.end load;
+.logoff;
+)");
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsIOError());
+}
+
+TEST_F(EtlClientE2eTest, DmlWithoutSqlFails) {
+  auto r = ParseScript(".dml label X;\n.logoff;");
+  ASSERT_TRUE(r.ok());
+  auto client = MakeClient();
+  EXPECT_FALSE(client.Run(*r).ok());
+}
+
+TEST_F(EtlClientE2eTest, ChunkRowsSettingControlsChunking) {
+  WriteFile("in.txt", "1|a\n2|b\n3|c\n4|d\n5|e\n");
+  auto client = MakeClient();
+  auto run = client.RunScript(R"(.logon legacy_edw/u,p;
+.set chunk_rows 2;
+create table T3 (K varchar(5), V varchar(5));
+.layout L;
+.field K varchar(5);
+.field V varchar(5);
+.begin import tables T3 errortables A B;
+.dml label I;
+insert into T3 values (:K, :V);
+.import infile in.txt format vartext '|' layout L apply I;
+.end load;
+.logoff;
+)");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->imports[0].chunks_sent, 3u);  // ceil(5/2)
+  EXPECT_EQ(run->imports[0].rows_sent, 5u);
+}
+
+}  // namespace
+}  // namespace hyperq::etlscript

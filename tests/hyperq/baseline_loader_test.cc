@@ -1,0 +1,120 @@
+#include "hyperq/baseline_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "hyperq/error_handler.h"
+#include "legacy/errors.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace hyperq::core {
+namespace {
+
+using types::Field;
+using types::Schema;
+using types::TypeDesc;
+
+class BaselineLoaderTest : public ::testing::Test {
+ protected:
+  BaselineLoaderTest() : cdw_(&store_) {
+    layout_.AddField(Field("CUST_ID", TypeDesc::Varchar(5)));
+    layout_.AddField(Field("CUST_NAME", TypeDesc::Varchar(50)));
+    layout_.AddField(Field("JOIN_DATE", TypeDesc::Varchar(10)));
+    Schema target;
+    target.AddField(Field("CUST_ID", TypeDesc::Varchar(5), false));
+    target.AddField(Field("CUST_NAME", TypeDesc::Varchar(50)));
+    target.AddField(Field("JOIN_DATE", TypeDesc::Date()));
+    cdw_.catalog()->CreateTable("T", target, {"CUST_ID"}, true).ok();
+    cdw_.catalog()->CreateTable("T_ERR", MakeEtErrorSchema()).ok();
+    dml_ = sql::ParseStatement(
+               "insert into T values (trim(:CUST_ID), trim(:CUST_NAME), "
+               "cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'))")
+               .ValueOrDie();
+  }
+
+  static legacy::VartextRecord Rec(const std::string& id, const std::string& name,
+                                   const std::string& date) {
+    return {{id.empty(), id}, {name.empty(), name}, {date.empty(), date}};
+  }
+
+  cloud::ObjectStore store_;
+  cdw::CdwServer cdw_;
+  Schema layout_;
+  sql::StatementPtr dml_;
+};
+
+TEST_F(BaselineLoaderTest, LoadsCleanRecordsOneByOne) {
+  BaselineSingletonLoader loader(&cdw_, "T_ERR");
+  auto report = loader.Load(*dml_, layout_,
+                            {Rec("1", "A", "2012-01-01"), Rec("2", "B", "2012-01-02")});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_loaded, 2u);
+  EXPECT_EQ(report->errors_logged, 0u);
+  EXPECT_EQ(report->statements_issued, 2u);  // one per record
+}
+
+TEST_F(BaselineLoaderTest, ErroneousTupleLoggedImmediatelyOthersProceed) {
+  BaselineSingletonLoader loader(&cdw_, "T_ERR");
+  auto report = loader.Load(*dml_, layout_,
+                            {Rec("1", "A", "2012-01-01"), Rec("2", "B", "baddate"),
+                             Rec("3", "C", "2012-01-03")});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_loaded, 2u);
+  EXPECT_EQ(report->errors_logged, 1u);
+  // One statement per record plus one error insert.
+  EXPECT_EQ(report->statements_issued, 4u);
+
+  auto err = cdw_.ExecuteSql("SELECT ERRORMESSAGE FROM T_ERR").ValueOrDie();
+  ASSERT_EQ(err.rows.size(), 1u);
+  EXPECT_NE(err.rows[0][0].string_value().find("row number: 2"), std::string::npos);
+}
+
+TEST_F(BaselineLoaderTest, DuplicateKeysLogged) {
+  BaselineSingletonLoader loader(&cdw_, "T_ERR");
+  auto report = loader.Load(*dml_, layout_,
+                            {Rec("1", "A", "2012-01-01"), Rec("1", "B", "2012-01-02")});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_loaded, 1u);
+  EXPECT_EQ(report->errors_logged, 1u);
+  auto err = cdw_.ExecuteSql("SELECT ERRORCODE FROM T_ERR").ValueOrDie();
+  EXPECT_EQ(err.rows[0][0].int_value(), legacy::kErrUniquenessViolation);
+}
+
+TEST_F(BaselineLoaderTest, ShortRecordLogged) {
+  BaselineSingletonLoader loader(&cdw_, "T_ERR");
+  legacy::VartextRecord short_rec{{false, "1"}, {false, "A"}};
+  auto report = loader.Load(*dml_, layout_, {short_rec});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_loaded, 0u);
+  EXPECT_EQ(report->errors_logged, 1u);
+}
+
+TEST_F(BaselineLoaderTest, NullFieldsPassThrough) {
+  BaselineSingletonLoader loader(&cdw_, "T_ERR");
+  auto report = loader.Load(*dml_, layout_, {Rec("1", "", "2012-01-01")});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_loaded, 1u);
+  auto rows = cdw_.ExecuteSql("SELECT CUST_NAME FROM T").ValueOrDie();
+  EXPECT_TRUE(rows.rows[0][0].is_null());
+}
+
+TEST(SubstitutePlaceholdersTest, ReplacesNestedPlaceholders) {
+  Schema layout;
+  layout.AddField(Field("X", TypeDesc::Varchar(5)));
+  legacy::VartextRecord record{{false, "42"}};
+  auto expr = sql::ParseExpression("TRIM(UPPER(:X)) || '!'").ValueOrDie();
+  auto substituted = SubstitutePlaceholders(*expr, layout, record);
+  ASSERT_TRUE(substituted.ok());
+  EXPECT_FALSE(sql::HasPlaceholders(**substituted));
+}
+
+TEST(SubstitutePlaceholdersTest, UnknownPlaceholderFails) {
+  Schema layout;
+  layout.AddField(Field("X", TypeDesc::Varchar(5)));
+  legacy::VartextRecord record{{false, "42"}};
+  auto expr = sql::ParseExpression(":NOPE").ValueOrDie();
+  EXPECT_FALSE(SubstitutePlaceholders(*expr, layout, record).ok());
+}
+
+}  // namespace
+}  // namespace hyperq::core

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "cdw/cdw_server.h"
+#include "cloudstore/bulk_loader.h"
+#include "cloudstore/object_store.h"
+#include "etlscript/etl_client.h"
+#include "hyperq/coalescer.h"
+#include "hyperq/server.h"
+
+namespace hyperq::core {
+namespace {
+
+/// Paper Section 5: "In real-world environments, several ETL acquisitions
+/// run concurrently against a single Hyper-Q node... one CreditManager is
+/// spawned per Hyper-Q node, with each CreditManager being shared for all
+/// concurrent ETL jobs on the node."
+TEST(ConcurrentJobsTest, ManyJobsShareOneNodeAndCreditPool) {
+  std::string work_dir = "/tmp/hq_concurrent_jobs";
+  std::filesystem::remove_all(work_dir);
+  std::filesystem::create_directories(work_dir);
+
+  cloud::ObjectStore store;
+  cdw::CdwServer cdw(&store);
+  HyperQOptions options;
+  options.local_staging_dir = work_dir + "/staging";
+  options.credit_pool_size = 8;  // deliberately tight: jobs contend
+  options.converter_workers = 2;
+  HyperQServer node(&cdw, &store, options);
+  node.Start();
+
+  constexpr int kJobs = 6;
+  constexpr int kRowsPerJob = 400;
+  std::vector<common::Status> outcomes(kJobs, common::Status::OK());
+  std::vector<std::thread> runners;
+  for (int j = 0; j < kJobs; ++j) {
+    runners.emplace_back([&, j] {
+      std::string data;
+      for (int i = 1; i <= kRowsPerJob; ++i) {
+        data += std::to_string(i) + "|payload" + std::to_string(j) + "|2012-01-01\n";
+      }
+      std::string file = work_dir + "/in_" + std::to_string(j) + ".txt";
+      auto w = cloud::WriteFileBytes(file, common::Slice(std::string_view(data)));
+      if (!w.ok()) {
+        outcomes[j] = w;
+        return;
+      }
+      etlscript::EtlClientOptions client_options;
+      client_options.working_dir = work_dir;
+      client_options.chunk_rows = 40;
+      client_options.connector =
+          [&node](const std::string&) -> common::Result<std::shared_ptr<net::Transport>> {
+        auto t = node.Connect();
+        if (!t) return common::Status::IOError("down");
+        return t;
+      };
+      etlscript::EtlClient client(client_options);
+      std::string table = "C.JOB" + std::to_string(j);
+      std::string script = ".logon hq/u,p;\n.sessions 2;\ncreate table " + table +
+                           " (K varchar(8) not null, P varchar(20), D date);\n"
+                           ".layout L;\n.field K varchar(8);\n.field P varchar(20);\n"
+                           ".field D varchar(12);\n"
+                           ".begin import tables " +
+                           table + " errortables " + table + "_ET " + table +
+                           "_UV;\n.dml label I;\ninsert into " + table +
+                           " values (:K, :P, cast(:D as DATE format 'YYYY-MM-DD'));\n"
+                           ".import infile in_" +
+                           std::to_string(j) +
+                           ".txt format vartext '|' layout L apply I;\n.end load;\n.logoff;\n";
+      auto run = client.RunScript(script);
+      if (!run.ok()) {
+        outcomes[j] = run.status();
+        return;
+      }
+      if (run->imports[0].report.rows_inserted != kRowsPerJob) {
+        outcomes[j] = common::Status::Internal(
+            "job " + std::to_string(j) + " inserted " +
+            std::to_string(run->imports[0].report.rows_inserted));
+      }
+    });
+  }
+  for (auto& t : runners) t.join();
+  for (int j = 0; j < kJobs; ++j) {
+    EXPECT_TRUE(outcomes[j].ok()) << "job " << j << ": " << outcomes[j].ToString();
+  }
+  // Every table fully loaded; credits all returned to the shared pool.
+  for (int j = 0; j < kJobs; ++j) {
+    auto count =
+        cdw.ExecuteSql("SELECT COUNT(*) FROM C.JOB" + std::to_string(j)).ValueOrDie();
+    EXPECT_EQ(count.rows[0][0].int_value(), kRowsPerJob) << j;
+  }
+  EXPECT_EQ(node.credit_manager()->available(), options.credit_pool_size);
+  EXPECT_LE(node.credit_manager()->stats().max_outstanding, options.credit_pool_size);
+  node.Stop();
+}
+
+TEST(CoalescerStatsTest, CountsBytesAndMessages) {
+  auto pair = net::MakeInMemoryChannel();
+  Coalescer coalescer(pair.server);
+  common::ByteBuffer wire;
+  legacy::EncodeMessage(legacy::MakeMessage(1, 1, legacy::ChunkAckBody{1}.Encode()), &wire);
+  legacy::EncodeMessage(legacy::MakeMessage(1, 2, legacy::ChunkAckBody{2}.Encode()), &wire);
+  ASSERT_TRUE(pair.client->Write(wire.AsSlice()).ok());
+  ASSERT_TRUE(coalescer.NextMessage().ok());
+  ASSERT_TRUE(coalescer.NextMessage().ok());
+  EXPECT_EQ(coalescer.stats().messages_formed, 2u);
+  EXPECT_EQ(coalescer.stats().bytes_received, wire.size());
+  EXPECT_GE(coalescer.stats().reads, 1u);
+}
+
+}  // namespace
+}  // namespace hyperq::core

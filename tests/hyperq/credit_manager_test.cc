@@ -1,0 +1,108 @@
+#include "hyperq/credit_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hyperq::core {
+namespace {
+
+TEST(CreditManagerTest, AcquireAndReturn) {
+  CreditManager pool(2);
+  EXPECT_EQ(pool.available(), 2u);
+  {
+    Credit c1 = pool.Acquire();
+    EXPECT_EQ(pool.available(), 1u);
+    EXPECT_EQ(pool.outstanding(), 1u);
+    Credit c2 = pool.Acquire();
+    EXPECT_EQ(pool.available(), 0u);
+  }
+  // RAII returned both.
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(CreditManagerTest, ExplicitReturnBeforeDestruction) {
+  CreditManager pool(1);
+  Credit c = pool.Acquire();
+  c.Return();
+  EXPECT_EQ(pool.available(), 1u);
+  c.Return();  // double return is a no-op
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(CreditManagerTest, TryAcquireNonBlocking) {
+  CreditManager pool(1);
+  Credit c1 = pool.TryAcquire();
+  EXPECT_TRUE(c1.held());
+  Credit c2 = pool.TryAcquire();
+  EXPECT_FALSE(c2.held());
+}
+
+TEST(CreditManagerTest, AcquireBlocksUntilReturn) {
+  CreditManager pool(1);
+  Credit held = pool.Acquire();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    Credit c = pool.Acquire();
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired.load());  // back-pressure in action
+  held.Return();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(CreditManagerTest, MoveSemantics) {
+  CreditManager pool(1);
+  Credit a = pool.Acquire();
+  Credit b = std::move(a);
+  EXPECT_FALSE(a.held());
+  EXPECT_TRUE(b.held());
+  EXPECT_EQ(pool.available(), 0u);
+  b.Return();
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+TEST(CreditManagerTest, StatsTrackBlocking) {
+  CreditManager pool(1);
+  {
+    Credit c = pool.Acquire();
+    std::thread waiter([&] { Credit w = pool.Acquire(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    c.Return();
+    waiter.join();
+  }
+  CreditStats stats = pool.stats();
+  EXPECT_EQ(stats.acquisitions, 2u);
+  EXPECT_EQ(stats.blocked_acquisitions, 1u);
+  EXPECT_EQ(stats.max_outstanding, 1u);
+}
+
+TEST(CreditManagerTest, SharedAcrossManyThreads) {
+  // Paper: one CreditManager per node, shared by all concurrent jobs.
+  CreditManager pool(8);
+  std::atomic<uint64_t> concurrent{0};
+  std::atomic<uint64_t> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        Credit c = pool.Acquire();
+        uint64_t now = ++concurrent;
+        uint64_t p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        --concurrent;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 8u);
+  EXPECT_EQ(pool.available(), 8u);
+}
+
+}  // namespace
+}  // namespace hyperq::core

@@ -1,0 +1,174 @@
+#include "hyperq/data_converter.h"
+
+#include <gtest/gtest.h>
+
+#include "cdw/staging_format.h"
+#include "legacy/errors.h"
+#include "types/date.h"
+
+namespace hyperq::core {
+namespace {
+
+using legacy::DataFormat;
+using types::Field;
+using types::Schema;
+using types::TypeDesc;
+using types::Value;
+
+Schema VartextLayout() {
+  Schema s;
+  s.AddField(Field("CUST_ID", TypeDesc::Varchar(5)));
+  s.AddField(Field("CUST_NAME", TypeDesc::Varchar(50)));
+  s.AddField(Field("JOIN_DATE", TypeDesc::Varchar(10)));
+  return s;
+}
+
+legacy::DataChunkBody MakeVartextChunk(const std::vector<legacy::VartextRecord>& records) {
+  common::ByteBuffer payload;
+  for (const auto& r : records) {
+    EXPECT_TRUE(legacy::EncodeVartextRecord(r, '|', &payload).ok());
+  }
+  legacy::DataChunkBody chunk;
+  chunk.chunk_seq = 0;
+  chunk.row_count = static_cast<uint32_t>(records.size());
+  chunk.payload = std::move(payload.vector());
+  return chunk;
+}
+
+std::vector<cdw::CsvRecord> ParseOut(const ConvertedChunk& converted) {
+  auto records = cdw::ParseCsv(converted.csv.AsSlice(), cdw::CsvOptions{});
+  EXPECT_TRUE(records.ok());
+  return records.ok() ? *records : std::vector<cdw::CsvRecord>{};
+}
+
+TEST(MakeStagingSchemaTest, AppendsRowNumColumn) {
+  auto staging = MakeStagingSchema(VartextLayout()).ValueOrDie();
+  EXPECT_EQ(staging.num_fields(), 4u);
+  EXPECT_EQ(staging.field(3).name, kRowNumColumn);
+  EXPECT_EQ(staging.field(3).type.id, types::TypeId::kInt64);
+  EXPECT_FALSE(staging.field(3).nullable);
+}
+
+TEST(MakeStagingSchemaTest, RejectsReservedColumn) {
+  Schema layout = VartextLayout();
+  layout.AddField(Field(kRowNumColumn, TypeDesc::Varchar(5)));
+  EXPECT_TRUE(MakeStagingSchema(layout).status().IsInvalid());
+}
+
+TEST(DataConverterTest, VartextRequiresAllVarchar) {
+  Schema bad;
+  bad.AddField(Field("A", TypeDesc::Int32()));
+  EXPECT_TRUE(
+      DataConverter::Create(bad, DataFormat::kVartext, '|').status().IsInvalid());
+  EXPECT_TRUE(DataConverter::Create(bad, DataFormat::kBinary, '|').ok());
+}
+
+TEST(DataConverterTest, ConvertsVartextToCsvWithRowNumbers) {
+  auto converter = DataConverter::Create(VartextLayout(), DataFormat::kVartext, '|').ValueOrDie();
+  ConversionInput input;
+  input.order_index = 3;
+  input.first_row_number = 101;
+  input.chunk = MakeVartextChunk({
+      {{false, "123"}, {false, "Smith"}, {false, "2012-01-01"}},
+      {{false, "456"}, {true, ""}, {false, "2013-02-02"}},
+  });
+  auto converted = converter.Convert(input).ValueOrDie();
+  EXPECT_EQ(converted.order_index, 3u);
+  EXPECT_EQ(converted.rows_in, 2u);
+  EXPECT_EQ(converted.rows_out, 2u);
+  EXPECT_TRUE(converted.errors.empty());
+
+  auto records = ParseOut(converted);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(*records[0][0], "123");
+  EXPECT_EQ(*records[0][3], "101");  // HQ_ROWNUM
+  EXPECT_FALSE(records[1][1].has_value());  // NULL survives conversion
+  EXPECT_EQ(*records[1][3], "102");
+}
+
+TEST(DataConverterTest, FieldCountMismatchIsDataError) {
+  auto converter = DataConverter::Create(VartextLayout(), DataFormat::kVartext, '|').ValueOrDie();
+  ConversionInput input;
+  input.first_row_number = 1;
+  input.chunk = MakeVartextChunk({
+      {{false, "1"}, {false, "a"}, {false, "2012-01-01"}},
+      {{false, "2"}, {false, "b"}},  // short row
+      {{false, "3"}, {false, "c"}, {false, "2012-01-03"}},
+  });
+  auto converted = converter.Convert(input).ValueOrDie();
+  EXPECT_EQ(converted.rows_out, 2u);  // bad record skipped, rest proceed
+  ASSERT_EQ(converted.errors.size(), 1u);
+  EXPECT_EQ(converted.errors[0].row_number, 2u);
+  EXPECT_EQ(converted.errors[0].code, legacy::kErrFieldCountMismatch);
+  auto records = ParseOut(converted);
+  EXPECT_EQ(*records[1][3], "3");  // row number 3 kept its global number
+}
+
+TEST(DataConverterTest, BinaryModeConvertsLegacyEncodings) {
+  Schema layout;
+  layout.AddField(Field("ID", TypeDesc::Int32()));
+  layout.AddField(Field("D", TypeDesc::Date()));
+  layout.AddField(Field("AMT", TypeDesc::Decimal(10, 2)));
+  auto converter = DataConverter::Create(layout, DataFormat::kBinary, '|').ValueOrDie();
+
+  legacy::BinaryRowCodec codec(layout);
+  common::ByteBuffer payload;
+  types::Row row{Value::Int(7), Value::Date(types::DaysFromYmd(2012, 12, 1).ValueOrDie()),
+                 Value::Dec(types::Decimal(1999, 2))};
+  ASSERT_TRUE(codec.EncodeRow(row, &payload).ok());
+  legacy::DataChunkBody chunk;
+  chunk.row_count = 1;
+  chunk.payload = std::move(payload.vector());
+  ConversionInput input;
+  input.first_row_number = 1;
+  input.chunk = std::move(chunk);
+
+  auto converted = converter.Convert(input).ValueOrDie();
+  auto records = ParseOut(converted);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(*records[0][0], "7");
+  EXPECT_EQ(*records[0][1], "2012-12-01");  // legacy int date -> ISO text
+  EXPECT_EQ(*records[0][2], "19.99");       // unscaled int64 -> fixed point
+}
+
+TEST(DataConverterTest, CorruptBinaryChunkRecordsErrorAndStops) {
+  Schema layout;
+  layout.AddField(Field("ID", TypeDesc::Int32()));
+  auto converter = DataConverter::Create(layout, DataFormat::kBinary, '|').ValueOrDie();
+  legacy::DataChunkBody chunk;
+  chunk.row_count = 2;
+  chunk.payload = {0xFF, 0xFF, 0x00};  // bogus record length
+  ConversionInput input;
+  input.first_row_number = 5;
+  input.chunk = std::move(chunk);
+  auto converted = converter.Convert(input).ValueOrDie();
+  EXPECT_EQ(converted.rows_out, 0u);
+  ASSERT_EQ(converted.errors.size(), 1u);
+  EXPECT_EQ(converted.errors[0].row_number, 5u);
+}
+
+TEST(DataConverterTest, EscapesSpecialCharactersForCdw) {
+  // Section 4: conversion includes "escaping special characters".
+  Schema layout;
+  layout.AddField(Field("TXT", TypeDesc::Varchar(50)));
+  auto converter = DataConverter::Create(layout, DataFormat::kVartext, '|').ValueOrDie();
+  ConversionInput input;
+  input.first_row_number = 1;
+  input.chunk = MakeVartextChunk({{{false, "value,with\"csv specials"}}});
+  auto converted = converter.Convert(input).ValueOrDie();
+  auto records = ParseOut(converted);
+  EXPECT_EQ(*records[0][0], "value,with\"csv specials");
+}
+
+TEST(DataConverterTest, EmptyChunk) {
+  auto converter = DataConverter::Create(VartextLayout(), DataFormat::kVartext, '|').ValueOrDie();
+  ConversionInput input;
+  input.first_row_number = 1;
+  input.chunk = MakeVartextChunk({});
+  auto converted = converter.Convert(input).ValueOrDie();
+  EXPECT_EQ(converted.rows_out, 0u);
+  EXPECT_EQ(converted.csv.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperq::core

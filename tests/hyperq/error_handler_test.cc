@@ -1,0 +1,247 @@
+#include "hyperq/error_handler.h"
+
+#include <gtest/gtest.h>
+
+#include "hyperq/data_converter.h"
+#include "legacy/errors.h"
+#include "sql/parser.h"
+
+namespace hyperq::core {
+namespace {
+
+using types::Field;
+using types::Schema;
+using types::TypeDesc;
+using types::Value;
+
+/// Fixture reproducing Example 2.1 / 7.1: PROD.CUSTOMER with a unique key,
+/// staging table carrying the raw file fields plus HQ_ROWNUM.
+class AdaptiveErrorTest : public ::testing::Test {
+ protected:
+  AdaptiveErrorTest() : cdw_(&store_) {
+    layout_.AddField(Field("CUST_ID", TypeDesc::Varchar(5)));
+    layout_.AddField(Field("CUST_NAME", TypeDesc::Varchar(50)));
+    layout_.AddField(Field("JOIN_DATE", TypeDesc::Varchar(10)));
+
+    Schema target;
+    target.AddField(Field("CUST_ID", TypeDesc::Varchar(5), false));
+    target.AddField(Field("CUST_NAME", TypeDesc::Varchar(50)));
+    target.AddField(Field("JOIN_DATE", TypeDesc::Date()));
+    cdw_.catalog()->CreateTable("PROD.CUSTOMER", target, {"CUST_ID"}, true).ok();
+
+    staging_schema_ = MakeStagingSchema(layout_).ValueOrDie();
+    cdw_.catalog()->CreateTable("STG", staging_schema_).ok();
+    cdw_.catalog()->CreateTable("PROD.CUSTOMER_ET", MakeEtErrorSchema()).ok();
+    cdw_.catalog()->CreateTable("PROD.CUSTOMER_UV", MakeUvErrorSchema(layout_)).ok();
+
+    dml_ = sql::ParseStatement(
+               "insert into PROD.CUSTOMER values (trim(:CUST_ID), trim(:CUST_NAME), "
+               "cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'))")
+               .ValueOrDie();
+  }
+
+  /// Loads the Figure 5(a) data file into staging.
+  void StageFigure5Data() {
+    StageRows({{"123", "Smith", "2012-01-01"},
+               {"456", "Brown", "xxxx"},
+               {"789", "Brown", "yyyyy"},
+               {"123", "Jones", "2012-12-01"},
+               {"157", "Jones", "2012-12-01"}});
+  }
+
+  void StageRows(const std::vector<std::vector<std::string>>& rows) {
+    auto table = cdw_.catalog()->GetTable("STG").ValueOrDie();
+    int64_t rownum = 1;
+    for (const auto& r : rows) {
+      types::Row row;
+      for (const auto& cell : r) {
+        row.push_back(cell.empty() ? Value::Null() : Value::String(cell));
+      }
+      row.push_back(Value::Int(rownum++));
+      ASSERT_TRUE(table->AppendRow(std::move(row)).ok());
+    }
+    total_rows_ = rows.size();
+  }
+
+  DmlApplyResult Apply(AdaptiveOptions options = {}) {
+    AdaptiveDmlApplier applier(&cdw_, dml_.get(), layout_, "STG", "PROD.CUSTOMER",
+                               "PROD.CUSTOMER_ET", "PROD.CUSTOMER_UV", options);
+    auto result = applier.Apply(1, total_rows_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : DmlApplyResult{};
+  }
+
+  std::vector<types::Row> TableRows(const std::string& name) {
+    auto table = cdw_.catalog()->GetTable(name).ValueOrDie();
+    std::vector<types::Row> rows;
+    for (size_t r = 0; r < table->num_rows(); ++r) rows.push_back(table->GetRow(r));
+    return rows;
+  }
+
+  cloud::ObjectStore store_;
+  cdw::CdwServer cdw_;
+  Schema layout_;
+  Schema staging_schema_;
+  sql::StatementPtr dml_;
+  uint64_t total_rows_ = 0;
+};
+
+TEST_F(AdaptiveErrorTest, CleanDataAppliesInOneStatement) {
+  StageRows({{"1", "A", "2012-01-01"}, {"2", "B", "2012-01-02"}});
+  auto result = Apply();
+  EXPECT_EQ(result.rows_inserted, 2u);
+  EXPECT_EQ(result.et_errors, 0u);
+  EXPECT_EQ(result.uv_errors, 0u);
+  EXPECT_EQ(result.statements_issued, 1u);  // no splitting needed
+}
+
+TEST_F(AdaptiveErrorTest, Figure5FullErrorIsolation) {
+  // Default limits: every faulty tuple is isolated individually.
+  StageFigure5Data();
+  auto result = Apply();
+
+  // Rows 1 and 5 load; row 4 is a duplicate key; rows 2-3 have bad dates.
+  EXPECT_EQ(result.rows_inserted, 2u);
+  EXPECT_EQ(result.et_errors, 2u);
+  EXPECT_EQ(result.uv_errors, 1u);
+  EXPECT_EQ(result.range_errors, 0u);
+
+  auto loaded = TableRows("PROD.CUSTOMER");
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0][0].string_value(), "123");
+  EXPECT_EQ(loaded[0][1].string_value(), "Smith");
+  EXPECT_EQ(loaded[1][0].string_value(), "157");
+
+  // ET table: Figure 5(b) — codes for the two date failures.
+  auto et = TableRows("PROD.CUSTOMER_ET");
+  ASSERT_EQ(et.size(), 2u);
+  EXPECT_EQ(et[0][0].int_value(), legacy::kErrDateConversionDml);
+  EXPECT_EQ(et[0][1].string_value(), "JOIN_DATE");
+  EXPECT_NE(et[0][2].string_value().find("row number: 2"), std::string::npos);
+  EXPECT_NE(et[1][2].string_value().find("row number: 3"), std::string::npos);
+
+  // UV table: Figure 5(c) — the duplicate tuple with SEQNO and code 2794.
+  auto uv = TableRows("PROD.CUSTOMER_UV");
+  ASSERT_EQ(uv.size(), 1u);
+  EXPECT_EQ(uv[0][0].string_value(), "123");
+  EXPECT_EQ(uv[0][1].string_value(), "Jones");
+  EXPECT_EQ(uv[0][3].int_value(), 4);  // SEQNO
+  EXPECT_EQ(uv[0][4].int_value(), legacy::kErrUniquenessViolation);
+}
+
+TEST_F(AdaptiveErrorTest, Figure6MaxErrorsLimitsIsolation) {
+  StageFigure5Data();
+  AdaptiveOptions options;
+  options.max_errors = 2;
+  auto result = Apply(options);
+
+  // Figure 6: rows 2 and 3 individually; rows 4-5 as one range error.
+  EXPECT_EQ(result.et_errors, 3u);
+  EXPECT_EQ(result.range_errors, 1u);
+  EXPECT_EQ(result.uv_errors, 0u);
+  EXPECT_EQ(result.rows_inserted, 1u);  // only row 1
+
+  auto et = TableRows("PROD.CUSTOMER_ET");
+  ASSERT_EQ(et.size(), 3u);
+  EXPECT_EQ(et[2][0].int_value(), legacy::kErrMaxErrorsReached);
+  EXPECT_TRUE(et[2][1].is_null());
+  EXPECT_NE(et[2][2].string_value().find("row numbers: (4, 5)"), std::string::npos);
+}
+
+TEST_F(AdaptiveErrorTest, MaxRetriesLimitsSplitDepth) {
+  // 8 rows, all bad dates. With max_retries=1 the handler may split once:
+  // [1..8] -> [1..4][5..8], both still failing and recorded as ranges.
+  StageRows({{"1", "A", "bad"},
+             {"2", "B", "bad"},
+             {"3", "C", "bad"},
+             {"4", "D", "bad"},
+             {"5", "E", "bad"},
+             {"6", "F", "bad"},
+             {"7", "G", "bad"},
+             {"8", "H", "bad"}});
+  AdaptiveOptions options;
+  options.max_retries = 1;
+  auto result = Apply(options);
+  EXPECT_EQ(result.rows_inserted, 0u);
+  EXPECT_EQ(result.range_errors, 2u);
+  EXPECT_EQ(result.et_errors, 2u);
+}
+
+TEST_F(AdaptiveErrorTest, ErrorsScatteredAcrossChunk) {
+  StageRows({{"1", "A", "2012-01-01"},
+             {"2", "B", "bad"},
+             {"3", "C", "2012-01-03"},
+             {"4", "D", "bad"},
+             {"5", "E", "2012-01-05"},
+             {"6", "F", "2012-01-06"}});
+  auto result = Apply();
+  EXPECT_EQ(result.rows_inserted, 4u);
+  EXPECT_EQ(result.et_errors, 2u);
+  // Splitting issues more statements than a clean load but far fewer than
+  // one per row... (binary isolation).
+  EXPECT_GT(result.statements_issued, 2u);
+}
+
+TEST_F(AdaptiveErrorTest, DuplicateWithinLoadDetectedBySplit) {
+  StageRows({{"9", "A", "2012-01-01"}, {"9", "B", "2012-01-02"}});
+  auto result = Apply();
+  EXPECT_EQ(result.rows_inserted, 1u);
+  EXPECT_EQ(result.uv_errors, 1u);
+  auto uv = TableRows("PROD.CUSTOMER_UV");
+  ASSERT_EQ(uv.size(), 1u);
+  EXPECT_EQ(uv[0][3].int_value(), 2);  // the second occurrence is recorded
+}
+
+TEST_F(AdaptiveErrorTest, UniquenessDisabledLoadsDuplicates) {
+  StageRows({{"9", "A", "2012-01-01"}, {"9", "B", "2012-01-02"}});
+  AdaptiveOptions options;
+  options.enforce_uniqueness = false;
+  auto result = Apply(options);
+  EXPECT_EQ(result.rows_inserted, 2u);
+  EXPECT_EQ(result.uv_errors, 0u);
+}
+
+TEST_F(AdaptiveErrorTest, EmptyRangeIsNoop) {
+  StageRows({});
+  auto result = Apply();
+  EXPECT_EQ(result.rows_inserted, 0u);
+  EXPECT_EQ(result.statements_issued, 0u);
+}
+
+TEST_F(AdaptiveErrorTest, AllRowsBadStillTerminates) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 32; ++i) {
+    rows.push_back({std::to_string(i), "X", "nope"});
+  }
+  StageRows(rows);
+  auto result = Apply();
+  EXPECT_EQ(result.rows_inserted, 0u);
+  EXPECT_EQ(result.et_errors, 32u);
+}
+
+TEST(ErrorSchemaTest, EtShapeMatchesFigure6) {
+  Schema et = MakeEtErrorSchema();
+  ASSERT_EQ(et.num_fields(), 3u);
+  EXPECT_EQ(et.field(0).name, "ERRORCODE");
+  EXPECT_EQ(et.field(1).name, "ERRORFIELD");
+  EXPECT_EQ(et.field(2).name, "ERRORMESSAGE");
+}
+
+TEST(ErrorSchemaTest, UvShapeMatchesFigure5c) {
+  Schema layout;
+  layout.AddField(Field("CUST_ID", TypeDesc::Varchar(5)));
+  layout.AddField(Field("JOIN_DATE", TypeDesc::Varchar(10)));
+  Schema uv = MakeUvErrorSchema(layout);
+  ASSERT_EQ(uv.num_fields(), 4u);
+  EXPECT_EQ(uv.field(0).name, "CUST_ID");
+  EXPECT_EQ(uv.field(2).name, "SEQNO");
+  EXPECT_EQ(uv.field(3).name, "ERRCODE");
+}
+
+TEST(SqlQuoteTest, EscapesQuotes) {
+  EXPECT_EQ(SqlQuote("a'b"), "'a''b'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+}  // namespace
+}  // namespace hyperq::core

@@ -1,0 +1,95 @@
+#include "hyperq/file_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cloudstore/bulk_loader.h"
+#include "cloudstore/compression.h"
+
+namespace hyperq::core {
+namespace {
+
+class FileWriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/hq_file_writer_test";
+    std::filesystem::remove_all(dir_);
+  }
+
+  FileWriterOptions Options(size_t threshold, bool compress = false) {
+    FileWriterOptions options;
+    options.directory = dir_;
+    options.file_size_threshold = threshold;
+    options.compress = compress;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FileWriterTest, WritesAndFinalizesOneFile) {
+  FileWriter writer(Options(1 << 20), "w0");
+  std::vector<FinalizedFile> finalized;
+  ASSERT_TRUE(writer.Append(common::Slice(std::string_view("hello\n")), &finalized).ok());
+  EXPECT_TRUE(finalized.empty());  // below threshold
+  ASSERT_TRUE(writer.Finish(&finalized).ok());
+  ASSERT_EQ(finalized.size(), 1u);
+  auto bytes = cloud::ReadFileBytes(finalized[0].path).ValueOrDie();
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), "hello\n");
+  EXPECT_EQ(finalized[0].raw_bytes, 6u);
+}
+
+TEST_F(FileWriterTest, RotatesAtThreshold) {
+  FileWriter writer(Options(100), "w0");
+  std::vector<FinalizedFile> finalized;
+  std::string chunk(60, 'x');
+  ASSERT_TRUE(writer.Append(common::Slice(std::string_view(chunk)), &finalized).ok());
+  EXPECT_TRUE(finalized.empty());
+  ASSERT_TRUE(writer.Append(common::Slice(std::string_view(chunk)), &finalized).ok());
+  EXPECT_EQ(finalized.size(), 1u);  // 120 >= 100 -> rotated
+  ASSERT_TRUE(writer.Append(common::Slice(std::string_view(chunk)), &finalized).ok());
+  ASSERT_TRUE(writer.Finish(&finalized).ok());
+  EXPECT_EQ(finalized.size(), 2u);
+  EXPECT_EQ(writer.files_finalized(), 2u);
+  EXPECT_EQ(writer.bytes_written(), 180u);
+  // Distinct file names.
+  EXPECT_NE(finalized[0].path, finalized[1].path);
+}
+
+TEST_F(FileWriterTest, CompressionOnFinalize) {
+  FileWriter writer(Options(1 << 20, /*compress=*/true), "w0");
+  std::vector<FinalizedFile> finalized;
+  std::string data(10000, 'z');
+  ASSERT_TRUE(writer.Append(common::Slice(std::string_view(data)), &finalized).ok());
+  ASSERT_TRUE(writer.Finish(&finalized).ok());
+  ASSERT_EQ(finalized.size(), 1u);
+  EXPECT_TRUE(finalized[0].path.ends_with(".hqz"));
+  EXPECT_LT(finalized[0].final_bytes, finalized[0].raw_bytes / 5);
+  auto bytes = cloud::ReadFileBytes(finalized[0].path).ValueOrDie();
+  EXPECT_TRUE(cloud::IsCompressed(common::Slice(bytes)));
+  auto raw = cloud::Decompress(common::Slice(bytes)).ValueOrDie();
+  EXPECT_EQ(raw.size(), data.size());
+}
+
+TEST_F(FileWriterTest, FinishWithoutDataProducesNothing) {
+  FileWriter writer(Options(100), "w0");
+  std::vector<FinalizedFile> finalized;
+  ASSERT_TRUE(writer.Finish(&finalized).ok());
+  EXPECT_TRUE(finalized.empty());
+}
+
+TEST_F(FileWriterTest, SeparateWritersProduceSeparateSeries) {
+  FileWriter w0(Options(10), "w0");
+  FileWriter w1(Options(10), "w1");
+  std::vector<FinalizedFile> f0;
+  std::vector<FinalizedFile> f1;
+  w0.Append(common::Slice(std::string_view("0123456789AB")), &f0).ok();
+  w1.Append(common::Slice(std::string_view("0123456789AB")), &f1).ok();
+  ASSERT_EQ(f0.size(), 1u);
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_NE(f0[0].path, f1[0].path);
+}
+
+}  // namespace
+}  // namespace hyperq::core

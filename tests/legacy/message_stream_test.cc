@@ -1,0 +1,70 @@
+#include "legacy/message_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/transport.h"
+
+namespace hyperq::legacy {
+namespace {
+
+TEST(MessageStreamTest, SendReceive) {
+  auto pair = net::MakeInMemoryChannel();
+  MessageStream client(pair.client);
+  MessageStream server(pair.server);
+
+  ASSERT_TRUE(client.Send(MakeMessage(1, 1, ChunkAckBody{5}.Encode())).ok());
+  auto msg = server.Receive();
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(ChunkAckBody::Decode(msg->parcels[0]).ValueOrDie().chunk_seq, 5u);
+}
+
+TEST(MessageStreamTest, FragmentedDeliveryReassembles) {
+  auto pair = net::MakeInMemoryChannel();
+  MessageStream server(pair.server);
+
+  common::ByteBuffer wire;
+  EncodeMessage(MakeMessage(1, 1, ChunkAckBody{9}.Encode()), &wire);
+  // Write byte-by-byte from another thread.
+  std::thread writer([&] {
+    for (size_t i = 0; i < wire.size(); ++i) {
+      ASSERT_TRUE(pair.client->Write(common::Slice(wire.data() + i, 1)).ok());
+    }
+  });
+  auto msg = server.Receive();
+  writer.join();
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(ChunkAckBody::Decode(msg->parcels[0]).ValueOrDie().chunk_seq, 9u);
+}
+
+TEST(MessageStreamTest, MultipleMessagesInOneWrite) {
+  auto pair = net::MakeInMemoryChannel();
+  MessageStream server(pair.server);
+  common::ByteBuffer wire;
+  EncodeMessage(MakeMessage(1, 1, ChunkAckBody{1}.Encode()), &wire);
+  EncodeMessage(MakeMessage(1, 2, ChunkAckBody{2}.Encode()), &wire);
+  ASSERT_TRUE(pair.client->Write(wire.AsSlice()).ok());
+  EXPECT_EQ(ChunkAckBody::Decode(server.Receive()->parcels[0]).ValueOrDie().chunk_seq, 1u);
+  EXPECT_EQ(ChunkAckBody::Decode(server.Receive()->parcels[0]).ValueOrDie().chunk_seq, 2u);
+}
+
+TEST(MessageStreamTest, CleanEofIsCancelled) {
+  auto pair = net::MakeInMemoryChannel();
+  MessageStream server(pair.server);
+  pair.client->Close();
+  EXPECT_TRUE(server.Receive().status().IsCancelled());
+}
+
+TEST(MessageStreamTest, MidFrameEofIsProtocolError) {
+  auto pair = net::MakeInMemoryChannel();
+  MessageStream server(pair.server);
+  common::ByteBuffer wire;
+  EncodeMessage(MakeMessage(1, 1, ChunkAckBody{1}.Encode()), &wire);
+  ASSERT_TRUE(pair.client->Write(common::Slice(wire.data(), wire.size() - 2)).ok());
+  pair.client->Close();
+  EXPECT_TRUE(server.Receive().status().IsProtocolError());
+}
+
+}  // namespace
+}  // namespace hyperq::legacy

@@ -1,0 +1,213 @@
+#include "legacy/parcel.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::legacy {
+namespace {
+
+using common::ByteBuffer;
+using common::Slice;
+
+types::Schema TestLayout() {
+  types::Schema layout;
+  layout.AddField(types::Field("CUST_ID", types::TypeDesc::Varchar(5)));
+  layout.AddField(types::Field("JOIN_DATE", types::TypeDesc::Varchar(10)));
+  return layout;
+}
+
+TEST(ParcelTest, MessageRoundTrip) {
+  LogonRequestBody logon{"host", "user", "secret"};
+  Message msg = MakeMessage(7, 3, logon.Encode());
+  ByteBuffer buf;
+  EncodeMessage(msg, &buf);
+
+  Message decoded;
+  auto consumed = TryDecodeMessage(buf.AsSlice(), &decoded);
+  ASSERT_TRUE(consumed.ok());
+  EXPECT_EQ(*consumed, buf.size());
+  EXPECT_EQ(decoded.session_id, 7u);
+  EXPECT_EQ(decoded.seq, 3u);
+  ASSERT_EQ(decoded.parcels.size(), 1u);
+  auto body = LogonRequestBody::Decode(decoded.parcels[0]);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->user, "user");
+  EXPECT_EQ(body->password, "secret");
+}
+
+TEST(ParcelTest, IncompleteFrameReturnsZero) {
+  LogonRequestBody logon{"h", "u", "p"};
+  Message msg = MakeMessage(1, 1, logon.Encode());
+  ByteBuffer buf;
+  EncodeMessage(msg, &buf);
+  Message decoded;
+  // Every strict prefix is incomplete.
+  for (size_t take : {size_t(0), size_t(4), size_t(8), buf.size() - 1}) {
+    auto consumed = TryDecodeMessage(Slice(buf.data(), take), &decoded);
+    ASSERT_TRUE(consumed.ok()) << take;
+    EXPECT_EQ(*consumed, 0u) << take;
+  }
+}
+
+TEST(ParcelTest, BadMagicIsProtocolError) {
+  ByteBuffer buf;
+  buf.AppendU32(0x12345678);
+  buf.AppendU32(100);
+  Message decoded;
+  EXPECT_TRUE(TryDecodeMessage(buf.AsSlice(), &decoded).status().IsProtocolError());
+}
+
+TEST(ParcelTest, ImplausibleLengthIsProtocolError) {
+  ByteBuffer buf;
+  buf.AppendU32(kLdwpMagic);
+  buf.AppendU32(kMaxMessageBytes + 1);
+  Message decoded;
+  EXPECT_TRUE(TryDecodeMessage(buf.AsSlice(), &decoded).status().IsProtocolError());
+}
+
+TEST(ParcelTest, MultiParcelMessage) {
+  Message msg;
+  msg.session_id = 2;
+  msg.seq = 9;
+  StatementStatusBody status;
+  status.activity_count = 5;
+  msg.parcels.push_back(status.Encode());
+  Parcel end;
+  end.kind = ParcelKind::kEndStatement;
+  msg.parcels.push_back(end);
+
+  ByteBuffer buf;
+  EncodeMessage(msg, &buf);
+  Message decoded;
+  ASSERT_GT(TryDecodeMessage(buf.AsSlice(), &decoded).ValueOrDie(), 0u);
+  ASSERT_EQ(decoded.parcels.size(), 2u);
+  EXPECT_EQ(decoded.parcels[0].kind, ParcelKind::kStatementStatus);
+  EXPECT_EQ(decoded.parcels[1].kind, ParcelKind::kEndStatement);
+  EXPECT_EQ(StatementStatusBody::Decode(decoded.parcels[0]).ValueOrDie().activity_count, 5u);
+}
+
+TEST(ParcelTest, TwoMessagesBackToBack) {
+  ByteBuffer buf;
+  EncodeMessage(MakeMessage(1, 1, ChunkAckBody{11}.Encode()), &buf);
+  size_t first_len = buf.size();
+  EncodeMessage(MakeMessage(1, 2, ChunkAckBody{12}.Encode()), &buf);
+
+  Message m1;
+  EXPECT_EQ(TryDecodeMessage(buf.AsSlice(), &m1).ValueOrDie(), first_len);
+  EXPECT_EQ(ChunkAckBody::Decode(m1.parcels[0]).ValueOrDie().chunk_seq, 11u);
+  Message m2;
+  EXPECT_GT(
+      TryDecodeMessage(buf.AsSlice().SubSlice(first_len, buf.size() - first_len), &m2).ValueOrDie(),
+      0u);
+  EXPECT_EQ(ChunkAckBody::Decode(m2.parcels[0]).ValueOrDie().chunk_seq, 12u);
+}
+
+TEST(ParcelBodyTest, BeginLoadRoundTrip) {
+  BeginLoadBody body;
+  body.job_id = "job_1";
+  body.target_table = "PROD.CUSTOMER";
+  body.error_table_et = "PROD.CUSTOMER_ET";
+  body.error_table_uv = "PROD.CUSTOMER_UV";
+  body.format = DataFormat::kVartext;
+  body.delimiter = '|';
+  body.layout = TestLayout();
+  body.max_errors = 2;
+  body.max_retries = 10;
+
+  auto decoded = BeginLoadBody::Decode(body.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->job_id, "job_1");
+  EXPECT_EQ(decoded->target_table, "PROD.CUSTOMER");
+  EXPECT_EQ(decoded->format, DataFormat::kVartext);
+  EXPECT_EQ(decoded->delimiter, '|');
+  EXPECT_EQ(decoded->layout, TestLayout());
+  EXPECT_EQ(decoded->max_errors, 2u);
+  EXPECT_EQ(decoded->max_retries, 10);
+}
+
+TEST(ParcelBodyTest, DataChunkRoundTrip) {
+  DataChunkBody chunk;
+  chunk.chunk_seq = 42;
+  chunk.row_count = 3;
+  chunk.payload = {1, 2, 3, 4, 5};
+  auto decoded = DataChunkBody::Decode(chunk.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->chunk_seq, 42u);
+  EXPECT_EQ(decoded->row_count, 3u);
+  EXPECT_EQ(decoded->payload, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(ParcelBodyTest, JobReportRoundTrip) {
+  JobReportBody report;
+  report.rows_inserted = 100;
+  report.rows_updated = 5;
+  report.rows_deleted = 1;
+  report.et_errors = 2;
+  report.uv_errors = 3;
+  report.message = "done";
+  auto decoded = JobReportBody::Decode(report.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->rows_inserted, 100u);
+  EXPECT_EQ(decoded->uv_errors, 3u);
+  EXPECT_EQ(decoded->message, "done");
+}
+
+TEST(ParcelBodyTest, ExportBodiesRoundTrip) {
+  BeginExportBody begin;
+  begin.job_id = "exp";
+  begin.select_sql = "SELECT * FROM t";
+  begin.format = DataFormat::kBinary;
+  begin.delimiter = ',';
+  auto d1 = BeginExportBody::Decode(begin.Encode());
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->select_sql, "SELECT * FROM t");
+  EXPECT_EQ(d1->format, DataFormat::kBinary);
+
+  ExportReadyBody ready;
+  ready.schema = TestLayout();
+  ready.total_chunks = 17;
+  auto d2 = ExportReadyBody::Decode(ready.Encode());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->total_chunks, 17u);
+  EXPECT_EQ(d2->schema, TestLayout());
+
+  ExportChunkBody chunk;
+  chunk.chunk_seq = 4;
+  chunk.row_count = 2;
+  chunk.last = true;
+  chunk.payload = {9, 9};
+  auto d3 = ExportChunkBody::Decode(chunk.Encode());
+  ASSERT_TRUE(d3.ok());
+  EXPECT_TRUE(d3->last);
+  EXPECT_EQ(d3->chunk_seq, 4u);
+}
+
+TEST(ParcelBodyTest, DecodeWrongKindFails) {
+  ChunkAckBody ack{1};
+  EXPECT_TRUE(LogonOkBody::Decode(ack.Encode()).status().IsProtocolError());
+}
+
+TEST(ParcelBodyTest, FailureRoundTrip) {
+  FailureBody failure;
+  failure.code = 3706;
+  failure.message = "syntax error";
+  auto decoded = FailureBody::Decode(failure.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, 3706u);
+  EXPECT_EQ(decoded->message, "syntax error");
+}
+
+TEST(SchemaCodecTest, AllTypeParametersSurvive) {
+  types::Schema schema;
+  schema.AddField(types::Field("D", types::TypeDesc::Decimal(12, 3), false));
+  schema.AddField(
+      types::Field("U", types::TypeDesc::Varchar(30, types::CharSet::kUnicode), true));
+  ByteBuffer buf;
+  EncodeSchema(schema, &buf);
+  common::ByteReader reader(buf.AsSlice());
+  auto decoded = DecodeSchema(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, schema);
+}
+
+}  // namespace
+}  // namespace hyperq::legacy

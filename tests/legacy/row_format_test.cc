@@ -1,0 +1,216 @@
+#include "legacy/row_format.h"
+
+#include <gtest/gtest.h>
+
+#include "types/date.h"
+
+namespace hyperq::legacy {
+namespace {
+
+using common::ByteBuffer;
+using common::ByteReader;
+using common::Slice;
+using types::TypeDesc;
+using types::Value;
+
+TEST(LegacyDateTest, EncodingMatchesLegacyScheme) {
+  // (year-1900)*10000 + month*100 + day
+  types::DateDays d = types::DaysFromYmd(2012, 12, 1).ValueOrDie();
+  EXPECT_EQ(LegacyDateEncode(d), 1121201);
+  EXPECT_EQ(LegacyDateDecode(1121201).ValueOrDie(), d);
+}
+
+TEST(LegacyDateTest, PreCenturyDates) {
+  types::DateDays d = types::DaysFromYmd(1985, 6, 15).ValueOrDie();
+  EXPECT_EQ(LegacyDateEncode(d), 850615);
+  EXPECT_EQ(LegacyDateDecode(850615).ValueOrDie(), d);
+}
+
+TEST(LegacyDateTest, InvalidEncodingRejected) {
+  EXPECT_FALSE(LegacyDateDecode(1121345).ok());  // month 13
+  EXPECT_FALSE(LegacyDateDecode(1120231).ok());  // 2012-02-31
+}
+
+types::Schema FullSchema() {
+  types::Schema s;
+  s.AddField(types::Field("B", TypeDesc::Boolean()));
+  s.AddField(types::Field("I8", TypeDesc::Int8()));
+  s.AddField(types::Field("I16", TypeDesc::Int16()));
+  s.AddField(types::Field("I32", TypeDesc::Int32()));
+  s.AddField(types::Field("I64", TypeDesc::Int64()));
+  s.AddField(types::Field("F", TypeDesc::Float64()));
+  s.AddField(types::Field("DEC", TypeDesc::Decimal(12, 2)));
+  s.AddField(types::Field("D", TypeDesc::Date()));
+  s.AddField(types::Field("TS", TypeDesc::Timestamp()));
+  s.AddField(types::Field("C", TypeDesc::Char(4)));
+  s.AddField(types::Field("V", TypeDesc::Varchar(20)));
+  return s;
+}
+
+types::Row FullRow() {
+  return {Value::Boolean(true),
+          Value::Int(-5),
+          Value::Int(1234),
+          Value::Int(-123456),
+          Value::Int(99999999999LL),
+          Value::Float(2.5),
+          Value::Dec(types::Decimal(1250, 2)),
+          Value::Date(types::DaysFromYmd(2020, 2, 29).ValueOrDie()),
+          Value::Timestamp(types::ParseTimestampIso("2020-02-29 12:30:45.5").ValueOrDie()),
+          Value::String("ab"),
+          Value::String("variable")};
+}
+
+TEST(BinaryRowCodecTest, RoundTripAllTypes) {
+  BinaryRowCodec codec(FullSchema());
+  ByteBuffer buf;
+  ASSERT_TRUE(codec.EncodeRow(FullRow(), &buf).ok());
+  ByteReader reader(buf.AsSlice());
+  auto row = codec.DecodeRow(&reader);
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  types::Row expected = FullRow();
+  // CHAR(4) comes back blank-padded.
+  expected[9] = Value::String("ab  ");
+  EXPECT_EQ(*row, expected);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryRowCodecTest, RoundTripAllNulls) {
+  BinaryRowCodec codec(FullSchema());
+  types::Row nulls(FullSchema().num_fields(), Value::Null());
+  ByteBuffer buf;
+  ASSERT_TRUE(codec.EncodeRow(nulls, &buf).ok());
+  ByteReader reader(buf.AsSlice());
+  auto row = codec.DecodeRow(&reader);
+  ASSERT_TRUE(row.ok());
+  for (const auto& v : *row) EXPECT_TRUE(v.is_null());
+}
+
+TEST(BinaryRowCodecTest, MixedNullsPreservePositions) {
+  BinaryRowCodec codec(FullSchema());
+  types::Row row = FullRow();
+  row[0] = Value::Null();
+  row[6] = Value::Null();
+  row[10] = Value::Null();
+  ByteBuffer buf;
+  ASSERT_TRUE(codec.EncodeRow(row, &buf).ok());
+  ByteReader reader(buf.AsSlice());
+  auto decoded = codec.DecodeRow(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE((*decoded)[0].is_null());
+  EXPECT_TRUE((*decoded)[6].is_null());
+  EXPECT_TRUE((*decoded)[10].is_null());
+  EXPECT_EQ((*decoded)[3], row[3]);
+}
+
+TEST(BinaryRowCodecTest, ArityMismatchFails) {
+  BinaryRowCodec codec(FullSchema());
+  ByteBuffer buf;
+  EXPECT_FALSE(codec.EncodeRow({Value::Int(1)}, &buf).ok());
+}
+
+TEST(BinaryRowCodecTest, TypeMismatchFails) {
+  types::Schema s;
+  s.AddField(types::Field("I", TypeDesc::Int32()));
+  BinaryRowCodec codec(s);
+  ByteBuffer buf;
+  EXPECT_TRUE(codec.EncodeRow({Value::String("not an int")}, &buf).IsTypeError());
+}
+
+TEST(BinaryRowCodecTest, CharOverflowFails) {
+  types::Schema s;
+  s.AddField(types::Field("C", TypeDesc::Char(2)));
+  BinaryRowCodec codec(s);
+  ByteBuffer buf;
+  EXPECT_FALSE(codec.EncodeRow({Value::String("abc")}, &buf).ok());
+}
+
+TEST(BinaryRowCodecTest, DecodeAllMultipleRecords) {
+  types::Schema s;
+  s.AddField(types::Field("I", TypeDesc::Int32()));
+  BinaryRowCodec codec(s);
+  ByteBuffer buf;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(codec.EncodeRow({Value::Int(i)}, &buf).ok());
+  }
+  auto rows = codec.DecodeAll(buf.AsSlice());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 10u);
+  EXPECT_EQ((*rows)[7][0].int_value(), 7);
+}
+
+TEST(BinaryRowCodecTest, TruncatedRecordIsError) {
+  types::Schema s;
+  s.AddField(types::Field("I", TypeDesc::Int64()));
+  BinaryRowCodec codec(s);
+  ByteBuffer buf;
+  ASSERT_TRUE(codec.EncodeRow({Value::Int(1)}, &buf).ok());
+  // Chop off the last byte.
+  Slice truncated(buf.data(), buf.size() - 1);
+  EXPECT_FALSE(codec.DecodeAll(truncated).ok());
+}
+
+// --- vartext ----------------------------------------------------------------
+
+TEST(VartextTest, EncodeDecodeRoundTrip) {
+  VartextRecord record{{false, "123"}, {false, "Smith"}, {false, "2012-01-01"}};
+  ByteBuffer buf;
+  ASSERT_TRUE(EncodeVartextRecord(record, '|', &buf).ok());
+  ByteReader reader(buf.AsSlice());
+  auto decoded = DecodeVartextRecord(&reader, '|', 3);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(VartextTest, EmptyFieldIsNull) {
+  VartextRecord record{{false, "a"}, {true, ""}, {false, "c"}};
+  ByteBuffer buf;
+  ASSERT_TRUE(EncodeVartextRecord(record, '|', &buf).ok());
+  ByteReader reader(buf.AsSlice());
+  auto decoded = DecodeVartextRecord(&reader, '|');
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE((*decoded)[1].null);
+}
+
+TEST(VartextTest, DelimiterInDataRejected) {
+  // The legacy vartext format has no escaping: a delimiter in the data is an
+  // encoding error.
+  VartextRecord record{{false, "a|b"}};
+  ByteBuffer buf;
+  EXPECT_TRUE(EncodeVartextRecord(record, '|', &buf).IsConversionError());
+}
+
+TEST(VartextTest, FieldCountValidation) {
+  VartextRecord record{{false, "a"}, {false, "b"}};
+  ByteBuffer buf;
+  ASSERT_TRUE(EncodeVartextRecord(record, '|', &buf).ok());
+  ByteReader reader(buf.AsSlice());
+  EXPECT_TRUE(DecodeVartextRecord(&reader, '|', 3).status().IsConversionError());
+}
+
+TEST(VartextTest, DecodeAllCountsRecords) {
+  ByteBuffer buf;
+  for (int i = 0; i < 5; ++i) {
+    VartextRecord record{{false, std::to_string(i)}, {false, "x"}};
+    ASSERT_TRUE(EncodeVartextRecord(record, '|', &buf).ok());
+  }
+  auto records = DecodeAllVartext(buf.AsSlice(), '|', 2);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 5u);
+  EXPECT_EQ((*records)[4][0].text, "4");
+}
+
+TEST(VartextTest, RowToVartextRendersLegacyFormats) {
+  types::Row row{Value::String("abc"), Value::Int(42),
+                 Value::Date(types::DaysFromYmd(2012, 12, 1).ValueOrDie()), Value::Null(),
+                 Value::Dec(types::Decimal(105, 1))};
+  VartextRecord record = RowToVartext(row);
+  EXPECT_EQ(record[0].text, "abc");
+  EXPECT_EQ(record[1].text, "42");
+  EXPECT_EQ(record[2].text, "12/12/01");  // legacy default display
+  EXPECT_TRUE(record[3].null);
+  EXPECT_EQ(record[4].text, "10.5");
+}
+
+}  // namespace
+}  // namespace hyperq::legacy

@@ -1,0 +1,126 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/listener.h"
+
+namespace hyperq::net {
+namespace {
+
+using common::Slice;
+
+TEST(TransportTest, WriteReadRoundTrip) {
+  auto pair = MakeInMemoryChannel();
+  std::string text = "hello";
+  ASSERT_TRUE(pair.client->Write(Slice(std::string_view(text))).ok());
+  uint8_t buf[16];
+  auto n = pair.server->Read(buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), *n), "hello");
+}
+
+TEST(TransportTest, Bidirectional) {
+  auto pair = MakeInMemoryChannel();
+  ASSERT_TRUE(pair.server->Write(Slice(std::string_view("pong"))).ok());
+  uint8_t buf[8];
+  auto n = pair.client->Read(buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+}
+
+TEST(TransportTest, ReadReturnsZeroAtEof) {
+  auto pair = MakeInMemoryChannel();
+  pair.client->Close();
+  uint8_t buf[8];
+  EXPECT_EQ(pair.server->Read(buf, sizeof(buf)).ValueOrDie(), 0u);
+}
+
+TEST(TransportTest, BufferedBytesDrainBeforeEof) {
+  auto pair = MakeInMemoryChannel();
+  ASSERT_TRUE(pair.client->Write(Slice(std::string_view("bye"))).ok());
+  pair.client->Close();
+  uint8_t buf[8];
+  EXPECT_EQ(pair.server->Read(buf, sizeof(buf)).ValueOrDie(), 3u);
+  EXPECT_EQ(pair.server->Read(buf, sizeof(buf)).ValueOrDie(), 0u);
+}
+
+TEST(TransportTest, WriteAfterCloseFails) {
+  auto pair = MakeInMemoryChannel();
+  pair.server->Close();
+  EXPECT_TRUE(pair.client->Write(Slice(std::string_view("x"))).IsIOError());
+}
+
+TEST(TransportTest, FlowControlBlocksWriter) {
+  LinkOptions options;
+  options.buffer_bytes = 8;
+  auto pair = MakeInMemoryChannel(options);
+  std::string big(64, 'x');
+  std::atomic<bool> wrote{false};
+  std::thread writer([&] {
+    ASSERT_TRUE(pair.client->Write(Slice(std::string_view(big))).ok());
+    wrote = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(wrote.load());  // blocked on the 8-byte window
+  // Drain and let the writer finish.
+  uint8_t buf[64];
+  size_t total = 0;
+  while (total < big.size()) {
+    auto n = pair.server->Read(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok());
+    total += *n;
+  }
+  writer.join();
+  EXPECT_TRUE(wrote.load());
+  EXPECT_EQ(total, big.size());
+}
+
+TEST(TransportTest, LargeTransfer) {
+  auto pair = MakeInMemoryChannel();
+  std::string big(1 << 20, 'a');
+  std::thread writer([&] { ASSERT_TRUE(pair.client->Write(Slice(std::string_view(big))).ok()); });
+  size_t total = 0;
+  uint8_t buf[65536];
+  while (total < big.size()) {
+    auto n = pair.server->Read(buf, sizeof(buf));
+    ASSERT_TRUE(n.ok());
+    total += *n;
+  }
+  writer.join();
+  EXPECT_EQ(total, big.size());
+}
+
+TEST(ListenerTest, DialAccept) {
+  Listener listener;
+  std::thread dialer([&] {
+    auto client = listener.Dial();
+    ASSERT_NE(client, nullptr);
+    ASSERT_TRUE(client->Write(Slice(std::string_view("hi"))).ok());
+  });
+  auto server = listener.Accept();
+  ASSERT_TRUE(server.has_value());
+  uint8_t buf[4];
+  EXPECT_EQ((*server)->Read(buf, sizeof(buf)).ValueOrDie(), 2u);
+  dialer.join();
+}
+
+TEST(ListenerTest, CloseStopsAccept) {
+  Listener listener;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    listener.Close();
+  });
+  EXPECT_FALSE(listener.Accept().has_value());
+  closer.join();
+}
+
+TEST(ListenerTest, DialAfterCloseReturnsNull) {
+  Listener listener;
+  listener.Close();
+  EXPECT_EQ(listener.Dial(), nullptr);
+}
+
+}  // namespace
+}  // namespace hyperq::net

@@ -1,0 +1,130 @@
+#include "pipesim/pipesim.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::pipesim {
+namespace {
+
+PipeSimParams BaseParams() {
+  PipeSimParams p;
+  p.sessions = 4;
+  p.converter_workers = 2;
+  p.file_writers = 1;
+  p.credits = 64;
+  p.chunks = 400;
+  p.recv_seconds_per_chunk = 0.0005;
+  p.convert_seconds_per_chunk = 0.002;
+  p.write_seconds_per_chunk = 0.0003;
+  p.setup_seconds = 0.1;
+  return p;
+}
+
+TEST(PipeSimTest, CompletesAllChunks) {
+  auto result = SimulateAcquisition(BaseParams());
+  EXPECT_GT(result.total_seconds, 0.1);  // at least setup
+  EXPECT_GT(result.converter_busy_seconds, 0.0);
+}
+
+TEST(PipeSimTest, DeterministicAcrossRuns) {
+  auto a = SimulateAcquisition(BaseParams());
+  auto b = SimulateAcquisition(BaseParams());
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.backpressure_blocks, b.backpressure_blocks);
+}
+
+TEST(PipeSimTest, ConversionBoundLowerBound) {
+  // Conversion-dominated: total >= setup + total_convert_work / workers.
+  PipeSimParams p = BaseParams();
+  auto result = SimulateAcquisition(p);
+  double convert_bound =
+      p.setup_seconds + p.chunks * p.convert_seconds_per_chunk / p.converter_workers;
+  EXPECT_GE(result.total_seconds, convert_bound * 0.999);
+}
+
+TEST(PipeSimTest, MoreWorkersIsFaster) {
+  PipeSimParams p = BaseParams();
+  auto slow = SimulateAcquisition(p);
+  p.converter_workers = 8;
+  auto fast = SimulateAcquisition(p);
+  EXPECT_LT(fast.total_seconds, slow.total_seconds);
+}
+
+TEST(PipeSimTest, DiminishingReturnsFromFixedSetup) {
+  // Speedup efficiency S = T_base / (T_p * multiple) decays as workers grow
+  // because setup does not parallelize — the Figure 9 shape.
+  PipeSimParams p = BaseParams();
+  p.converter_workers = 2;
+  double t2 = SimulateAcquisition(p).total_seconds;
+  p.converter_workers = 4;
+  double t4 = SimulateAcquisition(p).total_seconds;
+  p.converter_workers = 16;
+  double t16 = SimulateAcquisition(p).total_seconds;
+  double s4 = t2 / (t4 * 2.0);
+  double s16 = t2 / (t16 * 8.0);
+  EXPECT_GT(s4, s16);
+  EXPECT_LT(s16, 0.9);  // visible degradation by 16 workers
+  EXPECT_GT(s4, 0.5);
+}
+
+TEST(PipeSimTest, FewCreditsCauseBackpressure) {
+  PipeSimParams p = BaseParams();
+  p.credits = 2;
+  auto starved = SimulateAcquisition(p);
+  EXPECT_GT(starved.backpressure_blocks, 0u);
+  EXPECT_LE(starved.peak_in_flight, 2u);
+
+  p.credits = 1000;
+  auto ample = SimulateAcquisition(p);
+  EXPECT_EQ(ample.backpressure_blocks, 0u);
+  EXPECT_LE(ample.total_seconds, starved.total_seconds);
+}
+
+TEST(PipeSimTest, CreditsPlateau) {
+  // Figure 10's plateau: beyond the pipeline's natural concurrency, extra
+  // credits stop improving throughput.
+  PipeSimParams p = BaseParams();
+  p.credits = 64;
+  double t64 = SimulateAcquisition(p).total_seconds;
+  p.credits = 4096;
+  double t4096 = SimulateAcquisition(p).total_seconds;
+  EXPECT_NEAR(t64, t4096, t64 * 0.01);
+}
+
+TEST(PipeSimTest, WriterBottleneckRespected) {
+  PipeSimParams p = BaseParams();
+  p.write_seconds_per_chunk = 0.01;  // writer dominates
+  p.file_writers = 1;
+  auto result = SimulateAcquisition(p);
+  double write_bound = p.setup_seconds + p.chunks * p.write_seconds_per_chunk;
+  EXPECT_GE(result.total_seconds, write_bound * 0.999);
+  p.file_writers = 4;
+  auto faster = SimulateAcquisition(p);
+  EXPECT_LT(faster.total_seconds, result.total_seconds);
+}
+
+TEST(PipeSimTest, SessionsBoundReceiveRate) {
+  // Receive-dominated: with one session, recv serializes everything.
+  PipeSimParams p = BaseParams();
+  p.sessions = 1;
+  p.recv_seconds_per_chunk = 0.01;
+  p.convert_seconds_per_chunk = 0.0001;
+  auto result = SimulateAcquisition(p);
+  double recv_bound = p.setup_seconds + p.chunks * p.recv_seconds_per_chunk;
+  EXPECT_GE(result.total_seconds, recv_bound * 0.999);
+}
+
+TEST(PipeSimTest, ZeroChunksJustSetup) {
+  PipeSimParams p = BaseParams();
+  p.chunks = 0;
+  auto result = SimulateAcquisition(p);
+  EXPECT_DOUBLE_EQ(result.total_seconds, p.setup_seconds);
+}
+
+TEST(PipeSimTest, UtilizationBounded) {
+  auto result = SimulateAcquisition(BaseParams());
+  EXPECT_GT(result.converter_utilization, 0.0);
+  EXPECT_LE(result.converter_utilization, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace hyperq::pipesim

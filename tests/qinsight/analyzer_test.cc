@@ -1,0 +1,151 @@
+#include "qinsight/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::qinsight {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  const Finding* FindKind(const StatementReport& report, FeatureKind kind) {
+    for (const auto& f : report.findings) {
+      if (f.kind == kind) return &f;
+    }
+    return nullptr;
+  }
+  WorkloadAnalyzer analyzer_;
+};
+
+TEST_F(AnalyzerTest, CleanCdwSqlHasNoFindings) {
+  auto report = analyzer_.AnalyzeStatement("SELECT a, TRIM(b) FROM t WHERE a > 5");
+  EXPECT_TRUE(report.parsed);
+  EXPECT_FALSE(report.UsesLegacyConstructs());
+  EXPECT_FALSE(report.NeedsManualRewrite());
+}
+
+TEST_F(AnalyzerTest, DetectsFormatCast) {
+  auto report =
+      analyzer_.AnalyzeStatement("SELECT CAST(x AS DATE FORMAT 'YYYY-MM-DD') FROM t");
+  const Finding* f = FindKind(report, FeatureKind::kFormatCast);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->disposition, Disposition::kAutoTranspiled);
+  EXPECT_EQ(f->detail, "YYYY-MM-DD");
+}
+
+TEST_F(AnalyzerTest, DetectsOperatorsAndLegacyFunctions) {
+  auto report = analyzer_.AnalyzeStatement(
+      "SELECT a ** 2, b MOD 7, ZEROIFNULL(c), NVL(d, 0) FROM t");
+  EXPECT_NE(FindKind(report, FeatureKind::kPowerOperator), nullptr);
+  EXPECT_NE(FindKind(report, FeatureKind::kModOperator), nullptr);
+  const Finding* legacy = FindKind(report, FeatureKind::kLegacyFunction);
+  ASSERT_NE(legacy, nullptr);
+  EXPECT_EQ(legacy->count, 2u);
+  EXPECT_FALSE(report.NeedsManualRewrite());
+}
+
+TEST_F(AnalyzerTest, DetectsAbbreviations) {
+  auto report = analyzer_.AnalyzeStatement("SEL a FROM t");
+  EXPECT_NE(FindKind(report, FeatureKind::kSelAbbreviation), nullptr);
+}
+
+TEST_F(AnalyzerTest, DetectsPlaceholdersAsBindingDisposition) {
+  auto report = analyzer_.AnalyzeStatement(
+      "INSERT INTO t VALUES (TRIM(:A), CAST(:B AS DATE FORMAT 'YYYY-MM-DD'))");
+  const Finding* f = FindKind(report, FeatureKind::kNamedPlaceholders);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->disposition, Disposition::kAutoViaBinding);
+  EXPECT_EQ(f->count, 2u);
+}
+
+TEST_F(AnalyzerTest, DetectsAtomicUpsert) {
+  auto report = analyzer_.AnalyzeStatement(
+      "UPDATE t SET a = :A WHERE k = :K ELSE INSERT VALUES (:K, :A)");
+  const Finding* f = FindKind(report, FeatureKind::kAtomicUpsert);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->disposition, Disposition::kAutoViaBinding);
+}
+
+TEST_F(AnalyzerTest, DetectsDdlFeatures) {
+  auto report = analyzer_.AnalyzeStatement(
+      "CREATE TABLE t (a BYTEINT, b CHAR(999), c VARCHAR(10) CHARACTER SET UNICODE) "
+      "UNIQUE PRIMARY INDEX (a)");
+  EXPECT_NE(FindKind(report, FeatureKind::kLegacyTypes), nullptr);
+  EXPECT_NE(FindKind(report, FeatureKind::kUnicodeCharset), nullptr);
+  const Finding* upi = FindKind(report, FeatureKind::kUniquePrimaryIndex);
+  ASSERT_NE(upi, nullptr);
+  EXPECT_EQ(upi->disposition, Disposition::kAutoEmulated);
+}
+
+TEST_F(AnalyzerTest, UnknownFunctionNeedsManualRewrite) {
+  auto report = analyzer_.AnalyzeStatement("SELECT FROBNICATE(a) FROM t");
+  const Finding* f = FindKind(report, FeatureKind::kUnknownFunction);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->disposition, Disposition::kManualRewrite);
+  EXPECT_EQ(f->detail, "FROBNICATE");
+  EXPECT_TRUE(report.NeedsManualRewrite());
+}
+
+TEST_F(AnalyzerTest, ParseFailureNeedsManualRewrite) {
+  auto report = analyzer_.AnalyzeStatement("LOCKING ROW FOR ACCESS SELECT * FROM t");
+  EXPECT_FALSE(report.parsed);
+  EXPECT_TRUE(report.NeedsManualRewrite());
+  EXPECT_NE(FindKind(report, FeatureKind::kParseFailure), nullptr);
+}
+
+TEST_F(AnalyzerTest, TopNDetected) {
+  auto report = analyzer_.AnalyzeStatement("SELECT TOP 10 a FROM t");
+  EXPECT_NE(FindKind(report, FeatureKind::kTopN), nullptr);
+}
+
+TEST_F(AnalyzerTest, AnalyzeWholeEtlScript) {
+  const char* script = R"(
+.logon host/u,p;
+.layout L;
+.field A varchar(5);
+.field B varchar(10);
+.begin import tables T errortables T_ET T_UV;
+.dml label I;
+insert into T values (trim(:A), cast(:B as DATE format 'YYYY-MM-DD'));
+.import infile f.txt format vartext '|' layout L apply I;
+.end load;
+sel ZEROIFNULL(x) from T;
+.begin export outfile o.txt format vartext '|';
+select UNSUPPORTED_UDF(a) from T;
+.end export;
+.logoff;
+)";
+  WorkloadAnalyzer analyzer;
+  auto workload = analyzer.AnalyzeEtlScript(script).ValueOrDie();
+  EXPECT_EQ(workload.statements, 3u);  // the DML, the bare SEL, the export SELECT
+  EXPECT_EQ(workload.statements_with_legacy_constructs, 3u);
+  EXPECT_EQ(workload.statements_needing_manual_rewrite, 1u);
+  EXPECT_NEAR(workload.automatic_fraction(), 2.0 / 3.0, 1e-9);
+  EXPECT_GT(workload.feature_counts[FeatureKind::kNamedPlaceholders], 0u);
+  EXPECT_GT(workload.feature_counts[FeatureKind::kUnknownFunction], 0u);
+}
+
+TEST_F(AnalyzerTest, SummaryRendersCounts) {
+  WorkloadAnalyzer analyzer;
+  std::vector<StatementReport> reports;
+  reports.push_back(analyzer.AnalyzeStatement("SELECT ZEROIFNULL(a) FROM t"));
+  reports.push_back(analyzer.AnalyzeStatement("SELECT 1"));
+  auto workload = analyzer.Summarize(std::move(reports));
+  std::string text = workload.ToString();
+  EXPECT_NE(text.find("statements analyzed:            2"), std::string::npos);
+  EXPECT_NE(text.find("legacy-function"), std::string::npos);
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, EmptyWorkloadIsFullyAutomatic) {
+  WorkloadAnalyzer analyzer;
+  auto workload = analyzer.Summarize({});
+  EXPECT_DOUBLE_EQ(workload.automatic_fraction(), 1.0);
+}
+
+TEST_F(AnalyzerTest, NamesAreStable) {
+  EXPECT_EQ(FeatureKindName(FeatureKind::kFormatCast), "cast-with-format");
+  EXPECT_EQ(DispositionName(Disposition::kManualRewrite), "manual-rewrite");
+}
+
+}  // namespace
+}  // namespace hyperq::qinsight

@@ -1,0 +1,134 @@
+#include "sql/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace hyperq::sql {
+namespace {
+
+types::Schema Layout() {
+  types::Schema layout;
+  layout.AddField(types::Field("CUST_ID", types::TypeDesc::Varchar(5)));
+  layout.AddField(types::Field("CUST_NAME", types::TypeDesc::Varchar(50)));
+  layout.AddField(types::Field("JOIN_DATE", types::TypeDesc::Varchar(10)));
+  return layout;
+}
+
+BindOptions Options(int64_t first = -1, int64_t last = -1) {
+  BindOptions options;
+  options.staging_table = "STG";
+  if (first >= 0) {
+    options.row_number_column = "HQ_ROWNUM";
+    options.first_row = first;
+    options.last_row = last;
+  }
+  return options;
+}
+
+std::string Bind(const std::string& sql, const BindOptions& options) {
+  auto stmt = ParseStatement(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto bound = BindDmlToStaging(**stmt, Layout(), options);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return bound.ok() ? PrintStatement(**bound) : "";
+}
+
+TEST(BinderTest, InsertBecomesInsertSelect) {
+  std::string out =
+      Bind("INSERT INTO t VALUES (TRIM(:CUST_ID), :CUST_NAME)", Options());
+  EXPECT_NE(out.find("INSERT INTO t SELECT"), std::string::npos) << out;
+  EXPECT_NE(out.find("TRIM(S.CUST_ID)"), std::string::npos) << out;
+  EXPECT_NE(out.find("FROM STG S"), std::string::npos) << out;
+  EXPECT_EQ(out.find(":"), std::string::npos) << out;
+}
+
+TEST(BinderTest, InsertWithRowRange) {
+  std::string out = Bind("INSERT INTO t VALUES (:CUST_ID)", Options(5, 9));
+  EXPECT_NE(out.find("BETWEEN (5) AND (9)"), std::string::npos) << out;
+  EXPECT_NE(out.find("S.HQ_ROWNUM"), std::string::npos) << out;
+}
+
+TEST(BinderTest, UpdateBecomesUpdateFrom) {
+  std::string out =
+      Bind("UPDATE t SET name = :CUST_NAME WHERE id = :CUST_ID", Options());
+  EXPECT_NE(out.find("UPDATE t T SET name = S.CUST_NAME"), std::string::npos) << out;
+  EXPECT_NE(out.find("FROM STG S"), std::string::npos) << out;
+  // Bare target columns get qualified.
+  EXPECT_NE(out.find("T.id"), std::string::npos) << out;
+}
+
+TEST(BinderTest, UpdateKeepsExplicitAlias) {
+  std::string out = Bind("UPDATE t x SET a = :CUST_ID WHERE x.k = 1", Options());
+  EXPECT_NE(out.find("UPDATE t x"), std::string::npos) << out;
+}
+
+TEST(BinderTest, UpsertBecomesMerge) {
+  std::string out = Bind(
+      "UPDATE t SET name = :CUST_NAME WHERE id = :CUST_ID "
+      "ELSE INSERT VALUES (:CUST_ID, :CUST_NAME)",
+      Options());
+  EXPECT_NE(out.find("MERGE INTO t T USING STG S"), std::string::npos) << out;
+  EXPECT_NE(out.find("WHEN MATCHED THEN UPDATE SET name = S.CUST_NAME"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("WHEN NOT MATCHED THEN INSERT VALUES (S.CUST_ID, S.CUST_NAME)"),
+            std::string::npos)
+      << out;
+}
+
+TEST(BinderTest, UpsertRangeRestrictsOnCondition) {
+  std::string out = Bind(
+      "UPDATE t SET name = :CUST_NAME WHERE id = :CUST_ID "
+      "ELSE INSERT VALUES (:CUST_ID, :CUST_NAME)",
+      Options(10, 20));
+  EXPECT_NE(out.find("BETWEEN (10) AND (20)"), std::string::npos) << out;
+  // The range restricts the MERGE *source*, not the ON condition.
+  EXPECT_NE(out.find("USING (SELECT * FROM STG WHERE"), std::string::npos) << out;
+}
+
+TEST(BinderTest, DeleteBecomesDeleteUsing) {
+  std::string out = Bind("DELETE FROM t WHERE id = :CUST_ID", Options());
+  EXPECT_NE(out.find("DELETE FROM t T USING STG S"), std::string::npos) << out;
+  EXPECT_NE(out.find("T.id"), std::string::npos) << out;
+  EXPECT_NE(out.find("S.CUST_ID"), std::string::npos) << out;
+}
+
+TEST(BinderTest, UnknownPlaceholderFails) {
+  auto stmt = ParseStatement("INSERT INTO t VALUES (:NOPE)").ValueOrDie();
+  auto bound = BindDmlToStaging(*stmt, Layout(), Options());
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("NOPE"), std::string::npos);
+}
+
+TEST(BinderTest, MultiRowInsertRejected) {
+  auto stmt = ParseStatement("INSERT INTO t VALUES (:CUST_ID), (:CUST_NAME)").ValueOrDie();
+  EXPECT_FALSE(BindDmlToStaging(*stmt, Layout(), Options()).ok());
+}
+
+TEST(BinderTest, SelectRejected) {
+  auto stmt = ParseStatement("SELECT * FROM t").ValueOrDie();
+  EXPECT_FALSE(BindDmlToStaging(*stmt, Layout(), Options()).ok());
+}
+
+TEST(BinderTest, MissingStagingTableRejected) {
+  auto stmt = ParseStatement("INSERT INTO t VALUES (:CUST_ID)").ValueOrDie();
+  BindOptions options;  // no staging table
+  EXPECT_FALSE(BindDmlToStaging(*stmt, Layout(), options).ok());
+}
+
+TEST(BinderTest, UpsertWithoutWhereRejected) {
+  auto stmt =
+      ParseStatement("UPDATE t SET a = :CUST_ID ELSE INSERT VALUES (:CUST_ID)").ValueOrDie();
+  EXPECT_FALSE(BindDmlToStaging(*stmt, Layout(), Options()).ok());
+}
+
+TEST(HasPlaceholdersTest, DetectsNesting) {
+  EXPECT_TRUE(HasPlaceholders(*ParseExpression("TRIM(UPPER(:X))").ValueOrDie()));
+  EXPECT_TRUE(HasPlaceholders(*ParseExpression("CASE WHEN a = :X THEN 1 END").ValueOrDie()));
+  EXPECT_TRUE(HasPlaceholders(*ParseExpression("a IN (1, :X)").ValueOrDie()));
+  EXPECT_FALSE(HasPlaceholders(*ParseExpression("TRIM(a) || 'x'").ValueOrDie()));
+}
+
+}  // namespace
+}  // namespace hyperq::sql

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "sql/transpiler.h"
+
+namespace hyperq::sql {
+namespace {
+
+/// Property-based round-trip fuzzing: generate random expression trees,
+/// print them, re-parse, re-print — the two printed forms must be identical
+/// (print∘parse is a fixed point). Additionally, transpiled trees must print
+/// to text the parser accepts.
+class ExprGenerator {
+ public:
+  explicit ExprGenerator(uint64_t seed) : rng_(seed) {}
+
+  ExprPtr Generate(int depth) {
+    if (depth <= 0) return Leaf();
+    switch (rng_.NextBounded(9)) {
+      case 0:
+        return Leaf();
+      case 1: {
+        auto ops = {UnaryOp::kNegate, UnaryOp::kNot};
+        UnaryOp op = *(ops.begin() + rng_.NextBounded(2));
+        return std::make_unique<UnaryExpr>(op, Generate(depth - 1));
+      }
+      case 2: {
+        static const BinaryOp kOps[] = {BinaryOp::kAdd, BinaryOp::kSub,  BinaryOp::kMul,
+                                        BinaryOp::kDiv, BinaryOp::kMod,  BinaryOp::kPow,
+                                        BinaryOp::kEq,  BinaryOp::kLt,   BinaryOp::kGe,
+                                        BinaryOp::kAnd, BinaryOp::kOr,   BinaryOp::kConcat,
+                                        BinaryOp::kNe,  BinaryOp::kLike, BinaryOp::kLe,
+                                        BinaryOp::kGt};
+        BinaryOp op = kOps[rng_.NextBounded(16)];
+        return std::make_unique<BinaryExpr>(op, Generate(depth - 1), Generate(depth - 1));
+      }
+      case 3: {
+        // name -> fixed/min arity (TRIM etc. reparse only with one argument).
+        static const std::pair<const char*, size_t> kFns[] = {
+            {"TRIM", 1},     {"UPPER", 1},    {"LOWER", 1},
+            {"LENGTH", 1},   {"ABS", 1},      {"ZEROIFNULL", 1},
+            {"COALESCE", 2}, {"SUBSTR", 2},   {"TO_CHAR", 2}};
+        auto [name, arity] = kFns[rng_.NextBounded(9)];
+        auto fn = std::make_unique<FunctionExpr>();
+        fn->name = name;
+        for (size_t i = 0; i < arity; ++i) fn->args.push_back(Generate(depth - 1));
+        return fn;
+      }
+      case 4: {
+        static const types::TypeDesc kTypes[] = {
+            types::TypeDesc::Int32(), types::TypeDesc::Varchar(20), types::TypeDesc::Date(),
+            types::TypeDesc::Decimal(10, 2)};
+        types::TypeDesc type = kTypes[rng_.NextBounded(4)];
+        std::string format;
+        if (type.id == types::TypeId::kDate && rng_.NextBool(0.5)) format = "YYYY-MM-DD";
+        return std::make_unique<CastExpr>(Generate(depth - 1), type, format);
+      }
+      case 5: {
+        auto c = std::make_unique<CaseExpr>();
+        if (rng_.NextBool(0.4)) c->operand = Generate(depth - 1);
+        size_t whens = 1 + rng_.NextBounded(2);
+        for (size_t i = 0; i < whens; ++i) {
+          c->whens.emplace_back(Generate(depth - 1), Generate(depth - 1));
+        }
+        if (rng_.NextBool(0.6)) c->else_expr = Generate(depth - 1);
+        return c;
+      }
+      case 6:
+        return std::make_unique<IsNullExpr>(Generate(depth - 1), rng_.NextBool());
+      case 7: {
+        auto in = std::make_unique<InListExpr>();
+        in->operand = Generate(depth - 1);
+        size_t n = 1 + rng_.NextBounded(3);
+        for (size_t i = 0; i < n; ++i) in->list.push_back(Generate(depth - 1));
+        in->negated = rng_.NextBool();
+        return in;
+      }
+      default: {
+        auto bt = std::make_unique<BetweenExpr>();
+        bt->operand = Generate(depth - 1);
+        bt->low = Generate(depth - 1);
+        bt->high = Generate(depth - 1);
+        bt->negated = rng_.NextBool();
+        return bt;
+      }
+    }
+  }
+
+ private:
+  ExprPtr Leaf() {
+    switch (rng_.NextBounded(6)) {
+      case 0:
+        return std::make_unique<LiteralExpr>(
+            types::Value::Int(rng_.NextInRange(-1000, 1000)));
+      case 1:
+        return std::make_unique<LiteralExpr>(
+            types::Value::String(rng_.NextAlnum(rng_.NextBounded(8))));
+      case 2:
+        return std::make_unique<LiteralExpr>(types::Value::Null());
+      case 3:
+        return std::make_unique<ColumnRefExpr>("", "c" + std::to_string(rng_.NextBounded(5)));
+      case 4:
+        return std::make_unique<ColumnRefExpr>("t", "c" + std::to_string(rng_.NextBounded(5)));
+      default:
+        return std::make_unique<PlaceholderExpr>("F" + std::to_string(rng_.NextBounded(4)));
+    }
+  }
+
+  common::Random rng_;
+};
+
+class FuzzRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzRoundTripTest, PrintParsePrintIsFixedPoint) {
+  // One parse normalizes the tree (e.g. a negative literal becomes unary
+  // minus); from then on print∘parse must be a fixed point.
+  ExprGenerator gen(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  for (int i = 0; i < 60; ++i) {
+    ExprPtr expr = gen.Generate(4);
+    std::string printed1 = PrintExpr(*expr);
+    auto parsed1 = ParseExpression(printed1);
+    ASSERT_TRUE(parsed1.ok()) << printed1 << "\n -> " << parsed1.status().ToString();
+    std::string printed2 = PrintExpr(**parsed1);
+    auto parsed2 = ParseExpression(printed2);
+    ASSERT_TRUE(parsed2.ok()) << printed2 << "\n -> " << parsed2.status().ToString();
+    EXPECT_EQ(PrintExpr(**parsed2), printed2);
+  }
+}
+
+TEST_P(FuzzRoundTripTest, TranspiledTreesAlwaysReparse) {
+  ExprGenerator gen(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  for (int i = 0; i < 60; ++i) {
+    ExprPtr expr = gen.Generate(4);
+    auto transpiled = TranspileExpr(*expr);
+    ASSERT_TRUE(transpiled.ok());
+    std::string printed = PrintExpr(**transpiled);
+    auto reparsed = ParseExpression(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    // Transpiled output contains no legacy-only constructs.
+    EXPECT_EQ(printed.find("**"), std::string::npos) << printed;
+    EXPECT_EQ(printed.find("FORMAT"), std::string::npos) << printed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRoundTripTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace hyperq::sql

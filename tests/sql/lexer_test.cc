@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "sql/token.h"
+
+namespace hyperq::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, b FROM t WHERE x = 1;").ValueOrDie();
+  ASSERT_GE(tokens.size(), 11u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_TRUE(tokens[2].IsSymbol(","));
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = Tokenize("'it''s'").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto tokens = Tokenize("\"weird name\"").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "weird name");
+}
+
+TEST(LexerTest, Placeholders) {
+  auto tokens = Tokenize(":CUST_ID + :F2").ValueOrDie();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPlaceholder);
+  EXPECT_EQ(tokens[0].text, "CUST_ID");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kPlaceholder);
+  EXPECT_EQ(tokens[2].text, "F2");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("1 2.5 .5 1e3 1.5E-2").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "1");
+  EXPECT_EQ(tokens[1].text, "2.5");
+  EXPECT_EQ(tokens[2].text, ".5");
+  EXPECT_EQ(tokens[3].text, "1e3");
+  EXPECT_EQ(tokens[4].text, "1.5E-2");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(tokens[i].kind, TokenKind::kNumberLiteral);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = Tokenize("<= >= <> != || ** < >").ValueOrDie();
+  EXPECT_TRUE(tokens[0].IsSymbol("<="));
+  EXPECT_TRUE(tokens[1].IsSymbol(">="));
+  EXPECT_TRUE(tokens[2].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[3].IsSymbol("!="));
+  EXPECT_TRUE(tokens[4].IsSymbol("||"));
+  EXPECT_TRUE(tokens[5].IsSymbol("**"));
+  EXPECT_TRUE(tokens[6].IsSymbol("<"));
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("a -- comment here\n b").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, BlockComments) {
+  auto tokens = Tokenize("a /* multi\nline */ b").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_TRUE(Tokenize("a /* oops").status().IsParseError());
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto tokens = Tokenize("a\nb\n  c").ValueOrDie();
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[2].line, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_TRUE(Tokenize("a @ b").status().IsParseError());
+}
+
+TEST(LexerTest, KeywordMatchingIsCaseInsensitive) {
+  auto tokens = Tokenize("SeLeCt").ValueOrDie();
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_FALSE(tokens[0].IsKeyword("SEL"));
+}
+
+}  // namespace
+}  // namespace hyperq::sql

@@ -1,0 +1,110 @@
+#include "sql/transpiler.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace hyperq::sql {
+namespace {
+
+std::string Transpile(const std::string& legacy_sql) {
+  auto result = TranspileSqlText(legacy_sql);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : "";
+}
+
+TEST(TranspilerTest, FormatCastToDateBecomesToDate) {
+  std::string out = Transpile("SELECT CAST(x AS DATE FORMAT 'YYYY-MM-DD') FROM t");
+  EXPECT_NE(out.find("TO_DATE(x, 'YYYY-MM-DD')"), std::string::npos) << out;
+  EXPECT_EQ(out.find("FORMAT"), std::string::npos);
+}
+
+TEST(TranspilerTest, FormatCastToVarcharBecomesToChar) {
+  std::string out = Transpile("SELECT CAST(d AS VARCHAR(10) FORMAT 'YY/MM/DD') FROM t");
+  EXPECT_NE(out.find("TO_CHAR(d, 'YY/MM/DD')"), std::string::npos) << out;
+}
+
+TEST(TranspilerTest, PowerOperatorBecomesFunction) {
+  std::string out = Transpile("SELECT a ** 2 FROM t");
+  EXPECT_NE(out.find("POWER(a, 2)"), std::string::npos) << out;
+  EXPECT_EQ(out.find("**"), std::string::npos);
+}
+
+TEST(TranspilerTest, ModOperatorBecomesFunction) {
+  std::string out = Transpile("SELECT a MOD 7 FROM t");
+  EXPECT_NE(out.find("MOD(a, 7)"), std::string::npos) << out;
+}
+
+TEST(TranspilerTest, ZeroIfNullBecomesCoalesce) {
+  EXPECT_NE(Transpile("SELECT ZEROIFNULL(x) FROM t").find("COALESCE(x, 0)"), std::string::npos);
+}
+
+TEST(TranspilerTest, NullIfZeroBecomesNullif) {
+  EXPECT_NE(Transpile("SELECT NULLIFZERO(x) FROM t").find("NULLIF(x, 0)"), std::string::npos);
+}
+
+TEST(TranspilerTest, NvlBecomesCoalesce) {
+  EXPECT_NE(Transpile("SELECT NVL(a, b, 0) FROM t").find("COALESCE(a, b, 0)"),
+            std::string::npos);
+}
+
+TEST(TranspilerTest, IndexBecomesPositionWithSwappedArgs) {
+  EXPECT_NE(Transpile("SELECT INDEX(haystack, needle) FROM t")
+                .find("POSITION(needle, haystack)"),
+            std::string::npos);
+}
+
+TEST(TranspilerTest, CharactersBecomesLength) {
+  EXPECT_NE(Transpile("SELECT CHARACTERS(s) FROM t").find("LENGTH(s)"), std::string::npos);
+}
+
+TEST(TranspilerTest, SelAbbreviationNormalized) {
+  EXPECT_EQ(Transpile("SEL a FROM t"), "SELECT a FROM t");
+}
+
+TEST(TranspilerTest, CreateTableMapsTypes) {
+  std::string out = Transpile("CREATE TABLE t (a BYTEINT, b CHAR(999))");
+  EXPECT_NE(out.find("a SMALLINT"), std::string::npos) << out;
+  EXPECT_NE(out.find("b VARCHAR(999)"), std::string::npos) << out;
+}
+
+TEST(TranspilerTest, StandaloneUpsertNeedsBinding) {
+  auto result = TranspileSqlText("UPDATE t SET a = 1 WHERE k = 2 ELSE INSERT VALUES (2, 1)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kNotImplemented);
+}
+
+TEST(TranspilerTest, NestedLegacyConstructs) {
+  std::string out =
+      Transpile("SELECT ZEROIFNULL(CAST(x AS DATE FORMAT 'YYYYMMDD') - d) FROM t");
+  EXPECT_NE(out.find("COALESCE"), std::string::npos);
+  EXPECT_NE(out.find("TO_DATE"), std::string::npos);
+}
+
+TEST(TranspilerTest, TranspiledOutputReparses) {
+  for (const char* sql :
+       {"SELECT CAST(x AS DATE FORMAT 'YYYY-MM-DD') FROM t", "SELECT a ** b FROM t",
+        "SELECT ZEROIFNULL(a) + NULLIFZERO(b) FROM t",
+        "UPDATE t SET a = ZEROIFNULL(:V) WHERE k = :K"}) {
+    auto out = TranspileSqlText(sql);
+    ASSERT_TRUE(out.ok()) << sql;
+    EXPECT_TRUE(ParseStatement(*out).ok()) << *out;
+  }
+}
+
+TEST(TranspilerTest, PreservesWhereGroupOrder) {
+  std::string out = Transpile(
+      "SELECT g, COUNT(*) FROM t WHERE a ** 2 > 4 GROUP BY g ORDER BY g DESC");
+  EXPECT_NE(out.find("WHERE"), std::string::npos);
+  EXPECT_NE(out.find("GROUP BY"), std::string::npos);
+  EXPECT_NE(out.find("ORDER BY g DESC"), std::string::npos);
+  EXPECT_NE(out.find("POWER"), std::string::npos);
+}
+
+TEST(TranspilerTest, FunctionNamesUppercased) {
+  EXPECT_NE(Transpile("SELECT trim(a) FROM t").find("TRIM(a)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperq::sql

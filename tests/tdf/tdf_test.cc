@@ -1,0 +1,254 @@
+#include "tdf/tdf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "types/date.h"
+
+namespace hyperq::tdf {
+namespace {
+
+using common::ByteBuffer;
+using common::ByteReader;
+using common::Slice;
+using types::TypeDesc;
+using types::Value;
+
+TEST(VarintTest, RoundTripUnsigned) {
+  const uint64_t unsigned_cases[] = {0,     1,           127,       128,
+                                     16383, 16384,       1ull << 32, UINT64_MAX};
+  for (uint64_t v : unsigned_cases) {
+    ByteBuffer buf;
+    PutUVarint(v, &buf);
+    ByteReader reader(buf.AsSlice());
+    EXPECT_EQ(GetUVarint(&reader).ValueOrDie(), v);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(VarintTest, RoundTripSigned) {
+  const int64_t signed_cases[] = {0, 1, -1, 63, -64, 64, -65, INT64_MAX, INT64_MIN};
+  for (int64_t v : signed_cases) {
+    ByteBuffer buf;
+    PutSVarint(v, &buf);
+    ByteReader reader(buf.AsSlice());
+    EXPECT_EQ(GetSVarint(&reader).ValueOrDie(), v);
+  }
+}
+
+TEST(VarintTest, SmallMagnitudesAreCompact) {
+  ByteBuffer buf;
+  PutSVarint(-3, &buf);
+  EXPECT_EQ(buf.size(), 1u);  // zigzag keeps small negatives in one byte
+}
+
+types::Schema FlatSchema() {
+  types::Schema s;
+  s.AddField(types::Field("ID", TypeDesc::Int64(), false));
+  s.AddField(types::Field("NAME", TypeDesc::Varchar(50)));
+  s.AddField(types::Field("D", TypeDesc::Date()));
+  s.AddField(types::Field("AMT", TypeDesc::Decimal(10, 2)));
+  s.AddField(types::Field("F", TypeDesc::Float64()));
+  s.AddField(types::Field("B", TypeDesc::Boolean()));
+  return s;
+}
+
+TEST(TdfFlatTest, RoundTrip) {
+  TdfWriter writer(TdfSchema::FromFlat(FlatSchema()));
+  types::Row row1{Value::Int(1), Value::String("alpha"),
+                  Value::Date(types::DaysFromYmd(2020, 1, 1).ValueOrDie()),
+                  Value::Dec(types::Decimal(1999, 2)), Value::Float(0.5), Value::Boolean(true)};
+  types::Row row2{Value::Int(2), Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+                  Value::Null()};
+  ASSERT_TRUE(writer.AppendFlatRow(row1).ok());
+  ASSERT_TRUE(writer.AppendFlatRow(row2).ok());
+  ByteBuffer packet = writer.Finish();
+
+  auto reader = TdfReader::Open(packet.AsSlice());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto rows = reader->ToFlatRows().ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], row1);
+  EXPECT_EQ(rows[1], row2);
+}
+
+TEST(TdfFlatTest, SchemaSurvives) {
+  TdfWriter writer(TdfSchema::FromFlat(FlatSchema()));
+  ByteBuffer packet = writer.Finish();
+  auto reader = TdfReader::Open(packet.AsSlice()).ValueOrDie();
+  EXPECT_EQ(reader.schema().ToFlat().ValueOrDie(), FlatSchema());
+}
+
+TEST(TdfFlatTest, WriterReusableAfterFinish) {
+  TdfWriter writer(TdfSchema::FromFlat(FlatSchema()));
+  types::Row row{Value::Int(1), Value::String("x"), Value::Null(), Value::Null(),
+                 Value::Null(), Value::Null()};
+  writer.AppendFlatRow(row).ok();
+  ByteBuffer p1 = writer.Finish();
+  EXPECT_EQ(writer.row_count(), 0u);
+  writer.AppendFlatRow(row).ok();
+  writer.AppendFlatRow(row).ok();
+  ByteBuffer p2 = writer.Finish();
+  EXPECT_EQ(TdfReader::Open(p1.AsSlice()).ValueOrDie().rows().size(), 1u);
+  EXPECT_EQ(TdfReader::Open(p2.AsSlice()).ValueOrDie().rows().size(), 2u);
+}
+
+TEST(TdfTest, ArityMismatchRejected) {
+  TdfWriter writer(TdfSchema::FromFlat(FlatSchema()));
+  EXPECT_FALSE(writer.AppendFlatRow({Value::Int(1)}).ok());
+}
+
+TEST(TdfTest, NonNullableFieldRejectsNull) {
+  TdfWriter writer(TdfSchema::FromFlat(FlatSchema()));
+  types::Row row{Value::Null(), Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+                 Value::Null()};
+  EXPECT_TRUE(writer.AppendFlatRow(row).IsTypeError());  // ID not nullable
+}
+
+TEST(TdfTest, TypeMismatchRejected) {
+  TdfWriter writer(TdfSchema::FromFlat(FlatSchema()));
+  types::Row row{Value::String("not an int"), Value::Null(), Value::Null(), Value::Null(),
+                 Value::Null(), Value::Null()};
+  EXPECT_TRUE(writer.AppendFlatRow(row).IsTypeError());
+}
+
+TEST(TdfTest, BadMagicRejected) {
+  ByteBuffer junk;
+  junk.AppendU32(0x11111111);
+  junk.AppendU16(1);
+  EXPECT_TRUE(TdfReader::Open(junk.AsSlice()).status().IsProtocolError());
+}
+
+TEST(TdfTest, UnknownSectionsAreSkipped) {
+  // Extensibility: splice an unknown section between schema and rows.
+  TdfWriter writer(TdfSchema::FromFlat(FlatSchema()));
+  types::Row row{Value::Int(5), Value::String("x"), Value::Null(), Value::Null(), Value::Null(),
+                 Value::Null()};
+  writer.AppendFlatRow(row).ok();
+  ByteBuffer packet = writer.Finish();
+
+  // Rebuild: header | schema section | unknown section | rows section.
+  // Parse the original to find section boundaries.
+  ByteReader r(packet.AsSlice());
+  r.Skip(6).ok();  // magic + version
+  r.ReadByte().ValueOrDie();
+  auto schema_body = r.ReadLengthPrefixed32().ValueOrDie();
+  ByteBuffer spliced;
+  spliced.AppendBytes(packet.data(), 6);
+  spliced.AppendByte(1);
+  spliced.AppendU32(static_cast<uint32_t>(schema_body.size()));
+  spliced.AppendSlice(schema_body);
+  spliced.AppendByte(99);  // unknown tag
+  spliced.AppendU32(4);
+  spliced.AppendU32(0xDEADBEEF);
+  size_t rest_offset = 6 + 1 + 4 + schema_body.size();
+  spliced.AppendBytes(packet.data() + rest_offset, packet.size() - rest_offset);
+
+  auto reader = TdfReader::Open(spliced.AsSlice());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->rows().size(), 1u);
+}
+
+// --- nested data -------------------------------------------------------------
+
+TdfSchema NestedSchema() {
+  TdfSchema schema;
+  schema.fields.push_back(TdfField::Scalar("ID", TypeDesc::Int64(), false));
+  schema.fields.push_back(
+      TdfField::List("TAGS", TdfField::Scalar("item", TypeDesc::Varchar(20))));
+  schema.fields.push_back(TdfField::Struct(
+      "ADDR", {TdfField::Scalar("CITY", TypeDesc::Varchar(30)),
+               TdfField::Scalar("ZIP", TypeDesc::Int32())}));
+  // Arbitrarily nested: list of structs of lists.
+  schema.fields.push_back(TdfField::List(
+      "ORDERS",
+      TdfField::Struct("order", {TdfField::Scalar("AMT", TypeDesc::Decimal(10, 2)),
+                                 TdfField::List("ITEMS", TdfField::Scalar(
+                                                             "sku", TypeDesc::Varchar(10)))})));
+  return schema;
+}
+
+TEST(TdfNestedTest, RoundTripDeepNesting) {
+  TdfWriter writer(NestedSchema());
+  TdfRow row;
+  row.emplace_back(Value::Int(7));
+  row.push_back(TdfValue::MakeList({TdfValue(Value::String("red")),
+                                    TdfValue(Value::String("blue"))}));
+  row.push_back(TdfValue::MakeStruct({TdfValue(Value::String("Berlin")),
+                                      TdfValue(Value::Int(10115))}));
+  TdfValue order1 = TdfValue::MakeStruct(
+      {TdfValue(Value::Dec(types::Decimal(995, 2))),
+       TdfValue::MakeList({TdfValue(Value::String("SKU1")), TdfValue(Value::String("SKU2"))})});
+  TdfValue order2 = TdfValue::MakeStruct(
+      {TdfValue(Value::Dec(types::Decimal(100, 2))), TdfValue::MakeList({})});
+  row.push_back(TdfValue::MakeList({order1, order2}));
+
+  ASSERT_TRUE(writer.AppendRow(row).ok());
+  ByteBuffer packet = writer.Finish();
+  auto reader = TdfReader::Open(packet.AsSlice());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_EQ(reader->rows().size(), 1u);
+  EXPECT_EQ(reader->rows()[0], row);
+  EXPECT_EQ(reader->schema(), NestedSchema());
+}
+
+TEST(TdfNestedTest, NullNestedValues) {
+  TdfWriter writer(NestedSchema());
+  TdfRow row;
+  row.emplace_back(Value::Int(1));
+  row.emplace_back(Value::Null());  // null list
+  row.emplace_back(Value::Null());  // null struct
+  row.emplace_back(Value::Null());
+  ASSERT_TRUE(writer.AppendRow(row).ok());
+  auto packet = writer.Finish();
+  auto reader = TdfReader::Open(packet.AsSlice()).ValueOrDie();
+  EXPECT_TRUE(reader.rows()[0][1].is_null());
+}
+
+TEST(TdfNestedTest, FlatViewRejectsNestedSchema) {
+  TdfWriter writer(NestedSchema());
+  auto packet = writer.Finish();
+  auto reader = TdfReader::Open(packet.AsSlice()).ValueOrDie();
+  EXPECT_TRUE(reader.ToFlatRows().status().IsTypeError());
+}
+
+TEST(TdfNestedTest, StructArityEnforced) {
+  TdfWriter writer(NestedSchema());
+  TdfRow row;
+  row.emplace_back(Value::Int(1));
+  row.emplace_back(TdfValue::MakeList({}));
+  row.push_back(TdfValue::MakeStruct({TdfValue(Value::String("x"))}));  // 1 of 2 members
+  row.emplace_back(Value::Null());
+  EXPECT_TRUE(writer.AppendRow(row).IsTypeError());
+}
+
+TEST(TdfPropertyTest, RandomFlatRowsRoundTrip) {
+  common::Random rng(2024);
+  types::Schema schema = FlatSchema();
+  TdfWriter writer(TdfSchema::FromFlat(schema));
+  std::vector<types::Row> rows;
+  for (int i = 0; i < 500; ++i) {
+    types::Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(rng.NextU64())));
+    row.push_back(rng.NextBool(0.2) ? Value::Null()
+                                    : Value::String(rng.NextAlnum(rng.NextBounded(30))));
+    row.push_back(rng.NextBool(0.2)
+                      ? Value::Null()
+                      : Value::Date(static_cast<int32_t>(rng.NextInRange(-50000, 50000))));
+    row.push_back(rng.NextBool(0.2)
+                      ? Value::Null()
+                      : Value::Dec(types::Decimal(rng.NextInRange(-1000000, 1000000), 2)));
+    row.push_back(rng.NextBool(0.2) ? Value::Null() : Value::Float(rng.NextDouble() * 1e6));
+    row.push_back(rng.NextBool(0.2) ? Value::Null() : Value::Boolean(rng.NextBool()));
+    ASSERT_TRUE(writer.AppendFlatRow(row).ok());
+    rows.push_back(std::move(row));
+  }
+  ByteBuffer packet = writer.Finish();
+  auto reader = TdfReader::Open(packet.AsSlice()).ValueOrDie();
+  auto decoded = reader.ToFlatRows().ValueOrDie();
+  ASSERT_EQ(decoded.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(decoded[i], rows[i]) << i;
+}
+
+}  // namespace
+}  // namespace hyperq::tdf

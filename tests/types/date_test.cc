@@ -1,0 +1,137 @@
+#include "types/date.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::types {
+namespace {
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(DaysFromYmd(1970, 1, 1).ValueOrDie(), 0);
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DaysFromYmd(1970, 1, 2).ValueOrDie(), 1);
+  EXPECT_EQ(DaysFromYmd(2000, 1, 1).ValueOrDie(), 10957);
+  EXPECT_EQ(DaysFromYmd(1969, 12, 31).ValueOrDie(), -1);
+}
+
+TEST(DateTest, RoundTripYmd) {
+  for (int32_t days : {-100000, -1, 0, 1, 10957, 20000, 100000}) {
+    YearMonthDay ymd = YmdFromDays(days);
+    EXPECT_EQ(DaysFromYmd(ymd.year, ymd.month, ymd.day).ValueOrDie(), days);
+  }
+}
+
+TEST(DateTest, ValidityChecks) {
+  EXPECT_TRUE(IsValidDate(2020, 2, 29));   // leap year
+  EXPECT_FALSE(IsValidDate(2021, 2, 29));  // not a leap year
+  EXPECT_FALSE(IsValidDate(1900, 2, 29));  // century non-leap
+  EXPECT_TRUE(IsValidDate(2000, 2, 29));   // 400-year leap
+  EXPECT_FALSE(IsValidDate(2020, 13, 1));
+  EXPECT_FALSE(IsValidDate(2020, 0, 1));
+  EXPECT_FALSE(IsValidDate(2020, 4, 31));
+  EXPECT_FALSE(IsValidDate(2020, 1, 0));
+}
+
+TEST(DateTest, ParseIsoFormat) {
+  EXPECT_EQ(ParseDate("2012-01-01", "YYYY-MM-DD").ValueOrDie(),
+            DaysFromYmd(2012, 1, 1).ValueOrDie());
+}
+
+TEST(DateTest, ParseAlternativeSeparators) {
+  EXPECT_EQ(ParseDate("01/02/2012", "DD/MM/YYYY").ValueOrDie(),
+            DaysFromYmd(2012, 2, 1).ValueOrDie());
+  EXPECT_EQ(ParseDate("31.12.1999", "DD.MM.YYYY").ValueOrDie(),
+            DaysFromYmd(1999, 12, 31).ValueOrDie());
+}
+
+TEST(DateTest, ParsePositionalFormat) {
+  EXPECT_EQ(ParseDate("20121231", "YYYYMMDD").ValueOrDie(),
+            DaysFromYmd(2012, 12, 31).ValueOrDie());
+}
+
+TEST(DateTest, TwoDigitYearCenturyWindow) {
+  // Legacy window: 00-29 -> 2000s, 30-99 -> 1900s.
+  EXPECT_EQ(YmdFromDays(ParseDate("12/06/15", "YY/MM/DD").ValueOrDie()).year, 2012);
+  EXPECT_EQ(YmdFromDays(ParseDate("85/06/15", "YY/MM/DD").ValueOrDie()).year, 1985);
+}
+
+TEST(DateTest, ParseRejectsMalformedText) {
+  EXPECT_FALSE(ParseDate("xxxx", "YYYY-MM-DD").ok());
+  EXPECT_FALSE(ParseDate("2012-13-01", "YYYY-MM-DD").ok());  // bad month
+  EXPECT_FALSE(ParseDate("2012-02-30", "YYYY-MM-DD").ok());  // bad day
+  EXPECT_FALSE(ParseDate("2012/01/01", "YYYY-MM-DD").ok());  // wrong separator
+  EXPECT_FALSE(ParseDate("2012-01", "YYYY-MM-DD").ok());     // truncated
+  EXPECT_FALSE(ParseDate("2012-01-011", "YYYY-MM-DD").ok()); // trailing garbage
+  EXPECT_FALSE(ParseDate("", "YYYY-MM-DD").ok());
+}
+
+TEST(DateTest, ParseErrorMessageMentionsDateConversion) {
+  auto r = ParseDate("yyyyy", "YYYY-MM-DD");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("DATE conversion failed"), std::string::npos);
+}
+
+TEST(DateTest, FormatDatePatterns) {
+  DateDays d = DaysFromYmd(2012, 12, 1).ValueOrDie();
+  EXPECT_EQ(FormatDate(d, "YYYY-MM-DD").ValueOrDie(), "2012-12-01");
+  EXPECT_EQ(FormatDate(d, "YY/MM/DD").ValueOrDie(), "12/12/01");
+  EXPECT_EQ(FormatDate(d, "DD.MM.YYYY").ValueOrDie(), "01.12.2012");
+  EXPECT_EQ(FormatDate(d, "YYYYMMDD").ValueOrDie(), "20121201");
+}
+
+TEST(DateTest, LegacyDefaultDisplayMatchesPaperFigure5) {
+  // Figure 5 shows 2012-12-01 displayed as 12/12/01.
+  DateDays d = DaysFromYmd(2012, 12, 1).ValueOrDie();
+  EXPECT_EQ(FormatDateLegacyDefault(d), "12/12/01");
+}
+
+TEST(DateTest, IsoHelper) {
+  EXPECT_EQ(FormatDateIso(DaysFromYmd(1999, 1, 31).ValueOrDie()), "1999-01-31");
+}
+
+TEST(DateTest, ParseFormatRoundTripProperty) {
+  const char* formats[] = {"YYYY-MM-DD", "DD/MM/YYYY", "YYYYMMDD", "YY.MM.DD"};
+  for (const char* fmt : formats) {
+    for (int32_t days = -3000; days <= 30000; days += 997) {
+      auto text = FormatDate(days, fmt);
+      ASSERT_TRUE(text.ok());
+      auto back = ParseDate(*text, fmt);
+      ASSERT_TRUE(back.ok()) << *text << " / " << fmt;
+      if (std::string(fmt).find("YYYY") != std::string::npos) {
+        EXPECT_EQ(*back, days);
+      }
+    }
+  }
+}
+
+TEST(TimestampTest, ParseIso) {
+  auto ts = ParseTimestampIso("1970-01-01 00:00:01");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, 1000000);
+}
+
+TEST(TimestampTest, ParseWithFraction) {
+  EXPECT_EQ(ParseTimestampIso("1970-01-01 00:00:00.5").ValueOrDie(), 500000);
+  EXPECT_EQ(ParseTimestampIso("1970-01-01 00:00:00.000001").ValueOrDie(), 1);
+}
+
+TEST(TimestampTest, DateOnlyIsMidnight) {
+  EXPECT_EQ(ParseTimestampIso("1970-01-02").ValueOrDie(), 86400000000LL);
+}
+
+TEST(TimestampTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseTimestampIso("1970-01-01 25:00:00").ok());
+  EXPECT_FALSE(ParseTimestampIso("1970-01-01 00:61:00").ok());
+  EXPECT_FALSE(ParseTimestampIso("notatimestamp").ok());
+  EXPECT_FALSE(ParseTimestampIso("1970-01-01T00:00:00Z").ok());  // trailing Z
+}
+
+TEST(TimestampTest, FormatRoundTrip) {
+  int64_t micros = ParseTimestampIso("2023-06-15 13:45:30.123456").ValueOrDie();
+  EXPECT_EQ(FormatTimestampIso(micros), "2023-06-15 13:45:30.123456");
+  EXPECT_EQ(ParseTimestampIso(FormatTimestampIso(micros)).ValueOrDie(), micros);
+}
+
+}  // namespace
+}  // namespace hyperq::types

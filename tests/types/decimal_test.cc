@@ -1,0 +1,102 @@
+#include "types/decimal.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hyperq::types {
+namespace {
+
+TEST(DecimalTest, ParseBasic) {
+  EXPECT_EQ(Decimal::Parse("12.34", 2).ValueOrDie().unscaled(), 1234);
+  EXPECT_EQ(Decimal::Parse("-12.34", 2).ValueOrDie().unscaled(), -1234);
+  EXPECT_EQ(Decimal::Parse("5", 2).ValueOrDie().unscaled(), 500);
+  EXPECT_EQ(Decimal::Parse("+7.5", 1).ValueOrDie().unscaled(), 75);
+  EXPECT_EQ(Decimal::Parse("0.01", 2).ValueOrDie().unscaled(), 1);
+}
+
+TEST(DecimalTest, ParsePadsShortFraction) {
+  EXPECT_EQ(Decimal::Parse("1.5", 3).ValueOrDie().unscaled(), 1500);
+}
+
+TEST(DecimalTest, ParseRoundsHalfAwayFromZero) {
+  EXPECT_EQ(Decimal::Parse("1.005", 2).ValueOrDie().unscaled(), 101);
+  EXPECT_EQ(Decimal::Parse("1.004", 2).ValueOrDie().unscaled(), 100);
+}
+
+TEST(DecimalTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Decimal::Parse("", 2).ok());
+  EXPECT_FALSE(Decimal::Parse("abc", 2).ok());
+  EXPECT_FALSE(Decimal::Parse("1.2.3", 2).ok());
+  EXPECT_FALSE(Decimal::Parse("12a", 2).ok());
+  EXPECT_FALSE(Decimal::Parse("-", 0).ok());
+}
+
+TEST(DecimalTest, ParseRejectsOverflow) {
+  EXPECT_FALSE(Decimal::Parse("9999999999999999999", 0).ok());  // 19 nines
+  EXPECT_TRUE(Decimal::Parse("999999999999999999", 0).ok());    // 18 nines
+  EXPECT_FALSE(Decimal::Parse("99999999999999999", 2).ok());    // overflows at scale 2
+}
+
+TEST(DecimalTest, ToStringFixedPoint) {
+  EXPECT_EQ(Decimal(1234, 2).ToString(), "12.34");
+  EXPECT_EQ(Decimal(-1234, 2).ToString(), "-12.34");
+  EXPECT_EQ(Decimal(5, 0).ToString(), "5");
+  EXPECT_EQ(Decimal(5, 3).ToString(), "0.005");
+  EXPECT_EQ(Decimal(0, 2).ToString(), "0.00");
+}
+
+TEST(DecimalTest, RoundTripParsePrint) {
+  for (const char* text : {"0.00", "123.45", "-0.01", "999.99", "1.00"}) {
+    auto d = Decimal::Parse(text, 2);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->ToString(), text);
+  }
+}
+
+TEST(DecimalTest, RescaleWidens) {
+  Decimal d(125, 1);  // 12.5
+  EXPECT_EQ(d.Rescale(3).ValueOrDie().unscaled(), 12500);
+}
+
+TEST(DecimalTest, RescaleNarrowsWithRounding) {
+  EXPECT_EQ(Decimal(125, 1).Rescale(0).ValueOrDie().unscaled(), 13);  // 12.5 -> 13
+  EXPECT_EQ(Decimal(-125, 1).Rescale(0).ValueOrDie().unscaled(), -13);
+  EXPECT_EQ(Decimal(124, 1).Rescale(0).ValueOrDie().unscaled(), 12);
+}
+
+TEST(DecimalTest, Arithmetic) {
+  Decimal a(150, 2);  // 1.50
+  Decimal b(25, 1);   // 2.5
+  EXPECT_EQ(a.Add(b).ValueOrDie().ToString(), "4.00");
+  EXPECT_EQ(a.Subtract(b).ValueOrDie().ToString(), "-1.00");
+  EXPECT_EQ(a.Multiply(b).ValueOrDie().ToString(), "3.750");
+}
+
+TEST(DecimalTest, AdditionOverflowFails) {
+  Decimal big(999999999999999999LL, 0);
+  EXPECT_FALSE(big.Add(Decimal(1, 0)).ok());
+}
+
+TEST(DecimalTest, CompareAcrossScales) {
+  EXPECT_EQ(Decimal(150, 2).Compare(Decimal(15, 1)), 0);  // 1.50 == 1.5
+  EXPECT_LT(Decimal(149, 2).Compare(Decimal(15, 1)), 0);
+  EXPECT_GT(Decimal(151, 2).Compare(Decimal(15, 1)), 0);
+  EXPECT_LT(Decimal(-1, 0).Compare(Decimal(1, 0)), 0);
+}
+
+TEST(DecimalTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Decimal(1234, 2).ToDouble(), 12.34);
+  EXPECT_EQ(Decimal(1299, 2).ToInt64(), 12);  // truncation toward zero
+  EXPECT_EQ(Decimal(-1299, 2).ToInt64(), -12);
+  EXPECT_EQ(Decimal::FromInt64(7, 3).unscaled(), 7000);
+  EXPECT_EQ(Decimal::FromDouble(12.345, 2).ValueOrDie().unscaled(), 1235);  // rounds
+}
+
+TEST(DecimalTest, FromDoubleRejectsOutOfRange) {
+  EXPECT_FALSE(Decimal::FromDouble(1e19, 2).ok());
+  EXPECT_FALSE(Decimal::FromDouble(std::numeric_limits<double>::infinity(), 0).ok());
+}
+
+}  // namespace
+}  // namespace hyperq::types

@@ -1,0 +1,57 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::types {
+namespace {
+
+Schema MakeTestSchema() {
+  Schema s;
+  s.AddField(Field("CUST_ID", TypeDesc::Varchar(5), /*nullable=*/false));
+  s.AddField(Field("CUST_NAME", TypeDesc::Varchar(50)));
+  s.AddField(Field("JOIN_DATE", TypeDesc::Date()));
+  return s;
+}
+
+TEST(SchemaTest, FieldAccess) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.field(0).name, "CUST_ID");
+  EXPECT_EQ(s.field(2).type.id, TypeId::kDate);
+}
+
+TEST(SchemaTest, FieldIndexIsCaseInsensitive) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.FieldIndex("cust_id"), 0);
+  EXPECT_EQ(s.FieldIndex("Join_Date"), 2);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+}
+
+TEST(SchemaTest, RequireFieldIndex) {
+  Schema s = MakeTestSchema();
+  EXPECT_EQ(s.RequireFieldIndex("CUST_NAME").ValueOrDie(), 1u);
+  EXPECT_TRUE(s.RequireFieldIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema s = MakeTestSchema();
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("CUST_ID VARCHAR(5) NOT NULL"), std::string::npos);
+  EXPECT_NE(text.find("JOIN_DATE DATE"), std::string::npos);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(MakeTestSchema(), MakeTestSchema());
+  Schema other = MakeTestSchema();
+  other.AddField(Field("EXTRA", TypeDesc::Int32()));
+  EXPECT_FALSE(MakeTestSchema() == other);
+}
+
+TEST(RowByteSizeTest, CountsStringPayload) {
+  Row small{Value::Int(1)};
+  Row with_string{Value::Int(1), Value::String(std::string(100, 'x'))};
+  EXPECT_GT(RowByteSize(with_string), RowByteSize(small) + 90);
+}
+
+}  // namespace
+}  // namespace hyperq::types

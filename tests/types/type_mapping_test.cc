@@ -1,0 +1,49 @@
+#include "types/type_mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::types {
+namespace {
+
+TEST(TypeMappingTest, ByteintWidensToSmallint) {
+  EXPECT_EQ(MapLegacyTypeToCdw(TypeDesc::Int8()).ValueOrDie(), TypeDesc::Int16());
+}
+
+TEST(TypeMappingTest, WideCharBecomesVarchar) {
+  auto mapped = MapLegacyTypeToCdw(TypeDesc::Char(1000)).ValueOrDie();
+  EXPECT_EQ(mapped.id, TypeId::kVarchar);
+  EXPECT_EQ(mapped.length, 1000);
+}
+
+TEST(TypeMappingTest, NarrowCharStaysChar) {
+  EXPECT_EQ(MapLegacyTypeToCdw(TypeDesc::Char(10)).ValueOrDie(), TypeDesc::Char(10));
+}
+
+TEST(TypeMappingTest, UnicodePreserved) {
+  // The paper: "a Unicode character type in the source script could be
+  // mapped to the national varchar type in the CDW type system".
+  auto mapped = MapLegacyTypeToCdw(TypeDesc::Varchar(20, CharSet::kUnicode)).ValueOrDie();
+  EXPECT_EQ(mapped.charset, CharSet::kUnicode);
+}
+
+TEST(TypeMappingTest, IdentityForCommonTypes) {
+  for (auto t : {TypeDesc::Int32(), TypeDesc::Int64(), TypeDesc::Float64(), TypeDesc::Date(),
+                 TypeDesc::Timestamp(), TypeDesc::Varchar(99), TypeDesc::Decimal(18, 4)}) {
+    EXPECT_EQ(MapLegacyTypeToCdw(t).ValueOrDie(), t);
+  }
+}
+
+TEST(TypeMappingTest, SchemaMappingPreservesNamesAndNullability) {
+  Schema legacy;
+  legacy.AddField(Field("A", TypeDesc::Int8(), /*nullable=*/false));
+  legacy.AddField(Field("B", TypeDesc::Char(500)));
+  auto mapped = MapLegacySchemaToCdw(legacy).ValueOrDie();
+  ASSERT_EQ(mapped.num_fields(), 2u);
+  EXPECT_EQ(mapped.field(0).name, "A");
+  EXPECT_FALSE(mapped.field(0).nullable);
+  EXPECT_EQ(mapped.field(0).type, TypeDesc::Int16());
+  EXPECT_EQ(mapped.field(1).type.id, TypeId::kVarchar);
+}
+
+}  // namespace
+}  // namespace hyperq::types

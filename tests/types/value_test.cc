@@ -1,0 +1,161 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperq::types {
+namespace {
+
+TEST(ValueTest, NullDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_TRUE(Value::Boolean(true).is_boolean());
+  EXPECT_TRUE(Value::Int(5).is_int());
+  EXPECT_TRUE(Value::Float(1.5).is_float());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::Dec(Decimal(1, 0)).is_decimal());
+  EXPECT_TRUE(Value::Date(0).is_date());
+  EXPECT_TRUE(Value::Timestamp(0).is_timestamp());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("abc").ToString(), "'abc'");
+  EXPECT_EQ(Value::Boolean(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::Dec(Decimal(1234, 2)).ToString(), "12.34");
+  EXPECT_EQ(Value::Date(DaysFromYmd(2012, 1, 1).ValueOrDie()).ToString(), "2012-01-01");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Int(2));
+  EXPECT_FALSE(Value::Int(1) == Value::Float(1.0));  // different families
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CompareNullsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareNumericCrossFamily) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Float(2.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Dec(Decimal(15, 1))), 0);  // 1 < 1.5
+  EXPECT_GT(Value::Float(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareStringsAndDates) {
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  EXPECT_LT(Value::Date(1).Compare(Value::Date(2)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::String("xy").Hash(), Value::String("xy").Hash());
+  EXPECT_NE(Value::Int(7).Hash(), Value::Int(8).Hash());
+}
+
+// --- CastValue --------------------------------------------------------------
+
+TEST(CastValueTest, NullCastsToAnything) {
+  for (auto type : {TypeDesc::Int32(), TypeDesc::Varchar(5), TypeDesc::Date(),
+                    TypeDesc::Decimal(10, 2), TypeDesc::Boolean()}) {
+    auto r = CastValue(Value::Null(), type);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->is_null());
+  }
+}
+
+TEST(CastValueTest, StringToInt) {
+  EXPECT_EQ(CastValue(Value::String(" 42 "), TypeDesc::Int32()).ValueOrDie().int_value(), 42);
+  EXPECT_EQ(CastValue(Value::String("-7"), TypeDesc::Int64()).ValueOrDie().int_value(), -7);
+  EXPECT_FALSE(CastValue(Value::String("4x"), TypeDesc::Int32()).ok());
+  EXPECT_FALSE(CastValue(Value::String(""), TypeDesc::Int32()).ok());
+}
+
+TEST(CastValueTest, IntRangeChecks) {
+  EXPECT_FALSE(CastValue(Value::Int(300), TypeDesc::Int8()).ok());
+  EXPECT_TRUE(CastValue(Value::Int(127), TypeDesc::Int8()).ok());
+  EXPECT_FALSE(CastValue(Value::Int(70000), TypeDesc::Int16()).ok());
+  EXPECT_FALSE(CastValue(Value::String("3000000000"), TypeDesc::Int32()).ok());
+}
+
+TEST(CastValueTest, StringToDateWithFormat) {
+  auto r = CastValue(Value::String("01/12/2012"), TypeDesc::Date(), "DD/MM/YYYY");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(YmdFromDays(r->date_days()).month, 12);
+}
+
+TEST(CastValueTest, StringToDateDefaultIso) {
+  EXPECT_TRUE(CastValue(Value::String("2012-01-01"), TypeDesc::Date()).ok());
+  EXPECT_FALSE(CastValue(Value::String("xxxx"), TypeDesc::Date()).ok());
+}
+
+TEST(CastValueTest, StringToDecimal) {
+  auto r = CastValue(Value::String("12.345"), TypeDesc::Decimal(10, 2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->decimal_value().ToString(), "12.35");  // rounded to scale
+}
+
+TEST(CastValueTest, CharBlankPads) {
+  auto r = CastValue(Value::String("ab"), TypeDesc::Char(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string_value(), "ab   ");
+}
+
+TEST(CastValueTest, VarcharOverflowFails) {
+  EXPECT_FALSE(CastValue(Value::String("abcdef"), TypeDesc::Varchar(3)).ok());
+  // Trailing blanks may truncate silently.
+  EXPECT_TRUE(CastValue(Value::String("ab    "), TypeDesc::Varchar(3)).ok());
+}
+
+TEST(CastValueTest, NumericWidening) {
+  EXPECT_EQ(CastValue(Value::Int(5), TypeDesc::Float64()).ValueOrDie().float_value(), 5.0);
+  EXPECT_EQ(CastValue(Value::Int(5), TypeDesc::Decimal(10, 0)).ValueOrDie()
+                .decimal_value()
+                .unscaled(),
+            5);
+}
+
+TEST(CastValueTest, DateToString) {
+  Value d = Value::Date(DaysFromYmd(2012, 12, 1).ValueOrDie());
+  EXPECT_EQ(CastValue(d, TypeDesc::Varchar(20)).ValueOrDie().string_value(), "2012-12-01");
+  EXPECT_EQ(CastValue(d, TypeDesc::Varchar(20), "YY/MM/DD").ValueOrDie().string_value(),
+            "12/12/01");
+}
+
+TEST(CastValueTest, TimestampDateInterplay) {
+  Value ts = Value::Timestamp(86400000000LL + 3600000000LL);  // 1970-01-02 01:00
+  auto d = CastValue(ts, TypeDesc::Date());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->date_days(), 1);
+  auto back = CastValue(*d, TypeDesc::Timestamp());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->timestamp_micros(), 86400000000LL);
+}
+
+TEST(CastValueTest, BooleanCasts) {
+  EXPECT_TRUE(CastValue(Value::String("TRUE"), TypeDesc::Boolean()).ValueOrDie().boolean());
+  EXPECT_FALSE(CastValue(Value::String("0"), TypeDesc::Boolean()).ValueOrDie().boolean());
+  EXPECT_FALSE(CastValue(Value::String("maybe"), TypeDesc::Boolean()).ok());
+  EXPECT_EQ(CastValue(Value::Boolean(true), TypeDesc::Int32()).ValueOrDie().int_value(), 1);
+}
+
+TEST(CastValueTest, NumberToStringViaText) {
+  EXPECT_EQ(CastValue(Value::Int(42), TypeDesc::Varchar(10)).ValueOrDie().string_value(), "42");
+}
+
+TEST(ValueToCdwTextTest, Rendering) {
+  EXPECT_EQ(ValueToCdwText(Value::Boolean(true)), "1");
+  EXPECT_EQ(ValueToCdwText(Value::Int(-3)), "-3");
+  EXPECT_EQ(ValueToCdwText(Value::String("raw")), "raw");
+  EXPECT_EQ(ValueToCdwText(Value::Date(DaysFromYmd(2020, 5, 4).ValueOrDie())), "2020-05-04");
+  EXPECT_EQ(ValueToCdwText(Value::Dec(Decimal(105, 1))), "10.5");
+}
+
+}  // namespace
+}  // namespace hyperq::types

@@ -1,0 +1,152 @@
+#include "workload/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "workload/report.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hyperq::workload {
+namespace {
+
+TEST(DatasetTest, DeterministicGeneration) {
+  DatasetSpec spec;
+  spec.rows = 100;
+  spec.seed = 7;
+  CustomerDataset a(spec);
+  CustomerDataset b(spec);
+  for (uint64_t i = 0; i < spec.rows; ++i) EXPECT_EQ(a.MakeLine(i), b.MakeLine(i));
+}
+
+TEST(DatasetTest, RowWidthApproximatelyRespected) {
+  for (size_t width : {250u, 500u, 1000u, 2000u}) {
+    DatasetSpec spec;
+    spec.rows = 50;
+    spec.row_bytes = width;
+    CustomerDataset dataset(spec);
+    size_t total = 0;
+    for (uint64_t i = 0; i < spec.rows; ++i) total += dataset.MakeLine(i).size();
+    double avg = static_cast<double>(total) / spec.rows;
+    EXPECT_GT(avg, width * 0.7) << width;
+    EXPECT_LT(avg, width * 1.3) << width;
+  }
+}
+
+TEST(DatasetTest, FieldCountMatchesLayout) {
+  DatasetSpec spec;
+  spec.rows = 10;
+  spec.row_bytes = 500;
+  CustomerDataset dataset(spec);
+  auto layout = dataset.MakeLayout();
+  EXPECT_EQ(layout.num_fields(), dataset.num_fields());
+  std::string line = dataset.MakeLine(0);
+  EXPECT_EQ(common::Split(line, '|').size(), dataset.num_fields());
+}
+
+TEST(DatasetTest, ExplicitFieldCount) {
+  DatasetSpec spec;
+  spec.rows = 5;
+  spec.num_fields = 50;  // Figure 10's 50-column table
+  CustomerDataset dataset(spec);
+  EXPECT_EQ(dataset.num_fields(), 50u);
+  EXPECT_EQ(common::Split(dataset.MakeLine(0), '|').size(), 50u);
+}
+
+TEST(DatasetTest, ErrorInjectionRatesRoughlyHold) {
+  DatasetSpec spec;
+  spec.rows = 20000;
+  spec.bad_date_fraction = 0.05;
+  spec.duplicate_fraction = 0.02;
+  CustomerDataset dataset(spec);
+  EXPECT_NEAR(static_cast<double>(dataset.expected_bad_dates()) / spec.rows, 0.05, 0.01);
+  EXPECT_NEAR(static_cast<double>(dataset.expected_duplicates()) / spec.rows, 0.02, 0.006);
+}
+
+TEST(DatasetTest, NoErrorsWhenFractionZero) {
+  DatasetSpec spec;
+  spec.rows = 1000;
+  CustomerDataset dataset(spec);
+  EXPECT_EQ(dataset.expected_bad_dates(), 0u);
+  EXPECT_EQ(dataset.expected_duplicates(), 0u);
+  EXPECT_EQ(dataset.expected_short_rows(), 0u);
+}
+
+TEST(DatasetTest, UniqueKeysWithoutDuplicates) {
+  DatasetSpec spec;
+  spec.rows = 500;
+  CustomerDataset dataset(spec);
+  std::set<std::string> keys;
+  for (uint64_t i = 0; i < spec.rows; ++i) {
+    keys.insert(common::Split(dataset.MakeLine(i), '|')[0]);
+  }
+  EXPECT_EQ(keys.size(), spec.rows);
+}
+
+TEST(DatasetTest, DuplicatesReferenceEarlierKeys) {
+  DatasetSpec spec;
+  spec.rows = 2000;
+  spec.duplicate_fraction = 0.1;
+  CustomerDataset dataset(spec);
+  ASSERT_GT(dataset.expected_duplicates(), 0u);
+  std::vector<std::string> keys;
+  size_t dup_count = 0;
+  for (uint64_t i = 0; i < spec.rows; ++i) {
+    std::string key = common::Split(dataset.MakeLine(i), '|')[0];
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) ++dup_count;
+    keys.push_back(key);
+  }
+  EXPECT_EQ(dup_count, dataset.expected_duplicates());
+}
+
+TEST(DatasetTest, GeneratedDmlAndDdlParse) {
+  DatasetSpec spec;
+  spec.rows = 1;
+  CustomerDataset dataset(spec);
+  EXPECT_NE(dataset.MakeTargetDdl("T").find("UNIQUE PRIMARY INDEX (CUST_ID)"),
+            std::string::npos);
+  EXPECT_NE(dataset.MakeInsertDml("T").find("CAST(:JOIN_DATE AS DATE FORMAT 'YYYY-MM-DD')"),
+            std::string::npos);
+}
+
+TEST(DatasetTest, ImportScriptContainsAllSections) {
+  DatasetSpec spec;
+  spec.rows = 1;
+  CustomerDataset dataset(spec);
+  std::string script = dataset.MakeImportScript("hq", "T", "f.txt", 4, 10);
+  EXPECT_NE(script.find(".logon hq/"), std::string::npos);
+  EXPECT_NE(script.find(".sessions 4;"), std::string::npos);
+  EXPECT_NE(script.find(".set max_errors 10;"), std::string::npos);
+  EXPECT_NE(script.find(".begin import tables T errortables T_ET T_UV;"), std::string::npos);
+  EXPECT_NE(script.find(".end load;"), std::string::npos);
+}
+
+TEST(DatasetTest, WriteDataFileProducesAllRows) {
+  DatasetSpec spec;
+  spec.rows = 100;
+  CustomerDataset dataset(spec);
+  std::string path = "/tmp/hq_dataset_test.txt";
+  ASSERT_TRUE(dataset.WriteDataFile(path).ok());
+  auto records = dataset.MakeRecords();
+  EXPECT_EQ(records.size(), 100u);
+}
+
+TEST(ReportTableTest, RendersAlignedColumns) {
+  ReportTable table({"col_a", "b"});
+  table.AddRow({"1", "second"});
+  table.AddRow({"100", "x"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(ReportFormattersTest, Formats) {
+  EXPECT_EQ(FormatSeconds(1.23456), "1.235");
+  EXPECT_EQ(FormatPercent(0.5), "50.0%");
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+}
+
+}  // namespace
+}  // namespace hyperq::workload
