@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_filesize.dir/bench_ablation_filesize.cc.o"
+  "CMakeFiles/bench_ablation_filesize.dir/bench_ablation_filesize.cc.o.d"
+  "bench_ablation_filesize"
+  "bench_ablation_filesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sql.dir/bench_ablation_sql.cc.o"
+  "CMakeFiles/bench_ablation_sql.dir/bench_ablation_sql.cc.o.d"
+  "bench_ablation_sql"
+  "bench_ablation_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

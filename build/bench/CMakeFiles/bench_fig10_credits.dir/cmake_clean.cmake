@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_credits.dir/bench_fig10_credits.cc.o"
+  "CMakeFiles/bench_fig10_credits.dir/bench_fig10_credits.cc.o.d"
+  "bench_fig10_credits"
+  "bench_fig10_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_errors.dir/bench_fig11_errors.cc.o"
+  "CMakeFiles/bench_fig11_errors.dir/bench_fig11_errors.cc.o.d"
+  "bench_fig11_errors"
+  "bench_fig11_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

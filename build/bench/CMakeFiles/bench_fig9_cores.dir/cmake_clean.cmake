@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_cores.dir/bench_fig9_cores.cc.o"
+  "CMakeFiles/bench_fig9_cores.dir/bench_fig9_cores.cc.o.d"
+  "bench_fig9_cores"
+  "bench_fig9_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_handling.dir/error_handling.cpp.o"
+  "CMakeFiles/error_handling.dir/error_handling.cpp.o.d"
+  "error_handling"
+  "error_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

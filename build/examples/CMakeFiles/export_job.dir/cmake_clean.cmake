@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_job.dir/export_job.cpp.o"
+  "CMakeFiles/export_job.dir/export_job.cpp.o.d"
+  "export_job"
+  "export_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

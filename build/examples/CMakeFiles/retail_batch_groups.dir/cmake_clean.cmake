@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_batch_groups.dir/retail_batch_groups.cpp.o"
+  "CMakeFiles/retail_batch_groups.dir/retail_batch_groups.cpp.o.d"
+  "retail_batch_groups"
+  "retail_batch_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_batch_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

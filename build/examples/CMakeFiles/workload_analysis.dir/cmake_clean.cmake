@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_analysis.dir/workload_analysis.cpp.o"
+  "CMakeFiles/workload_analysis.dir/workload_analysis.cpp.o.d"
+  "workload_analysis"
+  "workload_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("legacy")
+subdirs("net")
+subdirs("sql")
+subdirs("etlscript")
+subdirs("tdf")
+subdirs("cloudstore")
+subdirs("cdw")
+subdirs("hyperq")
+subdirs("pipesim")
+subdirs("workload")
+subdirs("qinsight")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdw/catalog.cc" "src/cdw/CMakeFiles/hq_cdw.dir/catalog.cc.o" "gcc" "src/cdw/CMakeFiles/hq_cdw.dir/catalog.cc.o.d"
+  "/root/repo/src/cdw/cdw_server.cc" "src/cdw/CMakeFiles/hq_cdw.dir/cdw_server.cc.o" "gcc" "src/cdw/CMakeFiles/hq_cdw.dir/cdw_server.cc.o.d"
+  "/root/repo/src/cdw/copy.cc" "src/cdw/CMakeFiles/hq_cdw.dir/copy.cc.o" "gcc" "src/cdw/CMakeFiles/hq_cdw.dir/copy.cc.o.d"
+  "/root/repo/src/cdw/executor.cc" "src/cdw/CMakeFiles/hq_cdw.dir/executor.cc.o" "gcc" "src/cdw/CMakeFiles/hq_cdw.dir/executor.cc.o.d"
+  "/root/repo/src/cdw/expr_eval.cc" "src/cdw/CMakeFiles/hq_cdw.dir/expr_eval.cc.o" "gcc" "src/cdw/CMakeFiles/hq_cdw.dir/expr_eval.cc.o.d"
+  "/root/repo/src/cdw/staging_format.cc" "src/cdw/CMakeFiles/hq_cdw.dir/staging_format.cc.o" "gcc" "src/cdw/CMakeFiles/hq_cdw.dir/staging_format.cc.o.d"
+  "/root/repo/src/cdw/table.cc" "src/cdw/CMakeFiles/hq_cdw.dir/table.cc.o" "gcc" "src/cdw/CMakeFiles/hq_cdw.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/hq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudstore/CMakeFiles/hq_cloudstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_cdw.dir/catalog.cc.o"
+  "CMakeFiles/hq_cdw.dir/catalog.cc.o.d"
+  "CMakeFiles/hq_cdw.dir/cdw_server.cc.o"
+  "CMakeFiles/hq_cdw.dir/cdw_server.cc.o.d"
+  "CMakeFiles/hq_cdw.dir/copy.cc.o"
+  "CMakeFiles/hq_cdw.dir/copy.cc.o.d"
+  "CMakeFiles/hq_cdw.dir/executor.cc.o"
+  "CMakeFiles/hq_cdw.dir/executor.cc.o.d"
+  "CMakeFiles/hq_cdw.dir/expr_eval.cc.o"
+  "CMakeFiles/hq_cdw.dir/expr_eval.cc.o.d"
+  "CMakeFiles/hq_cdw.dir/staging_format.cc.o"
+  "CMakeFiles/hq_cdw.dir/staging_format.cc.o.d"
+  "CMakeFiles/hq_cdw.dir/table.cc.o"
+  "CMakeFiles/hq_cdw.dir/table.cc.o.d"
+  "libhq_cdw.a"
+  "libhq_cdw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_cdw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

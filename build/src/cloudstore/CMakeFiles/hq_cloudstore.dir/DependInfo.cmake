@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloudstore/bulk_loader.cc" "src/cloudstore/CMakeFiles/hq_cloudstore.dir/bulk_loader.cc.o" "gcc" "src/cloudstore/CMakeFiles/hq_cloudstore.dir/bulk_loader.cc.o.d"
+  "/root/repo/src/cloudstore/compression.cc" "src/cloudstore/CMakeFiles/hq_cloudstore.dir/compression.cc.o" "gcc" "src/cloudstore/CMakeFiles/hq_cloudstore.dir/compression.cc.o.d"
+  "/root/repo/src/cloudstore/object_store.cc" "src/cloudstore/CMakeFiles/hq_cloudstore.dir/object_store.cc.o" "gcc" "src/cloudstore/CMakeFiles/hq_cloudstore.dir/object_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_cloudstore.dir/bulk_loader.cc.o"
+  "CMakeFiles/hq_cloudstore.dir/bulk_loader.cc.o.d"
+  "CMakeFiles/hq_cloudstore.dir/compression.cc.o"
+  "CMakeFiles/hq_cloudstore.dir/compression.cc.o.d"
+  "CMakeFiles/hq_cloudstore.dir/object_store.cc.o"
+  "CMakeFiles/hq_cloudstore.dir/object_store.cc.o.d"
+  "libhq_cloudstore.a"
+  "libhq_cloudstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_cloudstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

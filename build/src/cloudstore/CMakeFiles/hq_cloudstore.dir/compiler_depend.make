@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hq_cloudstore.
+# This may be replaced when dependencies are built.

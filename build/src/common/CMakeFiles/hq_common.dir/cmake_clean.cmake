@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_common.dir/bytes.cc.o"
+  "CMakeFiles/hq_common.dir/bytes.cc.o.d"
+  "CMakeFiles/hq_common.dir/logging.cc.o"
+  "CMakeFiles/hq_common.dir/logging.cc.o.d"
+  "CMakeFiles/hq_common.dir/random.cc.o"
+  "CMakeFiles/hq_common.dir/random.cc.o.d"
+  "CMakeFiles/hq_common.dir/status.cc.o"
+  "CMakeFiles/hq_common.dir/status.cc.o.d"
+  "CMakeFiles/hq_common.dir/string_util.cc.o"
+  "CMakeFiles/hq_common.dir/string_util.cc.o.d"
+  "CMakeFiles/hq_common.dir/thread_pool.cc.o"
+  "CMakeFiles/hq_common.dir/thread_pool.cc.o.d"
+  "libhq_common.a"
+  "libhq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

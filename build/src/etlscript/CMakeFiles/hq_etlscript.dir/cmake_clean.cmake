@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_etlscript.dir/etl_client.cc.o"
+  "CMakeFiles/hq_etlscript.dir/etl_client.cc.o.d"
+  "CMakeFiles/hq_etlscript.dir/script_parser.cc.o"
+  "CMakeFiles/hq_etlscript.dir/script_parser.cc.o.d"
+  "libhq_etlscript.a"
+  "libhq_etlscript.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_etlscript.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

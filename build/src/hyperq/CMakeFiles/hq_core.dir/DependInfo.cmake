@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyperq/baseline_loader.cc" "src/hyperq/CMakeFiles/hq_core.dir/baseline_loader.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/baseline_loader.cc.o.d"
+  "/root/repo/src/hyperq/coalescer.cc" "src/hyperq/CMakeFiles/hq_core.dir/coalescer.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/coalescer.cc.o.d"
+  "/root/repo/src/hyperq/credit_manager.cc" "src/hyperq/CMakeFiles/hq_core.dir/credit_manager.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/credit_manager.cc.o.d"
+  "/root/repo/src/hyperq/data_converter.cc" "src/hyperq/CMakeFiles/hq_core.dir/data_converter.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/data_converter.cc.o.d"
+  "/root/repo/src/hyperq/error_handler.cc" "src/hyperq/CMakeFiles/hq_core.dir/error_handler.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/error_handler.cc.o.d"
+  "/root/repo/src/hyperq/export_job.cc" "src/hyperq/CMakeFiles/hq_core.dir/export_job.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/export_job.cc.o.d"
+  "/root/repo/src/hyperq/file_writer.cc" "src/hyperq/CMakeFiles/hq_core.dir/file_writer.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/file_writer.cc.o.d"
+  "/root/repo/src/hyperq/import_job.cc" "src/hyperq/CMakeFiles/hq_core.dir/import_job.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/import_job.cc.o.d"
+  "/root/repo/src/hyperq/server.cc" "src/hyperq/CMakeFiles/hq_core.dir/server.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/server.cc.o.d"
+  "/root/repo/src/hyperq/tdf_cursor.cc" "src/hyperq/CMakeFiles/hq_core.dir/tdf_cursor.cc.o" "gcc" "src/hyperq/CMakeFiles/hq_core.dir/tdf_cursor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/legacy/CMakeFiles/hq_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/hq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdf/CMakeFiles/hq_tdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudstore/CMakeFiles/hq_cloudstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdw/CMakeFiles/hq_cdw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_core.dir/baseline_loader.cc.o"
+  "CMakeFiles/hq_core.dir/baseline_loader.cc.o.d"
+  "CMakeFiles/hq_core.dir/coalescer.cc.o"
+  "CMakeFiles/hq_core.dir/coalescer.cc.o.d"
+  "CMakeFiles/hq_core.dir/credit_manager.cc.o"
+  "CMakeFiles/hq_core.dir/credit_manager.cc.o.d"
+  "CMakeFiles/hq_core.dir/data_converter.cc.o"
+  "CMakeFiles/hq_core.dir/data_converter.cc.o.d"
+  "CMakeFiles/hq_core.dir/error_handler.cc.o"
+  "CMakeFiles/hq_core.dir/error_handler.cc.o.d"
+  "CMakeFiles/hq_core.dir/export_job.cc.o"
+  "CMakeFiles/hq_core.dir/export_job.cc.o.d"
+  "CMakeFiles/hq_core.dir/file_writer.cc.o"
+  "CMakeFiles/hq_core.dir/file_writer.cc.o.d"
+  "CMakeFiles/hq_core.dir/import_job.cc.o"
+  "CMakeFiles/hq_core.dir/import_job.cc.o.d"
+  "CMakeFiles/hq_core.dir/server.cc.o"
+  "CMakeFiles/hq_core.dir/server.cc.o.d"
+  "CMakeFiles/hq_core.dir/tdf_cursor.cc.o"
+  "CMakeFiles/hq_core.dir/tdf_cursor.cc.o.d"
+  "libhq_core.a"
+  "libhq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legacy/message_stream.cc" "src/legacy/CMakeFiles/hq_legacy.dir/message_stream.cc.o" "gcc" "src/legacy/CMakeFiles/hq_legacy.dir/message_stream.cc.o.d"
+  "/root/repo/src/legacy/parcel.cc" "src/legacy/CMakeFiles/hq_legacy.dir/parcel.cc.o" "gcc" "src/legacy/CMakeFiles/hq_legacy.dir/parcel.cc.o.d"
+  "/root/repo/src/legacy/row_format.cc" "src/legacy/CMakeFiles/hq_legacy.dir/row_format.cc.o" "gcc" "src/legacy/CMakeFiles/hq_legacy.dir/row_format.cc.o.d"
+  "/root/repo/src/legacy/session.cc" "src/legacy/CMakeFiles/hq_legacy.dir/session.cc.o" "gcc" "src/legacy/CMakeFiles/hq_legacy.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hq_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

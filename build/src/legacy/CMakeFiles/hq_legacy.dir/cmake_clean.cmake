@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_legacy.dir/message_stream.cc.o"
+  "CMakeFiles/hq_legacy.dir/message_stream.cc.o.d"
+  "CMakeFiles/hq_legacy.dir/parcel.cc.o"
+  "CMakeFiles/hq_legacy.dir/parcel.cc.o.d"
+  "CMakeFiles/hq_legacy.dir/row_format.cc.o"
+  "CMakeFiles/hq_legacy.dir/row_format.cc.o.d"
+  "CMakeFiles/hq_legacy.dir/session.cc.o"
+  "CMakeFiles/hq_legacy.dir/session.cc.o.d"
+  "libhq_legacy.a"
+  "libhq_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_net.dir/transport.cc.o"
+  "CMakeFiles/hq_net.dir/transport.cc.o.d"
+  "libhq_net.a"
+  "libhq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_pipesim.dir/pipesim.cc.o"
+  "CMakeFiles/hq_pipesim.dir/pipesim.cc.o.d"
+  "libhq_pipesim.a"
+  "libhq_pipesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_pipesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_qinsight.dir/analyzer.cc.o"
+  "CMakeFiles/hq_qinsight.dir/analyzer.cc.o.d"
+  "libhq_qinsight.a"
+  "libhq_qinsight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_qinsight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

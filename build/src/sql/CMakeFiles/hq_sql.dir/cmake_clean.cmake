@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_sql.dir/binder.cc.o"
+  "CMakeFiles/hq_sql.dir/binder.cc.o.d"
+  "CMakeFiles/hq_sql.dir/lexer.cc.o"
+  "CMakeFiles/hq_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/hq_sql.dir/parser.cc.o"
+  "CMakeFiles/hq_sql.dir/parser.cc.o.d"
+  "CMakeFiles/hq_sql.dir/printer.cc.o"
+  "CMakeFiles/hq_sql.dir/printer.cc.o.d"
+  "CMakeFiles/hq_sql.dir/transpiler.cc.o"
+  "CMakeFiles/hq_sql.dir/transpiler.cc.o.d"
+  "libhq_sql.a"
+  "libhq_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_tdf.dir/tdf.cc.o"
+  "CMakeFiles/hq_tdf.dir/tdf.cc.o.d"
+  "libhq_tdf.a"
+  "libhq_tdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_tdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_types.dir/date.cc.o"
+  "CMakeFiles/hq_types.dir/date.cc.o.d"
+  "CMakeFiles/hq_types.dir/decimal.cc.o"
+  "CMakeFiles/hq_types.dir/decimal.cc.o.d"
+  "CMakeFiles/hq_types.dir/schema.cc.o"
+  "CMakeFiles/hq_types.dir/schema.cc.o.d"
+  "CMakeFiles/hq_types.dir/type.cc.o"
+  "CMakeFiles/hq_types.dir/type.cc.o.d"
+  "CMakeFiles/hq_types.dir/type_mapping.cc.o"
+  "CMakeFiles/hq_types.dir/type_mapping.cc.o.d"
+  "CMakeFiles/hq_types.dir/value.cc.o"
+  "CMakeFiles/hq_types.dir/value.cc.o.d"
+  "libhq_types.a"
+  "libhq_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/hq_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/hq_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/report.cc" "src/workload/CMakeFiles/hq_workload.dir/report.cc.o" "gcc" "src/workload/CMakeFiles/hq_workload.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/legacy/CMakeFiles/hq_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudstore/CMakeFiles/hq_cloudstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hq_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

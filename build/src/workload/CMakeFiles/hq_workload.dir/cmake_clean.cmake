@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_workload.dir/dataset.cc.o"
+  "CMakeFiles/hq_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/hq_workload.dir/report.cc.o"
+  "CMakeFiles/hq_workload.dir/report.cc.o.d"
+  "libhq_workload.a"
+  "libhq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdw_test.dir/cdw/catalog_test.cc.o"
+  "CMakeFiles/cdw_test.dir/cdw/catalog_test.cc.o.d"
+  "CMakeFiles/cdw_test.dir/cdw/copy_test.cc.o"
+  "CMakeFiles/cdw_test.dir/cdw/copy_test.cc.o.d"
+  "CMakeFiles/cdw_test.dir/cdw/executor_test.cc.o"
+  "CMakeFiles/cdw_test.dir/cdw/executor_test.cc.o.d"
+  "CMakeFiles/cdw_test.dir/cdw/expr_eval_test.cc.o"
+  "CMakeFiles/cdw_test.dir/cdw/expr_eval_test.cc.o.d"
+  "CMakeFiles/cdw_test.dir/cdw/staging_format_test.cc.o"
+  "CMakeFiles/cdw_test.dir/cdw/staging_format_test.cc.o.d"
+  "CMakeFiles/cdw_test.dir/cdw/table_test.cc.o"
+  "CMakeFiles/cdw_test.dir/cdw/table_test.cc.o.d"
+  "cdw_test"
+  "cdw_test.pdb"
+  "cdw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cdw_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudstore_test.dir/cloudstore/bulk_loader_test.cc.o"
+  "CMakeFiles/cloudstore_test.dir/cloudstore/bulk_loader_test.cc.o.d"
+  "CMakeFiles/cloudstore_test.dir/cloudstore/compression_test.cc.o"
+  "CMakeFiles/cloudstore_test.dir/cloudstore/compression_test.cc.o.d"
+  "CMakeFiles/cloudstore_test.dir/cloudstore/object_store_test.cc.o"
+  "CMakeFiles/cloudstore_test.dir/cloudstore/object_store_test.cc.o.d"
+  "cloudstore_test"
+  "cloudstore_test.pdb"
+  "cloudstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etlscript_test.dir/etlscript/etl_client_e2e_test.cc.o"
+  "CMakeFiles/etlscript_test.dir/etlscript/etl_client_e2e_test.cc.o.d"
+  "CMakeFiles/etlscript_test.dir/etlscript/script_parser_test.cc.o"
+  "CMakeFiles/etlscript_test.dir/etlscript/script_parser_test.cc.o.d"
+  "etlscript_test"
+  "etlscript_test.pdb"
+  "etlscript_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etlscript_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/backpressure_test.cc.o"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/backpressure_test.cc.o.d"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/concurrent_jobs_test.cc.o"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/concurrent_jobs_test.cc.o.d"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/dml_variants_e2e_test.cc.o"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/dml_variants_e2e_test.cc.o.d"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/export_e2e_test.cc.o"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/export_e2e_test.cc.o.d"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/import_e2e_test.cc.o"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/import_e2e_test.cc.o.d"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/pipeline_property_test.cc.o"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/pipeline_property_test.cc.o.d"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/protocol_test.cc.o"
+  "CMakeFiles/hyperq_e2e_test.dir/hyperq/protocol_test.cc.o.d"
+  "hyperq_e2e_test"
+  "hyperq_e2e_test.pdb"
+  "hyperq_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperq_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperq_test.dir/hyperq/baseline_loader_test.cc.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/baseline_loader_test.cc.o.d"
+  "CMakeFiles/hyperq_test.dir/hyperq/credit_manager_test.cc.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/credit_manager_test.cc.o.d"
+  "CMakeFiles/hyperq_test.dir/hyperq/data_converter_test.cc.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/data_converter_test.cc.o.d"
+  "CMakeFiles/hyperq_test.dir/hyperq/error_handler_test.cc.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/error_handler_test.cc.o.d"
+  "CMakeFiles/hyperq_test.dir/hyperq/file_writer_test.cc.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/file_writer_test.cc.o.d"
+  "CMakeFiles/hyperq_test.dir/hyperq/tdf_cursor_test.cc.o"
+  "CMakeFiles/hyperq_test.dir/hyperq/tdf_cursor_test.cc.o.d"
+  "hyperq_test"
+  "hyperq_test.pdb"
+  "hyperq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/legacy/message_stream_test.cc" "tests/CMakeFiles/legacy_test.dir/legacy/message_stream_test.cc.o" "gcc" "tests/CMakeFiles/legacy_test.dir/legacy/message_stream_test.cc.o.d"
+  "/root/repo/tests/legacy/parcel_test.cc" "tests/CMakeFiles/legacy_test.dir/legacy/parcel_test.cc.o" "gcc" "tests/CMakeFiles/legacy_test.dir/legacy/parcel_test.cc.o.d"
+  "/root/repo/tests/legacy/row_format_test.cc" "tests/CMakeFiles/legacy_test.dir/legacy/row_format_test.cc.o" "gcc" "tests/CMakeFiles/legacy_test.dir/legacy/row_format_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hyperq/CMakeFiles/hq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/etlscript/CMakeFiles/hq_etlscript.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipesim/CMakeFiles/hq_pipesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/qinsight/CMakeFiles/hq_qinsight.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdf/CMakeFiles/hq_tdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdw/CMakeFiles/hq_cdw.dir/DependInfo.cmake"
+  "/root/repo/build/src/legacy/CMakeFiles/hq_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudstore/CMakeFiles/hq_cloudstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/hq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

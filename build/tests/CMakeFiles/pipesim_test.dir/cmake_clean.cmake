@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipesim_test.dir/pipesim/pipesim_test.cc.o"
+  "CMakeFiles/pipesim_test.dir/pipesim/pipesim_test.cc.o.d"
+  "pipesim_test"
+  "pipesim_test.pdb"
+  "pipesim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qinsight_test.dir/qinsight/analyzer_test.cc.o"
+  "CMakeFiles/qinsight_test.dir/qinsight/analyzer_test.cc.o.d"
+  "qinsight_test"
+  "qinsight_test.pdb"
+  "qinsight_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qinsight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

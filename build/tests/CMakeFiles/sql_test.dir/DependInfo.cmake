@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sql/binder_test.cc" "tests/CMakeFiles/sql_test.dir/sql/binder_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/binder_test.cc.o.d"
+  "/root/repo/tests/sql/fuzz_roundtrip_test.cc" "tests/CMakeFiles/sql_test.dir/sql/fuzz_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/fuzz_roundtrip_test.cc.o.d"
+  "/root/repo/tests/sql/lexer_test.cc" "tests/CMakeFiles/sql_test.dir/sql/lexer_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/lexer_test.cc.o.d"
+  "/root/repo/tests/sql/parser_test.cc" "tests/CMakeFiles/sql_test.dir/sql/parser_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/parser_test.cc.o.d"
+  "/root/repo/tests/sql/printer_roundtrip_test.cc" "tests/CMakeFiles/sql_test.dir/sql/printer_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/printer_roundtrip_test.cc.o.d"
+  "/root/repo/tests/sql/transpiler_test.cc" "tests/CMakeFiles/sql_test.dir/sql/transpiler_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql/transpiler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hyperq/CMakeFiles/hq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/etlscript/CMakeFiles/hq_etlscript.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipesim/CMakeFiles/hq_pipesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/qinsight/CMakeFiles/hq_qinsight.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdf/CMakeFiles/hq_tdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdw/CMakeFiles/hq_cdw.dir/DependInfo.cmake"
+  "/root/repo/build/src/legacy/CMakeFiles/hq_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudstore/CMakeFiles/hq_cloudstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/hq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/types/date_test.cc" "tests/CMakeFiles/types_test.dir/types/date_test.cc.o" "gcc" "tests/CMakeFiles/types_test.dir/types/date_test.cc.o.d"
+  "/root/repo/tests/types/decimal_test.cc" "tests/CMakeFiles/types_test.dir/types/decimal_test.cc.o" "gcc" "tests/CMakeFiles/types_test.dir/types/decimal_test.cc.o.d"
+  "/root/repo/tests/types/schema_test.cc" "tests/CMakeFiles/types_test.dir/types/schema_test.cc.o" "gcc" "tests/CMakeFiles/types_test.dir/types/schema_test.cc.o.d"
+  "/root/repo/tests/types/type_mapping_test.cc" "tests/CMakeFiles/types_test.dir/types/type_mapping_test.cc.o" "gcc" "tests/CMakeFiles/types_test.dir/types/type_mapping_test.cc.o.d"
+  "/root/repo/tests/types/type_test.cc" "tests/CMakeFiles/types_test.dir/types/type_test.cc.o" "gcc" "tests/CMakeFiles/types_test.dir/types/type_test.cc.o.d"
+  "/root/repo/tests/types/value_test.cc" "tests/CMakeFiles/types_test.dir/types/value_test.cc.o" "gcc" "tests/CMakeFiles/types_test.dir/types/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hyperq/CMakeFiles/hq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/etlscript/CMakeFiles/hq_etlscript.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipesim/CMakeFiles/hq_pipesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/qinsight/CMakeFiles/hq_qinsight.dir/DependInfo.cmake"
+  "/root/repo/build/src/tdf/CMakeFiles/hq_tdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdw/CMakeFiles/hq_cdw.dir/DependInfo.cmake"
+  "/root/repo/build/src/legacy/CMakeFiles/hq_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudstore/CMakeFiles/hq_cloudstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/hq_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/hq_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/types_test[1]_include.cmake")
+include("/root/repo/build/tests/legacy_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/tdf_test[1]_include.cmake")
+include("/root/repo/build/tests/cloudstore_test[1]_include.cmake")
+include("/root/repo/build/tests/cdw_test[1]_include.cmake")
+include("/root/repo/build/tests/hyperq_test[1]_include.cmake")
+include("/root/repo/build/tests/hyperq_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/etlscript_test[1]_include.cmake")
+include("/root/repo/build/tests/pipesim_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/qinsight_test[1]_include.cmake")
