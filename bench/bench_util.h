@@ -10,6 +10,8 @@
 #include "common/stopwatch.h"
 #include "etlscript/etl_client.h"
 #include "hyperq/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/dataset.h"
 #include "workload/report.h"
 
@@ -41,6 +43,10 @@ struct JobRunResult {
   core::DmlApplyResult dml;
   legacy::JobReportBody report;
   uint64_t bytes_input = 0;
+  /// Populated when the node runs with observability enabled: the final
+  /// registry snapshot and the import job's span tree.
+  obs::MetricsSnapshot metrics;
+  std::shared_ptr<obs::Trace> trace;
 
   double acquisition_mb_per_s() const {
     return acquisition_seconds > 0
@@ -110,7 +116,12 @@ inline common::Result<JobRunResult> RunImportJob(const JobRunConfig& config) {
   }
   if (stats.ok()) result.stats = *stats;
   if (dml.ok()) result.dml = *dml;
-  node.Stop();
+  node.Stop();  // joins session threads so the sampled gauges settle
+  if (node.metrics() != nullptr) {
+    result.metrics = node.MetricsSnapshot();
+    auto trace = node.JobTrace(job_id);
+    if (trace.ok()) result.trace = *trace;
+  }
   return result;
 }
 

@@ -8,11 +8,24 @@ namespace hyperq::cdw {
 using common::Result;
 using common::Status;
 
+CdwServer::CdwServer(cloud::ObjectStore* store, CdwServerOptions options)
+    : store_(store), options_(options), executor_(&catalog_) {
+  if (options_.metrics != nullptr) {
+    statement_latency_ = options_.metrics->GetHistogram("cdw_statement_seconds");
+    copy_latency_ = options_.metrics->GetHistogram("cdw_copy_seconds");
+    statements_total_ = options_.metrics->GetCounter("cdw_statements_total");
+    copies_total_ = options_.metrics->GetCounter("cdw_copies_total");
+    copy_rows_total_ = options_.metrics->GetCounter("cdw_copy_rows_total");
+  }
+}
+
 void CdwServer::PayStartupCost(int64_t micros) const {
   if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
 }
 
 Result<ExecResult> CdwServer::ExecuteSql(std::string_view sql, const ExecOptions& options) {
+  obs::ScopedTimer timer(statement_latency_);
+  if (statements_total_ != nullptr) statements_total_->Increment();
   PayStartupCost(options_.statement_startup_micros);
   std::lock_guard<std::mutex> lock(mu_);
   ++statements_executed_;
@@ -20,6 +33,8 @@ Result<ExecResult> CdwServer::ExecuteSql(std::string_view sql, const ExecOptions
 }
 
 Result<ExecResult> CdwServer::Execute(const sql::Statement& stmt, const ExecOptions& options) {
+  obs::ScopedTimer timer(statement_latency_);
+  if (statements_total_ != nullptr) statements_total_->Increment();
   PayStartupCost(options_.statement_startup_micros);
   std::lock_guard<std::mutex> lock(mu_);
   ++statements_executed_;
@@ -28,10 +43,14 @@ Result<ExecResult> CdwServer::Execute(const sql::Statement& stmt, const ExecOpti
 
 Result<uint64_t> CdwServer::CopyInto(const std::string& table_name, const std::string& prefix,
                                      const CopyOptions& options) {
+  obs::ScopedTimer timer(copy_latency_);
+  if (copies_total_ != nullptr) copies_total_->Increment();
   PayStartupCost(options_.copy_startup_micros);
   std::lock_guard<std::mutex> lock(mu_);
   HQ_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
-  return CopyFromStore(table.get(), *store_, prefix, options);
+  Result<uint64_t> copied = CopyFromStore(table.get(), *store_, prefix, options);
+  if (copied.ok() && copy_rows_total_ != nullptr) copy_rows_total_->Increment(*copied);
+  return copied;
 }
 
 }  // namespace hyperq::cdw

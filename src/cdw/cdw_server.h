@@ -8,6 +8,7 @@
 #include "cdw/copy.h"
 #include "cdw/executor.h"
 #include "cloudstore/object_store.h"
+#include "obs/metrics.h"
 
 /// \file cdw_server.h
 /// Facade of the simulated cloud data warehouse: one catalog, one executor,
@@ -25,12 +26,14 @@ struct CdwServerOptions {
   int64_t statement_startup_micros = 0;
   /// Fixed cost added to every COPY, microseconds.
   int64_t copy_startup_micros = 0;
+  /// Optional telemetry registry (cdw_statement_seconds/cdw_copy_seconds
+  /// histograms, statement/COPY/row counters). Must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class CdwServer {
  public:
-  explicit CdwServer(cloud::ObjectStore* store, CdwServerOptions options = {})
-      : store_(store), options_(options), executor_(&catalog_) {}
+  explicit CdwServer(cloud::ObjectStore* store, CdwServerOptions options = {});
 
   Catalog* catalog() { return &catalog_; }
   cloud::ObjectStore* store() { return store_; }
@@ -56,6 +59,13 @@ class CdwServer {
   Executor executor_;
   mutable std::mutex mu_;
   uint64_t statements_executed_ = 0;
+
+  // Cached instrument pointers; null when options_.metrics is null.
+  obs::Histogram* statement_latency_ = nullptr;
+  obs::Histogram* copy_latency_ = nullptr;
+  obs::Counter* statements_total_ = nullptr;
+  obs::Counter* copies_total_ = nullptr;
+  obs::Counter* copy_rows_total_ = nullptr;
 };
 
 }  // namespace hyperq::cdw

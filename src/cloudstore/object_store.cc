@@ -9,6 +9,17 @@ using common::Result;
 using common::Slice;
 using common::Status;
 
+ObjectStore::ObjectStore(ObjectStoreOptions options) : options_(options) {
+  if (options_.metrics != nullptr) {
+    put_latency_ = options_.metrics->GetHistogram("objstore_put_seconds");
+    get_latency_ = options_.metrics->GetHistogram("objstore_get_seconds");
+    put_requests_ = options_.metrics->GetCounter("objstore_put_requests_total");
+    get_requests_ = options_.metrics->GetCounter("objstore_get_requests_total");
+    bytes_up_ = options_.metrics->GetCounter("objstore_bytes_uploaded_total");
+    bytes_down_ = options_.metrics->GetCounter("objstore_bytes_downloaded_total");
+  }
+}
+
 void ObjectStore::PayCost(size_t bytes) const {
   int64_t delay_us = options_.per_request_latency_micros;
   if (options_.upload_bandwidth_bps != 0) {
@@ -20,12 +31,17 @@ void ObjectStore::PayCost(size_t bytes) const {
 
 Status ObjectStore::Put(const std::string& key, Slice data) {
   if (key.empty()) return Status::Invalid("object key must not be empty");
+  obs::ScopedTimer timer(put_latency_);
   PayCost(data.size());
   auto blob = std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + data.size());
   std::lock_guard<std::mutex> lock(mu_);
   objects_[key] = std::move(blob);
   ++stats_.put_requests;
   stats_.bytes_uploaded += data.size();
+  if (put_requests_ != nullptr) {
+    put_requests_->Increment();
+    bytes_up_->Increment(data.size());
+  }
   return Status::OK();
 }
 
@@ -35,6 +51,7 @@ Status ObjectStore::PutBatch(const std::vector<std::pair<std::string, Slice>>& o
     if (key.empty()) return Status::Invalid("object key must not be empty");
     total_bytes += data.size();
   }
+  obs::ScopedTimer timer(put_latency_);
   PayCost(total_bytes);  // one request: latency charged once
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, data] : objects) {
@@ -43,11 +60,16 @@ Status ObjectStore::PutBatch(const std::vector<std::pair<std::string, Slice>>& o
     stats_.bytes_uploaded += data.size();
   }
   ++stats_.put_requests;
+  if (put_requests_ != nullptr) {
+    put_requests_->Increment();
+    bytes_up_->Increment(total_bytes);
+  }
   return Status::OK();
 }
 
 Result<std::shared_ptr<const std::vector<uint8_t>>> ObjectStore::Get(
     const std::string& key) const {
+  obs::ScopedTimer timer(get_latency_);
   std::shared_ptr<const std::vector<uint8_t>> blob;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -58,6 +80,10 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> ObjectStore::Get(
     stats_.bytes_downloaded += blob->size();
   }
   PayCost(blob->size());
+  if (get_requests_ != nullptr) {
+    get_requests_->Increment();
+    bytes_down_->Increment(blob->size());
+  }
   return blob;
 }
 

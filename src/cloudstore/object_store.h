@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 
 /// \file object_store.h
 /// Simulated cloud object store (stands in for Azure Blob / S3). Uploads pay
@@ -23,6 +24,9 @@ struct ObjectStoreOptions {
   uint64_t upload_bandwidth_bps = 0;
   /// Fixed cost per PUT/GET request, microseconds (models HTTP round trip).
   int64_t per_request_latency_micros = 0;
+  /// Optional telemetry registry (objstore_put_seconds/objstore_get_seconds
+  /// histograms, request/byte counters). Must outlive the store.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ObjectStoreStats {
@@ -34,7 +38,7 @@ struct ObjectStoreStats {
 
 class ObjectStore {
  public:
-  explicit ObjectStore(ObjectStoreOptions options = {}) : options_(options) {}
+  explicit ObjectStore(ObjectStoreOptions options = {});
 
   /// Uploads one object (overwrites). Pays latency + bandwidth.
   common::Status Put(const std::string& key, common::Slice data);
@@ -66,6 +70,14 @@ class ObjectStore {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const std::vector<uint8_t>>> objects_;
   mutable ObjectStoreStats stats_;
+
+  // Cached instrument pointers; null when options_.metrics is null.
+  obs::Histogram* put_latency_ = nullptr;
+  obs::Histogram* get_latency_ = nullptr;
+  obs::Counter* put_requests_ = nullptr;
+  obs::Counter* get_requests_ = nullptr;
+  obs::Counter* bytes_up_ = nullptr;
+  obs::Counter* bytes_down_ = nullptr;
 };
 
 }  // namespace hyperq::cloud

@@ -1,8 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <thread>
 
 namespace hyperq::common {
 
@@ -24,15 +26,38 @@ const char* LevelTag(LogLevel level) {
       return "?????";
   }
 }
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  // First use wins; every later line is stamped relative to it, on the same
+  // monotonic clock trace spans use, so log lines and spans correlate.
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+int64_t LogMonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+uint64_t LogThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
 void LogMessage(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  int64_t micros = LogMonotonicMicros();
+  uint64_t tid = LogThreadId();
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), msg.c_str());
+  std::fprintf(stderr, "[%s +%lld.%06llds tid=%08llx] %s\n", LevelTag(level),
+               static_cast<long long>(micros / 1000000),
+               static_cast<long long>(micros % 1000000),
+               static_cast<unsigned long long>(tid & 0xffffffffu), msg.c_str());
 }
 
 }  // namespace hyperq::common

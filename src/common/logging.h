@@ -1,11 +1,17 @@
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 /// \file logging.h
 /// Minimal leveled logger. Quiet by default (warnings and errors only) so
 /// tests and benchmarks stay readable; raise the level for debugging.
+///
+/// Every line carries a monotonic timestamp (seconds since the first log
+/// call, steady clock) and the emitting thread id, so log lines correlate
+/// with the per-job trace spans of src/obs/:
+///   [WARN  +12.034561s tid=1a2b3c4d] session 3: ...
 
 namespace hyperq::common {
 
@@ -14,6 +20,11 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 /// Sets the global minimum level that is emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Microseconds since the process log epoch (steady clock; first use = 0).
+int64_t LogMonotonicMicros();
+/// Hashed id of the calling thread, as stamped on log lines.
+uint64_t LogThreadId();
 
 /// Emits one formatted line to stderr if `level` passes the global filter.
 void LogMessage(LogLevel level, const std::string& msg);

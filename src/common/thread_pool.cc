@@ -48,6 +48,11 @@ size_t ThreadPool::queued() const {
   return tasks_.size();
 }
 
+size_t ThreadPool::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -35,6 +35,8 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
   /// Tasks queued but not yet started.
   size_t queued() const;
+  /// Workers currently running a task (utilization numerator for telemetry).
+  size_t active() const;
 
  private:
   void WorkerLoop();

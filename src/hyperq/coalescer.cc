@@ -8,12 +8,22 @@ using common::Slice;
 using common::Status;
 
 Result<legacy::Message> Coalescer::NextMessage() {
+  std::chrono::steady_clock::duration decode_elapsed{0};
   for (;;) {
     legacy::Message msg;
+    const bool timed = decode_seconds_ != nullptr;
+    auto decode_start =
+        timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point();
     HQ_ASSIGN_OR_RETURN(size_t consumed, legacy::TryDecodeMessage(Slice(pending_), &msg));
+    if (timed) decode_elapsed += std::chrono::steady_clock::now() - decode_start;
     if (consumed > 0) {
       pending_.erase(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(consumed));
       ++stats_.messages_formed;
+      if (timed) {
+        last_decode_end_ = std::chrono::steady_clock::now();
+        last_decode_elapsed_ = decode_elapsed;
+        decode_seconds_->Observe(std::chrono::duration<double>(decode_elapsed).count());
+      }
       return msg;
     }
     uint8_t buf[64 * 1024];

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
+
 namespace hyperq::core {
 
 Credit& Credit::operator=(Credit&& other) noexcept {
@@ -20,15 +22,30 @@ void Credit::Return() {
   }
 }
 
+void CreditManager::BindMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  in_use_gauge_ = registry->GetGauge("hyperq_credits_in_use");
+  acquisitions_total_ = registry->GetCounter("hyperq_credit_acquisitions_total");
+  throttle_total_ = registry->GetCounter("hyperq_credit_throttle_total");
+  wait_seconds_ = registry->GetHistogram("hyperq_credit_wait_seconds");
+}
+
 Credit CreditManager::Acquire() {
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.acquisitions;
+  if (acquisitions_total_ != nullptr) acquisitions_total_->Increment();
   if (available_ == 0) {
     ++stats_.blocked_acquisitions;
+    if (throttle_total_ != nullptr) throttle_total_->Increment();
+    common::Stopwatch wait_timer;
     cv_.wait(lock, [&] { return available_ > 0; });
+    if (wait_seconds_ != nullptr) wait_seconds_->Observe(wait_timer.ElapsedSeconds());
+  } else if (wait_seconds_ != nullptr) {
+    wait_seconds_->Observe(0.0);
   }
   --available_;
   stats_.max_outstanding = std::max(stats_.max_outstanding, pool_size_ - available_);
+  if (in_use_gauge_ != nullptr) in_use_gauge_->Set(static_cast<int64_t>(pool_size_ - available_));
   return Credit(this);
 }
 
@@ -36,8 +53,10 @@ Credit CreditManager::TryAcquire() {
   std::lock_guard<std::mutex> lock(mu_);
   if (available_ == 0) return Credit();
   ++stats_.acquisitions;
+  if (acquisitions_total_ != nullptr) acquisitions_total_->Increment();
   --available_;
   stats_.max_outstanding = std::max(stats_.max_outstanding, pool_size_ - available_);
+  if (in_use_gauge_ != nullptr) in_use_gauge_->Set(static_cast<int64_t>(pool_size_ - available_));
   return Credit(this);
 }
 
@@ -59,6 +78,7 @@ CreditStats CreditManager::stats() const {
 void CreditManager::ReturnOne() {
   std::lock_guard<std::mutex> lock(mu_);
   ++available_;
+  if (in_use_gauge_ != nullptr) in_use_gauge_->Set(static_cast<int64_t>(pool_size_ - available_));
   cv_.notify_one();
 }
 

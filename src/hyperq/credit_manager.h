@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 /// \file credit_manager.h
 /// The back-pressure watchdog of Section 5 / Figure 4. One CreditManager is
 /// spawned per Hyper-Q node and shared by all concurrent ETL jobs. A session
@@ -46,6 +48,11 @@ class CreditManager {
  public:
   explicit CreditManager(uint64_t pool_size) : available_(pool_size), pool_size_(pool_size) {}
 
+  /// Wires telemetry: credits-in-use gauge, acquisition/throttle counters,
+  /// and a wait-time histogram for blocked acquisitions. Call before traffic
+  /// starts; `registry` must outlive the manager. Null disables.
+  void BindMetrics(obs::MetricsRegistry* registry);
+
   /// Blocks until a credit is available.
   Credit Acquire();
 
@@ -66,6 +73,12 @@ class CreditManager {
   uint64_t available_;
   const uint64_t pool_size_;
   CreditStats stats_;
+
+  // Cached instrument pointers; null until BindMetrics.
+  obs::Gauge* in_use_gauge_ = nullptr;
+  obs::Counter* acquisitions_total_ = nullptr;
+  obs::Counter* throttle_total_ = nullptr;
+  obs::Histogram* wait_seconds_ = nullptr;
 };
 
 }  // namespace hyperq::core

@@ -1,5 +1,7 @@
 #include "hyperq/export_job.h"
 
+#include <chrono>
+
 #include "legacy/row_format.h"
 #include "sql/transpiler.h"
 
@@ -13,10 +15,20 @@ using types::Value;
 Result<std::shared_ptr<ExportJob>> ExportJob::Create(const std::string& job_id,
                                                      const legacy::BeginExportBody& begin,
                                                      cdw::CdwServer* cdw,
-                                                     const HyperQOptions& options) {
+                                                     const HyperQOptions& options,
+                                                     obs::MetricsRegistry* metrics,
+                                                     obs::Tracer* tracer) {
+  std::shared_ptr<obs::Trace> trace;
+  if (tracer != nullptr) trace = tracer->StartTrace(job_id, obs::Phase::kExport);
+
   // PXC: transpile the legacy SELECT and run it in the CDW.
   HQ_ASSIGN_OR_RETURN(std::string cdw_sql, sql::TranspileSqlText(begin.select_sql));
+  auto query_start = std::chrono::steady_clock::now();
   HQ_ASSIGN_OR_RETURN(cdw::ExecResult result, cdw->ExecuteSql(cdw_sql));
+  if (trace != nullptr) {
+    trace->RecordSpan(obs::Phase::kQuery, "query", 0, query_start,
+                      std::chrono::steady_clock::now());
+  }
   if (result.schema.num_fields() == 0) {
     return Status::Invalid("export statement did not produce a result set");
   }
@@ -25,16 +37,27 @@ Result<std::shared_ptr<ExportJob>> ExportJob::Create(const std::string& job_id,
   cursor_options.prefetch = options.export_prefetch_chunks;
   auto cursor =
       std::make_unique<TdfCursor>(result.schema, std::move(result.rows), cursor_options);
-  return std::shared_ptr<ExportJob>(
-      new ExportJob(job_id, begin, std::move(result.schema), std::move(cursor)));
+  return std::shared_ptr<ExportJob>(new ExportJob(job_id, begin, std::move(result.schema),
+                                                  std::move(cursor), metrics, std::move(trace)));
 }
 
 ExportJob::ExportJob(std::string job_id, legacy::BeginExportBody begin, types::Schema schema,
-                     std::unique_ptr<TdfCursor> cursor)
+                     std::unique_ptr<TdfCursor> cursor, obs::MetricsRegistry* metrics,
+                     std::shared_ptr<obs::Trace> trace)
     : job_id_(std::move(job_id)),
       begin_(std::move(begin)),
       schema_(std::move(schema)),
-      cursor_(std::move(cursor)) {}
+      cursor_(std::move(cursor)),
+      trace_(std::move(trace)) {
+  if (metrics != nullptr) {
+    m_.jobs_started = metrics->GetCounter("hyperq_export_jobs_started_total");
+    m_.jobs_completed = metrics->GetCounter("hyperq_export_jobs_completed_total");
+    m_.rows_exported = metrics->GetCounter("hyperq_rows_exported_total");
+    m_.bytes_exported = metrics->GetCounter("hyperq_bytes_exported_total");
+    m_.chunk_seconds = metrics->GetHistogram("hyperq_export_chunk_seconds");
+    m_.jobs_started->Increment();
+  }
+}
 
 Result<legacy::ExportChunkBody> ExportJob::GetChunk(uint64_t seq) {
   legacy::ExportChunkBody chunk;
@@ -42,8 +65,13 @@ Result<legacy::ExportChunkBody> ExportJob::GetChunk(uint64_t seq) {
   if (cursor_->PastEnd(seq)) {
     chunk.row_count = 0;
     chunk.last = true;
+    if (m_.jobs_completed != nullptr) m_.jobs_completed->Increment();
+    if (trace_ != nullptr) trace_->Finish();
     return chunk;
   }
+  obs::ScopedTimer chunk_timer(m_.chunk_seconds);
+  obs::ScopedSpan chunk_span(trace_.get(), obs::Phase::kExportChunk,
+                             "chunk_" + std::to_string(seq));
   HQ_ASSIGN_OR_RETURN(auto packet, cursor_->FetchChunk(seq));
   // PXC: unwrap the TDF packet and re-encode rows in the legacy format.
   HQ_ASSIGN_OR_RETURN(tdf::TdfReader reader, tdf::TdfReader::Open(packet->AsSlice()));
@@ -72,6 +100,16 @@ Result<legacy::ExportChunkBody> ExportJob::GetChunk(uint64_t seq) {
   chunk.row_count = static_cast<uint32_t>(rows.size());
   chunk.last = seq + 1 >= cursor_->total_chunks();
   chunk.payload = std::move(payload.vector());
+  if (m_.rows_exported != nullptr) {
+    m_.rows_exported->Increment(chunk.row_count);
+    m_.bytes_exported->Increment(chunk.payload.size());
+  }
+  if (chunk.last) {
+    chunk_timer.StopAndObserve();
+    chunk_span.End();
+    if (m_.jobs_completed != nullptr) m_.jobs_completed->Increment();
+    if (trace_ != nullptr) trace_->Finish();
+  }
   return chunk;
 }
 

@@ -8,6 +8,8 @@
 #include "hyperq/hyperq_config.h"
 #include "hyperq/tdf_cursor.h"
 #include "legacy/parcel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file export_job.h
 /// One virtualized export job (Figure 2b): the legacy SELECT is transpiled
@@ -20,10 +22,14 @@ namespace hyperq::core {
 
 class ExportJob {
  public:
+  /// `metrics`/`tracer` are the node-wide observability hooks (null =
+  /// disabled); they live outside HyperQOptions because the server owns them.
   static common::Result<std::shared_ptr<ExportJob>> Create(const std::string& job_id,
                                                            const legacy::BeginExportBody& begin,
                                                            cdw::CdwServer* cdw,
-                                                           const HyperQOptions& options);
+                                                           const HyperQOptions& options,
+                                                           obs::MetricsRegistry* metrics = nullptr,
+                                                           obs::Tracer* tracer = nullptr);
 
   const types::Schema& schema() const { return schema_; }
   uint64_t total_chunks() const { return cursor_->total_chunks(); }
@@ -34,15 +40,27 @@ class ExportJob {
   common::Result<legacy::ExportChunkBody> GetChunk(uint64_t seq);
 
   const TdfCursor& cursor() const { return *cursor_; }
+  /// The job's span tree (null when observability is disabled).
+  std::shared_ptr<obs::Trace> trace() const { return trace_; }
 
  private:
   ExportJob(std::string job_id, legacy::BeginExportBody begin, types::Schema schema,
-            std::unique_ptr<TdfCursor> cursor);
+            std::unique_ptr<TdfCursor> cursor, obs::MetricsRegistry* metrics,
+            std::shared_ptr<obs::Trace> trace);
 
   std::string job_id_;
   legacy::BeginExportBody begin_;
   types::Schema schema_;
   std::unique_ptr<TdfCursor> cursor_;
+
+  std::shared_ptr<obs::Trace> trace_;
+  struct Instruments {
+    obs::Counter* jobs_started = nullptr;
+    obs::Counter* jobs_completed = nullptr;
+    obs::Counter* rows_exported = nullptr;
+    obs::Counter* bytes_exported = nullptr;
+    obs::Histogram* chunk_seconds = nullptr;
+  } m_;
 };
 
 }  // namespace hyperq::core

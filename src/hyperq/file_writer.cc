@@ -43,8 +43,13 @@ Status FileWriter::FinalizeCurrent(std::vector<FinalizedFile>* finalized) {
   file.raw_bytes = current_bytes_;
   if (options_.compress) {
     HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, cloud::ReadFileBytes(current_path_));
+    obs::ScopedTimer compress_timer(options_.compress_seconds);
+    obs::ScopedSpan compress_span(options_.trace.get(), obs::Phase::kCompress, "compress",
+                                  options_.trace_parent);
     ByteBuffer compressed;
     cloud::Compress(Slice(raw), &compressed);
+    compress_timer.StopAndObserve();
+    compress_span.End();
     std::string compressed_path = current_path_ + ".hqz";
     HQ_RETURN_NOT_OK(cloud::WriteFileBytes(compressed_path, compressed.AsSlice()));
     std::remove(current_path_.c_str());

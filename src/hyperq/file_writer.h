@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file file_writer.h
 /// The FileWriter stage (paper Section 5): serializes converted chunks to
@@ -20,6 +23,12 @@ struct FileWriterOptions {
   std::string directory;
   size_t file_size_threshold = 4u << 20;
   bool compress = false;
+
+  /// Optional telemetry: compression latency histogram and the owning job's
+  /// trace (compress spans attach under `trace_parent`). Null disables.
+  obs::Histogram* compress_seconds = nullptr;
+  std::shared_ptr<obs::Trace> trace;
+  uint64_t trace_parent = 0;
 };
 
 struct FinalizedFile {

@@ -3,6 +3,9 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 /// \file hyperq_config.h
 /// Tuning surface of a Hyper-Q node. These are the knobs the paper describes
 /// customers configuring per ETL job requirement (Sections 5-7).
@@ -49,6 +52,15 @@ struct HyperQOptions {
   bool enforce_uniqueness = true;
 
   std::string server_banner = "Hyper-Q ETL virtualization (LDWP bridge)";
+
+  /// Runtime observability (src/obs/). When enabled the node keeps a
+  /// MetricsRegistry and a per-job Tracer; pass shared instances here to
+  /// aggregate with other components (object store, CDW), or leave null and
+  /// the node owns its own. Disabling zeroes the instrumentation cost (all
+  /// instrument pointers stay null on the hot path).
+  bool enable_observability = true;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 }  // namespace hyperq::core

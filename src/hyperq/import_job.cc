@@ -1,6 +1,7 @@
 #include "hyperq/import_job.h"
 
 #include <cctype>
+#include <chrono>
 
 #include "cloudstore/bulk_loader.h"
 #include "common/logging.h"
@@ -74,12 +75,42 @@ ImportJob::ImportJob(std::string job_id, legacy::BeginLoadBody begin, JobContext
   remote_prefix_ = "staging/" + SanitizeId(job_id_) + "/";
   if (begin_.error_table_et.empty()) begin_.error_table_et = begin_.target_table + "_ET";
   if (begin_.error_table_uv.empty()) begin_.error_table_uv = begin_.target_table + "_UV";
+  if (ctx_.tracer != nullptr) trace_ = ctx_.tracer->StartTrace(job_id_, obs::Phase::kImport);
+  if (ctx_.metrics != nullptr) {
+    obs::MetricsRegistry* r = ctx_.metrics;
+    m_.chunks = r->GetCounter("hyperq_chunks_total");
+    m_.rows_received = r->GetCounter("hyperq_rows_received_total");
+    m_.bytes_received = r->GetCounter("hyperq_bytes_received_total");
+    m_.rows_staged = r->GetCounter("hyperq_rows_staged_total");
+    m_.data_errors = r->GetCounter("hyperq_data_errors_total");
+    m_.files_uploaded = r->GetCounter("hyperq_files_uploaded_total");
+    m_.bytes_uploaded = r->GetCounter("hyperq_bytes_uploaded_total");
+    m_.rows_copied = r->GetCounter("hyperq_rows_copied_total");
+    m_.jobs_started = r->GetCounter("hyperq_import_jobs_started_total");
+    m_.jobs_completed = r->GetCounter("hyperq_import_jobs_completed_total");
+    m_.jobs_failed = r->GetCounter("hyperq_import_jobs_failed_total");
+    m_.convert_seconds = r->GetHistogram("hyperq_convert_seconds");
+    m_.write_seconds = r->GetHistogram("hyperq_file_write_seconds");
+    m_.upload_seconds = r->GetHistogram("hyperq_upload_seconds");
+    m_.apply_seconds = r->GetHistogram("hyperq_dml_apply_seconds");
+    m_.converter_queue = r->GetGauge("hyperq_converter_queue_depth");
+    m_.jobs_active = r->GetGauge("hyperq_import_jobs_active");
+    m_.jobs_started->Increment();
+    m_.jobs_active->Add(1);
+  }
 }
 
 ImportJob::~ImportJob() {
   ordered_chunks_.Close();
   for (auto& t : writer_threads_) {
     if (t.joinable()) t.join();
+  }
+  ReleaseActiveGauge();
+}
+
+void ImportJob::ReleaseActiveGauge() {
+  if (m_.jobs_active != nullptr && active_gauge_held_.exchange(false)) {
+    m_.jobs_active->Sub(1);
   }
 }
 
@@ -89,6 +120,10 @@ void ImportJob::StartWriters() {
   fw_options.directory = ctx_.options.local_staging_dir + "/" + SanitizeId(job_id_);
   fw_options.file_size_threshold = ctx_.options.file_size_threshold;
   fw_options.compress = ctx_.options.compress_staging_files;
+  fw_options.compress_seconds =
+      ctx_.metrics == nullptr ? nullptr : ctx_.metrics->GetHistogram("hyperq_compress_seconds");
+  fw_options.trace = trace_;
+  fw_options.trace_parent = trace_ == nullptr ? 0 : trace_->root_id();
   for (size_t i = 0; i < n; ++i) {
     file_writers_.push_back(
         std::make_unique<FileWriter>(fw_options, "part_w" + std::to_string(i)));
@@ -113,7 +148,16 @@ Status ImportJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
 
   // Back-pressure: block while the node-wide credit pool is exhausted
   // (Figure 4). The ack to the client is sent only after this returns.
+  auto wait_start = std::chrono::steady_clock::now();
   Credit credit = ctx_.credits->Acquire();
+  if (trace_ != nullptr) {
+    auto wait_end = std::chrono::steady_clock::now();
+    // Only genuine throttle events are worth a span (the wait histogram in
+    // the CreditManager sees every acquisition).
+    if (wait_end - wait_start >= std::chrono::milliseconds(1)) {
+      trace_->RecordSpan(obs::Phase::kCreditWait, "credit_wait", 0, wait_start, wait_end);
+    }
+  }
 
   // Reserve in-flight memory for the raw chunk plus the converted output
   // (estimated at parity). Exhaustion is the simulated OOM of Figure 10.
@@ -146,12 +190,23 @@ Status ImportJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
   state->credit = std::move(credit);
   state->reservation = common::MemoryReservation(ctx_.memory, reserve_bytes);
 
+  if (m_.chunks != nullptr) {
+    m_.chunks->Increment();
+    m_.rows_received->Increment(chunk.row_count);
+    m_.bytes_received->Increment(chunk.payload.size());
+    m_.converter_queue->Set(static_cast<int64_t>(ctx_.converter_pool->queued()));
+  }
+
   bool submitted = ctx_.converter_pool->Submit([this, state, order, first_row] {
     ConversionInput input;
     input.order_index = order;
     input.first_row_number = first_row;
     input.chunk = std::move(state->chunk);
+    obs::ScopedTimer convert_timer(m_.convert_seconds);
+    obs::ScopedSpan convert_span(trace_.get(), obs::Phase::kRowConvert, "convert");
     auto converted = converter_.Convert(input);
+    convert_timer.StopAndObserve();
+    convert_span.End();
 
     WorkItem item;
     item.credit = std::move(state->credit);
@@ -188,10 +243,20 @@ void ImportJob::WriterLoop(size_t writer_index) {
     // Return the credit to the pool just before the disk write (Figure 4).
     item->credit.Return();
     std::vector<FinalizedFile> finalized;
+    obs::ScopedTimer write_timer(m_.write_seconds);
+    obs::ScopedSpan write_span(trace_.get(), obs::Phase::kFileWrite, "write");
     Status s = writer.Append(item->converted.csv.AsSlice(), &finalized);
+    write_timer.StopAndObserve();
+    write_span.End();
     if (!s.ok()) {
       NoteFatal(s);
       continue;
+    }
+    if (m_.rows_staged != nullptr) {
+      m_.rows_staged->Increment(item->converted.rows_out);
+      if (!item->converted.errors.empty()) {
+        m_.data_errors->Increment(item->converted.errors.size());
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -257,13 +322,24 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
     }
   }
   if (!batch.empty()) {
+    obs::ScopedTimer upload_timer(m_.upload_seconds);
+    obs::ScopedSpan upload_span(trace_.get(), obs::Phase::kStorePut, "upload");
     HQ_RETURN_NOT_OK(ctx_.store->PutBatch(batch));
+  }
+  if (m_.files_uploaded != nullptr) {
+    m_.files_uploaded->Increment(batch.size());
+    m_.bytes_uploaded->Increment(bytes_uploaded);
   }
   // Local staging files have served their purpose.
   for (const auto& f : finalized_files_) std::remove(f.path.c_str());
 
   // In-the-cloud COPY into the staging table.
-  HQ_ASSIGN_OR_RETURN(uint64_t copied, ctx_.cdw->CopyInto(staging_table_, remote_prefix_));
+  uint64_t copied;
+  {
+    obs::ScopedSpan copy_span(trace_.get(), obs::Phase::kCdwCopy, "copy");
+    HQ_ASSIGN_OR_RETURN(copied, ctx_.cdw->CopyInto(staging_table_, remote_prefix_));
+  }
+  if (m_.rows_copied != nullptr) m_.rows_copied->Increment(copied);
 
   std::lock_guard<std::mutex> lock(mu_);
   stats_.chunks = chunk_counter_;
@@ -285,8 +361,16 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
 Result<legacy::JobReportBody> ImportJob::ApplyDml(const std::string& label,
                                                   const std::string& sql) {
   (void)label;
-  HQ_RETURN_NOT_OK(fatal_status());
+  Status fatal = fatal_status();
+  if (!fatal.ok()) {
+    if (m_.jobs_failed != nullptr) m_.jobs_failed->Increment();
+    ReleaseActiveGauge();
+    if (trace_ != nullptr) trace_->Finish();
+    return fatal;
+  }
   common::Stopwatch app_timer;
+  obs::ScopedTimer apply_timer(m_.apply_seconds);
+  obs::ScopedSpan apply_span(trace_.get(), obs::Phase::kDmlApply, "apply");
 
   HQ_ASSIGN_OR_RETURN(sql::StatementPtr legacy_stmt, sql::ParseStatement(sql));
 
@@ -328,6 +412,12 @@ Result<legacy::JobReportBody> ImportJob::ApplyDml(const std::string& label,
   report.et_errors = dml_result_.et_errors + data_errors.size();
   report.uv_errors = dml_result_.uv_errors;
   report.message = "job " + job_id_ + " complete";
+
+  apply_timer.StopAndObserve();
+  apply_span.End();
+  if (m_.jobs_completed != nullptr) m_.jobs_completed->Increment();
+  ReleaseActiveGauge();
+  if (trace_ != nullptr) trace_->Finish();
   return report;
 }
 

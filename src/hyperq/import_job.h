@@ -20,6 +20,8 @@
 #include "hyperq/file_writer.h"
 #include "hyperq/hyperq_config.h"
 #include "legacy/parcel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file import_job.h
 /// One virtualized import job (Figure 2a of the paper): receives legacy data
@@ -43,6 +45,9 @@ struct JobContext {
   CreditManager* credits = nullptr;
   common::ThreadPool* converter_pool = nullptr;
   common::MemoryTracker* memory = nullptr;
+  /// Node-wide observability (null = disabled); set by the HyperQServer.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
   HyperQOptions options;
 };
 
@@ -92,6 +97,8 @@ class ImportJob {
   PhaseTimings timings() const;
   AcquisitionStats stats() const;
   const DmlApplyResult& dml_result() const { return dml_result_; }
+  /// The job's span tree (null when observability is disabled).
+  std::shared_ptr<obs::Trace> trace() const { return trace_; }
 
  private:
   ImportJob(std::string job_id, legacy::BeginLoadBody begin, JobContext ctx,
@@ -108,6 +115,8 @@ class ImportJob {
   void WriterLoop(size_t writer_index);
   void NoteFatal(const common::Status& s);
   common::Status fatal_status() const;
+  /// Drops the jobs-active gauge exactly once (job end or destruction).
+  void ReleaseActiveGauge();
 
   std::string job_id_;
   legacy::BeginLoadBody begin_;
@@ -116,6 +125,31 @@ class ImportJob {
   types::Schema staging_schema_;
   std::string staging_table_;
   std::string remote_prefix_;
+
+  /// Per-job span tree; node-wide instrument pointers cached once at
+  /// construction (all null when observability is off — hot paths test one
+  /// pointer and skip).
+  std::shared_ptr<obs::Trace> trace_;
+  struct Instruments {
+    obs::Counter* chunks = nullptr;
+    obs::Counter* rows_received = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* rows_staged = nullptr;
+    obs::Counter* data_errors = nullptr;
+    obs::Counter* files_uploaded = nullptr;
+    obs::Counter* bytes_uploaded = nullptr;
+    obs::Counter* rows_copied = nullptr;
+    obs::Counter* jobs_started = nullptr;
+    obs::Counter* jobs_completed = nullptr;
+    obs::Counter* jobs_failed = nullptr;
+    obs::Histogram* convert_seconds = nullptr;
+    obs::Histogram* write_seconds = nullptr;
+    obs::Histogram* upload_seconds = nullptr;
+    obs::Histogram* apply_seconds = nullptr;
+    obs::Gauge* converter_queue = nullptr;
+    obs::Gauge* jobs_active = nullptr;
+  } m_;
+  std::atomic<bool> active_gauge_held_{true};
 
   common::SequencedQueue<WorkItem> ordered_chunks_;
   std::vector<std::thread> writer_threads_;

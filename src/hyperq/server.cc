@@ -49,7 +49,30 @@ HyperQServer::HyperQServer(cdw::CdwServer* cdw, cloud::ObjectStore* store, Hyper
       options_(std::move(options)),
       credits_(options_.credit_pool_size),
       converter_pool_(options_.converter_workers),
-      memory_(options_.memory_budget_bytes) {}
+      memory_(options_.memory_budget_bytes) {
+  if (options_.enable_observability) {
+    if (options_.metrics != nullptr) {
+      metrics_ = options_.metrics;
+    } else {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+      metrics_ = owned_metrics_.get();
+    }
+    if (options_.tracer != nullptr) {
+      tracer_ = options_.tracer;
+    } else {
+      owned_tracer_ = std::make_unique<obs::Tracer>();
+      tracer_ = owned_tracer_.get();
+    }
+    credits_.BindMetrics(metrics_);
+    m_.sessions_total = metrics_->GetCounter("hyperq_sessions_total");
+    m_.parcels_total = metrics_->GetCounter("hyperq_parcels_total");
+    m_.sessions_active = metrics_->GetGauge("hyperq_sessions_active");
+    m_.converter_queue = metrics_->GetGauge("hyperq_converter_queue_depth");
+    m_.converter_active = metrics_->GetGauge("hyperq_converter_workers_active");
+    m_.memory_in_flight = metrics_->GetGauge("hyperq_memory_in_flight_bytes");
+    m_.decode_seconds = metrics_->GetHistogram("hyperq_parcel_decode_seconds");
+  }
+}
 
 HyperQServer::~HyperQServer() { Stop(); }
 
@@ -103,6 +126,8 @@ Result<std::shared_ptr<ImportJob>> HyperQServer::GetOrCreateImportJob(
   ctx.credits = &credits_;
   ctx.converter_pool = &converter_pool_;
   ctx.memory = &memory_;
+  ctx.metrics = metrics_;
+  ctx.tracer = tracer_;
   ctx.options = options_;
   HQ_ASSIGN_OR_RETURN(std::shared_ptr<ImportJob> job,
                       ImportJob::Create(begin.job_id, begin, std::move(ctx)));
@@ -116,13 +141,25 @@ Result<std::shared_ptr<ExportJob>> HyperQServer::GetOrCreateExportJob(
   auto it = export_jobs_.find(begin.job_id);
   if (it != export_jobs_.end()) return it->second;
   HQ_ASSIGN_OR_RETURN(std::shared_ptr<ExportJob> job,
-                      ExportJob::Create(begin.job_id, begin, cdw_, options_));
+                      ExportJob::Create(begin.job_id, begin, cdw_, options_, metrics_, tracer_));
   export_jobs_[begin.job_id] = job;
   return job;
 }
 
 void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
   Coalescer coalescer(std::move(transport));
+  coalescer.BindDecodeHistogram(m_.decode_seconds);
+  if (m_.sessions_total != nullptr) {
+    m_.sessions_total->Increment();
+    m_.sessions_active->Add(1);
+  }
+  struct SessionGauge {
+    obs::Gauge* g;
+    ~SessionGauge() {
+      if (g != nullptr) g->Sub(1);
+    }
+  } session_gauge{m_.sessions_active};
+
   uint32_t session_id = 0;
   uint32_t seq = 0;
   std::shared_ptr<ImportJob> import_job;
@@ -143,6 +180,15 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
     }
     if (msg->parcels.empty()) continue;
     const Parcel& parcel = msg->parcels[0];
+    if (m_.parcels_total != nullptr) m_.parcels_total->Increment(msg->parcels.size());
+    // Attribute the parcel's decode cost to the session's active job trace
+    // (decode ran before we knew the owning job, hence post-hoc recording).
+    if (import_job != nullptr && import_job->trace() != nullptr &&
+        parcel.kind == ParcelKind::kDataChunk) {
+      auto end = coalescer.last_decode_end();
+      import_job->trace()->RecordSpan(obs::Phase::kParcelDecode, "decode", 0,
+                                      end - coalescer.last_decode_elapsed(), end);
+    }
 
     switch (parcel.kind) {
       case ParcelKind::kLogonRequest: {
@@ -389,6 +435,23 @@ Result<DmlApplyResult> HyperQServer::JobDmlResult(const std::string& job_id) con
   auto it = import_jobs_.find(job_id);
   if (it == import_jobs_.end()) return Status::NotFound("job not found: " + job_id);
   return it->second->dml_result();
+}
+
+obs::MetricsSnapshot HyperQServer::MetricsSnapshot() const {
+  if (metrics_ == nullptr) return {};
+  // Sampled gauges: these track pool state only while jobs actively poke
+  // them, so refresh from the live sources before snapshotting.
+  m_.converter_queue->Set(static_cast<int64_t>(converter_pool_.queued()));
+  m_.converter_active->Set(static_cast<int64_t>(converter_pool_.active()));
+  m_.memory_in_flight->Set(static_cast<int64_t>(memory_.used()));
+  return metrics_->Snapshot();
+}
+
+Result<std::shared_ptr<obs::Trace>> HyperQServer::JobTrace(const std::string& job_id) const {
+  if (tracer_ == nullptr) return Status::Invalid("observability is disabled");
+  std::shared_ptr<obs::Trace> trace = tracer_->Find(job_id);
+  if (trace == nullptr) return Status::NotFound("no trace for job: " + job_id);
+  return trace;
 }
 
 }  // namespace hyperq::core

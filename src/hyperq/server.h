@@ -17,6 +17,8 @@
 #include "hyperq/hyperq_config.h"
 #include "hyperq/import_job.h"
 #include "net/listener.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file server.h
 /// The Hyper-Q node. The Alpha process (network listener) accepts legacy
@@ -50,11 +52,22 @@ class HyperQServer {
   common::MemoryTracker* memory_tracker() { return &memory_; }
   const HyperQOptions& options() const { return options_; }
 
+  /// The node's metrics registry / tracer (null when observability is off).
+  obs::MetricsRegistry* metrics() { return metrics_; }
+  obs::Tracer* tracer() { return tracer_; }
+
+  /// Point-in-time view of every node metric. Sampled gauges (converter
+  /// queue depth / worker utilization, in-flight memory) are refreshed
+  /// first. Empty snapshot when observability is disabled.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
   /// Per-job instrumentation, available after the job's DML apply (jobs are
   /// retained after completion).
   common::Result<PhaseTimings> JobTimings(const std::string& job_id) const;
   common::Result<AcquisitionStats> JobStats(const std::string& job_id) const;
   common::Result<DmlApplyResult> JobDmlResult(const std::string& job_id) const;
+  /// The job's span tree (import and export jobs alike).
+  common::Result<std::shared_ptr<obs::Trace>> JobTrace(const std::string& job_id) const;
 
  private:
   void AcceptLoop();
@@ -68,6 +81,24 @@ class HyperQServer {
   cdw::CdwServer* cdw_;
   cloud::ObjectStore* store_;
   HyperQOptions options_;
+
+  /// Observability plumbing. The server uses the injected registry/tracer
+  /// from HyperQOptions when present, otherwise owns its own; both stay null
+  /// when `enable_observability` is false (zero overhead — every hot-path
+  /// call site tests one cached pointer).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  std::unique_ptr<obs::Tracer> owned_tracer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  struct Instruments {
+    obs::Counter* sessions_total = nullptr;
+    obs::Counter* parcels_total = nullptr;
+    obs::Gauge* sessions_active = nullptr;
+    obs::Gauge* converter_queue = nullptr;
+    obs::Gauge* converter_active = nullptr;
+    obs::Gauge* memory_in_flight = nullptr;
+    obs::Histogram* decode_seconds = nullptr;
+  } m_;
 
   CreditManager credits_;
   common::ThreadPool converter_pool_;

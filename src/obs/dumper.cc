@@ -1,0 +1,63 @@
+#include "obs/dumper.h"
+
+#include "common/logging.h"
+#include "obs/export.h"
+
+namespace hyperq::obs {
+
+SnapshotDumper::SnapshotDumper(MetricsRegistry* registry, SnapshotDumperOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (!options_.sink) {
+    options_.sink = [](const MetricsSnapshot& snap) {
+      HQ_LOG_INFO() << "metrics dump: " << ToJson(snap);
+    };
+  }
+}
+
+SnapshotDumper::~SnapshotDumper() { Stop(); }
+
+void SnapshotDumper::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void SnapshotDumper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  if (options_.dump_on_stop) {
+    options_.sink(registry_->Snapshot());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dumps_;
+  }
+}
+
+uint64_t SnapshotDumper::dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_;
+}
+
+void SnapshotDumper::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, options_.interval, [&] { return stop_; })) return;
+    lock.unlock();
+    MetricsSnapshot snap = registry_->Snapshot();
+    options_.sink(snap);
+    lock.lock();
+    ++dumps_;
+  }
+}
+
+}  // namespace hyperq::obs

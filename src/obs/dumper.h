@@ -1,0 +1,53 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+/// \file dumper.h
+/// Periodic snapshot/dump hook: a background thread that snapshots a
+/// MetricsRegistry at a fixed interval and hands the snapshot to a sink.
+/// The default sink logs the JSON export at INFO level, giving a node a
+/// heartbeat telemetry stream without any external scrape infrastructure.
+
+namespace hyperq::obs {
+
+struct SnapshotDumperOptions {
+  std::chrono::milliseconds interval{1000};
+  /// Receives every periodic snapshot; defaults to logging ToJson() at INFO.
+  std::function<void(const MetricsSnapshot&)> sink;
+  /// Emit one final snapshot from Stop() so short-lived processes still dump.
+  bool dump_on_stop = true;
+};
+
+class SnapshotDumper {
+ public:
+  SnapshotDumper(MetricsRegistry* registry, SnapshotDumperOptions options = {});
+  ~SnapshotDumper();
+
+  SnapshotDumper(const SnapshotDumper&) = delete;
+  SnapshotDumper& operator=(const SnapshotDumper&) = delete;
+
+  void Start();
+  void Stop();
+
+  uint64_t dumps() const;
+
+ private:
+  void Loop();
+
+  MetricsRegistry* registry_;
+  SnapshotDumperOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  uint64_t dumps_ = 0;
+};
+
+}  // namespace hyperq::obs

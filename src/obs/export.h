@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+/// \file export.h
+/// Serialization of metrics snapshots. Two wire formats:
+///
+///  - Prometheus text exposition format (`# TYPE` headers, `_bucket{le=...}`
+///    cumulative histogram series) — what a scrape endpoint would serve.
+///  - A line-oriented JSON document — what the periodic dump hook logs and
+///    what tooling ingests.
+///
+/// Both formats are deterministic (snapshot maps are ordered) and both have
+/// a parser, so snapshot -> text -> snapshot round-trips exactly; the golden
+/// tests pin the byte format.
+
+namespace hyperq::obs {
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+common::Result<MetricsSnapshot> FromPrometheusText(std::string_view text);
+common::Result<MetricsSnapshot> FromJson(std::string_view text);
+
+}  // namespace hyperq::obs

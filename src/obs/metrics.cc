@@ -1,0 +1,117 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hyperq::obs {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const std::vector<double>& Histogram::BucketBounds() {
+  // 1µs .. 2min in a 1-2.5-5 ladder: fine enough for p99 interpolation on
+  // both in-memory conversion latencies and simulated cloud round trips.
+  static const std::vector<double> kBounds = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+      1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+      1.0,  2.5,    5.0,  10.0, 30.0,   60.0, 120.0};
+  return kBounds;
+}
+
+Histogram::Histogram() : buckets_(NumBuckets()) {}
+
+void Histogram::Observe(double seconds) {
+  const auto& bounds = BucketBounds();
+  size_t idx = std::lower_bound(bounds.begin(), bounds.end(), seconds) - bounds.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + seconds, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto& bounds = Histogram::BucketBounds();
+  // Rank of the target observation (1-based), then walk cumulative counts.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    uint64_t prev = cumulative;
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      double lo = i == 0 ? 0.0 : bounds[i - 1];
+      // +Inf bucket: no finite upper edge, report the last finite bound.
+      if (i >= bounds.size()) return bounds.back();
+      double hi = bounds[i];
+      double fraction = buckets[i] == 0
+                            ? 0.0
+                            : static_cast<double>(rank - prev) / static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * fraction;
+    }
+  }
+  return bounds.back();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
+  for (const auto& [name, hist] : histograms_) snap.histograms[name] = hist->Snapshot();
+  return snap;
+}
+
+ScopedTimer::ScopedTimer(Histogram* hist)
+    : hist_(hist), start_nanos_(hist == nullptr ? 0 : NowNanos()) {}
+
+ScopedTimer::~ScopedTimer() { StopAndObserve(); }
+
+void ScopedTimer::StopAndObserve() {
+  if (hist_ == nullptr) return;
+  hist_->Observe(static_cast<double>(NowNanos() - start_nanos_) * 1e-9);
+  hist_ = nullptr;
+}
+
+}  // namespace hyperq::obs

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file metrics.h
+/// Node-wide runtime telemetry: a lock-cheap registry of named counters,
+/// gauges and fixed-bucket latency histograms. Instrument lookup pays one
+/// mutex acquisition (done once at wiring time, the returned pointer is
+/// stable for the registry's lifetime); every update on the hot path is a
+/// relaxed atomic operation. Snapshots are consistent-enough point-in-time
+/// copies suitable for export (Prometheus text / JSON, see export.h) and for
+/// the periodic dump hook (dumper.h).
+///
+/// All latency histograms share one fixed exponential bucket layout
+/// (microseconds to minutes, in seconds) so exporters and parsers never need
+/// per-histogram bound metadata.
+
+namespace hyperq::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, credits in use, bytes held).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time copy of one histogram; `buckets` holds per-bucket (not
+/// cumulative) counts, one per `Histogram::BucketBounds()` entry plus the
+/// final +Inf bucket.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;
+  std::vector<uint64_t> buckets;
+
+  /// Quantile estimate by linear interpolation inside the owning bucket
+  /// (q in [0,1]). Returns 0 when empty.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+  bool operator==(const HistogramSnapshot& other) const {
+    return count == other.count && sum == other.sum && buckets == other.buckets;
+  }
+};
+
+/// Fixed-bucket latency histogram (values in seconds).
+class Histogram {
+ public:
+  /// Upper bounds of the finite buckets, ascending, in seconds. The +Inf
+  /// bucket is implicit (index == BucketBounds().size()).
+  static const std::vector<double>& BucketBounds();
+  static size_t NumBuckets() { return BucketBounds().size() + 1; }
+
+  Histogram();
+
+  void Observe(double seconds);
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Consistent point-in-time copy of every instrument in a registry. Maps are
+/// ordered so exports are deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const MetricsSnapshot& other) const {
+    return counters == other.counters && gauges == other.gauges &&
+           histograms == other.histograms;
+  }
+};
+
+/// Get-or-create registry of named instruments. Returned pointers stay valid
+/// for the registry's lifetime; callers cache them at wiring time and update
+/// through atomics only.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Null-safe RAII latency timer: observes elapsed wall time into `hist` on
+/// destruction (no-op when `hist` is null, the observability-off path).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Stops the timer and observes now instead of at destruction.
+  void StopAndObserve();
+
+ private:
+  Histogram* hist_;
+  int64_t start_nanos_;
+};
+
+}  // namespace hyperq::obs

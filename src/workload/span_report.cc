@@ -1,0 +1,92 @@
+#include "workload/span_report.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace hyperq::workload {
+
+namespace {
+
+std::string FormatMillis(int64_t micros) {
+  return common::Sprintf("%.3f", static_cast<double>(micros) / 1000.0);
+}
+
+}  // namespace
+
+ReportTable SpanSummaryTable(const std::vector<obs::SpanRecord>& spans) {
+  struct PhaseAgg {
+    uint64_t count = 0;
+    int64_t total_micros = 0;
+    int64_t max_micros = 0;
+  };
+  std::vector<obs::Phase> order;
+  std::map<obs::Phase, PhaseAgg> aggs;
+  int64_t root_micros = 0;
+  for (const auto& s : spans) {
+    if (!s.finished()) continue;
+    if (s.parent_id == 0) root_micros = s.duration_micros();
+    if (aggs.find(s.phase) == aggs.end()) order.push_back(s.phase);
+    PhaseAgg& agg = aggs[s.phase];
+    ++agg.count;
+    agg.total_micros += s.duration_micros();
+    agg.max_micros = std::max(agg.max_micros, s.duration_micros());
+  }
+  ReportTable table({"phase", "spans", "total_ms", "mean_ms", "max_ms", "of_job"});
+  for (obs::Phase phase : order) {
+    const PhaseAgg& agg = aggs[phase];
+    double share = root_micros > 0
+                       ? static_cast<double>(agg.total_micros) / static_cast<double>(root_micros)
+                       : 0.0;
+    table.AddRow({obs::PhaseName(phase), std::to_string(agg.count),
+                  FormatMillis(agg.total_micros),
+                  FormatMillis(agg.count == 0 ? 0
+                                              : agg.total_micros / static_cast<int64_t>(agg.count)),
+                  FormatMillis(agg.max_micros), FormatPercent(share)});
+  }
+  return table;
+}
+
+ReportTable SpanTreeTable(const std::vector<obs::SpanRecord>& spans, size_t max_rows) {
+  // Children in append order under each parent (spans are recorded
+  // append-only, so sibling order == execution start order).
+  std::map<uint64_t, std::vector<const obs::SpanRecord*>> children;
+  const obs::SpanRecord* root = nullptr;
+  for (const auto& s : spans) {
+    if (s.parent_id == 0) {
+      root = &s;
+    } else {
+      children[s.parent_id].push_back(&s);
+    }
+  }
+  ReportTable table({"span", "phase", "start_ms", "dur_ms", "tid"});
+  size_t rows = 0;
+  // Depth-first with explicit stack; depth drives the indent.
+  std::vector<std::pair<const obs::SpanRecord*, int>> stack;
+  if (root != nullptr) stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto [span, depth] = stack.back();
+    stack.pop_back();
+    if (max_rows != 0 && rows >= max_rows) {
+      table.AddRow({"... truncated ...", "", "", "", ""});
+      break;
+    }
+    ++rows;
+    table.AddRow({std::string(static_cast<size_t>(depth) * 2, ' ') + span->name,
+                  obs::PhaseName(span->phase), FormatMillis(span->start_micros),
+                  span->finished() ? FormatMillis(span->duration_micros()) : "open",
+                  common::Sprintf("%08llx", static_cast<unsigned long long>(span->thread_id))});
+    auto it = children.find(span->id);
+    if (it != children.end()) {
+      // Push in reverse so the first child is rendered first.
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        stack.emplace_back(*rit, depth + 1);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace hyperq::workload

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "obs/trace.h"
+#include "workload/report.h"
+
+/// \file span_report.h
+/// Folds a job's pipeline span tree (obs/trace.h) into the benchmark
+/// harness's ReportTable format: a per-phase latency summary and an
+/// indented parent/child tree view. Bench binaries print these next to the
+/// figure tables so a run's phase breakdown is visible without external
+/// tooling.
+
+namespace hyperq::workload {
+
+/// One aggregate row per phase: span count, total/mean/max duration and the
+/// share of the root span's wall time. Rows are ordered by first appearance
+/// in the trace (pipeline order).
+ReportTable SpanSummaryTable(const std::vector<obs::SpanRecord>& spans);
+
+/// The raw tree: every span indented under its parent with start offset and
+/// duration. `max_rows` truncates pathological traces (0 = no limit).
+ReportTable SpanTreeTable(const std::vector<obs::SpanRecord>& spans, size_t max_rows = 64);
+
+}  // namespace hyperq::workload

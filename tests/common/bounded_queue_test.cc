@@ -97,6 +97,67 @@ TEST(BoundedQueueTest, ManyProducersManyConsumers) {
   EXPECT_EQ(total.load(), kPerProducer * kProducers);
 }
 
+TEST(BoundedQueueTest, CapacityOneStressPreservesEveryItem) {
+  // Tightest possible queue: every Push and Pop blocks, exercising both
+  // wait paths continuously. The value sum proves no item is lost or duped.
+  BoundedQueue<int> q(1);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i + 1));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) sum += *v;
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  constexpr long long kTotal = static_cast<long long>(kProducers) * kPerProducer;
+  EXPECT_EQ(sum.load(), kTotal * (kTotal + 1) / 2);
+}
+
+TEST(BoundedQueueTest, CloseRacingActiveProducersLosesNoAcceptedItem) {
+  // Close() fires while producers and consumers are mid-flight: every Push
+  // that reported success must be observed by a consumer, and no thread may
+  // deadlock.
+  BoundedQueue<int> q(4);
+  std::atomic<int> accepted{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        if (q.Push(1)) {
+          accepted.fetch_add(1);
+        } else {
+          return;  // queue closed
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (q.Pop().has_value()) consumed.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), accepted.load());
+}
+
 TEST(BoundedQueueTest, SizeReflectsContents) {
   BoundedQueue<int> q;
   EXPECT_EQ(q.size(), 0u);

@@ -84,5 +84,49 @@ TEST(MemoryTrackerTest, ConcurrentReserveReleaseIsConsistent) {
   EXPECT_EQ(tracker.used(), 0u);
 }
 
+TEST(MemoryTrackerTest, ConcurrentBudgetEnforcementNeverOverAdmits) {
+  constexpr uint64_t kBudget = 1000;
+  constexpr uint64_t kChunk = 64;
+  MemoryTracker tracker(kBudget);
+  std::atomic<uint64_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        if (tracker.Reserve(kChunk).ok()) {
+          // The sum of all admitted-and-held reservations can never exceed
+          // the budget, no matter the interleaving.
+          uint64_t held = admitted.fetch_add(kChunk) + kChunk;
+          EXPECT_LE(held, kBudget);
+          admitted.fetch_sub(kChunk);
+          tracker.Release(kChunk);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracker.used(), 0u);
+  // Note: peak() may transiently exceed the budget (it records the
+  // pre-rollback high-water of rejected reservations), so it is not
+  // asserted here.
+}
+
+TEST(MemoryReservationTest, ConcurrentRaiiChurnLeavesNoResidual) {
+  MemoryTracker tracker(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        if (!tracker.Reserve(17).ok()) continue;
+        MemoryReservation r(&tracker, 17);
+        MemoryReservation moved = std::move(r);  // ownership transfer under contention
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracker.used(), 0u);
+  EXPECT_GT(tracker.peak(), 0u);
+}
+
 }  // namespace
 }  // namespace hyperq::common

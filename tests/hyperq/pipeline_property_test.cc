@@ -34,7 +34,11 @@ class PipelinePropertyTest : public ::testing::TestWithParam<PropertyParams> {};
 
 TEST_P(PipelinePropertyTest, EveryRowAccountedForExactlyOnce) {
   const PropertyParams& p = GetParam();
-  std::string work_dir = "/tmp/hq_pipeline_property";
+  // Unique per parameterization so `ctest -j` instances don't delete each
+  // other's staging files.
+  std::string work_dir = "/tmp/hq_pipeline_property_" + std::to_string(p.seed) + "_" +
+                         std::to_string(p.rows) + "_" + std::to_string(p.sessions) + "_" +
+                         std::to_string(p.chunk_rows) + "_" + std::to_string(p.credits);
   std::filesystem::remove_all(work_dir);
   std::filesystem::create_directories(work_dir);
 

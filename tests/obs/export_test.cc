@@ -1,0 +1,149 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/dumper.h"
+
+namespace hyperq::obs {
+namespace {
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsRegistry reg;
+  reg.GetCounter("hyperq_chunks_total")->Increment(12);
+  reg.GetCounter("hyperq_rows_received_total")->Increment(4800);
+  reg.GetGauge("hyperq_credits_in_use")->Set(-2);  // signed values survive
+  Histogram* h = reg.GetHistogram("hyperq_convert_seconds");
+  h->Observe(0.5e-6);
+  h->Observe(3e-3);
+  h->Observe(3e-3);
+  h->Observe(500.0);
+  return reg.Snapshot();
+}
+
+TEST(PrometheusExportTest, GoldenOutput) {
+  MetricsRegistry reg;
+  reg.GetCounter("jobs_total")->Increment(3);
+  reg.GetGauge("queue_depth")->Set(7);
+  std::string text = ToPrometheusText(reg.Snapshot());
+  EXPECT_EQ(text,
+            "# TYPE jobs_total counter\n"
+            "jobs_total 3\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth 7\n");
+}
+
+TEST(PrometheusExportTest, HistogramSeriesIsCumulativeWithInfBucket) {
+  MetricsSnapshot snap = SampleSnapshot();
+  std::string text = ToPrometheusText(snap);
+  // Bucket series is cumulative; the +Inf bucket equals the total count.
+  EXPECT_NE(text.find("hyperq_convert_seconds_bucket{le=\"1e-06\"} 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hyperq_convert_seconds_bucket{le=\"0.005\"} 3\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hyperq_convert_seconds_bucket{le=\"+Inf\"} 4\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hyperq_convert_seconds_count 4\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusExportTest, RoundTripsExactly) {
+  MetricsSnapshot snap = SampleSnapshot();
+  auto parsed = FromPrometheusText(ToPrometheusText(snap));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, snap);
+}
+
+TEST(PrometheusExportTest, EmptySnapshotRoundTrips) {
+  MetricsSnapshot empty;
+  auto parsed = FromPrometheusText(ToPrometheusText(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, empty);
+}
+
+TEST(PrometheusExportTest, RejectsMalformedInput) {
+  EXPECT_FALSE(FromPrometheusText("stray_sample 42\n").ok());
+  EXPECT_FALSE(FromPrometheusText("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\n").ok());
+}
+
+TEST(JsonExportTest, GoldenOutput) {
+  MetricsRegistry reg;
+  reg.GetCounter("jobs_total")->Increment(3);
+  reg.GetGauge("queue_depth")->Set(7);
+  std::string json = ToJson(reg.Snapshot());
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"jobs_total\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"queue_depth\": 7\n"
+            "  },\n"
+            "  \"histograms\": {}\n"
+            "}\n");
+}
+
+TEST(JsonExportTest, RoundTripsExactly) {
+  MetricsSnapshot snap = SampleSnapshot();
+  auto parsed = FromJson(ToJson(snap));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, snap);
+}
+
+TEST(JsonExportTest, EmptySnapshotRoundTrips) {
+  MetricsSnapshot empty;
+  auto parsed = FromJson(ToJson(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, empty);
+}
+
+TEST(JsonExportTest, SkipsUnknownKeysAndRejectsGarbage) {
+  auto parsed = FromJson("{\"counters\": {\"a\": 1}, \"extra\": [1, {\"x\": \"y\"}]}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->counters.at("a"), 1u);
+  EXPECT_FALSE(FromJson("not json").ok());
+  EXPECT_FALSE(FromJson("{\"counters\": {").ok());
+}
+
+TEST(JsonExportTest, CrossFormatAgreement) {
+  // Both wire formats decode back to the identical snapshot.
+  MetricsSnapshot snap = SampleSnapshot();
+  auto from_prom = FromPrometheusText(ToPrometheusText(snap));
+  auto from_json = FromJson(ToJson(snap));
+  ASSERT_TRUE(from_prom.ok());
+  ASSERT_TRUE(from_json.ok());
+  EXPECT_EQ(*from_prom, *from_json);
+}
+
+TEST(SnapshotDumperTest, PeriodicallyDumpsAndStopsCleanly) {
+  MetricsRegistry reg;
+  reg.GetCounter("ticks_total")->Increment();
+  std::vector<MetricsSnapshot> dumps;
+  std::mutex mu;
+  SnapshotDumperOptions options;
+  options.interval = std::chrono::milliseconds(20);
+  options.dump_on_stop = true;
+  options.sink = [&](const MetricsSnapshot& snap) {
+    std::lock_guard<std::mutex> lock(mu);
+    dumps.push_back(snap);
+  };
+  SnapshotDumper dumper(&reg, options);
+  dumper.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  dumper.Stop();
+  uint64_t total = dumper.dumps();
+  EXPECT_GE(total, 1u);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(dumps.size(), total);
+  // The dumped snapshot survives a JSON round trip.
+  auto parsed = FromJson(ToJson(dumps.back()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->counters.at("ticks_total"), 1u);
+}
+
+}  // namespace
+}  // namespace hyperq::obs

@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hyperq::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  g.Set(10);
+  g.Add(5);
+  g.Sub(7);
+  EXPECT_EQ(g.value(), 8);
+  g.Set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, ConcurrentAddSubBalancesToZero) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.Add(3);
+        g.Sub(3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, ObservePlacesValuesInCorrectBuckets) {
+  Histogram h;
+  const auto& bounds = Histogram::BucketBounds();
+  ASSERT_EQ(bounds.size() + 1, Histogram::NumBuckets());
+
+  h.Observe(0.0);     // <= 1e-6 -> bucket 0
+  h.Observe(2e-3);    // (1e-3, 2.5e-3] -> the bucket whose bound is 2.5e-3
+  h.Observe(1000.0);  // beyond the last bound -> +Inf bucket
+
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0 + 2e-3 + 1000.0);
+  EXPECT_EQ(snap.buckets.front(), 1u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  size_t idx_2_5ms = 0;
+  while (bounds[idx_2_5ms] < 2.5e-3) ++idx_2_5ms;
+  EXPECT_EQ(snap.buckets[idx_2_5ms], 1u);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBucket) {
+  Histogram h;
+  // 100 observations all in the (0.05, 0.1] bucket.
+  for (int i = 0; i < 100; ++i) h.Observe(0.08);
+  HistogramSnapshot snap = h.Snapshot();
+  double p50 = snap.p50();
+  EXPECT_GT(p50, 0.05);
+  EXPECT_LE(p50, 0.1);
+  EXPECT_GE(snap.p99(), p50);
+  // Empty histogram reports 0.
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObserveKeepsCountConsistent) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(1e-6 * static_cast<double>((t * kPerThread + i) % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_GT(snap.sum, 0.0);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x_total");
+  Counter* b = reg.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("y_total"), a);
+  EXPECT_EQ(reg.GetGauge("g"), reg.GetGauge("g"));
+  EXPECT_EQ(reg.GetHistogram("h"), reg.GetHistogram("h"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetOrCreateIsSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      for (int i = 0; i < 1000; ++i) {
+        Counter* c = reg.GetCounter("contended_total");
+        c->Increment();
+        seen[t] = c;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), static_cast<uint64_t>(kThreads) * 1000);
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesAllInstruments) {
+  MetricsRegistry reg;
+  reg.GetCounter("a_total")->Increment(7);
+  reg.GetGauge("depth")->Set(3);
+  reg.GetHistogram("lat_seconds")->Observe(0.01);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("a_total"), 7u);
+  EXPECT_EQ(snap.gauges.at("depth"), 3);
+  EXPECT_EQ(snap.histograms.at("lat_seconds").count, 1u);
+  EXPECT_EQ(snap, reg.Snapshot());
+}
+
+TEST(ScopedTimerTest, ObservesOnDestructionAndIsNullSafe) {
+  Histogram h;
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  {
+    ScopedTimer t(&h);
+    t.StopAndObserve();
+    t.StopAndObserve();  // second call is a no-op
+  }
+  EXPECT_EQ(h.count(), 2u);
+  { ScopedTimer t(nullptr); }  // must not crash
+}
+
+}  // namespace
+}  // namespace hyperq::obs

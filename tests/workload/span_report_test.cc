@@ -1,0 +1,102 @@
+#include "workload/span_report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hyperq::workload {
+namespace {
+
+// Hand-built span vector shaped like a small import: root with two convert
+// chunks, one write that nests a compress, then upload/copy/apply.
+std::vector<obs::SpanRecord> MakeSpans() {
+  auto span = [](uint64_t id, uint64_t parent, obs::Phase phase, std::string name,
+                 int64_t start, int64_t end) {
+    obs::SpanRecord s;
+    s.id = id;
+    s.parent_id = parent;
+    s.phase = phase;
+    s.name = std::move(name);
+    s.start_micros = start;
+    s.end_micros = end;
+    return s;
+  };
+  return {
+      span(1, 0, obs::Phase::kImport, "import", 0, 10000),
+      span(2, 1, obs::Phase::kRowConvert, "convert", 100, 1100),
+      span(3, 1, obs::Phase::kRowConvert, "convert", 1200, 3200),
+      span(4, 1, obs::Phase::kFileWrite, "write", 3300, 5300),
+      span(5, 4, obs::Phase::kCompress, "compress", 3400, 3900),
+      span(6, 1, obs::Phase::kStorePut, "put_batch", 5400, 6400),
+      span(7, 1, obs::Phase::kCdwCopy, "copy", 6500, 8500),
+      span(8, 1, obs::Phase::kDmlApply, "apply", 8600, 9600),
+  };
+}
+
+TEST(SpanReportTest, SummaryAggregatesPerPhaseInFirstAppearanceOrder) {
+  std::string out = SpanSummaryTable(MakeSpans()).ToString();
+  // Pipeline order preserved: convert before write before upload.
+  size_t convert_pos = out.find("convert");
+  size_t write_pos = out.find("write");
+  size_t upload_pos = out.find("upload");
+  ASSERT_NE(convert_pos, std::string::npos);
+  ASSERT_NE(write_pos, std::string::npos);
+  ASSERT_NE(upload_pos, std::string::npos);
+  EXPECT_LT(convert_pos, write_pos);
+  EXPECT_LT(write_pos, upload_pos);
+  // Two convert spans of 1ms + 2ms: total 3.000, mean 1.500, 30.0% of the
+  // 10ms root.
+  EXPECT_NE(out.find("3.000"), std::string::npos);
+  EXPECT_NE(out.find("1.500"), std::string::npos);
+  EXPECT_NE(out.find("30.0%"), std::string::npos);
+}
+
+TEST(SpanReportTest, SummarySkipsOpenSpansAndHandlesMissingRoot) {
+  std::vector<obs::SpanRecord> spans = MakeSpans();
+  spans[1].end_micros = -1;  // one convert still open -> excluded
+  std::string out = SpanSummaryTable(spans).ToString();
+  EXPECT_NE(out.find("convert"), std::string::npos);
+  EXPECT_EQ(out.find("3.000"), std::string::npos);  // only the 2ms span counts
+
+  // No root at all: shares degrade to 0%, no crash.
+  spans.erase(spans.begin());
+  out = SpanSummaryTable(spans).ToString();
+  EXPECT_NE(out.find("0.0%"), std::string::npos);
+}
+
+TEST(SpanReportTest, TreeIndentsChildrenUnderParents) {
+  std::string out = SpanTreeTable(MakeSpans()).ToString();
+  // compress is nested one level deeper than its parent write span.
+  size_t write_pos = out.find("\n  write");
+  size_t compress_pos = out.find("\n    compress");
+  ASSERT_NE(write_pos, std::string::npos) << out;
+  ASSERT_NE(compress_pos, std::string::npos) << out;
+  EXPECT_LT(write_pos, compress_pos);
+  // Root renders unindented, first.
+  EXPECT_LT(out.find("import"), out.find("convert"));
+}
+
+TEST(SpanReportTest, TreeTruncatesAtMaxRows) {
+  std::string out = SpanTreeTable(MakeSpans(), 3).ToString();
+  EXPECT_NE(out.find("truncated"), std::string::npos);
+  EXPECT_EQ(out.find("apply"), std::string::npos);
+  // max_rows = 0 disables the cap.
+  EXPECT_EQ(SpanTreeTable(MakeSpans(), 0).ToString().find("truncated"), std::string::npos);
+}
+
+TEST(SpanReportTest, EmptySpansYieldHeaderOnlyTables) {
+  std::vector<obs::SpanRecord> empty;
+  EXPECT_NE(SpanSummaryTable(empty).ToString().find("phase"), std::string::npos);
+  EXPECT_NE(SpanTreeTable(empty).ToString().find("span"), std::string::npos);
+}
+
+TEST(SpanReportTest, OpenSpanRendersAsOpenInTree) {
+  std::vector<obs::SpanRecord> spans = MakeSpans();
+  spans[7].end_micros = -1;  // apply still running
+  std::string out = SpanTreeTable(spans).ToString();
+  EXPECT_NE(out.find("open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperq::workload
