@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Full static-analysis + test gate for the repo (see DESIGN.md "Static
+# analysis & concurrency contracts"). Run from anywhere; operates on the
+# repo root. Every stage must pass; the script stops at the first failure.
+#
+#   ci/check.sh            # everything
+#   ci/check.sh lint       # just hqlint
+#   ci/check.sh default    # just the default preset build + tests
+#   ci/check.sh asan tsan  # just the sanitizer presets
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(lint thread-safety default asan tsan)
+fi
+
+run_preset() {
+  local preset="$1"
+  echo "=== preset: $preset ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  ctest --preset "$preset" -j "$JOBS"
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    lint)
+      echo "=== hqlint over src/ and tests/ ==="
+      cmake --preset lint
+      cmake --build --preset lint -j "$JOBS"
+      ./build-lint/tools/hqlint/hqlint --root "$ROOT" src tests
+      ctest --preset lint -j "$JOBS"
+      ;;
+    thread-safety)
+      # The HQ_GUARDED_BY / HQ_REQUIRES annotations in common/sync.h are
+      # only understood by clang's -Wthread-safety; on a gcc-only box this
+      # stage is skipped (the annotations compile away there).
+      if command -v clang++ >/dev/null 2>&1; then
+        echo "=== clang -Werror=thread-safety build of src/ ==="
+        cmake -B build-ts -S . -DCMAKE_CXX_COMPILER=clang++ \
+          -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety"
+        cmake --build build-ts -j "$JOBS"
+      else
+        echo "=== thread-safety: clang++ not found, skipping (annotations are inert under gcc) ==="
+      fi
+      ;;
+    default|asan|tsan)
+      run_preset "$stage"
+      ;;
+    *)
+      echo "unknown stage: $stage (expected lint|thread-safety|default|asan|tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "=== all stages passed ==="

@@ -12,7 +12,7 @@ std::string Catalog::NormalizeName(const std::string& name) { return common::ToU
 Result<TablePtr> Catalog::CreateTable(const std::string& name, types::Schema schema,
                                       std::vector<std::string> primary_key, bool unique_primary,
                                       bool or_ignore) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::string key = NormalizeName(name);
   auto it = tables_.find(key);
   if (it != tables_.end()) {
@@ -26,19 +26,19 @@ Result<TablePtr> Catalog::CreateTable(const std::string& name, types::Schema sch
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = tables_.find(NormalizeName(name));
   if (it == tables_.end()) return Status::NotFound("table not found: " + name);
   return it->second;
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return tables_.count(NormalizeName(name)) != 0;
 }
 
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (tables_.erase(NormalizeName(name)) == 0 && !if_exists) {
     return Status::NotFound("table not found: " + name);
   }
@@ -46,7 +46,7 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
 }
 
 std::vector<std::string> Catalog::ListTables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());

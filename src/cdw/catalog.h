@@ -1,12 +1,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cdw/table.h"
 #include "common/result.h"
+#include "common/sync.h"
 
 /// \file catalog.h
 /// Case-insensitive table catalog of the simulated CDW. Names may be
@@ -19,20 +19,21 @@ class Catalog {
   /// Creates a table; AlreadyExists unless `or_ignore`.
   common::Result<TablePtr> CreateTable(const std::string& name, types::Schema schema,
                                        std::vector<std::string> primary_key = {},
-                                       bool unique_primary = false, bool or_ignore = false);
+                                       bool unique_primary = false, bool or_ignore = false)
+      HQ_EXCLUDES(mu_);
 
-  common::Result<TablePtr> GetTable(const std::string& name) const;
-  bool HasTable(const std::string& name) const;
+  common::Result<TablePtr> GetTable(const std::string& name) const HQ_EXCLUDES(mu_);
+  bool HasTable(const std::string& name) const HQ_EXCLUDES(mu_);
 
-  common::Status DropTable(const std::string& name, bool if_exists = false);
+  common::Status DropTable(const std::string& name, bool if_exists = false) HQ_EXCLUDES(mu_);
 
-  std::vector<std::string> ListTables() const;
+  std::vector<std::string> ListTables() const HQ_EXCLUDES(mu_);
 
  private:
   static std::string NormalizeName(const std::string& name);
 
-  mutable std::mutex mu_;
-  std::map<std::string, TablePtr> tables_;
+  mutable common::Mutex mu_;
+  std::map<std::string, TablePtr> tables_ HQ_GUARDED_BY(mu_);
 };
 
 }  // namespace hyperq::cdw

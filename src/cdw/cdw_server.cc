@@ -27,7 +27,7 @@ Result<ExecResult> CdwServer::ExecuteSql(std::string_view sql, const ExecOptions
   obs::ScopedTimer timer(statement_latency_);
   if (statements_total_ != nullptr) statements_total_->Increment();
   PayStartupCost(options_.statement_startup_micros);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++statements_executed_;
   return executor_.ExecuteSql(sql, options);
 }
@@ -36,7 +36,7 @@ Result<ExecResult> CdwServer::Execute(const sql::Statement& stmt, const ExecOpti
   obs::ScopedTimer timer(statement_latency_);
   if (statements_total_ != nullptr) statements_total_->Increment();
   PayStartupCost(options_.statement_startup_micros);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++statements_executed_;
   return executor_.Execute(stmt, options);
 }
@@ -46,11 +46,16 @@ Result<uint64_t> CdwServer::CopyInto(const std::string& table_name, const std::s
   obs::ScopedTimer timer(copy_latency_);
   if (copies_total_ != nullptr) copies_total_->Increment();
   PayStartupCost(options_.copy_startup_micros);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   HQ_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
   Result<uint64_t> copied = CopyFromStore(table.get(), *store_, prefix, options);
   if (copied.ok() && copy_rows_total_ != nullptr) copy_rows_total_->Increment(*copied);
   return copied;
+}
+
+uint64_t CdwServer::statements_executed() const {
+  common::MutexLock lock(&mu_);
+  return statements_executed_;
 }
 
 }  // namespace hyperq::cdw

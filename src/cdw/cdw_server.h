@@ -1,13 +1,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "cdw/catalog.h"
 #include "cdw/copy.h"
 #include "cdw/executor.h"
 #include "cloudstore/object_store.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 /// \file cdw_server.h
@@ -39,16 +39,18 @@ class CdwServer {
   cloud::ObjectStore* store() { return store_; }
 
   /// Executes one SQL statement (CDW dialect text).
-  common::Result<ExecResult> ExecuteSql(std::string_view sql, const ExecOptions& options = {});
+  common::Result<ExecResult> ExecuteSql(std::string_view sql, const ExecOptions& options = {})
+      HQ_EXCLUDES(mu_);
 
   /// Executes a parsed statement.
-  common::Result<ExecResult> Execute(const sql::Statement& stmt, const ExecOptions& options = {});
+  common::Result<ExecResult> Execute(const sql::Statement& stmt, const ExecOptions& options = {})
+      HQ_EXCLUDES(mu_);
 
   /// COPY INTO <table> FROM @store/<prefix>.
   common::Result<uint64_t> CopyInto(const std::string& table_name, const std::string& prefix,
-                                    const CopyOptions& options = {});
+                                    const CopyOptions& options = {}) HQ_EXCLUDES(mu_);
 
-  uint64_t statements_executed() const { return statements_executed_; }
+  uint64_t statements_executed() const HQ_EXCLUDES(mu_);
 
  private:
   void PayStartupCost(int64_t micros) const;
@@ -56,9 +58,11 @@ class CdwServer {
   cloud::ObjectStore* store_;
   CdwServerOptions options_;
   Catalog catalog_;
-  Executor executor_;
-  mutable std::mutex mu_;
-  uint64_t statements_executed_ = 0;
+  /// The single warehouse statement lock: statements and COPYs serialize on
+  /// it, so the executor only ever runs single-threaded.
+  mutable common::Mutex mu_;
+  Executor executor_ HQ_GUARDED_BY(mu_);
+  uint64_t statements_executed_ HQ_GUARDED_BY(mu_) = 0;
 
   // Cached instrument pointers; null when options_.metrics is null.
   obs::Histogram* statement_latency_ = nullptr;

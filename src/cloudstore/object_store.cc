@@ -34,7 +34,7 @@ Status ObjectStore::Put(const std::string& key, Slice data) {
   obs::ScopedTimer timer(put_latency_);
   PayCost(data.size());
   auto blob = std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + data.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   objects_[key] = std::move(blob);
   ++stats_.put_requests;
   stats_.bytes_uploaded += data.size();
@@ -53,7 +53,7 @@ Status ObjectStore::PutBatch(const std::vector<std::pair<std::string, Slice>>& o
   }
   obs::ScopedTimer timer(put_latency_);
   PayCost(total_bytes);  // one request: latency charged once
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& [key, data] : objects) {
     objects_[key] =
         std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + data.size());
@@ -72,7 +72,7 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> ObjectStore::Get(
   obs::ScopedTimer timer(get_latency_);
   std::shared_ptr<const std::vector<uint8_t>> blob;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     auto it = objects_.find(key);
     if (it == objects_.end()) return Status::NotFound("object not found: " + key);
     blob = it->second;
@@ -88,7 +88,7 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> ObjectStore::Get(
 }
 
 std::vector<std::string> ObjectStore::List(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -98,13 +98,13 @@ std::vector<std::string> ObjectStore::List(const std::string& prefix) const {
 }
 
 Status ObjectStore::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (objects_.erase(key) == 0) return Status::NotFound("object not found: " + key);
   return Status::OK();
 }
 
 size_t ObjectStore::DeletePrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   size_t removed = 0;
   auto it = objects_.lower_bound(prefix);
   while (it != objects_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
@@ -115,19 +115,19 @@ size_t ObjectStore::DeletePrefix(const std::string& prefix) {
 }
 
 bool ObjectStore::Exists(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return objects_.count(key) != 0;
 }
 
 Result<size_t> ObjectStore::ObjectSize(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("object not found: " + key);
   return it->second->size();
 }
 
 ObjectStoreStats ObjectStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -3,12 +3,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 /// \file object_store.h
@@ -41,35 +41,37 @@ class ObjectStore {
   explicit ObjectStore(ObjectStoreOptions options = {});
 
   /// Uploads one object (overwrites). Pays latency + bandwidth.
-  common::Status Put(const std::string& key, common::Slice data);
+  common::Status Put(const std::string& key, common::Slice data) HQ_EXCLUDES(mu_);
 
   /// Uploads several objects in one request: the per-request latency is paid
   /// once for the whole batch (this is what makes directory upload cheaper
   /// than per-file upload, Section 6 of the paper).
-  common::Status PutBatch(const std::vector<std::pair<std::string, common::Slice>>& objects);
+  common::Status PutBatch(const std::vector<std::pair<std::string, common::Slice>>& objects)
+      HQ_EXCLUDES(mu_);
 
   /// Downloads one object.
-  common::Result<std::shared_ptr<const std::vector<uint8_t>>> Get(const std::string& key) const;
+  common::Result<std::shared_ptr<const std::vector<uint8_t>>> Get(const std::string& key) const
+      HQ_EXCLUDES(mu_);
 
   /// Keys with the given prefix, sorted.
-  std::vector<std::string> List(const std::string& prefix) const;
+  std::vector<std::string> List(const std::string& prefix) const HQ_EXCLUDES(mu_);
 
-  common::Status Delete(const std::string& key);
+  common::Status Delete(const std::string& key) HQ_EXCLUDES(mu_);
   /// Deletes every object under a prefix; returns the count removed.
-  size_t DeletePrefix(const std::string& prefix);
+  size_t DeletePrefix(const std::string& prefix) HQ_EXCLUDES(mu_);
 
-  bool Exists(const std::string& key) const;
-  common::Result<size_t> ObjectSize(const std::string& key) const;
+  bool Exists(const std::string& key) const HQ_EXCLUDES(mu_);
+  common::Result<size_t> ObjectSize(const std::string& key) const HQ_EXCLUDES(mu_);
 
-  ObjectStoreStats stats() const;
+  ObjectStoreStats stats() const HQ_EXCLUDES(mu_);
 
  private:
   void PayCost(size_t bytes) const;
 
   ObjectStoreOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const std::vector<uint8_t>>> objects_;
-  mutable ObjectStoreStats stats_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::shared_ptr<const std::vector<uint8_t>>> objects_ HQ_GUARDED_BY(mu_);
+  mutable ObjectStoreStats stats_ HQ_GUARDED_BY(mu_);
 
   // Cached instrument pointers; null when options_.metrics is null.
   obs::Histogram* put_latency_ = nullptr;

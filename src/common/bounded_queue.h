@@ -1,9 +1,9 @@
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/sync.h"
 
 /// \file bounded_queue.h
 /// Blocking MPMC queue with a capacity bound and cooperative close semantics.
@@ -20,61 +20,63 @@ class BoundedQueue {
 
   /// Blocks until there is room (or the queue is closed). Returns false if
   /// the queue was closed and the item was not enqueued.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || capacity_ == 0 || items_.size() < capacity_; });
+  bool Push(T item) HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_ && capacity_ != 0 && items_.size() >= capacity_) {
+      not_full_.Wait(lock);
+    }
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push; returns false when full or closed.
-  bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPush(T item) HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed *and* drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Closes the queue: pending Pops drain remaining items then return nullopt;
   /// subsequent Pushes fail.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ HQ_GUARDED_BY(mu_);
+  bool closed_ HQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hyperq::common

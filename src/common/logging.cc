@@ -3,14 +3,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <thread>
+
+#include "common/sync.h"
 
 namespace hyperq::common {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_log_mutex;
+/// Serializes the fprintf so concurrent log lines never interleave; no state
+/// is guarded (the level is an atomic, timestamps are thread-local math).
+Mutex g_log_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -53,7 +56,7 @@ void LogMessage(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
   int64_t micros = LogMonotonicMicros();
   uint64_t tid = LogThreadId();
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   std::fprintf(stderr, "[%s +%lld.%06llds tid=%08llx] %s\n", LevelTag(level),
                static_cast<long long>(micros / 1000000),
                static_cast<long long>(micros % 1000000),

@@ -14,6 +14,11 @@
 /// discussion). We reproduce that failure mode deterministically: stages
 /// reserve bytes against a configurable budget and an exceeded budget
 /// surfaces as Status::ResourceExhausted instead of an actual crash.
+///
+/// Deliberately lock-free: every member is an atomic (or const), so there is
+/// no mutex to annotate and no capability for the thread-safety analysis to
+/// track. Reserve() tolerates transient over-count between the fetch_add and
+/// the budget check; the fetch_sub rollback keeps `used_` eventually exact.
 
 namespace hyperq::common {
 

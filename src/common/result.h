@@ -16,8 +16,11 @@ namespace hyperq::common {
 /// Usage:
 ///   Result<int> ParsePort(std::string_view s);
 ///   HQ_ASSIGN_OR_RETURN(int port, ParsePort(text));
+///
+/// [[nodiscard]] at class scope for the same reason as Status: discarding a
+/// Result drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Error constructor; `status` must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT implicit

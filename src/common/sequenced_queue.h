@@ -1,9 +1,9 @@
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <optional>
+
+#include "common/sync.h"
 
 /// \file sequenced_queue.h
 /// Reordering hand-off: producers push items tagged with a dense sequence
@@ -18,18 +18,18 @@ template <typename T>
 class SequencedQueue {
  public:
   /// Inserts an item with its sequence number. Returns false after Close().
-  bool Push(uint64_t seq, T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Push(uint64_t seq, T item) HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (closed_) return false;
     items_.emplace(seq, std::move(item));
-    cv_.notify_all();
+    cv_.NotifyAll();
     return true;
   }
 
   /// Pops the next item in sequence order; blocks until it arrives. Returns
   /// nullopt once closed and the next-in-order item can no longer arrive.
-  std::optional<T> PopNext() {
-    std::unique_lock<std::mutex> lock(mu_);
+  std::optional<T> PopNext() HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     for (;;) {
       auto it = items_.find(next_);
       if (it != items_.end()) {
@@ -39,28 +39,28 @@ class SequencedQueue {
         return item;
       }
       if (closed_) return std::nullopt;
-      cv_.wait(lock);
+      cv_.Wait(lock);
     }
   }
 
   /// No more pushes; consumers drain whatever is already in order.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     closed_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  size_t pending() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t pending() const HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<uint64_t, T> items_;
-  uint64_t next_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<uint64_t, T> items_ HQ_GUARDED_BY(mu_);
+  uint64_t next_ HQ_GUARDED_BY(mu_) = 0;
+  bool closed_ HQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hyperq::common

@@ -36,7 +36,11 @@ std::string_view StatusCodeName(StatusCode code);
 /// Cheap to move; OK carries no allocation. Follow the Arrow idiom:
 ///   HQ_RETURN_NOT_OK(DoThing());
 ///   Status s = ...; if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]] at class scope: a dropped Status is a swallowed error, so
+/// every function returning one must have its result checked (or explicitly
+/// voided with a comment saying why).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

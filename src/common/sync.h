@@ -1,0 +1,128 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+/// \file sync.h
+/// The project's only sanctioned synchronization layer: Clang
+/// thread-safety-annotated wrappers over std::mutex /
+/// std::condition_variable. Every lock in the codebase goes through these
+/// types so that `clang++ -Werror=thread-safety` can prove, at compile time,
+/// which fields each mutex guards and which methods require or exclude it.
+/// On non-Clang compilers the annotations expand to nothing and the wrappers
+/// are zero-cost aliases of the std primitives.
+///
+/// Rules (enforced by tools/hqlint):
+///  - No naked std::mutex / std::lock_guard / std::unique_lock /
+///    std::condition_variable outside this header.
+///  - Guarded fields carry HQ_GUARDED_BY(mu_); methods that assume the lock
+///    is held carry HQ_REQUIRES(mu_); public entry points that take the lock
+///    carry HQ_EXCLUDES(mu_).
+///  - Condition-variable predicates are written as explicit while-loops in
+///    the locked scope (not as lambdas handed to wait()) so the analysis can
+///    see the guarded reads.
+
+// ---------------------------------------------------------------------------
+// Annotation macros (Clang thread-safety attributes; no-ops elsewhere).
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define HQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HQ_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define HQ_CAPABILITY(x) HQ_THREAD_ANNOTATION_(capability(x))
+/// Declares an RAII type that acquires a capability for its scope.
+#define HQ_SCOPED_CAPABILITY HQ_THREAD_ANNOTATION_(scoped_lockable)
+/// Field is protected by the given mutex.
+#define HQ_GUARDED_BY(x) HQ_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointee (not the pointer itself) is protected by the given mutex.
+#define HQ_PT_GUARDED_BY(x) HQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function may only be called while holding the given mutex(es).
+#define HQ_REQUIRES(...) HQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Function acquires the mutex(es) and holds them on return.
+#define HQ_ACQUIRE(...) HQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// Function releases the mutex(es).
+#define HQ_RELEASE(...) HQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// Function acquires the mutex when it returns the given value.
+#define HQ_TRY_ACQUIRE(...) HQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called while holding the given mutex(es)
+/// (deadlock guard for public entry points that take the lock themselves).
+#define HQ_EXCLUDES(...) HQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Declares lock acquisition order between two mutexes.
+#define HQ_ACQUIRED_BEFORE(...) HQ_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define HQ_ACQUIRED_AFTER(...) HQ_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+/// Escape hatch; must carry a comment justifying why the analysis is wrong.
+#define HQ_NO_THREAD_SAFETY_ANALYSIS HQ_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace hyperq::common {
+
+class CondVar;
+class MutexLock;
+
+/// Annotated exclusive mutex. Prefer MutexLock over manual Lock()/Unlock().
+class HQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() HQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() HQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over a Mutex; the codebase's only lock-taking idiom.
+class HQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HQ_ACQUIRE(mu) : lock_(mu->mu_) {}
+  ~MutexLock() HQ_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to MutexLock. Callers loop over their predicate
+/// in the locked scope:
+///   MutexLock lock(&mu_);
+///   while (!ready_) cv_.Wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases the lock, blocks, and reacquires before returning.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Waits until notified or `deadline`; returns true on timeout.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(MutexLock& lock, const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::timeout;
+  }
+
+  /// Waits until notified or `timeout` elapsed; returns true on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock, const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hyperq::common

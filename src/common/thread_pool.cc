@@ -16,40 +16,40 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) return false;
     tasks_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
   return true;
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return tasks_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!tasks_.empty() || active_ != 0) idle_.Wait(lock);
 }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) {
       // Already shut down; threads may be joined by the first caller.
     }
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
 }
 
 size_t ThreadPool::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tasks_.size();
 }
 
 size_t ThreadPool::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return active_;
 }
 
@@ -57,8 +57,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && tasks_.empty()) work_available_.Wait(lock);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -69,9 +69,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (tasks_.empty() && active_ == 0) idle_.notify_all();
+      if (tasks_.empty() && active_ == 0) idle_.NotifyAll();
     }
   }
 }

@@ -1,12 +1,11 @@
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 /// \file thread_pool.h
 /// Fixed-size worker pool. Pipeline stages that need bounded concurrency
@@ -24,30 +23,31 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; returns false if the pool is shutting down.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) HQ_EXCLUDES(mu_);
 
   /// Blocks until every queued and running task has finished.
-  void WaitIdle();
+  void WaitIdle() HQ_EXCLUDES(mu_);
 
   /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
-  void Shutdown();
+  void Shutdown() HQ_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
   /// Tasks queued but not yet started.
-  size_t queued() const;
+  size_t queued() const HQ_EXCLUDES(mu_);
   /// Workers currently running a task (utilization numerator for telemetry).
-  size_t active() const;
+  size_t active() const HQ_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() HQ_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> tasks_;
+  mutable Mutex mu_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> tasks_ HQ_GUARDED_BY(mu_);
+  /// Immutable after the constructor returns (workers never touch it).
   std::vector<std::thread> threads_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  size_t active_ HQ_GUARDED_BY(mu_) = 0;
+  bool shutdown_ HQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hyperq::common

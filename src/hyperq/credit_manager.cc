@@ -30,56 +30,58 @@ void CreditManager::BindMetrics(obs::MetricsRegistry* registry) {
   wait_seconds_ = registry->GetHistogram("hyperq_credit_wait_seconds");
 }
 
+void CreditManager::NoteAcquired() {
+  --available_;
+  stats_.max_outstanding = std::max(stats_.max_outstanding, pool_size_ - available_);
+  if (in_use_gauge_ != nullptr) in_use_gauge_->Set(static_cast<int64_t>(pool_size_ - available_));
+}
+
 Credit CreditManager::Acquire() {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++stats_.acquisitions;
   if (acquisitions_total_ != nullptr) acquisitions_total_->Increment();
   if (available_ == 0) {
     ++stats_.blocked_acquisitions;
     if (throttle_total_ != nullptr) throttle_total_->Increment();
     common::Stopwatch wait_timer;
-    cv_.wait(lock, [&] { return available_ > 0; });
+    while (available_ == 0) cv_.Wait(lock);
     if (wait_seconds_ != nullptr) wait_seconds_->Observe(wait_timer.ElapsedSeconds());
   } else if (wait_seconds_ != nullptr) {
     wait_seconds_->Observe(0.0);
   }
-  --available_;
-  stats_.max_outstanding = std::max(stats_.max_outstanding, pool_size_ - available_);
-  if (in_use_gauge_ != nullptr) in_use_gauge_->Set(static_cast<int64_t>(pool_size_ - available_));
+  NoteAcquired();
   return Credit(this);
 }
 
 Credit CreditManager::TryAcquire() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (available_ == 0) return Credit();
   ++stats_.acquisitions;
   if (acquisitions_total_ != nullptr) acquisitions_total_->Increment();
-  --available_;
-  stats_.max_outstanding = std::max(stats_.max_outstanding, pool_size_ - available_);
-  if (in_use_gauge_ != nullptr) in_use_gauge_->Set(static_cast<int64_t>(pool_size_ - available_));
+  NoteAcquired();
   return Credit(this);
 }
 
 uint64_t CreditManager::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return available_;
 }
 
 uint64_t CreditManager::outstanding() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return pool_size_ - available_;
 }
 
 CreditStats CreditManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_;
 }
 
 void CreditManager::ReturnOne() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   ++available_;
   if (in_use_gauge_ != nullptr) in_use_gauge_->Set(static_cast<int64_t>(pool_size_ - available_));
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 }  // namespace hyperq::core

@@ -1,9 +1,8 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 /// \file credit_manager.h
@@ -54,27 +53,30 @@ class CreditManager {
   void BindMetrics(obs::MetricsRegistry* registry);
 
   /// Blocks until a credit is available.
-  Credit Acquire();
+  Credit Acquire() HQ_EXCLUDES(mu_);
 
   /// Non-blocking; returns an empty Credit when the pool is exhausted.
-  Credit TryAcquire();
+  Credit TryAcquire() HQ_EXCLUDES(mu_);
 
   uint64_t pool_size() const { return pool_size_; }
-  uint64_t available() const;
-  uint64_t outstanding() const;
-  CreditStats stats() const;
+  uint64_t available() const HQ_EXCLUDES(mu_);
+  uint64_t outstanding() const HQ_EXCLUDES(mu_);
+  CreditStats stats() const HQ_EXCLUDES(mu_);
 
  private:
   friend class Credit;
-  void ReturnOne();
+  void ReturnOne() HQ_EXCLUDES(mu_);
+  /// Bumps outstanding-count bookkeeping after one successful acquisition.
+  void NoteAcquired() HQ_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t available_;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  uint64_t available_ HQ_GUARDED_BY(mu_);
   const uint64_t pool_size_;
-  CreditStats stats_;
+  CreditStats stats_ HQ_GUARDED_BY(mu_);
 
-  // Cached instrument pointers; null until BindMetrics.
+  // Cached instrument pointers; written once by BindMetrics before traffic
+  // starts, read-only afterwards (instrument updates themselves are atomic).
   obs::Gauge* in_use_gauge_ = nullptr;
   obs::Counter* acquisitions_total_ = nullptr;
   obs::Counter* throttle_total_ = nullptr;

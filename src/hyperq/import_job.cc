@@ -134,12 +134,12 @@ void ImportJob::StartWriters() {
 }
 
 void ImportJob::NoteFatal(const Status& s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (fatal_.ok()) fatal_ = s;
 }
 
 Status ImportJob::fatal_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return fatal_;
 }
 
@@ -171,7 +171,7 @@ Status ImportJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
   uint64_t order;
   uint64_t first_row;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     order = chunk_counter_++;
     first_row = row_counter_ + 1;
     row_counter_ += chunk.row_count;
@@ -216,15 +216,17 @@ Status ImportJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
     } else {
       item.status = converted.status();
     }
-    ordered_chunks_.Push(order, std::move(item));
+    if (!ordered_chunks_.Push(order, std::move(item))) {
+      NoteFatal(Status::Cancelled("chunk queue closed before conversion finished"));
+    }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       --outstanding_conversions_;
-      if (outstanding_conversions_ == 0) conversions_done_.notify_all();
+      if (outstanding_conversions_ == 0) conversions_done_.NotifyAll();
     }
   });
   if (!submitted) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     --outstanding_conversions_;
     return Status::Cancelled("converter pool is shut down");
   }
@@ -259,12 +261,12 @@ void ImportJob::WriterLoop(size_t writer_index) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       rows_staged_ += item->converted.rows_out;
       for (auto& e : item->converted.errors) data_errors_.push_back(std::move(e));
     }
     if (!finalized.empty()) {
-      std::lock_guard<std::mutex> lock(finalize_mu_);
+      common::MutexLock lock(&finalize_mu_);
       for (auto& f : finalized) finalized_files_.push_back(std::move(f));
     }
   }
@@ -272,16 +274,16 @@ void ImportJob::WriterLoop(size_t writer_index) {
   Status s = writer.Finish(&finalized);
   if (!s.ok()) NoteFatal(s);
   if (!finalized.empty()) {
-    std::lock_guard<std::mutex> lock(finalize_mu_);
+    common::MutexLock lock(&finalize_mu_);
     for (auto& f : finalized) finalized_files_.push_back(std::move(f));
   }
 }
 
 Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t client_total_rows) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (acquisition_finished_) return fatal_;
-    conversions_done_.wait(lock, [&] { return outstanding_conversions_ == 0; });
+    while (outstanding_conversions_ != 0) conversions_done_.Wait(lock);
     acquisition_finished_ = true;
   }
   ordered_chunks_.Close();
@@ -291,7 +293,7 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   HQ_RETURN_NOT_OK(fatal_status());
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (client_total_chunks != 0 && client_total_chunks != chunk_counter_) {
       return Status::ProtocolError("client reported " + std::to_string(client_total_chunks) +
                                    " chunks, received " + std::to_string(chunk_counter_));
@@ -307,7 +309,7 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   std::vector<std::pair<std::string, Slice>> batch;
   uint64_t bytes_uploaded = 0;
   {
-    std::lock_guard<std::mutex> lock(finalize_mu_);
+    common::MutexLock lock(&finalize_mu_);
     payloads.reserve(finalized_files_.size());
     for (const auto& f : finalized_files_) {
       HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, cloud::ReadFileBytes(f.path));
@@ -330,8 +332,12 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
     m_.files_uploaded->Increment(batch.size());
     m_.bytes_uploaded->Increment(bytes_uploaded);
   }
-  // Local staging files have served their purpose.
-  for (const auto& f : finalized_files_) std::remove(f.path.c_str());
+  // Local staging files have served their purpose. (Writers joined above;
+  // the lock still makes the access provably safe.)
+  {
+    common::MutexLock lock(&finalize_mu_);
+    for (const auto& f : finalized_files_) std::remove(f.path.c_str());
+  }
 
   // In-the-cloud COPY into the staging table.
   uint64_t copied;
@@ -341,7 +347,7 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   }
   if (m_.rows_copied != nullptr) m_.rows_copied->Increment(copied);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   stats_.chunks = chunk_counter_;
   stats_.rows_received = row_counter_;
   stats_.rows_staged = rows_staged_;
@@ -379,7 +385,7 @@ Result<legacy::JobReportBody> ImportJob::ApplyDml(const std::string& label,
   std::vector<RecordError> data_errors;
   uint64_t total_rows;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     data_errors = data_errors_;
     total_rows = row_counter_;
   }
@@ -398,19 +404,25 @@ Result<legacy::JobReportBody> ImportJob::ApplyDml(const std::string& label,
   AdaptiveDmlApplier applier(ctx_.cdw, legacy_stmt.get(), begin_.layout, staging_table_,
                              begin_.target_table, begin_.error_table_et, begin_.error_table_uv,
                              adaptive);
-  HQ_ASSIGN_OR_RETURN(dml_result_, applier.Apply(1, total_rows));
+  HQ_ASSIGN_OR_RETURN(DmlApplyResult dml, applier.Apply(1, total_rows));
 
   // Staging table is job-scoped scratch state.
   HQ_RETURN_NOT_OK(ctx_.cdw->catalog()->DropTable(staging_table_, /*if_exists=*/true));
 
-  timings_.application_seconds = app_timer.ElapsedSeconds();
+  // Publish the result and application timing under the job lock: sessions
+  // may poll JobDmlResult()/JobTimings() while the apply is still running.
+  {
+    common::MutexLock lock(&mu_);
+    dml_result_ = dml;
+    timings_.application_seconds = app_timer.ElapsedSeconds();
+  }
 
   legacy::JobReportBody report;
-  report.rows_inserted = dml_result_.rows_inserted;
-  report.rows_updated = dml_result_.rows_updated;
-  report.rows_deleted = dml_result_.rows_deleted;
-  report.et_errors = dml_result_.et_errors + data_errors.size();
-  report.uv_errors = dml_result_.uv_errors;
+  report.rows_inserted = dml.rows_inserted;
+  report.rows_updated = dml.rows_updated;
+  report.rows_deleted = dml.rows_deleted;
+  report.et_errors = dml.et_errors + data_errors.size();
+  report.uv_errors = dml.uv_errors;
   report.message = "job " + job_id_ + " complete";
 
   apply_timer.StopAndObserve();
@@ -422,13 +434,18 @@ Result<legacy::JobReportBody> ImportJob::ApplyDml(const std::string& label,
 }
 
 PhaseTimings ImportJob::timings() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return timings_;
 }
 
 AcquisitionStats ImportJob::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_;
+}
+
+DmlApplyResult ImportJob::dml_result() const {
+  common::MutexLock lock(&mu_);
+  return dml_result_;
 }
 
 }  // namespace hyperq::core

@@ -1,9 +1,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,6 +11,7 @@
 #include "common/memory_tracker.h"
 #include "common/sequenced_queue.h"
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "hyperq/credit_manager.h"
 #include "hyperq/data_converter.h"
@@ -81,22 +80,24 @@ class ImportJob {
   /// Accepts one data chunk from a client session. Blocks while the credit
   /// pool is empty (back-pressure); the caller acknowledges the chunk to the
   /// client after this returns.
-  common::Status SubmitChunk(const legacy::DataChunkBody& chunk);
+  common::Status SubmitChunk(const legacy::DataChunkBody& chunk) HQ_EXCLUDES(mu_);
 
   /// Drains the pipeline, finalizes and uploads staging files, and COPYs
   /// into the staging table. Idempotent.
-  common::Status FinishAcquisition(uint64_t client_total_chunks, uint64_t client_total_rows);
+  common::Status FinishAcquisition(uint64_t client_total_chunks, uint64_t client_total_rows)
+      HQ_EXCLUDES(mu_, finalize_mu_);
 
   /// Application phase: transpiles and applies the legacy DML with adaptive
   /// error handling; records data errors; drops the staging table.
   common::Result<legacy::JobReportBody> ApplyDml(const std::string& label,
-                                                 const std::string& sql);
+                                                 const std::string& sql)
+      HQ_EXCLUDES(mu_);
 
   const std::string& job_id() const { return job_id_; }
   const legacy::BeginLoadBody& begin() const { return begin_; }
-  PhaseTimings timings() const;
-  AcquisitionStats stats() const;
-  const DmlApplyResult& dml_result() const { return dml_result_; }
+  PhaseTimings timings() const HQ_EXCLUDES(mu_);
+  AcquisitionStats stats() const HQ_EXCLUDES(mu_);
+  DmlApplyResult dml_result() const HQ_EXCLUDES(mu_);
   /// The job's span tree (null when observability is disabled).
   std::shared_ptr<obs::Trace> trace() const { return trace_; }
 
@@ -112,9 +113,9 @@ class ImportJob {
   };
 
   void StartWriters();
-  void WriterLoop(size_t writer_index);
-  void NoteFatal(const common::Status& s);
-  common::Status fatal_status() const;
+  void WriterLoop(size_t writer_index) HQ_EXCLUDES(mu_, finalize_mu_);
+  void NoteFatal(const common::Status& s) HQ_EXCLUDES(mu_);
+  common::Status fatal_status() const HQ_EXCLUDES(mu_);
   /// Drops the jobs-active gauge exactly once (job end or destruction).
   void ReleaseActiveGauge();
 
@@ -154,24 +155,24 @@ class ImportJob {
   common::SequencedQueue<WorkItem> ordered_chunks_;
   std::vector<std::thread> writer_threads_;
   std::vector<std::unique_ptr<FileWriter>> file_writers_;
-  std::vector<FinalizedFile> finalized_files_;  // guarded by finalize_mu_
-  std::mutex finalize_mu_;
+  common::Mutex finalize_mu_;
+  std::vector<FinalizedFile> finalized_files_ HQ_GUARDED_BY(finalize_mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable conversions_done_;
-  uint64_t outstanding_conversions_ = 0;
-  uint64_t chunk_counter_ = 0;
-  uint64_t row_counter_ = 0;
-  uint64_t bytes_received_ = 0;
-  std::vector<RecordError> data_errors_;
-  uint64_t rows_staged_ = 0;
-  common::Status fatal_;
-  bool acquisition_finished_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar conversions_done_;
+  uint64_t outstanding_conversions_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t chunk_counter_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t row_counter_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_received_ HQ_GUARDED_BY(mu_) = 0;
+  std::vector<RecordError> data_errors_ HQ_GUARDED_BY(mu_);
+  uint64_t rows_staged_ HQ_GUARDED_BY(mu_) = 0;
+  common::Status fatal_ HQ_GUARDED_BY(mu_);
+  bool acquisition_finished_ HQ_GUARDED_BY(mu_) = false;
 
-  AcquisitionStats stats_;
+  AcquisitionStats stats_ HQ_GUARDED_BY(mu_);
   common::Stopwatch acquisition_timer_;
-  PhaseTimings timings_;
-  DmlApplyResult dml_result_;
+  PhaseTimings timings_ HQ_GUARDED_BY(mu_);
+  DmlApplyResult dml_result_ HQ_GUARDED_BY(mu_);
 };
 
 }  // namespace hyperq::core

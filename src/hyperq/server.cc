@@ -77,18 +77,20 @@ HyperQServer::HyperQServer(cdw::CdwServer* cdw, cloud::ObjectStore* store, Hyper
 HyperQServer::~HyperQServer() { Stop(); }
 
 void HyperQServer::Start() {
+  common::MutexLock lock(&lifecycle_mu_);
   if (started_) return;
   started_ = true;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
 
 void HyperQServer::Stop() {
+  common::MutexLock lifecycle_lock(&lifecycle_mu_);
   if (!started_) return;
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> sessions;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    common::MutexLock lock(&sessions_mu_);
     sessions.swap(session_threads_);
     // Force EOF on any session whose client is still connected.
     for (auto& weak : session_transports_) {
@@ -108,7 +110,7 @@ void HyperQServer::AcceptLoop() {
   for (;;) {
     auto transport = listener_.Accept();
     if (!transport.has_value()) return;
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    common::MutexLock lock(&sessions_mu_);
     session_transports_.push_back(*transport);
     session_threads_.emplace_back(
         [this, t = std::move(*transport)]() mutable { HandleSession(std::move(t)); });
@@ -117,7 +119,7 @@ void HyperQServer::AcceptLoop() {
 
 Result<std::shared_ptr<ImportJob>> HyperQServer::GetOrCreateImportJob(
     const legacy::BeginLoadBody& begin) {
-  std::lock_guard<std::mutex> lock(jobs_mu_);
+  common::MutexLock lock(&jobs_mu_);
   auto it = import_jobs_.find(begin.job_id);
   if (it != import_jobs_.end()) return it->second;
   JobContext ctx;
@@ -137,7 +139,7 @@ Result<std::shared_ptr<ImportJob>> HyperQServer::GetOrCreateImportJob(
 
 Result<std::shared_ptr<ExportJob>> HyperQServer::GetOrCreateExportJob(
     const legacy::BeginExportBody& begin) {
-  std::lock_guard<std::mutex> lock(jobs_mu_);
+  common::MutexLock lock(&jobs_mu_);
   auto it = export_jobs_.find(begin.job_id);
   if (it != export_jobs_.end()) return it->second;
   HQ_ASSIGN_OR_RETURN(std::shared_ptr<ExportJob> job,
@@ -394,7 +396,7 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
 
       case ParcelKind::kEndExport: {
         if (export_job) {
-          std::lock_guard<std::mutex> lock(jobs_mu_);
+          common::MutexLock lock(&jobs_mu_);
           export_jobs_.erase(export_job->job_id());
           export_job.reset();
         }
@@ -417,21 +419,21 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
 }
 
 Result<PhaseTimings> HyperQServer::JobTimings(const std::string& job_id) const {
-  std::lock_guard<std::mutex> lock(jobs_mu_);
+  common::MutexLock lock(&jobs_mu_);
   auto it = import_jobs_.find(job_id);
   if (it == import_jobs_.end()) return Status::NotFound("job not found: " + job_id);
   return it->second->timings();
 }
 
 Result<AcquisitionStats> HyperQServer::JobStats(const std::string& job_id) const {
-  std::lock_guard<std::mutex> lock(jobs_mu_);
+  common::MutexLock lock(&jobs_mu_);
   auto it = import_jobs_.find(job_id);
   if (it == import_jobs_.end()) return Status::NotFound("job not found: " + job_id);
   return it->second->stats();
 }
 
 Result<DmlApplyResult> HyperQServer::JobDmlResult(const std::string& job_id) const {
-  std::lock_guard<std::mutex> lock(jobs_mu_);
+  common::MutexLock lock(&jobs_mu_);
   auto it = import_jobs_.find(job_id);
   if (it == import_jobs_.end()) return Status::NotFound("job not found: " + job_id);
   return it->second->dml_result();

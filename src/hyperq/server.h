@@ -3,7 +3,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "cdw/cdw_server.h"
 #include "cloudstore/object_store.h"
 #include "common/memory_tracker.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "hyperq/credit_manager.h"
 #include "hyperq/export_job.h"
@@ -39,11 +39,11 @@ class HyperQServer {
   HyperQServer& operator=(const HyperQServer&) = delete;
 
   /// Starts the Alpha accept loop.
-  void Start();
+  void Start() HQ_EXCLUDES(lifecycle_mu_);
 
   /// Stops accepting connections and joins finished session threads. Active
   /// sessions end when their clients log off / close.
-  void Stop();
+  void Stop() HQ_EXCLUDES(lifecycle_mu_, sessions_mu_);
 
   /// Client-side dial (legacy tools "connect" here instead of to the EDW).
   std::shared_ptr<net::Transport> Connect();
@@ -63,20 +63,22 @@ class HyperQServer {
 
   /// Per-job instrumentation, available after the job's DML apply (jobs are
   /// retained after completion).
-  common::Result<PhaseTimings> JobTimings(const std::string& job_id) const;
-  common::Result<AcquisitionStats> JobStats(const std::string& job_id) const;
-  common::Result<DmlApplyResult> JobDmlResult(const std::string& job_id) const;
+  common::Result<PhaseTimings> JobTimings(const std::string& job_id) const HQ_EXCLUDES(jobs_mu_);
+  common::Result<AcquisitionStats> JobStats(const std::string& job_id) const
+      HQ_EXCLUDES(jobs_mu_);
+  common::Result<DmlApplyResult> JobDmlResult(const std::string& job_id) const
+      HQ_EXCLUDES(jobs_mu_);
   /// The job's span tree (import and export jobs alike).
   common::Result<std::shared_ptr<obs::Trace>> JobTrace(const std::string& job_id) const;
 
  private:
-  void AcceptLoop();
-  void HandleSession(std::shared_ptr<net::Transport> transport);
+  void AcceptLoop() HQ_EXCLUDES(sessions_mu_);
+  void HandleSession(std::shared_ptr<net::Transport> transport) HQ_EXCLUDES(jobs_mu_);
 
   common::Result<std::shared_ptr<ImportJob>> GetOrCreateImportJob(
-      const legacy::BeginLoadBody& begin);
+      const legacy::BeginLoadBody& begin) HQ_EXCLUDES(jobs_mu_);
   common::Result<std::shared_ptr<ExportJob>> GetOrCreateExportJob(
-      const legacy::BeginExportBody& begin);
+      const legacy::BeginExportBody& begin) HQ_EXCLUDES(jobs_mu_);
 
   cdw::CdwServer* cdw_;
   cloud::ObjectStore* store_;
@@ -105,19 +107,22 @@ class HyperQServer {
   common::MemoryTracker memory_;
 
   net::Listener listener_;
-  std::thread accept_thread_;
-  std::mutex sessions_mu_;
-  std::vector<std::thread> session_threads_;
+  /// Serializes Start()/Stop(): without it two racing Stops (or a Stop racing
+  /// a Start) both touch accept_thread_ and started_.
+  common::Mutex lifecycle_mu_;
+  std::thread accept_thread_ HQ_GUARDED_BY(lifecycle_mu_);
+  bool started_ HQ_GUARDED_BY(lifecycle_mu_) = false;
+  common::Mutex sessions_mu_;
+  std::vector<std::thread> session_threads_ HQ_GUARDED_BY(sessions_mu_);
   /// Live session transports; Stop() closes them so handler threads blocked
   /// in a read observe EOF and exit (clients that never log off must not be
   /// able to wedge shutdown).
-  std::vector<std::weak_ptr<net::Transport>> session_transports_;
-  bool started_ = false;
+  std::vector<std::weak_ptr<net::Transport>> session_transports_ HQ_GUARDED_BY(sessions_mu_);
   std::atomic<uint32_t> next_session_id_{1};
 
-  mutable std::mutex jobs_mu_;
-  std::map<std::string, std::shared_ptr<ImportJob>> import_jobs_;
-  std::map<std::string, std::shared_ptr<ExportJob>> export_jobs_;
+  mutable common::Mutex jobs_mu_;
+  std::map<std::string, std::shared_ptr<ImportJob>> import_jobs_ HQ_GUARDED_BY(jobs_mu_);
+  std::map<std::string, std::shared_ptr<ExportJob>> export_jobs_ HQ_GUARDED_BY(jobs_mu_);
 };
 
 }  // namespace hyperq::core

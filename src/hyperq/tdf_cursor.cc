@@ -18,10 +18,10 @@ TdfCursor::TdfCursor(types::Schema schema, std::vector<types::Row> rows, TdfCurs
 
 TdfCursor::~TdfCursor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     shutdown_ = true;
-    window_open_.notify_all();
-    chunk_ready_.notify_all();
+    window_open_.NotifyAll();
+    chunk_ready_.NotifyAll();
   }
   if (prefetcher_.joinable()) prefetcher_.join();
 }
@@ -31,11 +31,11 @@ void TdfCursor::PrefetchLoop() {
   for (;;) {
     uint64_t seq;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      window_open_.wait(lock, [&] {
-        return shutdown_ || (next_to_encode_ < total_chunks_ &&
-                             next_to_encode_ < lowest_unserved_ + options_.prefetch);
-      });
+      common::MutexLock lock(&mu_);
+      while (!shutdown_ && !(next_to_encode_ < total_chunks_ &&
+                             next_to_encode_ < lowest_unserved_ + options_.prefetch)) {
+        window_open_.Wait(lock);
+      }
       if (shutdown_ || next_to_encode_ >= total_chunks_) return;
       seq = next_to_encode_++;
     }
@@ -49,19 +49,19 @@ void TdfCursor::PrefetchLoop() {
     }
     auto packet = std::make_shared<const ByteBuffer>(writer.Finish());
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       buffered_[seq] = std::move(packet);
       ++chunks_encoded_;
       max_buffered_ = std::max<uint64_t>(max_buffered_, buffered_.size());
-      chunk_ready_.notify_all();
+      chunk_ready_.NotifyAll();
     }
   }
 }
 
 Result<std::shared_ptr<const ByteBuffer>> TdfCursor::FetchChunk(uint64_t seq) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (seq >= total_chunks_) return Status::NotFound("chunk past end of export cursor");
-  chunk_ready_.wait(lock, [&] { return shutdown_ || buffered_.count(seq) != 0; });
+  while (!shutdown_ && buffered_.count(seq) == 0) chunk_ready_.Wait(lock);
   if (shutdown_) return Status::Cancelled("cursor shut down");
   auto packet = buffered_.at(seq);
   buffered_.erase(seq);
@@ -70,17 +70,17 @@ Result<std::shared_ptr<const ByteBuffer>> TdfCursor::FetchChunk(uint64_t seq) {
   while (lowest_unserved_ < total_chunks_ && served_[lowest_unserved_]) {
     ++lowest_unserved_;
   }
-  window_open_.notify_all();
+  window_open_.NotifyAll();
   return packet;
 }
 
 uint64_t TdfCursor::chunks_encoded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return chunks_encoded_;
 }
 
 uint64_t TdfCursor::max_buffered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return max_buffered_;
 }
 

@@ -1,14 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "tdf/tdf.h"
 #include "types/schema.h"
 
@@ -45,33 +44,34 @@ class TdfCursor {
   /// requested by different sessions in any interleaving, but each chunk at
   /// most advances the prefetch window — fetching far ahead of the window
   /// blocks until earlier chunks were served.
-  common::Result<std::shared_ptr<const common::ByteBuffer>> FetchChunk(uint64_t seq);
+  common::Result<std::shared_ptr<const common::ByteBuffer>> FetchChunk(uint64_t seq)
+      HQ_EXCLUDES(mu_);
 
   /// True when `seq` is beyond the final chunk.
   bool PastEnd(uint64_t seq) const { return seq >= total_chunks_; }
 
   /// Encoding/prefetch statistics.
-  uint64_t chunks_encoded() const;
-  uint64_t max_buffered() const;
+  uint64_t chunks_encoded() const HQ_EXCLUDES(mu_);
+  uint64_t max_buffered() const HQ_EXCLUDES(mu_);
 
  private:
-  void PrefetchLoop();
+  void PrefetchLoop() HQ_EXCLUDES(mu_);
 
   types::Schema schema_;
   std::vector<types::Row> rows_;
   TdfCursorOptions options_;
   uint64_t total_chunks_;
 
-  mutable std::mutex mu_;
-  std::condition_variable chunk_ready_;
-  std::condition_variable window_open_;
-  std::map<uint64_t, std::shared_ptr<const common::ByteBuffer>> buffered_;
-  std::vector<bool> served_;
-  uint64_t next_to_encode_ = 0;
-  uint64_t lowest_unserved_ = 0;
-  uint64_t chunks_encoded_ = 0;
-  uint64_t max_buffered_ = 0;
-  bool shutdown_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar chunk_ready_;
+  common::CondVar window_open_;
+  std::map<uint64_t, std::shared_ptr<const common::ByteBuffer>> buffered_ HQ_GUARDED_BY(mu_);
+  std::vector<bool> served_ HQ_GUARDED_BY(mu_);
+  uint64_t next_to_encode_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t lowest_unserved_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t chunks_encoded_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t max_buffered_ HQ_GUARDED_BY(mu_) = 0;
+  bool shutdown_ HQ_GUARDED_BY(mu_) = false;
   std::thread prefetcher_;
 };
 

@@ -1,10 +1,10 @@
 #include "net/transport.h"
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
+
+#include "common/sync.h"
 
 namespace hyperq::net {
 
@@ -20,52 +20,52 @@ class Pipe {
  public:
   explicit Pipe(size_t capacity) : capacity_(capacity) {}
 
-  Status Write(Slice data) {
+  Status Write(Slice data) HQ_EXCLUDES(mu_) {
     size_t offset = 0;
     while (offset < data.size()) {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [&] { return closed_ || bytes_.size() < capacity_; });
+      common::MutexLock lock(&mu_);
+      while (!closed_ && bytes_.size() >= capacity_) not_full_.Wait(lock);
       if (closed_) return Status::IOError("write on closed channel");
       size_t can = std::min(capacity_ - bytes_.size(), data.size() - offset);
       bytes_.insert(bytes_.end(), data.data() + offset, data.data() + offset + can);
       offset += can;
-      not_empty_.notify_one();
+      not_empty_.NotifyOne();
     }
     return Status::OK();
   }
 
-  Result<size_t> Read(uint8_t* buf, size_t max) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !bytes_.empty(); });
+  Result<size_t> Read(uint8_t* buf, size_t max) HQ_EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
+    while (!closed_ && bytes_.empty()) not_empty_.Wait(lock);
     if (bytes_.empty()) return static_cast<size_t>(0);  // EOF
     size_t n = std::min(max, bytes_.size());
     for (size_t i = 0; i < n; ++i) {
       buf[i] = bytes_.front();
       bytes_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return n;
   }
 
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() HQ_EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const HQ_EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<uint8_t> bytes_;
-  bool closed_ = false;
+  mutable common::Mutex mu_;
+  common::CondVar not_empty_;
+  common::CondVar not_full_;
+  std::deque<uint8_t> bytes_ HQ_GUARDED_BY(mu_);
+  bool closed_ HQ_GUARDED_BY(mu_) = false;
 };
 
 /// Endpoint adapter: writes go to `out`, reads come from `in`.

@@ -17,7 +17,7 @@ SnapshotDumper::SnapshotDumper(MetricsRegistry* registry, SnapshotDumperOptions 
 SnapshotDumper::~SnapshotDumper() { Stop(); }
 
 void SnapshotDumper::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (running_) return;
   running_ = true;
   stop_ = false;
@@ -25,37 +25,47 @@ void SnapshotDumper::Start() {
 }
 
 void SnapshotDumper::Stop() {
+  std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
+    common::MutexLock lock(&mu_);
+    if (!running_ || stop_) return;
     stop_ = true;
+    // Take the thread out under the lock; joining must happen unlocked or
+    // Loop() could never observe stop_ and exit.
+    to_join = std::move(thread_);
   }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  cv_.NotifyAll();
+  if (to_join.joinable()) to_join.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     running_ = false;
   }
   if (options_.dump_on_stop) {
     options_.sink(registry_->Snapshot());
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     ++dumps_;
   }
 }
 
 uint64_t SnapshotDumper::dumps() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return dumps_;
 }
 
 void SnapshotDumper::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (cv_.wait_for(lock, options_.interval, [&] { return stop_; })) return;
-    lock.unlock();
+    {
+      common::MutexLock lock(&mu_);
+      const auto deadline = std::chrono::steady_clock::now() + options_.interval;
+      while (!stop_) {
+        if (cv_.WaitUntil(lock, deadline)) break;  // interval elapsed
+      }
+      if (stop_) return;
+    }
+    // Snapshot and sink outside the lock: the sink is arbitrary user code.
     MetricsSnapshot snap = registry_->Snapshot();
     options_.sink(snap);
-    lock.lock();
+    common::MutexLock lock(&mu_);
     ++dumps_;
   }
 }

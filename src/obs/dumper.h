@@ -1,10 +1,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "common/sync.h"
 
 #include "obs/metrics.h"
 
@@ -32,22 +32,23 @@ class SnapshotDumper {
   SnapshotDumper(const SnapshotDumper&) = delete;
   SnapshotDumper& operator=(const SnapshotDumper&) = delete;
 
-  void Start();
-  void Stop();
+  void Start() HQ_EXCLUDES(mu_);
+  void Stop() HQ_EXCLUDES(mu_);
 
-  uint64_t dumps() const;
+  uint64_t dumps() const HQ_EXCLUDES(mu_);
 
  private:
-  void Loop();
+  void Loop() HQ_EXCLUDES(mu_);
 
   MetricsRegistry* registry_;
   SnapshotDumperOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::thread thread_;
-  bool running_ = false;
-  bool stop_ = false;
-  uint64_t dumps_ = 0;
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  /// Started/joined only under mu_ via Start()/Stop().
+  std::thread thread_ HQ_GUARDED_BY(mu_);
+  bool running_ HQ_GUARDED_BY(mu_) = false;
+  bool stop_ HQ_GUARDED_BY(mu_) = false;
+  uint64_t dumps_ HQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hyperq::obs

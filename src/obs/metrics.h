@@ -4,9 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 /// \file metrics.h
 /// Node-wide runtime telemetry: a lock-cheap registry of named counters,
@@ -104,17 +105,17 @@ struct MetricsSnapshot {
 /// through atomics only.
 class MetricsRegistry {
  public:
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) HQ_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) HQ_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) HQ_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const HQ_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ HQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ HQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ HQ_GUARDED_BY(mu_);
 };
 
 /// Null-safe RAII latency timer: observes elapsed wall time into `hist` on

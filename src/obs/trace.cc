@@ -85,7 +85,7 @@ uint64_t Trace::ThreadHash() const {
 
 uint64_t Trace::StartSpan(Phase phase, std::string name, uint64_t parent_id) {
   int64_t now = MicrosSince(epoch_, std::chrono::steady_clock::now());
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return 0;
@@ -105,7 +105,7 @@ uint64_t Trace::StartSpan(Phase phase, std::string name, uint64_t parent_id) {
 void Trace::EndSpan(uint64_t span_id) {
   if (span_id == 0) return;
   int64_t now = MicrosSince(epoch_, std::chrono::steady_clock::now());
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   // Spans are append-only with ids assigned in order: id n lives at index
   // n-1 unless the trace overflowed, in which case fall back to a scan.
   size_t guess = static_cast<size_t>(span_id - 1);
@@ -123,7 +123,7 @@ void Trace::EndSpan(uint64_t span_id) {
 
 void Trace::RecordSpan(Phase phase, std::string name, uint64_t parent_id, TimePoint start,
                        TimePoint end) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return;
@@ -142,12 +142,12 @@ void Trace::RecordSpan(Phase phase, std::string name, uint64_t parent_id, TimePo
 void Trace::Finish() { EndSpan(root_id()); }
 
 std::vector<SpanRecord> Trace::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return spans_;
 }
 
 uint64_t Trace::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return dropped_;
 }
 
@@ -175,20 +175,20 @@ std::string Trace::ToJson() const {
 }
 
 std::shared_ptr<Trace> Tracer::StartTrace(const std::string& job_id, Phase root_phase) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto& slot = traces_[job_id];
   if (!slot) slot = std::make_shared<Trace>(job_id, root_phase);
   return slot;
 }
 
 std::shared_ptr<Trace> Tracer::Find(const std::string& job_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = traces_.find(job_id);
   return it == traces_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> Tracer::job_ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::string> ids;
   ids.reserve(traces_.size());
   for (const auto& [id, trace] : traces_) ids.push_back(id);

@@ -4,9 +4,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 /// \file trace.h
 /// Per-job pipeline tracing. Every ETL job owns one Trace — a flat,
@@ -67,14 +68,15 @@ class Trace {
 
   /// Opens a span; returns its id (0 when the trace is full — EndSpan(0) is
   /// a safe no-op). `parent_id` 0 attaches to the root span.
-  uint64_t StartSpan(Phase phase, std::string name, uint64_t parent_id = 0);
-  void EndSpan(uint64_t span_id);
+  uint64_t StartSpan(Phase phase, std::string name, uint64_t parent_id = 0)
+      HQ_EXCLUDES(mu_);
+  void EndSpan(uint64_t span_id) HQ_EXCLUDES(mu_);
 
   /// Records an already-measured interval. For call sites that time first
   /// and attribute to a job afterwards (e.g. parcel decode happens before
   /// the owning job is known).
   void RecordSpan(Phase phase, std::string name, uint64_t parent_id, TimePoint start,
-                  TimePoint end);
+                  TimePoint end) HQ_EXCLUDES(mu_);
 
   /// Closes the root span (job completion).
   void Finish();
@@ -82,8 +84,8 @@ class Trace {
   uint64_t root_id() const { return 1; }
   const std::string& job_id() const { return job_id_; }
 
-  std::vector<SpanRecord> spans() const;
-  uint64_t dropped() const;
+  std::vector<SpanRecord> spans() const HQ_EXCLUDES(mu_);
+  uint64_t dropped() const HQ_EXCLUDES(mu_);
 
   /// Compact single-object JSON: {"job_id":...,"spans":[...]}.
   std::string ToJson() const;
@@ -94,10 +96,10 @@ class Trace {
   std::string job_id_;
   TimePoint epoch_;
   size_t max_spans_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
-  uint64_t next_id_ = 1;
-  uint64_t dropped_ = 0;
+  mutable common::Mutex mu_;
+  std::vector<SpanRecord> spans_ HQ_GUARDED_BY(mu_);
+  uint64_t next_id_ HQ_GUARDED_BY(mu_) = 1;
+  uint64_t dropped_ HQ_GUARDED_BY(mu_) = 0;
 };
 
 /// Null-safe RAII span: no-op when `trace` is null (observability off).
@@ -128,13 +130,13 @@ class Tracer {
  public:
   /// Creates (or returns the existing) trace for `job_id`.
   std::shared_ptr<Trace> StartTrace(const std::string& job_id,
-                                    Phase root_phase = Phase::kImport);
-  std::shared_ptr<Trace> Find(const std::string& job_id) const;
-  std::vector<std::string> job_ids() const;
+                                    Phase root_phase = Phase::kImport) HQ_EXCLUDES(mu_);
+  std::shared_ptr<Trace> Find(const std::string& job_id) const HQ_EXCLUDES(mu_);
+  std::vector<std::string> job_ids() const HQ_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Trace>> traces_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::shared_ptr<Trace>> traces_ HQ_GUARDED_BY(mu_);
 };
 
 }  // namespace hyperq::obs

@@ -296,11 +296,11 @@ TEST_F(ExecutorTest, MergeWithUniquenessEmulation) {
 TEST_F(ExecutorTest, CreateAndDropTable) {
   Exec("CREATE TABLE NEWTBL (A INTEGER, B VARCHAR(5))");
   EXPECT_TRUE(catalog_.HasTable("NEWTBL"));
-  ExecError("CREATE TABLE NEWTBL (A INTEGER)");
+  EXPECT_FALSE(ExecError("CREATE TABLE NEWTBL (A INTEGER)").ok());
   Exec("CREATE TABLE IF NOT EXISTS NEWTBL (A INTEGER)");
   Exec("DROP TABLE NEWTBL");
   EXPECT_FALSE(catalog_.HasTable("NEWTBL"));
-  ExecError("DROP TABLE NEWTBL");
+  EXPECT_FALSE(ExecError("DROP TABLE NEWTBL").ok());
   Exec("DROP TABLE IF EXISTS NEWTBL");
 }
 

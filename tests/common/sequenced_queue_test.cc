@@ -3,9 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hyperq::common {
 namespace {
@@ -66,12 +67,12 @@ TEST(SequencedQueueTest, MultipleConsumersDrainInOrder) {
   SequencedQueue<int> q;
   constexpr int kItems = 1000;
   std::vector<int> popped;
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::thread> consumers;
   for (int c = 0; c < 3; ++c) {
     consumers.emplace_back([&] {
       while (auto v = q.PopNext()) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         popped.push_back(*v);
       }
     });

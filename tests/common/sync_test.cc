@@ -1,0 +1,116 @@
+#include "common/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace hyperq::common {
+namespace {
+
+TEST(SyncTest, MutexLockExcludesConcurrentCriticalSections) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(SyncTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+  std::thread probe([&] {
+    EXPECT_FALSE(mu.TryLock());
+  });
+  probe.join();
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SyncTest, CondVarWaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(lock);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(SyncTest, WaitForReportsTimeout) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  // Nothing ever notifies: the wait must return true (timed out).
+  EXPECT_TRUE(cv.WaitFor(lock, std::chrono::milliseconds(5)));
+}
+
+TEST(SyncTest, WaitUntilHonoursPredicateLoop) {
+  Mutex mu;
+  CondVar cv;
+  int stage = 0;
+  std::thread stepper([&] {
+    for (int i = 1; i <= 3; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      MutexLock lock(&mu);
+      stage = i;
+      cv.NotifyAll();
+    }
+  });
+  {
+    MutexLock lock(&mu);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (stage < 3) {
+      if (cv.WaitUntil(lock, deadline)) break;
+    }
+    EXPECT_EQ(stage, 3);
+  }
+  stepper.join();
+}
+
+TEST(SyncTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(lock);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (auto& th : waiters) th.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(awake, 4);
+}
+
+}  // namespace
+}  // namespace hyperq::common

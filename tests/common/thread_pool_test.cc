@@ -4,9 +4,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hyperq::common {
 namespace {
@@ -75,10 +76,10 @@ TEST(ThreadPoolTest, MinimumOneThread) {
 TEST(ThreadPoolTest, TasksRunInSubmissionOrderOnSingleThread) {
   ThreadPool pool(1);
   std::vector<int> order;
-  std::mutex mu;
+  Mutex mu;
   for (int i = 0; i < 10; ++i) {
     pool.Submit([&, i] {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       order.push_back(i);
     });
   }

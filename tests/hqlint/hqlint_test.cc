@@ -1,0 +1,159 @@
+#include "hqlint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// Golden-file tests for the repository linter: each testdata snippet is a
+/// known-bad (or known-clean) input and the expected diagnostics are spelled
+/// out verbatim, so any drift in rule behaviour or message wording fails
+/// loudly here rather than silently changing what CI enforces.
+
+namespace hqlint {
+namespace {
+
+std::string TestdataPath(const std::string& name) {
+  return std::string(HQLINT_TESTDATA_DIR) + "/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> LintOne(const std::string& name) {
+  Linter linter;
+  linter.AddFile(name, ReadFileOrDie(TestdataPath(name)));
+  std::vector<std::string> formatted;
+  for (const Diagnostic& d : linter.Run()) formatted.push_back(Format(d));
+  return formatted;
+}
+
+TEST(HqlintGoldenTest, NakedMutex) {
+  EXPECT_EQ(LintOne("naked_mutex.cc"),
+            (std::vector<std::string>{
+                "naked_mutex.cc:6: [naked-mutex] use common::Mutex/MutexLock/CondVar from "
+                "common/sync.h instead of std::mutex",
+                "naked_mutex.cc:9: [naked-mutex] use common::Mutex/MutexLock/CondVar from "
+                "common/sync.h instead of std::mutex",
+                "naked_mutex.cc:10: [naked-mutex] use common::Mutex/MutexLock/CondVar from "
+                "common/sync.h instead of std::condition_variable",
+            }));
+}
+
+TEST(HqlintGoldenTest, NewDelete) {
+  EXPECT_EQ(LintOne("new_delete.cc"),
+            (std::vector<std::string>{
+                "new_delete.cc:11: [new-delete] raw `new` outside a smart-pointer factory; "
+                "wrap the result in unique_ptr/shared_ptr at the allocation site",
+                "new_delete.cc:15: [new-delete] raw `delete`; ownership must live in "
+                "unique_ptr/shared_ptr",
+            }));
+}
+
+TEST(HqlintGoldenTest, IncludeHygiene) {
+  EXPECT_EQ(LintOne("bad_header.h"),
+            (std::vector<std::string>{
+                "bad_header.h:2: [include-hygiene] header must open with #pragma once "
+                "before any other code",
+                "bad_header.h:4: [include-hygiene] `using namespace` in a header leaks "
+                "into every includer",
+            }));
+}
+
+TEST(HqlintGoldenTest, DiscardedStatus) {
+  EXPECT_EQ(LintOne("discarded_status.cc"),
+            (std::vector<std::string>{
+                "discarded_status.cc:10: [discarded-status] result of `Flush` (returns "
+                "Status/Result) is discarded; check it, HQ_RETURN_NOT_OK it, or cast to "
+                "(void) with a reason",
+                "discarded_status.cc:11: [discarded-status] result of `Count` (returns "
+                "Status/Result) is discarded; check it, HQ_RETURN_NOT_OK it, or cast to "
+                "(void) with a reason",
+            }));
+}
+
+TEST(HqlintGoldenTest, BlockingUnderLock) {
+  EXPECT_EQ(LintOne("blocking_under_lock.cc"),
+            (std::vector<std::string>{
+                "blocking_under_lock.cc:15: [blocking-under-lock] potential deadlock: "
+                "`Put` can block while a MutexLock is held in this scope",
+                "blocking_under_lock.cc:16: [blocking-under-lock] potential deadlock: "
+                "`sleep_for` can block while a MutexLock is held in this scope",
+            }));
+}
+
+TEST(HqlintGoldenTest, CleanFileHasNoDiagnostics) {
+  EXPECT_EQ(LintOne("clean.cc"), std::vector<std::string>{});
+}
+
+TEST(HqlintGoldenTest, StatusNamesAreCollectedAcrossFiles) {
+  // A Status-returning declaration in one file makes a bare call in another
+  // file a violation: the name set is repository-wide.
+  Linter linter;
+  linter.AddFile("decl.h", "#pragma once\ncommon::Status Persist();\n");
+  linter.AddFile("use.cc", "void F() {\n  Persist();\n}\n");
+  auto diags = linter.Run();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].path, "use.cc");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[0].rule, "discarded-status");
+}
+
+TEST(HqlintGoldenTest, AmbiguousOverloadsAreLeftToTheCompiler) {
+  Linter linter;
+  linter.AddFile("decl.h",
+                 "#pragma once\ncommon::Status Add(int v);\n"
+                 "void Add(double v);\n");
+  linter.AddFile("use.cc", "void F() {\n  Add(1);\n}\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(HqlintCliTest, CleanFileExitsZero) {
+  std::ostringstream out, err;
+  int rc = RunHqlint({TestdataPath("clean.cc")}, out, err);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(out.str(), "");
+  EXPECT_EQ(err.str(), "");
+}
+
+TEST(HqlintCliTest, ViolationsExitOneAndPrintSummary) {
+  std::ostringstream out, err;
+  int rc = RunHqlint({TestdataPath("bad_header.h")}, out, err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("[include-hygiene]"), std::string::npos);
+  EXPECT_NE(out.str().find("2 violations in 1 files"), std::string::npos);
+}
+
+TEST(HqlintCliTest, NoInputsIsAUsageError) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunHqlint({}, out, err), 2);
+  EXPECT_NE(err.str().find("usage:"), std::string::npos);
+}
+
+TEST(HqlintCliTest, MissingPathIsAnIoError) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunHqlint({TestdataPath("does_not_exist.cc")}, out, err), 2);
+  EXPECT_NE(err.str().find("cannot read"), std::string::npos);
+}
+
+TEST(HqlintCliTest, UnknownFlagIsAUsageError) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunHqlint({"--frobnicate", TestdataPath("clean.cc")}, out, err), 2);
+}
+
+TEST(HqlintCliTest, RootRelativizesPaths) {
+  std::ostringstream out, err;
+  int rc = RunHqlint({"--root", HQLINT_TESTDATA_DIR, TestdataPath("bad_header.h")}, out, err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(out.str().rfind("bad_header.h:2:", 0), 0u) << out.str();
+}
+
+}  // namespace
+}  // namespace hqlint

@@ -1,0 +1,6 @@
+// A header that forgot #pragma once and pollutes includers.
+#include <string>
+
+using namespace std;
+
+inline string Greet() { return "hi"; }

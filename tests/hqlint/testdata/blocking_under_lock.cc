@@ -1,0 +1,31 @@
+// Known-bad input for the blocking-under-lock rule.
+#include <chrono>
+#include <thread>
+
+#include "common/bounded_queue.h"
+#include "common/sync.h"
+
+namespace demo {
+
+common::Mutex g_mu;
+common::BoundedQueue<int> g_queue(4);
+
+void DeadlockProne() {
+  common::MutexLock lock(&g_mu);
+  g_queue.Put(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+void Fine() {
+  {
+    common::MutexLock lock(&g_mu);
+  }
+  g_queue.Put(2);
+}
+
+void Suppressed() {
+  common::MutexLock lock(&g_mu);
+  g_queue.Put(3);  // hqlint:allow(blocking-under-lock)
+}
+
+}  // namespace demo

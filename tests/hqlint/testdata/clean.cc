@@ -1,0 +1,18 @@
+// A file every rule is happy with.
+#include <memory>
+
+#include "common/sync.h"
+
+namespace demo {
+
+common::Mutex g_mu;
+int g_value = 0;
+
+void Bump() {
+  common::MutexLock lock(&g_mu);
+  ++g_value;
+}
+
+std::unique_ptr<int> Make() { return std::make_unique<int>(7); }
+
+}  // namespace demo

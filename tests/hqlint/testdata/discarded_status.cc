@@ -1,0 +1,20 @@
+// Known-bad input for the discarded-status rule.
+#include "common/status.h"
+
+namespace demo {
+
+common::Status Flush();
+common::Result<int> Count();
+
+void Use() {
+  Flush();
+  Count();
+  common::Status s = Flush();
+  if (!s.ok()) return;
+  Flush().ok();
+  (void)Flush();
+  // hqlint:allow(discarded-status)
+  Flush();
+}
+
+}  // namespace demo

@@ -3,11 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/dumper.h"
 
 namespace hyperq::obs {
@@ -123,12 +123,12 @@ TEST(SnapshotDumperTest, PeriodicallyDumpsAndStopsCleanly) {
   MetricsRegistry reg;
   reg.GetCounter("ticks_total")->Increment();
   std::vector<MetricsSnapshot> dumps;
-  std::mutex mu;
+  common::Mutex mu;
   SnapshotDumperOptions options;
   options.interval = std::chrono::milliseconds(20);
   options.dump_on_stop = true;
   options.sink = [&](const MetricsSnapshot& snap) {
-    std::lock_guard<std::mutex> lock(mu);
+    common::MutexLock lock(&mu);
     dumps.push_back(snap);
   };
   SnapshotDumper dumper(&reg, options);
@@ -137,7 +137,7 @@ TEST(SnapshotDumperTest, PeriodicallyDumpsAndStopsCleanly) {
   dumper.Stop();
   uint64_t total = dumper.dumps();
   EXPECT_GE(total, 1u);
-  std::lock_guard<std::mutex> lock(mu);
+  common::MutexLock lock(&mu);
   ASSERT_EQ(dumps.size(), total);
   // The dumped snapshot survives a JSON round trip.
   auto parsed = FromJson(ToJson(dumps.back()));

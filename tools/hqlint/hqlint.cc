@@ -1,0 +1,545 @@
+#include "hqlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace hqlint {
+
+namespace {
+
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+/// True when `token` appears in `line` with identifier boundaries on both
+/// sides ("Get" does not match "GetCounter").
+bool ContainsToken(const std::string& line, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += token.size();
+  }
+  return false;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Per-file preprocessed view: code with comments and string/char literals
+/// blanked to spaces (so tokens inside them never match), plus the set of
+/// rules each line's `// hqlint:allow(rule)` comments suppress.
+struct Stripped {
+  std::vector<std::string> lines;                 // 0-based; literals blanked
+  std::vector<std::set<std::string>> allows;      // per-line suppressions
+};
+
+Stripped Strip(const std::string& content) {
+  Stripped out;
+  std::string cur;
+  std::string cur_raw;
+  bool in_block_comment = false;
+  bool in_string = false;
+  bool in_char = false;
+  bool in_line_comment = false;
+
+  auto flush = [&] {
+    // Harvest hqlint:allow(...) from the raw line (it lives in a comment,
+    // which the stripped view blanks out).
+    std::set<std::string> allowed;
+    size_t pos = 0;
+    while ((pos = cur_raw.find("hqlint:allow(", pos)) != std::string::npos) {
+      size_t open = pos + std::string("hqlint:allow(").size();
+      size_t close = cur_raw.find(')', open);
+      if (close != std::string::npos) allowed.insert(cur_raw.substr(open, close - open));
+      pos = open;
+    }
+    out.lines.push_back(cur);
+    out.allows.push_back(std::move(allowed));
+    cur.clear();
+    cur_raw.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      in_line_comment = false;
+      in_string = false;  // unterminated literal: fail open, not cascade
+      in_char = false;
+      flush();
+      continue;
+    }
+    cur_raw.push_back(c);
+    if (in_line_comment) {
+      cur.push_back(' ');
+    } else if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        cur.append("  ");
+        cur_raw.push_back(next);
+        ++i;
+      } else {
+        cur.push_back(' ');
+      }
+    } else if (in_string) {
+      if (c == '\\' && next != '\0') {
+        cur.append("  ");
+        cur_raw.push_back(next);
+        ++i;
+      } else {
+        if (c == '"') in_string = false;
+        cur.push_back(c == '"' ? '"' : ' ');
+      }
+    } else if (in_char) {
+      if (c == '\\' && next != '\0') {
+        cur.append("  ");
+        cur_raw.push_back(next);
+        ++i;
+      } else {
+        if (c == '\'') in_char = false;
+        cur.push_back(c == '\'' ? '\'' : ' ');
+      }
+    } else if (c == '/' && next == '/') {
+      in_line_comment = true;
+      cur.append("  ");
+      cur_raw.push_back(next);
+      ++i;
+    } else if (c == '/' && next == '*') {
+      in_block_comment = true;
+      cur.append("  ");
+      cur_raw.push_back(next);
+      ++i;
+    } else if (c == '"') {
+      in_string = true;
+      cur.push_back('"');
+    } else if (c == '\'' && (i == 0 || !IsIdentChar(content[i - 1]))) {
+      // Identifier-adjacent ' is a digit separator (1'000'000), not a char.
+      in_char = true;
+      cur.push_back('\'');
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty() || !cur_raw.empty()) flush();
+  return out;
+}
+
+bool Allowed(const Stripped& s, size_t line_idx, const std::string& rule) {
+  if (s.allows[line_idx].count(rule) != 0) return true;
+  if (line_idx > 0 && s.allows[line_idx - 1].count(rule) != 0) return true;
+  return false;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: naked-mutex
+// ---------------------------------------------------------------------------
+
+const char* const kStdSyncTypes[] = {
+    "mutex",        "recursive_mutex",    "timed_mutex",
+    "shared_mutex", "shared_timed_mutex", "lock_guard",
+    "unique_lock",  "scoped_lock",        "condition_variable",
+    "condition_variable_any",
+};
+
+void CheckNakedMutex(const Linter* /*unused*/, const std::string& path, const Stripped& s,
+                     std::vector<Diagnostic>* diags) {
+  if (EndsWith(path, "common/sync.h")) return;  // the one sanctioned user
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    for (const char* type : kStdSyncTypes) {
+      if (ContainsToken(s.lines[i], std::string("std::") + type)) {
+        if (Allowed(s, i, "naked-mutex")) continue;
+        diags->push_back({path, static_cast<int>(i) + 1, "naked-mutex",
+                          std::string("use common::Mutex/MutexLock/CondVar from common/sync.h "
+                                      "instead of std::") +
+                              type});
+        break;  // one diagnostic per line
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: new-delete
+// ---------------------------------------------------------------------------
+
+void CheckNewDelete(const std::string& path, const Stripped& s, std::vector<Diagnostic>* diags) {
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    const std::string& line = s.lines[i];
+    const std::string* prev = i > 0 ? &s.lines[i - 1] : nullptr;
+    auto factory_context = [&](const std::string& l) {
+      return l.find("shared_ptr<") != std::string::npos ||
+             l.find("unique_ptr<") != std::string::npos ||
+             l.find("make_shared") != std::string::npos ||
+             l.find("make_unique") != std::string::npos;
+    };
+    if (ContainsToken(line, "new") && !Allowed(s, i, "new-delete")) {
+      // A `new` wrapped straight into a smart pointer (possibly split across
+      // a line break by the formatter) is the factory idiom; anything else
+      // is an owning raw pointer.
+      if (!factory_context(line) && !(prev != nullptr && factory_context(*prev))) {
+        diags->push_back({path, static_cast<int>(i) + 1, "new-delete",
+                          "raw `new` outside a smart-pointer factory; wrap the result in "
+                          "unique_ptr/shared_ptr at the allocation site"});
+      }
+    }
+    if (ContainsToken(line, "delete") && !Allowed(s, i, "new-delete")) {
+      if (line.find("= delete") == std::string::npos) {
+        diags->push_back({path, static_cast<int>(i) + 1, "new-delete",
+                          "raw `delete`; ownership must live in unique_ptr/shared_ptr"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-hygiene
+// ---------------------------------------------------------------------------
+
+void CheckIncludeHygiene(const std::string& path, const Stripped& s, bool is_header,
+                         std::vector<Diagnostic>* diags) {
+  if (!is_header) return;
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    std::string t = Trim(s.lines[i]);
+    if (t.empty()) continue;
+    if (t != "#pragma once" && !Allowed(s, i, "include-hygiene")) {
+      diags->push_back({path, static_cast<int>(i) + 1, "include-hygiene",
+                        "header must open with #pragma once before any other code"});
+    }
+    break;  // only the first non-blank, non-comment line matters
+  }
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    if (s.lines[i].find("using namespace") != std::string::npos &&
+        !Allowed(s, i, "include-hygiene")) {
+      diags->push_back({path, static_cast<int>(i) + 1, "include-hygiene",
+                        "`using namespace` in a header leaks into every includer"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: discarded-status
+// ---------------------------------------------------------------------------
+
+/// Pass 1: names of functions declared (anywhere in the linted set) to
+/// return common::Status or common::Result<T>. Names that are *also*
+/// declared somewhere with a different return type (Gauge::Add vs
+/// Schema::Add) go into `ambiguous` — a lexical matcher cannot resolve the
+/// overload, so those names are left to the compiler's [[nodiscard]].
+void CollectStatusFunctions(const Stripped& s, std::set<std::string>* names,
+                            std::set<std::string>* ambiguous) {
+  for (const std::string& line : s.lines) {
+    std::string t = Trim(line);
+    // Strip leading qualifiers that precede the return type.
+    for (const char* prefix : {"static ", "virtual ", "inline ", "constexpr ", "[[nodiscard]] "}) {
+      if (t.rfind(prefix, 0) == 0) t = t.substr(std::string(prefix).size());
+    }
+    for (const char* ret : {"void ", "bool ", "int ", "int64_t ", "uint64_t ", "size_t ",
+                            "double ", "auto ", "std::string "}) {
+      if (t.rfind(ret, 0) != 0) continue;
+      size_t pos = std::string(ret).size();
+      size_t name_begin = pos;
+      while (pos < t.size() && IsIdentChar(t[pos])) ++pos;
+      if (pos > name_begin && pos < t.size() && t[pos] == '(') {
+        ambiguous->insert(t.substr(name_begin, pos - name_begin));
+      }
+    }
+    for (const char* ret : {"Status ", "common::Status ", "Result<", "common::Result<"}) {
+      if (t.rfind(ret, 0) != 0) continue;
+      size_t pos = std::string(ret).size();
+      if (t[pos - 1] == '<') {  // Result<...>: skip balanced angle brackets
+        int depth = 1;
+        while (pos < t.size() && depth > 0) {
+          if (t[pos] == '<') ++depth;
+          if (t[pos] == '>') --depth;
+          ++pos;
+        }
+        while (pos < t.size() && t[pos] == ' ') ++pos;
+      }
+      size_t name_begin = pos;
+      while (pos < t.size() && IsIdentChar(t[pos])) ++pos;
+      if (pos == name_begin || pos >= t.size() || t[pos] != '(') continue;
+      std::string name = t.substr(name_begin, pos - name_begin);
+      if (name == "operator") continue;
+      names->insert(std::move(name));
+    }
+  }
+}
+
+/// Pass 2: a statement that is nothing but a call (or member-call chain) to
+/// one of those functions discards the Status/Result.
+void CheckDiscardedStatus(const std::string& path, const Stripped& s,
+                          const std::set<std::string>& names, std::vector<Diagnostic>* diags) {
+  std::string prev_tail;  // last char of the previous non-blank stripped line
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    std::string t = Trim(s.lines[i]);
+    if (t.empty()) continue;
+    // A statement starts here only if the previous line finished one (or
+    // opened/closed a scope); otherwise this line continues a multi-line
+    // call such as HQ_ASSIGN_OR_RETURN(x,\n Foo(...));
+    bool statement_start =
+        prev_tail.empty() || prev_tail == ";" || prev_tail == "{" || prev_tail == "}" ||
+        prev_tail == ")" || prev_tail == ":";
+    prev_tail = t.substr(t.size() - 1);
+    if (!statement_start) continue;
+    if (t.back() != ';') continue;
+    if (t.find('=') != std::string::npos) continue;           // assigned somewhere
+    if (t.find("(void)") != std::string::npos) continue;      // explicit discard
+    if (t.rfind("return", 0) == 0 || t.rfind("co_return", 0) == 0) continue;
+    // Match  [receiver(.|->|::)]*Name(  anchored at the statement start.
+    size_t pos = 0;
+    std::string last_ident;
+    while (pos < t.size()) {
+      size_t begin = pos;
+      while (pos < t.size() && IsIdentChar(t[pos])) ++pos;
+      if (pos == begin) break;
+      last_ident = t.substr(begin, pos - begin);
+      if (pos < t.size() && t[pos] == '(') break;  // call found
+      if (pos + 1 < t.size() && t[pos] == ':' && t[pos + 1] == ':') {
+        pos += 2;
+      } else if (pos + 1 < t.size() && t[pos] == '-' && t[pos + 1] == '>') {
+        pos += 2;
+      } else if (pos < t.size() && t[pos] == '.') {
+        pos += 1;
+      } else {
+        last_ident.clear();
+        break;
+      }
+    }
+    if (last_ident.empty() || pos >= t.size() || t[pos] != '(') continue;
+    if (names.count(last_ident) == 0) continue;
+    // The whole statement must be this one call: scan the balanced argument
+    // list and require that only `;` follows. A trailing member call such as
+    // `.ok()` means the author consumed the result (the repo's deliberate
+    // "checked and ignored" idiom — mirrors the compiler's [[nodiscard]]).
+    int paren_depth = 0;
+    size_t after = pos;
+    while (after < t.size()) {
+      if (t[after] == '(') ++paren_depth;
+      if (t[after] == ')' && --paren_depth == 0) {
+        ++after;
+        break;
+      }
+      ++after;
+    }
+    if (paren_depth != 0) continue;  // call spans lines; not analysed
+    if (Trim(t.substr(after)) != ";") continue;
+    if (Allowed(s, i, "discarded-status")) continue;
+    diags->push_back({path, static_cast<int>(i) + 1, "discarded-status",
+                      "result of `" + last_ident +
+                          "` (returns Status/Result) is discarded; check it, "
+                          "HQ_RETURN_NOT_OK it, or cast to (void) with a reason"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: blocking-under-lock
+// ---------------------------------------------------------------------------
+
+const char* const kBlockingMembers[] = {"Put", "PutBatch", "Get", "Push", "Pop", "PopNext",
+                                        "Acquire"};
+const char* const kBlockingFree[] = {"sleep_for", "sleep_until", "usleep", "nanosleep"};
+
+void CheckBlockingUnderLock(const std::string& path, const Stripped& s,
+                            std::vector<Diagnostic>* diags) {
+  if (EndsWith(path, "common/sync.h")) return;
+  int depth = 0;
+  std::vector<int> lock_scopes;  // brace depth at each live MutexLock decl
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    const std::string& line = s.lines[i];
+    bool locked_here = !lock_scopes.empty();
+    if (locked_here && !Allowed(s, i, "blocking-under-lock")) {
+      bool blocking = false;
+      std::string what;
+      for (const char* name : kBlockingMembers) {
+        // Member calls only (receiver '.' or '->'): a free function named
+        // Get() is someone else's problem.
+        std::string dot = std::string(".") + name + "(";
+        std::string arrow = std::string("->") + name + "(";
+        if (line.find(dot) != std::string::npos || line.find(arrow) != std::string::npos) {
+          blocking = true;
+          what = name;
+          break;
+        }
+      }
+      if (!blocking) {
+        for (const char* name : kBlockingFree) {
+          if (ContainsToken(line, name)) {
+            blocking = true;
+            what = name;
+            break;
+          }
+        }
+      }
+      if (blocking) {
+        diags->push_back({path, static_cast<int>(i) + 1, "blocking-under-lock",
+                          "potential deadlock: `" + what +
+                              "` can block while a MutexLock is held in this scope"});
+      }
+    }
+    // Update scope state after checking the line: a lock declared on this
+    // line guards subsequent lines, and `}` on this line closes scopes for
+    // the next one.
+    for (char c : line) {
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        while (!lock_scopes.empty() && depth < lock_scopes.back()) lock_scopes.pop_back();
+      }
+    }
+    if (ContainsToken(line, "MutexLock") && line.find('(') != std::string::npos &&
+        line.find("class") == std::string::npos) {
+      lock_scopes.push_back(depth);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Format(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.path << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+void Linter::AddFile(std::string path, std::string content) {
+  bool is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
+  files_.push_back({std::move(path), std::move(content), is_header});
+}
+
+std::vector<Diagnostic> Linter::Run() const {
+  std::vector<Diagnostic> diags;
+  std::vector<Stripped> stripped;
+  stripped.reserve(files_.size());
+  std::set<std::string> status_functions;
+  std::set<std::string> ambiguous;
+  for (const SourceFile& f : files_) {
+    stripped.push_back(Strip(f.content));
+    CollectStatusFunctions(stripped.back(), &status_functions, &ambiguous);
+  }
+  for (const std::string& name : ambiguous) status_functions.erase(name);
+  for (size_t i = 0; i < files_.size(); ++i) {
+    const SourceFile& f = files_[i];
+    const Stripped& s = stripped[i];
+    CheckNakedMutex(this, f.path, s, &diags);
+    CheckNewDelete(f.path, s, &diags);
+    CheckIncludeHygiene(f.path, s, f.is_header, &diags);
+    CheckDiscardedStatus(f.path, s, status_functions, &diags);
+    CheckBlockingUnderLock(f.path, s, &diags);
+  }
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return diags;
+}
+
+namespace {
+
+bool SkippedComponent(const std::filesystem::path& p) {
+  for (const auto& part : p) {
+    if (part == "testdata" || part == "build" || part == "build-asan" || part == "build-tsan") {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LintableExtension(const std::filesystem::path& p) {
+  auto ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+int RunHqlint(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  namespace fs = std::filesystem;
+  fs::path root;
+  std::vector<fs::path> inputs;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--root") {
+      if (i + 1 >= args.size()) {
+        err << "hqlint: --root requires a directory argument\n";
+        return 2;
+      }
+      root = args[++i];
+    } else if (args[i].rfind("--", 0) == 0) {
+      err << "hqlint: unknown flag " << args[i] << "\n";
+      return 2;
+    } else {
+      inputs.emplace_back(args[i]);
+    }
+  }
+  if (inputs.empty()) {
+    err << "usage: hqlint [--root <dir>] <file-or-dir>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const fs::path& input : inputs) {
+    if (fs::is_directory(input, ec)) {
+      for (auto it = fs::recursive_directory_iterator(input, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && SkippedComponent(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && LintableExtension(it->path()) &&
+            !SkippedComponent(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      err << "hqlint: cannot read " << input.string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Linter linter;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      err << "hqlint: cannot open " << file.string() << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string display = file.string();
+    if (!root.empty()) {
+      auto rel = fs::relative(file, root, ec);
+      if (!ec && !rel.empty()) display = rel.string();
+    }
+    linter.AddFile(std::move(display), buf.str());
+  }
+
+  std::vector<Diagnostic> diags = linter.Run();
+  for (const Diagnostic& d : diags) out << Format(d) << "\n";
+  if (!diags.empty()) {
+    out << diags.size() << " violation" << (diags.size() == 1 ? "" : "s") << " in "
+        << files.size() << " files\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace hqlint

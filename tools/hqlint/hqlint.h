@@ -1,0 +1,69 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file hqlint.h
+/// Token-level repository lint for the HyperQ codebase. Self-contained on
+/// purpose (no dependency on src/) so the lint binary builds even when the
+/// tree it is checking does not.
+///
+/// Rules (see DESIGN.md "Static analysis & concurrency contracts"):
+///   naked-mutex         std::mutex family outside common/sync.h
+///   new-delete          raw new/delete outside smart-pointer factories
+///   include-hygiene     headers start with #pragma once; no using namespace
+///   discarded-status    Status/Result-returning call used as a statement
+///   blocking-under-lock Put/Get/Push/Acquire/sleep while a MutexLock lives
+///
+/// Any rule is suppressed for a line by `// hqlint:allow(<rule>)` on the same
+/// line or the line directly above it.
+
+namespace hqlint {
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Diagnostic& other) const {
+    return path == other.path && line == other.line && rule == other.rule &&
+           message == other.message;
+  }
+};
+
+/// "path:line: [rule] message" — the one true diagnostic shape; the golden
+/// tests compare against it verbatim.
+std::string Format(const Diagnostic& d);
+
+class Linter {
+ public:
+  /// Registers one file for the next Run(). `path` is echoed verbatim in
+  /// diagnostics; headers are recognised by extension (.h / .hpp).
+  void AddFile(std::string path, std::string content);
+
+  /// Runs every rule over every added file. Deterministic: diagnostics are
+  /// sorted by (path, line, rule). Safe to call repeatedly.
+  std::vector<Diagnostic> Run() const;
+
+ private:
+  struct SourceFile {
+    std::string path;
+    std::string content;
+    bool is_header = false;
+  };
+  std::vector<SourceFile> files_;
+};
+
+/// CLI driver shared by main() and the golden tests (so exit codes are
+/// testable in-process). Args are everything after argv[0]:
+///   hqlint [--root <dir>] <file-or-dir>...
+/// Directories are walked recursively for .h/.hpp/.cc/.cpp files, skipping
+/// any path containing a "testdata" or "build" component. With --root,
+/// reported paths are relative to it.
+/// Returns 0 (clean), 1 (violations printed to `out`), 2 (usage/IO error
+/// printed to `err`).
+int RunHqlint(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace hqlint
