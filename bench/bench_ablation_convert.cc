@@ -1,99 +1,349 @@
-/// Ablation: DataConverter throughput (the dominant acquisition-phase cost).
-/// Measures legacy->CDW conversion for both wire encodings and several row
-/// widths; rows/s and bytes/s counters.
+/// Ablation: compiled conversion plans vs the interpretive reference path
+/// (the dominant acquisition-phase cost). Runs both DataConverter::Convert
+/// (fused decode->CSV kernels + BufferPool) and ConvertReference (Value
+/// materialization + CsvRecord) over a 32-column mixed-type binary layout and
+/// a 32-column vartext layout, and reports rows/s, bytes/s, and allocs/row
+/// (global operator new count — the pooled path should be O(1) per chunk,
+/// not per row).
+///
+/// Usage:
+///   bench_ablation_convert [--plan=compiled|reference|both] [--json=PATH]
+///                          [--rows=N] [--iters=N] [--smoke]
+///
+/// --json writes a machine-readable BENCH_convert.json. --smoke runs a small
+/// configuration and exits non-zero unless compiled >= 1.0x reference rows/s
+/// on both formats (the CI regression gate; see ci/check.sh bench-smoke).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "common/buffer_pool.h"
+#include "common/random.h"
 #include "hyperq/data_converter.h"
 #include "legacy/row_format.h"
 #include "types/date.h"
-#include "workload/dataset.h"
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+// Allocation observatory: count every global heap allocation so the harness
+// can report allocs/row per plan. (bench/ is outside hqlint's remit; the
+// production sources never override these.)
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace hyperq;
 
 namespace {
 
-core::ConversionInput MakeVartextInput(size_t rows, size_t row_bytes,
-                                       workload::CustomerDataset* dataset_out,
-                                       types::Schema* layout_out) {
-  workload::DatasetSpec spec;
-  spec.rows = rows;
-  spec.row_bytes = row_bytes;
-  workload::CustomerDataset dataset(spec);
-  *layout_out = dataset.MakeLayout();
+/// 32 columns cycling through every fixed-width type plus CHAR/VARCHAR —
+/// the mixed-type layout the acceptance criteria are stated against.
+types::Schema MixedBinaryLayout() {
+  types::Schema layout;
+  const types::TypeDesc kCycle[] = {
+      types::TypeDesc::Int64(),         types::TypeDesc::Int32(),
+      types::TypeDesc::Int16(),         types::TypeDesc::Int8(),
+      types::TypeDesc::Boolean(),       types::TypeDesc::Float64(),
+      types::TypeDesc::Date(),          types::TypeDesc::Timestamp(),
+      types::TypeDesc::Decimal(18, 2),  types::TypeDesc::Char(8),
+      types::TypeDesc::Varchar(24),
+  };
+  for (int i = 0; i < 32; ++i) {
+    layout.AddField(types::Field("C" + std::to_string(i), kCycle[i % 11]));
+  }
+  return layout;
+}
+
+types::Schema VartextLayout() {
+  types::Schema layout;
+  for (int i = 0; i < 32; ++i) {
+    layout.AddField(types::Field("V" + std::to_string(i), types::TypeDesc::Varchar(24)));
+  }
+  return layout;
+}
+
+types::Value RandomValueFor(const types::TypeDesc& type, common::Random* rng) {
+  if (rng->NextBool(0.05)) return types::Value::Null();
+  switch (type.id) {
+    case types::TypeId::kBoolean: return types::Value::Boolean(rng->NextBool());
+    case types::TypeId::kInt8: return types::Value::Int(rng->NextInRange(-100, 100));
+    case types::TypeId::kInt16: return types::Value::Int(rng->NextInRange(-30000, 30000));
+    case types::TypeId::kInt32: return types::Value::Int(rng->NextInRange(-2000000000, 2000000000));
+    case types::TypeId::kInt64: return types::Value::Int(static_cast<int64_t>(rng->NextU64()));
+    case types::TypeId::kFloat64: return types::Value::Float((rng->NextDouble() - 0.5) * 1e9);
+    case types::TypeId::kDate:
+      return types::Value::Date(static_cast<int32_t>(rng->NextInRange(0, 40000)));
+    case types::TypeId::kTimestamp:
+      return types::Value::Timestamp(rng->NextInRange(0, 4102444800LL) * 1000000LL);
+    case types::TypeId::kDecimal:
+      return types::Value::Dec(types::Decimal(rng->NextInRange(-100000000LL, 100000000LL), 2));
+    case types::TypeId::kChar: return types::Value::String(rng->NextAlnum(type.length));
+    case types::TypeId::kVarchar:
+      return types::Value::String(rng->NextAlnum(rng->NextBounded(type.length + 1)));
+  }
+  return types::Value::Null();
+}
+
+core::ConversionInput MakeBinaryInput(const types::Schema& layout, uint32_t rows) {
+  legacy::BinaryRowCodec codec(layout);
+  common::Random rng(17);
   common::ByteBuffer payload;
-  for (uint64_t i = 0; i < rows; ++i) {
-    std::string line = dataset.MakeLine(i);
-    legacy::VartextRecord record;
-    size_t start = 0;
-    for (size_t p = 0; p <= line.size(); ++p) {
-      if (p == line.size() || line[p] == '|') {
-        record.push_back({false, line.substr(start, p - start)});
-        start = p + 1;
-      }
+  for (uint32_t i = 0; i < rows; ++i) {
+    types::Row row;
+    for (size_t f = 0; f < layout.num_fields(); ++f) {
+      row.push_back(RandomValueFor(layout.field(f).type, &rng));
     }
-    (void)legacy::EncodeVartextRecord(record, '|', &payload);
+    if (!codec.EncodeRow(row, &payload).ok()) std::abort();
   }
   core::ConversionInput input;
   input.first_row_number = 1;
-  input.chunk.row_count = static_cast<uint32_t>(rows);
-  input.chunk.payload = payload.vector();
-  *dataset_out = dataset;
+  input.chunk.row_count = rows;
+  input.chunk.payload = std::move(payload.vector());
   return input;
 }
 
-void BM_ConvertVartext(benchmark::State& state) {
-  size_t row_bytes = static_cast<size_t>(state.range(0));
-  workload::DatasetSpec spec;
-  spec.rows = 1;
-  workload::CustomerDataset dataset(spec);
-  types::Schema layout;
-  auto input = MakeVartextInput(1000, row_bytes, &dataset, &layout);
-  auto converter =
-      core::DataConverter::Create(layout, legacy::DataFormat::kVartext, '|').ValueOrDie();
-  for (auto _ : state) {
-    auto converted = converter.Convert(input);
-    benchmark::DoNotOptimize(converted);
-  }
-  state.counters["rows/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
-  state.counters["bytes/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * input.chunk.payload.size(),
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_ConvertVartext)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000);
-
-void BM_ConvertBinary(benchmark::State& state) {
-  types::Schema layout;
-  layout.AddField(types::Field("ID", types::TypeDesc::Int64()));
-  layout.AddField(types::Field("D", types::TypeDesc::Date()));
-  layout.AddField(types::Field("AMT", types::TypeDesc::Decimal(12, 2)));
-  layout.AddField(types::Field("NAME", types::TypeDesc::Varchar(64)));
-  legacy::BinaryRowCodec codec(layout);
+core::ConversionInput MakeVartextInput(const types::Schema& layout, uint32_t rows) {
+  common::Random rng(23);
   common::ByteBuffer payload;
-  common::Random rng(3);
-  for (int i = 0; i < 1000; ++i) {
-    types::Row row{types::Value::Int(i),
-                   types::Value::Date(static_cast<int32_t>(rng.NextBounded(20000))),
-                   types::Value::Dec(types::Decimal(rng.NextInRange(0, 1000000), 2)),
-                   types::Value::String(rng.NextAlnum(40))};
-    (void)codec.EncodeRow(row, &payload);
+  for (uint32_t i = 0; i < rows; ++i) {
+    legacy::VartextRecord record;
+    for (size_t f = 0; f < layout.num_fields(); ++f) {
+      legacy::VartextField field;
+      field.null = rng.NextBool(0.1);
+      if (!field.null) field.text = rng.NextAlnum(rng.NextBounded(20));
+      record.push_back(std::move(field));
+    }
+    if (!legacy::EncodeVartextRecord(record, '|', &payload).ok()) std::abort();
   }
   core::ConversionInput input;
   input.first_row_number = 1;
-  input.chunk.row_count = 1000;
-  input.chunk.payload = payload.vector();
-  auto converter =
-      core::DataConverter::Create(layout, legacy::DataFormat::kBinary, '|').ValueOrDie();
-  for (auto _ : state) {
-    auto converted = converter.Convert(input);
-    benchmark::DoNotOptimize(converted);
-  }
-  state.counters["rows/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 1000, benchmark::Counter::kIsRate);
+  input.chunk.row_count = rows;
+  input.chunk.payload = std::move(payload.vector());
+  return input;
 }
-BENCHMARK(BM_ConvertBinary);
+
+struct PlanResult {
+  double rows_per_s = 0;
+  double bytes_per_s = 0;
+  double allocs_per_row = 0;
+};
+
+/// One timed run: `iters` conversions of the same chunk. Best of `repeats`
+/// wall-clock passes (the alloc count is identical across passes).
+PlanResult RunPlan(const core::DataConverter& converter, const core::ConversionInput& input,
+                   bool compiled, int iters, int repeats) {
+  common::BufferPool pool;
+  auto run_once = [&]() {
+    if (compiled) {
+      auto converted = converter.Convert(input, &pool);
+      if (!converted.ok()) std::abort();
+      benchmark::DoNotOptimize(converted->csv.data());
+      pool.Release(std::move(converted->csv.vector()));
+    } else {
+      auto converted = converter.ConvertReference(input);
+      if (!converted.ok()) std::abort();
+      benchmark::DoNotOptimize(converted->csv.data());
+    }
+  };
+  // Warm-up: fault in the chunk and (for the compiled plan) seed the pool so
+  // steady-state recycling is what gets measured, as in the server loop.
+  run_once();
+  run_once();
+
+  double best_seconds = 1e300;
+  uint64_t allocs = 0;
+  for (int r = 0; r < repeats; ++r) {
+    uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) run_once();
+    auto stop = std::chrono::steady_clock::now();
+    allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+    double seconds = std::chrono::duration<double>(stop - start).count();
+    if (seconds < best_seconds) best_seconds = seconds;
+  }
+  double total_rows = static_cast<double>(input.chunk.row_count) * iters;
+  PlanResult result;
+  result.rows_per_s = total_rows / best_seconds;
+  result.bytes_per_s = static_cast<double>(input.chunk.payload.size()) * iters / best_seconds;
+  result.allocs_per_row = static_cast<double>(allocs) / total_rows;
+  return result;
+}
+
+void AppendPlanJson(std::ostringstream* out, const char* name, const PlanResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "      \"%s\": {\"rows_per_s\": %.0f, \"bytes_per_s\": %.0f, "
+                "\"allocs_per_row\": %.4f}",
+                name, r.rows_per_s, r.bytes_per_s, r.allocs_per_row);
+  *out << buf;
+}
+
+struct FormatReport {
+  std::string format;
+  PlanResult compiled;
+  PlanResult reference;
+  bool ran_compiled = false;
+  bool ran_reference = false;
+};
+
+int Usage() {
+  std::cerr << "usage: bench_ablation_convert [--plan=compiled|reference|both] "
+               "[--json=PATH] [--rows=N] [--iters=N] [--smoke]\n";
+  return 2;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string plan = "both";
+  std::string json_path;
+  bool smoke = false;
+  uint32_t rows = 4000;
+  int iters = 30;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--plan=", 0) == 0) {
+      plan = arg.substr(7);
+      if (plan != "compiled" && plan != "reference" && plan != "both") return Usage();
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      rows = static_cast<uint32_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+      if (rows == 0) return Usage();
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      iters = static_cast<int>(std::strtol(arg.c_str() + 8, nullptr, 10));
+      if (iters <= 0) return Usage();
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (smoke) {
+    plan = "both";  // the smoke gate is a comparison by definition
+    rows = 512;
+    iters = 8;
+  }
+  const int repeats = 3;
+  const bool run_compiled = plan != "reference";
+  const bool run_reference = plan != "compiled";
+
+  types::Schema binary_layout = MixedBinaryLayout();
+  types::Schema vartext_layout = VartextLayout();
+  auto binary_converter =
+      core::DataConverter::Create(binary_layout, legacy::DataFormat::kBinary, '|').ValueOrDie();
+  auto vartext_converter =
+      core::DataConverter::Create(vartext_layout, legacy::DataFormat::kVartext, '|').ValueOrDie();
+  core::ConversionInput binary_input = MakeBinaryInput(binary_layout, rows);
+  core::ConversionInput vartext_input = MakeVartextInput(vartext_layout, rows);
+
+  std::vector<FormatReport> reports(2);
+  reports[0].format = "binary";
+  reports[1].format = "vartext";
+  for (auto& report : reports) {
+    const auto& converter = report.format == "binary" ? binary_converter : vartext_converter;
+    const auto& input = report.format == "binary" ? binary_input : vartext_input;
+    if (run_compiled) {
+      report.compiled = RunPlan(converter, input, /*compiled=*/true, iters, repeats);
+      report.ran_compiled = true;
+    }
+    if (run_reference) {
+      report.reference = RunPlan(converter, input, /*compiled=*/false, iters, repeats);
+      report.ran_reference = true;
+    }
+  }
+
+  bool smoke_ok = true;
+  for (const auto& report : reports) {
+    std::printf("%s (%u rows x 32 cols, %zu payload bytes)\n", report.format.c_str(), rows,
+                report.format == "binary" ? binary_input.chunk.payload.size()
+                                          : vartext_input.chunk.payload.size());
+    if (report.ran_compiled) {
+      std::printf("  compiled   %12.0f rows/s %14.0f bytes/s %8.4f allocs/row\n",
+                  report.compiled.rows_per_s, report.compiled.bytes_per_s,
+                  report.compiled.allocs_per_row);
+    }
+    if (report.ran_reference) {
+      std::printf("  reference  %12.0f rows/s %14.0f bytes/s %8.4f allocs/row\n",
+                  report.reference.rows_per_s, report.reference.bytes_per_s,
+                  report.reference.allocs_per_row);
+    }
+    if (report.ran_compiled && report.ran_reference) {
+      double speedup = report.compiled.rows_per_s / report.reference.rows_per_s;
+      std::printf("  speedup    %12.2fx\n", speedup);
+      if (smoke && speedup < 1.0) {
+        std::printf("  SMOKE FAIL: compiled plan slower than reference on %s\n",
+                    report.format.c_str());
+        smoke_ok = false;
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"benchmark\": \"bench_ablation_convert\",\n"
+        << "  \"layout_columns\": 32,\n"
+        << "  \"rows_per_chunk\": " << rows << ",\n"
+        << "  \"iters\": " << iters << ",\n"
+        << "  \"results\": {\n";
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const auto& report = reports[i];
+      out << "    \"" << report.format << "\": {\n";
+      bool first = true;
+      if (report.ran_compiled) {
+        AppendPlanJson(&out, "compiled", report.compiled);
+        first = false;
+      }
+      if (report.ran_reference) {
+        if (!first) out << ",\n";
+        AppendPlanJson(&out, "reference", report.reference);
+      }
+      if (report.ran_compiled && report.ran_reference) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), ",\n      \"speedup_rows_per_s\": %.2f",
+                      report.compiled.rows_per_s / report.reference.rows_per_s);
+        out << buf;
+      }
+      out << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    out << "  }\n}\n";
+    std::ofstream file(json_path, std::ios::binary | std::ios::trunc);
+    file << out.str();
+    if (!file.good()) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 2;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (smoke) {
+    std::printf(smoke_ok ? "SMOKE PASS\n" : "SMOKE FAIL\n");
+    return smoke_ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -3,10 +3,11 @@
 # analysis & concurrency contracts"). Run from anywhere; operates on the
 # repo root. Every stage must pass; the script stops at the first failure.
 #
-#   ci/check.sh            # everything
-#   ci/check.sh lint       # just hqlint
-#   ci/check.sh default    # just the default preset build + tests
-#   ci/check.sh asan tsan  # just the sanitizer presets
+#   ci/check.sh              # everything
+#   ci/check.sh lint         # just hqlint
+#   ci/check.sh default      # just the default preset build + tests
+#   ci/check.sh asan tsan    # just the sanitizer presets
+#   ci/check.sh bench-smoke  # just the conversion-plan perf gate
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -15,7 +16,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint thread-safety default asan tsan)
+  STAGES=(lint thread-safety default asan tsan bench-smoke)
 fi
 
 run_preset() {
@@ -51,8 +52,17 @@ for stage in "${STAGES[@]}"; do
     default|asan|tsan)
       run_preset "$stage"
       ;;
+    bench-smoke)
+      # Perf regression gate: the compiled conversion plan must stay at least
+      # as fast as the interpretive reference path (it should be well above;
+      # see BENCH_convert.json for the committed trajectory).
+      echo "=== bench-smoke: compiled conversion plan vs reference ==="
+      cmake --preset default
+      cmake --build --preset default -j "$JOBS" --target bench_ablation_convert
+      ctest --preset default -R '^bench_smoke$' --output-on-failure
+      ;;
     *)
-      echo "unknown stage: $stage (expected lint|thread-safety|default|asan|tsan)" >&2
+      echo "unknown stage: $stage (expected lint|thread-safety|default|asan|tsan|bench-smoke)" >&2
       exit 2
       ;;
   esac

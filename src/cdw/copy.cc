@@ -22,27 +22,33 @@ Result<uint64_t> CopyFromStore(Table* table, const cloud::ObjectStore& store,
       HQ_ASSIGN_OR_RETURN(decompressed, cloud::Decompress(raw));
       raw = decompressed.AsSlice();
     }
-    HQ_ASSIGN_OR_RETURN(std::vector<CsvRecord> records, ParseCsv(raw, options.csv));
-    for (const auto& record : records) {
-      if (record.size() != table->schema().num_fields()) {
+    // Stream one record view at a time instead of materializing the whole
+    // staging file as std::vector<CsvRecord>; field text is borrowed from
+    // the object bytes (or the reader's scratch) until the typed Value copy.
+    CsvStreamReader reader(raw, options.csv);
+    while (true) {
+      HQ_ASSIGN_OR_RETURN(bool more, reader.Next());
+      if (!more) break;
+      if (reader.num_fields() != table->schema().num_fields()) {
         return Status::ConversionError(
-            "COPY: record in " + key + " has " + std::to_string(record.size()) +
+            "COPY: record in " + key + " has " + std::to_string(reader.num_fields()) +
             " fields, table " + table->name() + " has " +
             std::to_string(table->schema().num_fields()));
       }
       Row row;
-      row.reserve(record.size());
-      for (size_t c = 0; c < record.size(); ++c) {
+      row.reserve(reader.num_fields());
+      for (size_t c = 0; c < reader.num_fields(); ++c) {
         const types::Field& field = table->schema().field(c);
-        if (!record[c].has_value()) {
+        CsvFieldView cell = reader.field(c);
+        if (cell.null) {
           if (!field.nullable) {
             return Status::ConversionError("COPY: NULL in NOT NULL column " + field.name);
           }
           row.push_back(Value::Null());
           continue;
         }
-        HQ_ASSIGN_OR_RETURN(Value v,
-                            types::CastValue(Value::String(*record[c]), field.type));
+        HQ_ASSIGN_OR_RETURN(
+            Value v, types::CastValue(Value::String(std::string(cell.text)), field.type));
         row.push_back(std::move(v));
       }
       staged.push_back(std::move(row));

@@ -34,73 +34,126 @@ void EncodeCsvRecord(const CsvRecord& record, const CsvOptions& options, ByteBuf
   out->AppendByte('\n');
 }
 
-Result<std::vector<CsvRecord>> ParseCsv(Slice data, const CsvOptions& options) {
-  std::vector<CsvRecord> records;
-  CsvRecord current;
-  std::string field;
-  bool field_quoted = false;
-  bool in_quotes = false;
-  size_t i = 0;
-  const size_t n = data.size();
-
-  auto end_field = [&] {
-    if (!field_quoted && field.empty()) {
-      current.push_back(std::nullopt);  // NULL
-    } else {
-      current.push_back(std::move(field));
+void CsvStreamReader::AppendChar(size_t i) {
+  if (!field_dirty_) {
+    if (clean_len_ == 0) {
+      clean_begin_ = i;
+      clean_len_ = 1;
+      return;
     }
-    field.clear();
-    field_quoted = false;
-  };
-  auto end_record = [&] {
-    end_field();
-    records.push_back(std::move(current));
-    current.clear();
-  };
+    if (clean_begin_ + clean_len_ == i) {  // still one contiguous input run
+      ++clean_len_;
+      return;
+    }
+    // The field's bytes stopped being contiguous in the input (an escape or
+    // skipped character intervened): fall back to the scratch buffer.
+    field_dirty_ = true;
+    scratch_start_ = scratch_.size();
+    scratch_.append(reinterpret_cast<const char*>(data_.data()) + clean_begin_, clean_len_);
+  }
+  scratch_ += static_cast<char>(data_[i]);
+}
 
-  while (i < n) {
-    char c = static_cast<char>(data[i]);
+size_t CsvStreamReader::FieldLen() const {
+  return field_dirty_ ? scratch_.size() - scratch_start_ : clean_len_;
+}
+
+void CsvStreamReader::EndField() {
+  FieldSpan span;
+  span.dirty = field_dirty_;
+  span.quoted = field_quoted_;
+  span.begin = field_dirty_ ? scratch_start_ : clean_begin_;
+  span.len = FieldLen();
+  fields_.push_back(span);
+  field_quoted_ = false;
+  field_dirty_ = false;
+  clean_len_ = 0;
+}
+
+CsvFieldView CsvStreamReader::field(size_t i) const {
+  const FieldSpan& span = fields_[i];
+  CsvFieldView view;
+  view.null = !span.quoted && span.len == 0;
+  view.text = span.dirty
+                  ? std::string_view(scratch_.data() + span.begin, span.len)
+                  : std::string_view(reinterpret_cast<const char*>(data_.data()) + span.begin,
+                                     span.len);
+  return view;
+}
+
+Result<bool> CsvStreamReader::Next() {
+  fields_.clear();
+  scratch_.clear();
+  bool in_quotes = false;
+  bool any_field_ended = false;
+  const size_t n = data_.size();
+
+  while (pos_ < n) {
+    char c = static_cast<char>(data_[pos_]);
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < n && data[i + 1] == '"') {
-          field += '"';
-          i += 2;
+        if (pos_ + 1 < n && data_[pos_ + 1] == '"') {
+          AppendChar(pos_);  // one literal '"' from the doubled pair
+          pos_ += 2;
           continue;
         }
         in_quotes = false;
-        ++i;
+        ++pos_;
         continue;
       }
-      field += c;
-      ++i;
+      AppendChar(pos_);
+      ++pos_;
       continue;
     }
-    if (c == '"' && field.empty() && !field_quoted) {
+    if (c == '"' && FieldLen() == 0 && !field_quoted_) {
       in_quotes = true;
-      field_quoted = true;
-      ++i;
+      field_quoted_ = true;
+      ++pos_;
       continue;
     }
-    if (c == options.delimiter) {
-      end_field();
-      ++i;
+    if (c == delimiter_) {
+      EndField();
+      any_field_ended = true;
+      ++pos_;
       continue;
     }
     if (c == '\n') {
-      end_record();
-      ++i;
-      continue;
+      EndField();
+      ++pos_;
+      return true;
     }
     if (c == '\r') {  // tolerate CRLF
-      ++i;
+      ++pos_;
       continue;
     }
-    field += c;
-    ++i;
+    AppendChar(pos_);
+    ++pos_;
   }
   if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
-  if (!field.empty() || field_quoted || !current.empty()) {
-    end_record();  // final record without trailing newline
+  if (FieldLen() > 0 || field_quoted_ || any_field_ended) {
+    EndField();  // final record without trailing newline
+    return true;
+  }
+  return false;
+}
+
+Result<std::vector<CsvRecord>> ParseCsv(Slice data, const CsvOptions& options) {
+  std::vector<CsvRecord> records;
+  CsvStreamReader reader(data, options);
+  while (true) {
+    HQ_ASSIGN_OR_RETURN(bool more, reader.Next());
+    if (!more) break;
+    CsvRecord record;
+    record.reserve(reader.num_fields());
+    for (size_t i = 0; i < reader.num_fields(); ++i) {
+      CsvFieldView f = reader.field(i);
+      if (f.null) {
+        record.push_back(std::nullopt);
+      } else {
+        record.push_back(std::string(f.text));
+      }
+    }
+    records.push_back(std::move(record));
   }
   return records;
 }

@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
@@ -30,8 +31,71 @@ using CsvRecord = std::vector<CsvField>;
 void EncodeCsvRecord(const CsvRecord& record, const CsvOptions& options,
                      common::ByteBuffer* out);
 
+/// One field of the record a CsvStreamReader is currently positioned on.
+/// `text` borrows either from the input slice (the common, clean case) or
+/// from the reader's internal scratch (fields that needed unescaping); both
+/// are valid only until the next Next() call.
+struct CsvFieldView {
+  bool null = false;
+  std::string_view text;
+};
+
+/// Streaming CSV reader over the staging format: yields one record view at a
+/// time without materializing the file as std::vector<CsvRecord>. Field text
+/// is zero-copy for unquoted/clean fields and lazily assembled into a reused
+/// scratch buffer only when escaping ("" doubling, content after a closing
+/// quote, \r stripping) forces it. Semantics are byte-identical to the batch
+/// ParseCsv (which is now a thin wrapper over this class):
+///   - unquoted empty field -> NULL; quoted empty field ("") -> empty string
+///   - quoted fields may span delimiters and newlines; '"' doubles inside
+///   - '\r' outside quotes is skipped (CRLF tolerance)
+///   - a final record without trailing newline is still yielded
+///   - EOF inside quotes is ParseError("unterminated quoted CSV field").
+class CsvStreamReader {
+ public:
+  CsvStreamReader(common::Slice data, CsvOptions options)
+      : data_(data), delimiter_(options.delimiter) {}
+
+  /// Advances to the next record. Returns false at end of input; a parse
+  /// error (unterminated quote) is returned as a Status.
+  common::Result<bool> Next();
+
+  /// Arity of the current record (valid after Next() returned true).
+  size_t num_fields() const { return fields_.size(); }
+  /// The i-th field of the current record; views die at the next Next().
+  CsvFieldView field(size_t i) const;
+
+ private:
+  /// Completed-field descriptor: a span into the input (clean) or into
+  /// scratch_ (dirty). Offsets, not pointers: scratch_ reallocates.
+  struct FieldSpan {
+    bool dirty = false;
+    bool quoted = false;
+    size_t begin = 0;
+    size_t len = 0;
+  };
+
+  void AppendChar(size_t i);
+  void EndField();
+  size_t FieldLen() const;
+
+  common::Slice data_;
+  char delimiter_;
+  size_t pos_ = 0;
+  std::vector<FieldSpan> fields_;
+  std::string scratch_;
+
+  // In-progress field state.
+  bool field_quoted_ = false;
+  bool field_dirty_ = false;
+  size_t clean_begin_ = 0;
+  size_t clean_len_ = 0;
+  size_t scratch_start_ = 0;
+};
+
 /// Parses an entire CSV buffer into records. Handles quoted fields spanning
-/// the delimiter and embedded newlines.
+/// the delimiter and embedded newlines. Batch convenience wrapper over
+/// CsvStreamReader; prefer the streaming reader on the COPY hot path.
 common::Result<std::vector<CsvRecord>> ParseCsv(common::Slice data, const CsvOptions& options);
 
 }  // namespace hyperq::cdw

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sync.h"
+
+/// \file buffer_pool.h
+/// Recycles large byte buffers across pipeline stages so the hot load path
+/// (chunk receipt -> conversion -> sequenced hand-off -> FileWriter) does not
+/// pay one malloc/free pair per chunk. The pool is node-wide (like the
+/// CreditManager): converters acquire CSV output buffers and chunk payload
+/// copies here, writers return them after the bytes reach disk.
+///
+/// Sizing follows observed traffic: the pool tracks a running mean of
+/// requested buffer sizes and refuses to retain buffers far above it, so one
+/// pathologically large chunk cannot pin its high-water allocation forever.
+/// Retention is further bounded by max_buffers / max_bytes.
+///
+/// Thread-safe. Acquire/Release take one short mutex hold each; memory
+/// allocation and deallocation happen outside the lock.
+
+namespace hyperq::common {
+
+struct BufferPoolOptions {
+  /// Maximum number of free buffers retained.
+  size_t max_buffers = 64;
+  /// Maximum total capacity (bytes) retained across free buffers.
+  size_t max_bytes = 64u << 20;
+  /// A returned buffer whose capacity exceeds `oversize_factor` times the
+  /// observed mean acquire size is dropped instead of pooled.
+  size_t oversize_factor = 8;
+};
+
+/// Monotonic usage counters plus the current retained footprint; readable at
+/// any time (exported as obs gauges by the HyperQServer).
+struct BufferPoolStats {
+  uint64_t hits = 0;            ///< Acquire served from the free list
+  uint64_t misses = 0;          ///< Acquire had to allocate fresh
+  uint64_t recycled = 0;        ///< Release kept the buffer
+  uint64_t dropped = 0;         ///< Release discarded the buffer (bounds)
+  uint64_t buffers_pooled = 0;  ///< current free-list length
+  uint64_t bytes_pooled = 0;    ///< current free-list capacity sum
+  uint64_t mean_acquire_bytes = 0;
+};
+
+class BufferPool {
+ public:
+  explicit BufferPool(BufferPoolOptions options = {}) : options_(options) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty vector with capacity >= `reserve_hint`, reusing a
+  /// pooled buffer when one is large enough (smallest sufficient wins, so
+  /// big buffers stay available for big requests).
+  std::vector<uint8_t> Acquire(size_t reserve_hint) HQ_EXCLUDES(mu_) {
+    std::vector<uint8_t> buffer;
+    bool hit = false;
+    {
+      MutexLock lock(&mu_);
+      acquire_bytes_sum_ += reserve_hint;
+      ++acquire_count_;
+      size_t best = free_.size();
+      for (size_t i = 0; i < free_.size(); ++i) {
+        if (free_[i].capacity() < reserve_hint) continue;
+        if (best == free_.size() || free_[i].capacity() < free_[best].capacity()) best = i;
+      }
+      if (best != free_.size()) {
+        bytes_pooled_ -= free_[best].capacity();
+        buffer = std::move(free_[best]);
+        free_[best] = std::move(free_.back());
+        free_.pop_back();
+        hit = true;
+        ++hits_;
+      } else {
+        ++misses_;
+      }
+    }
+    buffer.clear();  // keeps capacity
+    if (!hit) buffer.reserve(reserve_hint);
+    return buffer;
+  }
+
+  /// Returns a buffer to the pool (or frees it when retention bounds or the
+  /// oversize guard say no). Zero-capacity buffers are ignored.
+  void Release(std::vector<uint8_t> buffer) HQ_EXCLUDES(mu_) {
+    if (buffer.capacity() == 0) return;
+    // `buffer` is destroyed outside the lock unless the pool adopts it.
+    std::vector<uint8_t> reject;
+    MutexLock lock(&mu_);
+    uint64_t mean = acquire_count_ == 0 ? 0 : acquire_bytes_sum_ / acquire_count_;
+    bool oversize = mean != 0 && buffer.capacity() > mean * options_.oversize_factor;
+    if (oversize || free_.size() >= options_.max_buffers ||
+        bytes_pooled_ + buffer.capacity() > options_.max_bytes) {
+      ++dropped_;
+      reject = std::move(buffer);
+      return;
+    }
+    buffer.clear();
+    bytes_pooled_ += buffer.capacity();
+    free_.push_back(std::move(buffer));
+    ++recycled_;
+  }
+
+  BufferPoolStats stats() const HQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    BufferPoolStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.recycled = recycled_;
+    s.dropped = dropped_;
+    s.buffers_pooled = free_.size();
+    s.bytes_pooled = bytes_pooled_;
+    s.mean_acquire_bytes = acquire_count_ == 0 ? 0 : acquire_bytes_sum_ / acquire_count_;
+    return s;
+  }
+
+  const BufferPoolOptions& options() const { return options_; }
+
+ private:
+  const BufferPoolOptions options_;
+  mutable Mutex mu_;
+  std::vector<std::vector<uint8_t>> free_ HQ_GUARDED_BY(mu_);
+  size_t bytes_pooled_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t recycled_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t acquire_bytes_sum_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t acquire_count_ HQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace hyperq::common

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdw/staging_format.h"
+#include "common/bytes.h"
+#include "common/status.h"
+#include "hyperq/data_converter.h"
+#include "legacy/parcel.h"
+#include "types/schema.h"
+
+/// \file conversion_plan.h
+/// Compiled per-layout conversion plans: the fast path of the DataConverter
+/// stage (paper Section 4). Where the reference path materializes every cell
+/// as a types::Value and then a per-cell std::string inside a cdw::CsvRecord,
+/// a ConversionPlan is built once per layout at DataConverter::Create time as
+/// a vector of per-field kernel functions (one per TypeId x format) that
+/// decode a field straight off the chunk's ByteReader and append its
+/// CSV-escaped text directly into the output ByteBuffer. Numeric, decimal and
+/// date/timestamp formatting go through fixed-size stack scratch
+/// (std::to_chars-style), so steady-state conversion performs O(1) heap
+/// allocations per row (the output buffer growth, amortized and pooled).
+///
+/// Contract: output bytes and error capture are bit-identical to
+/// DataConverter::ConvertReference — same CSV escaping, same NULL vs
+/// empty-string encoding, same HQ_ROWNUM column, same RecordError codes and
+/// messages. tests/hyperq/conversion_diff_test.cc enforces this over random
+/// layouts and adversarial chunks.
+
+namespace hyperq::core {
+
+class ConversionPlan {
+ public:
+  struct FieldPlan;
+
+  /// A field kernel consumes the field's wire bytes from `body` (always, even
+  /// for NULL fields: binary slots are positional) and, when not null,
+  /// appends the CSV-escaped text to `out`. Errors must carry exactly the
+  /// message the reference decode path would produce.
+  using FieldKernel = common::Status (*)(const FieldPlan&, common::ByteReader* body, bool null,
+                                         common::ByteBuffer* out);
+
+  struct FieldPlan {
+    FieldKernel kernel = nullptr;
+    /// DECIMAL scale (digits after the point).
+    int32_t scale = 0;
+    /// CHAR width in bytes.
+    int32_t length = 0;
+    /// Worst-case CSV text width for fixed-width types (0 = payload-carried).
+    uint32_t width_hint = 0;
+    /// CSV output delimiter (copied here so kernels stay context-free).
+    char csv_delimiter = ',';
+  };
+
+  /// Compiles a plan for a layout DataConverter::Create already validated
+  /// (non-empty; all-VARCHAR when vartext).
+  static ConversionPlan Compile(const types::Schema& layout, legacy::DataFormat format,
+                                char legacy_delimiter, cdw::CsvOptions csv_options);
+
+  /// Converts one chunk into `out` (csv is appended to; metadata fields and
+  /// errors are filled in). Per-record data errors are collected and the
+  /// partial CSV of the offending record is rolled back; only a vartext
+  /// framing error fails the whole chunk (mirroring the reference path).
+  common::Status Execute(const ConversionInput& input, ConvertedChunk* out) const;
+
+  /// Output-size estimate for reserving the CSV buffer: per-field width
+  /// hints x row count plus the variable-width bytes carried in the payload.
+  size_t EstimateCsvBytes(uint32_t row_count, size_t payload_bytes) const;
+
+  size_t num_fields() const { return fields_.size(); }
+
+ private:
+  ConversionPlan() = default;
+
+  common::Status ExecuteBinary(const ConversionInput& input, ConvertedChunk* out) const;
+  common::Status ExecuteVartext(const ConversionInput& input, ConvertedChunk* out) const;
+  /// Fused decode+encode of one binary record (fields, HQ_ROWNUM, newline).
+  common::Status BinaryRecordToCsv(common::ByteReader* reader, uint64_t row_number,
+                                   common::ByteBuffer* out) const;
+
+  std::vector<FieldPlan> fields_;
+  legacy::DataFormat format_ = legacy::DataFormat::kBinary;
+  char legacy_delimiter_ = '|';
+  char csv_delimiter_ = ',';
+  size_t indicator_bytes_ = 0;
+  /// Sum of fixed width hints + delimiters + HQ_ROWNUM + newline, per row.
+  size_t per_row_hint_ = 0;
+  bool has_varwidth_ = false;
+};
+
+}  // namespace hyperq::core

@@ -1,5 +1,7 @@
 #include "hyperq/data_converter.h"
 
+#include "common/buffer_pool.h"
+#include "hyperq/conversion_plan.h"
 #include "legacy/errors.h"
 #include "types/type_mapping.h"
 
@@ -44,9 +46,29 @@ DataConverter::DataConverter(Schema layout, legacy::DataFormat format, char deli
     : layout_(std::move(layout)),
       format_(format),
       delimiter_(delimiter),
-      csv_options_(csv_options) {}
+      csv_options_(csv_options),
+      plan_(std::make_unique<ConversionPlan>(
+          ConversionPlan::Compile(layout_, format_, delimiter_, csv_options_))) {}
 
-Result<ConvertedChunk> DataConverter::Convert(const ConversionInput& input) const {
+DataConverter::DataConverter(DataConverter&&) noexcept = default;
+DataConverter& DataConverter::operator=(DataConverter&&) noexcept = default;
+DataConverter::~DataConverter() = default;
+
+Result<ConvertedChunk> DataConverter::Convert(const ConversionInput& input,
+                                              common::BufferPool* pool) const {
+  ConvertedChunk out;
+  const size_t estimate =
+      plan_->EstimateCsvBytes(input.chunk.row_count, input.chunk.payload.size());
+  if (pool != nullptr) {
+    out.csv = common::ByteBuffer(pool->Acquire(estimate));
+  } else {
+    out.csv.reserve(estimate);
+  }
+  HQ_RETURN_NOT_OK(plan_->Execute(input, &out));
+  return out;
+}
+
+Result<ConvertedChunk> DataConverter::ConvertReference(const ConversionInput& input) const {
   ConvertedChunk out;
   out.order_index = input.order_index;
   out.first_row_number = input.first_row_number;

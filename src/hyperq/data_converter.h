@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,10 @@
 #include "legacy/parcel.h"
 #include "legacy/row_format.h"
 #include "types/schema.h"
+
+namespace hyperq::common {
+class BufferPool;
+}  // namespace hyperq::common
 
 /// \file data_converter.h
 /// The DataConverter stage (paper Section 4): converts chunks from the
@@ -55,7 +60,14 @@ struct ConvertedChunk {
   uint32_t rows_out = 0;
   common::ByteBuffer csv;
   std::vector<RecordError> errors;
+  /// Times the CSV buffer had to grow beyond its initial reservation
+  /// (exported as an obs counter; should stay 0 when the plan's size
+  /// estimate is right).
+  uint64_t csv_reallocs = 0;
 };
+
+/// Compiled fast path for Convert (see conversion_plan.h).
+class ConversionPlan;
 
 class DataConverter {
  public:
@@ -65,13 +77,27 @@ class DataConverter {
                                               char delimiter,
                                               cdw::CsvOptions csv_options = {});
 
-  /// Converts one chunk. Per-record data errors (field-count mismatch,
-  /// undecodable binary record) are collected, the offending record is
-  /// skipped, and conversion continues (tuple-at-a-time error semantics of
-  /// the legacy EDW, Section 7).
-  common::Result<ConvertedChunk> Convert(const ConversionInput& input) const;
+  DataConverter(DataConverter&&) noexcept;
+  DataConverter& operator=(DataConverter&&) noexcept;
+  ~DataConverter();
+
+  /// Converts one chunk via the compiled plan. Per-record data errors
+  /// (field-count mismatch, undecodable binary record) are collected, the
+  /// offending record is skipped, and conversion continues (tuple-at-a-time
+  /// error semantics of the legacy EDW, Section 7). When `pool` is non-null
+  /// the CSV output buffer is acquired from it (return it via
+  /// BufferPool::Release once the bytes are written out).
+  common::Result<ConvertedChunk> Convert(const ConversionInput& input,
+                                         common::BufferPool* pool = nullptr) const;
+
+  /// The original interpretive path (Value materialization + CsvRecord).
+  /// Kept as the reference implementation: the differential test requires
+  /// Convert to produce byte-identical CSV and identical error capture, and
+  /// bench_ablation_convert uses it as the ablation baseline.
+  common::Result<ConvertedChunk> ConvertReference(const ConversionInput& input) const;
 
   const types::Schema& layout() const { return layout_; }
+  const ConversionPlan& plan() const { return *plan_; }
 
  private:
   DataConverter(types::Schema layout, legacy::DataFormat format, char delimiter,
@@ -81,6 +107,7 @@ class DataConverter {
   legacy::DataFormat format_;
   char delimiter_;
   cdw::CsvOptions csv_options_;
+  std::unique_ptr<ConversionPlan> plan_;
 };
 
 }  // namespace hyperq::core

@@ -35,6 +35,12 @@ struct HyperQOptions {
   /// simulated out-of-memory condition of Figure 10's one-million-credit run.
   uint64_t memory_budget_bytes = 0;
 
+  /// Node-wide BufferPool recycling chunk payload copies and converted CSV
+  /// buffers across converter pool -> sequenced queue -> FileWriter.
+  /// `buffer_pool_max_buffers = 0` disables pooling entirely.
+  size_t buffer_pool_max_buffers = 64;
+  size_t buffer_pool_max_bytes = 64u << 20;
+
   /// Local directory for intermediate staging files.
   std::string local_staging_dir = "/tmp/hyperq_staging";
 

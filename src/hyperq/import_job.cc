@@ -86,6 +86,7 @@ ImportJob::ImportJob(std::string job_id, legacy::BeginLoadBody begin, JobContext
     m_.files_uploaded = r->GetCounter("hyperq_files_uploaded_total");
     m_.bytes_uploaded = r->GetCounter("hyperq_bytes_uploaded_total");
     m_.rows_copied = r->GetCounter("hyperq_rows_copied_total");
+    m_.csv_reallocs = r->GetCounter("hyperq_convert_csv_realloc_total");
     m_.jobs_started = r->GetCounter("hyperq_import_jobs_started_total");
     m_.jobs_completed = r->GetCounter("hyperq_import_jobs_completed_total");
     m_.jobs_failed = r->GetCounter("hyperq_import_jobs_failed_total");
@@ -186,7 +187,17 @@ Status ImportJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
     common::MemoryReservation reservation;
   };
   auto state = std::make_shared<TaskState>();
-  state->chunk = chunk;
+  state->chunk.chunk_seq = chunk.chunk_seq;
+  state->chunk.row_count = chunk.row_count;
+  if (ctx_.buffers != nullptr) {
+    // Copy the payload into a pooled buffer so the allocation is recycled
+    // once the converter is done with the raw bytes.
+    state->chunk.payload = ctx_.buffers->Acquire(chunk.payload.size());
+    state->chunk.payload.insert(state->chunk.payload.end(), chunk.payload.begin(),
+                                chunk.payload.end());
+  } else {
+    state->chunk.payload = chunk.payload;
+  }
   state->credit = std::move(credit);
   state->reservation = common::MemoryReservation(ctx_.memory, reserve_bytes);
 
@@ -204,9 +215,10 @@ Status ImportJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
     input.chunk = std::move(state->chunk);
     obs::ScopedTimer convert_timer(m_.convert_seconds);
     obs::ScopedSpan convert_span(trace_.get(), obs::Phase::kRowConvert, "convert");
-    auto converted = converter_.Convert(input);
+    auto converted = converter_.Convert(input, ctx_.buffers);
     convert_timer.StopAndObserve();
     convert_span.End();
+    if (ctx_.buffers != nullptr) ctx_.buffers->Release(std::move(input.chunk.payload));
 
     WorkItem item;
     item.credit = std::move(state->credit);
@@ -250,6 +262,10 @@ void ImportJob::WriterLoop(size_t writer_index) {
     Status s = writer.Append(item->converted.csv.AsSlice(), &finalized);
     write_timer.StopAndObserve();
     write_span.End();
+    // The CSV bytes are on disk (or abandoned): recycle the buffer either way.
+    if (ctx_.buffers != nullptr) {
+      ctx_.buffers->Release(std::move(item->converted.csv.vector()));
+    }
     if (!s.ok()) {
       NoteFatal(s);
       continue;
@@ -258,6 +274,9 @@ void ImportJob::WriterLoop(size_t writer_index) {
       m_.rows_staged->Increment(item->converted.rows_out);
       if (!item->converted.errors.empty()) {
         m_.data_errors->Increment(item->converted.errors.size());
+      }
+      if (item->converted.csv_reallocs != 0) {
+        m_.csv_reallocs->Increment(item->converted.csv_reallocs);
       }
     }
     {

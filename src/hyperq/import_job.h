@@ -8,6 +8,7 @@
 
 #include "cdw/cdw_server.h"
 #include "cloudstore/object_store.h"
+#include "common/buffer_pool.h"
 #include "common/memory_tracker.h"
 #include "common/sequenced_queue.h"
 #include "common/stopwatch.h"
@@ -44,6 +45,9 @@ struct JobContext {
   CreditManager* credits = nullptr;
   common::ThreadPool* converter_pool = nullptr;
   common::MemoryTracker* memory = nullptr;
+  /// Node-wide recycler for chunk payload copies and converted CSV buffers
+  /// (null = allocate fresh per chunk); set by the HyperQServer.
+  common::BufferPool* buffers = nullptr;
   /// Node-wide observability (null = disabled); set by the HyperQServer.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
@@ -143,6 +147,7 @@ class ImportJob {
     obs::Counter* jobs_started = nullptr;
     obs::Counter* jobs_completed = nullptr;
     obs::Counter* jobs_failed = nullptr;
+    obs::Counter* csv_reallocs = nullptr;
     obs::Histogram* convert_seconds = nullptr;
     obs::Histogram* write_seconds = nullptr;
     obs::Histogram* upload_seconds = nullptr;

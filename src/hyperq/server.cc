@@ -50,6 +50,12 @@ HyperQServer::HyperQServer(cdw::CdwServer* cdw, cloud::ObjectStore* store, Hyper
       credits_(options_.credit_pool_size),
       converter_pool_(options_.converter_workers),
       memory_(options_.memory_budget_bytes) {
+  if (options_.buffer_pool_max_buffers != 0) {
+    common::BufferPoolOptions pool_options;
+    pool_options.max_buffers = options_.buffer_pool_max_buffers;
+    pool_options.max_bytes = options_.buffer_pool_max_bytes;
+    buffer_pool_ = std::make_unique<common::BufferPool>(pool_options);
+  }
   if (options_.enable_observability) {
     if (options_.metrics != nullptr) {
       metrics_ = options_.metrics;
@@ -70,6 +76,10 @@ HyperQServer::HyperQServer(cdw::CdwServer* cdw, cloud::ObjectStore* store, Hyper
     m_.converter_queue = metrics_->GetGauge("hyperq_converter_queue_depth");
     m_.converter_active = metrics_->GetGauge("hyperq_converter_workers_active");
     m_.memory_in_flight = metrics_->GetGauge("hyperq_memory_in_flight_bytes");
+    m_.pool_buffers = metrics_->GetGauge("hyperq_buffer_pool_buffers");
+    m_.pool_bytes = metrics_->GetGauge("hyperq_buffer_pool_bytes");
+    m_.pool_hits = metrics_->GetGauge("hyperq_buffer_pool_hits");
+    m_.pool_misses = metrics_->GetGauge("hyperq_buffer_pool_misses");
     m_.decode_seconds = metrics_->GetHistogram("hyperq_parcel_decode_seconds");
   }
 }
@@ -128,6 +138,7 @@ Result<std::shared_ptr<ImportJob>> HyperQServer::GetOrCreateImportJob(
   ctx.credits = &credits_;
   ctx.converter_pool = &converter_pool_;
   ctx.memory = &memory_;
+  ctx.buffers = buffer_pool_.get();
   ctx.metrics = metrics_;
   ctx.tracer = tracer_;
   ctx.options = options_;
@@ -446,6 +457,13 @@ obs::MetricsSnapshot HyperQServer::MetricsSnapshot() const {
   m_.converter_queue->Set(static_cast<int64_t>(converter_pool_.queued()));
   m_.converter_active->Set(static_cast<int64_t>(converter_pool_.active()));
   m_.memory_in_flight->Set(static_cast<int64_t>(memory_.used()));
+  if (buffer_pool_ != nullptr) {
+    common::BufferPoolStats pool = buffer_pool_->stats();
+    m_.pool_buffers->Set(static_cast<int64_t>(pool.buffers_pooled));
+    m_.pool_bytes->Set(static_cast<int64_t>(pool.bytes_pooled));
+    m_.pool_hits->Set(static_cast<int64_t>(pool.hits));
+    m_.pool_misses->Set(static_cast<int64_t>(pool.misses));
+  }
   return metrics_->Snapshot();
 }
 

@@ -9,6 +9,7 @@
 
 #include "cdw/cdw_server.h"
 #include "cloudstore/object_store.h"
+#include "common/buffer_pool.h"
 #include "common/memory_tracker.h"
 #include "common/sync.h"
 #include "common/thread_pool.h"
@@ -50,6 +51,8 @@ class HyperQServer {
 
   CreditManager* credit_manager() { return &credits_; }
   common::MemoryTracker* memory_tracker() { return &memory_; }
+  /// Node-wide buffer recycler (null when buffer_pool_max_buffers == 0).
+  common::BufferPool* buffer_pool() { return buffer_pool_.get(); }
   const HyperQOptions& options() const { return options_; }
 
   /// The node's metrics registry / tracer (null when observability is off).
@@ -99,12 +102,17 @@ class HyperQServer {
     obs::Gauge* converter_queue = nullptr;
     obs::Gauge* converter_active = nullptr;
     obs::Gauge* memory_in_flight = nullptr;
+    obs::Gauge* pool_buffers = nullptr;
+    obs::Gauge* pool_bytes = nullptr;
+    obs::Gauge* pool_hits = nullptr;
+    obs::Gauge* pool_misses = nullptr;
     obs::Histogram* decode_seconds = nullptr;
   } m_;
 
   CreditManager credits_;
   common::ThreadPool converter_pool_;
   common::MemoryTracker memory_;
+  std::unique_ptr<common::BufferPool> buffer_pool_;
 
   net::Listener listener_;
   /// Serializes Start()/Stop(): without it two racing Stops (or a Stop racing

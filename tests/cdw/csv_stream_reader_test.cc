@@ -1,0 +1,171 @@
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cdw/staging_format.h"
+#include "common/random.h"
+
+/// CsvStreamReader yields one record view at a time without materializing the
+/// whole staging file. Its parse must be indistinguishable from the batch
+/// ParseCsv (which is now a wrapper over it) — these tests pin the streaming
+/// behaviour directly, plus an equivalence sweep over generated corpora.
+
+namespace hyperq::cdw {
+namespace {
+
+/// Drains the reader into materialized records for easy comparison.
+std::vector<CsvRecord> Drain(std::string_view text, CsvOptions options = {}) {
+  CsvStreamReader reader(common::Slice(text), options);
+  std::vector<CsvRecord> records;
+  while (true) {
+    auto more = reader.Next();
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    CsvRecord record;
+    for (size_t i = 0; i < reader.num_fields(); ++i) {
+      CsvFieldView view = reader.field(i);
+      if (view.null) {
+        record.push_back(std::nullopt);
+      } else {
+        record.push_back(std::string(view.text));
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+TEST(CsvStreamReaderTest, SimpleRecords) {
+  auto records = Drain("a,b,c\n1,2,3\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (CsvRecord{"a", "b", "c"}));
+  EXPECT_EQ(records[1], (CsvRecord{"1", "2", "3"}));
+}
+
+TEST(CsvStreamReaderTest, EmptyInputYieldsNoRecords) {
+  CsvStreamReader reader(common::Slice(std::string_view("")), CsvOptions{});
+  auto more = reader.Next();
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(CsvStreamReaderTest, NullVersusEmptyString) {
+  // Staging convention: unquoted empty = NULL, quoted "" = empty string.
+  auto records = Drain(",\"\",x\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0][0].has_value());
+  ASSERT_TRUE(records[0][1].has_value());
+  EXPECT_EQ(*records[0][1], "");
+  EXPECT_EQ(*records[0][2], "x");
+}
+
+TEST(CsvStreamReaderTest, QuotedFieldSpansDelimitersAndNewlines) {
+  auto records = Drain("\"a,b\nc\",tail\n");
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].size(), 2u);
+  EXPECT_EQ(*records[0][0], "a,b\nc");
+  EXPECT_EQ(*records[0][1], "tail");
+}
+
+TEST(CsvStreamReaderTest, DoubledQuotesDecode) {
+  auto records = Drain("\"he said \"\"hi\"\"\",\"\"\"\"\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(*records[0][0], "he said \"hi\"");
+  EXPECT_EQ(*records[0][1], "\"");
+}
+
+TEST(CsvStreamReaderTest, CrLfLineEndings) {
+  auto records = Drain("a,b\r\nc,d\r\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (CsvRecord{"a", "b"}));
+  EXPECT_EQ(records[1], (CsvRecord{"c", "d"}));
+}
+
+TEST(CsvStreamReaderTest, CarriageReturnInsideQuotesIsData) {
+  auto records = Drain("\"a\rb\"\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(*records[0][0], "a\rb");
+}
+
+TEST(CsvStreamReaderTest, TrailingRecordWithoutNewline) {
+  auto records = Drain("a,b\nlast,row");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1], (CsvRecord{"last", "row"}));
+}
+
+TEST(CsvStreamReaderTest, TrailingQuotedEmptyWithoutNewline) {
+  // The final record must also surface when its only content is "".
+  auto records = Drain("a\n\"\"");
+  ASSERT_EQ(records.size(), 2u);
+  ASSERT_EQ(records[1].size(), 1u);
+  EXPECT_EQ(*records[1][0], "");
+}
+
+TEST(CsvStreamReaderTest, UnterminatedQuoteIsParseError) {
+  CsvStreamReader reader(common::Slice(std::string_view("\"oops\n")), CsvOptions{});
+  auto more = reader.Next();
+  ASSERT_FALSE(more.ok());
+  EXPECT_TRUE(more.status().IsParseError());
+}
+
+TEST(CsvStreamReaderTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = '|';
+  auto records = Drain("a|b,c|\"d|e\"\n", options);
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].size(), 3u);
+  EXPECT_EQ(*records[0][0], "a");
+  EXPECT_EQ(*records[0][1], "b,c");  // ',' is plain data here
+  EXPECT_EQ(*records[0][2], "d|e");
+}
+
+TEST(CsvStreamReaderTest, FieldViewsAliasInputUntilNext) {
+  // Clean (unquoted, uncopied) fields view directly into the input buffer —
+  // the zero-copy contract the converter hot path relies on.
+  std::string text = "alpha,beta\n";
+  CsvStreamReader reader(common::Slice(std::string_view(text)), CsvOptions{});
+  ASSERT_TRUE(*reader.Next());
+  CsvFieldView alpha = reader.field(0);
+  EXPECT_EQ(alpha.text.data(), text.data());
+  EXPECT_EQ(alpha.text, "alpha");
+}
+
+TEST(CsvStreamReaderTest, MatchesBatchParseCsvOnGeneratedCorpora) {
+  // Equivalence sweep: encode random records with EncodeCsvRecord, then
+  // check the streaming reader and batch ParseCsv see the same thing.
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    common::Random rng(seed);
+    common::ByteBuffer encoded;
+    std::vector<CsvRecord> want;
+    size_t nrecords = rng.NextBounded(10);
+    for (size_t r = 0; r < nrecords; ++r) {
+      CsvRecord record;
+      size_t nfields = 1 + rng.NextBounded(5);
+      for (size_t f = 0; f < nfields; ++f) {
+        if (rng.NextBool(0.2)) {
+          record.push_back(std::nullopt);
+          continue;
+        }
+        static constexpr char kPool[] = "ab,\"\n\r|; ";
+        std::string text;
+        size_t len = rng.NextBounded(10);
+        for (size_t c = 0; c < len; ++c) {
+          text.push_back(kPool[rng.NextBounded(sizeof(kPool) - 1)]);
+        }
+        record.push_back(std::move(text));
+      }
+      EncodeCsvRecord(record, CsvOptions{}, &encoded);
+      want.push_back(std::move(record));
+    }
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto batch = ParseCsv(encoded.AsSlice(), CsvOptions{});
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(*batch, want);
+    EXPECT_EQ(Drain(encoded.AsSlice().ToStringView()), want);
+  }
+}
+
+}  // namespace
+}  // namespace hyperq::cdw

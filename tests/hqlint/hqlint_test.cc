@@ -93,6 +93,24 @@ TEST(HqlintGoldenTest, CleanFileHasNoDiagnostics) {
   EXPECT_EQ(LintOne("clean.cc"), std::vector<std::string>{});
 }
 
+TEST(HqlintGoldenTest, PerRowAlloc) {
+  EXPECT_EQ(LintOne("per_row_alloc.cc"),
+            (std::vector<std::string>{
+                "per_row_alloc.cc:5: [per-row-alloc] `std::to_string` allocates per call in a "
+                "hotpath file; format into stack scratch with std::to_chars",
+                "per_row_alloc.cc:6: [per-row-alloc] `std::string` temporary in a hotpath "
+                "file; use std::string_view or stack scratch",
+            }));
+}
+
+TEST(HqlintGoldenTest, PerRowAllocOnlyFiresInMarkedFiles) {
+  // Identical allocation patterns in a file without the hotpath marker are
+  // not the rule's business.
+  Linter linter;
+  linter.AddFile("cold.cc", "void F(std::string* o) {\n  *o += std::to_string(1);\n}\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
 TEST(HqlintGoldenTest, StatusNamesAreCollectedAcrossFiles) {
   // A Status-returning declaration in one file makes a bare call in another
   // file a violation: the name set is repository-wide.

@@ -409,6 +409,51 @@ void CheckBlockingUnderLock(const std::string& path, const Stripped& s,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: per-row-alloc
+// ---------------------------------------------------------------------------
+
+/// True when `token` appears with identifier boundaries and is followed
+/// (after optional spaces) by '(' — i.e. used as a call/temporary.
+bool TokenCallLike(const std::string& line, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    size_t j = end;
+    while (j < line.size() && line[j] == ' ') ++j;
+    if (left_ok && right_ok && j < line.size() && line[j] == '(') return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// Heuristic allocation lint for files opted in with a `// hqlint:hotpath`
+/// marker anywhere in the file: per-row conversion code must not pay a heap
+/// allocation per value. Flags std::to_string calls and std::string
+/// temporaries; cold paths (error construction) suppress with
+/// `hqlint:allow(per-row-alloc)`.
+void CheckPerRowAlloc(const std::string& path, const Stripped& s, bool hotpath,
+                      std::vector<Diagnostic>* diags) {
+  if (!hotpath) return;
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    if (Allowed(s, i, "per-row-alloc")) continue;
+    const std::string& line = s.lines[i];
+    if (TokenCallLike(line, "std::to_string")) {
+      diags->push_back({path, static_cast<int>(i) + 1, "per-row-alloc",
+                        "`std::to_string` allocates per call in a hotpath file; format into "
+                        "stack scratch with std::to_chars"});
+      continue;  // one diagnostic per line
+    }
+    if (TokenCallLike(line, "std::string")) {
+      diags->push_back({path, static_cast<int>(i) + 1, "per-row-alloc",
+                        "`std::string` temporary in a hotpath file; use std::string_view or "
+                        "stack scratch"});
+    }
+  }
+}
+
 }  // namespace
 
 std::string Format(const Diagnostic& d) {
@@ -441,6 +486,8 @@ std::vector<Diagnostic> Linter::Run() const {
     CheckIncludeHygiene(f.path, s, f.is_header, &diags);
     CheckDiscardedStatus(f.path, s, status_functions, &diags);
     CheckBlockingUnderLock(f.path, s, &diags);
+    // The hotpath marker lives in a comment, so look at the raw content.
+    CheckPerRowAlloc(f.path, s, f.content.find("hqlint:hotpath") != std::string::npos, &diags);
   }
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.path != b.path) return a.path < b.path;

@@ -15,6 +15,8 @@
 ///   include-hygiene     headers start with #pragma once; no using namespace
 ///   discarded-status    Status/Result-returning call used as a statement
 ///   blocking-under-lock Put/Get/Push/Acquire/sleep while a MutexLock lives
+///   per-row-alloc       std::to_string / std::string temporaries in files
+///                       marked `// hqlint:hotpath` (per-row heap traffic)
 ///
 /// Any rule is suppressed for a line by `// hqlint:allow(<rule>)` on the same
 /// line or the line directly above it.
