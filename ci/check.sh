@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Full static-analysis + test gate for the repo (see DESIGN.md "Static
-# analysis & concurrency contracts"). Run from anywhere; operates on the
-# repo root. Every stage must pass; the script stops at the first failure.
+# analysis & concurrency contracts" and "Lock hierarchy & deadlock
+# detection"). Run from anywhere; operates on the repo root. Every stage
+# must pass; the script stops at the first failure.
 #
 #   ci/check.sh              # everything
 #   ci/check.sh lint         # just hqlint
 #   ci/check.sh default      # just the default preset build + tests
-#   ci/check.sh asan tsan    # just the sanitizer presets
+#   ci/check.sh asan tsan    # just those sanitizer presets
+#   ci/check.sh ubsan        # UBSan with -fno-sanitize-recover=all
 #   ci/check.sh bench-smoke  # just the conversion-plan perf gate
 set -euo pipefail
 
@@ -16,8 +18,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint thread-safety default asan tsan bench-smoke)
+  STAGES=(lint thread-safety default asan tsan ubsan bench-smoke)
 fi
+
+# The observability e2e suite dumps the observed lock-order graph here; the
+# default stage publishes it as a CI artifact and fails on any cycle.
+export HQ_LOCK_GRAPH_OUT="$ROOT/build/lock_order_graph.dot"
 
 run_preset() {
   local preset="$1"
@@ -27,13 +33,28 @@ run_preset() {
   ctest --preset "$preset" -j "$JOBS"
 }
 
+check_lock_graph() {
+  # Artifact + gate: the e2e run records every rank-pair nesting it saw.
+  # A cycle in that graph is a deadlock waiting for the right schedule.
+  if [ -f "$HQ_LOCK_GRAPH_OUT" ]; then
+    echo "=== lock-order graph ($HQ_LOCK_GRAPH_OUT) ==="
+    cat "$HQ_LOCK_GRAPH_OUT"
+    if grep -q "CYCLE DETECTED" "$HQ_LOCK_GRAPH_OUT"; then
+      echo "lock-order graph contains a cycle; see dump above" >&2
+      exit 1
+    fi
+  else
+    echo "=== lock-order graph: no dump produced ($HQ_LOCK_GRAPH_OUT missing) ==="
+  fi
+}
+
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     lint)
-      echo "=== hqlint over src/ and tests/ ==="
+      echo "=== hqlint over src/, tests/, tools/ and bench/ ==="
       cmake --preset lint
       cmake --build --preset lint -j "$JOBS"
-      ./build-lint/tools/hqlint/hqlint --root "$ROOT" src tests
+      ./build-lint/tools/hqlint/hqlint --root "$ROOT" src tests tools bench
       ctest --preset lint -j "$JOBS"
       ;;
     thread-safety)
@@ -49,7 +70,11 @@ for stage in "${STAGES[@]}"; do
         echo "=== thread-safety: clang++ not found, skipping (annotations are inert under gcc) ==="
       fi
       ;;
-    default|asan|tsan)
+    default)
+      run_preset default
+      check_lock_graph
+      ;;
+    asan|tsan|ubsan)
       run_preset "$stage"
       ;;
     bench-smoke)
@@ -62,7 +87,7 @@ for stage in "${STAGES[@]}"; do
       ctest --preset default -R '^bench_smoke$' --output-on-failure
       ;;
     *)
-      echo "unknown stage: $stage (expected lint|thread-safety|default|asan|tsan|bench-smoke)" >&2
+      echo "unknown stage: $stage (expected lint|thread-safety|default|asan|tsan|ubsan|bench-smoke)" >&2
       exit 2
       ;;
   esac

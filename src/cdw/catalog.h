@@ -32,7 +32,7 @@ class Catalog {
  private:
   static std::string NormalizeName(const std::string& name);
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kCatalog, "cdw_catalog"};
   std::map<std::string, TablePtr> tables_ HQ_GUARDED_BY(mu_);
 };
 

@@ -60,7 +60,7 @@ class CdwServer {
   Catalog catalog_;
   /// The single warehouse statement lock: statements and COPYs serialize on
   /// it, so the executor only ever runs single-threaded.
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kCdw, "cdw_server"};
   Executor executor_ HQ_GUARDED_BY(mu_);
   uint64_t statements_executed_ HQ_GUARDED_BY(mu_) = 0;
 

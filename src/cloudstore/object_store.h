@@ -69,7 +69,7 @@ class ObjectStore {
   void PayCost(size_t bytes) const;
 
   ObjectStoreOptions options_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kStore, "object_store"};
   std::map<std::string, std::shared_ptr<const std::vector<uint8_t>>> objects_ HQ_GUARDED_BY(mu_);
   mutable ObjectStoreStats stats_ HQ_GUARDED_BY(mu_);
 

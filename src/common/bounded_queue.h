@@ -72,7 +72,7 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kQueue, "bounded_queue"};
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> items_ HQ_GUARDED_BY(mu_);

@@ -120,7 +120,7 @@ class BufferPool {
 
  private:
   const BufferPoolOptions options_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kPool, "buffer_pool"};
   std::vector<std::vector<uint8_t>> free_ HQ_GUARDED_BY(mu_);
   size_t bytes_pooled_ HQ_GUARDED_BY(mu_) = 0;
   uint64_t hits_ HQ_GUARDED_BY(mu_) = 0;

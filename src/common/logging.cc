@@ -13,7 +13,7 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 /// Serializes the fprintf so concurrent log lines never interleave; no state
 /// is guarded (the level is an atomic, timestamps are thread-local math).
-Mutex g_log_mutex;
+Mutex g_log_mutex{LockRank::kLogging, "log_sink"};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {

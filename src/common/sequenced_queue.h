@@ -56,7 +56,7 @@ class SequencedQueue {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kQueue, "sequenced_queue"};
   CondVar cv_;
   std::map<uint64_t, T> items_ HQ_GUARDED_BY(mu_);
   uint64_t next_ HQ_GUARDED_BY(mu_) = 0;

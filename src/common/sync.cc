@@ -1,0 +1,227 @@
+#include "common/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Runtime half of the ranked lock hierarchy (see sync.h and DESIGN.md
+/// "Lock hierarchy & deadlock detection"):
+///
+///  - a per-thread stack of held locks, maintained unconditionally (it is
+///    what feeds the lock-order graph and costs a few stores per lock);
+///  - the process-wide LockOrderGraph of observed rank-pair edges, also
+///    always on — a 10x10 relaxed-atomic matrix;
+///  - the abort-on-inversion validator, gated on a runtime flag that
+///    defaults to the compile-time HQ_DEADLOCK_DETECT macro so sanitizer
+///    presets get it by default and death tests can force it anywhere.
+///
+/// The abort path writes straight to stderr with fprintf: it must not
+/// re-enter the logging layer (which takes its own kLogging mutex) while
+/// reporting a locking bug.
+
+namespace hyperq::common {
+
+namespace {
+
+#if defined(HQ_DEADLOCK_DETECT)
+constexpr bool kDetectDefault = true;
+#else
+constexpr bool kDetectDefault = false;
+#endif
+
+std::atomic<bool> g_detect{kDetectDefault};
+
+struct HeldLock {
+  const void* mu = nullptr;
+  LockRank rank = LockRank::kLogging;
+  const char* name = nullptr;  // may be null
+  const char* file = nullptr;
+  unsigned line = 0;
+};
+
+/// Deep enough for any sane nesting (production depth is <= 4); overflow
+/// degrades to not tracking the extra locks rather than aborting.
+constexpr int kMaxHeldLocks = 16;
+
+struct HeldStack {
+  HeldLock locks[kMaxHeldLocks];
+  int depth = 0;
+};
+
+thread_local HeldStack tls_held;
+
+void PrintHeld(const HeldStack& stack) {
+  for (int i = stack.depth - 1; i >= 0; --i) {
+    const HeldLock& h = stack.locks[i];
+    std::fprintf(stderr, "  held[%d]: \"%s\" (rank %s) acquired at %s:%u\n", i,
+                 h.name != nullptr ? h.name : "<unnamed>", LockRankName(h.rank), h.file, h.line);
+  }
+}
+
+[[noreturn]] void AbortOnViolation(const char* what, const void* mu, LockRank rank,
+                                   const char* name, const char* file, unsigned line) {
+  (void)mu;
+  std::fprintf(stderr,
+               "hyperq lock hierarchy violation: %s \"%s\" (rank %s) at %s:%u\n"
+               "while holding (innermost first):\n",
+               what, name != nullptr ? name : "<unnamed>", LockRankName(rank), file, line);
+  PrintHeld(tls_held);
+  std::fprintf(stderr,
+               "lock ranks must strictly decrease toward leaf locks; take same-rank pairs "
+               "through MutexLock2 (see DESIGN.md \"Lock hierarchy & deadlock detection\")\n");
+  std::abort();
+}
+
+}  // namespace
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kLogging:
+      return "kLogging";
+    case LockRank::kObs:
+      return "kObs";
+    case LockRank::kQueue:
+      return "kQueue";
+    case LockRank::kPool:
+      return "kPool";
+    case LockRank::kStore:
+      return "kStore";
+    case LockRank::kCatalog:
+      return "kCatalog";
+    case LockRank::kJob:
+      return "kJob";
+    case LockRank::kCdw:
+      return "kCdw";
+    case LockRank::kServer:
+      return "kServer";
+    case LockRank::kLifecycle:
+      return "kLifecycle";
+  }
+  return "k?";
+}
+
+LockOrderGraph& LockOrderGraph::Global() {
+  static LockOrderGraph graph;
+  return graph;
+}
+
+void LockOrderGraph::RecordEdge(LockRank holder, LockRank acquired) {
+  edges_[static_cast<int>(holder)][static_cast<int>(acquired)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void LockOrderGraph::RecordContention(LockRank rank) {
+  contention_[static_cast<int>(rank)].fetch_add(1, std::memory_order_relaxed);
+}
+
+LockOrderSnapshot LockOrderGraph::Snapshot() const {
+  LockOrderSnapshot snap;
+  bool adj[kNumLockRanks][kNumLockRanks] = {};
+  for (int from = 0; from < kNumLockRanks; ++from) {
+    snap.contention[from] = contention_[from].load(std::memory_order_relaxed);
+    for (int to = 0; to < kNumLockRanks; ++to) {
+      uint64_t count = edges_[from][to].load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      adj[from][to] = true;
+      snap.edges.push_back(
+          {static_cast<LockRank>(from), static_cast<LockRank>(to), count});
+    }
+  }
+  // Cycle search by DFS with an explicit path, so the first cycle found can
+  // be reported as a witness. Self-edges (a rank nested inside itself
+  // outside MutexLock2) count as cycles.
+  int color[kNumLockRanks] = {};  // 0 white, 1 on path, 2 done
+  int path[kNumLockRanks + 1];
+  int path_len = 0;
+  auto dfs = [&](auto&& self, int node) -> bool {
+    color[node] = 1;
+    path[path_len++] = node;
+    for (int next = 0; next < kNumLockRanks; ++next) {
+      if (!adj[node][next]) continue;
+      if (color[next] == 1) {
+        // Unwind the recorded path back to `next` to extract the cycle.
+        int start = 0;
+        while (path[start] != next) ++start;
+        for (int i = start; i < path_len; ++i) {
+          snap.cycle.push_back(static_cast<LockRank>(path[i]));
+        }
+        snap.cycle.push_back(static_cast<LockRank>(next));
+        return true;
+      }
+      if (color[next] == 0 && self(self, next)) return true;
+    }
+    color[node] = 2;
+    --path_len;
+    return false;
+  };
+  for (int node = 0; node < kNumLockRanks && !snap.has_cycle; ++node) {
+    if (color[node] == 0 && dfs(dfs, node)) snap.has_cycle = true;
+  }
+  return snap;
+}
+
+void LockOrderGraph::ResetForTesting() {
+  for (int from = 0; from < kNumLockRanks; ++from) {
+    contention_[from].store(0, std::memory_order_relaxed);
+    for (int to = 0; to < kNumLockRanks; ++to) {
+      edges_[from][to].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SetDeadlockDetectForTesting(bool enabled) {
+  g_detect.store(enabled, std::memory_order_relaxed);
+}
+
+bool DeadlockDetectEnabled() { return g_detect.load(std::memory_order_relaxed); }
+
+namespace lock_internal {
+
+void OnLockAttempt(const void* mu, LockRank rank, const char* name, const char* file,
+                   unsigned line, bool allow_equal_top) {
+  HeldStack& stack = tls_held;
+  if (stack.depth == 0) return;
+  const HeldLock& top = stack.locks[stack.depth - 1];
+  // Record the edge first: the graph is the production-visible artifact and
+  // must capture the ordering even when the validator is off. The sanctioned
+  // MutexLock2 equal-rank leg is skipped — its internal address ordering
+  // makes the pair safe, and a self-edge would read as a cycle.
+  if (!(allow_equal_top && rank == top.rank)) {
+    LockOrderGraph::Global().RecordEdge(top.rank, rank);
+  }
+  if (!DeadlockDetectEnabled()) return;
+  for (int i = 0; i < stack.depth; ++i) {
+    if (stack.locks[i].mu == mu) {
+      AbortOnViolation("re-acquiring already-held", mu, rank, name, file, line);
+    }
+  }
+  bool ok = allow_equal_top ? static_cast<int>(rank) <= static_cast<int>(top.rank)
+                            : static_cast<int>(rank) < static_cast<int>(top.rank);
+  if (!ok) {
+    AbortOnViolation("acquiring", mu, rank, name, file, line);
+  }
+}
+
+void OnLockAcquired(const void* mu, LockRank rank, const char* name, const char* file,
+                    unsigned line) {
+  HeldStack& stack = tls_held;
+  if (stack.depth >= kMaxHeldLocks) return;
+  stack.locks[stack.depth++] = {mu, rank, name, file, line};
+}
+
+void OnUnlock(const void* mu) {
+  HeldStack& stack = tls_held;
+  for (int i = stack.depth - 1; i >= 0; --i) {
+    if (stack.locks[i].mu != mu) continue;
+    for (int j = i; j + 1 < stack.depth; ++j) stack.locks[j] = stack.locks[j + 1];
+    --stack.depth;
+    return;
+  }
+}
+
+void OnContended(LockRank rank) { LockOrderGraph::Global().RecordContention(rank); }
+
+int HeldDepthForTesting() { return tls_held.depth; }
+
+}  // namespace lock_internal
+
+}  // namespace hyperq::common

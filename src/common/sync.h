@@ -1,8 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
+#include <source_location>
+#include <vector>
 
 /// \file sync.h
 /// The project's only sanctioned synchronization layer: Clang
@@ -11,7 +15,7 @@
 /// types so that `clang++ -Werror=thread-safety` can prove, at compile time,
 /// which fields each mutex guards and which methods require or exclude it.
 /// On non-Clang compilers the annotations expand to nothing and the wrappers
-/// are zero-cost aliases of the std primitives.
+/// are near-zero-cost shims over the std primitives.
 ///
 /// Rules (enforced by tools/hqlint):
 ///  - No naked std::mutex / std::lock_guard / std::unique_lock /
@@ -22,6 +26,13 @@
 ///  - Condition-variable predicates are written as explicit while-loops in
 ///    the locked scope (not as lambdas handed to wait()) so the analysis can
 ///    see the guarded reads.
+///  - Every Mutex declares a LockRank (hqlint rule `unranked-mutex`), and a
+///    MutexLock lexically nested inside another locked scope must carry a
+///    `// lock-order: kOuter > kInner` marker naming hierarchy-ordered ranks
+///    (hqlint rule `nested-lock-without-order`) or use MutexLock2.
+///
+/// See DESIGN.md "Lock hierarchy & deadlock detection" for the rank table
+/// and the rules for choosing a rank for a new mutex.
 
 // ---------------------------------------------------------------------------
 // Annotation macros (Clang thread-safety attributes; no-ops elsewhere).
@@ -51,7 +62,9 @@
 /// Function must NOT be called while holding the given mutex(es)
 /// (deadlock guard for public entry points that take the lock themselves).
 #define HQ_EXCLUDES(...) HQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
-/// Declares lock acquisition order between two mutexes.
+/// Declares lock acquisition order between two mutexes. By project
+/// convention these mirror the LockRank hierarchy: the mutex with the
+/// higher rank is acquired before the mutex with the lower rank.
 #define HQ_ACQUIRED_BEFORE(...) HQ_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
 #define HQ_ACQUIRED_AFTER(...) HQ_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
 /// Escape hatch; must carry a comment justifying why the analysis is wrong.
@@ -61,36 +74,224 @@ namespace hyperq::common {
 
 class CondVar;
 class MutexLock;
+class MutexLock2;
 
-/// Annotated exclusive mutex. Prefer MutexLock over manual Lock()/Unlock().
+// ---------------------------------------------------------------------------
+// Lock ranks
+// ---------------------------------------------------------------------------
+
+/// The global lock hierarchy. Acquisition order is strictly DESCENDING:
+/// while a thread holds a lock, it may only acquire locks of strictly lower
+/// rank. Outermost / coarsest locks carry the highest rank, leaf locks the
+/// lowest, so e.g. a server lifecycle scope may log (kLifecycle > kLogging)
+/// but a queue internals scope may never re-enter the server.
+///
+/// In the `<` ordering used throughout docs and lint markers this reads
+/// kLogging < kObs < kQueue < kPool < kStore < kCatalog < kJob < kCdw <
+/// kServer < kLifecycle — a lock may nest *inside* any lock that compares
+/// greater than it.
+///
+/// Same-rank acquisition is forbidden except through the MutexLock2
+/// ordered-pair API. Rules for choosing a rank for a new mutex are in
+/// DESIGN.md "Lock hierarchy & deadlock detection".
+enum class LockRank : int {
+  kLogging = 0,    ///< logging sink serialization; callable from anywhere
+  kObs = 1,        ///< metrics registry, traces (leaf telemetry state)
+  kQueue = 2,      ///< bounded/sequenced queues, transport pipes
+  kPool = 3,       ///< thread pool, buffer pool, credit manager internals
+  kStore = 4,      ///< cloud object store state
+  kCatalog = 5,    ///< CDW catalog maps
+  kJob = 6,        ///< per-job state (import/export jobs, cursors)
+  kCdw = 7,        ///< CDW server statement execution state
+  kServer = 8,     ///< node-wide session / job tables
+  kLifecycle = 9,  ///< start/stop serialization (outermost scopes)
+};
+
+inline constexpr int kNumLockRanks = 10;
+
+/// "kLogging" .. "kLifecycle"; "k?" for out-of-range values.
+const char* LockRankName(LockRank rank);
+
+// ---------------------------------------------------------------------------
+// Lock-order graph registry (always on, production builds included)
+// ---------------------------------------------------------------------------
+
+/// One observed "acquired `acquired` while holding `holder`" rank pair.
+struct LockOrderEdge {
+  LockRank holder;
+  LockRank acquired;
+  uint64_t count = 0;
+};
+
+/// Point-in-time copy of the process-wide lock-order graph.
+struct LockOrderSnapshot {
+  /// Every observed rank-pair edge, ordered by (holder, acquired).
+  std::vector<LockOrderEdge> edges;
+  /// Blocked (contended) acquisitions per rank, indexed by LockRank value.
+  uint64_t contention[kNumLockRanks] = {};
+  /// True when the edge set contains a directed cycle — i.e. two code paths
+  /// disagree about acquisition order and a deadlock is possible.
+  bool has_cycle = false;
+  /// A witness cycle (first node repeated at the end) when has_cycle.
+  std::vector<LockRank> cycle;
+};
+
+/// Process-wide registry of observed lock-order edges and per-rank
+/// contention. Recording is a relaxed atomic increment and stays enabled in
+/// production builds; the abort-on-inversion validator is separate (see
+/// SetDeadlockDetectForTesting). Exported through src/obs/ as
+/// `hyperq_lock_order_edges` / `hyperq_lock_contention_total{rank}` and the
+/// HyperQServer::LockGraph() DOT/JSON dump.
+class LockOrderGraph {
+ public:
+  static LockOrderGraph& Global();
+
+  void RecordEdge(LockRank holder, LockRank acquired);
+  void RecordContention(LockRank rank);
+
+  /// Consistent-enough copy plus cycle analysis over the copied edges.
+  LockOrderSnapshot Snapshot() const;
+
+  /// Zeroes every edge and contention cell (test isolation only).
+  void ResetForTesting();
+
+ private:
+  LockOrderGraph() = default;
+  std::atomic<uint64_t> edges_[kNumLockRanks][kNumLockRanks] = {};
+  std::atomic<uint64_t> contention_[kNumLockRanks] = {};
+};
+
+// ---------------------------------------------------------------------------
+// Runtime deadlock validator controls
+// ---------------------------------------------------------------------------
+
+/// When enabled, every acquisition is checked against the per-thread stack
+/// of held locks and a rank inversion aborts the process with both
+/// acquisition sites. Defaults to the compile-time HQ_DEADLOCK_DETECT macro
+/// (on in the asan/tsan/ubsan presets); tests flip it at runtime so death
+/// tests bite in every preset.
+void SetDeadlockDetectForTesting(bool enabled);
+bool DeadlockDetectEnabled();
+
+namespace lock_internal {
+/// Validates (and on violation aborts) an acquisition about to happen, and
+/// records the rank-pair edge in the global graph. `allow_equal_top` is the
+/// MutexLock2 second-leg carve-out.
+void OnLockAttempt(const void* mu, LockRank rank, const char* name, const char* file,
+                   unsigned line, bool allow_equal_top);
+/// Pushes the now-held lock onto the per-thread stack.
+void OnLockAcquired(const void* mu, LockRank rank, const char* name, const char* file,
+                    unsigned line);
+/// Pops the lock from the per-thread stack (any position; scoped releases
+/// are LIFO in practice).
+void OnUnlock(const void* mu);
+/// Bumps the per-rank contention counter (the acquisition had to block).
+void OnContended(LockRank rank);
+/// Depth of the calling thread's held-lock stack (tests only).
+int HeldDepthForTesting();
+}  // namespace lock_internal
+
+// ---------------------------------------------------------------------------
+// Mutex / MutexLock / MutexLock2 / CondVar
+// ---------------------------------------------------------------------------
+
+/// Annotated exclusive mutex. Construction requires a LockRank (and accepts
+/// an optional stable name for diagnostics / graph dumps). Prefer MutexLock
+/// over manual Lock()/Unlock().
 class HQ_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name = nullptr) : rank_(rank), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() HQ_ACQUIRE() { mu_.lock(); }
-  void Unlock() HQ_RELEASE() { mu_.unlock(); }
-  bool TryLock() HQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock(std::source_location loc = std::source_location::current()) HQ_ACQUIRE() {
+    LockImpl(loc, /*allow_equal_top=*/false);
+  }
+  void Unlock() HQ_RELEASE() {
+    lock_internal::OnUnlock(this);
+    mu_.unlock();
+  }
+  bool TryLock(std::source_location loc = std::source_location::current()) HQ_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // Validate after the fact: a successful try-lock is still an acquisition
+    // and must respect the hierarchy (it cannot deadlock by itself, but it
+    // proves an ordering some blocking path may also take).
+    lock_internal::OnLockAttempt(this, rank_, name_, loc.file_name(), loc.line(),
+                                 /*allow_equal_top=*/false);
+    lock_internal::OnLockAcquired(this, rank_, name_, loc.file_name(), loc.line());
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
   friend class CondVar;
   friend class MutexLock;
+  friend class MutexLock2;
+
+  void LockImpl(const std::source_location& loc, bool allow_equal_top) {
+    lock_internal::OnLockAttempt(this, rank_, name_, loc.file_name(), loc.line(),
+                                 allow_equal_top);
+    if (!mu_.try_lock()) {
+      lock_internal::OnContended(rank_);
+      mu_.lock();
+    }
+    lock_internal::OnLockAcquired(this, rank_, name_, loc.file_name(), loc.line());
+  }
+
+  const LockRank rank_;
+  const char* const name_;
   std::mutex mu_;
 };
 
 /// RAII scoped lock over a Mutex; the codebase's only lock-taking idiom.
 class HQ_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex* mu) HQ_ACQUIRE(mu) : lock_(mu->mu_) {}
-  ~MutexLock() HQ_RELEASE() = default;
+  explicit MutexLock(Mutex* mu, std::source_location loc = std::source_location::current())
+      HQ_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_->LockImpl(loc, /*allow_equal_top=*/false);
+  }
+  ~MutexLock() HQ_RELEASE() { mu_->Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
  private:
   friend class CondVar;
-  std::unique_lock<std::mutex> lock_;
+  Mutex* const mu_;
+};
+
+/// Ordered acquisition of two same-or-different-rank mutexes: the only
+/// sanctioned way to hold two locks of equal rank. Acquires the higher rank
+/// first; equal ranks are ordered by address, which is consistent across
+/// every thread and therefore deadlock-free.
+class HQ_SCOPED_CAPABILITY MutexLock2 {
+ public:
+  // The validator cannot see through the internal ordering swap, and under
+  // clang the attribute (not the body) is the contract here.
+  MutexLock2(Mutex* a, Mutex* b, std::source_location loc = std::source_location::current())
+      HQ_ACQUIRE(a, b) HQ_NO_THREAD_SAFETY_ANALYSIS : first_(a), second_(b) {
+    if (static_cast<int>(a->rank()) < static_cast<int>(b->rank()) ||
+        (a->rank() == b->rank() && a > b)) {
+      first_ = b;
+      second_ = a;
+    }
+    first_->LockImpl(loc, /*allow_equal_top=*/false);
+    second_->LockImpl(loc, /*allow_equal_top=*/true);
+  }
+  ~MutexLock2() HQ_RELEASE() HQ_NO_THREAD_SAFETY_ANALYSIS {
+    second_->Unlock();
+    first_->Unlock();
+  }
+
+  MutexLock2(const MutexLock2&) = delete;
+  MutexLock2& operator=(const MutexLock2&) = delete;
+
+ private:
+  Mutex* first_;
+  Mutex* second_;
 };
 
 /// Condition variable bound to MutexLock. Callers loop over their predicate
@@ -104,18 +305,30 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   /// Atomically releases the lock, blocks, and reacquires before returning.
-  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  /// The lock stays on the waiter's held-lock stack for the duration (the
+  /// thread is blocked, so the conservative view is the correct one).
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> ul(lock.mu_->mu_, std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();
+  }
 
   /// Waits until notified or `deadline`; returns true on timeout.
   template <typename Clock, typename Duration>
   bool WaitUntil(MutexLock& lock, const std::chrono::time_point<Clock, Duration>& deadline) {
-    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::timeout;
+    std::unique_lock<std::mutex> ul(lock.mu_->mu_, std::adopt_lock);
+    bool timed_out = cv_.wait_until(ul, deadline) == std::cv_status::timeout;
+    ul.release();
+    return timed_out;
   }
 
   /// Waits until notified or `timeout` elapsed; returns true on timeout.
   template <typename Rep, typename Period>
   bool WaitFor(MutexLock& lock, const std::chrono::duration<Rep, Period>& timeout) {
-    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::timeout;
+    std::unique_lock<std::mutex> ul(lock.mu_->mu_, std::adopt_lock);
+    bool timed_out = cv_.wait_for(ul, timeout) == std::cv_status::timeout;
+    ul.release();
+    return timed_out;
   }
 
   void NotifyOne() { cv_.notify_one(); }

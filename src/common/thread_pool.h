@@ -40,7 +40,7 @@ class ThreadPool {
  private:
   void WorkerLoop() HQ_EXCLUDES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kPool, "thread_pool"};
   CondVar work_available_;
   CondVar idle_;
   std::deque<std::function<void()>> tasks_ HQ_GUARDED_BY(mu_);

@@ -69,7 +69,7 @@ class CreditManager {
   /// Bumps outstanding-count bookkeeping after one successful acquisition.
   void NoteAcquired() HQ_REQUIRES(mu_);
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kPool, "credit_manager"};
   common::CondVar cv_;
   uint64_t available_ HQ_GUARDED_BY(mu_);
   const uint64_t pool_size_;

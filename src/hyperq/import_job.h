@@ -160,10 +160,10 @@ class ImportJob {
   common::SequencedQueue<WorkItem> ordered_chunks_;
   std::vector<std::thread> writer_threads_;
   std::vector<std::unique_ptr<FileWriter>> file_writers_;
-  common::Mutex finalize_mu_;
+  common::Mutex finalize_mu_{common::LockRank::kJob, "import_job_finalize"};
   std::vector<FinalizedFile> finalized_files_ HQ_GUARDED_BY(finalize_mu_);
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kJob, "import_job"};
   common::CondVar conversions_done_;
   uint64_t outstanding_conversions_ HQ_GUARDED_BY(mu_) = 0;
   uint64_t chunk_counter_ HQ_GUARDED_BY(mu_) = 0;

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "hyperq/coalescer.h"
+#include "obs/export.h"
 #include "legacy/row_format.h"
 #include "sql/transpiler.h"
 
@@ -81,6 +82,12 @@ HyperQServer::HyperQServer(cdw::CdwServer* cdw, cloud::ObjectStore* store, Hyper
     m_.pool_hits = metrics_->GetGauge("hyperq_buffer_pool_hits");
     m_.pool_misses = metrics_->GetGauge("hyperq_buffer_pool_misses");
     m_.decode_seconds = metrics_->GetHistogram("hyperq_parcel_decode_seconds");
+    m_.lock_edges = metrics_->GetGauge("hyperq_lock_order_edges");
+    for (int r = 0; r < common::kNumLockRanks; ++r) {
+      m_.lock_contention[r] = metrics_->GetGauge(
+          std::string("hyperq_lock_contention_total{rank=\"") +
+          common::LockRankName(static_cast<common::LockRank>(r)) + "\"}");
+    }
   }
 }
 
@@ -100,6 +107,7 @@ void HyperQServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> sessions;
   {
+    // lock-order: kLifecycle > kServer
     common::MutexLock lock(&sessions_mu_);
     sessions.swap(session_threads_);
     // Force EOF on any session whose client is still connected.
@@ -464,7 +472,18 @@ obs::MetricsSnapshot HyperQServer::MetricsSnapshot() const {
     m_.pool_hits->Set(static_cast<int64_t>(pool.hits));
     m_.pool_misses->Set(static_cast<int64_t>(pool.misses));
   }
+  common::LockOrderSnapshot locks = common::LockOrderGraph::Global().Snapshot();
+  m_.lock_edges->Set(static_cast<int64_t>(locks.edges.size()));
+  for (int r = 0; r < common::kNumLockRanks; ++r) {
+    m_.lock_contention[r]->Set(static_cast<int64_t>(locks.contention[r]));
+  }
   return metrics_->Snapshot();
+}
+
+std::string HyperQServer::LockGraph(LockGraphFormat format) const {
+  common::LockOrderSnapshot locks = common::LockOrderGraph::Global().Snapshot();
+  return format == LockGraphFormat::kJson ? obs::LockGraphToJson(locks)
+                                          : obs::LockGraphToDot(locks);
 }
 
 Result<std::shared_ptr<obs::Trace>> HyperQServer::JobTrace(const std::string& job_id) const {

@@ -64,6 +64,13 @@ class HyperQServer {
   /// first. Empty snapshot when observability is disabled.
   obs::MetricsSnapshot MetricsSnapshot() const;
 
+  /// Dump of the process-wide lock-order graph (observed rank-pair edges,
+  /// per-rank contention, cycle analysis) — see common::LockOrderGraph and
+  /// DESIGN.md "Lock hierarchy & deadlock detection". Available regardless
+  /// of `enable_observability` (recording is always on).
+  enum class LockGraphFormat { kDot, kJson };
+  std::string LockGraph(LockGraphFormat format = LockGraphFormat::kDot) const;
+
   /// Per-job instrumentation, available after the job's DML apply (jobs are
   /// retained after completion).
   common::Result<PhaseTimings> JobTimings(const std::string& job_id) const HQ_EXCLUDES(jobs_mu_);
@@ -107,6 +114,8 @@ class HyperQServer {
     obs::Gauge* pool_hits = nullptr;
     obs::Gauge* pool_misses = nullptr;
     obs::Histogram* decode_seconds = nullptr;
+    obs::Gauge* lock_edges = nullptr;
+    obs::Gauge* lock_contention[common::kNumLockRanks] = {};
   } m_;
 
   CreditManager credits_;
@@ -117,10 +126,12 @@ class HyperQServer {
   net::Listener listener_;
   /// Serializes Start()/Stop(): without it two racing Stops (or a Stop racing
   /// a Start) both touch accept_thread_ and started_.
-  common::Mutex lifecycle_mu_;
+  common::Mutex lifecycle_mu_{common::LockRank::kLifecycle, "server_lifecycle"};
   std::thread accept_thread_ HQ_GUARDED_BY(lifecycle_mu_);
   bool started_ HQ_GUARDED_BY(lifecycle_mu_) = false;
-  common::Mutex sessions_mu_;
+  /// Stop() nests this inside lifecycle_mu_ (kLifecycle > kServer).
+  common::Mutex sessions_mu_ HQ_ACQUIRED_AFTER(lifecycle_mu_){common::LockRank::kServer,
+                                                              "server_sessions"};
   std::vector<std::thread> session_threads_ HQ_GUARDED_BY(sessions_mu_);
   /// Live session transports; Stop() closes them so handler threads blocked
   /// in a read observe EOF and exit (clients that never log off must not be
@@ -128,7 +139,7 @@ class HyperQServer {
   std::vector<std::weak_ptr<net::Transport>> session_transports_ HQ_GUARDED_BY(sessions_mu_);
   std::atomic<uint32_t> next_session_id_{1};
 
-  mutable common::Mutex jobs_mu_;
+  mutable common::Mutex jobs_mu_{common::LockRank::kServer, "server_jobs"};
   std::map<std::string, std::shared_ptr<ImportJob>> import_jobs_ HQ_GUARDED_BY(jobs_mu_);
   std::map<std::string, std::shared_ptr<ExportJob>> export_jobs_ HQ_GUARDED_BY(jobs_mu_);
 };

@@ -62,7 +62,7 @@ class TdfCursor {
   TdfCursorOptions options_;
   uint64_t total_chunks_;
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kJob, "tdf_cursor"};
   common::CondVar chunk_ready_;
   common::CondVar window_open_;
   std::map<uint64_t, std::shared_ptr<const common::ByteBuffer>> buffered_ HQ_GUARDED_BY(mu_);

@@ -61,7 +61,7 @@ class Pipe {
 
  private:
   const size_t capacity_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kQueue, "net_pipe"};
   common::CondVar not_empty_;
   common::CondVar not_full_;
   std::deque<uint8_t> bytes_ HQ_GUARDED_BY(mu_);

@@ -42,7 +42,7 @@ class SnapshotDumper {
 
   MetricsRegistry* registry_;
   SnapshotDumperOptions options_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kLifecycle, "snapshot_dumper"};
   common::CondVar cv_;
   /// Started/joined only under mu_ via Start()/Stop().
   std::thread thread_ HQ_GUARDED_BY(mu_);

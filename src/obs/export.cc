@@ -106,6 +106,70 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
 }
 
 // ---------------------------------------------------------------------------
+// Lock-order graph dumps
+// ---------------------------------------------------------------------------
+
+std::string LockGraphToDot(const common::LockOrderSnapshot& snapshot) {
+  std::string out = "digraph lock_order {\n";
+  out += "  // edge A -> B: a thread acquired B while holding A\n";
+  for (const common::LockOrderEdge& edge : snapshot.edges) {
+    out += std::string("  ") + common::LockRankName(edge.holder) + " -> " +
+           common::LockRankName(edge.acquired) + " [label=\"" + std::to_string(edge.count) +
+           "\"];\n";
+  }
+  for (int r = 0; r < common::kNumLockRanks; ++r) {
+    if (snapshot.contention[r] == 0) continue;
+    out += std::string("  ") + common::LockRankName(static_cast<common::LockRank>(r)) +
+           " [xlabel=\"contended " + std::to_string(snapshot.contention[r]) + "\"];\n";
+  }
+  if (snapshot.has_cycle) {
+    out += "  // CYCLE DETECTED:";
+    for (common::LockRank rank : snapshot.cycle) {
+      out += std::string(" ") + common::LockRankName(rank);
+    }
+    out += "\n";
+  } else {
+    out += "  // cycles: none\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string LockGraphToJson(const common::LockOrderSnapshot& snapshot) {
+  std::string out = "{\n  \"edges\": [";
+  bool first = true;
+  for (const common::LockOrderEdge& edge : snapshot.edges) {
+    out += first ? "\n" : ",\n";
+    out += std::string("    {\"holder\": \"") + common::LockRankName(edge.holder) +
+           "\", \"acquired\": \"" + common::LockRankName(edge.acquired) +
+           "\", \"count\": " + std::to_string(edge.count) + "}";
+    first = false;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"contention\": {";
+  first = true;
+  for (int r = 0; r < common::kNumLockRanks; ++r) {
+    if (snapshot.contention[r] == 0) continue;
+    out += first ? "\n" : ",\n";
+    out += std::string("    \"") + common::LockRankName(static_cast<common::LockRank>(r)) +
+           "\": " + std::to_string(snapshot.contention[r]);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += std::string("  \"has_cycle\": ") + (snapshot.has_cycle ? "true" : "false");
+  if (snapshot.has_cycle) {
+    out += ",\n  \"cycle\": [";
+    for (size_t i = 0; i < snapshot.cycle.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::string("\"") + common::LockRankName(snapshot.cycle[i]) + "\"";
+    }
+    out += "]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Prometheus text parser
 // ---------------------------------------------------------------------------
 
@@ -140,6 +204,11 @@ Result<SampleLine> ParseSampleLine(std::string_view line) {
         return Status::Invalid("unterminated le label: " + std::string(line));
       }
       sample.le = std::string(labels.substr(le_pos + kLe.size(), end - le_pos - kLe.size()));
+    } else {
+      // Labels other than the histogram `le` series (e.g. the per-rank
+      // contention gauges) are part of the instrument's registry name;
+      // keep them so the name matches its TYPE header.
+      sample.name = std::string(line.substr(0, close + 1));
     }
     space = line.find(' ', close);
     if (space == std::string_view::npos) {

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 /// \file export.h
@@ -25,5 +26,13 @@ std::string ToJson(const MetricsSnapshot& snapshot);
 
 common::Result<MetricsSnapshot> FromPrometheusText(std::string_view text);
 common::Result<MetricsSnapshot> FromJson(std::string_view text);
+
+/// Lock-order graph dumps (see common::LockOrderGraph): the observed
+/// rank-pair edges with counts, per-rank contention, and — when the edge
+/// set contains a directed cycle — a "CYCLE DETECTED" marker plus the
+/// witness path. Deterministic output; ci/check.sh greps the DOT artifact
+/// for the cycle marker.
+std::string LockGraphToDot(const common::LockOrderSnapshot& snapshot);
+std::string LockGraphToJson(const common::LockOrderSnapshot& snapshot);
 
 }  // namespace hyperq::obs

@@ -112,7 +112,7 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const HQ_EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kObs, "metrics_registry"};
   std::map<std::string, std::unique_ptr<Counter>> counters_ HQ_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ HQ_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_ HQ_GUARDED_BY(mu_);

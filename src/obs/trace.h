@@ -96,7 +96,7 @@ class Trace {
   std::string job_id_;
   TimePoint epoch_;
   size_t max_spans_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kObs, "trace"};
   std::vector<SpanRecord> spans_ HQ_GUARDED_BY(mu_);
   uint64_t next_id_ HQ_GUARDED_BY(mu_) = 1;
   uint64_t dropped_ HQ_GUARDED_BY(mu_) = 0;
@@ -135,7 +135,7 @@ class Tracer {
   std::vector<std::string> job_ids() const HQ_EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kObs, "tracer"};
   std::map<std::string, std::shared_ptr<Trace>> traces_ HQ_GUARDED_BY(mu_);
 };
 

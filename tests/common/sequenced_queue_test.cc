@@ -67,7 +67,7 @@ TEST(SequencedQueueTest, MultipleConsumersDrainInOrder) {
   SequencedQueue<int> q;
   constexpr int kItems = 1000;
   std::vector<int> popped;
-  Mutex mu;
+  Mutex mu{LockRank::kJob, "test"};
   std::vector<std::thread> consumers;
   for (int c = 0; c < 3; ++c) {
     consumers.emplace_back([&] {

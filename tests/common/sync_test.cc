@@ -2,15 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace hyperq::common {
 namespace {
 
+/// Restores the validator flag on scope exit so death/graph tests can flip
+/// it without leaking state into later tests.
+class ScopedDetect {
+ public:
+  explicit ScopedDetect(bool on) : prev_(DeadlockDetectEnabled()) {
+    SetDeadlockDetectForTesting(on);
+  }
+  ~ScopedDetect() { SetDeadlockDetectForTesting(prev_); }
+
+ private:
+  const bool prev_;
+};
+
 TEST(SyncTest, MutexLockExcludesConcurrentCriticalSections) {
-  Mutex mu;
+  Mutex mu{LockRank::kJob, "test"};
   int counter = 0;
   std::vector<std::thread> threads;
   constexpr int kThreads = 8;
@@ -29,7 +44,7 @@ TEST(SyncTest, MutexLockExcludesConcurrentCriticalSections) {
 }
 
 TEST(SyncTest, TryLockFailsWhileHeldAndSucceedsAfter) {
-  Mutex mu;
+  Mutex mu{LockRank::kJob, "test"};
   mu.Lock();
   std::thread probe([&] {
     EXPECT_FALSE(mu.TryLock());
@@ -41,7 +56,7 @@ TEST(SyncTest, TryLockFailsWhileHeldAndSucceedsAfter) {
 }
 
 TEST(SyncTest, CondVarWaitWakesOnNotify) {
-  Mutex mu;
+  Mutex mu{LockRank::kJob, "test"};
   CondVar cv;
   bool ready = false;
   std::thread producer([&] {
@@ -59,7 +74,7 @@ TEST(SyncTest, CondVarWaitWakesOnNotify) {
 }
 
 TEST(SyncTest, WaitForReportsTimeout) {
-  Mutex mu;
+  Mutex mu{LockRank::kJob, "test"};
   CondVar cv;
   MutexLock lock(&mu);
   // Nothing ever notifies: the wait must return true (timed out).
@@ -67,7 +82,7 @@ TEST(SyncTest, WaitForReportsTimeout) {
 }
 
 TEST(SyncTest, WaitUntilHonoursPredicateLoop) {
-  Mutex mu;
+  Mutex mu{LockRank::kJob, "test"};
   CondVar cv;
   int stage = 0;
   std::thread stepper([&] {
@@ -90,7 +105,7 @@ TEST(SyncTest, WaitUntilHonoursPredicateLoop) {
 }
 
 TEST(SyncTest, NotifyAllWakesEveryWaiter) {
-  Mutex mu;
+  Mutex mu{LockRank::kJob, "test"};
   CondVar cv;
   bool go = false;
   int awake = 0;
@@ -110,6 +125,187 @@ TEST(SyncTest, NotifyAllWakesEveryWaiter) {
   for (auto& th : waiters) th.join();
   MutexLock lock(&mu);
   EXPECT_EQ(awake, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Ranked lock hierarchy
+// ---------------------------------------------------------------------------
+
+TEST(LockRankTest, RankNamesRoundTrip) {
+  EXPECT_STREQ(LockRankName(LockRank::kLogging), "kLogging");
+  EXPECT_STREQ(LockRankName(LockRank::kLifecycle), "kLifecycle");
+}
+
+TEST(LockRankTest, DescendingAcquisitionIsAllowed) {
+  ScopedDetect detect(true);
+  Mutex outer{LockRank::kServer, "outer"};
+  Mutex inner{LockRank::kQueue, "inner"};
+  MutexLock outer_lock(&outer);
+  // lock-order: kServer > kQueue
+  MutexLock inner_lock(&inner);
+  EXPECT_EQ(lock_internal::HeldDepthForTesting(), 2);
+}
+
+TEST(LockRankTest, HeldStackDrainsOnRelease) {
+  ScopedDetect detect(true);
+  Mutex mu{LockRank::kJob, "drain"};
+  EXPECT_EQ(lock_internal::HeldDepthForTesting(), 0);
+  {
+    MutexLock lock(&mu);
+    EXPECT_EQ(lock_internal::HeldDepthForTesting(), 1);
+  }
+  EXPECT_EQ(lock_internal::HeldDepthForTesting(), 0);
+}
+
+// Each violation runs in the EXPECT_DEATH child process, so the validator
+// is armed there without touching the parent's state or lock graph.
+void AcquireInverted() {
+  SetDeadlockDetectForTesting(true);
+  Mutex low{LockRank::kObs, "low"};
+  Mutex high{LockRank::kJob, "high"};
+  MutexLock inner(&low);
+  MutexLock outer(&high);  // hqlint:allow(nested-lock-without-order)
+}
+
+void AcquireSameRankPairWithoutMutexLock2() {
+  SetDeadlockDetectForTesting(true);
+  Mutex a{LockRank::kJob, "a"};
+  Mutex b{LockRank::kJob, "b"};
+  MutexLock lock_a(&a);
+  MutexLock lock_b(&b);  // hqlint:allow(nested-lock-without-order)
+}
+
+void ReacquireHeldMutex() {
+  SetDeadlockDetectForTesting(true);
+  Mutex mu{LockRank::kJob, "self"};
+  mu.Lock();
+  mu.Lock();  // self-deadlock without the validator
+}
+
+void TryLockInverted() {
+  SetDeadlockDetectForTesting(true);
+  Mutex low{LockRank::kObs, "low"};
+  Mutex high{LockRank::kJob, "high"};
+  MutexLock inner(&low);
+  (void)high.TryLock();
+}
+
+TEST(LockRankDeathTest, RankInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(AcquireInverted(), "lock hierarchy violation");
+}
+
+TEST(LockRankDeathTest, SameRankDoubleAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(AcquireSameRankPairWithoutMutexLock2(), "lock hierarchy violation");
+}
+
+TEST(LockRankDeathTest, ReacquiringHeldMutexAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(ReacquireHeldMutex(), "lock hierarchy violation");
+}
+
+TEST(LockRankDeathTest, TryLockInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(TryLockInverted(), "lock hierarchy violation");
+}
+
+TEST(LockRankTest, MutexLock2AllowsSameRankPairsEitherWay) {
+  ScopedDetect detect(true);
+  Mutex a{LockRank::kJob, "pair_a"};
+  Mutex b{LockRank::kJob, "pair_b"};
+  {
+    MutexLock2 both(&a, &b);
+    EXPECT_EQ(lock_internal::HeldDepthForTesting(), 2);
+  }
+  {
+    MutexLock2 both(&b, &a);  // argument order must not matter
+    EXPECT_EQ(lock_internal::HeldDepthForTesting(), 2);
+  }
+  EXPECT_EQ(lock_internal::HeldDepthForTesting(), 0);
+}
+
+TEST(LockRankTest, MutexLock2OrdersMixedRanksByRank) {
+  ScopedDetect detect(true);
+  Mutex high{LockRank::kServer, "mixed_high"};
+  Mutex low{LockRank::kQueue, "mixed_low"};
+  // Lower-rank-first argument order still acquires the higher rank first.
+  MutexLock2 both(&low, &high);
+  EXPECT_EQ(lock_internal::HeldDepthForTesting(), 2);
+}
+
+TEST(LockOrderGraphTest, RecordsObservedEdges) {
+  LockOrderGraph::Global().ResetForTesting();
+  Mutex outer{LockRank::kServer, "graph_outer"};
+  Mutex inner{LockRank::kQueue, "graph_inner"};
+  {
+    MutexLock outer_lock(&outer);
+    // lock-order: kServer > kQueue
+    MutexLock inner_lock(&inner);
+  }
+  LockOrderSnapshot snap = LockOrderGraph::Global().Snapshot();
+  ASSERT_EQ(snap.edges.size(), 1u);
+  EXPECT_EQ(snap.edges[0].holder, LockRank::kServer);
+  EXPECT_EQ(snap.edges[0].acquired, LockRank::kQueue);
+  EXPECT_EQ(snap.edges[0].count, 1u);
+  EXPECT_FALSE(snap.has_cycle);
+  LockOrderGraph::Global().ResetForTesting();
+}
+
+TEST(LockOrderGraphTest, InversionRecordedAsCycleWhenValidatorOff) {
+  LockOrderGraph::Global().ResetForTesting();
+  ScopedDetect detect(false);  // production mode: record, don't abort
+  Mutex a{LockRank::kQueue, "cycle_a"};
+  Mutex b{LockRank::kJob, "cycle_b"};
+  {
+    MutexLock lock_a(&a);
+    // hqlint:allow(nested-lock-without-order) -- intentional inversion
+    MutexLock lock_b(&b);
+  }
+  {
+    MutexLock lock_b(&b);
+    // lock-order: kJob > kQueue
+    MutexLock lock_a(&a);
+  }
+  LockOrderSnapshot snap = LockOrderGraph::Global().Snapshot();
+  EXPECT_TRUE(snap.has_cycle);
+  ASSERT_GE(snap.cycle.size(), 3u);
+  EXPECT_EQ(snap.cycle.front(), snap.cycle.back());
+  LockOrderGraph::Global().ResetForTesting();
+}
+
+TEST(LockOrderGraphTest, ContentionIsCounted) {
+  LockOrderGraph::Global().ResetForTesting();
+  Mutex mu{LockRank::kJob, "contended"};
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    MutexLock lock(&mu);
+    held.store(true);
+    // hqlint:allow(blocking-under-lock) -- the test needs a held, contended mutex
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  while (!held.load()) std::this_thread::yield();
+  {
+    MutexLock lock(&mu);  // must block: the holder sleeps while holding
+  }
+  holder.join();
+  LockOrderSnapshot snap = LockOrderGraph::Global().Snapshot();
+  EXPECT_GE(snap.contention[static_cast<int>(LockRank::kJob)], 1u);
+  LockOrderGraph::Global().ResetForTesting();
+}
+
+TEST(LockOrderGraphTest, MutexLock2SameRankLeavesNoSelfEdge) {
+  LockOrderGraph::Global().ResetForTesting();
+  ScopedDetect detect(true);
+  Mutex a{LockRank::kJob, "noedge_a"};
+  Mutex b{LockRank::kJob, "noedge_b"};
+  {
+    MutexLock2 both(&a, &b);
+  }
+  LockOrderSnapshot snap = LockOrderGraph::Global().Snapshot();
+  EXPECT_TRUE(snap.edges.empty());
+  EXPECT_FALSE(snap.has_cycle);
+  LockOrderGraph::Global().ResetForTesting();
 }
 
 }  // namespace

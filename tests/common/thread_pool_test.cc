@@ -76,7 +76,7 @@ TEST(ThreadPoolTest, MinimumOneThread) {
 TEST(ThreadPoolTest, TasksRunInSubmissionOrderOnSingleThread) {
   ThreadPool pool(1);
   std::vector<int> order;
-  Mutex mu;
+  Mutex mu{LockRank::kJob, "test"};
   for (int i = 0; i < 10; ++i) {
     pool.Submit([&, i] {
       MutexLock lock(&mu);

@@ -82,10 +82,41 @@ TEST(HqlintGoldenTest, DiscardedStatus) {
 TEST(HqlintGoldenTest, BlockingUnderLock) {
   EXPECT_EQ(LintOne("blocking_under_lock.cc"),
             (std::vector<std::string>{
-                "blocking_under_lock.cc:15: [blocking-under-lock] potential deadlock: "
+                "blocking_under_lock.cc:17: [blocking-under-lock] potential deadlock: "
                 "`Put` can block while a MutexLock is held in this scope",
-                "blocking_under_lock.cc:16: [blocking-under-lock] potential deadlock: "
+                "blocking_under_lock.cc:18: [blocking-under-lock] potential deadlock: "
                 "`sleep_for` can block while a MutexLock is held in this scope",
+                "blocking_under_lock.cc:23: [blocking-under-lock] potential deadlock: "
+                "`Put` can block while a MutexLock is held in this scope",
+                "blocking_under_lock.cc:25: [blocking-under-lock] potential deadlock: "
+                "`sleep_for` can block while a MutexLock is held in this scope",
+                "blocking_under_lock.cc:33: [blocking-under-lock] potential deadlock: "
+                "`WaitFor` can block while a MutexLock is held in this scope",
+            }));
+}
+
+TEST(HqlintGoldenTest, UnrankedMutex) {
+  EXPECT_EQ(LintOne("unranked_mutex.cc"),
+            (std::vector<std::string>{
+                "unranked_mutex.cc:6: [unranked-mutex] Mutex declared without a LockRank; "
+                "every mutex names its level in the lock hierarchy (see common::LockRank)",
+                "unranked_mutex.cc:16: [unranked-mutex] Mutex declared without a LockRank; "
+                "every mutex names its level in the lock hierarchy (see common::LockRank)",
+            }));
+}
+
+TEST(HqlintGoldenTest, NestedLockWithoutOrder) {
+  EXPECT_EQ(LintOne("nested_lock.cc"),
+            (std::vector<std::string>{
+                "nested_lock.cc:12: [nested-lock-without-order] MutexLock nested inside a "
+                "locked scope without a declared order; add `// lock-order: kOuter > kInner` "
+                "(hierarchy-ordered LockRank names) or use MutexLock2",
+                "nested_lock.cc:18: [nested-lock-without-order] lock-order marker must name "
+                "known LockRank levels in strictly descending hierarchy order (e.g. "
+                "`kLifecycle > kServer`)",
+                "nested_lock.cc:23: [nested-lock-without-order] lock-order marker must name "
+                "known LockRank levels in strictly descending hierarchy order (e.g. "
+                "`kLifecycle > kServer`)",
             }));
 }
 

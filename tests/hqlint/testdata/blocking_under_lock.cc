@@ -7,13 +7,36 @@
 
 namespace demo {
 
-common::Mutex g_mu;
+common::Mutex g_mu{common::LockRank::kJob, "demo"};
+common::Mutex g_inner{common::LockRank::kQueue, "demo_inner"};
 common::BoundedQueue<int> g_queue(4);
+common::CondVar g_cv;
 
 void DeadlockProne() {
   common::MutexLock lock(&g_mu);
   g_queue.Put(1);
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+void SplitAcrossLines() {
+  common::MutexLock lock(&g_mu);
+  g_queue
+      .Put(7);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(5));
+}
+
+void WaitWithOuterLockHeld() {
+  common::MutexLock outer(&g_mu);
+  // lock-order: kJob > kQueue
+  common::MutexLock inner(&g_inner);
+  g_cv.WaitFor(inner,
+               std::chrono::milliseconds(1));
+}
+
+void WaitAtDepthOneIsTheIdiom() {
+  common::MutexLock lock(&g_mu);
+  g_cv.WaitFor(lock, std::chrono::milliseconds(1));
 }
 
 void Fine() {

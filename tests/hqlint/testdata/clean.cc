@@ -5,7 +5,7 @@
 
 namespace demo {
 
-common::Mutex g_mu;
+common::Mutex g_mu{common::LockRank::kJob, "clean"};
 int g_value = 0;
 
 void Bump() {

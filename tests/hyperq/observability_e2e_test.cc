@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 
 #include "cdw/cdw_server.h"
+#include "common/sync.h"
 #include "cloudstore/bulk_loader.h"
 #include "cloudstore/object_store.h"
 #include "etlscript/etl_client.h"
@@ -204,6 +207,39 @@ TEST_F(ObservabilityE2eTest, LiveSnapshotRoundTripsThroughBothExporters) {
   auto from_json = obs::FromJson(obs::ToJson(snap));
   ASSERT_TRUE(from_json.ok()) << from_json.status().ToString();
   EXPECT_EQ(*from_json, snap);
+}
+
+TEST_F(ObservabilityE2eTest, LockGraphExportsAcyclicOrderAfterImport) {
+  common::LockOrderGraph::Global().ResetForTesting();
+  StartNode();
+  auto run = RunImport(500);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  node_->Stop();  // Stop() nests sessions_mu_ under lifecycle_mu_: a real edge
+
+  // The metrics surface carries the graph size and per-rank contention.
+  obs::MetricsSnapshot snap = node_->MetricsSnapshot();
+  ASSERT_TRUE(snap.gauges.count("hyperq_lock_order_edges"));
+  EXPECT_GE(snap.gauges.at("hyperq_lock_order_edges"), 1);
+  ASSERT_TRUE(snap.gauges.count("hyperq_lock_contention_total{rank=\"kObs\"}"));
+
+  // The whole load path must leave an acyclic order behind.
+  common::LockOrderSnapshot locks = common::LockOrderGraph::Global().Snapshot();
+  EXPECT_FALSE(locks.edges.empty());
+  EXPECT_FALSE(locks.has_cycle) << node_->LockGraph();
+
+  std::string dot = node_->LockGraph(HyperQServer::LockGraphFormat::kDot);
+  EXPECT_NE(dot.find("digraph lock_order"), std::string::npos);
+  EXPECT_NE(dot.find("cycles: none"), std::string::npos);
+  EXPECT_EQ(dot.find("CYCLE DETECTED"), std::string::npos) << dot;
+  std::string json = node_->LockGraph(HyperQServer::LockGraphFormat::kJson);
+  EXPECT_NE(json.find("\"has_cycle\": false"), std::string::npos) << json;
+
+  // ci/check.sh points HQ_LOCK_GRAPH_OUT at a build artifact and fails the
+  // run if the dump records a cycle.
+  if (const char* out_path = std::getenv("HQ_LOCK_GRAPH_OUT")) {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << dot;
+  }
 }
 
 TEST_F(ObservabilityE2eTest, DisabledObservabilityYieldsEmptySnapshotAndNoTraces) {

@@ -8,6 +8,7 @@
 
 #include "cdw/cdw_server.h"
 #include "cloudstore/bulk_loader.h"
+#include "common/sync.h"
 #include "cloudstore/object_store.h"
 #include "etlscript/etl_client.h"
 #include "hyperq/credit_manager.h"
@@ -112,6 +113,42 @@ TEST(RaceRegressionTest, SnapshotDumperSurvivesStartStopContention) {
     for (auto& th : threads) th.join();
     EXPECT_GE(dumper.dumps(), 1u);  // at least the dump_on_stop snapshot
   }
+}
+
+/// The PR-2 SnapshotDumper::Stop() fix moved the final dump and the thread
+/// join outside mu_. This reconstructs the same handoff storm with the lock
+/// hierarchy validator armed: the dumper mutex is kLifecycle and the
+/// registry mutex is kObs, so any regression that re-nests the dump (or a
+/// sink's own lock) back under mu_ in the wrong order aborts the test.
+TEST(RaceRegressionTest, SnapshotDumperStopHandoffObeysLockHierarchy) {
+  const bool prev_detect = common::DeadlockDetectEnabled();
+  common::SetDeadlockDetectForTesting(true);
+  obs::MetricsRegistry registry;
+  registry.GetCounter("ticks_total")->Increment();
+  common::Mutex sink_mu{common::LockRank::kJob, "test_sink"};
+  uint64_t sink_calls = 0;
+  for (int round = 0; round < 10; ++round) {
+    obs::SnapshotDumperOptions options;
+    options.interval = std::chrono::milliseconds(1);
+    options.dump_on_stop = true;
+    options.sink = [&](const obs::MetricsSnapshot&) {
+      common::MutexLock lock(&sink_mu);
+      ++sink_calls;
+    };
+    obs::SnapshotDumper dumper(&registry, options);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) threads.emplace_back([&] { dumper.Start(); });
+    for (auto& th : threads) th.join();
+    threads.clear();
+    for (int t = 0; t < 2; ++t) threads.emplace_back([&] { dumper.Stop(); });
+    for (auto& th : threads) th.join();
+    EXPECT_GE(dumper.dumps(), 1u);
+  }
+  {
+    common::MutexLock lock(&sink_mu);
+    EXPECT_GE(sink_calls, 10u);
+  }
+  common::SetDeadlockDetectForTesting(prev_detect);
 }
 
 /// HyperQServer: started_ was a plain bool flipped by Start()/Stop() with no

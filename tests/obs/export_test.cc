@@ -123,7 +123,7 @@ TEST(SnapshotDumperTest, PeriodicallyDumpsAndStopsCleanly) {
   MetricsRegistry reg;
   reg.GetCounter("ticks_total")->Increment();
   std::vector<MetricsSnapshot> dumps;
-  common::Mutex mu;
+  common::Mutex mu{common::LockRank::kJob, "test"};
   SnapshotDumperOptions options;
   options.interval = std::chrono::milliseconds(20);
   options.dump_on_stop = true;

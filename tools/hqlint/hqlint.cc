@@ -42,6 +42,7 @@ std::string Trim(const std::string& s) {
 /// rules each line's `// hqlint:allow(rule)` comments suppress.
 struct Stripped {
   std::vector<std::string> lines;                 // 0-based; literals blanked
+  std::vector<std::string> raw;                   // original text (for markers in comments)
   std::vector<std::set<std::string>> allows;      // per-line suppressions
 };
 
@@ -66,6 +67,7 @@ Stripped Strip(const std::string& content) {
       pos = open;
     }
     out.lines.push_back(cur);
+    out.raw.push_back(cur_raw);
     out.allows.push_back(std::move(allowed));
     cur.clear();
     cur_raw.clear();
@@ -182,6 +184,13 @@ void CheckNewDelete(const std::string& path, const Stripped& s, std::vector<Diag
   for (size_t i = 0; i < s.lines.size(); ++i) {
     const std::string& line = s.lines[i];
     const std::string* prev = i > 0 ? &s.lines[i - 1] : nullptr;
+    // Preprocessor lines (`#include <new>`) and `operator new`/`operator
+    // delete` definitions (the bench allocation observatory) are not
+    // allocation sites.
+    std::string trimmed = line;
+    trimmed.erase(0, trimmed.find_first_not_of(' '));
+    if (!trimmed.empty() && trimmed[0] == '#') continue;
+    if (ContainsToken(line, "operator")) continue;
     auto factory_context = [&](const std::string& l) {
       return l.find("shared_ptr<") != std::string::npos ||
              l.find("unique_ptr<") != std::string::npos ||
@@ -353,33 +362,110 @@ void CheckDiscardedStatus(const std::string& path, const Stripped& s,
 
 const char* const kBlockingMembers[] = {"Put", "PutBatch", "Get", "Push", "Pop", "PopNext",
                                         "Acquire"};
+/// CondVar waits release only their own lock: legitimate at depth 1 (the
+/// predicate-loop idiom), deadlock-prone at depth >= 2 where the outer lock
+/// stays held for the whole wait.
+const char* const kWaitMembers[] = {"WaitFor", "WaitUntil"};
 const char* const kBlockingFree[] = {"sleep_for", "sleep_until", "usleep", "nanosleep"};
+
+/// True when `name` appears as a member call: receiver '.' or '->' on the
+/// left and '(' on the right, with spaces tolerated on both sides so calls
+/// joined across a line break still match.
+bool MemberCallLike(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    size_t end = pos + name.size();
+    bool right_ident_ok = end >= text.size() || !IsIdentChar(text[end]);
+    size_t l = pos;
+    while (l > 0 && text[l - 1] == ' ') --l;
+    bool member =
+        l > 0 && (text[l - 1] == '.' || (l > 1 && text[l - 2] == '-' && text[l - 1] == '>'));
+    size_t r = end;
+    while (r < text.size() && text[r] == ' ') ++r;
+    bool call = r < text.size() && text[r] == '(';
+    if (member && right_ident_ok && call) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// A line whose trimmed tail is ';', '{' or '}' finishes a logical
+/// statement; anything else continues onto the next line.
+bool EndsStatement(const std::string& line) {
+  std::string t = Trim(line);
+  if (t.empty()) return true;
+  char tail = t.back();
+  return tail == ';' || tail == '{' || tail == '}';
+}
+
+/// Tracks the brace depth of every live MutexLock/MutexLock2 declaration so
+/// rules can ask "is this line inside a locked scope". Feed lines in order.
+struct LockScopeTracker {
+  int depth = 0;
+  std::vector<int> scopes;  // brace depth at each live lock declaration
+
+  bool locked() const { return !scopes.empty(); }
+  int nesting() const { return static_cast<int>(scopes.size()); }
+
+  /// Call AFTER a rule has looked at the line: a lock declared on this line
+  /// guards subsequent lines, and `}` closes scopes for the next one.
+  void Advance(const std::string& line) {
+    for (char c : line) {
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        while (!scopes.empty() && depth < scopes.back()) scopes.pop_back();
+      }
+    }
+    if ((ContainsToken(line, "MutexLock") || ContainsToken(line, "MutexLock2")) &&
+        line.find('(') != std::string::npos && line.find("class") == std::string::npos) {
+      scopes.push_back(depth);
+    }
+  }
+};
 
 void CheckBlockingUnderLock(const std::string& path, const Stripped& s,
                             std::vector<Diagnostic>* diags) {
   if (EndsWith(path, "common/sync.h")) return;
-  int depth = 0;
-  std::vector<int> lock_scopes;  // brace depth at each live MutexLock decl
-  for (size_t i = 0; i < s.lines.size(); ++i) {
-    const std::string& line = s.lines[i];
-    bool locked_here = !lock_scopes.empty();
-    if (locked_here && !Allowed(s, i, "blocking-under-lock")) {
+  LockScopeTracker tracker;
+  size_t i = 0;
+  while (i < s.lines.size()) {
+    // Join the logical statement starting here (a call split across lines
+    // must match the same as its single-line spelling). Bounded lookahead;
+    // scope state advances over every joined line below.
+    size_t stmt_end = i;
+    std::string joined = s.lines[i];
+    if (tracker.locked()) {
+      while (stmt_end + 1 < s.lines.size() && stmt_end - i < 4 && !EndsStatement(joined)) {
+        ++stmt_end;
+        joined += " ";
+        joined += s.lines[stmt_end];
+      }
+    }
+    if (tracker.locked() && !Allowed(s, i, "blocking-under-lock")) {
       bool blocking = false;
       std::string what;
       for (const char* name : kBlockingMembers) {
         // Member calls only (receiver '.' or '->'): a free function named
         // Get() is someone else's problem.
-        std::string dot = std::string(".") + name + "(";
-        std::string arrow = std::string("->") + name + "(";
-        if (line.find(dot) != std::string::npos || line.find(arrow) != std::string::npos) {
+        if (MemberCallLike(joined, name)) {
           blocking = true;
           what = name;
           break;
         }
       }
+      if (!blocking && tracker.nesting() >= 2) {
+        for (const char* name : kWaitMembers) {
+          if (MemberCallLike(joined, name)) {
+            blocking = true;
+            what = name;
+            break;
+          }
+        }
+      }
       if (!blocking) {
         for (const char* name : kBlockingFree) {
-          if (ContainsToken(line, name)) {
+          if (ContainsToken(joined, name)) {
             blocking = true;
             what = name;
             break;
@@ -392,20 +478,130 @@ void CheckBlockingUnderLock(const std::string& path, const Stripped& s,
                               "` can block while a MutexLock is held in this scope"});
       }
     }
-    // Update scope state after checking the line: a lock declared on this
-    // line guards subsequent lines, and `}` on this line closes scopes for
-    // the next one.
-    for (char c : line) {
-      if (c == '{') ++depth;
-      if (c == '}') {
-        --depth;
-        while (!lock_scopes.empty() && depth < lock_scopes.back()) lock_scopes.pop_back();
+    for (size_t j = i; j <= stmt_end; ++j) tracker.Advance(s.lines[j]);
+    i = stmt_end + 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unranked-mutex
+// ---------------------------------------------------------------------------
+
+/// Every `Mutex` declaration must name a LockRank (sync.h's constructor
+/// makes this a compile error too; the lint catches it at review speed and
+/// in files that only build in some configurations).
+void CheckUnrankedMutex(const std::string& path, const Stripped& s,
+                        std::vector<Diagnostic>* diags) {
+  if (EndsWith(path, "common/sync.h")) return;  // defines the type itself
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    const std::string& line = s.lines[i];
+    size_t pos = 0;
+    while ((pos = line.find("Mutex", pos)) != std::string::npos) {
+      size_t end = pos + 5;
+      bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+      bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+      if (!left_ok || !right_ok) {
+        pos = end;
+        continue;
+      }
+      // A declaration is the token followed by an identifier ("Mutex mu_").
+      // Anything else — `Mutex*`, `Mutex&`, `Mutex(`, `Mutex{` — is a use.
+      size_t j = end;
+      while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+      if (j >= line.size() || !IsIdentChar(line[j]) ||
+          std::isdigit(static_cast<unsigned char>(line[j])) != 0) {
+        pos = end;
+        continue;
+      }
+      // A rank on the next line only counts while the declaration is still
+      // open (a wrapped initializer, trailing `{` or `(`); `Mutex a;` is not
+      // exonerated by an unrelated ranked declaration below it.
+      size_t tail = line.find_last_not_of(" \t");
+      bool decl_closed = tail != std::string::npos && line[tail] == ';';
+      bool ranked = ContainsToken(line, "LockRank") ||
+                    (!decl_closed && i + 1 < s.lines.size() &&
+                     ContainsToken(s.lines[i + 1], "LockRank"));
+      if (!ranked && !Allowed(s, i, "unranked-mutex")) {
+        diags->push_back({path, static_cast<int>(i) + 1, "unranked-mutex",
+                          "Mutex declared without a LockRank; every mutex names its level in "
+                          "the lock hierarchy (see common::LockRank)"});
+      }
+      break;  // one diagnostic per line
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nested-lock-without-order
+// ---------------------------------------------------------------------------
+
+const char* const kLockRankNames[] = {"kLogging", "kObs",  "kQueue", "kPool",   "kStore",
+                                      "kCatalog", "kJob",  "kCdw",   "kServer", "kLifecycle"};
+
+int LockRankIndex(const std::string& name) {
+  for (size_t i = 0; i < sizeof(kLockRankNames) / sizeof(kLockRankNames[0]); ++i) {
+    if (name == kLockRankNames[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Parses a `lock-order: kA > kB [> kC...]` marker out of a raw source line
+/// (the marker lives in a comment). Returns false when the line carries no
+/// marker; `*valid` reports whether the named ranks exist in the hierarchy
+/// and strictly descend.
+bool ParseLockOrderMarker(const std::string& raw, bool* valid) {
+  size_t pos = raw.find("lock-order:");
+  if (pos == std::string::npos) return false;
+  pos += std::string("lock-order:").size();
+  *valid = false;
+  int prev = -1;
+  int count = 0;
+  while (true) {
+    while (pos < raw.size() && raw[pos] == ' ') ++pos;
+    size_t begin = pos;
+    while (pos < raw.size() && IsIdentChar(raw[pos])) ++pos;
+    if (pos == begin) return true;  // marker present but truncated -> invalid
+    int rank = LockRankIndex(raw.substr(begin, pos - begin));
+    if (rank < 0) return true;                    // unknown rank name
+    if (prev >= 0 && rank >= prev) return true;   // not strictly descending
+    prev = rank;
+    ++count;
+    while (pos < raw.size() && raw[pos] == ' ') ++pos;
+    if (pos >= raw.size() || raw[pos] != '>') break;
+    ++pos;
+  }
+  *valid = count >= 2;
+  return true;
+}
+
+/// A MutexLock lexically inside another locked scope is where deadlocks are
+/// born: require either the MutexLock2 ordered-pair API or an explicit
+/// `// lock-order: kOuter > kInner` marker naming hierarchy-ordered ranks on
+/// the acquisition (or the line above it).
+void CheckNestedLockOrder(const std::string& path, const Stripped& s,
+                          std::vector<Diagnostic>* diags) {
+  if (EndsWith(path, "common/sync.h")) return;
+  LockScopeTracker tracker;
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    const std::string& line = s.lines[i];
+    bool is_lock = ContainsToken(line, "MutexLock") && line.find('(') != std::string::npos &&
+                   line.find("class") == std::string::npos;
+    if (is_lock && tracker.locked() && !Allowed(s, i, "nested-lock-without-order")) {
+      bool valid = false;
+      bool found = ParseLockOrderMarker(s.raw[i], &valid);
+      if (!found && i > 0) found = ParseLockOrderMarker(s.raw[i - 1], &valid);
+      if (!found) {
+        diags->push_back({path, static_cast<int>(i) + 1, "nested-lock-without-order",
+                          "MutexLock nested inside a locked scope without a declared order; "
+                          "add `// lock-order: kOuter > kInner` (hierarchy-ordered LockRank "
+                          "names) or use MutexLock2"});
+      } else if (!valid) {
+        diags->push_back({path, static_cast<int>(i) + 1, "nested-lock-without-order",
+                          "lock-order marker must name known LockRank levels in strictly "
+                          "descending hierarchy order (e.g. `kLifecycle > kServer`)"});
       }
     }
-    if (ContainsToken(line, "MutexLock") && line.find('(') != std::string::npos &&
-        line.find("class") == std::string::npos) {
-      lock_scopes.push_back(depth);
-    }
+    tracker.Advance(line);
   }
 }
 
@@ -486,8 +682,15 @@ std::vector<Diagnostic> Linter::Run() const {
     CheckIncludeHygiene(f.path, s, f.is_header, &diags);
     CheckDiscardedStatus(f.path, s, status_functions, &diags);
     CheckBlockingUnderLock(f.path, s, &diags);
+    CheckUnrankedMutex(f.path, s, &diags);
+    CheckNestedLockOrder(f.path, s, &diags);
     // The hotpath marker lives in a comment, so look at the raw content.
-    CheckPerRowAlloc(f.path, s, f.content.find("hqlint:hotpath") != std::string::npos, &diags);
+    // The linter's own sources necessarily spell the marker (to search for
+    // it) without being hotpath code, so they are exempt — the same
+    // precedent as common/sync.h for naked-mutex.
+    const bool self_lint = f.path.find("tools/hqlint") != std::string::npos;
+    CheckPerRowAlloc(f.path, s,
+                     !self_lint && f.content.find("hqlint:hotpath") != std::string::npos, &diags);
   }
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.path != b.path) return a.path < b.path;
@@ -501,7 +704,8 @@ namespace {
 
 bool SkippedComponent(const std::filesystem::path& p) {
   for (const auto& part : p) {
-    if (part == "testdata" || part == "build" || part == "build-asan" || part == "build-tsan") {
+    if (part == "testdata" || part == "build" || part == "build-asan" || part == "build-tsan" ||
+        part == "build-lint" || part == "build-ubsan" || part == "build-ts") {
       return true;
     }
   }

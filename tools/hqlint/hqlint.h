@@ -15,6 +15,14 @@
 ///   include-hygiene     headers start with #pragma once; no using namespace
 ///   discarded-status    Status/Result-returning call used as a statement
 ///   blocking-under-lock Put/Get/Push/Acquire/sleep while a MutexLock lives
+///                       (statements joined across line breaks; CondVar
+///                       WaitFor/WaitUntil flagged when a *second* lock is
+///                       held above the waiting one)
+///   unranked-mutex      Mutex declared without a common::LockRank level
+///   nested-lock-without-order
+///                       MutexLock lexically inside another locked scope
+///                       without a `// lock-order: kOuter > kInner` marker
+///                       naming hierarchy-ordered ranks (MutexLock2 exempt)
 ///   per-row-alloc       std::to_string / std::string temporaries in files
 ///                       marked `// hqlint:hotpath` (per-row heap traffic)
 ///
