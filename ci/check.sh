@@ -10,6 +10,7 @@
 #   ci/check.sh asan tsan    # just those sanitizer presets
 #   ci/check.sh ubsan        # UBSan with -fno-sanitize-recover=all
 #   ci/check.sh bench-smoke  # just the conversion-plan perf gate
+#   ci/check.sh chaos-smoke  # chaos differential + fault-layer cost gate
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -18,7 +19,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint thread-safety default asan tsan ubsan bench-smoke)
+  STAGES=(lint thread-safety default asan tsan ubsan bench-smoke chaos-smoke)
 fi
 
 # The observability e2e suite dumps the observed lock-order graph here; the
@@ -86,8 +87,24 @@ for stage in "${STAGES[@]}"; do
       cmake --build --preset default -j "$JOBS" --target bench_ablation_convert
       ctest --preset default -R '^bench_smoke$' --output-on-failure
       ;;
+    chaos-smoke)
+      # Resilience gate (DESIGN.md "Fault injection & resilient load path"):
+      # the chaos differential must land a byte-identical table under
+      # aggressive injected faults — run under the default preset and again
+      # under tsan, where the retry/breaker/injector interleavings get the
+      # race detector's scrutiny — and the fault/retry layer must stay under
+      # its 1% injection-off cost budget.
+      echo "=== chaos-smoke: chaos differential (default + tsan) + fault-layer cost ==="
+      cmake --preset default
+      cmake --build --preset default -j "$JOBS" --target hyperq_e2e_test bench_fault_overhead
+      ctest --preset default -R '^ChaosE2eTest' --output-on-failure
+      ctest --preset default -R '^bench_fault_smoke$' --output-on-failure
+      cmake --preset tsan
+      cmake --build --preset tsan -j "$JOBS" --target hyperq_e2e_test
+      ctest --preset tsan -R '^ChaosE2eTest' --output-on-failure
+      ;;
     *)
-      echo "unknown stage: $stage (expected lint|thread-safety|default|asan|tsan|ubsan|bench-smoke)" >&2
+      echo "unknown stage: $stage (expected lint|thread-safety|default|asan|tsan|ubsan|bench-smoke|chaos-smoke)" >&2
       exit 2
       ;;
   esac

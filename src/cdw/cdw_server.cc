@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fault.h"
+
 namespace hyperq::cdw {
 
 using common::Result;
@@ -24,6 +26,10 @@ void CdwServer::PayStartupCost(int64_t micros) const {
 }
 
 Result<ExecResult> CdwServer::ExecuteSql(std::string_view sql, const ExecOptions& options) {
+  // Injected exec faults always fire BEFORE execution, so retrying a failed
+  // (possibly non-idempotent) DML statement is safe: a failed statement
+  // never half-ran.
+  HQ_RETURN_NOT_OK(common::FaultInjector::Global().Inject("cdw.exec"));
   obs::ScopedTimer timer(statement_latency_);
   if (statements_total_ != nullptr) statements_total_->Increment();
   PayStartupCost(options_.statement_startup_micros);
@@ -33,6 +39,7 @@ Result<ExecResult> CdwServer::ExecuteSql(std::string_view sql, const ExecOptions
 }
 
 Result<ExecResult> CdwServer::Execute(const sql::Statement& stmt, const ExecOptions& options) {
+  HQ_RETURN_NOT_OK(common::FaultInjector::Global().Inject("cdw.exec"));
   obs::ScopedTimer timer(statement_latency_);
   if (statements_total_ != nullptr) statements_total_->Increment();
   PayStartupCost(options_.statement_startup_micros);
@@ -43,14 +50,30 @@ Result<ExecResult> CdwServer::Execute(const sql::Statement& stmt, const ExecOpti
 
 Result<uint64_t> CdwServer::CopyInto(const std::string& table_name, const std::string& prefix,
                                      const CopyOptions& options) {
+  // error/torn fire before any work (the service rejected the COPY); drop
+  // fires AFTER the COPY ran — the ack is lost, which is exactly the case
+  // the idempotence ledger exists for.
+  common::FaultDecision fault = common::FaultInjector::Global().Check("cdw.copy");
+  if (fault.fired && fault.kind != common::FaultKind::kDrop && !fault.status.ok()) {
+    return fault.status;
+  }
   obs::ScopedTimer timer(copy_latency_);
   if (copies_total_ != nullptr) copies_total_->Increment();
   PayStartupCost(options_.copy_startup_micros);
   common::MutexLock lock(&mu_);
   HQ_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
-  Result<uint64_t> copied = CopyFromStore(table.get(), *store_, prefix, options);
+  Result<uint64_t> copied =
+      CopyFromStore(table.get(), *store_, prefix, options, &copied_objects_[table_name]);
   if (copied.ok() && copy_rows_total_ != nullptr) copy_rows_total_->Increment(*copied);
+  if (copied.ok() && fault.fired && fault.kind == common::FaultKind::kDrop) {
+    return fault.status;
+  }
   return copied;
+}
+
+void CdwServer::ForgetCopies(const std::string& table_name) {
+  common::MutexLock lock(&mu_);
+  copied_objects_.erase(table_name);
 }
 
 uint64_t CdwServer::statements_executed() const {

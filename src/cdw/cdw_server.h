@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -46,9 +47,18 @@ class CdwServer {
   common::Result<ExecResult> Execute(const sql::Statement& stmt, const ExecOptions& options = {})
       HQ_EXCLUDES(mu_);
 
-  /// COPY INTO <table> FROM @store/<prefix>.
+  /// COPY INTO <table> FROM @store/<prefix>. Idempotent under retry: a
+  /// per-table ledger of already-ingested staged objects makes a re-issued
+  /// COPY (lost ack) skip what the first attempt landed, and the returned
+  /// row count is cumulative for the prefix either way.
   common::Result<uint64_t> CopyInto(const std::string& table_name, const std::string& prefix,
                                     const CopyOptions& options = {}) HQ_EXCLUDES(mu_);
+
+  /// Drops the COPY idempotence ledger for `table_name`. Call whenever the
+  /// table's staging prefix is recycled (e.g. the staging table is dropped
+  /// after a finished acquisition), or stale entries would mask new objects
+  /// that reuse old keys.
+  void ForgetCopies(const std::string& table_name) HQ_EXCLUDES(mu_);
 
   uint64_t statements_executed() const HQ_EXCLUDES(mu_);
 
@@ -63,6 +73,9 @@ class CdwServer {
   mutable common::Mutex mu_{common::LockRank::kCdw, "cdw_server"};
   Executor executor_ HQ_GUARDED_BY(mu_);
   uint64_t statements_executed_ HQ_GUARDED_BY(mu_) = 0;
+  /// COPY idempotence ledgers: table name -> (staged object key -> rows
+  /// ingested from it). See CopyInto/ForgetCopies.
+  std::map<std::string, std::map<std::string, uint64_t>> copied_objects_ HQ_GUARDED_BY(mu_);
 
   // Cached instrument pointers; null when options_.metrics is null.
   obs::Histogram* statement_latency_ = nullptr;

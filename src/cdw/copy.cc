@@ -11,10 +11,21 @@ using types::Row;
 using types::Value;
 
 Result<uint64_t> CopyFromStore(Table* table, const cloud::ObjectStore& store,
-                               const std::string& prefix, const CopyOptions& options) {
+                               const std::string& prefix, const CopyOptions& options,
+                               std::map<std::string, uint64_t>* ledger) {
   std::vector<std::string> keys = store.List(prefix);
   std::vector<Row> staged;
+  std::vector<std::pair<std::string, uint64_t>> ingested;  // key -> rows, this COPY
+  uint64_t already_ingested = 0;
   for (const auto& key : keys) {
+    if (ledger != nullptr) {
+      auto it = ledger->find(key);
+      if (it != ledger->end()) {
+        already_ingested += it->second;
+        continue;
+      }
+    }
+    const uint64_t rows_before = staged.size();
     HQ_ASSIGN_OR_RETURN(auto blob, store.Get(key));
     Slice raw(*blob);
     common::ByteBuffer decompressed;
@@ -53,10 +64,15 @@ Result<uint64_t> CopyFromStore(Table* table, const cloud::ObjectStore& store,
       }
       staged.push_back(std::move(row));
     }
+    ingested.emplace_back(key, staged.size() - rows_before);
   }
   uint64_t count = staged.size();
   HQ_RETURN_NOT_OK(table->AppendRows(std::move(staged)));
-  return count;
+  // The append committed; only now do the new keys enter the ledger.
+  if (ledger != nullptr) {
+    for (auto& [key, rows] : ingested) (*ledger)[key] = rows;
+  }
+  return count + already_ingested;
 }
 
 }  // namespace hyperq::cdw

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "cdw/staging_format.h"
@@ -23,8 +25,17 @@ struct CopyOptions {
 
 /// Returns the number of rows loaded. Set-oriented: any malformed record or
 /// type mismatch aborts the COPY with the table unchanged.
+///
+/// `ledger` (optional) makes a retried COPY idempotent: it maps staged
+/// object key -> rows previously ingested from that key into this table.
+/// Keys already in the ledger are skipped (their recorded rows count toward
+/// the returned total); newly ingested keys are added after the append
+/// commits. So when a COPY's ack is lost and the whole statement is retried,
+/// rows cannot be double-ingested, and the return value is the cumulative
+/// row count for the prefix either way.
 common::Result<uint64_t> CopyFromStore(Table* table, const cloud::ObjectStore& store,
                                        const std::string& prefix,
-                                       const CopyOptions& options = {});
+                                       const CopyOptions& options = {},
+                                       std::map<std::string, uint64_t>* ledger = nullptr);
 
 }  // namespace hyperq::cdw

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "cloudstore/compression.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 
 namespace hyperq::cloud {
@@ -42,19 +43,30 @@ Status WriteFileBytes(const std::string& path, Slice data) {
 
 Status BulkLoader::UploadOne(const std::string& local_path, const std::string& remote_key,
                              UploadReport* report) {
-  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(local_path));
-  report->bytes_local += bytes.size();
-  if (options_.compress) {
-    ByteBuffer compressed;
-    Compress(Slice(bytes), &compressed);
-    HQ_RETURN_NOT_OK(store_->Put(remote_key, compressed.AsSlice()));
-    report->bytes_uploaded += compressed.size();
-  } else {
-    HQ_RETURN_NOT_OK(store_->Put(remote_key, Slice(bytes)));
-    report->bytes_uploaded += bytes.size();
-  }
-  ++report->files_uploaded;
-  return Status::OK();
+  common::RetryPolicy policy(options_.retry);
+  return policy.Run("bulkload.file", [&](const common::RetryAttempt& attempt) -> Status {
+    if (attempt.attempt > 1) ++report->retries;
+    // The fault point models the local-read half of the hop (the store's own
+    // points cover the upload half).
+    HQ_RETURN_NOT_OK(common::FaultInjector::Global().Inject("bulkload.file"));
+    HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(local_path));
+    uint64_t uploaded = 0;
+    if (options_.compress) {
+      ByteBuffer compressed;
+      Compress(Slice(bytes), &compressed);
+      HQ_RETURN_NOT_OK(store_->Put(remote_key, compressed.AsSlice()));
+      uploaded = compressed.size();
+    } else {
+      HQ_RETURN_NOT_OK(store_->Put(remote_key, Slice(bytes)));
+      uploaded = bytes.size();
+    }
+    // Report updates only on the (single) successful attempt, so retried
+    // attempts never double-count.
+    report->bytes_local += bytes.size();
+    report->bytes_uploaded += uploaded;
+    ++report->files_uploaded;
+    return Status::OK();
+  });
 }
 
 Result<UploadReport> BulkLoader::UploadFile(const std::string& local_path,
@@ -103,7 +115,19 @@ Result<UploadReport> BulkLoader::UploadDirectory(const std::string& local_dir,
       batch.emplace_back(remote_prefix + names[i], Slice(payloads[i]));
       report.bytes_uploaded += payloads[i].size();
     }
-    HQ_RETURN_NOT_OK(store_->PutBatch(batch));
+    // Resume-aware batch retry: each failed attempt reports how many leading
+    // objects landed, and the next attempt uploads only the remainder.
+    size_t start = 0;
+    common::RetryPolicy policy(options_.retry);
+    HQ_RETURN_NOT_OK(policy.Run("bulkload.file", [&](const common::RetryAttempt& attempt) {
+      if (attempt.attempt > 1) ++report.retries;
+      std::vector<std::pair<std::string, Slice>> rest(batch.begin() + static_cast<long>(start),
+                                                      batch.end());
+      size_t applied = 0;
+      Status put = store_->PutBatch(rest, &applied);
+      if (!put.ok()) start += applied;
+      return put;
+    }));
     report.files_uploaded = names.size();
   } else {
     for (const auto& name : names) {

@@ -5,6 +5,7 @@
 
 #include "cloudstore/object_store.h"
 #include "common/result.h"
+#include "common/retry.h"
 
 /// \file bulk_loader.h
 /// The CDW bulk-load utility (stands in for `aws s3 cp` / AzCopy, paper
@@ -19,6 +20,10 @@ struct BulkLoaderOptions {
   /// Upload a whole directory as one batch request instead of per-file
   /// requests (amortizes per-request latency).
   bool batch_directory = true;
+  /// Retry policy for transient store failures. Directory batches resume
+  /// from the applied prefix on retry (see ObjectStore::PutBatch) — a
+  /// failed 100-file batch never re-pays the 99 files that landed.
+  common::RetryOptions retry;
 };
 
 struct UploadReport {
@@ -26,6 +31,8 @@ struct UploadReport {
   uint64_t bytes_local = 0;     ///< pre-compression bytes read from disk
   uint64_t bytes_uploaded = 0;  ///< bytes that went over the simulated link
   double elapsed_seconds = 0;
+  /// Attempts beyond the first (per-file retries + batch resumes).
+  uint64_t retries = 0;
 };
 
 class BulkLoader {

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fault.h"
+
 namespace hyperq::cloud {
 
 using common::Result;
@@ -31,44 +33,87 @@ void ObjectStore::PayCost(size_t bytes) const {
 
 Status ObjectStore::Put(const std::string& key, Slice data) {
   if (key.empty()) return Status::Invalid("object key must not be empty");
+  // Fault point consulted before any lock: a transient error applies
+  // nothing, a torn write leaves a truncated object behind (a retried Put
+  // overwrites it), a drop applies the write but loses the ack.
+  common::FaultDecision fault = common::FaultInjector::Global().Check("objstore.put");
+  if (fault.fired && fault.kind == common::FaultKind::kError) return fault.status;
   obs::ScopedTimer timer(put_latency_);
   PayCost(data.size());
-  auto blob = std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + data.size());
-  common::MutexLock lock(&mu_);
-  objects_[key] = std::move(blob);
-  ++stats_.put_requests;
-  stats_.bytes_uploaded += data.size();
+  size_t apply_bytes = data.size();
+  if (fault.fired && fault.kind == common::FaultKind::kTorn) {
+    apply_bytes = static_cast<size_t>(static_cast<double>(data.size()) * fault.torn_fraction);
+  }
+  auto blob = std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + apply_bytes);
+  {
+    common::MutexLock lock(&mu_);
+    objects_[key] = std::move(blob);
+    ++stats_.put_requests;
+    stats_.bytes_uploaded += apply_bytes;
+  }
   if (put_requests_ != nullptr) {
     put_requests_->Increment();
-    bytes_up_->Increment(data.size());
+    bytes_up_->Increment(apply_bytes);
   }
-  return Status::OK();
+  return fault.status;
 }
 
-Status ObjectStore::PutBatch(const std::vector<std::pair<std::string, Slice>>& objects) {
+Status ObjectStore::PutBatch(const std::vector<std::pair<std::string, Slice>>& objects,
+                             size_t* applied_prefix) {
+  if (applied_prefix != nullptr) *applied_prefix = 0;
   size_t total_bytes = 0;
   for (const auto& [key, data] : objects) {
     if (key.empty()) return Status::Invalid("object key must not be empty");
     total_bytes += data.size();
   }
+  common::FaultDecision fault = common::FaultInjector::Global().Check("objstore.put");
+  if (fault.fired && fault.kind == common::FaultKind::kError) return fault.status;
+  // A torn batch applies a prefix of the objects fully, then one truncated
+  // object; a drop applies everything but loses the ack (reported as 0
+  // applied — overwriting on resume is idempotent).
+  size_t apply_full = objects.size();
+  bool torn = fault.fired && fault.kind == common::FaultKind::kTorn;
+  if (torn) {
+    apply_full =
+        static_cast<size_t>(static_cast<double>(objects.size()) * fault.torn_fraction);
+  }
   obs::ScopedTimer timer(put_latency_);
   PayCost(total_bytes);  // one request: latency charged once
-  common::MutexLock lock(&mu_);
-  for (const auto& [key, data] : objects) {
-    objects_[key] =
-        std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + data.size());
-    stats_.bytes_uploaded += data.size();
+  size_t applied_bytes = 0;
+  {
+    common::MutexLock lock(&mu_);
+    for (size_t i = 0; i < objects.size() && i < apply_full; ++i) {
+      const auto& [key, data] = objects[i];
+      objects_[key] =
+          std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + data.size());
+      applied_bytes += data.size();
+    }
+    if (torn && apply_full < objects.size()) {
+      const auto& [key, data] = objects[apply_full];
+      size_t cut = static_cast<size_t>(static_cast<double>(data.size()) * fault.torn_fraction);
+      objects_[key] = std::make_shared<const std::vector<uint8_t>>(data.data(), data.data() + cut);
+      applied_bytes += cut;
+    }
+    ++stats_.put_requests;
+    stats_.bytes_uploaded += applied_bytes;
   }
-  ++stats_.put_requests;
   if (put_requests_ != nullptr) {
     put_requests_->Increment();
-    bytes_up_->Increment(total_bytes);
+    bytes_up_->Increment(applied_bytes);
   }
+  if (!fault.status.ok()) {
+    if (applied_prefix != nullptr && torn) *applied_prefix = apply_full;
+    return fault.status;
+  }
+  if (applied_prefix != nullptr) *applied_prefix = objects.size();
   return Status::OK();
 }
 
 Result<std::shared_ptr<const std::vector<uint8_t>>> ObjectStore::Get(
     const std::string& key) const {
+  // Read-side faults cannot tear (nothing is mutated); torn collapses to a
+  // plain transient error inside Inject().
+  HQ_RETURN_NOT_OK(common::FaultInjector::Global().Inject("objstore.get"));
   obs::ScopedTimer timer(get_latency_);
   std::shared_ptr<const std::vector<uint8_t>> blob;
   {

@@ -46,8 +46,15 @@ class ObjectStore {
   /// Uploads several objects in one request: the per-request latency is paid
   /// once for the whole batch (this is what makes directory upload cheaper
   /// than per-file upload, Section 6 of the paper).
-  common::Status PutBatch(const std::vector<std::pair<std::string, common::Slice>>& objects)
-      HQ_EXCLUDES(mu_);
+  ///
+  /// Objects apply in order. On failure, `*applied_prefix` (when non-null)
+  /// reports how many leading objects were fully applied, so a resuming
+  /// caller re-uploads only `objects[applied_prefix..]` instead of re-paying
+  /// the whole batch. A lost-ack failure (connection drop after the server
+  /// applied the batch) conservatively reports 0 — re-putting an applied
+  /// object is an idempotent overwrite. On success it equals objects.size().
+  common::Status PutBatch(const std::vector<std::pair<std::string, common::Slice>>& objects,
+                          size_t* applied_prefix = nullptr) HQ_EXCLUDES(mu_);
 
   /// Downloads one object.
   common::Result<std::shared_ptr<const std::vector<uint8_t>>> Get(const std::string& key) const

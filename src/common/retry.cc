@@ -1,0 +1,263 @@
+#include "common/retry.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+namespace hyperq::common {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+bool IsRetryableStatus(const Status& s) { return s.IsIOError(); }
+
+uint64_t RetryPolicy::BackoffMicros(std::string_view point, int attempt,
+                                    uint64_t prev_micros) const {
+  const uint64_t base = options_.initial_backoff_micros;
+  const uint64_t cap = options_.max_backoff_micros;
+  if (attempt <= 1 || prev_micros == 0) return base < cap ? base : cap;
+  // Decorrelated jitter: U(base, 3 * prev), capped. The uniform draw comes
+  // from a pure hash of (seed, point, attempt) so sequences are reproducible
+  // and two points never correlate.
+  uint64_t lo = base;
+  uint64_t hi = prev_micros > cap / 3 ? cap : prev_micros * 3;
+  if (hi <= lo) return lo < cap ? lo : cap;
+  uint64_t h = Mix64(options_.jitter_seed ^ HashString(point) ^
+                     (static_cast<uint64_t>(attempt) << 32));
+  uint64_t sleep = lo + h % (hi - lo + 1);
+  return sleep < cap ? sleep : cap;
+}
+
+Status RetryPolicy::Run(std::string_view point,
+                        const std::function<Status(const RetryAttempt&)>& fn) const {
+  const int max_attempts = options_.max_attempts < 1 ? 1 : options_.max_attempts;
+  // Clock reads cost ~20ns; skip them entirely unless a deadline is set (the
+  // healthy-path wrapper cost is gated by bench_fault_overhead).
+  const uint64_t start_nanos = options_.overall_deadline_micros > 0 ? NowNanos() : 0;
+  uint64_t prev_sleep = 0;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) RetryStats::Global().RecordRetry(point);
+    if (options_.breaker != nullptr) {
+      last = options_.breaker->Allow();
+    } else {
+      last = Status::OK();
+    }
+    if (last.ok()) {
+      RetryAttempt ctx;
+      ctx.attempt = attempt;
+      ctx.max_attempts = max_attempts;
+      last = fn(ctx);
+      if (options_.breaker != nullptr) {
+        if (last.ok()) {
+          options_.breaker->RecordSuccess();
+        } else {
+          options_.breaker->RecordFailure(last);
+        }
+      }
+    }
+    if (last.ok()) return last;
+    if (!IsRetryableStatus(last)) return last;
+    if (attempt == max_attempts) break;
+    uint64_t sleep_micros = BackoffMicros(point, attempt, prev_sleep);
+    prev_sleep = sleep_micros;
+    if (options_.overall_deadline_micros > 0) {
+      uint64_t elapsed_micros = (NowNanos() - start_nanos) / 1000;
+      if (elapsed_micros + sleep_micros >= options_.overall_deadline_micros) {
+        RetryStats::Global().RecordExhausted(point);
+        return last.WithContext("retry deadline (" +
+                                std::to_string(options_.overall_deadline_micros) +
+                                "us) exhausted after attempt " + std::to_string(attempt) + " at " +
+                                std::string(point));
+      }
+    }
+    if (options_.on_backoff) options_.on_backoff(point, attempt, sleep_micros);
+    if (options_.sleep && sleep_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+    }
+  }
+  RetryStats::Global().RecordExhausted(point);
+  return last.WithContext("retries (" + std::to_string(max_attempts) +
+                          " attempts) exhausted at " + std::string(point));
+}
+
+// ---------------------------------------------------------------------------
+// RetryStats
+// ---------------------------------------------------------------------------
+
+RetryStats& RetryStats::Global() {
+  static RetryStats stats;
+  return stats;
+}
+
+void RetryStats::RecordRetry(std::string_view point) {
+  MutexLock lock(&mu_);
+  ++retries_[std::string(point)];
+}
+
+void RetryStats::RecordExhausted(std::string_view point) {
+  MutexLock lock(&mu_);
+  ++exhausted_[std::string(point)];
+}
+
+RetryStats::Snapshot RetryStats::Snap() const {
+  MutexLock lock(&mu_);
+  Snapshot snap;
+  snap.retries = retries_;
+  snap.exhausted = exhausted_;
+  return snap;
+}
+
+uint64_t RetryStats::total_retries() const {
+  MutexLock lock(&mu_);
+  uint64_t total = 0;
+  for (const auto& [point, count] : retries_) total += count;
+  return total;
+}
+
+void RetryStats::ResetForTesting() {
+  MutexLock lock(&mu_);
+  retries_.clear();
+  exhausted_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+const char* CircuitStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+Status CircuitBreaker::Allow() {
+  int state = state_.load(std::memory_order_acquire);
+  if (state == static_cast<int>(State::kClosed)) return Status::OK();
+  if (state == static_cast<int>(State::kOpen)) {
+    if (NowNanos() < open_until_nanos_.load(std::memory_order_relaxed)) {
+      // Retryable by design: an enclosing RetryPolicy backs off across the
+      // cooldown instead of surfacing a distinct fatal error class.
+      return Status::IOError("circuit breaker open for endpoint '" + endpoint_ + "'");
+    }
+    int expected = static_cast<int>(State::kOpen);
+    if (state_.compare_exchange_strong(expected, static_cast<int>(State::kHalfOpen),
+                                       std::memory_order_acq_rel)) {
+      half_open_successes_.store(0, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();  // half-open: admit the probe
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  if (state_.load(std::memory_order_acquire) == static_cast<int>(State::kHalfOpen)) {
+    int successes = half_open_successes_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (successes >= options_.half_open_successes) {
+      state_.store(static_cast<int>(State::kClosed), std::memory_order_release);
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure(const Status& s) {
+  if (!IsRetryableStatus(s)) return;
+  uint64_t now = NowNanos();
+  if (state_.load(std::memory_order_acquire) == static_cast<int>(State::kHalfOpen)) {
+    Trip(now);
+    return;
+  }
+  int failures = consecutive_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (failures >= options_.failure_threshold) Trip(now);
+}
+
+void CircuitBreaker::Trip(uint64_t now_nanos) {
+  open_until_nanos_.store(now_nanos + options_.cooldown_micros * 1000,
+                          std::memory_order_relaxed);
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  half_open_successes_.store(0, std::memory_order_relaxed);
+  state_.store(static_cast<int>(State::kOpen), std::memory_order_release);
+}
+
+void CircuitBreaker::ResetForTesting() {
+  state_.store(static_cast<int>(State::kClosed), std::memory_order_release);
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  half_open_successes_.store(0, std::memory_order_relaxed);
+  open_until_nanos_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Breaker registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BreakerRegistry {
+  Mutex mu{LockRank::kObs, "breaker_registry"};
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers HQ_GUARDED_BY(mu);
+};
+
+BreakerRegistry& Registry() {
+  static BreakerRegistry registry;
+  return registry;
+}
+
+}  // namespace
+
+CircuitBreaker* BreakerFor(std::string_view endpoint) {
+  BreakerRegistry& registry = Registry();
+  MutexLock lock(&registry.mu);
+  auto it = registry.breakers.find(std::string(endpoint));
+  if (it == registry.breakers.end()) {
+    it = registry.breakers
+             .emplace(std::string(endpoint), std::make_unique<CircuitBreaker>(std::string(endpoint)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::pair<std::string, CircuitBreaker::State>> BreakerStates() {
+  BreakerRegistry& registry = Registry();
+  MutexLock lock(&registry.mu);
+  std::vector<std::pair<std::string, CircuitBreaker::State>> out;
+  out.reserve(registry.breakers.size());
+  for (const auto& [endpoint, breaker] : registry.breakers) {
+    out.emplace_back(endpoint, breaker->state());
+  }
+  return out;
+}
+
+void ResetBreakersForTesting() {
+  BreakerRegistry& registry = Registry();
+  MutexLock lock(&registry.mu);
+  for (auto& [endpoint, breaker] : registry.breakers) breaker->ResetForTesting();
+}
+
+}  // namespace hyperq::common

@@ -99,6 +99,18 @@ const char* LockRankName(LockRank rank) {
   return "k?";
 }
 
+const double* LockWaitBucketBounds() {
+  // Must mirror obs::Histogram::BucketBounds() — the 1µs..2min 1-2.5-5
+  // ladder — so the exported per-rank wait histograms share the layout every
+  // exporter already understands. tests/common/sync_test.cc pins the two
+  // arrays together.
+  static const double kBounds[kNumLockWaitBuckets - 1] = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+      1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+      1.0,  2.5,    5.0,  10.0, 30.0,   60.0, 120.0};
+  return kBounds;
+}
+
 LockOrderGraph& LockOrderGraph::Global() {
   static LockOrderGraph graph;
   return graph;
@@ -113,11 +125,28 @@ void LockOrderGraph::RecordContention(LockRank rank) {
   contention_[static_cast<int>(rank)].fetch_add(1, std::memory_order_relaxed);
 }
 
+void LockOrderGraph::RecordWait(LockRank rank, uint64_t wait_nanos) {
+  const int r = static_cast<int>(rank);
+  const double seconds = static_cast<double>(wait_nanos) * 1e-9;
+  const double* bounds = LockWaitBucketBounds();
+  int bucket = 0;
+  while (bucket < kNumLockWaitBuckets - 1 && seconds > bounds[bucket]) ++bucket;
+  wait_buckets_[r][bucket].fetch_add(1, std::memory_order_relaxed);
+  wait_count_[r].fetch_add(1, std::memory_order_relaxed);
+  wait_nanos_[r].fetch_add(wait_nanos, std::memory_order_relaxed);
+}
+
 LockOrderSnapshot LockOrderGraph::Snapshot() const {
   LockOrderSnapshot snap;
   bool adj[kNumLockRanks][kNumLockRanks] = {};
   for (int from = 0; from < kNumLockRanks; ++from) {
     snap.contention[from] = contention_[from].load(std::memory_order_relaxed);
+    snap.wait_count[from] = wait_count_[from].load(std::memory_order_relaxed);
+    snap.wait_sum_seconds[from] =
+        static_cast<double>(wait_nanos_[from].load(std::memory_order_relaxed)) * 1e-9;
+    for (int b = 0; b < kNumLockWaitBuckets; ++b) {
+      snap.wait_buckets[from][b] = wait_buckets_[from][b].load(std::memory_order_relaxed);
+    }
     for (int to = 0; to < kNumLockRanks; ++to) {
       uint64_t count = edges_[from][to].load(std::memory_order_relaxed);
       if (count == 0) continue;
@@ -162,6 +191,11 @@ LockOrderSnapshot LockOrderGraph::Snapshot() const {
 void LockOrderGraph::ResetForTesting() {
   for (int from = 0; from < kNumLockRanks; ++from) {
     contention_[from].store(0, std::memory_order_relaxed);
+    wait_count_[from].store(0, std::memory_order_relaxed);
+    wait_nanos_[from].store(0, std::memory_order_relaxed);
+    for (int b = 0; b < kNumLockWaitBuckets; ++b) {
+      wait_buckets_[from][b].store(0, std::memory_order_relaxed);
+    }
     for (int to = 0; to < kNumLockRanks; ++to) {
       edges_[from][to].store(0, std::memory_order_relaxed);
     }
@@ -219,6 +253,10 @@ void OnUnlock(const void* mu) {
 }
 
 void OnContended(LockRank rank) { LockOrderGraph::Global().RecordContention(rank); }
+
+void OnWaited(LockRank rank, uint64_t wait_nanos) {
+  LockOrderGraph::Global().RecordWait(rank, wait_nanos);
+}
 
 int HeldDepthForTesting() { return tls_held.depth; }
 

@@ -112,6 +112,16 @@ inline constexpr int kNumLockRanks = 10;
 /// "kLogging" .. "kLifecycle"; "k?" for out-of-range values.
 const char* LockRankName(LockRank rank);
 
+/// Number of wait-time histogram buckets per rank: the finite bounds plus
+/// the implicit +Inf bucket. The finite bounds deliberately mirror
+/// obs::Histogram::BucketBounds() (a test asserts they stay in sync) so the
+/// server can export per-rank wait histograms in the shared layout without
+/// src/common depending on src/obs.
+inline constexpr int kNumLockWaitBuckets = 26;
+
+/// The kNumLockWaitBuckets - 1 finite upper bounds, ascending, in seconds.
+const double* LockWaitBucketBounds();
+
 // ---------------------------------------------------------------------------
 // Lock-order graph registry (always on, production builds included)
 // ---------------------------------------------------------------------------
@@ -129,6 +139,13 @@ struct LockOrderSnapshot {
   std::vector<LockOrderEdge> edges;
   /// Blocked (contended) acquisitions per rank, indexed by LockRank value.
   uint64_t contention[kNumLockRanks] = {};
+  /// Wait-time distribution of those contended acquisitions, per rank:
+  /// how long the blocking `lock()` took, histogrammed over
+  /// LockWaitBucketBounds() (uncontended fast-path acquisitions record
+  /// nothing). Exported as `hyperq_lock_wait_seconds{rank=...}`.
+  uint64_t wait_count[kNumLockRanks] = {};
+  double wait_sum_seconds[kNumLockRanks] = {};
+  uint64_t wait_buckets[kNumLockRanks][kNumLockWaitBuckets] = {};
   /// True when the edge set contains a directed cycle — i.e. two code paths
   /// disagree about acquisition order and a deadlock is possible.
   bool has_cycle = false;
@@ -148,6 +165,8 @@ class LockOrderGraph {
 
   void RecordEdge(LockRank holder, LockRank acquired);
   void RecordContention(LockRank rank);
+  /// Records how long a contended acquisition blocked in `lock()`.
+  void RecordWait(LockRank rank, uint64_t wait_nanos);
 
   /// Consistent-enough copy plus cycle analysis over the copied edges.
   LockOrderSnapshot Snapshot() const;
@@ -159,6 +178,9 @@ class LockOrderGraph {
   LockOrderGraph() = default;
   std::atomic<uint64_t> edges_[kNumLockRanks][kNumLockRanks] = {};
   std::atomic<uint64_t> contention_[kNumLockRanks] = {};
+  std::atomic<uint64_t> wait_count_[kNumLockRanks] = {};
+  std::atomic<uint64_t> wait_nanos_[kNumLockRanks] = {};
+  std::atomic<uint64_t> wait_buckets_[kNumLockRanks][kNumLockWaitBuckets] = {};
 };
 
 // ---------------------------------------------------------------------------
@@ -187,6 +209,8 @@ void OnLockAcquired(const void* mu, LockRank rank, const char* name, const char*
 void OnUnlock(const void* mu);
 /// Bumps the per-rank contention counter (the acquisition had to block).
 void OnContended(LockRank rank);
+/// Records how long the blocked acquisition waited, once it acquired.
+void OnWaited(LockRank rank, uint64_t wait_nanos);
 /// Depth of the calling thread's held-lock stack (tests only).
 int HeldDepthForTesting();
 }  // namespace lock_internal
@@ -235,7 +259,12 @@ class HQ_CAPABILITY("mutex") Mutex {
                                  allow_equal_top);
     if (!mu_.try_lock()) {
       lock_internal::OnContended(rank_);
+      const auto wait_start = std::chrono::steady_clock::now();
       mu_.lock();
+      lock_internal::OnWaited(
+          rank_, static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                           std::chrono::steady_clock::now() - wait_start)
+                                           .count()));
     }
     lock_internal::OnLockAcquired(this, rank_, name_, loc.file_name(), loc.line());
   }

@@ -61,6 +61,12 @@ bool AdaptiveDmlApplier::IsAbsorbableFailure(const Status& s) {
   return s.IsConversionError() || s.IsConstraintViolation();
 }
 
+common::RetryPolicy AdaptiveDmlApplier::ExecRetry() const {
+  common::RetryOptions options = options_.io_retry;
+  options.breaker = common::BreakerFor("cdw");
+  return common::RetryPolicy(std::move(options));
+}
+
 Result<cdw::ExecResult> AdaptiveDmlApplier::ExecuteBound(uint64_t first, uint64_t last,
                                                          DmlApplyResult* result) {
   sql::BindOptions bind;
@@ -76,7 +82,11 @@ Result<cdw::ExecResult> AdaptiveDmlApplier::ExecuteBound(uint64_t first, uint64_
   cdw::ExecOptions exec;
   exec.enforce_unique_primary = options_.enforce_uniqueness;
   ++result->statements_issued;
-  return cdw_->ExecuteSql(sql_text, exec);
+  // Tuple-level failures (conversion, constraint) are not retryable, so the
+  // policy passes them straight through to the adaptive splitter; only
+  // transient endpoint failures burn retry attempts here.
+  return ExecRetry().RunResult<cdw::ExecResult>(
+      "cdw.exec", [&](const common::RetryAttempt&) { return cdw_->ExecuteSql(sql_text, exec); });
 }
 
 Result<DmlApplyResult> AdaptiveDmlApplier::Apply(uint64_t first_row, uint64_t last_row) {
@@ -173,7 +183,9 @@ Status AdaptiveDmlApplier::RecordSingletonError(uint64_t row, const Status& fail
         std::to_string(legacy::kErrUniquenessViolation) + " FROM " + staging_table_ +
         " S WHERE S." + kRowNumColumn + " = " + std::to_string(row);
     ++result->statements_issued;
-    HQ_RETURN_NOT_OK(cdw_->ExecuteSql(sql_text).status());
+    HQ_RETURN_NOT_OK(ExecRetry().Run("cdw.exec", [&](const common::RetryAttempt&) {
+      return cdw_->ExecuteSql(sql_text).status();
+    }));
     ++result->uv_errors;
     return Status::OK();
   }
@@ -193,7 +205,9 @@ Status AdaptiveDmlApplier::RecordSingletonError(uint64_t row, const Status& fail
                          (field.empty() ? std::string("NULL") : SqlQuote(field)) + ", " +
                          SqlQuote(message) + ")";
   ++result->statements_issued;
-  HQ_RETURN_NOT_OK(cdw_->ExecuteSql(sql_text).status());
+  HQ_RETURN_NOT_OK(ExecRetry().Run("cdw.exec", [&](const common::RetryAttempt&) {
+    return cdw_->ExecuteSql(sql_text).status();
+  }));
   ++result->et_errors;
   return Status::OK();
 }
@@ -207,7 +221,9 @@ Status AdaptiveDmlApplier::RecordRangeError(uint64_t first, uint64_t last,
                          std::to_string(legacy::kErrMaxErrorsReached) + ", NULL, " +
                          SqlQuote(message) + ")";
   ++result->statements_issued;
-  HQ_RETURN_NOT_OK(cdw_->ExecuteSql(sql_text).status());
+  HQ_RETURN_NOT_OK(ExecRetry().Run("cdw.exec", [&](const common::RetryAttempt&) {
+    return cdw_->ExecuteSql(sql_text).status();
+  }));
   ++result->et_errors;
   ++result->range_errors;
   return Status::OK();

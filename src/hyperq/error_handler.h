@@ -4,6 +4,7 @@
 
 #include "cdw/cdw_server.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "sql/ast.h"
 #include "types/schema.h"
 
@@ -26,6 +27,10 @@ struct AdaptiveOptions {
   uint64_t max_errors = 100;
   int max_retries = 64;
   bool enforce_uniqueness = true;
+  /// Transient-failure policy for every statement shipped to the CDW. The
+  /// adaptive splitting above absorbs *tuple* errors; this absorbs *endpoint*
+  /// errors (injected or real), which would otherwise abort the whole apply.
+  common::RetryOptions io_retry;
 };
 
 struct DmlApplyResult {
@@ -74,6 +79,9 @@ class AdaptiveDmlApplier {
   /// Executes the bound+transpiled DML for a row range.
   common::Result<cdw::ExecResult> ExecuteBound(uint64_t first, uint64_t last,
                                                DmlApplyResult* result);
+
+  /// The per-statement retry policy (io_retry options + the "cdw" breaker).
+  common::RetryPolicy ExecRetry() const;
 
   cdw::CdwServer* cdw_;
   const sql::Statement* legacy_dml_;

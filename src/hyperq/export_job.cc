@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/retry.h"
 #include "legacy/row_format.h"
 #include "sql/transpiler.h"
 
@@ -21,10 +22,17 @@ Result<std::shared_ptr<ExportJob>> ExportJob::Create(const std::string& job_id,
   std::shared_ptr<obs::Trace> trace;
   if (tracer != nullptr) trace = tracer->StartTrace(job_id, obs::Phase::kExport);
 
-  // PXC: transpile the legacy SELECT and run it in the CDW.
+  // PXC: transpile the legacy SELECT and run it in the CDW, retrying
+  // transient endpoint failures (the SELECT is read-only, so a retry after a
+  // lost response is harmless).
   HQ_ASSIGN_OR_RETURN(std::string cdw_sql, sql::TranspileSqlText(begin.select_sql));
   auto query_start = std::chrono::steady_clock::now();
-  HQ_ASSIGN_OR_RETURN(cdw::ExecResult result, cdw->ExecuteSql(cdw_sql));
+  common::RetryOptions retry_options = options.io_retry;
+  retry_options.breaker = common::BreakerFor("cdw");
+  common::RetryPolicy retry(std::move(retry_options));
+  HQ_ASSIGN_OR_RETURN(cdw::ExecResult result,
+                      retry.RunResult<cdw::ExecResult>("cdw.exec", [&](
+                          const common::RetryAttempt&) { return cdw->ExecuteSql(cdw_sql); }));
   if (trace != nullptr) {
     trace->RecordSpan(obs::Phase::kQuery, "query", 0, query_start,
                       std::chrono::steady_clock::now());

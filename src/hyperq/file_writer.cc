@@ -4,6 +4,7 @@
 
 #include "cloudstore/bulk_loader.h"
 #include "cloudstore/compression.h"
+#include "common/fault.h"
 
 namespace hyperq::core {
 
@@ -65,6 +66,10 @@ Status FileWriter::FinalizeCurrent(std::vector<FinalizedFile>* finalized) {
 }
 
 Status FileWriter::Append(Slice data, std::vector<FinalizedFile>* finalized) {
+  // Fault point for the local-disk half of bulk loading. Deliberately before
+  // any bytes are written: a failed Append leaves no partial state, so the
+  // ImportJob writer loop can retry (or abandon) the whole chunk cleanly.
+  HQ_RETURN_NOT_OK(common::FaultInjector::Global().Inject("bulkload.file"));
   if (current_ == nullptr) {
     HQ_RETURN_NOT_OK(OpenNext());
   }

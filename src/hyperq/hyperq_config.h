@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/retry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -58,6 +59,18 @@ struct HyperQOptions {
   bool enforce_uniqueness = true;
 
   std::string server_banner = "Hyper-Q ETL virtualization (LDWP bridge)";
+
+  /// Fault-injection spec armed into the process-global FaultInjector at
+  /// node construction (grammar in common/fault.h; same as the HQ_FAULTS
+  /// env variable, which takes precedence when set). Empty = leave the
+  /// injector alone.
+  std::string fault_spec;
+
+  /// Retry policy for every transient-failure hop of the load path: staging
+  /// uploads, COPY, DML/ET statements, export queries. Chunk staging shares
+  /// it for the bounded per-chunk retry before a chunk is abandoned into the
+  /// ET table (graceful degradation).
+  common::RetryOptions io_retry;
 
   /// Runtime observability (src/obs/). When enabled the node keeps a
   /// MetricsRegistry and a per-job Tracer; pass shared instances here to

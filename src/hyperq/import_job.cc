@@ -54,8 +54,10 @@ Result<std::shared_ptr<ImportJob>> ImportJob::Create(const std::string& job_id,
   auto job = std::shared_ptr<ImportJob>(
       new ImportJob(job_id, begin, std::move(ctx), std::move(converter), staging_schema));
 
-  // CDW-side state: staging table + fresh error tables.
+  // CDW-side state: staging table + fresh error tables. A recreated staging
+  // table must not inherit a prior job's COPY-idempotence ledger.
   HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->staging_table_, staging_schema));
+  job->ctx_.cdw->ForgetCopies(job->staging_table_);
   HQ_RETURN_NOT_OK(
       RecreateTable(job->ctx_.cdw, job->begin_.error_table_et, MakeEtErrorSchema()));
   HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->begin_.error_table_uv,
@@ -86,6 +88,7 @@ ImportJob::ImportJob(std::string job_id, legacy::BeginLoadBody begin, JobContext
     m_.files_uploaded = r->GetCounter("hyperq_files_uploaded_total");
     m_.bytes_uploaded = r->GetCounter("hyperq_bytes_uploaded_total");
     m_.rows_copied = r->GetCounter("hyperq_rows_copied_total");
+    m_.chunks_abandoned = r->GetCounter("hyperq_chunks_abandoned_total");
     m_.csv_reallocs = r->GetCounter("hyperq_convert_csv_realloc_total");
     m_.jobs_started = r->GetCounter("hyperq_import_jobs_started_total");
     m_.jobs_completed = r->GetCounter("hyperq_import_jobs_completed_total");
@@ -132,6 +135,21 @@ void ImportJob::StartWriters() {
   for (size_t i = 0; i < n; ++i) {
     writer_threads_.emplace_back([this, i] { WriterLoop(i); });
   }
+}
+
+common::RetryPolicy ImportJob::MakeIoRetry(const char* breaker_endpoint) const {
+  common::RetryOptions options = ctx_.options.io_retry;
+  options.breaker = common::BreakerFor(breaker_endpoint);
+  if (trace_ != nullptr) {
+    std::shared_ptr<obs::Trace> trace = trace_;
+    options.on_backoff = [trace](std::string_view point, int attempt, uint64_t sleep_micros) {
+      auto start = std::chrono::steady_clock::now();
+      trace->RecordSpan(obs::Phase::kRetryBackoff,
+                        "retry:" + std::string(point) + "#" + std::to_string(attempt), 0, start,
+                        start + std::chrono::microseconds(sleep_micros));
+    };
+  }
+  return common::RetryPolicy(std::move(options));
 }
 
 void ImportJob::NoteFatal(const Status& s) {
@@ -259,7 +277,13 @@ void ImportJob::WriterLoop(size_t writer_index) {
     std::vector<FinalizedFile> finalized;
     obs::ScopedTimer write_timer(m_.write_seconds);
     obs::ScopedSpan write_span(trace_.get(), obs::Phase::kFileWrite, "write");
-    Status s = writer.Append(item->converted.csv.AsSlice(), &finalized);
+    // Transient staging-disk failures (the bulkload.file fault point fires
+    // before any bytes land, so a failed attempt leaves no partial write)
+    // are retried with backoff.
+    common::RetryPolicy retry = MakeIoRetry("staging_disk");
+    Status s = retry.Run("bulkload.file", [&](const common::RetryAttempt&) {
+      return writer.Append(item->converted.csv.AsSlice(), &finalized);
+    });
     write_timer.StopAndObserve();
     write_span.End();
     // The CSV bytes are on disk (or abandoned): recycle the buffer either way.
@@ -267,7 +291,23 @@ void ImportJob::WriterLoop(size_t writer_index) {
       ctx_.buffers->Release(std::move(item->converted.csv.vector()));
     }
     if (!s.ok()) {
-      NoteFatal(s);
+      if (common::IsRetryableStatus(s)) {
+        // Retries exhausted: degrade instead of failing the whole job. The
+        // chunk's rows never reach rows_staged_ and the abandonment lands in
+        // the ET error table with its own code, so surviving chunks still
+        // commit and the client report shows partial success plus an audit
+        // row (ISSUE 5 graceful-degradation contract).
+        RecordError abandoned;
+        abandoned.row_number = item->converted.first_row_number;
+        abandoned.code = legacy::kErrChunkAbandoned;
+        abandoned.message = "chunk abandoned after staging retries: " + s.message();
+        if (m_.chunks_abandoned != nullptr) m_.chunks_abandoned->Increment();
+        common::MutexLock lock(&mu_);
+        ++chunks_abandoned_;
+        data_errors_.push_back(std::move(abandoned));
+      } else {
+        NoteFatal(s);
+      }
       continue;
     }
     if (m_.rows_staged != nullptr) {
@@ -345,7 +385,19 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   if (!batch.empty()) {
     obs::ScopedTimer upload_timer(m_.upload_seconds);
     obs::ScopedSpan upload_span(trace_.get(), obs::Phase::kStorePut, "upload");
-    HQ_RETURN_NOT_OK(ctx_.store->PutBatch(batch));
+    // Resume-aware retry: PutBatch reports the applied prefix on failure, so
+    // each attempt re-uploads only the objects not yet known durable
+    // (re-putting a lost-ack object is an idempotent overwrite).
+    size_t start = 0;
+    common::RetryPolicy retry = MakeIoRetry("objstore");
+    HQ_RETURN_NOT_OK(retry.Run("objstore.put", [&](const common::RetryAttempt&) {
+      std::vector<std::pair<std::string, Slice>> rest(batch.begin() + static_cast<long>(start),
+                                                      batch.end());
+      size_t applied = 0;
+      Status put = ctx_.store->PutBatch(rest, &applied);
+      if (!put.ok()) start += applied;
+      return put;
+    }));
   }
   if (m_.files_uploaded != nullptr) {
     m_.files_uploaded->Increment(batch.size());
@@ -358,11 +410,17 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
     for (const auto& f : finalized_files_) std::remove(f.path.c_str());
   }
 
-  // In-the-cloud COPY into the staging table.
+  // In-the-cloud COPY into the staging table. Safe to retry: the CDW keeps a
+  // per-table ledger of ingested staging objects, so a re-COPY after a lost
+  // ack skips already-ingested files and returns the cumulative row count.
   uint64_t copied;
   {
     obs::ScopedSpan copy_span(trace_.get(), obs::Phase::kCdwCopy, "copy");
-    HQ_ASSIGN_OR_RETURN(copied, ctx_.cdw->CopyInto(staging_table_, remote_prefix_));
+    common::RetryPolicy retry = MakeIoRetry("cdw");
+    HQ_ASSIGN_OR_RETURN(copied, retry.RunResult<uint64_t>("cdw.copy", [&](
+                                    const common::RetryAttempt&) {
+                          return ctx_.cdw->CopyInto(staging_table_, remote_prefix_);
+                        }));
   }
   if (m_.rows_copied != nullptr) m_.rows_copied->Increment(copied);
 
@@ -375,6 +433,7 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   stats_.files_uploaded = batch.size();
   stats_.bytes_uploaded = bytes_uploaded;
   stats_.rows_copied = copied;
+  stats_.chunks_abandoned = chunks_abandoned_;
   timings_.acquisition_seconds = acquisition_timer_.ElapsedSeconds();
   if (copied != rows_staged_) {
     return Status::Internal("COPY loaded " + std::to_string(copied) + " rows, staged " +
@@ -408,25 +467,31 @@ Result<legacy::JobReportBody> ImportJob::ApplyDml(const std::string& label,
     data_errors = data_errors_;
     total_rows = row_counter_;
   }
+  common::RetryPolicy exec_retry = MakeIoRetry("cdw");
   for (const auto& e : data_errors) {
     std::string sql_text =
         "INSERT INTO " + begin_.error_table_et + " VALUES (" + std::to_string(e.code) + ", " +
         (e.field.empty() ? std::string("NULL") : SqlQuote(e.field)) + ", " +
         SqlQuote(e.message + " (input row number: " + std::to_string(e.row_number) + ")") + ")";
-    HQ_RETURN_NOT_OK(ctx_.cdw->ExecuteSql(sql_text).status());
+    HQ_RETURN_NOT_OK(exec_retry.Run("cdw.exec", [&](const common::RetryAttempt&) {
+      return ctx_.cdw->ExecuteSql(sql_text).status();
+    }));
   }
 
   AdaptiveOptions adaptive;
   adaptive.max_errors = ctx_.options.max_errors;
   adaptive.max_retries = ctx_.options.max_retries;
   adaptive.enforce_uniqueness = ctx_.options.enforce_uniqueness;
+  adaptive.io_retry = ctx_.options.io_retry;
   AdaptiveDmlApplier applier(ctx_.cdw, legacy_stmt.get(), begin_.layout, staging_table_,
                              begin_.target_table, begin_.error_table_et, begin_.error_table_uv,
                              adaptive);
   HQ_ASSIGN_OR_RETURN(DmlApplyResult dml, applier.Apply(1, total_rows));
 
-  // Staging table is job-scoped scratch state.
+  // Staging table is job-scoped scratch state; the CDW's COPY-idempotence
+  // ledger for it goes with it.
   HQ_RETURN_NOT_OK(ctx_.cdw->catalog()->DropTable(staging_table_, /*if_exists=*/true));
+  ctx_.cdw->ForgetCopies(staging_table_);
 
   // Publish the result and application timing under the job lock: sessions
   // may poll JobDmlResult()/JobTimings() while the apply is still running.

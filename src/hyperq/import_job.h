@@ -10,6 +10,7 @@
 #include "cloudstore/object_store.h"
 #include "common/buffer_pool.h"
 #include "common/memory_tracker.h"
+#include "common/retry.h"
 #include "common/sequenced_queue.h"
 #include "common/stopwatch.h"
 #include "common/sync.h"
@@ -69,6 +70,10 @@ struct AcquisitionStats {
   uint64_t files_uploaded = 0;
   uint64_t bytes_uploaded = 0;
   uint64_t rows_copied = 0;
+  /// Chunks dropped after exhausting per-chunk staging retries (graceful
+  /// degradation: each lands in the ET table with code 9058 instead of
+  /// failing the job).
+  uint64_t chunks_abandoned = 0;
 };
 
 class ImportJob {
@@ -119,6 +124,10 @@ class ImportJob {
   void StartWriters();
   void WriterLoop(size_t writer_index) HQ_EXCLUDES(mu_, finalize_mu_);
   void NoteFatal(const common::Status& s) HQ_EXCLUDES(mu_);
+  /// The job's retry policy for one substrate hop: io_retry options from the
+  /// config, the named endpoint's circuit breaker, and (when tracing) an
+  /// on_backoff hook that records Phase::kRetryBackoff spans.
+  common::RetryPolicy MakeIoRetry(const char* breaker_endpoint) const;
   common::Status fatal_status() const HQ_EXCLUDES(mu_);
   /// Drops the jobs-active gauge exactly once (job end or destruction).
   void ReleaseActiveGauge();
@@ -144,6 +153,7 @@ class ImportJob {
     obs::Counter* files_uploaded = nullptr;
     obs::Counter* bytes_uploaded = nullptr;
     obs::Counter* rows_copied = nullptr;
+    obs::Counter* chunks_abandoned = nullptr;
     obs::Counter* jobs_started = nullptr;
     obs::Counter* jobs_completed = nullptr;
     obs::Counter* jobs_failed = nullptr;
@@ -171,6 +181,7 @@ class ImportJob {
   uint64_t bytes_received_ HQ_GUARDED_BY(mu_) = 0;
   std::vector<RecordError> data_errors_ HQ_GUARDED_BY(mu_);
   uint64_t rows_staged_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t chunks_abandoned_ HQ_GUARDED_BY(mu_) = 0;
   common::Status fatal_ HQ_GUARDED_BY(mu_);
   bool acquisition_finished_ HQ_GUARDED_BY(mu_) = false;
 

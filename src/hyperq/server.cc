@@ -1,6 +1,10 @@
 #include "hyperq/server.h"
 
+#include <cstdlib>
+
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "hyperq/coalescer.h"
 #include "obs/export.h"
 #include "legacy/row_format.h"
@@ -51,6 +55,14 @@ HyperQServer::HyperQServer(cdw::CdwServer* cdw, cloud::ObjectStore* store, Hyper
       credits_(options_.credit_pool_size),
       converter_pool_(options_.converter_workers),
       memory_(options_.memory_budget_bytes) {
+  // Arm the node's fault spec unless the HQ_FAULTS environment variable is
+  // set (the env spec takes precedence and was armed on first injector use).
+  if (!options_.fault_spec.empty() && std::getenv("HQ_FAULTS") == nullptr) {
+    Status armed = common::FaultInjector::Global().Arm(options_.fault_spec);
+    if (!armed.ok()) {
+      HQ_LOG_WARN() << "ignoring invalid fault_spec: " << armed.ToString();
+    }
+  }
   if (options_.buffer_pool_max_buffers != 0) {
     common::BufferPoolOptions pool_options;
     pool_options.max_buffers = options_.buffer_pool_max_buffers;
@@ -240,7 +252,14 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
         }
         cdw::ExecOptions exec;
         exec.enforce_unique_primary = options_.enforce_uniqueness;
-        auto result = cdw_->ExecuteSql(*cdw_sql, exec);
+        // Injected cdw.exec faults fire before the statement runs, so a
+        // retry never re-executes a committed DML.
+        common::RetryOptions retry_options = options_.io_retry;
+        retry_options.breaker = common::BreakerFor("cdw");
+        common::RetryPolicy retry(std::move(retry_options));
+        auto result = retry.RunResult<cdw::ExecResult>(
+            "cdw.exec",
+            [&](const common::RetryAttempt&) { return cdw_->ExecuteSql(*cdw_sql, exec); });
         if (!result.ok()) {
           reply_failure(result.status());
           break;
@@ -477,7 +496,47 @@ obs::MetricsSnapshot HyperQServer::MetricsSnapshot() const {
   for (int r = 0; r < common::kNumLockRanks; ++r) {
     m_.lock_contention[r]->Set(static_cast<int64_t>(locks.contention[r]));
   }
-  return metrics_->Snapshot();
+  // Pull-based resilience telemetry: src/common cannot depend on src/obs
+  // (see retry.h layering note), so the injector, retry stats and breaker
+  // registry accumulate process-wide counters that are polled into gauges
+  // here, the same way the lock-contention gauges work.
+  for (const auto& [point, count] : common::FaultInjector::Global().InjectedCounts()) {
+    if (count == 0) continue;
+    metrics_
+        ->GetGauge("hyperq_faults_injected_total{point=\"" + std::string(point) + "\"}")
+        ->Set(static_cast<int64_t>(count));
+  }
+  common::RetryStats::Snapshot retries = common::RetryStats::Global().Snap();
+  for (const auto& [point, count] : retries.retries) {
+    metrics_->GetGauge("hyperq_retry_attempts_total{point=\"" + point + "\"}")
+        ->Set(static_cast<int64_t>(count));
+  }
+  for (const auto& [point, count] : retries.exhausted) {
+    metrics_->GetGauge("hyperq_retry_exhausted_total{point=\"" + point + "\"}")
+        ->Set(static_cast<int64_t>(count));
+  }
+  for (const auto& [endpoint, state] : common::BreakerStates()) {
+    metrics_->GetGauge("hyperq_circuit_state{endpoint=\"" + endpoint + "\"}")
+        ->Set(static_cast<int64_t>(state));
+  }
+
+  obs::MetricsSnapshot snap = metrics_->Snapshot();
+  // Per-rank lock wait-time histograms live in the always-on LockOrderGraph
+  // (a registry histogram per rank would need obs to be linked below
+  // common); splice them into the snapshot under the standard bucket layout,
+  // which LockWaitBucketBounds() mirrors.
+  for (int r = 0; r < common::kNumLockRanks; ++r) {
+    if (locks.wait_count[r] == 0) continue;
+    obs::HistogramSnapshot h;
+    h.count = locks.wait_count[r];
+    h.sum = locks.wait_sum_seconds[r];
+    h.buckets.assign(locks.wait_buckets[r],
+                     locks.wait_buckets[r] + common::kNumLockWaitBuckets);
+    snap.histograms[std::string("hyperq_lock_wait_seconds{rank=\"") +
+                    common::LockRankName(static_cast<common::LockRank>(r)) + "\"}"] =
+        std::move(h);
+  }
+  return snap;
 }
 
 std::string HyperQServer::LockGraph(LockGraphFormat format) const {

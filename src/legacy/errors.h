@@ -27,6 +27,10 @@ enum LegacyErrorCode : uint32_t {
   kErrStringOverflow = 6706,
   /// NOT NULL column received a NULL value.
   kErrNullViolation = 3604,
+  /// Chunk abandoned after exhausting transient-failure retries; its rows
+  /// were skipped and the job degraded to partial success (resilience layer,
+  /// not a legacy Teradata code — 9xxx is outside the legacy range).
+  kErrChunkAbandoned = 9058,
 };
 
 }  // namespace hyperq::legacy

@@ -4,6 +4,7 @@
 #include <deque>
 #include <thread>
 
+#include "common/fault.h"
 #include "common/sync.h"
 
 namespace hyperq::net {
@@ -20,11 +21,21 @@ class Pipe {
  public:
   explicit Pipe(size_t capacity) : capacity_(capacity) {}
 
-  Status Write(Slice data) HQ_EXCLUDES(mu_) {
+  Status Write(Slice data, int64_t deadline_micros) HQ_EXCLUDES(mu_) {
+    const bool bounded = deadline_micros > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(deadline_micros);
     size_t offset = 0;
     while (offset < data.size()) {
       common::MutexLock lock(&mu_);
-      while (!closed_ && bytes_.size() >= capacity_) not_full_.Wait(lock);
+      while (!closed_ && bytes_.size() >= capacity_) {
+        if (!bounded) {
+          not_full_.Wait(lock);
+        } else if (not_full_.WaitUntil(lock, deadline)) {
+          return Status::IOError("write deadline (" + std::to_string(deadline_micros) +
+                                 "us) exceeded: peer not draining");
+        }
+      }
       if (closed_) return Status::IOError("write on closed channel");
       size_t can = std::min(capacity_ - bytes_.size(), data.size() - offset);
       bytes_.insert(bytes_.end(), data.data() + offset, data.data() + offset + can);
@@ -34,9 +45,19 @@ class Pipe {
     return Status::OK();
   }
 
-  Result<size_t> Read(uint8_t* buf, size_t max) HQ_EXCLUDES(mu_) {
+  Result<size_t> Read(uint8_t* buf, size_t max, int64_t deadline_micros) HQ_EXCLUDES(mu_) {
+    const bool bounded = deadline_micros > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(deadline_micros);
     common::MutexLock lock(&mu_);
-    while (!closed_ && bytes_.empty()) not_empty_.Wait(lock);
+    while (!closed_ && bytes_.empty()) {
+      if (!bounded) {
+        not_empty_.Wait(lock);
+      } else if (not_empty_.WaitUntil(lock, deadline)) {
+        return Status::IOError("read deadline (" + std::to_string(deadline_micros) +
+                               "us) exceeded: no data from peer");
+      }
+    }
     if (bytes_.empty()) return static_cast<size_t>(0);  // EOF
     size_t n = std::min(max, bytes_.size());
     for (size_t i = 0; i < n; ++i) {
@@ -77,11 +98,35 @@ class InMemoryEndpoint : public Transport {
   ~InMemoryEndpoint() override { Close(); }
 
   Status Write(Slice data) override {
+    // error: nothing sent. torn: a prefix reaches the peer, then the
+    // connection breaks (both directions close — the peer sees EOF, not a
+    // hang). drop: the connection breaks before anything is sent.
+    common::FaultDecision fault = common::FaultInjector::Global().Check("net.write");
+    if (fault.fired && fault.kind == common::FaultKind::kError) return fault.status;
+    if (fault.fired && fault.kind == common::FaultKind::kDrop) {
+      Close();
+      return fault.status;
+    }
+    if (fault.fired && fault.kind == common::FaultKind::kTorn) {
+      size_t cut = static_cast<size_t>(static_cast<double>(data.size()) * fault.torn_fraction);
+      ApplyShaping(cut);
+      Status sent = out_->Write(Slice(data.data(), cut), options_.write_deadline_micros);
+      Close();
+      return sent.ok() ? fault.status : sent;
+    }
     ApplyShaping(data.size());
-    return out_->Write(data);
+    return out_->Write(data, options_.write_deadline_micros);
   }
 
-  Result<size_t> Read(uint8_t* buf, size_t max) override { return in_->Read(buf, max); }
+  Result<size_t> Read(uint8_t* buf, size_t max) override {
+    common::FaultDecision fault = common::FaultInjector::Global().Check("net.read");
+    if (fault.fired && fault.kind == common::FaultKind::kDrop) {
+      Close();
+      return fault.status;
+    }
+    if (fault.fired && !fault.status.ok()) return fault.status;
+    return in_->Read(buf, max, options_.read_deadline_micros);
+  }
 
   void Close() override {
     in_->Close();

@@ -43,6 +43,12 @@ struct LinkOptions {
   uint64_t bandwidth_bytes_per_sec = 0;
   /// Per-direction receive buffer size (flow-control window) in bytes.
   size_t buffer_bytes = 1 << 20;
+  /// Blocking-read timeout in microseconds; 0 = wait forever. A deadline hit
+  /// fails the Read with IOError instead of hanging the session thread.
+  int64_t read_deadline_micros = 0;
+  /// Blocking-write (flow-control stall) timeout in microseconds; 0 = wait
+  /// forever.
+  int64_t write_deadline_micros = 0;
 };
 
 /// A connected pair of endpoints: `first` is the client side, `second` the

@@ -1,5 +1,8 @@
 #include "obs/dumper.h"
 
+#include <cstdlib>
+#include <fstream>
+
 #include "common/logging.h"
 #include "obs/export.h"
 
@@ -12,6 +15,20 @@ SnapshotDumper::SnapshotDumper(MetricsRegistry* registry, SnapshotDumperOptions 
       HQ_LOG_INFO() << "metrics dump: " << ToJson(snap);
     };
   }
+  if (options_.lock_graph_path.empty()) {
+    const char* env = std::getenv("HQ_LOCK_GRAPH_OUT");
+    if (env != nullptr) options_.lock_graph_path = env;
+  }
+}
+
+void SnapshotDumper::DumpLockGraph() const {
+  if (options_.lock_graph_path.empty()) return;
+  std::ofstream out(options_.lock_graph_path, std::ios::trunc);
+  if (!out) {
+    HQ_LOG_WARN() << "cannot write lock graph to " << options_.lock_graph_path;
+    return;
+  }
+  out << LockGraphToDot(common::LockOrderGraph::Global().Snapshot());
 }
 
 SnapshotDumper::~SnapshotDumper() { Stop(); }
@@ -42,6 +59,7 @@ void SnapshotDumper::Stop() {
   }
   if (options_.dump_on_stop) {
     options_.sink(registry_->Snapshot());
+    DumpLockGraph();
     common::MutexLock lock(&mu_);
     ++dumps_;
   }
@@ -65,6 +83,7 @@ void SnapshotDumper::Loop() {
     // Snapshot and sink outside the lock: the sink is arbitrary user code.
     MetricsSnapshot snap = registry_->Snapshot();
     options_.sink(snap);
+    DumpLockGraph();
     common::MutexLock lock(&mu_);
     ++dumps_;
   }

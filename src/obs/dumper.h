@@ -22,6 +22,11 @@ struct SnapshotDumperOptions {
   std::function<void(const MetricsSnapshot&)> sink;
   /// Emit one final snapshot from Stop() so short-lived processes still dump.
   bool dump_on_stop = true;
+  /// When non-empty, every dump also rewrites this file with the current
+  /// process-wide lock-order graph (common::LockOrderGraph) in DOT form —
+  /// a live deadlock-analysis artifact alongside the metrics heartbeat.
+  /// Defaults to the HQ_LOCK_GRAPH_OUT environment variable when unset.
+  std::string lock_graph_path;
 };
 
 class SnapshotDumper {
@@ -39,6 +44,8 @@ class SnapshotDumper {
 
  private:
   void Loop() HQ_EXCLUDES(mu_);
+  /// Best-effort overwrite of options_.lock_graph_path (no-op when empty).
+  void DumpLockGraph() const;
 
   MetricsRegistry* registry_;
   SnapshotDumperOptions options_;

@@ -59,6 +59,8 @@ const char* PhaseName(Phase phase) {
       return "query";
     case Phase::kExportChunk:
       return "export_chunk";
+    case Phase::kRetryBackoff:
+      return "retry_backoff";
     case Phase::kOther:
       return "other";
   }

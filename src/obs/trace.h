@@ -41,6 +41,7 @@ enum class Phase {
   kDmlApply,
   kQuery,
   kExportChunk,
+  kRetryBackoff,
   kOther,
 };
 

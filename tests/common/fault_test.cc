@@ -1,0 +1,215 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyperq::common {
+namespace {
+
+TEST(FaultSpecTest, ParsesSeedPointsAndParams) {
+  uint64_t seed = 0;
+  std::vector<std::pair<int, FaultRule>> rules;
+  Status s = ParseFaultSpec(
+      "seed=42; objstore.put=error,p=0.25; cdw.copy=drop,once=2; "
+      "net.read=latency,ms=3; bulkload.file=torn,frac=0.5,n=4",
+      &seed, &rules);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(seed, 42u);
+  ASSERT_EQ(rules.size(), 4u);
+
+  EXPECT_EQ(rules[0].first, FaultInjector::PointIndex("objstore.put"));
+  EXPECT_EQ(rules[0].second.kind, FaultKind::kError);
+  EXPECT_DOUBLE_EQ(rules[0].second.probability, 0.25);
+
+  EXPECT_EQ(rules[1].first, FaultInjector::PointIndex("cdw.copy"));
+  EXPECT_EQ(rules[1].second.kind, FaultKind::kDrop);
+  EXPECT_EQ(rules[1].second.once_at, 2u);
+
+  EXPECT_EQ(rules[2].first, FaultInjector::PointIndex("net.read"));
+  EXPECT_EQ(rules[2].second.kind, FaultKind::kLatency);
+  EXPECT_EQ(rules[2].second.latency_micros, 3000u);
+
+  EXPECT_EQ(rules[3].first, FaultInjector::PointIndex("bulkload.file"));
+  EXPECT_EQ(rules[3].second.kind, FaultKind::kTorn);
+  EXPECT_DOUBLE_EQ(rules[3].second.torn_fraction, 0.5);
+  EXPECT_EQ(rules[3].second.every_nth, 4u);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  uint64_t seed = 0;
+  std::vector<std::pair<int, FaultRule>> rules;
+  EXPECT_TRUE(ParseFaultSpec("objstore.delete=error", &seed, &rules).IsInvalid())
+      << "unknown point";
+  EXPECT_TRUE(ParseFaultSpec("objstore.put=explode", &seed, &rules).IsInvalid())
+      << "unknown kind";
+  EXPECT_TRUE(ParseFaultSpec("objstore.put", &seed, &rules).IsInvalid()) << "no '='";
+  EXPECT_TRUE(ParseFaultSpec("objstore.put=error,p=1.5", &seed, &rules).IsInvalid())
+      << "probability out of [0,1]";
+  EXPECT_TRUE(ParseFaultSpec("objstore.put=error,n=0", &seed, &rules).IsInvalid())
+      << "n= must be >= 1";
+  EXPECT_TRUE(ParseFaultSpec("objstore.put=error,bogus=1", &seed, &rules).IsInvalid())
+      << "unknown parameter";
+  EXPECT_TRUE(ParseFaultSpec("seed=abc", &seed, &rules).IsInvalid()) << "bad seed";
+}
+
+TEST(FaultSpecTest, EmptySpecIsValidAndEmpty) {
+  uint64_t seed = 99;
+  std::vector<std::pair<int, FaultRule>> rules;
+  ASSERT_TRUE(ParseFaultSpec("", &seed, &rules).ok());
+  EXPECT_EQ(seed, 0u);
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(FaultInjectorTest, DisarmedCheckNeverFires) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.Check("objstore.put").fired);
+    EXPECT_TRUE(injector.Inject("cdw.copy").ok());
+  }
+  EXPECT_EQ(injector.total_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, ArmedErrorRuleFiresEveryCall) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("objstore.put=error").ok());
+  EXPECT_TRUE(injector.armed());
+  for (int i = 0; i < 5; ++i) {
+    Status s = injector.Inject("objstore.put");
+    EXPECT_TRUE(s.IsIOError());
+    EXPECT_NE(s.message().find("injected transient error"), std::string::npos);
+  }
+  // Other points stay quiet; unknown points never fire.
+  EXPECT_TRUE(injector.Inject("objstore.get").ok());
+  EXPECT_FALSE(injector.Check("no.such.point").fired);
+  EXPECT_EQ(injector.injected_count("objstore.put"), 5u);
+  EXPECT_EQ(injector.injected_count("objstore.get"), 0u);
+  EXPECT_EQ(injector.total_injected(), 5u);
+}
+
+TEST(FaultInjectorTest, OnceTriggerFiresExactlyOnceOnTheNthCall) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("cdw.copy=drop,once=3").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) fired.push_back(injector.Check("cdw.copy").fired);
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false, false, false,
+                                      false, false}));
+  EXPECT_EQ(injector.injected_count("cdw.copy"), 1u);
+}
+
+TEST(FaultInjectorTest, EveryNthTriggerFiresOnMultiples) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("net.write=error,n=3").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(injector.Check("net.write").fired);
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, false, true, false, false, true, false, false, true}));
+}
+
+TEST(FaultInjectorTest, ProbabilityDecisionsAreDeterministicUnderSeed) {
+  const std::string spec = "seed=7;objstore.put=error,p=0.5";
+  FaultInjector a;
+  FaultInjector b;
+  ASSERT_TRUE(a.Arm(spec).ok());
+  ASSERT_TRUE(b.Arm(spec).ok());
+  std::vector<bool> seq_a;
+  std::vector<bool> seq_b;
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    bool fa = a.Check("objstore.put").fired;
+    seq_a.push_back(fa);
+    seq_b.push_back(b.Check("objstore.put").fired);
+    fired += fa ? 1 : 0;
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  // p=0.5 over 200 calls: both outcomes must occur (the hash is not stuck).
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 200);
+
+  FaultInjector c;
+  ASSERT_TRUE(c.Arm("seed=8;objstore.put=error,p=0.5").ok());
+  std::vector<bool> seq_c;
+  for (int i = 0; i < 200; ++i) seq_c.push_back(c.Check("objstore.put").fired);
+  EXPECT_NE(seq_a, seq_c) << "different seeds must give different decision sequences";
+}
+
+TEST(FaultInjectorTest, TornDecisionCarriesFractionAndInjectCollapsesIt) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("bulkload.file=torn,frac=0.25").ok());
+  FaultDecision d = injector.Check("bulkload.file");
+  EXPECT_TRUE(d.fired);
+  EXPECT_EQ(d.kind, FaultKind::kTorn);
+  EXPECT_DOUBLE_EQ(d.torn_fraction, 0.25);
+  EXPECT_TRUE(d.status.IsIOError());
+  // Inject() is for call sites that cannot model partial application: the
+  // torn write surfaces as a plain transient error.
+  EXPECT_TRUE(injector.Inject("bulkload.file").IsIOError());
+}
+
+TEST(FaultInjectorTest, LatencyRuleStallsThenSucceeds) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("net.read=latency,ms=5").ok());
+  auto start = std::chrono::steady_clock::now();
+  FaultDecision d = injector.Check("net.read");
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(d.fired);
+  EXPECT_EQ(d.kind, FaultKind::kLatency);
+  EXPECT_TRUE(d.status.ok());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 4);
+  EXPECT_EQ(injector.injected_count("net.read"), 1u);
+}
+
+TEST(FaultInjectorTest, FirstMatchingRuleWinsInSpecOrder) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("cdw.exec=latency,once=2,us=1;cdw.exec=error").ok());
+  // Call 1: the once= rule does not match, the catch-all error rule fires.
+  EXPECT_EQ(injector.Check("cdw.exec").kind, FaultKind::kError);
+  // Call 2: the once= rule matches first and shadows the error rule.
+  EXPECT_EQ(injector.Check("cdw.exec").kind, FaultKind::kLatency);
+  EXPECT_EQ(injector.Check("cdw.exec").kind, FaultKind::kError);
+}
+
+TEST(FaultInjectorTest, DisarmStopsFiringAndRearmReplacesRules) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("objstore.put=error").ok());
+  EXPECT_TRUE(injector.Inject("objstore.put").IsIOError());
+  injector.Disarm();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_TRUE(injector.Inject("objstore.put").ok());
+  // Counters survive a disarm (the chaos run reads them afterwards)...
+  EXPECT_EQ(injector.injected_count("objstore.put"), 1u);
+  ASSERT_TRUE(injector.Arm("objstore.get=error").ok());
+  EXPECT_TRUE(injector.Inject("objstore.put").ok()) << "old rule must be gone";
+  EXPECT_TRUE(injector.Inject("objstore.get").IsIOError());
+  // ...and ResetForTesting clears everything.
+  injector.ResetForTesting();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_EQ(injector.total_injected(), 0u);
+  for (const auto& [point, count] : injector.InjectedCounts()) EXPECT_EQ(count, 0u) << point;
+}
+
+TEST(FaultInjectorTest, ArmRejectsBadSpecAndKeepsCurrentRules) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("objstore.put=error").ok());
+  EXPECT_TRUE(injector.Arm("objstore.put=bogus").IsInvalid());
+  EXPECT_TRUE(injector.Inject("objstore.put").IsIOError()) << "old rules stay armed";
+}
+
+TEST(FaultInjectorTest, InjectedCountsListsEveryRegisteredPoint) {
+  FaultInjector injector;
+  auto counts = injector.InjectedCounts();
+  ASSERT_EQ(counts.size(), static_cast<size_t>(FaultInjector::kNumPoints));
+  for (int i = 0; i < FaultInjector::kNumPoints; ++i) {
+    EXPECT_EQ(counts[i].first, FaultInjector::Points()[i]);
+    EXPECT_EQ(FaultInjector::PointIndex(counts[i].first), i);
+  }
+  EXPECT_EQ(FaultInjector::PointIndex("nope"), -1);
+}
+
+}  // namespace
+}  // namespace hyperq::common

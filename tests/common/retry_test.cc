@@ -1,0 +1,309 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyperq::common {
+namespace {
+
+RetryOptions FastOptions() {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_micros = 200;
+  options.max_backoff_micros = 50 * 1000;
+  options.jitter_seed = 42;
+  options.sleep = false;  // compute the backoff, skip the wall-clock stall
+  return options;
+}
+
+TEST(RetryableStatusTest, OnlyIOErrorIsRetryable) {
+  EXPECT_TRUE(IsRetryableStatus(Status::IOError("flaky")));
+  // Everything deterministic or contract-bound must propagate unchanged; the
+  // memory-budget e2e tests rely on kResourceExhausted failing the job.
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+  EXPECT_FALSE(IsRetryableStatus(Status::ResourceExhausted("budget")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Invalid("bad arg")));
+  EXPECT_FALSE(IsRetryableStatus(Status::ParseError("bad csv")));
+  EXPECT_FALSE(IsRetryableStatus(Status::ConstraintViolation("null")));
+  EXPECT_FALSE(IsRetryableStatus(Status::NotFound("missing")));
+}
+
+TEST(RetryPolicyTest, BackoffStaysWithinBounds) {
+  RetryPolicy policy(FastOptions());
+  uint64_t prev = 0;
+  for (int attempt = 1; attempt <= 20; ++attempt) {
+    const uint64_t sleep = policy.BackoffMicros("objstore.put", attempt, prev);
+    EXPECT_GE(sleep, 1u) << "attempt " << attempt;
+    EXPECT_LE(sleep, policy.options().max_backoff_micros) << "attempt " << attempt;
+    prev = sleep;
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicUnderSeed) {
+  RetryPolicy a(FastOptions());
+  RetryPolicy b(FastOptions());
+  uint64_t prev_a = 0;
+  uint64_t prev_b = 0;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    prev_a = a.BackoffMicros("cdw.copy", attempt, prev_a);
+    prev_b = b.BackoffMicros("cdw.copy", attempt, prev_b);
+    EXPECT_EQ(prev_a, prev_b) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicyTest, DistinctPointsGetDistinctJitterStreams) {
+  RetryPolicy policy(FastOptions());
+  std::vector<uint64_t> put_stream;
+  std::vector<uint64_t> copy_stream;
+  uint64_t prev_put = 0;
+  uint64_t prev_copy = 0;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    put_stream.push_back(prev_put = policy.BackoffMicros("objstore.put", attempt, prev_put));
+    copy_stream.push_back(prev_copy = policy.BackoffMicros("cdw.copy", attempt, prev_copy));
+  }
+  EXPECT_NE(put_stream, copy_stream);
+}
+
+TEST(RetryPolicyTest, FirstTrySuccessRecordsNoRetries) {
+  RetryStats::Global().ResetForTesting();
+  RetryPolicy policy(FastOptions());
+  int calls = 0;
+  Status s = policy.Run("objstore.put", [&](const RetryAttempt& attempt) {
+    ++calls;
+    EXPECT_EQ(attempt.attempt, 1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  // The chaos differential depends on this: with injection off, a healthy
+  // run shows exactly zero retries.
+  EXPECT_EQ(RetryStats::Global().total_retries(), 0u);
+}
+
+TEST(RetryPolicyTest, RetryableFailuresAreRetriedUntilSuccess) {
+  RetryStats::Global().ResetForTesting();
+  RetryPolicy policy(FastOptions());
+  int calls = 0;
+  Status s = policy.Run("objstore.put", [&](const RetryAttempt&) {
+    return ++calls < 3 ? Status::IOError("transient") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  RetryStats::Snapshot snap = RetryStats::Global().Snap();
+  EXPECT_EQ(snap.retries["objstore.put"], 2u);
+  EXPECT_EQ(snap.exhausted.count("objstore.put"), 0u);
+  RetryStats::Global().ResetForTesting();
+}
+
+TEST(RetryPolicyTest, NonRetryableFailureReturnsImmediately) {
+  RetryPolicy policy(FastOptions());
+  int calls = 0;
+  Status s = policy.Run("cdw.exec", [&](const RetryAttempt&) {
+    ++calls;
+    return Status::ConstraintViolation("duplicate key");
+  });
+  EXPECT_TRUE(s.IsConstraintViolation());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, ExhaustionSurfacesLastErrorAndRecordsIt) {
+  RetryStats::Global().ResetForTesting();
+  RetryPolicy policy(FastOptions());
+  int calls = 0;
+  Status s = policy.Run("objstore.put", [&](const RetryAttempt& attempt) {
+    ++calls;
+    EXPECT_EQ(attempt.attempt, calls);
+    EXPECT_EQ(attempt.max_attempts, 4);
+    return Status::IOError("attempt " + std::to_string(attempt.attempt));
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_NE(s.message().find("attempt 4"), std::string::npos);
+  EXPECT_EQ(calls, 4);
+  RetryStats::Snapshot snap = RetryStats::Global().Snap();
+  EXPECT_EQ(snap.retries["objstore.put"], 3u);
+  EXPECT_EQ(snap.exhausted["objstore.put"], 1u);
+  RetryStats::Global().ResetForTesting();
+}
+
+TEST(RetryPolicyTest, MaxAttemptsOneDisablesRetrying) {
+  RetryOptions options = FastOptions();
+  options.max_attempts = 1;
+  RetryPolicy policy(options);
+  int calls = 0;
+  Status s = policy.Run("net.write", [&](const RetryAttempt& attempt) {
+    ++calls;
+    EXPECT_TRUE(attempt.last());
+    return Status::IOError("down");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, OverallDeadlineStopsRetrying) {
+  RetryOptions options = FastOptions();
+  options.max_attempts = 1000;
+  options.overall_deadline_micros = 1;  // expires before the first backoff
+  options.sleep = true;
+  RetryPolicy policy(options);
+  int calls = 0;
+  Status s = policy.Run("objstore.get", [&](const RetryAttempt&) {
+    ++calls;
+    // Burn past the deadline so the pre-retry check trips on every build.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return Status::IOError("slow");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, OnBackoffHookSeesEachFailedAttempt) {
+  RetryOptions options = FastOptions();
+  std::vector<std::pair<std::string, int>> hooks;
+  options.on_backoff = [&](std::string_view point, int attempt, uint64_t sleep_micros) {
+    EXPECT_GE(sleep_micros, 1u);
+    hooks.emplace_back(std::string(point), attempt);
+  };
+  RetryPolicy policy(options);
+  (void)policy.Run("bulkload.file", [&](const RetryAttempt&) { return Status::IOError("x"); });
+  // 4 attempts -> 3 backoffs (no sleep after the final failure).
+  ASSERT_EQ(hooks.size(), 3u);
+  EXPECT_EQ(hooks[0], (std::pair<std::string, int>{"bulkload.file", 1}));
+  EXPECT_EQ(hooks[2], (std::pair<std::string, int>{"bulkload.file", 3}));
+  RetryStats::Global().ResetForTesting();
+}
+
+TEST(RetryPolicyTest, RunResultReturnsValueAfterTransientFailures) {
+  RetryPolicy policy(FastOptions());
+  int calls = 0;
+  Result<int> r = policy.RunResult<int>("cdw.copy", [&](const RetryAttempt&) -> Result<int> {
+    if (++calls < 2) return Status::IOError("transient");
+    return 7;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(calls, 2);
+  RetryStats::Global().ResetForTesting();
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveTransientFailures) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.cooldown_micros = 60 * 1000 * 1000;  // stays open for the whole test
+  CircuitBreaker breaker("unit", options);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.Allow().ok());
+    breaker.RecordFailure(Status::IOError("flaky"));
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  Status blocked = breaker.Allow();
+  EXPECT_TRUE(blocked.IsIOError());  // retryable, so outer backoff spans the cooldown
+}
+
+TEST(CircuitBreakerTest, DeterministicFailuresDoNotTrip) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  CircuitBreaker breaker("unit", options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(breaker.Allow().ok());
+    breaker.RecordFailure(Status::ConstraintViolation("bad row"));
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker("unit", options);
+  for (int round = 0; round < 4; ++round) {
+    breaker.RecordFailure(Status::IOError("flaky"));
+    breaker.RecordFailure(Status::IOError("flaky"));
+    breaker.RecordSuccess();  // streak broken before the threshold
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbesCloseOrReopen) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  options.half_open_successes = 2;
+  options.cooldown_micros = 1000;
+  CircuitBreaker breaker("unit", options);
+
+  breaker.RecordFailure(Status::IOError("flaky"));
+  breaker.RecordFailure(Status::IOError("flaky"));
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(breaker.Allow().ok());  // cooldown elapsed: probe admitted
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordFailure(Status::IOError("still down"));  // probe fails: re-open
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(breaker.Allow().ok());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow().ok());
+  breaker.RecordSuccess();  // second consecutive probe success closes it
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, PolicyFailsFastThroughAnOpenBreaker) {
+  CircuitBreakerOptions breaker_options;
+  breaker_options.failure_threshold = 1;
+  breaker_options.cooldown_micros = 60 * 1000 * 1000;
+  CircuitBreaker breaker("unit", breaker_options);
+  breaker.RecordFailure(Status::IOError("flaky"));
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  RetryOptions options = FastOptions();
+  options.max_attempts = 2;
+  options.breaker = &breaker;
+  RetryPolicy policy(options);
+  int calls = 0;
+  Status s = policy.Run("objstore.put", [&](const RetryAttempt&) {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 0);  // the open circuit short-circuits every attempt
+  RetryStats::Global().ResetForTesting();
+}
+
+TEST(BreakerRegistryTest, BreakerForIsStableAndVisibleInStates) {
+  CircuitBreaker* a = BreakerFor("retry_test_endpoint");
+  CircuitBreaker* b = BreakerFor("retry_test_endpoint");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->endpoint(), "retry_test_endpoint");
+  bool found = false;
+  for (const auto& [endpoint, state] : BreakerStates()) {
+    if (endpoint != "retry_test_endpoint") continue;
+    found = true;
+    EXPECT_EQ(state, CircuitBreaker::State::kClosed);
+  }
+  EXPECT_TRUE(found);
+  ResetBreakersForTesting();
+}
+
+TEST(RetryStatsTest, SnapshotAndResetRoundTrip) {
+  RetryStats::Global().ResetForTesting();
+  RetryStats::Global().RecordRetry("p1");
+  RetryStats::Global().RecordRetry("p1");
+  RetryStats::Global().RecordExhausted("p2");
+  RetryStats::Snapshot snap = RetryStats::Global().Snap();
+  EXPECT_EQ(snap.retries["p1"], 2u);
+  EXPECT_EQ(snap.exhausted["p2"], 1u);
+  EXPECT_EQ(RetryStats::Global().total_retries(), 2u);
+  RetryStats::Global().ResetForTesting();
+  EXPECT_EQ(RetryStats::Global().total_retries(), 0u);
+  EXPECT_TRUE(RetryStats::Global().Snap().retries.empty());
+}
+
+}  // namespace
+}  // namespace hyperq::common

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 #include <atomic>
 #include <chrono>
 #include <string>
@@ -291,6 +293,65 @@ TEST(LockOrderGraphTest, ContentionIsCounted) {
   holder.join();
   LockOrderSnapshot snap = LockOrderGraph::Global().Snapshot();
   EXPECT_GE(snap.contention[static_cast<int>(LockRank::kJob)], 1u);
+  LockOrderGraph::Global().ResetForTesting();
+}
+
+TEST(LockWaitHistogramTest, BucketBoundsMirrorObsHistogramLayout) {
+  // The server exports per-rank wait histograms by splicing these arrays
+  // into an obs::HistogramSnapshot; the layouts must agree exactly or the
+  // exported quantiles silently lie (see sync.h kNumLockWaitBuckets).
+  const std::vector<double>& obs_bounds = obs::Histogram::BucketBounds();
+  ASSERT_EQ(static_cast<size_t>(kNumLockWaitBuckets), obs_bounds.size() + 1);
+  const double* bounds = LockWaitBucketBounds();
+  for (size_t i = 0; i < obs_bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i], obs_bounds[i]) << "bucket " << i;
+    if (i > 0) {
+      EXPECT_GT(bounds[i], bounds[i - 1]) << "bounds must ascend";
+    }
+  }
+}
+
+TEST(LockWaitHistogramTest, RecordWaitFillsTheRightBucket) {
+  LockOrderGraph::Global().ResetForTesting();
+  const double* bounds = LockWaitBucketBounds();
+  const int rank = static_cast<int>(LockRank::kPool);
+  // One wait inside the first bucket, one just past the last finite bound
+  // (lands in the implicit +Inf bucket).
+  const uint64_t small_nanos = static_cast<uint64_t>(bounds[0] * 1e9 / 2);
+  const uint64_t huge_nanos =
+      static_cast<uint64_t>(bounds[kNumLockWaitBuckets - 2] * 1e9 * 2);
+  LockOrderGraph::Global().RecordWait(LockRank::kPool, small_nanos);
+  LockOrderGraph::Global().RecordWait(LockRank::kPool, huge_nanos);
+  LockOrderSnapshot snap = LockOrderGraph::Global().Snapshot();
+  EXPECT_EQ(snap.wait_count[rank], 2u);
+  EXPECT_NEAR(snap.wait_sum_seconds[rank], (small_nanos + huge_nanos) / 1e9, 1e-6);
+  EXPECT_EQ(snap.wait_buckets[rank][0], 1u);
+  EXPECT_EQ(snap.wait_buckets[rank][kNumLockWaitBuckets - 1], 1u);
+  uint64_t total = 0;
+  for (int b = 0; b < kNumLockWaitBuckets; ++b) total += snap.wait_buckets[rank][b];
+  EXPECT_EQ(total, 2u);
+  LockOrderGraph::Global().ResetForTesting();
+}
+
+TEST(LockWaitHistogramTest, ContendedAcquisitionRecordsAWait) {
+  LockOrderGraph::Global().ResetForTesting();
+  Mutex mu{LockRank::kJob, "waited"};
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    MutexLock lock(&mu);
+    held.store(true);
+    // hqlint:allow(blocking-under-lock) -- the test needs a held, contended mutex
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  while (!held.load()) std::this_thread::yield();
+  {
+    MutexLock lock(&mu);  // blocks ~20ms behind the holder
+  }
+  holder.join();
+  LockOrderSnapshot snap = LockOrderGraph::Global().Snapshot();
+  const int rank = static_cast<int>(LockRank::kJob);
+  EXPECT_GE(snap.wait_count[rank], 1u);
+  EXPECT_GT(snap.wait_sum_seconds[rank], 0.0);
   LockOrderGraph::Global().ResetForTesting();
 }
 

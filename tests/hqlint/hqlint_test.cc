@@ -120,6 +120,18 @@ TEST(HqlintGoldenTest, NestedLockWithoutOrder) {
             }));
 }
 
+TEST(HqlintGoldenTest, UnboundedRetry) {
+  EXPECT_EQ(LintOne("unbounded_retry.cc"),
+            (std::vector<std::string>{
+                "unbounded_retry.cc:5: [unbounded-retry] hand-rolled retry loop (sleep + I/O "
+                "call) with no attempt bound; use common::RetryPolicy (common/retry.h) for "
+                "bounded backoff with jitter and stats",
+                "unbounded_retry.cc:12: [unbounded-retry] hand-rolled retry loop (sleep + I/O "
+                "call) with no attempt bound; use common::RetryPolicy (common/retry.h) for "
+                "bounded backoff with jitter and stats",
+            }));
+}
+
 TEST(HqlintGoldenTest, CleanFileHasNoDiagnostics) {
   EXPECT_EQ(LintOne("clean.cc"), std::vector<std::string>{});
 }

@@ -4,12 +4,14 @@
 
 #include <thread>
 
+#include "common/fault.h"
 #include "net/listener.h"
 
 namespace hyperq::net {
 namespace {
 
 using common::Slice;
+using common::Status;
 
 TEST(TransportTest, WriteReadRoundTrip) {
   auto pair = MakeInMemoryChannel();
@@ -90,6 +92,78 @@ TEST(TransportTest, LargeTransfer) {
   }
   writer.join();
   EXPECT_EQ(total, big.size());
+}
+
+TEST(TransportTest, ReadDeadlineFailsInsteadOfHanging) {
+  LinkOptions options;
+  options.read_deadline_micros = 20 * 1000;
+  auto pair = MakeInMemoryChannel(options);
+  uint8_t buf[8];
+  auto n = pair.server->Read(buf, sizeof(buf));  // nobody ever writes
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsIOError());
+  EXPECT_NE(n.status().message().find("read deadline"), std::string::npos);
+}
+
+TEST(TransportTest, WriteDeadlineFailsWhenFlowControlNeverDrains) {
+  LinkOptions options;
+  options.buffer_bytes = 8;
+  options.write_deadline_micros = 20 * 1000;
+  auto pair = MakeInMemoryChannel(options);
+  std::string big(64, 'x');
+  Status s = pair.client->Write(Slice(std::string_view(big)));  // nobody reads
+  ASSERT_TRUE(s.IsIOError());
+  EXPECT_NE(s.message().find("write deadline"), std::string::npos);
+}
+
+/// Restores the process-global injector on scope exit so a failing
+/// assertion cannot leak armed faults into later tests.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const std::string& spec) {
+    common::FaultInjector::Global().ResetForTesting();
+    EXPECT_TRUE(common::FaultInjector::Global().Arm(spec).ok()) << spec;
+  }
+  ~ScopedFaults() { common::FaultInjector::Global().ResetForTesting(); }
+};
+
+TEST(TransportFaultTest, InjectedWriteErrorLeavesChannelUsable) {
+  ScopedFaults faults("net.write=error,once=1");
+  auto pair = MakeInMemoryChannel();
+  Status first = pair.client->Write(Slice(std::string_view("hello")));
+  EXPECT_TRUE(first.IsIOError());
+  EXPECT_NE(first.message().find("injected"), std::string::npos);
+  // error = nothing sent, connection intact: the retry goes through.
+  ASSERT_TRUE(pair.client->Write(Slice(std::string_view("hello"))).ok());
+  uint8_t buf[8];
+  EXPECT_EQ(pair.server->Read(buf, sizeof(buf)).ValueOrDie(), 5u);
+}
+
+TEST(TransportFaultTest, InjectedDropClosesBothDirections) {
+  ScopedFaults faults("net.read=drop,once=1");
+  auto pair = MakeInMemoryChannel();
+  ASSERT_TRUE(pair.client->Write(Slice(std::string_view("hi"))).ok());
+  uint8_t buf[8];
+  auto n = pair.server->Read(buf, sizeof(buf));
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsIOError());
+  // The drop severed the connection: the peer observes EOF, never a hang.
+  EXPECT_TRUE(pair.server->closed());
+  EXPECT_EQ(pair.client->Read(buf, sizeof(buf)).ValueOrDie(), 0u);
+}
+
+TEST(TransportFaultTest, TornWriteDeliversPrefixThenBreaks) {
+  ScopedFaults faults("net.write=torn,frac=0.5,once=1");
+  auto pair = MakeInMemoryChannel();
+  std::string payload = "12345678";
+  Status s = pair.client->Write(Slice(std::string_view(payload)));
+  ASSERT_TRUE(s.IsIOError());
+  EXPECT_NE(s.message().find("torn"), std::string::npos);
+  // Half the payload made it out before the connection broke; the peer
+  // drains it and then sees EOF.
+  uint8_t buf[16];
+  EXPECT_EQ(pair.server->Read(buf, sizeof(buf)).ValueOrDie(), 4u);
+  EXPECT_EQ(pair.server->Read(buf, sizeof(buf)).ValueOrDie(), 0u);
 }
 
 TEST(ListenerTest, DialAccept) {

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -143,6 +146,53 @@ TEST(SnapshotDumperTest, PeriodicallyDumpsAndStopsCleanly) {
   auto parsed = FromJson(ToJson(dumps.back()));
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->counters.at("ticks_total"), 1u);
+}
+
+TEST(SnapshotDumperTest, WritesLockGraphDotFileOnEveryDump) {
+  common::LockOrderGraph::Global().ResetForTesting();
+  // Seed one real edge so the dumped DOT has content beyond the header.
+  common::Mutex outer{common::LockRank::kServer, "dump_outer"};
+  common::Mutex inner{common::LockRank::kJob, "dump_inner"};
+  {
+    common::MutexLock lock_outer(&outer);
+    // lock-order: kServer > kJob
+    common::MutexLock lock_inner(&inner);
+  }
+
+  const std::string path = ::testing::TempDir() + "hq_dumper_lock_graph.dot";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  SnapshotDumperOptions options;
+  options.interval = std::chrono::hours(1);  // only the stop-dump fires
+  options.dump_on_stop = true;
+  options.sink = [](const MetricsSnapshot&) {};
+  options.lock_graph_path = path;
+  SnapshotDumper dumper(&reg, options);
+  dumper.Start();
+  dumper.Stop();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "lock graph not written to " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string dot = buf.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("kServer"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("kJob"), std::string::npos) << dot;
+  std::remove(path.c_str());
+  common::LockOrderGraph::Global().ResetForTesting();
+}
+
+TEST(SnapshotDumperTest, NoLockGraphPathMeansNoFile) {
+  MetricsRegistry reg;
+  SnapshotDumperOptions options;
+  options.interval = std::chrono::hours(1);
+  options.dump_on_stop = true;
+  options.sink = [](const MetricsSnapshot&) {};
+  SnapshotDumper dumper(&reg, options);
+  dumper.Start();
+  dumper.Stop();  // must not crash or write anywhere with no path configured
+  EXPECT_GE(dumper.dumps(), 1u);
 }
 
 }  // namespace

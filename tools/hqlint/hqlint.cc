@@ -650,6 +650,75 @@ void CheckPerRowAlloc(const std::string& path, const Stripped& s, bool hotpath,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: unbounded-retry
+// ---------------------------------------------------------------------------
+
+const char* const kRetrySleeps[] = {"sleep_for", "sleep_until", "usleep", "nanosleep"};
+/// I/O-shaped member calls a retry loop would wrap (mirrors the load-path
+/// hops RetryPolicy covers: store puts/gets, CDW statements, staged writes).
+const char* const kRetryIoMembers[] = {"Put",        "PutBatch", "Get",    "Execute",
+                                       "ExecuteSql", "CopyInto", "Append", "Write",
+                                       "Read"};
+
+/// A `for`/`while` loop whose body both sleeps and performs an I/O-shaped
+/// member call is a hand-rolled retry loop: without RetryPolicy it has no
+/// attempt bound, no jitter, no breaker and no stats. Flag the loop header;
+/// loops that mention RetryPolicy/BackoffMicros anywhere in the body are
+/// the sanctioned implementation pattern and pass.
+void CheckUnboundedRetry(const std::string& path, const Stripped& s,
+                         std::vector<Diagnostic>* diags) {
+  // retry.{h,cc} implement the backoff loop itself.
+  if (EndsWith(path, "common/retry.h") || EndsWith(path, "common/retry.cc")) return;
+  for (size_t i = 0; i < s.lines.size(); ++i) {
+    const std::string& header = s.lines[i];
+    bool loop = (ContainsToken(header, "for") || ContainsToken(header, "while")) &&
+                header.find('(') != std::string::npos;
+    if (!loop) continue;
+    // Find the body's opening brace (header may wrap a few lines).
+    size_t open_line = i;
+    size_t open_col = std::string::npos;
+    while (open_line < s.lines.size() && open_line - i < 4) {
+      open_col = s.lines[open_line].find('{');
+      if (open_col != std::string::npos) break;
+      ++open_line;
+    }
+    if (open_col == std::string::npos) continue;  // single-statement loop
+    bool sleeps = false;
+    bool io = false;
+    bool uses_policy = false;
+    int depth = 0;
+    bool done = false;
+    for (size_t k = open_line; k < s.lines.size() && !done; ++k) {
+      const std::string& body = s.lines[k];
+      for (size_t c = (k == open_line ? open_col : 0); c < body.size(); ++c) {
+        if (body[c] == '{') ++depth;
+        if (body[c] == '}' && --depth == 0) {
+          done = true;
+          break;
+        }
+      }
+      for (const char* name : kRetrySleeps) {
+        if (ContainsToken(body, name)) sleeps = true;
+      }
+      for (const char* name : kRetryIoMembers) {
+        if (MemberCallLike(body, name)) io = true;
+      }
+      if (body.find("RetryPolicy") != std::string::npos ||
+          body.find("RetryAttempt") != std::string::npos ||
+          body.find("BackoffMicros") != std::string::npos) {
+        uses_policy = true;
+      }
+    }
+    if (sleeps && io && !uses_policy && !Allowed(s, i, "unbounded-retry")) {
+      diags->push_back({path, static_cast<int>(i) + 1, "unbounded-retry",
+                        "hand-rolled retry loop (sleep + I/O call) with no attempt bound; use "
+                        "common::RetryPolicy (common/retry.h) for bounded backoff with jitter "
+                        "and stats"});
+    }
+  }
+}
+
 }  // namespace
 
 std::string Format(const Diagnostic& d) {
@@ -684,6 +753,7 @@ std::vector<Diagnostic> Linter::Run() const {
     CheckBlockingUnderLock(f.path, s, &diags);
     CheckUnrankedMutex(f.path, s, &diags);
     CheckNestedLockOrder(f.path, s, &diags);
+    CheckUnboundedRetry(f.path, s, &diags);
     // The hotpath marker lives in a comment, so look at the raw content.
     // The linter's own sources necessarily spell the marker (to search for
     // it) without being hotpath code, so they are exempt — the same

@@ -25,6 +25,10 @@
 ///                       naming hierarchy-ordered ranks (MutexLock2 exempt)
 ///   per-row-alloc       std::to_string / std::string temporaries in files
 ///                       marked `// hqlint:hotpath` (per-row heap traffic)
+///   unbounded-retry     for/while loop that both sleeps and issues an
+///                       I/O-shaped member call (Put/Execute/CopyInto/...)
+///                       without common::RetryPolicy — a hand-rolled retry
+///                       loop with no attempt bound (common/retry.* exempt)
 ///
 /// Any rule is suppressed for a line by `// hqlint:allow(<rule>)` on the same
 /// line or the line directly above it.
