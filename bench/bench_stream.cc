@@ -1,0 +1,226 @@
+/// Streaming micro-batch latency (the "real-time" claim).
+///
+/// Stands up the full in-process stack (object store + CDW + Hyper-Q node),
+/// opens one streaming session, and drives B micro-batches of R rows each
+/// through the commit pipeline: seal staging files -> upload -> COPY ->
+/// per-batch DML apply. The measured quantity is the client-observed
+/// CommitBatch round trip — the time a micro-batch's rows take to become
+/// visible in the target table once the client cuts the watermark — reported
+/// as p50/p99 across batches, the way streaming ETL SLOs are quoted.
+///
+///   bench_stream [--batches=N] [--rows=N] [--chunk-rows=N] [--json=PATH]
+///                [--smoke]
+///
+/// --json writes a machine-readable BENCH_stream.json. --smoke shrinks the
+/// workload and gates on correctness only (every batch committed, every row
+/// applied): commit latency in debug/sanitizer CI builds is not meaningful.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdw/cdw_server.h"
+#include "cloudstore/object_store.h"
+#include "common/stopwatch.h"
+#include "hyperq/server.h"
+#include "stream/stream_client.h"
+#include "workload/report.h"
+
+using namespace hyperq;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_stream [--batches=N] [--rows=N] [--chunk-rows=N] "
+               "[--json=PATH] [--smoke]\n");
+  return 2;
+}
+
+types::Schema StreamLayout() {
+  types::Schema layout;
+  layout.AddField(types::Field("CUST_ID", types::TypeDesc::Varchar(10)));
+  layout.AddField(types::Field("CUST_NAME", types::TypeDesc::Varchar(50)));
+  layout.AddField(types::Field("JOIN_DATE", types::TypeDesc::Varchar(10)));
+  return layout;
+}
+
+double PercentileMs(std::vector<double> seconds, double q) {
+  if (seconds.empty()) return 0;
+  std::sort(seconds.begin(), seconds.end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(seconds.size() - 1) + 0.5);
+  return seconds[std::min(idx, seconds.size() - 1)] * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int batches = 50;
+  int rows_per_batch = 2000;
+  size_t chunk_rows = 500;
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--batches=", 0) == 0) {
+      batches = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+      if (batches <= 0) return Usage();
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      rows_per_batch = static_cast<int>(std::strtol(arg.c_str() + 7, nullptr, 10));
+      if (rows_per_batch <= 0) return Usage();
+    } else if (arg.rfind("--chunk-rows=", 0) == 0) {
+      chunk_rows = std::strtoul(arg.c_str() + 13, nullptr, 10);
+      if (chunk_rows == 0) return Usage();
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (smoke) {
+    batches = 5;
+    rows_per_batch = 200;
+    chunk_rows = 100;
+  }
+
+  const std::string work_dir = "/tmp/hq_bench_stream";
+  std::filesystem::remove_all(work_dir);
+  std::filesystem::create_directories(work_dir);
+
+  cloud::ObjectStore store;
+  cdw::CdwServer cdw(&store);
+  types::Schema target;
+  target.AddField(types::Field("CUST_ID", types::TypeDesc::Varchar(10), false));
+  target.AddField(types::Field("CUST_NAME", types::TypeDesc::Varchar(50)));
+  target.AddField(types::Field("JOIN_DATE", types::TypeDesc::Date()));
+  if (!cdw.catalog()->CreateTable("PROD.CUSTOMER", target, {"CUST_ID"}, true).ok()) {
+    std::abort();
+  }
+
+  core::HyperQOptions options;
+  options.local_staging_dir = work_dir + "/staging";
+  core::HyperQServer node(&cdw, &store, options);
+  node.Start();
+
+  stream::StreamClientOptions client_options;
+  client_options.connector =
+      [&node](const std::string&) -> common::Result<std::shared_ptr<net::Transport>> {
+    auto t = node.Connect();
+    if (!t) return common::Status::IOError("node down");
+    return t;
+  };
+  stream::StreamClient client(std::move(client_options));
+
+  legacy::BeginStreamBody begin;
+  begin.job_id = "bench_stream";
+  begin.target_table = "PROD.CUSTOMER";
+  begin.format = legacy::DataFormat::kVartext;
+  begin.delimiter = '|';
+  begin.layout = StreamLayout();
+  begin.dml_label = "Ins";
+  begin.dml_sql =
+      "insert into PROD.CUSTOMER values ("
+      "trim(:CUST_ID), trim(:CUST_NAME), "
+      "cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'));";
+  if (!client.Begin(begin).ok()) std::abort();
+
+  std::vector<double> commit_s;
+  commit_s.reserve(static_cast<size_t>(batches));
+  double send_seconds = 0;
+  uint64_t id = 0;
+  for (int batch = 1; batch <= batches; ++batch) {
+    common::Stopwatch send_timer;
+    std::vector<std::string> lines;
+    lines.reserve(chunk_rows);
+    for (int row = 0; row < rows_per_batch; ++row) {
+      ++id;
+      lines.push_back(std::to_string(id) + "|Name" + std::to_string(id) + "|2012-01-01");
+      if (lines.size() == chunk_rows) {
+        if (!client.SendLines(lines).ok()) std::abort();
+        lines.clear();
+      }
+    }
+    if (!lines.empty() && !client.SendLines(lines).ok()) std::abort();
+    send_seconds += send_timer.ElapsedSeconds();
+
+    common::Stopwatch commit_timer;
+    auto committed = client.Commit(static_cast<uint64_t>(batch) * 1000000);
+    if (!committed.ok()) {
+      std::fprintf(stderr, "commit %d failed: %s\n", batch,
+                   committed.status().ToString().c_str());
+      return 1;
+    }
+    commit_s.push_back(commit_timer.ElapsedSeconds());
+  }
+  auto report = client.End();
+  if (!report.ok() || !client.Logoff().ok()) std::abort();
+  node.Stop();
+
+  const uint64_t rows_total = static_cast<uint64_t>(batches) *
+                              static_cast<uint64_t>(rows_per_batch);
+  const double p50_ms = PercentileMs(commit_s, 0.50);
+  const double p99_ms = PercentileMs(commit_s, 0.99);
+  double commit_seconds = 0;
+  for (double s : commit_s) commit_seconds += s;
+  const double rows_per_s =
+      commit_seconds + send_seconds > 0
+          ? static_cast<double>(rows_total) / (commit_seconds + send_seconds)
+          : 0;
+
+  std::printf("=== Streaming micro-batch commit latency ===\n");
+  workload::ReportTable table({"metric", "value"});
+  char buf[64];
+  auto row = [&](const char* name, double v, const char* fmt) {
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    table.AddRow({name, buf});
+  };
+  row("batches", batches, "%.0f");
+  row("rows per batch", rows_per_batch, "%.0f");
+  row("commit p50 ms", p50_ms, "%.2f");
+  row("commit p99 ms", p99_ms, "%.2f");
+  row("end-to-end rows/s", rows_per_s, "%.0f");
+  table.Print();
+
+  const bool rows_ok = report->rows_inserted == rows_total;
+  std::printf("rows inserted: %llu / %llu, et_errors: %llu\n",
+              static_cast<unsigned long long>(report->rows_inserted),
+              static_cast<unsigned long long>(rows_total),
+              static_cast<unsigned long long>(report->et_errors));
+
+  if (!json_path.empty()) {
+    std::string json = "{\n";
+    json += "  \"benchmark\": \"bench_stream\",\n";
+    json += "  \"batches\": " + std::to_string(batches) + ",\n";
+    json += "  \"rows_per_batch\": " + std::to_string(rows_per_batch) + ",\n";
+    json += "  \"chunk_rows\": " + std::to_string(chunk_rows) + ",\n";
+    json += "  \"rows_total\": " + std::to_string(rows_total) + ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", p50_ms);
+    json += "  \"commit_p50_ms\": " + std::string(buf) + ",\n";
+    std::snprintf(buf, sizeof(buf), "%.3f", p99_ms);
+    json += "  \"commit_p99_ms\": " + std::string(buf) + ",\n";
+    std::snprintf(buf, sizeof(buf), "%.0f", rows_per_s);
+    json += "  \"rows_per_s\": " + std::string(buf) + "\n";
+    json += "}\n";
+    std::ofstream file(json_path, std::ios::binary | std::ios::trunc);
+    file << json;
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  // The smoke gate is correctness, not speed: every batch must have
+  // committed and every row must have been applied exactly once.
+  const bool batches_ok = commit_s.size() == static_cast<size_t>(batches);
+  std::printf("shape: all batches committed, all rows applied: %s\n",
+              rows_ok && batches_ok ? "YES" : "NO");
+  return rows_ok && batches_ok ? 0 : 1;
+}

@@ -84,8 +84,11 @@ for stage in "${STAGES[@]}"; do
       # see BENCH_convert.json for the committed trajectory).
       echo "=== bench-smoke: compiled conversion plan vs reference ==="
       cmake --preset default
-      cmake --build --preset default -j "$JOBS" --target bench_ablation_convert
+      cmake --build --preset default -j "$JOBS" --target bench_ablation_convert bench_stream
       ctest --preset default -R '^bench_smoke$' --output-on-failure
+      # Streaming micro-batch gate: exactly-once correctness across commits
+      # (speed is reported, not gated; see BENCH_stream.json).
+      ctest --preset default -R '^bench_stream_smoke$' --output-on-failure
       ;;
     chaos-smoke)
       # Resilience gate (DESIGN.md "Fault injection & resilient load path"):

@@ -62,8 +62,15 @@ Result<uint64_t> CdwServer::CopyInto(const std::string& table_name, const std::s
   PayStartupCost(options_.copy_startup_micros);
   common::MutexLock lock(&mu_);
   HQ_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
-  Result<uint64_t> copied =
-      CopyFromStore(table.get(), *store_, prefix, options, &copied_objects_[table_name]);
+  std::map<std::string, uint64_t>& ledger = copied_objects_[table_name];
+  Result<uint64_t> copied = CopyFromStore(table.get(), *store_, prefix, options, &ledger);
+  if (copied.ok() && options_.copy_ledger_max_entries > 0) {
+    // Oldest-key-first eviction; see CdwServerOptions::copy_ledger_max_entries
+    // for why key order is commit order for the callers that set a cap.
+    while (ledger.size() > options_.copy_ledger_max_entries) {
+      ledger.erase(ledger.begin());
+    }
+  }
   if (copied.ok() && copy_rows_total_ != nullptr) copy_rows_total_->Increment(*copied);
   if (copied.ok() && fault.fired && fault.kind == common::FaultKind::kDrop) {
     return fault.status;
@@ -74,6 +81,25 @@ Result<uint64_t> CdwServer::CopyInto(const std::string& table_name, const std::s
 void CdwServer::ForgetCopies(const std::string& table_name) {
   common::MutexLock lock(&mu_);
   copied_objects_.erase(table_name);
+}
+
+void CdwServer::ForgetCopiesWithPrefix(const std::string& table_name,
+                                       const std::string& key_prefix) {
+  common::MutexLock lock(&mu_);
+  auto it = copied_objects_.find(table_name);
+  if (it == copied_objects_.end()) return;
+  std::map<std::string, uint64_t>& ledger = it->second;
+  auto entry = ledger.lower_bound(key_prefix);
+  while (entry != ledger.end() && entry->first.compare(0, key_prefix.size(), key_prefix) == 0) {
+    entry = ledger.erase(entry);
+  }
+  if (ledger.empty()) copied_objects_.erase(it);
+}
+
+size_t CdwServer::CopyLedgerSize(const std::string& table_name) const {
+  common::MutexLock lock(&mu_);
+  auto it = copied_objects_.find(table_name);
+  return it == copied_objects_.end() ? 0 : it->second.size();
 }
 
 uint64_t CdwServer::statements_executed() const {

@@ -30,6 +30,13 @@ struct CdwServerOptions {
   /// Optional telemetry registry (cdw_statement_seconds/cdw_copy_seconds
   /// histograms, statement/COPY/row counters). Must outlive the server.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Cap on a table's COPY idempotence ledger; 0 = unbounded. When a COPY
+  /// pushes the ledger past the cap, the lexicographically smallest keys are
+  /// evicted first — streaming jobs stage micro-batches under zero-padded
+  /// batch prefixes, so key order IS commit order and eviction is FIFO. The
+  /// cap must exceed the number of objects one COPY can stage, or a retried
+  /// COPY could re-ingest an object whose ledger entry was just evicted.
+  size_t copy_ledger_max_entries = 0;
 };
 
 class CdwServer {
@@ -59,6 +66,17 @@ class CdwServer {
   /// after a finished acquisition), or stale entries would mask new objects
   /// that reuse old keys.
   void ForgetCopies(const std::string& table_name) HQ_EXCLUDES(mu_);
+
+  /// Evicts ledger entries for `table_name` whose object key starts with
+  /// `key_prefix`. Streaming sessions call this once a micro-batch's commit
+  /// watermark is durable: the client will never re-send that batch, so its
+  /// ledger entries can go without weakening exactly-once.
+  void ForgetCopiesWithPrefix(const std::string& table_name,
+                              const std::string& key_prefix) HQ_EXCLUDES(mu_);
+
+  /// Current ledger size for `table_name` (0 when absent). Test hook for the
+  /// eviction policies above.
+  size_t CopyLedgerSize(const std::string& table_name) const HQ_EXCLUDES(mu_);
 
   uint64_t statements_executed() const HQ_EXCLUDES(mu_);
 

@@ -81,7 +81,8 @@ const char* FaultKindName(FaultKind kind) {
 const std::array<std::string_view, FaultInjector::kNumPoints>& FaultInjector::Points() {
   static const std::array<std::string_view, kNumPoints> kPoints = {
       "objstore.put", "objstore.get", "cdw.copy",      "cdw.exec",
-      "net.read",     "net.write",    "bulkload.file",
+      "net.read",     "net.write",    "bulkload.file", "tdf.read",
+      "export.send",
   };
   return kPoints;
 }

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "hyperq/conversion_text.h"
 #include "legacy/errors.h"
 #include "legacy/row_format.h"
 #include "types/date.h"
@@ -43,41 +44,8 @@ constexpr int64_t kPow10[] = {1LL,
                               100000000000000000LL,
                               1000000000000000000LL};
 
-/// Appends one non-NULL CSV field with exactly EncodeCsvRecord's escaping:
-/// empty strings are quoted (to stay distinct from NULL), and any text
-/// containing the delimiter, '"', '\n' or '\r' is quoted with '"' doubled.
-void AppendCsvText(std::string_view text, char delimiter, ByteBuffer* out) {
-  bool needs_quotes = text.empty();
-  for (char c : text) {
-    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
-      needs_quotes = true;
-      break;
-    }
-  }
-  if (!needs_quotes) {
-    out->AppendString(text);
-    return;
-  }
-  out->AppendByte('"');
-  // Emit runs ending at each '"' inclusive, then restart the next run AT the
-  // quote so it is emitted twice ("" escape) without per-character appends.
-  size_t run = 0;
-  for (size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '"') {
-      out->AppendString(text.substr(run, i - run + 1));
-      run = i;
-    }
-  }
-  out->AppendString(text.substr(run));
-  out->AppendByte('"');
-}
-
-template <typename Int>
-void AppendIntText(Int v, char delimiter, ByteBuffer* out) {
-  char buf[24];
-  auto r = std::to_chars(buf, buf + sizeof(buf), v);
-  AppendCsvText(std::string_view(buf, static_cast<size_t>(r.ptr - buf)), delimiter, out);
-}
+using conversion_detail::AppendCsvText;
+using conversion_detail::AppendIntText;
 
 void AppendFloatText(double v, char delimiter, ByteBuffer* out) {
   char buf[40];
@@ -380,6 +348,10 @@ Status ConversionPlan::Execute(const ConversionInput& input, ConvertedChunk* out
   out->order_index = input.order_index;
   out->first_row_number = input.first_row_number;
   out->rows_in = input.chunk.row_count;
+  if (remapped_) {
+    if (format_ == legacy::DataFormat::kVartext) return ExecuteRemappedVartext(input, out);
+    return ExecuteRemappedBinary(input, out);
+  }
   if (format_ == legacy::DataFormat::kVartext) return ExecuteVartext(input, out);
   return ExecuteBinary(input, out);
 }

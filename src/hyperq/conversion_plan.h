@@ -58,6 +58,20 @@ class ConversionPlan {
   static ConversionPlan Compile(const types::Schema& layout, legacy::DataFormat format,
                                 char legacy_delimiter, cdw::CsvOptions csv_options);
 
+  /// Compiles a schema-drift remap plan: chunks arrive encoded in
+  /// `source_layout` but the staging CSV must keep `target_layout`'s column
+  /// order (the layout the staging table was created from). Fields are
+  /// matched by name, case-insensitively:
+  ///   - a source field absent from the target is decoded and dropped,
+  ///   - a target field absent from the source becomes NULL,
+  ///   - matched fields are emitted in target order with the source kernel.
+  /// Implemented in conversion_remap.cc (off the fused hot path: drift
+  /// windows are rare and correctness beats fusion there).
+  static ConversionPlan CompileRemapped(const types::Schema& source_layout,
+                                        const types::Schema& target_layout,
+                                        legacy::DataFormat format, char legacy_delimiter,
+                                        cdw::CsvOptions csv_options);
+
   /// Converts one chunk into `out` (csv is appended to; metadata fields and
   /// errors are filled in). Per-record data errors are collected and the
   /// partial CSV of the offending record is rolled back; only a vartext
@@ -70,11 +84,21 @@ class ConversionPlan {
 
   size_t num_fields() const { return fields_.size(); }
 
+  bool remapped() const { return remapped_; }
+  /// Columns emitted per record (target layout width when remapped).
+  size_t num_target_fields() const { return remapped_ ? out_source_.size() : fields_.size(); }
+  /// Source fields with no name match in the target (decoded, then dropped).
+  size_t dropped_source_fields() const { return dropped_sources_; }
+  /// Target slots with no name match in the source (emitted as NULL).
+  size_t nulled_target_fields() const { return nulled_targets_; }
+
  private:
   ConversionPlan() = default;
 
   common::Status ExecuteBinary(const ConversionInput& input, ConvertedChunk* out) const;
   common::Status ExecuteVartext(const ConversionInput& input, ConvertedChunk* out) const;
+  common::Status ExecuteRemappedBinary(const ConversionInput& input, ConvertedChunk* out) const;
+  common::Status ExecuteRemappedVartext(const ConversionInput& input, ConvertedChunk* out) const;
   /// Fused decode+encode of one binary record (fields, HQ_ROWNUM, newline).
   common::Status BinaryRecordToCsv(common::ByteReader* reader, uint64_t row_number,
                                    common::ByteBuffer* out) const;
@@ -87,6 +111,13 @@ class ConversionPlan {
   /// Sum of fixed width hints + delimiters + HQ_ROWNUM + newline, per row.
   size_t per_row_hint_ = 0;
   bool has_varwidth_ = false;
+  /// Remap mode (CompileRemapped): target slot -> source field index, -1 when
+  /// the target field has no source (NULL). fields_ describes the SOURCE
+  /// layout in remap mode; emission order comes from this table.
+  std::vector<int> out_source_;
+  bool remapped_ = false;
+  size_t dropped_sources_ = 0;
+  size_t nulled_targets_ = 0;
 };
 
 }  // namespace hyperq::core

@@ -1,0 +1,147 @@
+#include <string_view>
+#include <vector>
+
+#include "hyperq/conversion_plan.h"
+#include "hyperq/conversion_text.h"
+#include "legacy/errors.h"
+
+/// \file conversion_remap.cc
+/// Schema-drift remapping (METL-style dynamic mapping): when a streaming
+/// session's layout changes mid-flight, chunks keep flowing in the NEW source
+/// layout while the staging table (and everything downstream: COPY, DML,
+/// HQ_ROWNUM bookkeeping) stays in the ORIGINAL target layout. A remapped
+/// plan decodes every source field with the same kernels as the fused path,
+/// buffers each field's escaped CSV text, and re-emits the record in target
+/// order — so the staging bytes for unchanged fields are identical to what
+/// the non-drifted plan would have produced.
+///
+/// This lives outside the hotpath-linted translation unit on purpose: a
+/// drift window is a rare, short-lived condition and the per-record scratch
+/// reuse below is O(1) amortized allocations anyway.
+
+namespace hyperq::core {
+
+using common::ByteBuffer;
+using common::ByteReader;
+using common::Slice;
+using common::Status;
+using conversion_detail::AppendCsvText;
+using conversion_detail::AppendIntText;
+
+ConversionPlan ConversionPlan::CompileRemapped(const types::Schema& source_layout,
+                                               const types::Schema& target_layout,
+                                               legacy::DataFormat format, char legacy_delimiter,
+                                               cdw::CsvOptions csv_options) {
+  // Kernels, indicator width and size hints all describe the SOURCE layout:
+  // that is what arrives on the wire.
+  ConversionPlan plan = Compile(source_layout, format, legacy_delimiter, csv_options);
+  plan.remapped_ = true;
+  plan.out_source_.reserve(target_layout.num_fields());
+  for (const auto& field : target_layout.fields()) {
+    int src = source_layout.FieldIndex(field.name);
+    plan.out_source_.push_back(src);
+    if (src < 0) ++plan.nulled_targets_;
+  }
+  for (const auto& field : source_layout.fields()) {
+    if (target_layout.FieldIndex(field.name) < 0) ++plan.dropped_sources_;
+  }
+  return plan;
+}
+
+Status ConversionPlan::ExecuteRemappedBinary(const ConversionInput& input,
+                                             ConvertedChunk* out) const {
+  ByteReader reader(Slice(input.chunk.payload));
+  uint64_t row_number = input.first_row_number;
+  // Per-source-field scratch, reused across records: each holds the field's
+  // fully escaped CSV text (empty ⟺ the field was NULL, since non-NULL empty
+  // strings are escaped to `""`).
+  std::vector<ByteBuffer> scratch(fields_.size());
+  std::vector<uint8_t> null_flags(fields_.size(), 0);
+  while (!reader.AtEnd()) {
+    Status record_status = [&]() -> Status {
+      HQ_ASSIGN_OR_RETURN(Slice record, reader.ReadLengthPrefixed16());
+      ByteReader body(record);
+      HQ_ASSIGN_OR_RETURN(Slice indicators, body.ReadSlice(indicator_bytes_));
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        scratch[i].clear();
+        const bool null = (indicators[i / 8] & (0x80u >> (i % 8))) != 0;
+        null_flags[i] = null ? 1 : 0;
+        HQ_RETURN_NOT_OK(fields_[i].kernel(fields_[i], &body, null, &scratch[i]));
+      }
+      if (!body.AtEnd()) {
+        return Status::ProtocolError("trailing bytes in legacy binary record");
+      }
+      return Status::OK();
+    }();
+    if (!record_status.ok()) {
+      // Same semantics as the fused binary path: positional decode means a
+      // bad record invalidates the rest of the chunk payload. Nothing was
+      // emitted for this record (decode goes to scratch), so no rollback.
+      out->errors.push_back(RecordError{row_number, legacy::kErrFormatViolation, "",
+                                        record_status.message() +
+                                            " (remainder of chunk skipped)"});
+      break;
+    }
+    for (size_t t = 0; t < out_source_.size(); ++t) {
+      if (t != 0) out->csv.AppendByte(static_cast<uint8_t>(csv_delimiter_));
+      const int src = out_source_[t];
+      if (src < 0 || null_flags[static_cast<size_t>(src)] != 0) continue;  // NULL slot
+      out->csv.AppendSlice(scratch[static_cast<size_t>(src)].AsSlice());
+    }
+    out->csv.AppendByte(static_cast<uint8_t>(csv_delimiter_));
+    AppendIntText(row_number, csv_delimiter_, &out->csv);
+    out->csv.AppendByte('\n');
+    ++out->rows_out;
+    ++row_number;
+  }
+  return Status::OK();
+}
+
+Status ConversionPlan::ExecuteRemappedVartext(const ConversionInput& input,
+                                              ConvertedChunk* out) const {
+  ByteReader reader(Slice(input.chunk.payload));
+  uint64_t row_number = input.first_row_number;
+  const size_t expected = fields_.size();
+  std::vector<std::string_view> record_fields(expected);
+  while (!reader.AtEnd()) {
+    auto line = reader.ReadLengthPrefixed16();
+    if (!line.ok()) {
+      // A framing error poisons the rest of the chunk (reference semantics).
+      return line.status().WithContext("chunk " + std::to_string(input.chunk.chunk_seq));
+    }
+    std::string_view text = line.ValueOrDie().ToStringView();
+    size_t nfields = 0;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == legacy_delimiter_) {
+        if (nfields < expected) record_fields[nfields] = text.substr(start, i - start);
+        ++nfields;
+        start = i + 1;
+      }
+    }
+    if (nfields != expected) {
+      out->errors.push_back(
+          RecordError{row_number, legacy::kErrFieldCountMismatch, "",
+                      "vartext record has " + std::to_string(nfields) +
+                          " fields, layout expects " + std::to_string(expected)});
+      ++row_number;
+      continue;
+    }
+    for (size_t t = 0; t < out_source_.size(); ++t) {
+      if (t != 0) out->csv.AppendByte(static_cast<uint8_t>(csv_delimiter_));
+      const int src = out_source_[t];
+      if (src < 0) continue;  // target field absent from the source: NULL
+      std::string_view field = record_fields[static_cast<size_t>(src)];
+      // Empty vartext field == NULL (legacy rule): emit nothing.
+      if (!field.empty()) AppendCsvText(field, csv_delimiter_, &out->csv);
+    }
+    out->csv.AppendByte(static_cast<uint8_t>(csv_delimiter_));
+    AppendIntText(row_number, csv_delimiter_, &out->csv);
+    out->csv.AppendByte('\n');
+    ++out->rows_out;
+    ++row_number;
+  }
+  return Status::OK();
+}
+
+}  // namespace hyperq::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <charconv>
+#include <string_view>
+
+#include "common/bytes.h"
+
+/// \file conversion_text.h
+/// CSV text emission shared by the fused conversion plan (conversion_plan.cc)
+/// and the schema-drift remap path (conversion_remap.cc). Both paths must
+/// produce byte-identical output to DataConverter::ConvertReference, so the
+/// escaping lives in exactly one place.
+
+namespace hyperq::core::conversion_detail {
+
+/// Appends one non-NULL CSV field with exactly EncodeCsvRecord's escaping:
+/// empty strings are quoted (to stay distinct from NULL), and any text
+/// containing the delimiter, '"', '\n' or '\r' is quoted with '"' doubled.
+inline void AppendCsvText(std::string_view text, char delimiter, common::ByteBuffer* out) {
+  bool needs_quotes = text.empty();
+  for (char c : text) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) {
+    out->AppendString(text);
+    return;
+  }
+  out->AppendByte('"');
+  // Emit runs ending at each '"' inclusive, then restart the next run AT the
+  // quote so it is emitted twice ("" escape) without per-character appends.
+  size_t run = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '"') {
+      out->AppendString(text.substr(run, i - run + 1));
+      run = i;
+    }
+  }
+  out->AppendString(text.substr(run));
+  out->AppendByte('"');
+}
+
+template <typename Int>
+inline void AppendIntText(Int v, char delimiter, common::ByteBuffer* out) {
+  char buf[24];
+  auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  AppendCsvText(std::string_view(buf, static_cast<size_t>(r.ptr - buf)), delimiter, out);
+}
+
+}  // namespace hyperq::core::conversion_detail

@@ -41,6 +41,24 @@ Result<DataConverter> DataConverter::Create(Schema layout, legacy::DataFormat fo
   return DataConverter(std::move(layout), format, delimiter, csv_options);
 }
 
+Result<DataConverter> DataConverter::CreateRemapped(Schema source_layout,
+                                                    const Schema& target_layout,
+                                                    legacy::DataFormat format, char delimiter,
+                                                    cdw::CsvOptions csv_options) {
+  if (source_layout.num_fields() == 0) return Status::Invalid("empty load layout");
+  if (target_layout.num_fields() == 0) return Status::Invalid("empty target layout");
+  if (format == legacy::DataFormat::kVartext) {
+    for (const auto& f : source_layout.fields()) {
+      if (f.type.id != TypeId::kVarchar) {
+        return Status::Invalid("vartext layouts require all fields to be VARCHAR (legacy "
+                               "restriction); field " +
+                               f.name + " is " + f.type.ToString());
+      }
+    }
+  }
+  return DataConverter(std::move(source_layout), target_layout, format, delimiter, csv_options);
+}
+
 DataConverter::DataConverter(Schema layout, legacy::DataFormat format, char delimiter,
                              cdw::CsvOptions csv_options)
     : layout_(std::move(layout)),
@@ -49,6 +67,16 @@ DataConverter::DataConverter(Schema layout, legacy::DataFormat format, char deli
       csv_options_(csv_options),
       plan_(std::make_unique<ConversionPlan>(
           ConversionPlan::Compile(layout_, format_, delimiter_, csv_options_))) {}
+
+DataConverter::DataConverter(Schema source_layout, const Schema& target_layout,
+                             legacy::DataFormat format, char delimiter,
+                             cdw::CsvOptions csv_options)
+    : layout_(std::move(source_layout)),
+      format_(format),
+      delimiter_(delimiter),
+      csv_options_(csv_options),
+      plan_(std::make_unique<ConversionPlan>(ConversionPlan::CompileRemapped(
+          layout_, target_layout, format_, delimiter_, csv_options_))) {}
 
 DataConverter::DataConverter(DataConverter&&) noexcept = default;
 DataConverter& DataConverter::operator=(DataConverter&&) noexcept = default;

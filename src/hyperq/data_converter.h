@@ -77,6 +77,17 @@ class DataConverter {
                                               char delimiter,
                                               cdw::CsvOptions csv_options = {});
 
+  /// Drift-tolerant converter: chunks are decoded in `source_layout` but the
+  /// CSV columns are emitted in `target_layout` order, matched by name
+  /// (unmatched source fields dropped, unmatched target fields NULLed). Used
+  /// by streaming sessions after a mid-stream layout change; the staging
+  /// table keeps the target layout's staging schema. layout() returns the
+  /// SOURCE layout (what the wire carries).
+  static common::Result<DataConverter> CreateRemapped(types::Schema source_layout,
+                                                      const types::Schema& target_layout,
+                                                      legacy::DataFormat format, char delimiter,
+                                                      cdw::CsvOptions csv_options = {});
+
   DataConverter(DataConverter&&) noexcept;
   DataConverter& operator=(DataConverter&&) noexcept;
   ~DataConverter();
@@ -102,6 +113,8 @@ class DataConverter {
  private:
   DataConverter(types::Schema layout, legacy::DataFormat format, char delimiter,
                 cdw::CsvOptions csv_options);
+  DataConverter(types::Schema source_layout, const types::Schema& target_layout,
+                legacy::DataFormat format, char delimiter, cdw::CsvOptions csv_options);
 
   types::Schema layout_;
   legacy::DataFormat format_;

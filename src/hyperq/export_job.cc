@@ -46,16 +46,18 @@ Result<std::shared_ptr<ExportJob>> ExportJob::Create(const std::string& job_id,
   auto cursor =
       std::make_unique<TdfCursor>(result.schema, std::move(result.rows), cursor_options);
   return std::shared_ptr<ExportJob>(new ExportJob(job_id, begin, std::move(result.schema),
-                                                  std::move(cursor), metrics, std::move(trace)));
+                                                  std::move(cursor), options.io_retry, metrics,
+                                                  std::move(trace)));
 }
 
 ExportJob::ExportJob(std::string job_id, legacy::BeginExportBody begin, types::Schema schema,
-                     std::unique_ptr<TdfCursor> cursor, obs::MetricsRegistry* metrics,
-                     std::shared_ptr<obs::Trace> trace)
+                     std::unique_ptr<TdfCursor> cursor, common::RetryOptions io_retry,
+                     obs::MetricsRegistry* metrics, std::shared_ptr<obs::Trace> trace)
     : job_id_(std::move(job_id)),
       begin_(std::move(begin)),
       schema_(std::move(schema)),
       cursor_(std::move(cursor)),
+      io_retry_(std::move(io_retry)),
       trace_(std::move(trace)) {
   if (metrics != nullptr) {
     m_.jobs_started = metrics->GetCounter("hyperq_export_jobs_started_total");
@@ -80,7 +82,15 @@ Result<legacy::ExportChunkBody> ExportJob::GetChunk(uint64_t seq) {
   obs::ScopedTimer chunk_timer(m_.chunk_seconds);
   obs::ScopedSpan chunk_span(trace_.get(), obs::Phase::kExportChunk,
                              "chunk_" + std::to_string(seq));
-  HQ_ASSIGN_OR_RETURN(auto packet, cursor_->FetchChunk(seq));
+  // tdf.read retries: a fetch that failed before consuming the buffered
+  // packet is safe to re-issue (the prefetcher keeps the chunk until served).
+  common::RetryOptions fetch_options = io_retry_;
+  fetch_options.breaker = common::BreakerFor("tdf");
+  common::RetryPolicy fetch_retry(std::move(fetch_options));
+  HQ_ASSIGN_OR_RETURN(auto packet,
+                      fetch_retry.RunResult<std::shared_ptr<const common::ByteBuffer>>(
+                          "tdf.read",
+                          [&](const common::RetryAttempt&) { return cursor_->FetchChunk(seq); }));
   // PXC: unwrap the TDF packet and re-encode rows in the legacy format.
   HQ_ASSIGN_OR_RETURN(tdf::TdfReader reader, tdf::TdfReader::Open(packet->AsSlice()));
   HQ_ASSIGN_OR_RETURN(std::vector<Row> rows, reader.ToFlatRows());

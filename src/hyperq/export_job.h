@@ -45,13 +45,15 @@ class ExportJob {
 
  private:
   ExportJob(std::string job_id, legacy::BeginExportBody begin, types::Schema schema,
-            std::unique_ptr<TdfCursor> cursor, obs::MetricsRegistry* metrics,
-            std::shared_ptr<obs::Trace> trace);
+            std::unique_ptr<TdfCursor> cursor, common::RetryOptions io_retry,
+            obs::MetricsRegistry* metrics, std::shared_ptr<obs::Trace> trace);
 
   std::string job_id_;
   legacy::BeginExportBody begin_;
   types::Schema schema_;
   std::unique_ptr<TdfCursor> cursor_;
+  /// Retry policy template for the tdf.read hop (breaker bound per use).
+  common::RetryOptions io_retry_;
 
   std::shared_ptr<obs::Trace> trace_;
   struct Instruments {

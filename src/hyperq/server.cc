@@ -179,6 +179,27 @@ Result<std::shared_ptr<ExportJob>> HyperQServer::GetOrCreateExportJob(
   return job;
 }
 
+Result<std::shared_ptr<stream::StreamJob>> HyperQServer::GetOrCreateStreamJob(
+    const legacy::BeginStreamBody& begin) {
+  common::MutexLock lock(&jobs_mu_);
+  auto it = stream_jobs_.find(begin.job_id);
+  if (it != stream_jobs_.end()) return it->second;
+  JobContext ctx;
+  ctx.cdw = cdw_;
+  ctx.store = store_;
+  ctx.credits = &credits_;
+  ctx.converter_pool = &converter_pool_;
+  ctx.memory = &memory_;
+  ctx.buffers = buffer_pool_.get();
+  ctx.metrics = metrics_;
+  ctx.tracer = tracer_;
+  ctx.options = options_;
+  HQ_ASSIGN_OR_RETURN(std::shared_ptr<stream::StreamJob> job,
+                      stream::StreamJob::Create(begin.job_id, begin, std::move(ctx)));
+  stream_jobs_[begin.job_id] = job;
+  return job;
+}
+
 void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
   Coalescer coalescer(std::move(transport));
   coalescer.BindDecodeHistogram(m_.decode_seconds);
@@ -197,6 +218,7 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
   uint32_t seq = 0;
   std::shared_ptr<ImportJob> import_job;
   std::shared_ptr<ExportJob> export_job;
+  std::shared_ptr<stream::StreamJob> stream_job;
 
   auto reply = [&](Message msg) { return coalescer.Send(msg); };
   auto reply_failure = [&](const Status& s) {
@@ -335,11 +357,13 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
           reply_failure(body.status());
           break;
         }
-        if (!import_job) {
+        if (!import_job && !stream_job) {
           reply_failure(Status::ProtocolError("DataChunk before BeginLoad"));
           break;
         }
-        Status s = import_job->SubmitChunk(*body);
+        // A session serves either a batch load or a stream, never both.
+        Status s = stream_job != nullptr ? stream_job->SubmitChunk(*body)
+                                         : import_job->SubmitChunk(*body);
         if (!s.ok()) {
           reply_failure(s);
           break;
@@ -428,6 +452,19 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
           reply_failure(chunk.status());
           break;
         }
+        // export.send: the hop that pushes the chunk back over the legacy
+        // wire. Injected faults fire before the reply is written, so a retry
+        // re-sends the same already-materialized chunk (GetChunk caches).
+        common::RetryOptions send_options = options_.io_retry;
+        send_options.breaker = common::BreakerFor("export");
+        common::RetryPolicy send_retry(std::move(send_options));
+        Status sent = send_retry.Run("export.send", [&](const common::RetryAttempt&) {
+          return common::FaultInjector::Global().Inject("export.send");
+        });
+        if (!sent.ok()) {
+          reply_failure(sent);
+          break;
+        }
         (void)reply(legacy::MakeMessage(session_id, ++seq, chunk->Encode()));
         break;
       }
@@ -442,6 +479,85 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
         status_body.code = 0;
         status_body.message = "export complete";
         (void)reply(legacy::MakeMessage(session_id, ++seq, status_body.Encode()));
+        break;
+      }
+
+      case ParcelKind::kBeginStream: {
+        auto body = legacy::BeginStreamBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        auto job = GetOrCreateStreamJob(*body);
+        if (!job.ok()) {
+          reply_failure(job.status());
+          break;
+        }
+        stream_job = *job;
+        Parcel ready;
+        ready.kind = ParcelKind::kStreamReady;
+        (void)reply(legacy::MakeMessage(session_id, ++seq, std::move(ready)));
+        break;
+      }
+
+      case ParcelKind::kStreamLayout: {
+        auto body = legacy::StreamLayoutBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        if (!stream_job) {
+          reply_failure(Status::ProtocolError("StreamLayout before BeginStream"));
+          break;
+        }
+        Status s = stream_job->ChangeLayout(body->layout);
+        if (!s.ok()) {
+          reply_failure(s);
+          break;
+        }
+        legacy::StatementStatusBody status_body;
+        status_body.code = 0;
+        status_body.message = "layout changed";
+        (void)reply(legacy::MakeMessage(session_id, ++seq, status_body.Encode()));
+        break;
+      }
+
+      case ParcelKind::kCommitBatch: {
+        auto body = legacy::CommitBatchBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        if (!stream_job) {
+          reply_failure(Status::ProtocolError("CommitBatch before BeginStream"));
+          break;
+        }
+        auto committed = stream_job->CommitBatch(body->batch_seq, body->watermark_micros);
+        if (!committed.ok()) {
+          reply_failure(committed.status());
+          break;
+        }
+        (void)reply(legacy::MakeMessage(session_id, ++seq, committed->Encode()));
+        break;
+      }
+
+      case ParcelKind::kEndStream: {
+        auto body = legacy::EndStreamBody::Decode(parcel);
+        if (!body.ok()) {
+          reply_failure(body.status());
+          break;
+        }
+        if (!stream_job) {
+          reply_failure(Status::ProtocolError("EndStream before BeginStream"));
+          break;
+        }
+        auto report = stream_job->Finish(body->total_chunks, body->total_rows);
+        if (!report.ok()) {
+          reply_failure(report.status());
+          break;
+        }
+        stream_job.reset();
+        (void)reply(legacy::MakeMessage(session_id, ++seq, report->Encode()));
         break;
       }
 
@@ -475,6 +591,13 @@ Result<DmlApplyResult> HyperQServer::JobDmlResult(const std::string& job_id) con
   auto it = import_jobs_.find(job_id);
   if (it == import_jobs_.end()) return Status::NotFound("job not found: " + job_id);
   return it->second->dml_result();
+}
+
+Result<stream::StreamStats> HyperQServer::StreamJobStats(const std::string& job_id) const {
+  common::MutexLock lock(&jobs_mu_);
+  auto it = stream_jobs_.find(job_id);
+  if (it == stream_jobs_.end()) return Status::NotFound("stream job not found: " + job_id);
+  return it->second->stats();
 }
 
 obs::MetricsSnapshot HyperQServer::MetricsSnapshot() const {

@@ -20,6 +20,7 @@
 #include "net/listener.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "stream/stream_job.h"
 
 /// \file server.h
 /// The Hyper-Q node. The Alpha process (network listener) accepts legacy
@@ -81,6 +82,10 @@ class HyperQServer {
   /// The job's span tree (import and export jobs alike).
   common::Result<std::shared_ptr<obs::Trace>> JobTrace(const std::string& job_id) const;
 
+  /// Streaming-session instrumentation (jobs are retained after EndStream).
+  common::Result<stream::StreamStats> StreamJobStats(const std::string& job_id) const
+      HQ_EXCLUDES(jobs_mu_);
+
  private:
   void AcceptLoop() HQ_EXCLUDES(sessions_mu_);
   void HandleSession(std::shared_ptr<net::Transport> transport) HQ_EXCLUDES(jobs_mu_);
@@ -89,6 +94,8 @@ class HyperQServer {
       const legacy::BeginLoadBody& begin) HQ_EXCLUDES(jobs_mu_);
   common::Result<std::shared_ptr<ExportJob>> GetOrCreateExportJob(
       const legacy::BeginExportBody& begin) HQ_EXCLUDES(jobs_mu_);
+  common::Result<std::shared_ptr<stream::StreamJob>> GetOrCreateStreamJob(
+      const legacy::BeginStreamBody& begin) HQ_EXCLUDES(jobs_mu_);
 
   cdw::CdwServer* cdw_;
   cloud::ObjectStore* store_;
@@ -142,6 +149,7 @@ class HyperQServer {
   mutable common::Mutex jobs_mu_{common::LockRank::kServer, "server_jobs"};
   std::map<std::string, std::shared_ptr<ImportJob>> import_jobs_ HQ_GUARDED_BY(jobs_mu_);
   std::map<std::string, std::shared_ptr<ExportJob>> export_jobs_ HQ_GUARDED_BY(jobs_mu_);
+  std::map<std::string, std::shared_ptr<stream::StreamJob>> stream_jobs_ HQ_GUARDED_BY(jobs_mu_);
 };
 
 }  // namespace hyperq::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
+
 namespace hyperq::core {
 
 using common::ByteBuffer;
@@ -59,6 +61,10 @@ void TdfCursor::PrefetchLoop() {
 }
 
 Result<std::shared_ptr<const ByteBuffer>> TdfCursor::FetchChunk(uint64_t seq) {
+  // tdf.read: the TDF-packet read hop of the export path. Faults fire before
+  // the buffered packet is consumed (and before mu_ — latency stalls must
+  // not run under the cursor lock), so a retried fetch still finds it.
+  HQ_RETURN_NOT_OK(common::FaultInjector::Global().Inject("tdf.read"));
   common::MutexLock lock(&mu_);
   if (seq >= total_chunks_) return Status::NotFound("chunk past end of export cursor");
   while (!shutdown_ && buffered_.count(seq) == 0) chunk_ready_.Wait(lock);

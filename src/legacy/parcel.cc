@@ -52,6 +52,18 @@ std::string_view ParcelKindName(ParcelKind kind) {
       return "ExportChunk";
     case ParcelKind::kEndExport:
       return "EndExport";
+    case ParcelKind::kBeginStream:
+      return "BeginStream";
+    case ParcelKind::kStreamReady:
+      return "StreamReady";
+    case ParcelKind::kStreamLayout:
+      return "StreamLayout";
+    case ParcelKind::kCommitBatch:
+      return "CommitBatch";
+    case ParcelKind::kBatchCommitted:
+      return "BatchCommitted";
+    case ParcelKind::kEndStream:
+      return "EndStream";
   }
   return "Unknown";
 }
@@ -491,6 +503,129 @@ Result<ExportChunkBody> ExportChunkBody::Decode(const Parcel& p) {
   body.last = last != 0;
   HQ_ASSIGN_OR_RETURN(Slice payload, reader.ReadLengthPrefixed32());
   body.payload.assign(payload.data(), payload.data() + payload.size());
+  return body;
+}
+
+// --- BeginStream ------------------------------------------------------------
+
+Parcel BeginStreamBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendLengthPrefixed16(job_id);
+  buf.AppendLengthPrefixed16(target_table);
+  buf.AppendLengthPrefixed16(error_table_et);
+  buf.AppendLengthPrefixed16(error_table_uv);
+  buf.AppendByte(static_cast<uint8_t>(format));
+  buf.AppendByte(static_cast<uint8_t>(delimiter));
+  EncodeSchema(layout, &buf);
+  buf.AppendLengthPrefixed16(dml_label);
+  buf.AppendLengthPrefixed32(Slice(std::string_view(dml_sql)));
+  buf.AppendU64(max_errors);
+  buf.AppendI32(max_retries);
+  return Finish(ParcelKind::kBeginStream, std::move(buf));
+}
+
+Result<BeginStreamBody> BeginStreamBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kBeginStream));
+  ByteReader reader(Slice(p.payload));
+  BeginStreamBody body;
+  HQ_ASSIGN_OR_RETURN(Slice job_id, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice target, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice et, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice uv, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(uint8_t fmt, reader.ReadByte());
+  HQ_ASSIGN_OR_RETURN(uint8_t delim, reader.ReadByte());
+  HQ_ASSIGN_OR_RETURN(body.layout, DecodeSchema(&reader));
+  HQ_ASSIGN_OR_RETURN(Slice dml_label, reader.ReadLengthPrefixed16());
+  HQ_ASSIGN_OR_RETURN(Slice dml_sql, reader.ReadLengthPrefixed32());
+  HQ_ASSIGN_OR_RETURN(body.max_errors, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.max_retries, reader.ReadI32());
+  body.job_id = job_id.ToString();
+  body.target_table = target.ToString();
+  body.error_table_et = et.ToString();
+  body.error_table_uv = uv.ToString();
+  body.format = static_cast<DataFormat>(fmt);
+  body.delimiter = static_cast<char>(delim);
+  body.dml_label = dml_label.ToString();
+  body.dml_sql = dml_sql.ToString();
+  return body;
+}
+
+// --- StreamLayout -----------------------------------------------------------
+
+Parcel StreamLayoutBody::Encode() const {
+  ByteBuffer buf;
+  EncodeSchema(layout, &buf);
+  return Finish(ParcelKind::kStreamLayout, std::move(buf));
+}
+
+Result<StreamLayoutBody> StreamLayoutBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kStreamLayout));
+  ByteReader reader(Slice(p.payload));
+  StreamLayoutBody body;
+  HQ_ASSIGN_OR_RETURN(body.layout, DecodeSchema(&reader));
+  return body;
+}
+
+// --- CommitBatch ------------------------------------------------------------
+
+Parcel CommitBatchBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU64(batch_seq);
+  buf.AppendU64(watermark_micros);
+  return Finish(ParcelKind::kCommitBatch, std::move(buf));
+}
+
+Result<CommitBatchBody> CommitBatchBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kCommitBatch));
+  ByteReader reader(Slice(p.payload));
+  CommitBatchBody body;
+  HQ_ASSIGN_OR_RETURN(body.batch_seq, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.watermark_micros, reader.ReadU64());
+  return body;
+}
+
+// --- BatchCommitted ---------------------------------------------------------
+
+Parcel BatchCommittedBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU64(batch_seq);
+  buf.AppendU64(watermark_micros);
+  buf.AppendU64(rows_in_batch);
+  buf.AppendU64(rows_total);
+  buf.AppendU64(et_errors);
+  buf.AppendLengthPrefixed16(message);
+  return Finish(ParcelKind::kBatchCommitted, std::move(buf));
+}
+
+Result<BatchCommittedBody> BatchCommittedBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kBatchCommitted));
+  ByteReader reader(Slice(p.payload));
+  BatchCommittedBody body;
+  HQ_ASSIGN_OR_RETURN(body.batch_seq, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.watermark_micros, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.rows_in_batch, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.rows_total, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.et_errors, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(Slice msg, reader.ReadLengthPrefixed16());
+  body.message = msg.ToString();
+  return body;
+}
+
+// --- EndStream --------------------------------------------------------------
+
+Parcel EndStreamBody::Encode() const {
+  ByteBuffer buf;
+  buf.AppendU64(total_chunks);
+  buf.AppendU64(total_rows);
+  return Finish(ParcelKind::kEndStream, std::move(buf));
+}
+
+Result<EndStreamBody> EndStreamBody::Decode(const Parcel& p) {
+  HQ_RETURN_NOT_OK(ExpectKind(p, ParcelKind::kEndStream));
+  ByteReader reader(Slice(p.payload));
+  EndStreamBody body;
+  HQ_ASSIGN_OR_RETURN(body.total_chunks, reader.ReadU64());
+  HQ_ASSIGN_OR_RETURN(body.total_rows, reader.ReadU64());
   return body;
 }
 

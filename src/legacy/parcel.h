@@ -51,6 +51,12 @@ enum class ParcelKind : uint16_t {
   kExportChunkRequest = 32,
   kExportChunk = 33,
   kEndExport = 34,
+  kBeginStream = 40,
+  kStreamReady = 41,
+  kStreamLayout = 42,
+  kCommitBatch = 43,
+  kBatchCommitted = 44,
+  kEndStream = 45,
 };
 
 std::string_view ParcelKindName(ParcelKind kind);
@@ -238,6 +244,72 @@ struct ExportChunkBody {
 
   Parcel Encode() const;
   static common::Result<ExportChunkBody> Decode(const Parcel& p);
+};
+
+/// Opens a long-lived streaming import session (the near-real-time
+/// micro-batch mode). Unlike BeginLoad, the DML transformation travels with
+/// the handshake: every committed micro-batch applies it immediately, so the
+/// target table trails the stream by one commit instead of one job.
+struct BeginStreamBody {
+  std::string job_id;
+  std::string target_table;
+  std::string error_table_et;
+  std::string error_table_uv;
+  DataFormat format = DataFormat::kVartext;
+  char delimiter = '|';
+  types::Schema layout;
+  std::string dml_label;
+  std::string dml_sql;
+  /// Error-handling knobs from the script's .set commands; 0 = server default.
+  uint64_t max_errors = 0;
+  int32_t max_retries = 0;
+
+  Parcel Encode() const;
+  static common::Result<BeginStreamBody> Decode(const Parcel& p);
+};
+
+/// Mid-stream layout change (schema drift): subsequent chunks are encoded in
+/// `layout`. The server recompiles its conversion plan and remaps name-matched
+/// fields into the original target layout instead of aborting the stream.
+struct StreamLayoutBody {
+  types::Schema layout;
+
+  Parcel Encode() const;
+  static common::Result<StreamLayoutBody> Decode(const Parcel& p);
+};
+
+/// Cuts the current micro-batch at `watermark_micros` (event-time, strictly
+/// increasing) and commits it into the CDW. `batch_seq` is 1-based and dense;
+/// re-sending an already-committed seq (lost ack) returns the recorded result
+/// without re-applying — exactly-once from the client's point of view.
+struct CommitBatchBody {
+  uint64_t batch_seq = 0;
+  uint64_t watermark_micros = 0;
+
+  Parcel Encode() const;
+  static common::Result<CommitBatchBody> Decode(const Parcel& p);
+};
+
+struct BatchCommittedBody {
+  uint64_t batch_seq = 0;
+  uint64_t watermark_micros = 0;
+  uint64_t rows_in_batch = 0;      ///< rows applied by this batch's DML
+  uint64_t rows_total = 0;         ///< cumulative rows applied by the stream
+  uint64_t et_errors = 0;          ///< cumulative errors recorded in the ET table
+  std::string message;
+
+  Parcel Encode() const;
+  static common::Result<BatchCommittedBody> Decode(const Parcel& p);
+};
+
+/// Ends the stream; totals are validated like EndLoad's. The reply is a
+/// JobReport covering every committed micro-batch.
+struct EndStreamBody {
+  uint64_t total_chunks = 0;
+  uint64_t total_rows = 0;
+
+  Parcel Encode() const;
+  static common::Result<EndStreamBody> Decode(const Parcel& p);
 };
 
 /// Convenience: builds a single-parcel message.

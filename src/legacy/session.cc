@@ -137,6 +137,55 @@ Status LegacySession::EndExport() {
   return Status::OK();
 }
 
+Status LegacySession::BeginStream(const BeginStreamBody& body) {
+  HQ_ASSIGN_OR_RETURN(Message reply, SendAndReceive(body.Encode()));
+  HQ_RETURN_NOT_OK(CheckFailure(reply));
+  if (reply.parcels.empty() || reply.parcels[0].kind != ParcelKind::kStreamReady) {
+    return Status::ProtocolError("expected StreamReady");
+  }
+  return Status::OK();
+}
+
+Status LegacySession::SendStreamLayout(const types::Schema& layout) {
+  StreamLayoutBody body{layout};
+  HQ_ASSIGN_OR_RETURN(Message reply, SendAndReceive(body.Encode()));
+  HQ_RETURN_NOT_OK(CheckFailure(reply));
+  if (reply.parcels.empty() || reply.parcels[0].kind != ParcelKind::kStatementStatus) {
+    return Status::ProtocolError("expected StatementStatus after StreamLayout");
+  }
+  HQ_ASSIGN_OR_RETURN(StatementStatusBody status,
+                      StatementStatusBody::Decode(reply.parcels[0]));
+  if (status.code != 0) {
+    return Status(common::StatusCode::kInvalid,
+                  "[" + std::to_string(status.code) + "] " + status.message);
+  }
+  return Status::OK();
+}
+
+Result<BatchCommittedBody> LegacySession::CommitBatch(uint64_t batch_seq,
+                                                      uint64_t watermark_micros) {
+  CommitBatchBody body{batch_seq, watermark_micros};
+  HQ_ASSIGN_OR_RETURN(Message reply, SendAndReceive(body.Encode()));
+  HQ_RETURN_NOT_OK(CheckFailure(reply));
+  if (reply.parcels.empty()) return Status::ProtocolError("empty CommitBatch response");
+  HQ_ASSIGN_OR_RETURN(BatchCommittedBody committed,
+                      BatchCommittedBody::Decode(reply.parcels[0]));
+  if (committed.batch_seq != batch_seq) {
+    return Status::ProtocolError("BatchCommitted for batch " +
+                                 std::to_string(committed.batch_seq) + ", expected " +
+                                 std::to_string(batch_seq));
+  }
+  return committed;
+}
+
+Result<JobReportBody> LegacySession::EndStream(uint64_t total_chunks, uint64_t total_rows) {
+  EndStreamBody body{total_chunks, total_rows};
+  HQ_ASSIGN_OR_RETURN(Message reply, SendAndReceive(body.Encode()));
+  HQ_RETURN_NOT_OK(CheckFailure(reply));
+  if (reply.parcels.empty()) return Status::ProtocolError("empty EndStream response");
+  return JobReportBody::Decode(reply.parcels[0]);
+}
+
 Status LegacySession::Logoff() {
   Parcel parcel;
   parcel.kind = ParcelKind::kLogoff;

@@ -67,6 +67,22 @@ class LegacySession {
   /// Ends an export job.
   common::Status EndExport();
 
+  /// Opens a long-lived streaming import session (micro-batch ingest).
+  common::Status BeginStream(const BeginStreamBody& body);
+
+  /// Announces a mid-stream layout change (schema drift); subsequent chunks
+  /// are encoded in `layout`.
+  common::Status SendStreamLayout(const types::Schema& layout);
+
+  /// Cuts and commits the open micro-batch at `watermark_micros`. Safe to
+  /// re-send after a lost reply: the server journal returns the recorded
+  /// result for an already-committed batch_seq.
+  common::Result<BatchCommittedBody> CommitBatch(uint64_t batch_seq, uint64_t watermark_micros);
+
+  /// Ends the stream after all micro-batches are committed; returns the
+  /// cumulative job report.
+  common::Result<JobReportBody> EndStream(uint64_t total_chunks, uint64_t total_rows);
+
   /// Logs off and closes the connection.
   common::Status Logoff();
 

@@ -1,0 +1,115 @@
+#include "stream/stream_client.h"
+
+#include <optional>
+
+#include "legacy/row_format.h"
+
+namespace hyperq::stream {
+
+using common::Result;
+using common::Status;
+using legacy::DataChunkBody;
+using legacy::DataFormat;
+
+Status StreamClient::Begin(const legacy::BeginStreamBody& begin) {
+  if (!options_.connector) return Status::Invalid("no connector configured");
+  HQ_ASSIGN_OR_RETURN(auto transport, options_.connector(options_.host));
+  session_ = std::make_unique<legacy::LegacySession>(transport);
+  HQ_RETURN_NOT_OK(session_->Logon(options_.host, options_.user, options_.password));
+  HQ_RETURN_NOT_OK(session_->BeginStream(begin));
+  layout_ = begin.layout;
+  format_ = begin.format;
+  delimiter_ = begin.delimiter;
+  return Status::OK();
+}
+
+Status StreamClient::SendLines(const std::vector<std::string>& lines) {
+  if (!session_) return Status::Invalid("SendLines before Begin");
+  if (lines.empty()) return Status::OK();
+
+  DataChunkBody chunk;
+  common::ByteBuffer payload;
+  std::optional<legacy::BinaryRowCodec> codec;
+  if (format_ == DataFormat::kBinary) codec.emplace(layout_);
+
+  for (const auto& line : lines) {
+    // Split the line into layout fields (same convention as EtlClient's file
+    // replay: empty field text means NULL).
+    legacy::VartextRecord record;
+    size_t field_start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == delimiter_) {
+        legacy::VartextField field;
+        field.text = line.substr(field_start, i - field_start);
+        field.null = field.text.empty();
+        record.push_back(std::move(field));
+        field_start = i + 1;
+      }
+    }
+
+    if (format_ == DataFormat::kVartext) {
+      HQ_RETURN_NOT_OK(legacy::EncodeVartextRecord(record, delimiter_, &payload));
+    } else {
+      if (record.size() != layout_.num_fields()) {
+        return Status::ConversionError("input line has " + std::to_string(record.size()) +
+                                       " fields, layout has " +
+                                       std::to_string(layout_.num_fields()));
+      }
+      types::Row row;
+      row.reserve(record.size());
+      for (size_t i = 0; i < record.size(); ++i) {
+        if (record[i].null) {
+          row.push_back(types::Value::Null());
+          continue;
+        }
+        HQ_ASSIGN_OR_RETURN(
+            types::Value v,
+            types::CastValue(types::Value::String(record[i].text), layout_.field(i).type));
+        row.push_back(std::move(v));
+      }
+      HQ_RETURN_NOT_OK(codec->EncodeRow(row, &payload));
+    }
+  }
+
+  chunk.chunk_seq = chunks_sent_;
+  chunk.row_count = static_cast<uint32_t>(lines.size());
+  chunk.payload = std::move(payload.vector());
+  HQ_RETURN_NOT_OK(session_->SendDataChunk(chunk));
+  ++chunks_sent_;
+  rows_sent_ += lines.size();
+  return Status::OK();
+}
+
+Status StreamClient::ChangeLayout(const types::Schema& layout) {
+  if (!session_) return Status::Invalid("ChangeLayout before Begin");
+  HQ_RETURN_NOT_OK(session_->SendStreamLayout(layout));
+  layout_ = layout;
+  return Status::OK();
+}
+
+Result<legacy::BatchCommittedBody> StreamClient::Commit(uint64_t watermark_micros) {
+  if (!session_) return Status::Invalid("Commit before Begin");
+  ++batch_seq_;
+  last_watermark_ = watermark_micros;
+  return session_->CommitBatch(batch_seq_, watermark_micros);
+}
+
+Result<legacy::BatchCommittedBody> StreamClient::RetryCommit() {
+  if (!session_) return Status::Invalid("RetryCommit before Begin");
+  if (batch_seq_ == 0) return Status::Invalid("RetryCommit before any Commit");
+  return session_->CommitBatch(batch_seq_, last_watermark_);
+}
+
+Result<legacy::JobReportBody> StreamClient::End() {
+  if (!session_) return Status::Invalid("End before Begin");
+  return session_->EndStream(chunks_sent_, rows_sent_);
+}
+
+Status StreamClient::Logoff() {
+  if (!session_) return Status::OK();
+  HQ_RETURN_NOT_OK(session_->Logoff());
+  session_.reset();
+  return Status::OK();
+}
+
+}  // namespace hyperq::stream

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "legacy/session.h"
+#include "net/transport.h"
+#include "types/schema.h"
+
+/// \file stream_client.h
+/// Minimal streaming ETL client used by tests and benches: one LDWP session
+/// driving a StreamJob. Unlike EtlClient (which interprets whole scripts and
+/// replays files), StreamClient exposes the streaming verbs directly so a
+/// test can interleave chunks, drift the layout mid-stream, and replay a
+/// commit to exercise the exactly-once journal.
+
+namespace hyperq::stream {
+
+struct StreamClientOptions {
+  /// Resolves the logon host to a transport (same contract as
+  /// EtlClientOptions::connector).
+  std::function<common::Result<std::shared_ptr<net::Transport>>(const std::string& host)>
+      connector;
+  std::string host = "hyperq";
+  std::string user = "etl";
+  std::string password = "etl";
+};
+
+class StreamClient {
+ public:
+  explicit StreamClient(StreamClientOptions options) : options_(std::move(options)) {}
+
+  /// Connects, logs on, and opens the stream. The begin body's layout
+  /// becomes the client's encoding layout until ChangeLayout.
+  common::Status Begin(const legacy::BeginStreamBody& begin);
+
+  /// Encodes `lines` (delimiter-separated field text, empty field = NULL)
+  /// under the current layout and sends them as one data chunk.
+  common::Status SendLines(const std::vector<std::string>& lines);
+
+  /// Announces schema drift; subsequent SendLines encode under `layout`.
+  common::Status ChangeLayout(const types::Schema& layout);
+
+  /// Commits the open micro-batch at `watermark_micros` (batch_seq is
+  /// assigned automatically, starting at 1).
+  common::Result<legacy::BatchCommittedBody> Commit(uint64_t watermark_micros);
+
+  /// Re-sends the last Commit verbatim — models a client that never saw the
+  /// BatchCommitted reply. The server answers from its journal.
+  common::Result<legacy::BatchCommittedBody> RetryCommit();
+
+  /// Ends the stream with the client-side totals and returns the report.
+  common::Result<legacy::JobReportBody> End();
+
+  common::Status Logoff();
+
+  uint64_t chunks_sent() const { return chunks_sent_; }
+  uint64_t rows_sent() const { return rows_sent_; }
+  uint64_t batches_committed() const { return batch_seq_; }
+
+ private:
+  StreamClientOptions options_;
+  std::unique_ptr<legacy::LegacySession> session_;
+  types::Schema layout_;
+  legacy::DataFormat format_ = legacy::DataFormat::kVartext;
+  char delimiter_ = '|';
+  uint64_t chunks_sent_ = 0;
+  uint64_t rows_sent_ = 0;
+  uint64_t batch_seq_ = 0;
+  uint64_t last_watermark_ = 0;
+};
+
+}  // namespace hyperq::stream

@@ -1,0 +1,499 @@
+#include "stream/stream_job.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+#include "cloudstore/bulk_loader.h"
+#include "common/logging.h"
+#include "hyperq/conversion_plan.h"
+#include "legacy/errors.h"
+#include "sql/parser.h"
+
+namespace hyperq::stream {
+
+using common::Result;
+using common::Slice;
+using common::Status;
+using core::RecordError;
+
+namespace {
+
+std::string SanitizeId(const std::string& id) {
+  std::string out;
+  for (char c : id) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+Status RecreateTable(cdw::CdwServer* cdw, const std::string& name, const types::Schema& schema) {
+  HQ_RETURN_NOT_OK(cdw->catalog()->DropTable(name, /*if_exists=*/true));
+  return cdw->catalog()->CreateTable(name, schema).status();
+}
+
+/// Zero-padded batch staging prefix ("batch_00000001/"): lexicographic key
+/// order in the COPY ledger is commit order, which is what makes both
+/// eviction paths FIFO.
+std::string BatchPrefix(uint64_t batch_seq) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "batch_%08llu", static_cast<unsigned long long>(batch_seq));
+  return std::string(buf);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<StreamJob>> StreamJob::Create(const std::string& job_id,
+                                                     const legacy::BeginStreamBody& begin,
+                                                     core::JobContext ctx) {
+  if (ctx.cdw == nullptr || ctx.store == nullptr) {
+    return Status::Invalid("incomplete stream job context");
+  }
+  // The target table must already exist in the CDW.
+  HQ_RETURN_NOT_OK(ctx.cdw->catalog()->GetTable(begin.target_table).status());
+  if (begin.dml_sql.empty()) {
+    return Status::Invalid("stream job requires a DML statement (applied per micro-batch)");
+  }
+  HQ_ASSIGN_OR_RETURN(sql::StatementPtr dml, sql::ParseStatement(begin.dml_sql));
+
+  HQ_ASSIGN_OR_RETURN(types::Schema staging_schema, core::MakeStagingSchema(begin.layout));
+  HQ_ASSIGN_OR_RETURN(
+      core::DataConverter converter,
+      core::DataConverter::Create(begin.layout, begin.format, begin.delimiter,
+                                  cdw::CsvOptions{}));
+
+  // Per-stream error-handling overrides from the client script.
+  if (begin.max_errors != 0) ctx.options.max_errors = begin.max_errors;
+  if (begin.max_retries != 0) ctx.options.max_retries = begin.max_retries;
+
+  auto job = std::shared_ptr<StreamJob>(new StreamJob(
+      job_id, begin, std::move(ctx), std::move(converter), staging_schema, std::move(dml)));
+
+  // CDW-side state: one staging table accumulating every micro-batch (the
+  // globally monotone HQ_ROWNUM is what lets per-batch DML ranges compose
+  // into exactly the batch-equivalent apply), plus fresh error tables. A
+  // recreated staging table must not inherit a prior job's COPY ledger.
+  HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->staging_table_, staging_schema));
+  job->ctx_.cdw->ForgetCopies(job->staging_table_);
+  HQ_RETURN_NOT_OK(
+      RecreateTable(job->ctx_.cdw, job->begin_.error_table_et, core::MakeEtErrorSchema()));
+  HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->begin_.error_table_uv,
+                                 core::MakeUvErrorSchema(begin.layout)));
+  return job;
+}
+
+StreamJob::StreamJob(std::string job_id, legacy::BeginStreamBody begin, core::JobContext ctx,
+                     core::DataConverter converter, types::Schema staging_schema,
+                     sql::StatementPtr dml)
+    : job_id_(std::move(job_id)),
+      begin_(std::move(begin)),
+      ctx_(std::move(ctx)),
+      converter_(std::move(converter)),
+      staging_schema_(std::move(staging_schema)),
+      dml_(std::move(dml)) {
+  staging_table_ = "HQ_STRM_" + SanitizeId(job_id_);
+  remote_prefix_ = "stream/" + SanitizeId(job_id_) + "/";
+  local_dir_ = ctx_.options.local_staging_dir + "/" + SanitizeId(job_id_);
+  if (begin_.error_table_et.empty()) begin_.error_table_et = begin_.target_table + "_ET";
+  if (begin_.error_table_uv.empty()) begin_.error_table_uv = begin_.target_table + "_UV";
+  if (ctx_.tracer != nullptr) trace_ = ctx_.tracer->StartTrace(job_id_, obs::Phase::kImport);
+  if (ctx_.metrics != nullptr) {
+    obs::MetricsRegistry* r = ctx_.metrics;
+    m_.chunks = r->GetCounter("hyperq_stream_chunks_total");
+    m_.rows_received = r->GetCounter("hyperq_stream_rows_received_total");
+    m_.batches_committed = r->GetCounter("hyperq_stream_batches_committed_total");
+    m_.rows_committed = r->GetCounter("hyperq_stream_rows_committed_total");
+    m_.data_errors = r->GetCounter("hyperq_stream_data_errors_total");
+    m_.remap_total = r->GetCounter("hyperq_stream_remap_total");
+    m_.fields_dropped = r->GetCounter("hyperq_stream_fields_dropped_total");
+    m_.fields_nulled = r->GetCounter("hyperq_stream_fields_nulled_total");
+    m_.commit_replays = r->GetCounter("hyperq_stream_commit_replays_total");
+    m_.batch_latency = r->GetHistogram("hyperq_stream_batch_latency_seconds");
+    m_.watermark_lag = r->GetGauge("hyperq_stream_watermark_lag_seconds");
+    m_.jobs_active = r->GetGauge("hyperq_stream_jobs_active");
+    m_.jobs_active->Add(1);
+  }
+}
+
+StreamJob::~StreamJob() { ReleaseActiveGauge(); }
+
+void StreamJob::ReleaseActiveGauge() {
+  if (m_.jobs_active != nullptr && active_gauge_held_.exchange(false)) {
+    m_.jobs_active->Sub(1);
+  }
+}
+
+void StreamJob::AcquireBusy() {
+  common::MutexLock lock(&mu_);
+  while (busy_) busy_cv_.Wait(lock);
+  busy_ = true;
+}
+
+void StreamJob::ReleaseBusy() {
+  common::MutexLock lock(&mu_);
+  busy_ = false;
+  busy_cv_.NotifyAll();
+}
+
+common::RetryPolicy StreamJob::MakeIoRetry(const char* breaker_endpoint) const {
+  common::RetryOptions options = ctx_.options.io_retry;
+  options.breaker = common::BreakerFor(breaker_endpoint);
+  if (trace_ != nullptr) {
+    std::shared_ptr<obs::Trace> trace = trace_;
+    options.on_backoff = [trace](std::string_view point, int attempt, uint64_t sleep_micros) {
+      auto start = std::chrono::steady_clock::now();
+      trace->RecordSpan(obs::Phase::kRetryBackoff,
+                        "retry:" + std::string(point) + "#" + std::to_string(attempt), 0, start,
+                        start + std::chrono::microseconds(sleep_micros));
+    };
+  }
+  return common::RetryPolicy(std::move(options));
+}
+
+Status StreamJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
+  BusyToken busy(this);
+  uint64_t order;
+  uint64_t first_row;
+  uint64_t batch_seq;
+  {
+    common::MutexLock lock(&mu_);
+    if (finished_) return Status::Invalid("stream " + job_id_ + " already ended");
+    order = chunk_counter_++;
+    first_row = row_counter_ + 1;
+    row_counter_ += chunk.row_count;
+    ++stats_.chunks;
+    stats_.rows_received += chunk.row_count;
+    batch_seq = stats_.batches_committed + 1;
+  }
+  if (m_.chunks != nullptr) {
+    m_.chunks->Increment();
+    m_.rows_received->Increment(chunk.row_count);
+  }
+
+  if (batch_writer_ == nullptr) {
+    batch_open_ = std::chrono::steady_clock::now();
+    core::FileWriterOptions fw_options;
+    fw_options.directory = local_dir_;
+    fw_options.file_size_threshold = ctx_.options.file_size_threshold;
+    fw_options.compress = ctx_.options.compress_staging_files;
+    fw_options.trace = trace_;
+    fw_options.trace_parent = trace_ == nullptr ? 0 : trace_->root_id();
+    batch_writer_ =
+        std::make_unique<core::FileWriter>(fw_options, BatchPrefix(batch_seq));
+  }
+
+  // Synchronous conversion on the session thread: micro-batches are small by
+  // construction and strict arrival order keeps drift windows deterministic
+  // (every chunk is decoded by exactly the layout that was current when it
+  // was sent).
+  core::ConversionInput input;
+  input.order_index = order;
+  input.first_row_number = first_row;
+  input.chunk = chunk;
+  HQ_ASSIGN_OR_RETURN(core::ConvertedChunk converted, converter_.Convert(input, ctx_.buffers));
+
+  // Transient staging-disk failures are retried; exhausted retries degrade
+  // into an ET row (code 9058) instead of failing the stream — the same
+  // graceful-degradation contract as the batch path.
+  common::RetryPolicy retry = MakeIoRetry("staging_disk");
+  Status appended = retry.Run("bulkload.file", [&](const common::RetryAttempt&) {
+    return batch_writer_->Append(converted.csv.AsSlice(), &batch_files_);
+  });
+  if (ctx_.buffers != nullptr) {
+    ctx_.buffers->Release(std::move(converted.csv.vector()));
+  }
+  size_t new_errors = converted.errors.size();
+  if (!appended.ok()) {
+    if (!common::IsRetryableStatus(appended)) return appended;
+    RecordError abandoned;
+    abandoned.row_number = first_row;
+    abandoned.code = legacy::kErrChunkAbandoned;
+    abandoned.message = "chunk abandoned after staging retries: " + appended.message();
+    batch_errors_.push_back(std::move(abandoned));
+    ++new_errors;
+    common::MutexLock lock(&mu_);
+    ++stats_.chunks_abandoned;
+  } else {
+    batch_rows_staged_ += converted.rows_out;
+    for (auto& e : converted.errors) batch_errors_.push_back(std::move(e));
+  }
+  ++batch_chunks_;
+  if (new_errors != 0) {
+    if (m_.data_errors != nullptr) m_.data_errors->Increment(new_errors);
+    common::MutexLock lock(&mu_);
+    stats_.data_errors += new_errors;
+  }
+  return Status::OK();
+}
+
+Status StreamJob::ChangeLayout(const types::Schema& layout) {
+  BusyToken busy(this);
+  {
+    common::MutexLock lock(&mu_);
+    if (finished_) return Status::Invalid("stream " + job_id_ + " already ended");
+  }
+  if (layout == converter_.layout()) return Status::OK();  // no drift
+
+  Result<core::DataConverter> next =
+      layout == begin_.layout
+          ? core::DataConverter::Create(layout, begin_.format, begin_.delimiter,
+                                        cdw::CsvOptions{})
+          : core::DataConverter::CreateRemapped(layout, begin_.layout, begin_.format,
+                                                begin_.delimiter, cdw::CsvOptions{});
+  HQ_RETURN_NOT_OK(next.status());
+  converter_ = std::move(next).ValueOrDie();
+
+  const core::ConversionPlan& plan = converter_.plan();
+  const size_t dropped = plan.dropped_source_fields();
+  const size_t nulled = plan.nulled_target_fields();
+  if (plan.remapped()) {
+    HQ_LOG_WARN() << "stream " << job_id_ << ": layout drift to " << layout.ToString()
+                  << " — remapping by name (" << dropped << " source field(s) dropped, "
+                  << nulled << " target field(s) nulled)";
+    if (m_.remap_total != nullptr) {
+      m_.remap_total->Increment();
+      m_.fields_dropped->Increment(dropped);
+      m_.fields_nulled->Increment(nulled);
+    }
+  }
+  common::MutexLock lock(&mu_);
+  ++stats_.layout_changes;
+  stats_.fields_dropped += dropped;
+  stats_.fields_nulled += nulled;
+  return Status::OK();
+}
+
+Result<legacy::BatchCommittedBody> StreamJob::CommitBatch(uint64_t batch_seq,
+                                                          uint64_t watermark_micros) {
+  BusyToken busy(this);
+  {
+    common::MutexLock lock(&mu_);
+    if (finished_) return Status::Invalid("stream " + job_id_ + " already ended");
+    // Client replay of a committed batch (lost BatchCommitted reply): the
+    // journal answers; nothing downstream runs again.
+    auto it = committed_batches_.find(batch_seq);
+    if (it != committed_batches_.end()) {
+      ++stats_.commit_replays;
+      if (m_.commit_replays != nullptr) m_.commit_replays->Increment();
+      return it->second;
+    }
+    const uint64_t expected = stats_.batches_committed + 1;
+    if (batch_seq != expected) {
+      return Status::ProtocolError("commit for batch " + std::to_string(batch_seq) +
+                                   ", expected " + std::to_string(expected));
+    }
+  }
+  if (watermark_micros <= last_watermark_) {
+    return Status::ProtocolError(
+        "micro-batch watermark must advance: " + std::to_string(watermark_micros) +
+        " <= " + std::to_string(last_watermark_));
+  }
+  return CommitSealed(batch_seq, watermark_micros);
+}
+
+Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t batch_seq,
+                                                           uint64_t watermark_micros) {
+  const auto commit_start = std::chrono::steady_clock::now();
+  const auto batch_open = batch_chunks_ != 0 ? batch_open_ : commit_start;
+
+  // Seal the open batch: everything below works on locals, so a failed
+  // commit can't corrupt the next batch's accounting.
+  std::unique_ptr<core::FileWriter> writer = std::move(batch_writer_);
+  std::vector<core::FinalizedFile> files = std::move(batch_files_);
+  batch_files_.clear();
+  std::vector<RecordError> errors = std::move(batch_errors_);
+  batch_errors_.clear();
+  const uint64_t rows_staged = batch_rows_staged_;
+  batch_rows_staged_ = 0;
+  batch_chunks_ = 0;
+  const uint64_t first_row = committed_row_high_ + 1;
+  uint64_t last_row;
+  {
+    common::MutexLock lock(&mu_);
+    last_row = row_counter_;
+  }
+  committed_row_high_ = last_row;
+
+  if (writer != nullptr) {
+    HQ_RETURN_NOT_OK(writer->Finish(&files));
+  }
+
+  // Upload this batch's files under its own zero-padded prefix — the scope
+  // of the COPY below and the unit of ledger eviction.
+  const std::string batch_prefix = remote_prefix_ + BatchPrefix(batch_seq) + "/";
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<std::pair<std::string, Slice>> batch;
+  payloads.reserve(files.size());
+  for (const auto& f : files) {
+    HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, cloud::ReadFileBytes(f.path));
+    payloads.push_back(std::move(bytes));
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    std::string name = files[i].path;
+    size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    batch.emplace_back(batch_prefix + name, Slice(payloads[i]));
+  }
+  if (!batch.empty()) {
+    obs::ScopedSpan upload_span(trace_.get(), obs::Phase::kStorePut, "upload");
+    // Resume-aware retry: each attempt re-uploads only the objects not yet
+    // known durable (re-putting a lost-ack object is an idempotent
+    // overwrite).
+    size_t start = 0;
+    common::RetryPolicy retry = MakeIoRetry("objstore");
+    HQ_RETURN_NOT_OK(retry.Run("objstore.put", [&](const common::RetryAttempt&) {
+      std::vector<std::pair<std::string, Slice>> rest(batch.begin() + static_cast<long>(start),
+                                                      batch.end());
+      size_t applied = 0;
+      Status put = ctx_.store->PutBatch(rest, &applied);
+      if (!put.ok()) start += applied;
+      return put;
+    }));
+  }
+
+  // COPY the batch into the accumulating staging table. Safe to retry after
+  // a lost ack: the per-table ledger skips already-ingested objects, and the
+  // per-batch prefix scopes the cumulative count to exactly this batch.
+  uint64_t copied = 0;
+  if (!batch.empty()) {
+    obs::ScopedSpan copy_span(trace_.get(), obs::Phase::kCdwCopy, "copy");
+    common::RetryPolicy retry = MakeIoRetry("cdw");
+    HQ_ASSIGN_OR_RETURN(copied,
+                        retry.RunResult<uint64_t>("cdw.copy", [&](const common::RetryAttempt&) {
+                          return ctx_.cdw->CopyInto(staging_table_, batch_prefix);
+                        }));
+  }
+  if (copied != rows_staged) {
+    return Status::Internal("micro-batch COPY loaded " + std::to_string(copied) +
+                            " rows, staged " + std::to_string(rows_staged));
+  }
+  for (const auto& f : files) std::remove(f.path.c_str());
+
+  // Record this batch's data errors in the ET table, then apply the stream
+  // DML over exactly the batch's row range. Sequential inclusive ranges over
+  // the monotone HQ_ROWNUM partition the stream, so the union of per-batch
+  // applies equals one whole-table apply (the batch-equivalence invariant
+  // the drift e2e checks).
+  common::RetryPolicy exec_retry = MakeIoRetry("cdw");
+  for (const auto& e : errors) {
+    std::string sql_text =
+        "INSERT INTO " + begin_.error_table_et + " VALUES (" + std::to_string(e.code) + ", " +
+        (e.field.empty() ? std::string("NULL") : core::SqlQuote(e.field)) + ", " +
+        core::SqlQuote(e.message + " (input row number: " + std::to_string(e.row_number) + ")") +
+        ")";
+    HQ_RETURN_NOT_OK(exec_retry.Run("cdw.exec", [&](const common::RetryAttempt&) {
+      return ctx_.cdw->ExecuteSql(sql_text).status();
+    }));
+  }
+
+  core::DmlApplyResult dml;
+  if (last_row >= first_row) {
+    obs::ScopedSpan apply_span(trace_.get(), obs::Phase::kDmlApply, "apply");
+    core::AdaptiveOptions adaptive;
+    adaptive.max_errors = ctx_.options.max_errors;
+    adaptive.max_retries = ctx_.options.max_retries;
+    adaptive.enforce_uniqueness = ctx_.options.enforce_uniqueness;
+    adaptive.io_retry = ctx_.options.io_retry;
+    core::AdaptiveDmlApplier applier(ctx_.cdw, dml_.get(), begin_.layout, staging_table_,
+                                     begin_.target_table, begin_.error_table_et,
+                                     begin_.error_table_uv, adaptive);
+    HQ_ASSIGN_OR_RETURN(dml, applier.Apply(first_row, last_row));
+  }
+
+  // The batch is durably applied; retire ledger entries that have fallen out
+  // of the replay window so arbitrarily long streams keep a bounded ledger.
+  uint64_t evicted = 0;
+  ledgered_prefixes_.push_back(batch_prefix);
+  const size_t keep = std::max<size_t>(1, ctx_.options.stream_ledger_keep_batches);
+  while (ledgered_prefixes_.size() > keep) {
+    ctx_.cdw->ForgetCopiesWithPrefix(staging_table_, ledgered_prefixes_.front());
+    ledgered_prefixes_.pop_front();
+    ++evicted;
+  }
+
+  last_watermark_ = watermark_micros;
+  const auto now_wall = std::chrono::system_clock::now().time_since_epoch();
+  const int64_t wall_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(now_wall).count();
+  const int64_t lag_micros = wall_micros - static_cast<int64_t>(watermark_micros);
+  const double batch_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_open).count();
+
+  legacy::BatchCommittedBody reply;
+  reply.batch_seq = batch_seq;
+  reply.watermark_micros = watermark_micros;
+  reply.rows_in_batch = dml.rows_inserted + dml.rows_updated + dml.rows_deleted;
+  {
+    common::MutexLock lock(&mu_);
+    dml_totals_.rows_inserted += dml.rows_inserted;
+    dml_totals_.rows_updated += dml.rows_updated;
+    dml_totals_.rows_deleted += dml.rows_deleted;
+    dml_totals_.et_errors += dml.et_errors;
+    dml_totals_.uv_errors += dml.uv_errors;
+    dml_totals_.range_errors += dml.range_errors;
+    dml_totals_.statements_issued += dml.statements_issued;
+    data_errors_recorded_ += errors.size();
+    ++stats_.batches_committed;
+    stats_.rows_committed += rows_staged;
+    stats_.ledger_evictions += evicted;
+    reply.rows_total =
+        dml_totals_.rows_inserted + dml_totals_.rows_updated + dml_totals_.rows_deleted;
+    reply.et_errors = dml_totals_.et_errors + data_errors_recorded_;
+    reply.message = "batch " + std::to_string(batch_seq) + " committed";
+    committed_batches_[batch_seq] = reply;
+  }
+  if (m_.batches_committed != nullptr) {
+    m_.batches_committed->Increment();
+    m_.rows_committed->Increment(rows_staged);
+    m_.batch_latency->Observe(batch_seconds);
+    m_.watermark_lag->Set(std::max<int64_t>(0, lag_micros / 1000000));
+  }
+  return reply;
+}
+
+Result<legacy::JobReportBody> StreamJob::Finish(uint64_t total_chunks, uint64_t total_rows) {
+  BusyToken busy(this);
+  {
+    common::MutexLock lock(&mu_);
+    if (finished_) return Status::Invalid("stream " + job_id_ + " already ended");
+    if (total_chunks != 0 && total_chunks != chunk_counter_) {
+      return Status::ProtocolError("client reported " + std::to_string(total_chunks) +
+                                   " chunks, received " + std::to_string(chunk_counter_));
+    }
+    if (total_rows != 0 && total_rows != row_counter_) {
+      return Status::ProtocolError("client reported " + std::to_string(total_rows) +
+                                   " rows, received " + std::to_string(row_counter_));
+    }
+  }
+  if (batch_chunks_ != 0 || batch_writer_ != nullptr) {
+    return Status::ProtocolError(
+        "stream ended with an uncommitted micro-batch; send CommitBatch before EndStream");
+  }
+
+  // Stream-scoped scratch state goes with the stream.
+  HQ_RETURN_NOT_OK(ctx_.cdw->catalog()->DropTable(staging_table_, /*if_exists=*/true));
+  ctx_.cdw->ForgetCopies(staging_table_);
+
+  legacy::JobReportBody report;
+  {
+    common::MutexLock lock(&mu_);
+    finished_ = true;
+    report.rows_inserted = dml_totals_.rows_inserted;
+    report.rows_updated = dml_totals_.rows_updated;
+    report.rows_deleted = dml_totals_.rows_deleted;
+    report.et_errors = dml_totals_.et_errors + data_errors_recorded_;
+    report.uv_errors = dml_totals_.uv_errors;
+    report.message = "stream " + job_id_ + " complete (" +
+                     std::to_string(stats_.batches_committed) + " micro-batches)";
+  }
+  ReleaseActiveGauge();
+  if (trace_ != nullptr) trace_->Finish();
+  return report;
+}
+
+StreamStats StreamJob::stats() const {
+  common::MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace hyperq::stream

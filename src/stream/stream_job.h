@@ -1,0 +1,189 @@
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hyperq/data_converter.h"
+#include "hyperq/error_handler.h"
+#include "hyperq/file_writer.h"
+#include "hyperq/import_job.h"
+#include "legacy/parcel.h"
+#include "sql/ast.h"
+
+/// \file stream_job.h
+/// Streaming micro-batch import (the "real-time" half of the paper's title,
+/// layered on the batch load path following DOD-ETL's micro-batching and
+/// METL's drift-tolerant mapping). A StreamJob is a long-lived import
+/// session: chunks arrive continuously, the client cuts watermark-delimited
+/// micro-batches with CommitBatch, and every commit runs the full tail of
+/// the batch pipeline — finalize staging files, upload, COPY, per-batch DML
+/// application — so the target table trails the stream by one micro-batch.
+///
+/// Exactly-once, at two protocol levels:
+///   - A *server-side* COPY retry after a lost ack is absorbed by the CDW's
+///     per-table idempotence ledger: the re-issued COPY (scoped to the
+///     batch's own staging prefix) skips already-ingested objects and
+///     returns the cumulative count.
+///   - A *client-side* CommitBatch replay (lost BatchCommitted reply) hits
+///     the committed-batch journal and gets the recorded result back without
+///     re-running any of the commit pipeline.
+/// Batch prefixes are zero-padded, so ledger keys sort in commit order and
+/// both eviction paths (per-batch ForgetCopiesWithPrefix here, the size cap
+/// in CdwServerOptions) retire oldest-first.
+///
+/// Schema drift: a StreamLayout parcel switches the session's conversion
+/// plan. Name-matched fields are remapped into the original target layout
+/// (see ConversionPlan::CompileRemapped); new fields with no target are
+/// dropped (counted), removed fields become NULLs. The staging table, DML
+/// binding and HQ_ROWNUM bookkeeping all stay in the original layout, which
+/// is what makes a drifting stream land byte-identical to a batch run of the
+/// same logical rows.
+
+namespace hyperq::stream {
+
+struct StreamStats {
+  uint64_t chunks = 0;
+  uint64_t rows_received = 0;
+  uint64_t batches_committed = 0;
+  uint64_t rows_committed = 0;  ///< rows staged and COPYed across batches
+  uint64_t data_errors = 0;
+  uint64_t chunks_abandoned = 0;
+  uint64_t layout_changes = 0;
+  uint64_t fields_dropped = 0;  ///< source fields with no target match
+  uint64_t fields_nulled = 0;   ///< target fields with no source match
+  uint64_t commit_replays = 0;  ///< CommitBatch re-sends answered from the journal
+  uint64_t ledger_evictions = 0;
+};
+
+class StreamJob {
+ public:
+  /// Validates the context, parses the stream's DML, and creates the
+  /// CDW-side state (staging + error tables). `job_id` must be unique on
+  /// the node.
+  static common::Result<std::shared_ptr<StreamJob>> Create(const std::string& job_id,
+                                                           const legacy::BeginStreamBody& begin,
+                                                           core::JobContext ctx);
+
+  ~StreamJob();
+
+  /// Accepts one data chunk into the open micro-batch. Conversion and the
+  /// staging-file append run synchronously on the calling session thread:
+  /// a micro-batch is small by construction and strict arrival order is
+  /// what makes drift windows deterministic.
+  common::Status SubmitChunk(const legacy::DataChunkBody& chunk);
+
+  /// Switches the session's source layout (schema drift). Subsequent chunks
+  /// are decoded in `layout` and remapped into the stream's original target
+  /// layout by field name. No-op when `layout` equals the current one.
+  common::Status ChangeLayout(const types::Schema& layout);
+
+  /// Commits the open micro-batch: seals the staging files, uploads them
+  /// under the batch's own prefix, COPYs into the staging table, records
+  /// this batch's data errors, and applies the stream DML over exactly the
+  /// batch's HQ_ROWNUM range. Replaying an already-committed `batch_seq`
+  /// returns the journaled result. `watermark_micros` must advance.
+  common::Result<legacy::BatchCommittedBody> CommitBatch(uint64_t batch_seq,
+                                                         uint64_t watermark_micros);
+
+  /// Ends the stream after validating client totals; fails if uncommitted
+  /// rows remain. Drops the staging table and its ledger, and reports the
+  /// cumulative result of every committed batch.
+  common::Result<legacy::JobReportBody> Finish(uint64_t total_chunks, uint64_t total_rows);
+
+  const std::string& job_id() const { return job_id_; }
+  const legacy::BeginStreamBody& begin() const { return begin_; }
+  StreamStats stats() const HQ_EXCLUDES(mu_);
+  std::shared_ptr<obs::Trace> trace() const { return trace_; }
+
+ private:
+  StreamJob(std::string job_id, legacy::BeginStreamBody begin, core::JobContext ctx,
+            core::DataConverter converter, types::Schema staging_schema,
+            sql::StatementPtr dml);
+
+  /// Serializes SubmitChunk/ChangeLayout/CommitBatch/Finish across sessions
+  /// without holding mu_ (rank kJob) through CDW (rank kCdw) or store calls
+  /// — the lock hierarchy is descending-only, so commit IO must run
+  /// lock-free. Busy is a turn token, not a critical section.
+  void AcquireBusy() HQ_EXCLUDES(mu_);
+  void ReleaseBusy() HQ_EXCLUDES(mu_);
+  /// RAII for the busy token.
+  struct BusyToken {
+    explicit BusyToken(StreamJob* job) : job_(job) { job_->AcquireBusy(); }
+    ~BusyToken() { job_->ReleaseBusy(); }
+    BusyToken(const BusyToken&) = delete;
+    BusyToken& operator=(const BusyToken&) = delete;
+    StreamJob* job_;
+  };
+
+  common::RetryPolicy MakeIoRetry(const char* breaker_endpoint) const;
+  /// The commit pipeline body; runs with the busy token held, mu_ free.
+  common::Result<legacy::BatchCommittedBody> CommitSealed(uint64_t batch_seq,
+                                                          uint64_t watermark_micros);
+  void ReleaseActiveGauge();
+
+  std::string job_id_;
+  legacy::BeginStreamBody begin_;
+  core::JobContext ctx_;
+  core::DataConverter converter_;  ///< swapped on drift; busy-serialized
+  types::Schema staging_schema_;
+  sql::StatementPtr dml_;
+  std::string staging_table_;
+  std::string remote_prefix_;
+  std::string local_dir_;
+
+  std::shared_ptr<obs::Trace> trace_;
+  struct Instruments {
+    obs::Counter* chunks = nullptr;
+    obs::Counter* rows_received = nullptr;
+    obs::Counter* batches_committed = nullptr;
+    obs::Counter* rows_committed = nullptr;
+    obs::Counter* data_errors = nullptr;
+    obs::Counter* remap_total = nullptr;
+    obs::Counter* fields_dropped = nullptr;
+    obs::Counter* fields_nulled = nullptr;
+    obs::Counter* commit_replays = nullptr;
+    obs::Histogram* batch_latency = nullptr;
+    obs::Gauge* watermark_lag = nullptr;
+    obs::Gauge* jobs_active = nullptr;
+  } m_;
+  std::atomic<bool> active_gauge_held_{true};
+
+  mutable common::Mutex mu_{common::LockRank::kJob, "stream_job"};
+  common::CondVar busy_cv_;
+  bool busy_ HQ_GUARDED_BY(mu_) = false;
+
+  // --- Session-serialized state (written with the busy token held; counters
+  // --- mirrored under mu_ where stats() reads them). ---
+  uint64_t chunk_counter_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t row_counter_ HQ_GUARDED_BY(mu_) = 0;
+  StreamStats stats_ HQ_GUARDED_BY(mu_);
+
+  /// Open micro-batch (busy-serialized; no concurrent readers).
+  std::unique_ptr<core::FileWriter> batch_writer_;
+  std::vector<core::FinalizedFile> batch_files_;
+  std::vector<core::RecordError> batch_errors_;
+  uint64_t batch_chunks_ = 0;
+  uint64_t batch_rows_staged_ = 0;
+  /// Global row number of the last row belonging to a committed batch.
+  uint64_t committed_row_high_ = 0;
+  std::chrono::steady_clock::time_point batch_open_;
+
+  uint64_t last_watermark_ = 0;
+  /// Commit journal: batch_seq -> recorded reply, for client replays. Only
+  /// the latest entry is reachable by a correct client; the full map is kept
+  /// because it is tiny (one small struct per batch).
+  std::map<uint64_t, legacy::BatchCommittedBody> committed_batches_ HQ_GUARDED_BY(mu_);
+  /// Committed batch prefixes whose ledger entries are still retained.
+  std::deque<std::string> ledgered_prefixes_;
+
+  /// Cumulative DML results across batches (for the final JobReport).
+  core::DmlApplyResult dml_totals_ HQ_GUARDED_BY(mu_);
+  uint64_t data_errors_recorded_ HQ_GUARDED_BY(mu_) = 0;
+  bool finished_ HQ_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace hyperq::stream

@@ -211,5 +211,19 @@ TEST(FaultInjectorTest, InjectedCountsListsEveryRegisteredPoint) {
   EXPECT_EQ(FaultInjector::PointIndex("nope"), -1);
 }
 
+TEST(FaultInjectorTest, ExportPathPointsAreRegisteredAndArmable) {
+  // The export-side hops joined the registry alongside the load-path points;
+  // specs naming them must parse and fire like any other point.
+  EXPECT_GE(FaultInjector::PointIndex("tdf.read"), 0);
+  EXPECT_GE(FaultInjector::PointIndex("export.send"), 0);
+  FaultInjector injector;
+  ASSERT_TRUE(injector.Arm("tdf.read=error,once=1;export.send=error,once=1").ok());
+  EXPECT_TRUE(injector.Inject("tdf.read").IsIOError());
+  EXPECT_TRUE(injector.Inject("export.send").IsIOError());
+  EXPECT_TRUE(injector.Inject("tdf.read").ok()) << "once=1 fires exactly once";
+  EXPECT_EQ(injector.injected_count("tdf.read"), 1u);
+  EXPECT_EQ(injector.injected_count("export.send"), 1u);
+}
+
 }  // namespace
 }  // namespace hyperq::common

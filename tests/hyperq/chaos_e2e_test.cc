@@ -188,9 +188,12 @@ TEST_F(ChaosE2eTest, FaultFreeAndChaosRunsLoadByteIdenticalTables) {
   auto stats = node_->JobStats(chaos_run->imports[0].job_id).ValueOrDie();
   EXPECT_EQ(stats.chunks_abandoned, 0u) << "p=0.2 over 8 attempts must never exhaust";
 
-  // Retries and injections must be visible before disarming.
+  // Retries and injections must be visible before disarming. The two
+  // export-path points cannot fire in an import-only run; the export chaos
+  // test below covers them.
   EXPECT_GE(common::RetryStats::Global().total_retries(), 1u);
   for (const auto& [point, injected] : common::FaultInjector::Global().InjectedCounts()) {
+    if (point == "tdf.read" || point == "export.send") continue;
     EXPECT_GE(injected, 1u) << "fault point " << point
                             << " never fired: the chaos spec is not covering the load path";
   }
@@ -240,6 +243,70 @@ TEST_F(ChaosE2eTest, ExhaustedStagingRetriesDegradeIntoEtRowsNotJobFailure) {
   EXPECT_EQ(et.rows[0][0].int_value(), legacy::kErrChunkAbandoned);
   EXPECT_NE(et.rows[0][1].string_value().find("chunk abandoned"), std::string::npos);
   EXPECT_EQ(CountRows("PROD.CUSTOMER"), 900u);
+}
+
+TEST_F(ChaosE2eTest, ExportPathSurvivesTdfReadAndSendFaults) {
+  // Differential over the export path: the two export-side fault points
+  // (tdf.read on the cursor fetch, export.send on the reply hop) fire
+  // aggressively; the retried run must write the byte-identical outfile.
+  const char* script = R"(.logon hq/u,p;
+.begin export outfile out.txt format vartext '|';
+select ID, NAME from SRC order by ID;
+.end export;
+.logoff;
+)";
+  auto seed_table = [&] {
+    ASSERT_TRUE(cdw_->ExecuteSql("CREATE TABLE SRC (ID INTEGER, NAME VARCHAR(20))").ok());
+    for (int i = 1; i <= 200; ++i) {
+      ASSERT_TRUE(cdw_->ExecuteSql("INSERT INTO SRC VALUES (" + std::to_string(i) + ", 'n" +
+                                   std::to_string(i) + "')")
+                      .ok());
+    }
+  };
+  auto read_outfile = [&]() -> std::string {
+    auto bytes = cloud::ReadFileBytes(work_dir_ + "/out.txt");
+    EXPECT_TRUE(bytes.ok());
+    return bytes.ok() ? std::string(bytes->begin(), bytes->end()) : "";
+  };
+
+  // --- Baseline: injection off. ---
+  HyperQOptions clean;
+  clean.export_chunk_rows = 16;
+  StartNode(clean);
+  seed_table();
+  auto baseline_run = MakeClient().RunScript(script);
+  ASSERT_TRUE(baseline_run.ok()) << baseline_run.status().ToString();
+  EXPECT_EQ(baseline_run->exports[0].rows_written, 200u);
+  const std::string baseline = read_outfile();
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(common::FaultInjector::Global().total_injected(), 0u);
+  EXPECT_EQ(common::RetryStats::Global().total_retries(), 0u);
+  StopNode();
+  ResetResilienceState();
+
+  // --- Chaos: both export points armed. ---
+  HyperQOptions chaos;
+  chaos.export_chunk_rows = 16;
+  chaos.fault_spec =
+      "seed=77;"
+      "tdf.read=error,once=1;tdf.read=error,p=0.15;"
+      "export.send=error,once=1;export.send=error,p=0.15;";
+  chaos.io_retry.max_attempts = 8;
+  chaos.io_retry.initial_backoff_micros = 50;
+  chaos.io_retry.max_backoff_micros = 2000;
+  StartNode(chaos);
+  seed_table();
+  auto chaos_run = MakeClient().RunScript(script);
+  ASSERT_TRUE(chaos_run.ok()) << chaos_run.status().ToString();
+  EXPECT_EQ(chaos_run->exports[0].rows_written, 200u);
+
+  EXPECT_GE(common::FaultInjector::Global().injected_count("tdf.read"), 1u);
+  EXPECT_GE(common::FaultInjector::Global().injected_count("export.send"), 1u);
+  EXPECT_GE(common::RetryStats::Global().total_retries(), 1u);
+
+  common::FaultInjector::Global().Disarm();
+  EXPECT_EQ(read_outfile(), baseline)
+      << "chaos export wrote different bytes than the fault-free export";
 }
 
 TEST_F(ChaosE2eTest, ConnectionDropFailsTheRunInsteadOfHanging) {

@@ -181,6 +181,68 @@ TEST(ParcelBodyTest, ExportBodiesRoundTrip) {
   EXPECT_EQ(d3->chunk_seq, 4u);
 }
 
+TEST(ParcelBodyTest, StreamBodiesRoundTrip) {
+  BeginStreamBody begin;
+  begin.job_id = "strm_1";
+  begin.target_table = "PROD.CUSTOMER";
+  begin.error_table_et = "PROD.CUSTOMER_ET";
+  begin.error_table_uv = "PROD.CUSTOMER_UV";
+  begin.format = DataFormat::kVartext;
+  begin.delimiter = '|';
+  begin.layout = TestLayout();
+  begin.dml_label = "Ins";
+  begin.dml_sql = "insert into PROD.CUSTOMER values (:CUST_ID, :JOIN_DATE)";
+  begin.max_errors = 7;
+  begin.max_retries = 3;
+  auto d1 = BeginStreamBody::Decode(begin.Encode());
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->job_id, "strm_1");
+  EXPECT_EQ(d1->target_table, "PROD.CUSTOMER");
+  EXPECT_EQ(d1->layout, TestLayout());
+  EXPECT_EQ(d1->dml_label, "Ins");
+  EXPECT_EQ(d1->dml_sql, begin.dml_sql);
+  EXPECT_EQ(d1->max_errors, 7u);
+  EXPECT_EQ(d1->max_retries, 3);
+
+  StreamLayoutBody drifted;
+  drifted.layout = TestLayout();
+  auto d2 = StreamLayoutBody::Decode(drifted.Encode());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->layout, TestLayout());
+
+  CommitBatchBody commit;
+  commit.batch_seq = 12;
+  commit.watermark_micros = 1700000000000001ull;
+  auto d3 = CommitBatchBody::Decode(commit.Encode());
+  ASSERT_TRUE(d3.ok());
+  EXPECT_EQ(d3->batch_seq, 12u);
+  EXPECT_EQ(d3->watermark_micros, 1700000000000001ull);
+
+  BatchCommittedBody committed;
+  committed.batch_seq = 12;
+  committed.watermark_micros = 1700000000000001ull;
+  committed.rows_in_batch = 500;
+  committed.rows_total = 6000;
+  committed.et_errors = 2;
+  committed.message = "batch 12 committed";
+  auto d4 = BatchCommittedBody::Decode(committed.Encode());
+  ASSERT_TRUE(d4.ok());
+  EXPECT_EQ(d4->batch_seq, 12u);
+  EXPECT_EQ(d4->watermark_micros, 1700000000000001ull);
+  EXPECT_EQ(d4->rows_in_batch, 500u);
+  EXPECT_EQ(d4->rows_total, 6000u);
+  EXPECT_EQ(d4->et_errors, 2u);
+  EXPECT_EQ(d4->message, "batch 12 committed");
+
+  EndStreamBody end;
+  end.total_chunks = 40;
+  end.total_rows = 6000;
+  auto d5 = EndStreamBody::Decode(end.Encode());
+  ASSERT_TRUE(d5.ok());
+  EXPECT_EQ(d5->total_chunks, 40u);
+  EXPECT_EQ(d5->total_rows, 6000u);
+}
+
 TEST(ParcelBodyTest, DecodeWrongKindFails) {
   ChunkAckBody ack{1};
   EXPECT_TRUE(LogonOkBody::Decode(ack.Encode()).status().IsProtocolError());

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cdw/cdw_server.h"
+#include "cloudstore/object_store.h"
+#include "common/bytes.h"
+
+/// COPY idempotence-ledger bounding (satellite of the streaming PR): the
+/// per-table ledger that makes retried COPYs exactly-once must not grow
+/// without bound over a long-lived stream. Covers the cap-based eviction
+/// (copy_ledger_max_entries), prefix-scoped forgetting used at watermark
+/// commit, and the exactly-once replay semantics both exist to protect.
+
+namespace hyperq::cdw {
+namespace {
+
+using common::Slice;
+using types::Field;
+using types::Schema;
+using types::TypeDesc;
+
+Schema OneColSchema() {
+  Schema s;
+  s.AddField(Field("ID", TypeDesc::Int64()));
+  return s;
+}
+
+std::string BatchKey(int batch, int part) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "stream/j/batch_%08d/p%d.csv", batch, part);
+  return buf;
+}
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void StartServer(size_t ledger_cap) {
+    CdwServerOptions options;
+    options.copy_ledger_max_entries = ledger_cap;
+    cdw_ = std::make_unique<CdwServer>(&store_, options);
+    ASSERT_TRUE(cdw_->catalog()->CreateTable("T", OneColSchema()).ok());
+  }
+
+  void PutRow(const std::string& key, int id) {
+    std::string csv = std::to_string(id) + "\n";
+    ASSERT_TRUE(store_.Put(key, Slice(std::string_view(csv))).ok());
+  }
+
+  cloud::ObjectStore store_;
+  std::unique_ptr<CdwServer> cdw_;
+};
+
+TEST_F(LedgerTest, ReissuedCopyIsIdempotentAndCumulative) {
+  StartServer(/*ledger_cap=*/0);
+  PutRow(BatchKey(1, 0), 1);
+  PutRow(BatchKey(1, 1), 2);
+  EXPECT_EQ(cdw_->CopyInto("T", "stream/j/batch_00000001/").ValueOrDie(), 2u);
+  // Lost-ack retry: same prefix, nothing new staged. The ledger answers with
+  // the cumulative count and the table gains no duplicate rows.
+  EXPECT_EQ(cdw_->CopyInto("T", "stream/j/batch_00000001/").ValueOrDie(), 2u);
+  EXPECT_EQ(cdw_->catalog()->GetTable("T").ValueOrDie()->num_rows(), 2u);
+  EXPECT_EQ(cdw_->CopyLedgerSize("T"), 2u);
+}
+
+TEST_F(LedgerTest, RetryAfterPartialStagePicksUpOnlyNewObjects) {
+  StartServer(/*ledger_cap=*/0);
+  PutRow(BatchKey(1, 0), 1);
+  EXPECT_EQ(cdw_->CopyInto("T", "stream/j/batch_00000001/").ValueOrDie(), 1u);
+  PutRow(BatchKey(1, 1), 2);  // staged between attempt and retry
+  EXPECT_EQ(cdw_->CopyInto("T", "stream/j/batch_00000001/").ValueOrDie(), 2u);
+  EXPECT_EQ(cdw_->catalog()->GetTable("T").ValueOrDie()->num_rows(), 2u);
+}
+
+TEST_F(LedgerTest, ForgetCopiesWithPrefixDropsOnlyThatBatch) {
+  StartServer(/*ledger_cap=*/0);
+  PutRow(BatchKey(1, 0), 1);
+  PutRow(BatchKey(2, 0), 2);
+  EXPECT_EQ(cdw_->CopyInto("T", "stream/j/batch_00000001/").ValueOrDie(), 1u);
+  EXPECT_EQ(cdw_->CopyInto("T", "stream/j/batch_00000002/").ValueOrDie(), 1u);
+  EXPECT_EQ(cdw_->CopyLedgerSize("T"), 2u);
+
+  cdw_->ForgetCopiesWithPrefix("T", "stream/j/batch_00000001/");
+  EXPECT_EQ(cdw_->CopyLedgerSize("T"), 1u);
+  // Batch 2's entry survives: its retry is still answered from the ledger.
+  EXPECT_EQ(cdw_->CopyInto("T", "stream/j/batch_00000002/").ValueOrDie(), 1u);
+  EXPECT_EQ(cdw_->catalog()->GetTable("T").ValueOrDie()->num_rows(), 2u);
+}
+
+TEST_F(LedgerTest, CapEvictsOldestKeysFirst) {
+  StartServer(/*ledger_cap=*/2);
+  for (int batch = 1; batch <= 4; ++batch) {
+    PutRow(BatchKey(batch, 0), batch);
+    std::string prefix = "stream/j/batch_0000000" + std::to_string(batch) + "/";
+    EXPECT_EQ(cdw_->CopyInto("T", prefix).ValueOrDie(), 1u);
+    EXPECT_LE(cdw_->CopyLedgerSize("T"), 2u);
+  }
+  EXPECT_EQ(cdw_->catalog()->GetTable("T").ValueOrDie()->num_rows(), 4u);
+  // Zero-padded batch keys sort in commit order, so the survivors are the two
+  // NEWEST batches: a retry of batch 4 is still deduplicated...
+  EXPECT_EQ(cdw_->CopyInto("T", "stream/j/batch_00000004/").ValueOrDie(), 1u);
+  EXPECT_EQ(cdw_->catalog()->GetTable("T").ValueOrDie()->num_rows(), 4u);
+  // ...while batch 1, long past the watermark, was evicted — re-copying it
+  // now re-ingests (the stream protocol never re-sends committed batches, so
+  // this is the accepted trade of the bound).
+  EXPECT_EQ(cdw_->CopyInto("T", "stream/j/batch_00000001/").ValueOrDie(), 1u);
+  EXPECT_EQ(cdw_->catalog()->GetTable("T").ValueOrDie()->num_rows(), 5u);
+}
+
+TEST_F(LedgerTest, UnboundedByDefault) {
+  StartServer(/*ledger_cap=*/0);
+  for (int batch = 1; batch <= 8; ++batch) {
+    PutRow(BatchKey(batch, 0), batch);
+    std::string prefix = "stream/j/batch_0000000" + std::to_string(batch) + "/";
+    ASSERT_TRUE(cdw_->CopyInto("T", prefix).ok());
+  }
+  EXPECT_EQ(cdw_->CopyLedgerSize("T"), 8u);
+}
+
+}  // namespace
+}  // namespace hyperq::cdw

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hyperq/conversion_plan.h"
+#include "hyperq/data_converter.h"
+#include "legacy/errors.h"
+#include "legacy/row_format.h"
+
+/// Drift-remap matrix: for every drift shape (reorder, add, drop, and their
+/// combinations) the remapped converter must land the same staging bytes a
+/// non-drifted converter would produce for the logically-equal record in the
+/// original target layout. Byte-identity here is what makes the drift e2e's
+/// whole-table byte-identity possible.
+
+namespace hyperq::core {
+namespace {
+
+using legacy::DataFormat;
+using types::Field;
+using types::Schema;
+using types::TypeDesc;
+using types::Value;
+
+Schema MakeVarcharLayout(const std::vector<std::string>& names) {
+  Schema s;
+  for (const auto& n : names) s.AddField(Field(n, TypeDesc::Varchar(50)));
+  return s;
+}
+
+legacy::DataChunkBody MakeVartextChunk(const std::vector<legacy::VartextRecord>& records) {
+  common::ByteBuffer payload;
+  for (const auto& r : records) {
+    EXPECT_TRUE(legacy::EncodeVartextRecord(r, '|', &payload).ok());
+  }
+  legacy::DataChunkBody chunk;
+  chunk.row_count = static_cast<uint32_t>(records.size());
+  chunk.payload = std::move(payload.vector());
+  return chunk;
+}
+
+ConversionInput MakeInput(legacy::DataChunkBody chunk, uint64_t first_row = 1) {
+  ConversionInput input;
+  input.first_row_number = first_row;
+  input.chunk = std::move(chunk);
+  return input;
+}
+
+std::string CsvOf(const ConvertedChunk& converted) {
+  return std::string(reinterpret_cast<const char*>(converted.csv.AsSlice().data()),
+                     converted.csv.size());
+}
+
+TEST(RemapVartextTest, ReorderedSourceLandsIdenticalBytes) {
+  Schema target = MakeVarcharLayout({"A", "B", "C"});
+  Schema drifted = MakeVarcharLayout({"C", "A", "B"});
+
+  auto direct = DataConverter::Create(target, DataFormat::kVartext, '|').ValueOrDie();
+  auto remap =
+      DataConverter::CreateRemapped(drifted, target, DataFormat::kVartext, '|').ValueOrDie();
+  EXPECT_TRUE(remap.plan().remapped());
+  EXPECT_EQ(remap.plan().dropped_source_fields(), 0u);
+  EXPECT_EQ(remap.plan().nulled_target_fields(), 0u);
+
+  auto baseline = direct
+                      .Convert(MakeInput(MakeVartextChunk({
+                          {{false, "a1"}, {false, "b1"}, {false, "c,1"}},
+                          {{false, "a2"}, {true, ""}, {false, "c\"2"}},
+                      })))
+                      .ValueOrDie();
+  auto drifted_out = remap
+                         .Convert(MakeInput(MakeVartextChunk({
+                             {{false, "c,1"}, {false, "a1"}, {false, "b1"}},
+                             {{false, "c\"2"}, {false, "a2"}, {true, ""}},
+                         })))
+                         .ValueOrDie();
+  EXPECT_EQ(CsvOf(drifted_out), CsvOf(baseline));
+  EXPECT_EQ(drifted_out.rows_out, 2u);
+  EXPECT_TRUE(drifted_out.errors.empty());
+}
+
+TEST(RemapVartextTest, AddedSourceFieldIsDroppedWithCount) {
+  Schema target = MakeVarcharLayout({"A", "B"});
+  Schema drifted = MakeVarcharLayout({"A", "EXTRA", "B"});
+
+  auto direct = DataConverter::Create(target, DataFormat::kVartext, '|').ValueOrDie();
+  auto remap =
+      DataConverter::CreateRemapped(drifted, target, DataFormat::kVartext, '|').ValueOrDie();
+  EXPECT_EQ(remap.plan().dropped_source_fields(), 1u);
+  EXPECT_EQ(remap.plan().nulled_target_fields(), 0u);
+
+  auto baseline =
+      direct.Convert(MakeInput(MakeVartextChunk({{{false, "a"}, {false, "b"}}}))).ValueOrDie();
+  auto drifted_out =
+      remap.Convert(MakeInput(MakeVartextChunk({{{false, "a"}, {false, "zzz"}, {false, "b"}}})))
+          .ValueOrDie();
+  EXPECT_EQ(CsvOf(drifted_out), CsvOf(baseline));
+}
+
+TEST(RemapVartextTest, RemovedSourceFieldBecomesNull) {
+  Schema target = MakeVarcharLayout({"A", "B", "C"});
+  Schema drifted = MakeVarcharLayout({"A", "C"});  // B disappeared mid-stream
+
+  auto direct = DataConverter::Create(target, DataFormat::kVartext, '|').ValueOrDie();
+  auto remap =
+      DataConverter::CreateRemapped(drifted, target, DataFormat::kVartext, '|').ValueOrDie();
+  EXPECT_EQ(remap.plan().dropped_source_fields(), 0u);
+  EXPECT_EQ(remap.plan().nulled_target_fields(), 1u);
+
+  // Equivalent original-layout record carries NULL for B.
+  auto baseline =
+      direct.Convert(MakeInput(MakeVartextChunk({{{false, "a"}, {true, ""}, {false, "c"}}})))
+          .ValueOrDie();
+  auto drifted_out =
+      remap.Convert(MakeInput(MakeVartextChunk({{{false, "a"}, {false, "c"}}}))).ValueOrDie();
+  EXPECT_EQ(CsvOf(drifted_out), CsvOf(baseline));
+}
+
+TEST(RemapVartextTest, NameMatchIsCaseInsensitive) {
+  Schema target = MakeVarcharLayout({"CUST_ID", "CUST_NAME"});
+  Schema drifted = MakeVarcharLayout({"cust_name", "cust_id"});
+  auto remap =
+      DataConverter::CreateRemapped(drifted, target, DataFormat::kVartext, '|').ValueOrDie();
+  EXPECT_EQ(remap.plan().dropped_source_fields(), 0u);
+  EXPECT_EQ(remap.plan().nulled_target_fields(), 0u);
+}
+
+TEST(RemapVartextTest, FieldCountMismatchIsPerRecordError) {
+  Schema target = MakeVarcharLayout({"A", "B"});
+  Schema drifted = MakeVarcharLayout({"A", "EXTRA", "B"});
+  auto remap =
+      DataConverter::CreateRemapped(drifted, target, DataFormat::kVartext, '|').ValueOrDie();
+
+  // Middle record has drifted-layout arity minus one; the other two convert.
+  common::ByteBuffer payload;
+  ASSERT_TRUE(legacy::EncodeVartextRecord({{false, "a1"}, {false, "x"}, {false, "b1"}}, '|',
+                                          &payload)
+                  .ok());
+  ASSERT_TRUE(legacy::EncodeVartextRecord({{false, "a2"}, {false, "b2"}}, '|', &payload).ok());
+  ASSERT_TRUE(legacy::EncodeVartextRecord({{false, "a3"}, {false, "x"}, {false, "b3"}}, '|',
+                                          &payload)
+                  .ok());
+  legacy::DataChunkBody chunk;
+  chunk.row_count = 3;
+  chunk.payload = std::move(payload.vector());
+
+  auto out = remap.Convert(MakeInput(std::move(chunk), /*first_row=*/10)).ValueOrDie();
+  EXPECT_EQ(out.rows_out, 2u);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].row_number, 11u);
+  EXPECT_EQ(out.errors[0].code, legacy::kErrFieldCountMismatch);
+}
+
+TEST(RemapBinaryTest, ReorderAddDropCombinedLandsIdenticalBytes) {
+  Schema target;
+  target.AddField(Field("ID", TypeDesc::Int32()));
+  target.AddField(Field("NAME", TypeDesc::Varchar(20)));
+  target.AddField(Field("SCORE", TypeDesc::Int64()));
+
+  // Drifted wire layout: SCORE and ID swapped, NAME gone, EXTRA added.
+  Schema drifted;
+  drifted.AddField(Field("SCORE", TypeDesc::Int64()));
+  drifted.AddField(Field("EXTRA", TypeDesc::Varchar(8)));
+  drifted.AddField(Field("ID", TypeDesc::Int32()));
+
+  auto direct = DataConverter::Create(target, DataFormat::kBinary, '|').ValueOrDie();
+  auto remap =
+      DataConverter::CreateRemapped(drifted, target, DataFormat::kBinary, '|').ValueOrDie();
+  EXPECT_EQ(remap.plan().dropped_source_fields(), 1u);  // EXTRA
+  EXPECT_EQ(remap.plan().nulled_target_fields(), 1u);   // NAME
+
+  legacy::BinaryRowCodec target_codec(target);
+  common::ByteBuffer baseline_payload;
+  ASSERT_TRUE(target_codec
+                  .EncodeRow({Value::Int(7), Value::Null(), Value::Int(900)},
+                             &baseline_payload)
+                  .ok());
+  ASSERT_TRUE(target_codec
+                  .EncodeRow({Value::Int(8), Value::Null(), Value::Null()},
+                             &baseline_payload)
+                  .ok());
+  legacy::DataChunkBody baseline_chunk;
+  baseline_chunk.row_count = 2;
+  baseline_chunk.payload = std::move(baseline_payload.vector());
+
+  legacy::BinaryRowCodec drifted_codec(drifted);
+  common::ByteBuffer drifted_payload;
+  ASSERT_TRUE(drifted_codec
+                  .EncodeRow({Value::Int(900), Value::String("junk"), Value::Int(7)},
+                             &drifted_payload)
+                  .ok());
+  ASSERT_TRUE(drifted_codec
+                  .EncodeRow({Value::Null(), Value::Null(), Value::Int(8)}, &drifted_payload)
+                  .ok());
+  legacy::DataChunkBody drifted_chunk;
+  drifted_chunk.row_count = 2;
+  drifted_chunk.payload = std::move(drifted_payload.vector());
+
+  auto baseline = direct.Convert(MakeInput(std::move(baseline_chunk))).ValueOrDie();
+  auto drifted_out = remap.Convert(MakeInput(std::move(drifted_chunk))).ValueOrDie();
+  EXPECT_EQ(CsvOf(drifted_out), CsvOf(baseline));
+  EXPECT_EQ(drifted_out.rows_out, 2u);
+}
+
+TEST(RemapBinaryTest, NonNullEmptyStringSurvivesRemap) {
+  // The remap scratch uses "escaped bytes present" as the null discriminator;
+  // a non-null empty VARCHAR escapes to "" (two quote bytes), so it must NOT
+  // collapse into NULL across the remap.
+  Schema target;
+  target.AddField(Field("A", TypeDesc::Varchar(5)));
+  target.AddField(Field("B", TypeDesc::Varchar(5)));
+  Schema drifted;
+  drifted.AddField(Field("B", TypeDesc::Varchar(5)));
+  drifted.AddField(Field("A", TypeDesc::Varchar(5)));
+
+  auto direct = DataConverter::Create(target, DataFormat::kBinary, '|').ValueOrDie();
+  auto remap =
+      DataConverter::CreateRemapped(drifted, target, DataFormat::kBinary, '|').ValueOrDie();
+
+  legacy::BinaryRowCodec target_codec(target);
+  common::ByteBuffer baseline_payload;
+  ASSERT_TRUE(
+      target_codec.EncodeRow({Value::String(""), Value::Null()}, &baseline_payload).ok());
+  legacy::DataChunkBody baseline_chunk;
+  baseline_chunk.row_count = 1;
+  baseline_chunk.payload = std::move(baseline_payload.vector());
+
+  legacy::BinaryRowCodec drifted_codec(drifted);
+  common::ByteBuffer drifted_payload;
+  ASSERT_TRUE(
+      drifted_codec.EncodeRow({Value::Null(), Value::String("")}, &drifted_payload).ok());
+  legacy::DataChunkBody drifted_chunk;
+  drifted_chunk.row_count = 1;
+  drifted_chunk.payload = std::move(drifted_payload.vector());
+
+  auto baseline = direct.Convert(MakeInput(std::move(baseline_chunk))).ValueOrDie();
+  auto drifted_out = remap.Convert(MakeInput(std::move(drifted_chunk))).ValueOrDie();
+  EXPECT_EQ(CsvOf(drifted_out), CsvOf(baseline));
+  EXPECT_NE(CsvOf(drifted_out).find("\"\""), std::string::npos);
+}
+
+TEST(RemapBinaryTest, UndecodableRecordPoisonsRestOfChunk) {
+  Schema target;
+  target.AddField(Field("ID", TypeDesc::Int32()));
+  Schema drifted;
+  drifted.AddField(Field("ID", TypeDesc::Int32()));
+  drifted.AddField(Field("X", TypeDesc::Varchar(4)));
+  auto remap =
+      DataConverter::CreateRemapped(drifted, target, DataFormat::kBinary, '|').ValueOrDie();
+
+  legacy::DataChunkBody chunk;
+  chunk.row_count = 1;
+  chunk.payload = {0x03, 0x00, 0xff, 0xff, 0xff};  // truncated garbage record
+  auto out = remap.Convert(MakeInput(std::move(chunk), /*first_row=*/5)).ValueOrDie();
+  EXPECT_EQ(out.rows_out, 0u);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].row_number, 5u);
+  EXPECT_EQ(out.errors[0].code, legacy::kErrFormatViolation);
+  EXPECT_NE(out.errors[0].message.find("remainder of chunk skipped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperq::core
