@@ -339,6 +339,12 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
           reply_failure(body.status());
           break;
         }
+        // A session serves either a batch load or a stream, never both.
+        if (stream_job != nullptr) {
+          reply_failure(Status::ProtocolError("session already serves stream " +
+                                              stream_job->job_id() + "; BeginLoad refused"));
+          break;
+        }
         auto job = GetOrCreateImportJob(*body);
         if (!job.ok()) {
           reply_failure(job.status());
@@ -486,6 +492,12 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
         auto body = legacy::BeginStreamBody::Decode(parcel);
         if (!body.ok()) {
           reply_failure(body.status());
+          break;
+        }
+        // A session serves either a batch load or a stream, never both.
+        if (import_job != nullptr) {
+          reply_failure(Status::ProtocolError("session already serves batch load " +
+                                              import_job->job_id() + "; BeginStream refused"));
           break;
         }
         auto job = GetOrCreateStreamJob(*body);

@@ -152,12 +152,20 @@ common::RetryPolicy StreamJob::MakeIoRetry(const char* breaker_endpoint) const {
 
 Status StreamJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
   BusyToken busy(this);
+  // A failed commit keeps its sealed batch for retry; accepting re-sent
+  // copies of those rows here would stage them twice.
+  if (sealed_.has_value()) {
+    return Status::ProtocolError(
+        "stream " + job_id_ + ": commit of batch " + std::to_string(sealed_->batch_seq) +
+        " failed and is pending retry; re-send CommitBatch, not chunks");
+  }
   uint64_t order;
   uint64_t first_row;
   uint64_t batch_seq;
   {
     common::MutexLock lock(&mu_);
     if (finished_) return Status::Invalid("stream " + job_id_ + " already ended");
+    HQ_RETURN_NOT_OK(poison_);
     order = chunk_counter_++;
     first_row = row_counter_ + 1;
     row_counter_ += chunk.row_count;
@@ -205,6 +213,9 @@ Status StreamJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
   size_t new_errors = converted.errors.size();
   if (!appended.ok()) {
     if (!common::IsRetryableStatus(appended)) return appended;
+    // The conversion errors still describe real input rows; keep them
+    // alongside the abandonment marker so the ET table matches the counts.
+    for (auto& e : converted.errors) batch_errors_.push_back(std::move(e));
     RecordError abandoned;
     abandoned.row_number = first_row;
     abandoned.code = legacy::kErrChunkAbandoned;
@@ -231,6 +242,7 @@ Status StreamJob::ChangeLayout(const types::Schema& layout) {
   {
     common::MutexLock lock(&mu_);
     if (finished_) return Status::Invalid("stream " + job_id_ + " already ended");
+    HQ_RETURN_NOT_OK(poison_);
   }
   if (layout == converter_.layout()) return Status::OK();  // no drift
 
@@ -269,6 +281,7 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitBatch(uint64_t batch_seq,
   {
     common::MutexLock lock(&mu_);
     if (finished_) return Status::Invalid("stream " + job_id_ + " already ended");
+    HQ_RETURN_NOT_OK(poison_);
     // Client replay of a committed batch (lost BatchCommitted reply): the
     // journal answers; nothing downstream runs again.
     auto it = committed_batches_.find(batch_seq);
@@ -288,35 +301,71 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitBatch(uint64_t batch_seq,
         "micro-batch watermark must advance: " + std::to_string(watermark_micros) +
         " <= " + std::to_string(last_watermark_));
   }
-  return CommitSealed(batch_seq, watermark_micros);
+  if (!sealed_.has_value()) {
+    Status sealed = SealOpenBatch(batch_seq);
+    if (!sealed.ok()) {
+      // Finalize is not re-runnable; the batch content is forfeit, so fail
+      // every later call loudly rather than ever ack an empty batch.
+      Poison(sealed);
+      return sealed;
+    }
+  } else {
+    // Retained from a failed attempt: re-run the pipeline on the same rows.
+    if (sealed_->batch_seq != batch_seq) {
+      return Status::Internal("sealed batch " + std::to_string(sealed_->batch_seq) +
+                              " does not match commit for batch " + std::to_string(batch_seq));
+    }
+    common::MutexLock lock(&mu_);
+    ++stats_.commit_retries;
+  }
+  return CommitSealed(watermark_micros);
 }
 
-Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t batch_seq,
-                                                           uint64_t watermark_micros) {
-  const auto commit_start = std::chrono::steady_clock::now();
-  const auto batch_open = batch_chunks_ != 0 ? batch_open_ : commit_start;
-
-  // Seal the open batch: everything below works on locals, so a failed
-  // commit can't corrupt the next batch's accounting.
+Status StreamJob::SealOpenBatch(uint64_t batch_seq) {
+  SealedBatch sealed;
+  sealed.batch_seq = batch_seq;
+  sealed.open_time = batch_chunks_ != 0 ? batch_open_ : std::chrono::steady_clock::now();
   std::unique_ptr<core::FileWriter> writer = std::move(batch_writer_);
-  std::vector<core::FinalizedFile> files = std::move(batch_files_);
+  sealed.files = std::move(batch_files_);
   batch_files_.clear();
-  std::vector<RecordError> errors = std::move(batch_errors_);
+  sealed.errors = std::move(batch_errors_);
   batch_errors_.clear();
-  const uint64_t rows_staged = batch_rows_staged_;
+  sealed.rows_staged = batch_rows_staged_;
   batch_rows_staged_ = 0;
   batch_chunks_ = 0;
-  const uint64_t first_row = committed_row_high_ + 1;
-  uint64_t last_row;
+  sealed.first_row = committed_row_high_ + 1;
   {
     common::MutexLock lock(&mu_);
-    last_row = row_counter_;
+    sealed.last_row = row_counter_;
   }
-  committed_row_high_ = last_row;
-
   if (writer != nullptr) {
-    HQ_RETURN_NOT_OK(writer->Finish(&files));
+    HQ_RETURN_NOT_OK(writer->Finish(&sealed.files));
   }
+  sealed_ = std::move(sealed);
+  return Status::OK();
+}
+
+void StreamJob::Poison(const Status& cause) {
+  Status poison = Status::Internal("stream " + job_id_ +
+                                   " poisoned by unrecoverable commit failure: " +
+                                   cause.message());
+  HQ_LOG_ERROR() << poison.message();
+  common::MutexLock lock(&mu_);
+  poison_ = std::move(poison);
+}
+
+Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_micros) {
+  // Everything up to the DML apply is idempotent across commit attempts:
+  // uploads re-put identical bytes to the same keys, COPY dedups through the
+  // per-table ledger, and ET inserts resume at errors_recorded. Open-batch
+  // members stay untouched, so a failed attempt can't corrupt the next
+  // batch's accounting — and the sealed batch survives for the retry.
+  SealedBatch& sealed = *sealed_;
+  const uint64_t batch_seq = sealed.batch_seq;
+  const std::vector<core::FinalizedFile>& files = sealed.files;
+  const uint64_t rows_staged = sealed.rows_staged;
+  const uint64_t first_row = sealed.first_row;
+  const uint64_t last_row = sealed.last_row;
 
   // Upload this batch's files under its own zero-padded prefix — the scope
   // of the COPY below and the unit of ledger eviction.
@@ -367,15 +416,16 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t batch_seq,
     return Status::Internal("micro-batch COPY loaded " + std::to_string(copied) +
                             " rows, staged " + std::to_string(rows_staged));
   }
-  for (const auto& f : files) std::remove(f.path.c_str());
 
   // Record this batch's data errors in the ET table, then apply the stream
   // DML over exactly the batch's row range. Sequential inclusive ranges over
   // the monotone HQ_ROWNUM partition the stream, so the union of per-batch
   // applies equals one whole-table apply (the batch-equivalence invariant
-  // the drift e2e checks).
+  // the drift e2e checks). errors_recorded advances per durable insert, so a
+  // retried commit resumes instead of duplicating ET rows.
   common::RetryPolicy exec_retry = MakeIoRetry("cdw");
-  for (const auto& e : errors) {
+  for (; sealed.errors_recorded < sealed.errors.size(); ++sealed.errors_recorded) {
+    const RecordError& e = sealed.errors[sealed.errors_recorded];
     std::string sql_text =
         "INSERT INTO " + begin_.error_table_et + " VALUES (" + std::to_string(e.code) + ", " +
         (e.field.empty() ? std::string("NULL") : core::SqlQuote(e.field)) + ", " +
@@ -397,11 +447,22 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t batch_seq,
     core::AdaptiveDmlApplier applier(ctx_.cdw, dml_.get(), begin_.layout, staging_table_,
                                      begin_.target_table, begin_.error_table_et,
                                      begin_.error_table_uv, adaptive);
-    HQ_ASSIGN_OR_RETURN(dml, applier.Apply(first_row, last_row));
+    Result<core::DmlApplyResult> applied = applier.Apply(first_row, last_row);
+    if (!applied.ok()) {
+      // The one non-idempotent stage: partial DML effects can't be re-run
+      // safely, so the stream dies loudly instead of risking double-apply.
+      Poison(applied.status());
+      return applied.status();
+    }
+    dml = std::move(applied).ValueOrDie();
   }
 
-  // The batch is durably applied; retire ledger entries that have fallen out
-  // of the replay window so arbitrarily long streams keep a bounded ledger.
+  // The batch is durably applied; from here on the commit must succeed.
+  // Retire the sealed batch, advance the committed row high-water mark, and
+  // drop ledger entries that have fallen out of the replay window so
+  // arbitrarily long streams keep a bounded ledger.
+  for (const auto& f : files) std::remove(f.path.c_str());
+  committed_row_high_ = last_row;
   uint64_t evicted = 0;
   ledgered_prefixes_.push_back(batch_prefix);
   const size_t keep = std::max<size_t>(1, ctx_.options.stream_ledger_keep_batches);
@@ -417,7 +478,10 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t batch_seq,
       std::chrono::duration_cast<std::chrono::microseconds>(now_wall).count();
   const int64_t lag_micros = wall_micros - static_cast<int64_t>(watermark_micros);
   const double batch_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_open).count();
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sealed.open_time)
+          .count();
+  const size_t batch_errors = sealed.errors.size();
+  sealed_.reset();
 
   legacy::BatchCommittedBody reply;
   reply.batch_seq = batch_seq;
@@ -432,7 +496,7 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t batch_seq,
     dml_totals_.uv_errors += dml.uv_errors;
     dml_totals_.range_errors += dml.range_errors;
     dml_totals_.statements_issued += dml.statements_issued;
-    data_errors_recorded_ += errors.size();
+    data_errors_recorded_ += batch_errors;
     ++stats_.batches_committed;
     stats_.rows_committed += rows_staged;
     stats_.ledger_evictions += evicted;
@@ -456,6 +520,7 @@ Result<legacy::JobReportBody> StreamJob::Finish(uint64_t total_chunks, uint64_t 
   {
     common::MutexLock lock(&mu_);
     if (finished_) return Status::Invalid("stream " + job_id_ + " already ended");
+    HQ_RETURN_NOT_OK(poison_);
     if (total_chunks != 0 && total_chunks != chunk_counter_) {
       return Status::ProtocolError("client reported " + std::to_string(total_chunks) +
                                    " chunks, received " + std::to_string(chunk_counter_));
@@ -465,7 +530,7 @@ Result<legacy::JobReportBody> StreamJob::Finish(uint64_t total_chunks, uint64_t 
                                    " rows, received " + std::to_string(row_counter_));
     }
   }
-  if (batch_chunks_ != 0 || batch_writer_ != nullptr) {
+  if (batch_chunks_ != 0 || batch_writer_ != nullptr || sealed_.has_value()) {
     return Status::ProtocolError(
         "stream ended with an uncommitted micro-batch; send CommitBatch before EndStream");
   }

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,15 @@
 ///   - A *client-side* CommitBatch replay (lost BatchCommitted reply) hits
 ///     the committed-batch journal and gets the recorded result back without
 ///     re-running any of the commit pipeline.
+///   - A commit that *fails* (retries exhausted) keeps the sealed batch: the
+///     stream's open-batch state is only retired once the whole pipeline has
+///     succeeded, so a retried CommitBatch re-runs the pipeline on exactly
+///     the same rows instead of acking an empty batch. Every stage up to the
+///     DML apply is idempotent across such retries (uploads re-put identical
+///     bytes to the same keys, COPY dedups through the ledger, ET inserts
+///     resume past the rows already recorded); a failure in the DML apply
+///     itself — the one stage whose partial effects cannot be re-run safely —
+///     poisons the stream, making every later call fail loudly.
 /// Batch prefixes are zero-padded, so ledger keys sort in commit order and
 /// both eviction paths (per-batch ForgetCopiesWithPrefix here, the size cap
 /// in CdwServerOptions) retire oldest-first.
@@ -56,6 +66,7 @@ struct StreamStats {
   uint64_t fields_dropped = 0;  ///< source fields with no target match
   uint64_t fields_nulled = 0;   ///< target fields with no source match
   uint64_t commit_replays = 0;  ///< CommitBatch re-sends answered from the journal
+  uint64_t commit_retries = 0;  ///< pipeline re-runs on a retained sealed batch
   uint64_t ledger_evictions = 0;
 };
 
@@ -73,7 +84,9 @@ class StreamJob {
   /// Accepts one data chunk into the open micro-batch. Conversion and the
   /// staging-file append run synchronously on the calling session thread:
   /// a micro-batch is small by construction and strict arrival order is
-  /// what makes drift windows deterministic.
+  /// what makes drift windows deterministic. Refused while a failed commit
+  /// is pending retry — the rows of that batch are already sealed, and
+  /// accepting re-sent copies of them would stage duplicates.
   common::Status SubmitChunk(const legacy::DataChunkBody& chunk);
 
   /// Switches the session's source layout (schema drift). Subsequent chunks
@@ -85,7 +98,11 @@ class StreamJob {
   /// under the batch's own prefix, COPYs into the staging table, records
   /// this batch's data errors, and applies the stream DML over exactly the
   /// batch's HQ_ROWNUM range. Replaying an already-committed `batch_seq`
-  /// returns the journaled result. `watermark_micros` must advance.
+  /// returns the journaled result. `watermark_micros` must advance. On
+  /// failure the sealed batch is retained: re-sending the same CommitBatch
+  /// re-runs the pipeline on the same rows (exactly-once either way), unless
+  /// the failure poisoned the stream (DML apply / staging finalize), in
+  /// which case this and every later call returns the poison status.
   common::Result<legacy::BatchCommittedBody> CommitBatch(uint64_t batch_seq,
                                                          uint64_t watermark_micros);
 
@@ -120,9 +137,16 @@ class StreamJob {
   };
 
   common::RetryPolicy MakeIoRetry(const char* breaker_endpoint) const;
-  /// The commit pipeline body; runs with the busy token held, mu_ free.
-  common::Result<legacy::BatchCommittedBody> CommitSealed(uint64_t batch_seq,
-                                                          uint64_t watermark_micros);
+  /// Moves the open-batch state into sealed_ and finalizes the staging
+  /// files. On failure the caller must poison the stream: the writer's
+  /// finalize path is not re-runnable, so the batch content is forfeit.
+  common::Status SealOpenBatch(uint64_t batch_seq);
+  /// The commit pipeline body over *sealed_; runs with the busy token held,
+  /// mu_ free. Retires sealed_ (and advances the committed watermark / row
+  /// high) only after every stage has succeeded.
+  common::Result<legacy::BatchCommittedBody> CommitSealed(uint64_t watermark_micros);
+  /// Marks the stream permanently failed; every later call returns this.
+  void Poison(const common::Status& cause);
   void ReleaseActiveGauge();
 
   std::string job_id_;
@@ -172,6 +196,21 @@ class StreamJob {
   uint64_t committed_row_high_ = 0;
   std::chrono::steady_clock::time_point batch_open_;
 
+  /// A micro-batch sealed for commit. Survives a failed commit attempt so a
+  /// retried CommitBatch re-runs the pipeline on the same rows;
+  /// errors_recorded makes the ET-insert stage resumable across attempts.
+  struct SealedBatch {
+    uint64_t batch_seq = 0;
+    std::vector<core::FinalizedFile> files;
+    std::vector<core::RecordError> errors;
+    size_t errors_recorded = 0;  ///< ET rows durably inserted so far
+    uint64_t rows_staged = 0;
+    uint64_t first_row = 0;
+    uint64_t last_row = 0;
+    std::chrono::steady_clock::time_point open_time;
+  };
+  std::optional<SealedBatch> sealed_;  ///< pending commit (busy-serialized)
+
   uint64_t last_watermark_ = 0;
   /// Commit journal: batch_seq -> recorded reply, for client replays. Only
   /// the latest entry is reachable by a correct client; the full map is kept
@@ -184,6 +223,8 @@ class StreamJob {
   core::DmlApplyResult dml_totals_ HQ_GUARDED_BY(mu_);
   uint64_t data_errors_recorded_ HQ_GUARDED_BY(mu_) = 0;
   bool finished_ HQ_GUARDED_BY(mu_) = false;
+  /// Non-OK once an unrecoverable commit failure has been observed.
+  common::Status poison_ HQ_GUARDED_BY(mu_);
 };
 
 }  // namespace hyperq::stream

@@ -98,6 +98,44 @@ TEST_F(ProtocolTest, BeginLoadAgainstMissingTargetFails) {
   EXPECT_FALSE(session->BeginLoad(begin).ok());
 }
 
+TEST_F(ProtocolTest, BeginStreamOnBatchLoadSessionIsRefused) {
+  auto session = Connect();
+  ASSERT_TRUE(session->ExecuteSql("CREATE TABLE MX1 (A VARCHAR(5))").ok());
+  legacy::BeginLoadBody load;
+  load.job_id = "mx1_load";
+  load.target_table = "MX1";
+  load.layout.AddField(types::Field("A", types::TypeDesc::Varchar(5)));
+  ASSERT_TRUE(session->BeginLoad(load).ok());
+  // A session serves either a batch load or a stream, never both: routing
+  // chunks of an in-flight load into a stream would corrupt the load.
+  legacy::BeginStreamBody stream;
+  stream.job_id = "mx1_stream";
+  stream.target_table = "MX1";
+  stream.layout.AddField(types::Field("A", types::TypeDesc::Varchar(5)));
+  stream.dml_sql = "insert into MX1 values (:A);";
+  auto s = session->BeginStream(stream);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("BeginStream refused"), std::string::npos);
+}
+
+TEST_F(ProtocolTest, BeginLoadOnStreamSessionIsRefused) {
+  auto session = Connect();
+  ASSERT_TRUE(session->ExecuteSql("CREATE TABLE MX2 (A VARCHAR(5))").ok());
+  legacy::BeginStreamBody stream;
+  stream.job_id = "mx2_stream";
+  stream.target_table = "MX2";
+  stream.layout.AddField(types::Field("A", types::TypeDesc::Varchar(5)));
+  stream.dml_sql = "insert into MX2 values (:A);";
+  ASSERT_TRUE(session->BeginStream(stream).ok());
+  legacy::BeginLoadBody load;
+  load.job_id = "mx2_load";
+  load.target_table = "MX2";
+  load.layout.AddField(types::Field("A", types::TypeDesc::Varchar(5)));
+  auto s = session->BeginLoad(load);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("BeginLoad refused"), std::string::npos);
+}
+
 TEST_F(ProtocolTest, ChunkAcksEchoSequenceNumbers) {
   auto session = Connect();
   ASSERT_TRUE(session->ExecuteSql("CREATE TABLE T1 (A VARCHAR(5))").ok());

@@ -8,6 +8,8 @@
 
 #include "cdw/cdw_server.h"
 #include "cloudstore/object_store.h"
+#include "common/fault.h"
+#include "common/retry.h"
 #include "legacy/row_format.h"
 
 /// Direct StreamJob unit tests: micro-batch protocol enforcement (sequence,
@@ -37,6 +39,7 @@ Schema StreamLayout() {
 class StreamJobTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    ResetResilienceState();
     cdw_ = std::make_unique<cdw::CdwServer>(&store_);
     Schema target;
     target.AddField(Field("CUST_ID", TypeDesc::Varchar(5), false));
@@ -44,6 +47,14 @@ class StreamJobTest : public ::testing::Test {
     target.AddField(Field("JOIN_DATE", TypeDesc::Date()));
     ASSERT_TRUE(
         cdw_->catalog()->CreateTable("PROD.CUSTOMER", target, {"CUST_ID"}, true).ok());
+  }
+
+  void TearDown() override { ResetResilienceState(); }
+
+  static void ResetResilienceState() {
+    common::FaultInjector::Global().ResetForTesting();
+    common::RetryStats::Global().ResetForTesting();
+    common::ResetBreakersForTesting();
   }
 
   legacy::BeginStreamBody MakeBegin() {
@@ -250,6 +261,101 @@ TEST_F(StreamJobTest, LedgerStaysBoundedAcrossBatches) {
   }
   EXPECT_EQ(job->stats().ledger_evictions, 3u);
   EXPECT_EQ(CountRows("PROD.CUSTOMER"), 4u);
+}
+
+TEST_F(StreamJobTest, FailedCommitRetainsBatchForRetry) {
+  auto ctx = MakeContext();
+  ctx.options.io_retry.max_attempts = 2;
+  ctx.options.io_retry.initial_backoff_micros = 1;
+  ctx.options.io_retry.max_backoff_micros = 10;
+  auto job = StreamJob::Create("j1", MakeBegin(), std::move(ctx)).ValueOrDie();
+  ASSERT_TRUE(job->SubmitChunk(MakeChunk(1, {{"1", "Ada", "2001-01-01"},
+                                             {"2", "Bob", "2002-02-02"}}))
+                  .ok());
+
+  // Every COPY attempt fails: the commit errors out, but the sealed batch
+  // must survive — nothing committed, nothing discarded.
+  ASSERT_TRUE(common::FaultInjector::Global().Arm("cdw.copy=error,p=1").ok());
+  auto failed = job->CommitBatch(1, 1000);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(CountRows("PROD.CUSTOMER"), 0u);
+  EXPECT_EQ(job->stats().batches_committed, 0u);
+
+  // Re-sent chunks for the pending batch are refused (they would stage the
+  // sealed rows twice), and the stream can't end with the batch pending.
+  auto resent = job->SubmitChunk(MakeChunk(2, {{"9", "Zoe", "2009-09-09"}}));
+  EXPECT_TRUE(resent.IsProtocolError());
+  EXPECT_NE(resent.message().find("pending retry"), std::string::npos);
+  EXPECT_TRUE(job->Finish(1, 2).status().IsProtocolError());
+
+  // A retried CommitBatch re-runs the pipeline on the retained rows: the
+  // batch lands exactly once, not empty and not duplicated.
+  ResetResilienceState();
+  auto committed = job->CommitBatch(1, 1000);
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_EQ(committed->rows_in_batch, 2u);
+  EXPECT_EQ(CountRows("PROD.CUSTOMER"), 2u);
+  StreamStats stats = job->stats();
+  EXPECT_EQ(stats.batches_committed, 1u);
+  EXPECT_EQ(stats.commit_retries, 1u);
+  EXPECT_EQ(stats.commit_replays, 0u);
+
+  // The stream keeps going normally afterwards.
+  ASSERT_TRUE(job->SubmitChunk(MakeChunk(2, {{"3", "Cyd", "2003-03-03"}})).ok());
+  ASSERT_TRUE(job->CommitBatch(2, 2000).ok());
+  EXPECT_EQ(CountRows("PROD.CUSTOMER"), 3u);
+  EXPECT_TRUE(job->Finish(2, 3).ok());
+}
+
+TEST_F(StreamJobTest, UnrecoverableDmlFailurePoisonsTheStream) {
+  auto ctx = MakeContext();
+  ctx.options.io_retry.max_attempts = 2;
+  ctx.options.io_retry.initial_backoff_micros = 1;
+  ctx.options.io_retry.max_backoff_micros = 10;
+  ctx.options.max_retries = 1;
+  auto job = StreamJob::Create("j1", MakeBegin(), std::move(ctx)).ValueOrDie();
+  ASSERT_TRUE(job->SubmitChunk(MakeChunk(1, {{"1", "Ada", "2001-01-01"}})).ok());
+
+  // The DML apply is the one non-idempotent commit stage; exhausting it must
+  // kill the stream rather than leave a retry that could double-apply.
+  ASSERT_TRUE(common::FaultInjector::Global().Arm("cdw.exec=error,p=1").ok());
+  auto failed = job->CommitBatch(1, 1000);
+  ASSERT_FALSE(failed.ok());
+
+  // Even with the fault gone, the poisoned stream fails loudly everywhere —
+  // a retried commit must NOT silently ack an empty batch.
+  ResetResilienceState();
+  auto retried = job->CommitBatch(1, 1000);
+  ASSERT_FALSE(retried.ok());
+  EXPECT_NE(retried.status().message().find("poisoned"), std::string::npos);
+  EXPECT_FALSE(job->SubmitChunk(MakeChunk(2, {{"2", "Bob", "2002-02-02"}})).ok());
+  EXPECT_FALSE(job->Finish(0, 0).ok());
+  EXPECT_EQ(job->stats().batches_committed, 0u);
+}
+
+TEST_F(StreamJobTest, AbandonedChunkRecordsAllItsErrorsInEtTable) {
+  auto ctx = MakeContext();
+  ctx.options.io_retry.max_attempts = 2;
+  ctx.options.io_retry.initial_backoff_micros = 1;
+  ctx.options.io_retry.max_backoff_micros = 10;
+  auto job = StreamJob::Create("j1", MakeBegin(), std::move(ctx)).ValueOrDie();
+
+  // Staging appends always fail: the chunk is abandoned. Its bad-arity row's
+  // conversion error must land in the ET table alongside the abandonment
+  // marker, matching the counted data errors.
+  ASSERT_TRUE(common::FaultInjector::Global().Arm("bulkload.file=error,p=1").ok());
+  ASSERT_TRUE(job->SubmitChunk(MakeChunk(1, {{"1", "Ada", "2001-01-01"},
+                                             {"2", "Bob"}}))
+                  .ok());
+  ResetResilienceState();
+
+  auto committed = job->CommitBatch(1, 1000);
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  StreamStats stats = job->stats();
+  EXPECT_EQ(stats.chunks_abandoned, 1u);
+  EXPECT_EQ(stats.data_errors, 2u);  // conversion error + abandonment marker
+  EXPECT_EQ(CountRows("PROD.CUSTOMER_ET"), 2u) << "ET rows diverge from counted errors";
+  EXPECT_EQ(CountRows("PROD.CUSTOMER"), 0u);
 }
 
 TEST_F(StreamJobTest, DataErrorsGoToEtTableAndDontBlockTheBatch) {
