@@ -5,7 +5,8 @@
 # must pass; the script stops at the first failure.
 #
 #   ci/check.sh              # everything
-#   ci/check.sh lint         # just hqlint
+#   ci/check.sh lint         # hqlint + hqcheck source analysis
+#   ci/check.sh clang-tidy   # curated .clang-tidy over src/ (skips w/o clang)
 #   ci/check.sh default      # just the default preset build + tests
 #   ci/check.sh asan tsan    # just those sanitizer presets
 #   ci/check.sh ubsan        # UBSan with -fno-sanitize-recover=all
@@ -19,7 +20,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint thread-safety default asan tsan ubsan bench-smoke chaos-smoke)
+  STAGES=(lint thread-safety clang-tidy default asan tsan ubsan bench-smoke chaos-smoke)
 fi
 
 # The observability e2e suite dumps the observed lock-order graph here; the
@@ -52,11 +53,33 @@ check_lock_graph() {
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     lint)
-      echo "=== hqlint over src/, tests/, tools/ and bench/ ==="
+      echo "=== hqlint + hqcheck over src/, tests/, tools/ and bench/ ==="
       cmake --preset lint
       cmake --build --preset lint -j "$JOBS"
       ./build-lint/tools/hqlint/hqlint --root "$ROOT" src tests tools bench
+      # Semantic pass: guarded fields, lock ranks vs the manifest, nesting
+      # order, enum-switch coverage. Any unsuppressed finding fails the
+      # stage; the scan output is archived as a CI artifact. The binary-level
+      # hotpath proofs run in the default stage, which owns the hq_core
+      # objects they disassemble.
+      ./build-lint/tools/hqcheck/hqcheck --root "$ROOT" \
+        --manifest tools/hqcheck/lock_ranks.txt src tools bench \
+        | tee build-lint/hqcheck_report.txt
       ctest --preset lint -j "$JOBS"
+      ;;
+    clang-tidy)
+      # Generic bug classes (bugprone-*, performance-*, concurrency-*) via
+      # the curated .clang-tidy, against the default preset's exported
+      # compile_commands.json. gcc-only boxes skip: the in-tree analyzers
+      # above carry the repo-specific contracts either way.
+      if command -v clang-tidy >/dev/null 2>&1; then
+        echo "=== clang-tidy over src/ (curated .clang-tidy) ==="
+        cmake --preset default
+        mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+        clang-tidy -p build --quiet "${TIDY_SOURCES[@]}"
+      else
+        echo "=== clang-tidy: not installed, skipping (hqlint/hqcheck still gate) ==="
+      fi
       ;;
     thread-safety)
       # The HQ_GUARDED_BY / HQ_REQUIRES annotations in common/sync.h are
@@ -107,7 +130,7 @@ for stage in "${STAGES[@]}"; do
       ctest --preset tsan -R '^ChaosE2eTest' --output-on-failure
       ;;
     *)
-      echo "unknown stage: $stage (expected lint|thread-safety|default|asan|tsan|ubsan|bench-smoke|chaos-smoke)" >&2
+      echo "unknown stage: $stage (expected lint|thread-safety|clang-tidy|default|asan|tsan|ubsan|bench-smoke|chaos-smoke)" >&2
       exit 2
       ;;
   esac

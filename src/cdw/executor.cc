@@ -123,19 +123,21 @@ Result<Row> ApplyColumnList(const Table& table, const std::vector<std::string>& 
 Status CheckUniqueness(const Table& table, const std::vector<Row>& staged_rows,
                        const std::vector<size_t>* replaced_rows = nullptr) {
   if (!table.unique_primary() || table.primary_key_indexes().empty()) return Status::OK();
-  std::set<Row, RowLess> keys;
-  std::set<size_t> replaced;
-  if (replaced_rows != nullptr) replaced.insert(replaced_rows->begin(), replaced_rows->end());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (replaced.count(r) != 0) continue;  // row being rewritten
-    keys.insert(PrimaryKeyOfStored(table, r));
+  // Keys freed by rows this statement is rewriting don't count as conflicts.
+  std::map<Row, size_t, RowLess> freed;
+  if (replaced_rows != nullptr) {
+    for (size_t r : *replaced_rows) ++freed[PrimaryKeyOfStored(table, r)];
   }
+  std::set<Row, RowLess> staged_keys;
   for (const auto& row : staged_rows) {
     Row key = PrimaryKeyOf(table, row);
     bool key_has_null = false;
     for (const auto& v : key) key_has_null |= v.is_null();
     if (key_has_null) continue;  // NULL keys never collide (SQL semantics)
-    if (!keys.insert(std::move(key)).second) {
+    size_t stored = table.PrimaryKeyCount(key);
+    auto it = freed.find(key);
+    if (it != freed.end()) stored -= std::min(stored, it->second);
+    if (stored != 0 || !staged_keys.insert(std::move(key)).second) {
       return Status::ConstraintViolation("duplicate unique primary key in table " + table.name());
     }
   }
@@ -291,8 +293,9 @@ Result<Value> EvaluateWithAggregates(const sql::Expr& expr, const std::vector<So
     return EvaluateExpr(expr, ctx);
   }
   // Composite expression containing aggregates: rebuild with aggregate
-  // results folded in as literals.
-  switch (expr.kind) {
+  // results folded in as literals. Only the composite kinds are rebuilt;
+  // every leaf kind is handled by the single-row evaluation below.
+  switch (expr.kind) {  // hqcheck:allow(enum-switch)
     case ExprKind::kUnary: {
       const auto& u = static_cast<const sql::UnaryExpr&>(expr);
       HQ_ASSIGN_OR_RETURN(Value v, EvaluateWithAggregates(*u.operand, sources, group_rows));

@@ -1,5 +1,7 @@
 #include "cdw/table.h"
 
+#include <algorithm>
+
 namespace hyperq::cdw {
 
 using common::Status;
@@ -19,6 +21,34 @@ Table::Table(std::string name, types::Schema schema, std::vector<std::string> pr
   }
 }
 
+bool Table::KeyLess::operator()(const Row& a, const Row& b) const {
+  for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+Row Table::KeyOfStored(size_t row) const {
+  Row key;
+  key.reserve(pk_indexes_.size());
+  for (size_t idx : pk_indexes_) key.push_back(columns_[idx][row]);
+  return key;
+}
+
+void Table::IndexInsert(Row key) { ++pk_index_[std::move(key)]; }
+
+void Table::IndexErase(const Row& key) {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return;
+  if (--it->second == 0) pk_index_.erase(it);
+}
+
+size_t Table::PrimaryKeyCount(const Row& key) const {
+  auto it = pk_index_.find(key);
+  return it == pk_index_.end() ? 0 : it->second;
+}
+
 Row Table::GetRow(size_t row) const {
   Row out;
   out.reserve(columns_.size());
@@ -30,6 +60,12 @@ Status Table::AppendRow(Row row) {
   if (row.size() != columns_.size()) {
     return Status::Invalid("row arity " + std::to_string(row.size()) + " != table arity " +
                            std::to_string(columns_.size()));
+  }
+  if (IndexedKeys()) {
+    Row key;
+    key.reserve(pk_indexes_.size());
+    for (size_t idx : pk_indexes_) key.push_back(row[idx]);
+    IndexInsert(std::move(key));
   }
   for (size_t c = 0; c < columns_.size(); ++c) {
     columns_[c].push_back(std::move(row[c]));
@@ -48,6 +84,13 @@ Status Table::AppendRows(std::vector<Row> rows) {
 Status Table::ReplaceRow(size_t row, Row values) {
   if (row >= num_rows_) return Status::Invalid("row index out of range");
   if (values.size() != columns_.size()) return Status::Invalid("row arity mismatch");
+  if (IndexedKeys()) {
+    IndexErase(KeyOfStored(row));
+    Row key;
+    key.reserve(pk_indexes_.size());
+    for (size_t idx : pk_indexes_) key.push_back(values[idx]);
+    IndexInsert(std::move(key));
+  }
   for (size_t c = 0; c < columns_.size(); ++c) {
     columns_[c][row] = std::move(values[c]);
   }
@@ -62,6 +105,9 @@ Status Table::RemoveRows(const std::vector<size_t>& sorted_rows) {
     }
   }
   if (sorted_rows.back() >= num_rows_) return Status::Invalid("row index out of range");
+  if (IndexedKeys()) {
+    for (size_t r : sorted_rows) IndexErase(KeyOfStored(r));
+  }
   for (auto& col : columns_) {
     std::vector<Value> kept;
     kept.reserve(col.size() - sorted_rows.size());
@@ -82,6 +128,7 @@ Status Table::RemoveRows(const std::vector<size_t>& sorted_rows) {
 void Table::Truncate() {
   for (auto& col : columns_) col.clear();
   num_rows_ = 0;
+  pk_index_.clear();
 }
 
 size_t Table::MemoryBytes() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,7 +60,24 @@ class Table {
   /// Approximate bytes held by the table (memory accounting).
   size_t MemoryBytes() const;
 
+  /// Number of stored rows whose primary-key tuple equals `key` (values in
+  /// primary_key_indexes() order). Answered from an incrementally maintained
+  /// index, so uniqueness emulation costs O(staged log n) per statement
+  /// instead of a full-table rescan. Always 0 when no unique primary key is
+  /// declared (the index is not maintained).
+  size_t PrimaryKeyCount(const types::Row& key) const;
+
  private:
+  /// Lexicographic tuple ordering on Value::Compare, for the key index.
+  struct KeyLess {
+    bool operator()(const types::Row& a, const types::Row& b) const;
+  };
+
+  bool IndexedKeys() const { return unique_primary_ && !pk_indexes_.empty(); }
+  types::Row KeyOfStored(size_t row) const;
+  void IndexInsert(types::Row key);
+  void IndexErase(const types::Row& key);
+
   std::string name_;
   types::Schema schema_;
   std::vector<std::string> primary_key_;
@@ -67,6 +85,11 @@ class Table {
   std::vector<size_t> pk_indexes_;
   std::vector<std::vector<types::Value>> columns_;
   size_t num_rows_ = 0;
+  /// Multiset of stored primary-key tuples (key -> occurrence count). The
+  /// table itself never rejects duplicates (constraints are metadata only,
+  /// see the file comment); the count is what lets the executor emulate
+  /// enforcement without scanning.
+  std::map<types::Row, size_t, KeyLess> pk_index_;
 };
 
 using TablePtr = std::shared_ptr<Table>;

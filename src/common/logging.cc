@@ -25,9 +25,10 @@ const char* LevelTag(LogLevel level) {
       return "WARN ";
     case LogLevel::kError:
       return "ERROR";
-    default:
-      return "?????";
+    case LogLevel::kOff:
+      break;  // never emitted: kOff suppresses the write before tagging
   }
+  return "?????";
 }
 
 std::chrono::steady_clock::time_point ProcessEpoch() {

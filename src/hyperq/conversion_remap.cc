@@ -114,7 +114,11 @@ Status ConversionPlan::ExecuteRemappedVartext(const ConversionInput& input,
     size_t start = 0;
     for (size_t i = 0; i <= text.size(); ++i) {
       if (i == text.size() || text[i] == legacy_delimiter_) {
-        if (nfields < expected) record_fields[nfields] = text.substr(start, i - start);
+        // Unchecked construction: start <= i <= size() always holds; substr's
+        // bounds check would put __throw_out_of_range_fmt on the hot path.
+        if (nfields < expected) {
+          record_fields[nfields] = std::string_view(text.data() + start, i - start);
+        }
         ++nfields;
         start = i + 1;
       }

@@ -31,14 +31,18 @@ inline void AppendCsvText(std::string_view text, char delimiter, common::ByteBuf
   out->AppendByte('"');
   // Emit runs ending at each '"' inclusive, then restart the next run AT the
   // quote so it is emitted twice ("" escape) without per-character appends.
+  // Unchecked string_view construction instead of substr(): run <= i < size
+  // always holds, and substr's pos>size bounds check would compile
+  // __throw_out_of_range_fmt into the hot loop (caught by hqcheck's
+  // hotpath-symbol proof).
   size_t run = 0;
   for (size_t i = 0; i < text.size(); ++i) {
     if (text[i] == '"') {
-      out->AppendString(text.substr(run, i - run + 1));
+      out->AppendString(std::string_view(text.data() + run, i - run + 1));
       run = i;
     }
   }
-  out->AppendString(text.substr(run));
+  out->AppendString(std::string_view(text.data() + run, text.size() - run));
   out->AppendByte('"');
 }
 

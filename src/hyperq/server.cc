@@ -34,9 +34,21 @@ uint32_t LegacyCodeFor(const Status& s) {
       return 2666;
     case common::StatusCode::kResourceExhausted:
       return 3710;  // insufficient memory
-    default:
-      return 9000 + static_cast<uint32_t>(s.code());
+    // Codes with no legacy analogue map into a synthetic 9xxx band so the
+    // client can still distinguish them; spelled out so the next StatusCode
+    // gets a deliberate mapping decision instead of silently landing here.
+    case common::StatusCode::kOk:
+    case common::StatusCode::kInvalid:
+    case common::StatusCode::kIOError:
+    case common::StatusCode::kAlreadyExists:
+    case common::StatusCode::kNotImplemented:
+    case common::StatusCode::kProtocolError:
+    case common::StatusCode::kTypeError:
+    case common::StatusCode::kCancelled:
+    case common::StatusCode::kInternal:
+      break;
   }
+  return 9000 + static_cast<uint32_t>(s.code());
 }
 
 Message FailureMessage(uint32_t session_id, uint32_t seq, const Status& s) {
@@ -576,7 +588,22 @@ void HyperQServer::HandleSession(std::shared_ptr<net::Transport> transport) {
       case ParcelKind::kLogoff:
         return;
 
-      default:
+      // Server-to-client kinds: a client sending one is a protocol
+      // violation. Enumerated (not defaulted) so adding a new request kind
+      // to ParcelKind forces a decision here instead of silently bouncing.
+      case ParcelKind::kLogonOk:
+      case ParcelKind::kFailure:
+      case ParcelKind::kStatementStatus:
+      case ParcelKind::kDataSetHeader:
+      case ParcelKind::kRecord:
+      case ParcelKind::kEndStatement:
+      case ParcelKind::kLoadReady:
+      case ParcelKind::kChunkAck:
+      case ParcelKind::kJobReport:
+      case ParcelKind::kExportReady:
+      case ParcelKind::kExportChunk:
+      case ParcelKind::kStreamReady:
+      case ParcelKind::kBatchCommitted:
         reply_failure(Status::ProtocolError(
             "unexpected parcel: " + std::string(legacy::ParcelKindName(parcel.kind))));
         break;

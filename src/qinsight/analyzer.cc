@@ -274,7 +274,9 @@ Result<WorkloadReport> WorkloadAnalyzer::AnalyzeEtlScript(const std::string& scr
   HQ_ASSIGN_OR_RETURN(etlscript::Script script, etlscript::ParseScript(script_text));
   std::vector<StatementReport> reports;
   for (const auto& cmd : script.commands) {
-    switch (cmd.kind) {
+    // Workload analysis only inspects SQL-bearing commands; session and
+    // layout commands are deliberately skipped, not analysed.
+    switch (cmd.kind) {  // hqcheck:allow(enum-switch)
       case etlscript::CommandKind::kDml:
       case etlscript::CommandKind::kExportSelect:
       case etlscript::CommandKind::kSql:

@@ -294,9 +294,13 @@ Result<StatementPtr> BindDmlToStaging(const Statement& stmt, const types::Schema
       return StatementPtr(std::move(out));
     }
 
-    default:
+    case StatementKind::kSelect:
+    case StatementKind::kMerge:
+    case StatementKind::kCreateTable:
+    case StatementKind::kDropTable:
       return Status::Invalid("only INSERT/UPDATE/DELETE DML can be bound to staging");
   }
+  return Status::Invalid("only INSERT/UPDATE/DELETE DML can be bound to staging");
 }
 
 }  // namespace hyperq::sql

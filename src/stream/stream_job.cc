@@ -463,6 +463,25 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
   // arbitrarily long streams keep a bounded ledger.
   for (const auto& f : files) std::remove(f.path.c_str());
   committed_row_high_ = last_row;
+
+  // Prune the applied rows from the accumulating staging table. Every later
+  // batch addresses a strictly higher HQ_ROWNUM range and a replayed commit
+  // is answered from the journal without re-reading staging, so rows at or
+  // below the new high-water mark are dead weight — left in place they make
+  // each batch's COPY count check and DML range scan cost O(stream) instead
+  // of O(batch). Best-effort: a failed prune costs latency, not rows.
+  uint64_t pruned = 0;
+  if (last_row >= first_row) {
+    Result<cdw::ExecResult> del = ctx_.cdw->ExecuteSql(
+        "DELETE FROM " + staging_table_ + " WHERE HQ_ROWNUM <= " + std::to_string(last_row));
+    if (del.ok()) {
+      pruned = del.ValueOrDie().rows_deleted;
+    } else {
+      HQ_LOG_WARN() << "stream " << job_id_ << ": staging prune failed (non-fatal): "
+                    << del.status().message();
+    }
+  }
+
   uint64_t evicted = 0;
   ledgered_prefixes_.push_back(batch_prefix);
   const size_t keep = std::max<size_t>(1, ctx_.options.stream_ledger_keep_batches);
@@ -500,6 +519,7 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
     ++stats_.batches_committed;
     stats_.rows_committed += rows_staged;
     stats_.ledger_evictions += evicted;
+    stats_.staging_rows_pruned += pruned;
     reply.rows_total =
         dml_totals_.rows_inserted + dml_totals_.rows_updated + dml_totals_.rows_deleted;
     reply.et_errors = dml_totals_.et_errors + data_errors_recorded_;

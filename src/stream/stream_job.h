@@ -68,6 +68,7 @@ struct StreamStats {
   uint64_t commit_replays = 0;  ///< CommitBatch re-sends answered from the journal
   uint64_t commit_retries = 0;  ///< pipeline re-runs on a retained sealed batch
   uint64_t ledger_evictions = 0;
+  uint64_t staging_rows_pruned = 0;  ///< applied rows deleted from the staging table
 };
 
 class StreamJob {

@@ -47,9 +47,14 @@ bool IsNumeric(TypeId id) {
     case TypeId::kFloat64:
     case TypeId::kDecimal:
       return true;
-    default:
+    case TypeId::kBoolean:
+    case TypeId::kChar:
+    case TypeId::kVarchar:
+    case TypeId::kDate:
+    case TypeId::kTimestamp:
       return false;
   }
+  return false;
 }
 
 bool IsString(TypeId id) { return id == TypeId::kChar || id == TypeId::kVarchar; }

@@ -123,8 +123,8 @@ Result<double> ParseFloat(std::string_view text) {
 }
 
 Result<Value> CheckedIntRange(int64_t v, const TypeDesc& target) {
-  int64_t lo;
-  int64_t hi;
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
   switch (target.id) {
     case TypeId::kInt8:
       lo = -128;
@@ -138,7 +138,16 @@ Result<Value> CheckedIntRange(int64_t v, const TypeDesc& target) {
       lo = INT32_MIN;
       hi = INT32_MAX;
       break;
-    default:
+    case TypeId::kInt64:
+    // Non-integer targets keep the historical behaviour (full int64 range,
+    // the caller has already established the value is integral).
+    case TypeId::kBoolean:
+    case TypeId::kFloat64:
+    case TypeId::kDecimal:
+    case TypeId::kChar:
+    case TypeId::kVarchar:
+    case TypeId::kDate:
+    case TypeId::kTimestamp:
       lo = INT64_MIN;
       hi = INT64_MAX;
       break;

@@ -72,6 +72,38 @@ TEST(TableTest, PrimaryKeyMetadata) {
   EXPECT_EQ(t.primary_key_indexes()[0], 0u);
 }
 
+TEST(TableTest, PrimaryKeyCountTracksMutations) {
+  Table t("t", TwoColumnSchema(), {"K"}, /*unique_primary=*/true);
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(1)}), 0u);
+
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::String("b")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Int(2), Value::String("c")}).ok());
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(1)}), 2u);  // multiset: table never rejects
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(2)}), 1u);
+
+  // Replace moves row 0's key from 1 to 3.
+  ASSERT_TRUE(t.ReplaceRow(0, {Value::Int(3), Value::String("a")}).ok());
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(1)}), 1u);
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(3)}), 1u);
+
+  // Remove rows 0 (key 3) and 2 (key 2).
+  ASSERT_TRUE(t.RemoveRows({0, 2}).ok());
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(3)}), 0u);
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(2)}), 0u);
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(1)}), 1u);
+
+  t.Truncate();
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(1)}), 0u);
+}
+
+TEST(TableTest, PrimaryKeyCountIsZeroWithoutUniqueKey) {
+  // No declared unique primary key: the index is not maintained at all.
+  Table t("t", TwoColumnSchema(), {"K"}, /*unique_primary=*/false);
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::Null()}).ok());
+  EXPECT_EQ(t.PrimaryKeyCount({Value::Int(1)}), 0u);
+}
+
 TEST(TableTest, MemoryBytesGrowsWithData) {
   Table t("t", TwoColumnSchema());
   size_t empty = t.MemoryBytes();

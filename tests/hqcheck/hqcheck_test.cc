@@ -1,0 +1,298 @@
+#include "hqcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// Golden-file and mutation tests for the semantic checker. The golden half
+/// pins exact diagnostics (any drift in rule behaviour or wording fails
+/// here, not silently in CI); the mutation half seeds known defects into
+/// known-clean inputs and asserts each is caught — proving the rules
+/// actually fire, not merely that the current tree happens to be quiet.
+
+namespace hqcheck {
+namespace {
+
+std::string TestdataPath(const std::string& name) {
+  return std::string(HQCHECK_TESTDATA_DIR) + "/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> FormatAll(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : diags) out.push_back(Format(d));
+  return out;
+}
+
+std::vector<std::string> CheckOne(const std::string& name) {
+  Analyzer analyzer;
+  analyzer.AddFile(name, ReadFileOrDie(TestdataPath(name)));
+  return FormatAll(analyzer.Run());
+}
+
+std::vector<std::string> CheckSource(const std::string& path, const std::string& content,
+                                     const std::string& manifest = "") {
+  Analyzer analyzer;
+  analyzer.AddFile(path, content);
+  if (!manifest.empty()) analyzer.SetManifest("ranks.txt", manifest);
+  return FormatAll(analyzer.Run());
+}
+
+// ---------------------------------------------------------------------------
+// Golden: guarded-field
+// ---------------------------------------------------------------------------
+
+TEST(HqcheckGoldenTest, GuardedField) {
+  EXPECT_EQ(CheckOne("guarded_field.cc"),
+            (std::vector<std::string>{
+                "guarded_field.cc:10: [guarded-field] `hits_` is HQ_GUARDED_BY(mu_) but "
+                "Counter::BadUnlocked touches it without a live MutexLock on `mu_` (or an "
+                "HQ_REQUIRES(mu_) annotation)",
+                "guarded_field.cc:14: [guarded-field] `hits_` is HQ_GUARDED_BY(mu_) but "
+                "Counter::BadWrongLock touches it without a live MutexLock on `mu_` (or an "
+                "HQ_REQUIRES(mu_) annotation)",
+                "guarded_field.cc:19: [guarded-field] `hits_` is HQ_GUARDED_BY(mu_) but "
+                "Counter::BadLambda touches it without a live MutexLock on `mu_` (or an "
+                "HQ_REQUIRES(mu_) annotation) — locks held outside a lambda do not carry "
+                "into its body",
+            }));
+}
+
+// ---------------------------------------------------------------------------
+// Golden: lock-nesting
+// ---------------------------------------------------------------------------
+
+TEST(HqcheckGoldenTest, LockNesting) {
+  EXPECT_EQ(CheckOne("lock_nesting.cc"),
+            (std::vector<std::string>{
+                "lock_nesting.cc:12: [lock-nesting] acquiring `server_mu_` (kServer) while "
+                "holding `queue_mu_` (kQueue) is not strictly descending; the runtime "
+                "validator will abort here — reorder the acquisitions or use MutexLock2 "
+                "for same-rank pairs",
+            }));
+}
+
+// ---------------------------------------------------------------------------
+// Golden: enum-switch
+// ---------------------------------------------------------------------------
+
+TEST(HqcheckGoldenTest, EnumSwitch) {
+  EXPECT_EQ(CheckOne("enum_switch.cc"),
+            (std::vector<std::string>{
+                "enum_switch.cc:10: [enum-switch] switch over Fruit covers 2 of 4 "
+                "enumerators (missing: kCherry, kDurian); a default: label hides the gap "
+                "from -Wswitch, so every enumerator must be spelled out",
+            }));
+}
+
+// ---------------------------------------------------------------------------
+// Golden: lock-rank manifest cross-check
+// ---------------------------------------------------------------------------
+
+TEST(HqcheckGoldenTest, LockRankManifestAgrees) {
+  Analyzer analyzer;
+  analyzer.AddFile("lock_rank.cc", ReadFileOrDie(TestdataPath("lock_rank.cc")));
+  analyzer.SetManifest("ranks.txt", "kPool demo_widget\n");
+  EXPECT_EQ(FormatAll(analyzer.Run()),
+            (std::vector<std::string>{
+                "lock_rank.cc:15: [lock-rank] Mutex `mu_` is constructed without a name; "
+                "the lock-rank manifest (tools/hqcheck/lock_ranks.txt) keys on names — "
+                "pass one: {LockRank::kPool, \"<name>\"}",
+            }));
+}
+
+TEST(HqcheckGoldenTest, LockRankManifestDisagrees) {
+  Analyzer analyzer;
+  analyzer.AddFile("lock_rank.cc", ReadFileOrDie(TestdataPath("lock_rank.cc")));
+  analyzer.SetManifest("ranks.txt", "kQueue demo_widget\n");
+  std::vector<std::string> got = FormatAll(analyzer.Run());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0],
+            "lock_rank.cc:10: [lock-rank] mutex `demo_widget` is constructed at kPool but "
+            "the manifest declares kQueue; fix whichever is wrong");
+}
+
+TEST(HqcheckGoldenTest, LockRankManifestStaleEntry) {
+  Analyzer analyzer;
+  analyzer.AddFile("lock_rank.cc", ReadFileOrDie(TestdataPath("lock_rank.cc")));
+  analyzer.SetManifest("ranks.txt", "kPool demo_widget\nkPool demo_gone\n");
+  std::vector<std::string> got = FormatAll(analyzer.Run());
+  ASSERT_EQ(got.size(), 2u);  // [0] is lock_rank.cc's unnamed-mutex finding
+  EXPECT_EQ(got[1],
+            "ranks.txt:2: [lock-rank] manifest mutex `demo_gone` (kPool) has no "
+            "construction site in the analysed sources; remove the stale entry or check "
+            "the spelling");
+}
+
+TEST(HqcheckGoldenTest, ManifestParseRejectsUnknownRank) {
+  std::vector<Diagnostic> diags;
+  ParseManifest("ranks.txt", "kBogus some_label\n", &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "lock-rank");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Golden: clean input stays silent
+// ---------------------------------------------------------------------------
+
+TEST(HqcheckGoldenTest, CleanFileHasNoFindings) {
+  EXPECT_EQ(CheckOne("clean.cc"), std::vector<std::string>{});
+}
+
+// ---------------------------------------------------------------------------
+// Mutation: seed known defects into the clean input and require a report.
+// ---------------------------------------------------------------------------
+
+std::string CleanSource() { return ReadFileOrDie(TestdataPath("clean.cc")); }
+
+std::string ReplaceOnce(std::string text, const std::string& from, const std::string& to) {
+  size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "mutation anchor not found: " << from;
+  return text.replace(pos, from.size(), to);
+}
+
+TEST(HqcheckMutationTest, RemovedMutexLockIsReported) {
+  std::string mutated =
+      ReplaceOnce(CleanSource(), "    common::MutexLock lock(&mu_);\n    last_ = v;",
+                  "    last_ = v;");
+  std::vector<std::string> got = CheckSource("clean.cc", mutated);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].find("[guarded-field]"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("`last_`"), std::string::npos) << got[0];
+}
+
+TEST(HqcheckMutationTest, RankInversionIsReported) {
+  std::string mutated = CleanSource();
+  mutated = ReplaceOnce(mutated, "    common::MutexLock lock(&mu_);\n    last_ = v;",
+                        "    common::MutexLock low(&pool_mu_);\n"
+                        "    common::MutexLock lock(&mu_);\n    last_ = v;");
+  mutated = ReplaceOnce(mutated, "  mutable common::Mutex mu_",
+                        "  common::Mutex pool_mu_{common::LockRank::kPool, \"demo_pool\"};\n"
+                        "  mutable common::Mutex mu_");
+  std::vector<std::string> got = CheckSource("clean.cc", mutated);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].find("[lock-nesting]"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("(kStore) while holding `pool_mu_` (kPool)"), std::string::npos)
+      << got[0];
+}
+
+TEST(HqcheckMutationTest, DroppedEnumeratorCaseIsReported) {
+  std::string mutated = ReplaceOnce(CleanSource(),
+                                    "    case Mode::kWrite:\n      return \"write\";\n",
+                                    "    default:\n      return \"write\";\n");
+  std::vector<std::string> got = CheckSource("clean.cc", mutated);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].find("[enum-switch]"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("missing: kWrite"), std::string::npos) << got[0];
+}
+
+TEST(HqcheckMutationTest, SuppressionSilencesAndAuditTrailHolds) {
+  std::string mutated =
+      ReplaceOnce(CleanSource(), "    common::MutexLock lock(&mu_);\n    last_ = v;",
+                  "    last_ = v;  // hqcheck:allow(guarded-field)");
+  EXPECT_EQ(CheckSource("clean.cc", mutated), std::vector<std::string>{});
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path symbol proof over synthetic disassembly
+// ---------------------------------------------------------------------------
+
+// demo::KernelHot() -> demo::Helper() -> <leaf>, in one fake object file.
+std::string FakeDisasm(const std::string& leaf) {
+  return "fake/kernels.o:     file format elf64-x86-64\n"
+         "\n"
+         "0000000000000000 <_ZN4demo9KernelHotEv>:\n"
+         "   4:\tcall   9 <_ZN4demo9KernelHotEv+0x9>\n"
+         "\t\t\t5: R_X86_64_PLT32\t_ZN4demo6HelperEv-0x4\n"
+         "\n"
+         "0000000000000020 <_ZN4demo6HelperEv>:\n"
+         "  24:\tcall   29 <_ZN4demo6HelperEv+0x9>\n"
+         "\t\t\t25: R_X86_64_PLT32\t" +
+         leaf + "-0x4\n";
+}
+
+std::vector<Diagnostic> Prove(const std::string& disasm, const std::string& roots,
+                              std::vector<AllowEntry> allow = {}) {
+  HotpathProofOptions options;
+  options.roots_regex = roots;
+  options.allow = std::move(allow);
+  std::ostringstream report;
+  return RunHotpathProof(disasm, options, &report);
+}
+
+TEST(HqcheckHotpathTest, LockSymbolReachableThroughCalleeIsReported) {
+  std::vector<std::string> got = FormatAll(Prove(FakeDisasm("pthread_mutex_lock"), "::Kernel"));
+  EXPECT_EQ(got, (std::vector<std::string>{
+                     "fake/kernels.o:0: [hotpath-symbol] lock symbol `pthread_mutex_lock` "
+                     "is reachable from hot-path root `demo::KernelHot()`: "
+                     "demo::KernelHot() -> demo::Helper() -> pthread_mutex_lock",
+                 }));
+}
+
+TEST(HqcheckHotpathTest, SeededAllocationIsReported) {
+  // The satellite-4 mutation: a raw operator new reachable from the kernel.
+  std::vector<std::string> got = FormatAll(Prove(FakeDisasm("_Znwm"), "::Kernel"));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].find("alloc symbol `operator new(unsigned long)`"), std::string::npos)
+      << got[0];
+  EXPECT_NE(got[0].find("demo::KernelHot() -> demo::Helper() -> operator new"),
+            std::string::npos)
+      << got[0];
+}
+
+TEST(HqcheckHotpathTest, AuditedFrontierCutsTheWalk) {
+  std::vector<Diagnostic> got =
+      Prove(FakeDisasm("_Znwm"), "::Kernel",
+            {{"^operator new", "amortized growth, runtime-gated by the realloc counter"}});
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(HqcheckHotpathTest, BenignLeafIsClean) {
+  EXPECT_TRUE(Prove(FakeDisasm("memcpy"), "::Kernel").empty());
+}
+
+TEST(HqcheckHotpathTest, EmptyRootSetFailsTheProof) {
+  std::vector<std::string> got = FormatAll(Prove(FakeDisasm("memcpy"), "::NoSuchRoot"));
+  EXPECT_EQ(got, (std::vector<std::string>{
+                     "<roots>:0: [hotpath-symbol] no defined symbol matches roots regex "
+                     "`::NoSuchRoot`; an empty proof proves nothing — fix the regex or "
+                     "the object list",
+                 }));
+}
+
+TEST(HqcheckHotpathTest, AllowFileRequiresJustifications) {
+  std::vector<Diagnostic> diags;
+  std::vector<AllowEntry> entries =
+      ParseAllowFile("allow.txt", "^operator new\n^std::__throw_  # growth guard\n", &diags);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].pattern, "^std::__throw_");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(Format(diags[0]).find("has no justification"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CLI driver
+// ---------------------------------------------------------------------------
+
+TEST(HqcheckCliTest, ExitCodesAndUsage) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(RunHqcheck({TestdataPath("clean.cc")}, out, err), 0);
+  EXPECT_EQ(RunHqcheck({TestdataPath("enum_switch.cc")}, out, err), 1);
+  EXPECT_EQ(RunHqcheck({}, out, err), 2);
+  EXPECT_EQ(RunHqcheck({"--bogus-flag", TestdataPath("clean.cc")}, out, err), 2);
+}
+
+}  // namespace
+}  // namespace hqcheck

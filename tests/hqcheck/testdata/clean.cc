@@ -1,0 +1,35 @@
+// Known-clean input: every rule must stay silent on this file.
+#include "common/sync.h"
+
+namespace demo {
+
+enum class Mode { kRead, kWrite };
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kRead:
+      return "read";
+    case Mode::kWrite:
+      return "write";
+  }
+  return "?";
+}
+
+class Store {
+ public:
+  void Put(int v) {
+    common::MutexLock lock(&mu_);
+    last_ = v;
+  }
+
+  int Get() const {
+    common::MutexLock lock(&mu_);
+    return last_;
+  }
+
+ private:
+  mutable common::Mutex mu_{common::LockRank::kStore, "demo_store"};
+  int last_ HQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,53 @@
+// Known-bad input for the enum-switch rule: a default-swallowing switch
+// over a repo-declared enum, next to an exhaustive switch and an audited
+// suppression that must both stay silent.
+
+namespace demo {
+
+enum class Fruit { kApple, kBanana, kCherry, kDurian };
+
+int BadSwallowing(Fruit f) {
+  switch (f) {
+    case Fruit::kApple:
+      return 1;
+    case Fruit::kBanana:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+int GoodExhaustive(Fruit f) {
+  switch (f) {
+    case Fruit::kApple:
+      return 1;
+    case Fruit::kBanana:
+      return 2;
+    case Fruit::kCherry:
+      return 3;
+    case Fruit::kDurian:
+      return 4;
+  }
+  return 0;
+}
+
+int GoodAudited(Fruit f) {
+  // Only the sweet subset matters here; everything else is zero by design.
+  switch (f) {  // hqcheck:allow(enum-switch)
+    case Fruit::kApple:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+int GoodPlainInt(int v) {
+  switch (v) {
+    case 1:
+      return 10;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace demo

@@ -1,0 +1,39 @@
+// Known-bad input for the guarded-field rule: reads/writes of an
+// HQ_GUARDED_BY field outside any lock, under the wrong lock, and from a
+// lambda that outlives the lock scope. The Good* methods must stay silent.
+#include "common/sync.h"
+
+namespace demo {
+
+class Counter {
+ public:
+  void BadUnlocked() { hits_ += 1; }
+
+  int BadWrongLock() {
+    common::MutexLock lock(&other_mu_);
+    return hits_;
+  }
+
+  void BadLambda() {
+    common::MutexLock lock(&mu_);
+    auto deferred = [this] { hits_ = 0; };
+    deferred();
+  }
+
+  void GoodLocked() {
+    common::MutexLock lock(&mu_);
+    hits_ += 1;
+  }
+
+  void GoodRequires() HQ_REQUIRES(mu_) { hits_ = 0; }
+
+  int GoodOtherField() { return unguarded_; }
+
+ private:
+  common::Mutex mu_{common::LockRank::kObs, "demo_counter"};
+  common::Mutex other_mu_{common::LockRank::kQueue, "demo_other"};
+  int hits_ HQ_GUARDED_BY(mu_) = 0;
+  int unguarded_ = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,29 @@
+// Known-bad input for the lock-nesting rule: acquiring a higher-ranked
+// mutex while holding a lower-ranked one (the runtime validator would
+// abort), plus a descending acquisition that must stay silent.
+#include "common/sync.h"
+
+namespace demo {
+
+class Pipeline {
+ public:
+  void BadAscending() {
+    common::MutexLock queue(&queue_mu_);
+    common::MutexLock server(&server_mu_);
+  }
+
+  void GoodDescending() {
+    common::MutexLock server(&server_mu_);
+    common::MutexLock queue(&queue_mu_);
+  }
+
+  void GoodPaired(Pipeline* other) {
+    common::MutexLock2 both(&queue_mu_, &other->queue_mu_);
+  }
+
+ private:
+  common::Mutex queue_mu_{common::LockRank::kQueue, "demo_queue"};
+  common::Mutex server_mu_{common::LockRank::kServer, "demo_server"};
+};
+
+}  // namespace demo

@@ -1,0 +1,18 @@
+// Input for the lock-rank manifest cross-check. Paired with manifests in
+// the test: demo_widget is declared kPool here, and the tests feed
+// manifests that agree, disagree, omit it, or list a stale extra label.
+#include "common/sync.h"
+
+namespace demo {
+
+class Widget {
+ private:
+  common::Mutex mu_{common::LockRank::kPool, "demo_widget"};
+};
+
+class Anonymous {
+ private:
+  common::Mutex mu_{common::LockRank::kPool};
+};
+
+}  // namespace demo

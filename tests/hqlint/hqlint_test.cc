@@ -154,6 +154,18 @@ TEST(HqlintGoldenTest, PerRowAllocOnlyFiresInMarkedFiles) {
   EXPECT_TRUE(linter.Run().empty());
 }
 
+TEST(HqlintGoldenTest, StaleAllow) {
+  EXPECT_EQ(LintOne("stale_allow.cc"),
+            (std::vector<std::string>{
+                "stale_allow.cc:6: [stale-allow] suppression `hqlint:allow(naked-mutex)` "
+                "matches no diagnostic on this or the next line; remove the dead marker "
+                "(or fix the rule name)",
+                "stale_allow.cc:8: [stale-allow] suppression `hqlint:allow(nakedmutex)` "
+                "matches no diagnostic on this or the next line; remove the dead marker "
+                "(or fix the rule name)",
+            }));
+}
+
 TEST(HqlintGoldenTest, StatusNamesAreCollectedAcrossFiles) {
   // A Status-returning declaration in one file makes a bare call in another
   // file a violation: the name set is repository-wide.

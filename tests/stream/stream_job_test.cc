@@ -152,6 +152,24 @@ TEST_F(StreamJobTest, CommitsApplyPerBatchAndAccumulate) {
   EXPECT_FALSE(cdw_->catalog()->HasTable("HQ_STRM_j1"));
 }
 
+TEST_F(StreamJobTest, AppliedRowsArePrunedFromStaging) {
+  auto job = MakeJob();
+  ASSERT_TRUE(job->SubmitChunk(MakeChunk(1, {{"1", "Ada", "2001-01-01"},
+                                             {"2", "Bob", "2002-02-02"}}))
+                  .ok());
+  ASSERT_TRUE(job->CommitBatch(1, 1000).ok());
+  // The batch is applied to the target and retired from staging, so the
+  // accumulating table stays O(open batch) instead of O(stream).
+  EXPECT_EQ(CountRows("HQ_STRM_j1"), 0u);
+  EXPECT_EQ(job->stats().staging_rows_pruned, 2u);
+
+  ASSERT_TRUE(job->SubmitChunk(MakeChunk(2, {{"3", "Cyd", "2003-03-03"}})).ok());
+  ASSERT_TRUE(job->CommitBatch(2, 2000).ok());
+  EXPECT_EQ(CountRows("HQ_STRM_j1"), 0u);
+  EXPECT_EQ(job->stats().staging_rows_pruned, 3u);
+  EXPECT_EQ(CountRows("PROD.CUSTOMER"), 3u);
+}
+
 TEST_F(StreamJobTest, OutOfSequenceCommitIsProtocolError) {
   auto job = MakeJob();
   ASSERT_TRUE(job->SubmitChunk(MakeChunk(1, {{"1", "Ada", "2001-01-01"}})).ok());

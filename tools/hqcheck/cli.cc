@@ -1,0 +1,239 @@
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hqcheck.h"
+
+namespace hqcheck {
+
+namespace {
+
+bool SkippedComponent(const std::filesystem::path& p) {
+  for (const auto& part : p) {
+    const std::string s = part.string();
+    if (s == "testdata" || s.rfind("build", 0) == 0) return true;
+  }
+  return false;
+}
+
+bool CheckableExtension(const std::filesystem::path& p) {
+  auto ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool ReadFile(const std::filesystem::path& path, std::string* out, std::ostream& err,
+              const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err << "hqcheck: cannot open " << what << " " << path.string() << "\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// `objdump -dr --no-show-raw-insn <object>`, captured. Returns false when
+/// objdump is missing or exits non-zero (a proof that cannot run must fail
+/// loudly, not pass vacuously).
+bool Disassemble(const std::string& object, std::string* out, std::ostream& err) {
+  std::string cmd = "objdump -dr --no-show-raw-insn '" + object + "' 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    err << "hqcheck: cannot spawn objdump\n";
+    return false;
+  }
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) out->append(buf, n);
+  int status = pclose(pipe);
+  if (status != 0) {
+    err << "hqcheck: objdump failed on " << object << "\n";
+    return false;
+  }
+  return true;
+}
+
+int RunHotpathMode(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  HotpathProofOptions options;
+  std::string allow_path;
+  std::string report_path;
+  std::string disasm_path;
+  std::vector<std::string> objects;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        err << "hqcheck: " << flag << " requires an argument\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--hotpath") continue;
+    if (a == "--roots") {
+      const std::string* v = value("--roots");
+      if (v == nullptr) return 2;
+      options.roots_regex = *v;
+    } else if (a == "--allow") {
+      const std::string* v = value("--allow");
+      if (v == nullptr) return 2;
+      allow_path = *v;
+    } else if (a == "--report") {
+      const std::string* v = value("--report");
+      if (v == nullptr) return 2;
+      report_path = *v;
+    } else if (a == "--disasm") {
+      const std::string* v = value("--disasm");
+      if (v == nullptr) return 2;
+      disasm_path = *v;
+    } else if (a == "--verbose") {
+      options.verbose = true;
+    } else if (a.rfind("--", 0) == 0) {
+      err << "hqcheck: unknown flag " << a << "\n";
+      return 2;
+    } else {
+      objects.push_back(a);
+    }
+  }
+  if (options.roots_regex.empty()) {
+    err << "hqcheck: --hotpath requires --roots <regex>\n";
+    return 2;
+  }
+  if (objects.empty() == disasm_path.empty()) {
+    err << "hqcheck: --hotpath takes either object files or --disasm <file>\n";
+    return 2;
+  }
+
+  std::vector<Diagnostic> diags;
+  if (!allow_path.empty()) {
+    std::string allow_text;
+    if (!ReadFile(allow_path, &allow_text, err, "allow file")) return 2;
+    options.allow = ParseAllowFile(allow_path, allow_text, &diags);
+  }
+
+  std::string disasm;
+  if (!disasm_path.empty()) {
+    if (!ReadFile(disasm_path, &disasm, err, "disassembly")) return 2;
+  } else {
+    for (const std::string& object : objects) {
+      if (!Disassemble(object, &disasm, err)) return 2;
+    }
+  }
+
+  std::ostringstream report;
+  std::vector<Diagnostic> proof = RunHotpathProof(disasm, options, &report);
+  diags.insert(diags.end(), proof.begin(), proof.end());
+  if (!report_path.empty()) {
+    std::ofstream rf(report_path, std::ios::binary);
+    rf << report.str();
+  }
+  for (const Diagnostic& d : diags) out << Format(d) << "\n";
+  if (diags.empty()) {
+    out << report.str();
+    return 0;
+  }
+  out << diags.size() << " violation" << (diags.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int RunHqcheck(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  namespace fs = std::filesystem;
+  for (const std::string& a : args) {
+    if (a == "--hotpath") return RunHotpathMode(args, out, err);
+  }
+
+  fs::path root;
+  fs::path manifest_path;
+  std::vector<fs::path> inputs;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--root") {
+      if (i + 1 >= args.size()) {
+        err << "hqcheck: --root requires a directory argument\n";
+        return 2;
+      }
+      root = args[++i];
+    } else if (args[i] == "--manifest") {
+      if (i + 1 >= args.size()) {
+        err << "hqcheck: --manifest requires a file argument\n";
+        return 2;
+      }
+      manifest_path = args[++i];
+    } else if (args[i].rfind("--", 0) == 0) {
+      err << "hqcheck: unknown flag " << args[i] << "\n";
+      return 2;
+    } else {
+      inputs.emplace_back(args[i]);
+    }
+  }
+  if (inputs.empty()) {
+    err << "usage: hqcheck [--root <dir>] [--manifest <file>] <file-or-dir>...\n"
+           "       hqcheck --hotpath --roots <regex> [--allow <file>] [--report <file>]\n"
+           "               (--disasm <txt> | <object.o>...)\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const fs::path& input : inputs) {
+    if (fs::is_directory(input, ec)) {
+      for (auto it = fs::recursive_directory_iterator(input, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && SkippedComponent(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && CheckableExtension(it->path()) &&
+            !SkippedComponent(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      err << "hqcheck: cannot read " << input.string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Analyzer analyzer;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content, err, "source")) return 2;
+    std::string display = file.string();
+    if (!root.empty()) {
+      auto rel = fs::relative(file, root, ec);
+      if (!ec && !rel.empty()) display = rel.string();
+    }
+    analyzer.AddFile(std::move(display), std::move(content));
+  }
+  if (!manifest_path.empty()) {
+    std::string content;
+    if (!ReadFile(manifest_path, &content, err, "manifest")) return 2;
+    std::string display = manifest_path.string();
+    if (!root.empty()) {
+      auto rel = fs::relative(manifest_path, root, ec);
+      if (!ec && !rel.empty()) display = rel.string();
+    }
+    analyzer.SetManifest(std::move(display), std::move(content));
+  }
+
+  std::vector<Diagnostic> diags = analyzer.Run();
+  for (const Diagnostic& d : diags) out << Format(d) << "\n";
+  if (!diags.empty()) {
+    out << diags.size() << " violation" << (diags.size() == 1 ? "" : "s") << " in "
+        << files.size() << " files\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace hqcheck

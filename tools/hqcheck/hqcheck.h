@@ -1,0 +1,191 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+/// \file hqcheck.h
+/// Second-generation semantic analyzer for the HyperQ tree. Where hqlint
+/// (tools/hqlint) pattern-matches single lines, hqcheck lexes the sources
+/// into tokens, parses declaration scopes, and runs an intraprocedural
+/// dataflow pass per function body, so it can prove contracts hqlint can
+/// only hint at. Self-contained on purpose (no dependency on src/) so the
+/// checker builds even when the tree it is checking does not.
+///
+/// Source rules (see DESIGN.md "Static analysis v2"):
+///   guarded-field   every read/write of a field declared
+///                   HQ_GUARDED_BY(mu) happens under a live
+///                   MutexLock/MutexLock2 on mu or inside a method
+///                   annotated HQ_REQUIRES(mu). This is clang's
+///                   thread-safety analysis re-derived lexically, so
+///                   gcc-only builds get the same race protection.
+///   lock-rank       every `Mutex name{LockRank::kX, "label"}` construction
+///                   must appear in the machine-readable manifest
+///                   (tools/hqcheck/lock_ranks.txt) with the same rank, and
+///                   every manifest entry must correspond to a live
+///                   construction site — the manifest is the single source
+///                   of truth the DESIGN.md table is written from.
+///   lock-nesting    a MutexLock acquired while another lock is live must
+///                   name a mutex of strictly lower rank (resolved through
+///                   the declared rank of the mutex variable); same-rank
+///                   pairs must use MutexLock2. PR 4's runtime abort,
+///                   moved to lint time.
+///   enum-switch     a switch whose case labels name enumerators of a
+///                   repo-declared enum must cover every enumerator of
+///                   that enum; `default:` does not count as coverage
+///                   (it swallows the -Wswitch signal that would otherwise
+///                   flag the next enumerator someone adds).
+///
+/// Any rule is suppressed for a line by `// hqcheck:allow(<rule>)` on the
+/// same line or the line directly above it.
+///
+/// The binary-level rule (hotpath-symbol) lives in symbol_proof.cc: a
+/// reachability proof over `objdump -dr` call relocations asserting that no
+/// lock, throw, or per-value allocation symbol is reachable from the
+/// hqlint:hotpath-marked conversion kernels. See HotpathProofOptions.
+
+namespace hqcheck {
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Diagnostic& other) const {
+    return path == other.path && line == other.line && rule == other.rule &&
+           message == other.message;
+  }
+};
+
+/// "path:line: [rule] message" — same shape as hqlint, so editors and the
+/// golden tests treat both tools identically.
+std::string Format(const Diagnostic& d);
+
+// ---------------------------------------------------------------------------
+// Lexer (shared by the analyzer and its tests)
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;  // string tokens carry their unquoted content
+  int line = 0;      // 1-based
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;                  // kEnd-terminated
+  std::vector<std::set<std::string>> allows;  // per line (0-based), from comments
+  int line_count = 0;
+
+  bool Allowed(int line, const std::string& rule) const;  // line is 1-based
+};
+
+/// Lexes C++ source: comments are consumed (harvesting hqcheck:allow
+/// markers), string/char literals become single tokens, multi-char
+/// punctuators (`::`, `->`, `>>` is split — template brackets matter more
+/// than shifts here) are preserved.
+LexedFile Lex(std::string path, const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Lock-rank manifest
+// ---------------------------------------------------------------------------
+
+/// One line of tools/hqcheck/lock_ranks.txt: `<rank-name> <mutex-label>`.
+struct ManifestEntry {
+  std::string rank;   // e.g. "kJob"
+  std::string label;  // the string name passed to the Mutex constructor
+  int line = 0;       // 1-based line in the manifest file
+};
+
+/// Parses the manifest text. Unknown rank names and malformed lines are
+/// reported as diagnostics against `path`.
+std::vector<ManifestEntry> ParseManifest(const std::string& path, const std::string& content,
+                                         std::vector<Diagnostic>* diags);
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+class Analyzer {
+ public:
+  /// Registers one file for the next Run(). `path` is echoed verbatim in
+  /// diagnostics.
+  void AddFile(std::string path, std::string content);
+
+  /// Provides the lock-rank manifest (contents of lock_ranks.txt). Without
+  /// it the lock-rank rule only checks construction-site consistency, not
+  /// manifest membership.
+  void SetManifest(std::string path, std::string content);
+
+  /// Runs every rule over every added file. Deterministic: diagnostics are
+  /// sorted by (path, line, rule). Safe to call repeatedly.
+  std::vector<Diagnostic> Run() const;
+
+ private:
+  struct SourceFile {
+    std::string path;
+    std::string content;
+  };
+  std::vector<SourceFile> files_;
+  std::string manifest_path_;
+  std::string manifest_;
+  bool has_manifest_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Hot-path symbol proof
+// ---------------------------------------------------------------------------
+
+/// One audited frontier entry: reachability stops at (and absolves) any
+/// symbol whose demangled or mangled name matches `pattern`.
+struct AllowEntry {
+  std::string pattern;        // POSIX ERE
+  std::string justification;  // from the allow file; echoed in reports
+};
+
+/// Parses tools/hqcheck/hotpath_allow.txt: one `regex  # justification`
+/// per line, '#'-led lines are comments.
+std::vector<AllowEntry> ParseAllowFile(const std::string& path, const std::string& content,
+                                       std::vector<Diagnostic>* diags);
+
+struct HotpathProofOptions {
+  /// ERE matched against demangled symbol names to pick the proof roots.
+  std::string roots_regex;
+  std::vector<AllowEntry> allow;
+  /// When true, emit one `[hotpath-symbol] proved ...` info line per root
+  /// to `report` (the ctest log artifact).
+  bool verbose = false;
+};
+
+/// Runs the proof over pre-captured `objdump -dr --no-show-raw-insn`
+/// output (one blob per object file, concatenated is fine). Returns the
+/// violations; `report` (may be null) receives a human-readable summary
+/// including the witness call chain for every violation and the roots
+/// proven clean.
+std::vector<Diagnostic> RunHotpathProof(const std::string& disasm,
+                                        const HotpathProofOptions& options,
+                                        std::ostream* report);
+
+// ---------------------------------------------------------------------------
+// CLI driver
+// ---------------------------------------------------------------------------
+
+/// Shared by main() and the tests (so exit codes are testable in-process).
+/// Two modes:
+///   hqcheck [--root <dir>] [--manifest <file>] <file-or-dir>...
+///   hqcheck --hotpath --roots <regex> [--allow <file>] [--report <file>]
+///           (--disasm <txt> | <object.o>...)
+/// Directories are walked recursively for .h/.hpp/.cc/.cpp files, skipping
+/// "testdata" and build directories. With --root, reported paths are
+/// relative to it. In --hotpath mode object files are disassembled with
+/// `objdump -dr`; --disasm feeds pre-captured output instead (tests).
+/// Returns 0 (clean), 1 (violations printed to `out`), 2 (usage/IO error
+/// printed to `err`).
+int RunHqcheck(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace hqcheck

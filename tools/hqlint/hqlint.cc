@@ -44,6 +44,10 @@ struct Stripped {
   std::vector<std::string> lines;                 // 0-based; literals blanked
   std::vector<std::string> raw;                   // original text (for markers in comments)
   std::vector<std::set<std::string>> allows;      // per-line suppressions
+  // Which suppressions actually fired: Allowed() records the marker line it
+  // matched so the stale-allow audit can flag the markers nothing consults.
+  // Mutable because recording usage is bookkeeping, not rule state.
+  mutable std::vector<std::set<std::string>> used;
 };
 
 Stripped Strip(const std::string& content) {
@@ -69,6 +73,7 @@ Stripped Strip(const std::string& content) {
     out.lines.push_back(cur);
     out.raw.push_back(cur_raw);
     out.allows.push_back(std::move(allowed));
+    out.used.emplace_back();
     cur.clear();
     cur_raw.clear();
   };
@@ -139,8 +144,14 @@ Stripped Strip(const std::string& content) {
 }
 
 bool Allowed(const Stripped& s, size_t line_idx, const std::string& rule) {
-  if (s.allows[line_idx].count(rule) != 0) return true;
-  if (line_idx > 0 && s.allows[line_idx - 1].count(rule) != 0) return true;
+  if (s.allows[line_idx].count(rule) != 0) {
+    s.used[line_idx].insert(rule);
+    return true;
+  }
+  if (line_idx > 0 && s.allows[line_idx - 1].count(rule) != 0) {
+    s.used[line_idx - 1].insert(rule);
+    return true;
+  }
   return false;
 }
 
@@ -634,18 +645,46 @@ void CheckPerRowAlloc(const std::string& path, const Stripped& s, bool hotpath,
                       std::vector<Diagnostic>* diags) {
   if (!hotpath) return;
   for (size_t i = 0; i < s.lines.size(); ++i) {
-    if (Allowed(s, i, "per-row-alloc")) continue;
     const std::string& line = s.lines[i];
+    // Detect first, consult the suppression second: Allowed() records marker
+    // usage, and a marker only counts as used when it silenced a real hit
+    // (otherwise the stale-allow audit could never retire it).
     if (TokenCallLike(line, "std::to_string")) {
+      if (Allowed(s, i, "per-row-alloc")) continue;
       diags->push_back({path, static_cast<int>(i) + 1, "per-row-alloc",
                         "`std::to_string` allocates per call in a hotpath file; format into "
                         "stack scratch with std::to_chars"});
       continue;  // one diagnostic per line
     }
     if (TokenCallLike(line, "std::string")) {
+      if (Allowed(s, i, "per-row-alloc")) continue;
       diags->push_back({path, static_cast<int>(i) + 1, "per-row-alloc",
                         "`std::string` temporary in a hotpath file; use std::string_view or "
                         "stack scratch"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: stale-allow
+// ---------------------------------------------------------------------------
+
+/// Audits the suppressions themselves: a `// hqlint:allow(<rule>)` marker
+/// that silenced nothing this run is dead weight — the violation it was
+/// written for has been fixed (or the marker was typoed), and leaving it in
+/// place would silently swallow the next real finding on that line. Must run
+/// AFTER every other rule so Stripped::used is fully populated.
+void CheckStaleAllow(const std::string& path, const Stripped& s,
+                     std::vector<Diagnostic>* diags) {
+  for (size_t i = 0; i < s.allows.size(); ++i) {
+    for (const std::string& rule : s.allows[i]) {
+      if (rule == "stale-allow") continue;  // the meta-marker audits itself out
+      if (s.used[i].count(rule) != 0) continue;
+      if (Allowed(s, i, "stale-allow")) continue;
+      diags->push_back({path, static_cast<int>(i) + 1, "stale-allow",
+                        "suppression `hqlint:allow(" + rule +
+                            ")` matches no diagnostic on this or the next line; remove the "
+                            "dead marker (or fix the rule name)"});
     }
   }
 }
@@ -755,12 +794,20 @@ std::vector<Diagnostic> Linter::Run() const {
     CheckNestedLockOrder(f.path, s, &diags);
     CheckUnboundedRetry(f.path, s, &diags);
     // The hotpath marker lives in a comment, so look at the raw content.
-    // The linter's own sources necessarily spell the marker (to search for
-    // it) without being hotpath code, so they are exempt — the same
-    // precedent as common/sync.h for naked-mutex.
-    const bool self_lint = f.path.find("tools/hqlint") != std::string::npos;
+    // The analyzers' own sources and golden tests (hqlint and hqcheck)
+    // necessarily spell the marker (to search for / document / assert on it)
+    // without being hotpath code, so they are exempt — the same precedent as
+    // common/sync.h for naked-mutex.
+    const bool self_lint = f.path.find("tools/hqlint") != std::string::npos ||
+                           f.path.find("tools/hqcheck") != std::string::npos ||
+                           f.path.find("tests/hqlint") != std::string::npos ||
+                           f.path.find("tests/hqcheck") != std::string::npos;
     CheckPerRowAlloc(f.path, s,
                      !self_lint && f.content.find("hqlint:hotpath") != std::string::npos, &diags);
+    // Last, once every rule has recorded which suppressions it consumed.
+    // The analyzers' own sources spell marker text in string literals, which
+    // the harvester cannot tell from a real suppression — exempt them.
+    if (!self_lint) CheckStaleAllow(f.path, s, &diags);
   }
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
     if (a.path != b.path) return a.path < b.path;
