@@ -6,13 +6,20 @@
 /// (global operator new count — the pooled path should be O(1) per chunk,
 /// not per row).
 ///
+/// A second section measures the full converter->COPY staging pipe per
+/// staging format (convert + object put + COPY decode into a cdw::Table):
+/// CSV text vs the HQB1 typed columnar direct pipe.
+///
 /// Usage:
-///   bench_ablation_convert [--plan=compiled|reference|both] [--json=PATH]
+///   bench_ablation_convert [--plan=compiled|reference|both]
+///                          [--format=csv|binary|both] [--json=PATH]
 ///                          [--rows=N] [--iters=N] [--smoke]
 ///
 /// --json writes a machine-readable BENCH_convert.json. --smoke runs a small
 /// configuration and exits non-zero unless compiled >= 1.0x reference rows/s
-/// on both formats (the CI regression gate; see ci/check.sh bench-smoke).
+/// on both wire formats (the CI regression gate; see ci/check.sh
+/// bench-smoke). With --smoke --format=binary the gate additionally requires
+/// the binary staging pipe to beat the CSV pipe end to end.
 
 #include <atomic>
 #include <chrono>
@@ -28,6 +35,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "cdw/copy.h"
+#include "cdw/table.h"
+#include "cloudstore/object_store.h"
 #include "common/buffer_pool.h"
 #include "common/random.h"
 #include "hyperq/data_converter.h"
@@ -211,9 +221,62 @@ struct FormatReport {
   bool ran_reference = false;
 };
 
+struct StagingResult {
+  double rows_per_s = 0;          ///< convert + put + COPY, end to end
+  double staging_bytes_per_row = 0;
+};
+
+/// Full staging pipe for one format: compile a converter that stages
+/// `staging` bytes, then per iteration convert the chunk, put the staged
+/// object, and COPY it into a fresh staging table (explicit FORMAT, no
+/// ledger). This is the "converter->COPY throughput" of the acceptance
+/// criteria: the CSV pipe pays text encode + escape + per-cell parse, the
+/// binary pipe memcpys typed columns both ways.
+StagingResult RunStagingPipe(const types::Schema& layout, cdw::StagingFormat staging,
+                             const core::ConversionInput& input, int iters, int repeats) {
+  auto converter = core::DataConverter::Create(layout, legacy::DataFormat::kBinary, '|',
+                                               cdw::CsvOptions{}, staging)
+                       .ValueOrDie();
+  types::Schema staging_schema = core::MakeStagingSchema(layout).ValueOrDie();
+  cloud::ObjectStore store;  // zero simulated latency: measure CPU, not sleeps
+  const std::string key =
+      std::string("bench/stage_0") + std::string(cdw::StagingFileExtension(staging));
+  cdw::CopyOptions copy_options;
+  copy_options.format =
+      staging == cdw::StagingFormat::kBinary ? cdw::CopyFormat::kBinary : cdw::CopyFormat::kCsv;
+  common::BufferPool pool;
+  size_t staged_bytes = 0;
+  auto run_once = [&]() {
+    auto converted = converter.Convert(input, &pool);
+    if (!converted.ok()) std::abort();
+    staged_bytes = converted->csv.size();
+    if (!store.Put(key, converted->csv.AsSlice()).ok()) std::abort();
+    pool.Release(std::move(converted->csv.vector()));
+    cdw::Table table("BENCH_STG", staging_schema);
+    auto copied = cdw::CopyFromStore(&table, store, "bench/", copy_options);
+    if (!copied.ok() || *copied != input.chunk.row_count) std::abort();
+    benchmark::DoNotOptimize(table.num_rows());
+  };
+  run_once();
+  run_once();
+  double best_seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) run_once();
+    auto stop = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(stop - start).count();
+    if (seconds < best_seconds) best_seconds = seconds;
+  }
+  StagingResult result;
+  result.rows_per_s = static_cast<double>(input.chunk.row_count) * iters / best_seconds;
+  result.staging_bytes_per_row =
+      static_cast<double>(staged_bytes) / static_cast<double>(input.chunk.row_count);
+  return result;
+}
+
 int Usage() {
   std::cerr << "usage: bench_ablation_convert [--plan=compiled|reference|both] "
-               "[--json=PATH] [--rows=N] [--iters=N] [--smoke]\n";
+               "[--format=csv|binary|both] [--json=PATH] [--rows=N] [--iters=N] [--smoke]\n";
   return 2;
 }
 
@@ -221,6 +284,7 @@ int Usage() {
 
 int main(int argc, char** argv) {
   std::string plan = "both";
+  std::string format = "both";
   std::string json_path;
   bool smoke = false;
   uint32_t rows = 4000;
@@ -230,6 +294,9 @@ int main(int argc, char** argv) {
     if (arg.rfind("--plan=", 0) == 0) {
       plan = arg.substr(7);
       if (plan != "compiled" && plan != "reference" && plan != "both") return Usage();
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "csv" && format != "binary" && format != "both") return Usage();
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--rows=", 0) == 0) {
@@ -278,6 +345,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Converter->COPY staging pipe: both formats when comparing (--smoke with
+  // --format=binary gates on the comparison, so it forces both).
+  const bool staging_csv = format != "binary" || smoke;
+  const bool staging_binary = format != "csv";
+  StagingResult csv_pipe;
+  StagingResult binary_pipe;
+  if (staging_csv) {
+    csv_pipe = RunStagingPipe(binary_layout, cdw::StagingFormat::kCsv, binary_input, iters,
+                              repeats);
+  }
+  if (staging_binary) {
+    binary_pipe = RunStagingPipe(binary_layout, cdw::StagingFormat::kBinary, binary_input,
+                                 iters, repeats);
+  }
+
   bool smoke_ok = true;
   for (const auto& report : reports) {
     std::printf("%s (%u rows x 32 cols, %zu payload bytes)\n", report.format.c_str(), rows,
@@ -299,6 +381,26 @@ int main(int argc, char** argv) {
       if (smoke && speedup < 1.0) {
         std::printf("  SMOKE FAIL: compiled plan slower than reference on %s\n",
                     report.format.c_str());
+        smoke_ok = false;
+      }
+    }
+  }
+
+  if (staging_csv || staging_binary) {
+    std::printf("staging pipe: convert -> put -> COPY (%u rows x 32 cols)\n", rows);
+    if (staging_csv) {
+      std::printf("  csv        %12.0f rows/s %10.1f staging bytes/row\n", csv_pipe.rows_per_s,
+                  csv_pipe.staging_bytes_per_row);
+    }
+    if (staging_binary) {
+      std::printf("  binary     %12.0f rows/s %10.1f staging bytes/row\n",
+                  binary_pipe.rows_per_s, binary_pipe.staging_bytes_per_row);
+    }
+    if (staging_csv && staging_binary) {
+      double speedup = binary_pipe.rows_per_s / csv_pipe.rows_per_s;
+      std::printf("  speedup    %12.2fx\n", speedup);
+      if (smoke && format == "binary" && speedup < 1.0) {
+        std::printf("  SMOKE FAIL: binary staging pipe slower than csv\n");
         smoke_ok = false;
       }
     }
@@ -330,7 +432,35 @@ int main(int argc, char** argv) {
                       report.compiled.rows_per_s / report.reference.rows_per_s);
         out << buf;
       }
-      out << "\n    }" << (i + 1 < reports.size() ? "," : "") << "\n";
+      out << "\n    }" << (i + 1 < reports.size() || staging_csv || staging_binary ? "," : "")
+          << "\n";
+    }
+    if (staging_csv || staging_binary) {
+      out << "    \"staging_pipe\": {\n";
+      char buf[256];
+      std::vector<std::string> entries;
+      if (staging_csv) {
+        std::snprintf(buf, sizeof(buf),
+                      "      \"csv\": {\"rows_per_s\": %.0f, \"staging_bytes_per_row\": %.1f}",
+                      csv_pipe.rows_per_s, csv_pipe.staging_bytes_per_row);
+        entries.emplace_back(buf);
+      }
+      if (staging_binary) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "      \"binary\": {\"rows_per_s\": %.0f, \"staging_bytes_per_row\": %.1f}",
+            binary_pipe.rows_per_s, binary_pipe.staging_bytes_per_row);
+        entries.emplace_back(buf);
+      }
+      if (staging_csv && staging_binary) {
+        std::snprintf(buf, sizeof(buf), "      \"binary_speedup_rows_per_s\": %.2f",
+                      binary_pipe.rows_per_s / csv_pipe.rows_per_s);
+        entries.emplace_back(buf);
+      }
+      for (size_t e = 0; e < entries.size(); ++e) {
+        out << entries[e] << (e + 1 < entries.size() ? ",\n" : "\n");
+      }
+      out << "    }\n";
     }
     out << "  }\n}\n";
     std::ofstream file(json_path, std::ios::binary | std::ios::trunc);

@@ -3,15 +3,34 @@
 /// number of files could impact the efficiency of data copying"). End-to-end
 /// import with the rotation threshold swept, against a store that charges a
 /// per-request latency.
+///
+/// --format=csv|binary selects the staging format for the whole sweep (the
+/// rotation trade-off applies to both; binary files are denser, so the same
+/// threshold holds more rows per file).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.h"
 
 using namespace hyperq;
 
-int main() {
-  std::printf("=== Ablation: staging file size threshold (Section 6 tuning) ===\n");
+int main(int argc, char** argv) {
+  cdw::StagingFormat staging = cdw::StagingFormat::kCsv;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--format=binary") {
+      staging = cdw::StagingFormat::kBinary;
+    } else if (arg == "--format=csv") {
+      staging = cdw::StagingFormat::kCsv;
+    } else {
+      std::fprintf(stderr, "usage: bench_ablation_filesize [--format=csv|binary]\n");
+      return 2;
+    }
+  }
+  std::printf("=== Ablation: staging file size threshold (Section 6 tuning, %s staging) ===\n",
+              std::string(cdw::StagingFormatName(staging)).c_str());
   const size_t kThresholds[] = {16 << 10, 64 << 10, 256 << 10, 1 << 20, 8 << 20};
 
   workload::ReportTable table(
@@ -25,6 +44,7 @@ int main() {
     config.chunk_rows = 500;
     config.hyperq.file_size_threshold = threshold;
     config.hyperq.file_writers = 2;
+    config.hyperq.staging_format = staging;
     config.store.per_request_latency_micros = 5000;  // cloud PUT round trip
     config.cdw.copy_startup_micros = 10000;
     config.work_dir = "/tmp/hyperq_bench_filesize";

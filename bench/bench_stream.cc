@@ -8,12 +8,15 @@
 /// visible in the target table once the client cuts the watermark — reported
 /// as p50/p99 across batches, the way streaming ETL SLOs are quoted.
 ///
-///   bench_stream [--batches=N] [--rows=N] [--chunk-rows=N] [--json=PATH]
-///                [--smoke]
+///   bench_stream [--batches=N] [--rows=N] [--chunk-rows=N]
+///                [--format=csv|binary|both] [--json=PATH] [--smoke]
 ///
-/// --json writes a machine-readable BENCH_stream.json. --smoke shrinks the
-/// workload and gates on correctness only (every batch committed, every row
-/// applied): commit latency in debug/sanitizer CI builds is not meaningful.
+/// --format selects the staging format (HyperQOptions::staging_format) the
+/// session stages micro-batches in; `both` runs the whole workload once per
+/// format and reports one result row each. --json writes a machine-readable
+/// BENCH_stream.json. --smoke shrinks the workload and gates on correctness
+/// only (every batch committed, every row applied): commit latency in
+/// debug/sanitizer CI builds is not meaningful.
 
 #include <algorithm>
 #include <cstdio>
@@ -38,7 +41,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: bench_stream [--batches=N] [--rows=N] [--chunk-rows=N] "
-               "[--json=PATH] [--smoke]\n");
+               "[--format=csv|binary|both] [--json=PATH] [--smoke]\n");
   return 2;
 }
 
@@ -57,39 +60,30 @@ double PercentileMs(std::vector<double> seconds, double q) {
   return seconds[std::min(idx, seconds.size() - 1)] * 1e3;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+struct StreamRunConfig {
   int batches = 50;
   int rows_per_batch = 2000;
   size_t chunk_rows = 500;
-  std::string json_path;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--batches=", 0) == 0) {
-      batches = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
-      if (batches <= 0) return Usage();
-    } else if (arg.rfind("--rows=", 0) == 0) {
-      rows_per_batch = static_cast<int>(std::strtol(arg.c_str() + 7, nullptr, 10));
-      if (rows_per_batch <= 0) return Usage();
-    } else if (arg.rfind("--chunk-rows=", 0) == 0) {
-      chunk_rows = std::strtoul(arg.c_str() + 13, nullptr, 10);
-      if (chunk_rows == 0) return Usage();
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else if (arg == "--smoke") {
-      smoke = true;
-    } else {
-      return Usage();
-    }
-  }
-  if (smoke) {
-    batches = 5;
-    rows_per_batch = 200;
-    chunk_rows = 100;
-  }
+  cdw::StagingFormat staging = cdw::StagingFormat::kCsv;
+};
 
+struct StreamRunMetrics {
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p99_first_ms = 0;
+  double p99_last_ms = 0;
+  double rows_per_s = 0;
+  uint64_t rows_total = 0;
+  uint64_t rows_inserted = 0;
+  uint64_t et_errors = 0;
+  bool rows_ok = false;
+  bool batches_ok = false;
+};
+
+/// One complete streaming workload against a fresh stack. Aborts on
+/// infrastructure errors (benchmarks want loud failures); commit failures
+/// surface in the returned flags.
+StreamRunMetrics RunStream(const StreamRunConfig& config) {
   const std::string work_dir = "/tmp/hq_bench_stream";
   std::filesystem::remove_all(work_dir);
   std::filesystem::create_directories(work_dir);
@@ -106,6 +100,7 @@ int main(int argc, char** argv) {
 
   core::HyperQOptions options;
   options.local_staging_dir = work_dir + "/staging";
+  options.staging_format = config.staging;
   core::HyperQServer node(&cdw, &store, options);
   node.Start();
 
@@ -132,17 +127,17 @@ int main(int argc, char** argv) {
   if (!client.Begin(begin).ok()) std::abort();
 
   std::vector<double> commit_s;
-  commit_s.reserve(static_cast<size_t>(batches));
+  commit_s.reserve(static_cast<size_t>(config.batches));
   double send_seconds = 0;
   uint64_t id = 0;
-  for (int batch = 1; batch <= batches; ++batch) {
+  for (int batch = 1; batch <= config.batches; ++batch) {
     common::Stopwatch send_timer;
     std::vector<std::string> lines;
-    lines.reserve(chunk_rows);
-    for (int row = 0; row < rows_per_batch; ++row) {
+    lines.reserve(config.chunk_rows);
+    for (int row = 0; row < config.rows_per_batch; ++row) {
       ++id;
       lines.push_back(std::to_string(id) + "|Name" + std::to_string(id) + "|2012-01-01");
-      if (lines.size() == chunk_rows) {
+      if (lines.size() == config.chunk_rows) {
         if (!client.SendLines(lines).ok()) std::abort();
         lines.clear();
       }
@@ -155,7 +150,7 @@ int main(int argc, char** argv) {
     if (!committed.ok()) {
       std::fprintf(stderr, "commit %d failed: %s\n", batch,
                    committed.status().ToString().c_str());
-      return 1;
+      break;
     }
     commit_s.push_back(commit_timer.ElapsedSeconds());
   }
@@ -163,66 +158,126 @@ int main(int argc, char** argv) {
   if (!report.ok() || !client.Logoff().ok()) std::abort();
   node.Stop();
 
-  const uint64_t rows_total = static_cast<uint64_t>(batches) *
-                              static_cast<uint64_t>(rows_per_batch);
-  const double p50_ms = PercentileMs(commit_s, 0.50);
-  const double p99_ms = PercentileMs(commit_s, 0.99);
+  StreamRunMetrics out;
+  out.rows_total =
+      static_cast<uint64_t>(config.batches) * static_cast<uint64_t>(config.rows_per_batch);
+  out.rows_inserted = report->rows_inserted;
+  out.et_errors = report->et_errors;
+  out.p50_ms = PercentileMs(commit_s, 0.50);
+  out.p99_ms = PercentileMs(commit_s, 0.99);
   // Flatness evidence: with the per-batch staging prune, the tail latency of
   // the stream's last batches must match its first batches. Without the
   // prune, the staging table accumulates every committed row and the COPY
   // count check + DML range scan make late batches strictly slower.
   const size_t half = commit_s.size() / 2;
-  const double p99_first_ms =
+  out.p99_first_ms =
       PercentileMs({commit_s.begin(), commit_s.begin() + static_cast<long>(half)}, 0.99);
-  const double p99_last_ms =
+  out.p99_last_ms =
       PercentileMs({commit_s.begin() + static_cast<long>(half), commit_s.end()}, 0.99);
   double commit_seconds = 0;
   for (double s : commit_s) commit_seconds += s;
-  const double rows_per_s =
-      commit_seconds + send_seconds > 0
-          ? static_cast<double>(rows_total) / (commit_seconds + send_seconds)
-          : 0;
+  out.rows_per_s = commit_seconds + send_seconds > 0
+                       ? static_cast<double>(out.rows_total) / (commit_seconds + send_seconds)
+                       : 0;
+  out.rows_ok = report->rows_inserted == out.rows_total;
+  out.batches_ok = commit_s.size() == static_cast<size_t>(config.batches);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StreamRunConfig config;
+  std::string format = "csv";
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--batches=", 0) == 0) {
+      config.batches = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+      if (config.batches <= 0) return Usage();
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      config.rows_per_batch = static_cast<int>(std::strtol(arg.c_str() + 7, nullptr, 10));
+      if (config.rows_per_batch <= 0) return Usage();
+    } else if (arg.rfind("--chunk-rows=", 0) == 0) {
+      config.chunk_rows = std::strtoul(arg.c_str() + 13, nullptr, 10);
+      if (config.chunk_rows == 0) return Usage();
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "csv" && format != "binary" && format != "both") return Usage();
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (smoke) {
+    config.batches = 5;
+    config.rows_per_batch = 200;
+    config.chunk_rows = 100;
+  }
+
+  std::vector<cdw::StagingFormat> formats;
+  if (format != "binary") formats.push_back(cdw::StagingFormat::kCsv);
+  if (format != "csv") formats.push_back(cdw::StagingFormat::kBinary);
 
   std::printf("=== Streaming micro-batch commit latency ===\n");
-  workload::ReportTable table({"metric", "value"});
-  char buf[64];
-  auto row = [&](const char* name, double v, const char* fmt) {
-    std::snprintf(buf, sizeof(buf), fmt, v);
-    table.AddRow({name, buf});
-  };
-  row("batches", batches, "%.0f");
-  row("rows per batch", rows_per_batch, "%.0f");
-  row("commit p50 ms", p50_ms, "%.2f");
-  row("commit p99 ms", p99_ms, "%.2f");
-  row("commit p99 ms (first half)", p99_first_ms, "%.2f");
-  row("commit p99 ms (last half)", p99_last_ms, "%.2f");
-  row("end-to-end rows/s", rows_per_s, "%.0f");
-  table.Print();
+  std::vector<StreamRunMetrics> results;
+  bool all_ok = true;
+  for (cdw::StagingFormat staging : formats) {
+    config.staging = staging;
+    StreamRunMetrics m = RunStream(config);
+    results.push_back(m);
 
-  const bool rows_ok = report->rows_inserted == rows_total;
-  std::printf("rows inserted: %llu / %llu, et_errors: %llu\n",
-              static_cast<unsigned long long>(report->rows_inserted),
-              static_cast<unsigned long long>(rows_total),
-              static_cast<unsigned long long>(report->et_errors));
+    workload::ReportTable table({"metric", "value"});
+    char buf[64];
+    auto row = [&](const char* name, double v, const char* fmt) {
+      std::snprintf(buf, sizeof(buf), fmt, v);
+      table.AddRow({name, buf});
+    };
+    std::printf("--- %s staging ---\n", std::string(cdw::StagingFormatName(staging)).c_str());
+    row("batches", config.batches, "%.0f");
+    row("rows per batch", config.rows_per_batch, "%.0f");
+    row("commit p50 ms", m.p50_ms, "%.2f");
+    row("commit p99 ms", m.p99_ms, "%.2f");
+    row("commit p99 ms (first half)", m.p99_first_ms, "%.2f");
+    row("commit p99 ms (last half)", m.p99_last_ms, "%.2f");
+    row("end-to-end rows/s", m.rows_per_s, "%.0f");
+    table.Print();
+    std::printf("rows inserted: %llu / %llu, et_errors: %llu\n",
+                static_cast<unsigned long long>(m.rows_inserted),
+                static_cast<unsigned long long>(m.rows_total),
+                static_cast<unsigned long long>(m.et_errors));
+    all_ok = all_ok && m.rows_ok && m.batches_ok;
+  }
 
   if (!json_path.empty()) {
+    char buf[64];
     std::string json = "{\n";
     json += "  \"benchmark\": \"bench_stream\",\n";
-    json += "  \"batches\": " + std::to_string(batches) + ",\n";
-    json += "  \"rows_per_batch\": " + std::to_string(rows_per_batch) + ",\n";
-    json += "  \"chunk_rows\": " + std::to_string(chunk_rows) + ",\n";
-    json += "  \"rows_total\": " + std::to_string(rows_total) + ",\n";
-    std::snprintf(buf, sizeof(buf), "%.3f", p50_ms);
-    json += "  \"commit_p50_ms\": " + std::string(buf) + ",\n";
-    std::snprintf(buf, sizeof(buf), "%.3f", p99_ms);
-    json += "  \"commit_p99_ms\": " + std::string(buf) + ",\n";
-    std::snprintf(buf, sizeof(buf), "%.3f", p99_first_ms);
-    json += "  \"commit_p99_first_half_ms\": " + std::string(buf) + ",\n";
-    std::snprintf(buf, sizeof(buf), "%.3f", p99_last_ms);
-    json += "  \"commit_p99_last_half_ms\": " + std::string(buf) + ",\n";
-    std::snprintf(buf, sizeof(buf), "%.0f", rows_per_s);
-    json += "  \"rows_per_s\": " + std::string(buf) + "\n";
-    json += "}\n";
+    json += "  \"batches\": " + std::to_string(config.batches) + ",\n";
+    json += "  \"rows_per_batch\": " + std::to_string(config.rows_per_batch) + ",\n";
+    json += "  \"chunk_rows\": " + std::to_string(config.chunk_rows) + ",\n";
+    json += "  \"results\": {\n";
+    for (size_t i = 0; i < formats.size(); ++i) {
+      const StreamRunMetrics& m = results[i];
+      json += "    \"" + std::string(cdw::StagingFormatName(formats[i])) + "\": {\n";
+      json += "      \"rows_total\": " + std::to_string(m.rows_total) + ",\n";
+      std::snprintf(buf, sizeof(buf), "%.3f", m.p50_ms);
+      json += "      \"commit_p50_ms\": " + std::string(buf) + ",\n";
+      std::snprintf(buf, sizeof(buf), "%.3f", m.p99_ms);
+      json += "      \"commit_p99_ms\": " + std::string(buf) + ",\n";
+      std::snprintf(buf, sizeof(buf), "%.3f", m.p99_first_ms);
+      json += "      \"commit_p99_first_half_ms\": " + std::string(buf) + ",\n";
+      std::snprintf(buf, sizeof(buf), "%.3f", m.p99_last_ms);
+      json += "      \"commit_p99_last_half_ms\": " + std::string(buf) + ",\n";
+      std::snprintf(buf, sizeof(buf), "%.0f", m.rows_per_s);
+      json += "      \"rows_per_s\": " + std::string(buf) + "\n";
+      json += std::string("    }") + (i + 1 < formats.size() ? "," : "") + "\n";
+    }
+    json += "  }\n}\n";
     std::ofstream file(json_path, std::ios::binary | std::ios::trunc);
     file << json;
     if (!file) {
@@ -233,9 +288,8 @@ int main(int argc, char** argv) {
   }
 
   // The smoke gate is correctness, not speed: every batch must have
-  // committed and every row must have been applied exactly once.
-  const bool batches_ok = commit_s.size() == static_cast<size_t>(batches);
-  std::printf("shape: all batches committed, all rows applied: %s\n",
-              rows_ok && batches_ok ? "YES" : "NO");
-  return rows_ok && batches_ok ? 0 : 1;
+  // committed and every row must have been applied exactly once, in every
+  // staging format exercised.
+  std::printf("shape: all batches committed, all rows applied: %s\n", all_ok ? "YES" : "NO");
+  return all_ok ? 0 : 1;
 }

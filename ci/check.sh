@@ -104,14 +104,22 @@ for stage in "${STAGES[@]}"; do
     bench-smoke)
       # Perf regression gate: the compiled conversion plan must stay at least
       # as fast as the interpretive reference path (it should be well above;
-      # see BENCH_convert.json for the committed trajectory).
+      # see BENCH_convert.json for the committed trajectory), and the binary
+      # direct-pipe staging pipe must never fall behind the CSV pipe.
       echo "=== bench-smoke: compiled conversion plan vs reference ==="
       cmake --preset default
-      cmake --build --preset default -j "$JOBS" --target bench_ablation_convert bench_stream
+      cmake --build --preset default -j "$JOBS" \
+        --target bench_ablation_convert bench_stream bench_csv_scan
       ctest --preset default -R '^bench_smoke$' --output-on-failure
-      # Streaming micro-batch gate: exactly-once correctness across commits
-      # (speed is reported, not gated; see BENCH_stream.json).
+      ctest --preset default -R '^bench_smoke_binary$' --output-on-failure
+      # Streaming micro-batch gate: exactly-once correctness across commits,
+      # in both staging formats (speed is reported, not gated; see
+      # BENCH_stream.json).
       ctest --preset default -R '^bench_stream_smoke$' --output-on-failure
+      ctest --preset default -R '^bench_stream_smoke_binary$' --output-on-failure
+      # SWAR CSV scan: both scan paths must parse identically (the speedup is
+      # gated only on full runs; debug-build timing is noise).
+      ctest --preset default -R '^bench_csv_scan_smoke$' --output-on-failure
       ;;
     chaos-smoke)
       # Resilience gate (DESIGN.md "Fault injection & resilient load path"):

@@ -18,6 +18,12 @@ CdwServer::CdwServer(cloud::ObjectStore* store, CdwServerOptions options)
     statements_total_ = options_.metrics->GetCounter("cdw_statements_total");
     copies_total_ = options_.metrics->GetCounter("cdw_copies_total");
     copy_rows_total_ = options_.metrics->GetCounter("cdw_copy_rows_total");
+    copy_binary_files_total_ = options_.metrics->GetCounter("hyperq_copy_binary_files_total");
+    copy_binary_rows_total_ = options_.metrics->GetCounter("hyperq_copy_binary_rows_total");
+    copy_binary_bytes_total_ = options_.metrics->GetCounter("hyperq_copy_binary_bytes_total");
+    copy_csv_files_total_ = options_.metrics->GetCounter("hyperq_copy_csv_files_total");
+    copy_csv_rows_total_ = options_.metrics->GetCounter("hyperq_copy_csv_rows_total");
+    copy_csv_bytes_total_ = options_.metrics->GetCounter("hyperq_copy_csv_bytes_total");
   }
 }
 
@@ -63,7 +69,17 @@ Result<uint64_t> CdwServer::CopyInto(const std::string& table_name, const std::s
   common::MutexLock lock(&mu_);
   HQ_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
   std::map<std::string, uint64_t>& ledger = copied_objects_[table_name];
-  Result<uint64_t> copied = CopyFromStore(table.get(), *store_, prefix, options, &ledger);
+  CopyStats stats;
+  Result<uint64_t> copied =
+      CopyFromStore(table.get(), *store_, prefix, options, &ledger, &stats);
+  if (copied.ok() && copy_binary_files_total_ != nullptr) {
+    copy_binary_files_total_->Increment(stats.binary_files);
+    copy_binary_rows_total_->Increment(stats.binary_rows);
+    copy_binary_bytes_total_->Increment(stats.binary_bytes);
+    copy_csv_files_total_->Increment(stats.csv_files);
+    copy_csv_rows_total_->Increment(stats.csv_rows);
+    copy_csv_bytes_total_->Increment(stats.csv_bytes);
+  }
   if (copied.ok() && options_.copy_ledger_max_entries > 0) {
     // Oldest-key-first eviction; see CdwServerOptions::copy_ledger_max_entries
     // for why key order is commit order for the callers that set a cap.

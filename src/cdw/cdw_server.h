@@ -101,6 +101,14 @@ class CdwServer {
   obs::Counter* statements_total_ = nullptr;
   obs::Counter* copies_total_ = nullptr;
   obs::Counter* copy_rows_total_ = nullptr;
+  // Direct-pipe COPY telemetry: staged objects ingested through the HQB1
+  // binary path vs the CSV fallback (files / rows / decompressed bytes).
+  obs::Counter* copy_binary_files_total_ = nullptr;
+  obs::Counter* copy_binary_rows_total_ = nullptr;
+  obs::Counter* copy_binary_bytes_total_ = nullptr;
+  obs::Counter* copy_csv_files_total_ = nullptr;
+  obs::Counter* copy_csv_rows_total_ = nullptr;
+  obs::Counter* copy_csv_bytes_total_ = nullptr;
 };
 
 }  // namespace hyperq::cdw

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "types/schema.h"
+
+/// \file staging_binary.h
+/// HQB1 — the typed columnar binary staging format (the "direct pipe" of the
+/// PipeGen line of work): converted chunks are staged as self-describing
+/// columnar blocks that CDW COPY appends straight into column storage with no
+/// per-cell text parsing. A staging file is a concatenation of blocks, one
+/// per converted chunk (the FileWriter only rotates between Appends, so a
+/// block never splits across files).
+///
+/// Block wire layout (all integers little-endian):
+///
+///   +0   u32  magic "HQB1" (0x31425148)
+///   +4   u16  version (1)
+///   +6   u16  flags (0, reserved)
+///   +8   u64  layout fingerprint (SchemaFingerprint of the staging schema)
+///   +16  u32  column count
+///   +20  u32  row count            <- patched per block, kHqb1RowCountOffset
+///   +24  column descriptors, 12 bytes each:
+///          u8  type id (types::TypeId)
+///          u8  flags (bit 0: nullable)
+///          u16 reserved (0)
+///          u32 declared length (CHAR/VARCHAR)
+///          u16 precision, u16 scale (DECIMAL)
+///   then one section per column, in declaration order:
+///          null bitmap   (row_count+7)/8 bytes; bit (row & 7) of byte
+///                        (row >> 3) set <=> the cell is SQL NULL
+///          fixed-width:  row_count * width value bytes (NULL cells are
+///                        zero-filled so the section stays positional)
+///          varlen:       u32 data bytes, row_count u32 END offsets
+///                        (monotone, last == data bytes), data bytes
+///
+/// Cell encodings per staging type: BOOLEAN u8 0/1, SMALLINT i16, INTEGER
+/// i32, BIGINT i64, FLOAT f64 raw bits, DECIMAL i64 unscaled (scale in the
+/// descriptor), DATE i32 epoch days, TIMESTAMP i64 epoch micros, CHAR(n)
+/// exactly n bytes, VARCHAR varlen bytes. The header always describes the
+/// *staging* (CDW-mapped) schema — BYTEINT widened to SMALLINT, oversize
+/// CHAR mapped to VARCHAR — including the trailing HQ_ROWNUM BIGINT column.
+
+namespace hyperq::cdw {
+
+inline constexpr uint32_t kHqb1Magic = 0x31425148u;  // "HQB1" read little-endian
+inline constexpr uint16_t kHqb1Version = 1;
+inline constexpr size_t kHqb1RowCountOffset = 20;
+inline constexpr size_t kHqb1ColumnDescBytes = 12;
+
+/// Fixed cell width in bytes for a staging type; 0 means varlen (VARCHAR).
+size_t BinaryFixedWidth(types::TypeId id, int32_t declared_length);
+
+/// True when `data` starts with an HQB1 block (format sniffing for COPY).
+bool IsHqb1(common::Slice data);
+
+/// FNV-1a over field names, types and nullability: the negotiation handle
+/// COPY uses to reject blocks whose layout does not match the target table.
+uint64_t SchemaFingerprint(const types::Schema& schema);
+
+/// Serializes the block prefix (magic .. column descriptors) for `schema`
+/// with row count 0. Encoders copy this once per block and patch the row
+/// count at kHqb1RowCountOffset.
+void BuildBlockHeader(const types::Schema& schema, common::ByteBuffer* out);
+
+/// One parsed column section: descriptor plus views into the block bytes.
+struct BinaryColumnView {
+  types::TypeId type = types::TypeId::kVarchar;
+  bool nullable = true;
+  uint32_t length = 0;
+  uint32_t precision = 0;
+  uint32_t scale = 0;
+  size_t fixed_width = 0;  ///< 0 = varlen
+
+  common::Slice nulls;    ///< (rows+7)/8 bitmap bytes
+  common::Slice fixed;    ///< rows * fixed_width value bytes (fixed only)
+  common::Slice offsets;  ///< rows * u32 end offsets (varlen only)
+  common::Slice varlen;   ///< varlen data bytes (varlen only)
+
+  bool IsNull(size_t row) const { return (nulls[row >> 3] & (1u << (row & 7))) != 0; }
+  /// Bounds of varlen cell `row`; valid after a successful Parse.
+  void VarlenCell(size_t row, size_t* begin, size_t* len) const {
+    uint32_t end = ReadOffset(row);
+    uint32_t start = row == 0 ? 0 : ReadOffset(row - 1);
+    *begin = start;
+    *len = end - start;
+  }
+
+ private:
+  uint32_t ReadOffset(size_t row) const {
+    uint32_t v;
+    std::memcpy(&v, offsets.data() + row * 4, 4);
+    return v;
+  }
+};
+
+/// Parses and validates one block, leaving the reader positioned at the next
+/// block. Structural validation only (magic, version, counts, section
+/// bounds, offset monotonicity) — no per-cell work and no allocation beyond
+/// the reused column vector, so Parse is an hqcheck --hotpath root.
+class BinaryBlockReader {
+ public:
+  common::Status Parse(common::ByteReader* reader);
+
+  uint64_t fingerprint() const { return fingerprint_; }
+  uint32_t row_count() const { return row_count_; }
+  const std::vector<BinaryColumnView>& columns() const { return columns_; }
+
+ private:
+  uint64_t fingerprint_ = 0;
+  uint32_t row_count_ = 0;
+  std::vector<BinaryColumnView> columns_;
+};
+
+}  // namespace hyperq::cdw

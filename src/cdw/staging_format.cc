@@ -1,11 +1,46 @@
 #include "cdw/staging_format.h"
 
+#include <cstring>
+
 namespace hyperq::cdw {
 
 using common::ByteBuffer;
 using common::Result;
 using common::Slice;
 using common::Status;
+
+namespace {
+
+// SWAR byte search: a lane of (w ^ broadcast(b)) is zero exactly where w has
+// byte b, and the zero-lane trick ((x - kOnes) & ~x & kHighs) raises that
+// lane's high bit.
+constexpr uint64_t kOnes = 0x0101010101010101ull;
+constexpr uint64_t kHighs = 0x8080808080808080ull;
+
+inline uint64_t MatchByte(uint64_t w, uint64_t broadcast) {
+  const uint64_t x = w ^ broadcast;
+  return (x - kOnes) & ~x & kHighs;
+}
+
+/// Lane index (0-7) of the lowest-ADDRESSED match in `mask`, for a word
+/// memcpy'd straight from memory.
+inline size_t FirstLane(uint64_t mask) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return (63u - static_cast<size_t>(__builtin_clzll(mask))) >> 3;
+#else
+  return static_cast<size_t>(__builtin_ctzll(mask)) >> 3;
+#endif
+}
+
+}  // namespace
+
+std::string_view StagingFormatName(StagingFormat format) {
+  return format == StagingFormat::kBinary ? "binary" : "csv";
+}
+
+std::string_view StagingFileExtension(StagingFormat format) {
+  return format == StagingFormat::kBinary ? ".hqb" : ".csv";
+}
 
 void EncodeCsvRecord(const CsvRecord& record, const CsvOptions& options, ByteBuffer* out) {
   for (size_t i = 0; i < record.size(); ++i) {
@@ -54,6 +89,60 @@ void CsvStreamReader::AppendChar(size_t i) {
   scratch_ += static_cast<char>(data_[i]);
 }
 
+void CsvStreamReader::AppendRun(size_t begin, size_t len) {
+  if (len == 0) return;
+  if (!field_dirty_) {
+    if (clean_len_ == 0) {
+      clean_begin_ = begin;
+      clean_len_ = len;
+      return;
+    }
+    if (clean_begin_ + clean_len_ == begin) {  // still one contiguous input run
+      clean_len_ += len;
+      return;
+    }
+    field_dirty_ = true;
+    scratch_start_ = scratch_.size();
+    scratch_.append(reinterpret_cast<const char*>(data_.data()) + clean_begin_, clean_len_);
+  }
+  scratch_.append(reinterpret_cast<const char*>(data_.data()) + begin, len);
+}
+
+size_t CsvStreamReader::ScanUnquoted(size_t from) const {
+  const uint8_t* p = data_.data();
+  const size_t n = data_.size();
+  const uint64_t delim = kOnes * static_cast<uint8_t>(delimiter_);
+  size_t i = from;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    const uint64_t m = MatchByte(w, delim) | MatchByte(w, kOnes * uint64_t{'\n'}) |
+                       MatchByte(w, kOnes * uint64_t{'\r'}) |
+                       MatchByte(w, kOnes * uint64_t{'"'});
+    if (m != 0) return i + FirstLane(m);
+  }
+  for (; i < n; ++i) {
+    const char c = static_cast<char>(p[i]);
+    if (c == delimiter_ || c == '\n' || c == '\r' || c == '"') break;
+  }
+  return i;
+}
+
+size_t CsvStreamReader::ScanQuoted(size_t from) const {
+  const uint8_t* p = data_.data();
+  const size_t n = data_.size();
+  size_t i = from;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    const uint64_t m = MatchByte(w, kOnes * uint64_t{'"'});
+    if (m != 0) return i + FirstLane(m);
+  }
+  for (; i < n && p[i] != '"'; ++i) {
+  }
+  return i;
+}
+
 size_t CsvStreamReader::FieldLen() const {
   return field_dirty_ ? scratch_.size() - scratch_start_ : clean_len_;
 }
@@ -89,6 +178,18 @@ Result<bool> CsvStreamReader::Next() {
   const size_t n = data_.size();
 
   while (pos_ < n) {
+    if (swar_) {
+      // Bulk-skip the run of ordinary bytes up to the next structural byte
+      // (inside quotes only '"' is structural) eight bytes per probe, and
+      // append the whole run at once; the per-byte dispatch below then only
+      // ever sees structural bytes (or a literal mid-field '"').
+      const size_t next = in_quotes ? ScanQuoted(pos_) : ScanUnquoted(pos_);
+      if (next != pos_) {
+        AppendRun(pos_, next - pos_);
+        pos_ = next;
+        if (pos_ >= n) break;
+      }
+    }
     char c = static_cast<char>(data_[pos_]);
     if (in_quotes) {
       if (c == '"') {

@@ -19,8 +19,24 @@
 
 namespace hyperq::cdw {
 
+/// On-disk representation of staged load data. CSV is the compatibility
+/// format every external tool can read; HQB1 (staging_binary.h) is the typed
+/// columnar direct-pipe format that skips text encode/escape/parse entirely.
+/// Selected per job via HyperQOptions::staging_format.
+enum class StagingFormat : uint8_t {
+  kCsv = 0,
+  kBinary = 1,
+};
+
+std::string_view StagingFormatName(StagingFormat format);
+/// File extension (with dot) for staging files of `format`: ".csv" / ".hqb".
+std::string_view StagingFileExtension(StagingFormat format);
+
 struct CsvOptions {
   char delimiter = ',';
+  /// Use the SWAR (8-bytes-at-a-time) scan in CsvStreamReader::Next. Only
+  /// benchmarks turn this off — both paths are byte-identical.
+  bool swar_scan = true;
 };
 
 /// One staged cell: nullopt = SQL NULL.
@@ -54,7 +70,7 @@ struct CsvFieldView {
 class CsvStreamReader {
  public:
   CsvStreamReader(common::Slice data, CsvOptions options)
-      : data_(data), delimiter_(options.delimiter) {}
+      : data_(data), delimiter_(options.delimiter), swar_(options.swar_scan) {}
 
   /// Advances to the next record. Returns false at end of input; a parse
   /// error (unterminated quote) is returned as a Status.
@@ -76,11 +92,20 @@ class CsvStreamReader {
   };
 
   void AppendChar(size_t i);
+  /// Appends the contiguous input run [begin, begin+len) to the in-progress
+  /// field — the bulk equivalent of len AppendChar calls.
+  void AppendRun(size_t begin, size_t len);
   void EndField();
   size_t FieldLen() const;
+  /// SWAR scanners: index of the next structural byte at or after `from`
+  /// (data_.size() if none). Unquoted stops at delimiter/'\n'/'\r'/'"';
+  /// quoted stops only at '"'.
+  size_t ScanUnquoted(size_t from) const;
+  size_t ScanQuoted(size_t from) const;
 
   common::Slice data_;
   char delimiter_;
+  bool swar_;
   size_t pos_ = 0;
   std::vector<FieldSpan> fields_;
   std::string scratch_;

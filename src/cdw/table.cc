@@ -81,6 +81,35 @@ Status Table::AppendRows(std::vector<Row> rows) {
   return Status::OK();
 }
 
+Status Table::AppendColumns(std::vector<std::vector<Value>> values) {
+  if (values.size() != columns_.size()) {
+    return Status::Invalid("column arity " + std::to_string(values.size()) + " != table arity " +
+                           std::to_string(columns_.size()));
+  }
+  const size_t added = values.empty() ? 0 : values[0].size();
+  for (const auto& col : values) {
+    if (col.size() != added) {
+      return Status::Invalid("AppendColumns requires uniform column lengths");
+    }
+  }
+  if (added == 0) return Status::OK();
+  if (IndexedKeys()) {
+    for (size_t r = 0; r < added; ++r) {
+      Row key;
+      key.reserve(pk_indexes_.size());
+      for (size_t idx : pk_indexes_) key.push_back(values[idx][r]);
+      IndexInsert(std::move(key));
+    }
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    auto& dst = columns_[c];
+    dst.insert(dst.end(), std::make_move_iterator(values[c].begin()),
+               std::make_move_iterator(values[c].end()));
+  }
+  num_rows_ += added;
+  return Status::OK();
+}
+
 Status Table::ReplaceRow(size_t row, Row values) {
   if (row >= num_rows_) return Status::Invalid("row index out of range");
   if (values.size() != columns_.size()) return Status::Invalid("row arity mismatch");

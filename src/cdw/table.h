@@ -48,6 +48,11 @@ class Table {
   /// Appends many rows.
   common::Status AppendRows(std::vector<types::Row> rows);
 
+  /// Appends pre-validated columnar data (values[c] is column c, all columns
+  /// the same length). The columnar COPY commit path: one call appends an
+  /// entire batch with no per-row re-validation.
+  common::Status AppendColumns(std::vector<std::vector<types::Value>> values);
+
   /// Overwrites one row in place (used by committed updates).
   common::Status ReplaceRow(size_t row, types::Row values);
 

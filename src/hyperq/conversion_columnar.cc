@@ -1,0 +1,437 @@
+// hqlint:hotpath
+#include "hyperq/conversion_columnar.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+
+#include "cdw/staging_binary.h"
+#include "legacy/errors.h"
+#include "legacy/row_format.h"
+#include "types/date.h"
+#include "types/type_mapping.h"
+
+/// \file conversion_columnar.cc
+/// HQB1 columnar kernels and chunk drivers: the encode half of the binary
+/// direct-pipe load path. One kernel per SOURCE TypeId decodes a field
+/// straight off the chunk's ByteReader — exactly the wire bytes the CSV
+/// kernels consume — and appends the typed staging value to the field's
+/// ColumnSink. The drivers mirror the CSV drivers' chunk loop byte for byte
+/// on the error side: identical RecordError codes/messages, per-record
+/// rollback by truncation, vartext framing errors poisoning the chunk.
+
+namespace hyperq::core {
+
+using common::ByteBuffer;
+using common::ByteReader;
+using common::Slice;
+using common::Status;
+using types::TypeId;
+
+namespace {
+
+using FieldPlan = ConversionPlan::FieldPlan;
+
+Status KernelColBoolean(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(uint8_t b, body->ReadByte());
+  col->data.AppendByte(null ? 0 : (b != 0 ? 1 : 0));
+  return Status::OK();
+}
+
+Status KernelColInt8(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(int8_t v, body->ReadI8());
+  // BYTEINT stages as SMALLINT (the CDW has no 1-byte integer).
+  col->data.AppendI16(null ? 0 : v);
+  return Status::OK();
+}
+
+Status KernelColInt16(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(int16_t v, body->ReadI16());
+  col->data.AppendI16(null ? 0 : v);
+  return Status::OK();
+}
+
+Status KernelColInt32(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(int32_t v, body->ReadI32());
+  col->data.AppendI32(null ? 0 : v);
+  return Status::OK();
+}
+
+Status KernelColInt64(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(int64_t v, body->ReadI64());
+  col->data.AppendI64(null ? 0 : v);
+  return Status::OK();
+}
+
+Status KernelColFloat64(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(double v, body->ReadF64());
+  col->data.AppendF64(null ? 0.0 : v);
+  return Status::OK();
+}
+
+Status KernelColDecimal(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(int64_t unscaled, body->ReadI64());
+  col->data.AppendI64(null ? 0 : unscaled);
+  return Status::OK();
+}
+
+Status KernelColDate(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(int32_t enc, body->ReadI32());
+  if (null) {
+    col->data.AppendI32(0);
+    return Status::OK();
+  }
+  HQ_ASSIGN_OR_RETURN(types::DateDays days, legacy::LegacyDateDecode(enc));
+  col->data.AppendI32(days);
+  return Status::OK();
+}
+
+Status KernelColTimestamp(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(Slice text, body->ReadSlice(legacy::kLegacyTimestampWidth));
+  if (null) {
+    col->data.AppendI64(0);
+    return Status::OK();
+  }
+  HQ_ASSIGN_OR_RETURN(types::TimestampMicros ts, types::ParseTimestampIso(text.ToStringView()));
+  col->data.AppendI64(ts);
+  return Status::OK();
+}
+
+Status KernelColChar(const FieldPlan& f, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(Slice text, body->ReadSlice(static_cast<size_t>(f.length)));
+  if (null) {
+    col->data.resize(col->data.size() + static_cast<size_t>(f.length));  // zero-filled slot
+  } else {
+    col->data.AppendSlice(text);
+  }
+  return Status::OK();
+}
+
+/// CHAR wider than the CDW limit stages as VARCHAR: varlen cell, no padding.
+Status KernelColCharVarlen(const FieldPlan& f, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(Slice text, body->ReadSlice(static_cast<size_t>(f.length)));
+  if (!null) col->data.AppendSlice(text);
+  return Status::OK();
+}
+
+Status KernelColVarchar(const FieldPlan&, ByteReader* body, bool null, ColumnSink* col) {
+  HQ_ASSIGN_OR_RETURN(Slice text, body->ReadLengthPrefixed16());
+  if (!null) col->data.AppendSlice(text);
+  return Status::OK();
+}
+
+}  // namespace
+
+ColumnKernelInfo ColumnKernelFor(const types::TypeDesc& source_type) {
+  switch (source_type.id) {
+    case TypeId::kBoolean:
+      return {KernelColBoolean, 1};
+    case TypeId::kInt8:
+      return {KernelColInt8, 2};  // widened to SMALLINT in staging
+    case TypeId::kInt16:
+      return {KernelColInt16, 2};
+    case TypeId::kInt32:
+      return {KernelColInt32, 4};
+    case TypeId::kInt64:
+      return {KernelColInt64, 8};
+    case TypeId::kFloat64:
+      return {KernelColFloat64, 8};
+    case TypeId::kDecimal:
+      return {KernelColDecimal, 8};
+    case TypeId::kDate:
+      return {KernelColDate, 4};
+    case TypeId::kTimestamp:
+      return {KernelColTimestamp, 8};
+    case TypeId::kChar: {
+      auto mapped = types::MapLegacyTypeToCdw(source_type);
+      if (mapped.ok() && mapped.ValueOrDie().id == TypeId::kVarchar) {
+        return {KernelColCharVarlen, 0};
+      }
+      return {KernelColChar, static_cast<uint32_t>(source_type.length)};
+    }
+    case TypeId::kVarchar:
+      return {KernelColVarchar, 0};
+  }
+  return {KernelColVarchar, 0};  // unreachable: TypeId is exhaustive
+}
+
+ColumnarChunkBuilder::ColumnarChunkBuilder(const std::vector<uint32_t>& target_widths)
+    : cols_(target_widths.size()), pending_null_(target_widths.size(), 0) {
+  for (size_t i = 0; i < target_widths.size(); ++i) cols_[i].fixed_width = target_widths[i];
+}
+
+void ColumnarChunkBuilder::AppendNullCell(size_t i) {
+  ColumnSink& s = cols_[i];
+  if (s.fixed_width != 0) s.data.resize(s.data.size() + s.fixed_width);  // zero-filled slot
+  pending_null_[i] = 1;
+}
+
+void ColumnarChunkBuilder::CommitRow(uint64_t row_number) {
+  cols_.back().data.AppendI64(static_cast<int64_t>(row_number));  // HQ_ROWNUM
+  const uint8_t bit = static_cast<uint8_t>(1u << (rows_ & 7));
+  const bool new_byte = (rows_ & 7) == 0;
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    ColumnSink& s = cols_[c];
+    if (s.fixed_width == 0) s.offsets.push_back(static_cast<uint32_t>(s.data.size()));
+    if (new_byte) s.nulls.push_back(0);
+    if (pending_null_[c] != 0) s.nulls.back() |= bit;
+    pending_null_[c] = 0;
+  }
+  ++rows_;
+}
+
+void ColumnarChunkBuilder::RollbackRow() {
+  // Offsets and bitmap bits are only written at commit, so the committed
+  // state is fully determined by rows_: truncate each column's cell bytes
+  // back to it and drop the pending null marks.
+  for (ColumnSink& s : cols_) {
+    s.data.resize(s.fixed_width != 0 ? static_cast<size_t>(rows_) * s.fixed_width
+                                     : (s.offsets.empty() ? 0 : s.offsets.back()));
+  }
+  std::fill(pending_null_.begin(), pending_null_.end(), 0);
+}
+
+void ColumnarChunkBuilder::Finish(const ByteBuffer& header_template, ByteBuffer* out) const {
+  if (rows_ == 0) return;  // all-bad chunk stages zero bytes (CSV parity)
+  const size_t base = out->size();
+  out->AppendSlice(header_template.AsSlice());
+  out->PatchU32(base + cdw::kHqb1RowCountOffset, rows_);
+  for (const ColumnSink& s : cols_) {
+    out->AppendBytes(s.nulls.data(), s.nulls.size());
+    if (s.fixed_width != 0) {
+      out->AppendSlice(s.data.AsSlice());
+      continue;
+    }
+    out->AppendU32(static_cast<uint32_t>(s.data.size()));
+    for (uint32_t end : s.offsets) out->AppendU32(end);
+    out->AppendSlice(s.data.AsSlice());
+  }
+}
+
+void ConversionPlan::AttachBinaryStaging(const types::Schema& source_layout,
+                                         const types::Schema& staging_schema) {
+  staging_format_ = cdw::StagingFormat::kBinary;
+  header_template_.clear();
+  cdw::BuildBlockHeader(staging_schema, &header_template_);
+  target_widths_.clear();
+  target_widths_.reserve(staging_schema.num_fields());
+  size_t fixed = 0;
+  size_t nvarlen = 0;
+  for (const auto& field : staging_schema.fields()) {
+    auto w = static_cast<uint32_t>(cdw::BinaryFixedWidth(field.type.id, field.type.length));
+    target_widths_.push_back(w);
+    if (w == 0) {
+      ++nvarlen;
+    } else {
+      fixed += w;
+    }
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    ColumnKernelInfo info = ColumnKernelFor(source_layout.field(i).type);
+    fields_[i].col_kernel = info.kernel;
+    fields_[i].staging_width = info.staging_width;
+  }
+  per_row_binary_hint_ = fixed + 4 * nvarlen + (staging_schema.num_fields() + 7) / 8;
+}
+
+Status ConversionPlan::ExecuteColumnarBinary(const ConversionInput& input,
+                                             ConvertedChunk* out) const {
+  ByteReader reader(Slice(input.chunk.payload));
+  uint64_t row_number = input.first_row_number;
+  ColumnarChunkBuilder builder(target_widths_);
+  while (!reader.AtEnd()) {
+    Status record_status = [&]() -> Status {
+      HQ_ASSIGN_OR_RETURN(Slice record, reader.ReadLengthPrefixed16());
+      ByteReader body(record);
+      HQ_ASSIGN_OR_RETURN(Slice indicators, body.ReadSlice(indicator_bytes_));
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        const bool null = (indicators[i / 8] & (0x80u >> (i % 8))) != 0;
+        if (null) builder.MarkNull(i);
+        HQ_RETURN_NOT_OK(fields_[i].col_kernel(fields_[i], &body, null, builder.col(i)));
+      }
+      if (!body.AtEnd()) {
+        return Status::ProtocolError("trailing bytes in legacy binary record");
+      }
+      return Status::OK();
+    }();
+    if (!record_status.ok()) {
+      // Positional decode: a bad record invalidates the rest of the chunk.
+      builder.RollbackRow();
+      out->errors.push_back(RecordError{row_number, legacy::kErrFormatViolation, "",
+                                        record_status.message() +
+                                            " (remainder of chunk skipped)"});
+      break;
+    }
+    builder.CommitRow(row_number);
+    ++out->rows_out;
+    ++row_number;
+  }
+  const size_t capacity = out->csv.vector().capacity();
+  builder.Finish(header_template_, &out->csv);
+  if (out->csv.vector().capacity() != capacity) ++out->csv_reallocs;
+  return Status::OK();
+}
+
+Status ConversionPlan::ExecuteColumnarVartext(const ConversionInput& input,
+                                              ConvertedChunk* out) const {
+  ByteReader reader(Slice(input.chunk.payload));
+  uint64_t row_number = input.first_row_number;
+  const size_t expected = fields_.size();
+  ColumnarChunkBuilder builder(target_widths_);
+  while (!reader.AtEnd()) {
+    auto line = reader.ReadLengthPrefixed16();
+    if (!line.ok()) {
+      // A framing error poisons the rest of the chunk (reference semantics).
+      return line.status().WithContext("chunk " + std::to_string(input.chunk.chunk_seq));  // hqlint:allow(per-row-alloc)
+    }
+    std::string_view text = line.ValueOrDie().ToStringView();
+    // Pass 1: arity. Counting first means a short record stages nothing at
+    // all — no rollback needed.
+    size_t nfields = 1;
+    for (char c : text) {
+      if (c == legacy_delimiter_) ++nfields;
+    }
+    if (nfields != expected) {
+      out->errors.push_back(
+          RecordError{row_number, legacy::kErrFieldCountMismatch, "",
+                      "vartext record has " + std::to_string(nfields) +          // hqlint:allow(per-row-alloc)
+                          " fields, layout expects " + std::to_string(expected)});  // hqlint:allow(per-row-alloc)
+      ++row_number;
+      continue;
+    }
+    // Pass 2: emit. Empty vartext field == NULL (legacy rule).
+    size_t start = 0;
+    size_t fidx = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == legacy_delimiter_) {
+        // Unchecked construction: start <= i <= size() always holds, and
+        // substr's bounds check would put __throw_out_of_range_fmt on the
+        // hot path (hqcheck hotpath-symbol).
+        std::string_view field(text.data() + start, i - start);
+        if (field.empty()) {
+          builder.MarkNull(fidx);
+        } else {
+          builder.col(fidx)->data.AppendString(field);
+        }
+        ++fidx;
+        start = i + 1;
+      }
+    }
+    builder.CommitRow(row_number);
+    ++out->rows_out;
+    ++row_number;
+  }
+  const size_t capacity = out->csv.vector().capacity();
+  builder.Finish(header_template_, &out->csv);
+  if (out->csv.vector().capacity() != capacity) ++out->csv_reallocs;
+  return Status::OK();
+}
+
+Status ConversionPlan::ExecuteColumnarRemappedBinary(const ConversionInput& input,
+                                                     ConvertedChunk* out) const {
+  ByteReader reader(Slice(input.chunk.payload));
+  uint64_t row_number = input.first_row_number;
+  // Per-source-field scratch, reused across records: each holds the field's
+  // typed staging cell bytes. The drift is type-stable (enforced at
+  // CreateRemapped), so a matched source cell's bytes ARE the target cell's
+  // bytes — distribution is a straight copy.
+  std::vector<ColumnSink> scratch(fields_.size());
+  for (size_t i = 0; i < fields_.size(); ++i) scratch[i].fixed_width = fields_[i].staging_width;
+  std::vector<uint8_t> null_flags(fields_.size(), 0);
+  ColumnarChunkBuilder builder(target_widths_);
+  while (!reader.AtEnd()) {
+    Status record_status = [&]() -> Status {
+      HQ_ASSIGN_OR_RETURN(Slice record, reader.ReadLengthPrefixed16());
+      ByteReader body(record);
+      HQ_ASSIGN_OR_RETURN(Slice indicators, body.ReadSlice(indicator_bytes_));
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        scratch[i].data.clear();
+        const bool null = (indicators[i / 8] & (0x80u >> (i % 8))) != 0;
+        null_flags[i] = null ? 1 : 0;
+        HQ_RETURN_NOT_OK(fields_[i].col_kernel(fields_[i], &body, null, &scratch[i]));
+      }
+      if (!body.AtEnd()) {
+        return Status::ProtocolError("trailing bytes in legacy binary record");
+      }
+      return Status::OK();
+    }();
+    if (!record_status.ok()) {
+      // Decode goes to scratch, so the builder holds no in-progress row and
+      // nothing needs rolling back (same shape as the CSV remap path).
+      out->errors.push_back(RecordError{row_number, legacy::kErrFormatViolation, "",
+                                        record_status.message() +
+                                            " (remainder of chunk skipped)"});
+      break;
+    }
+    for (size_t t = 0; t < out_source_.size(); ++t) {
+      const int src = out_source_[t];
+      if (src < 0 || null_flags[static_cast<size_t>(src)] != 0) {
+        builder.AppendNullCell(t);
+        continue;
+      }
+      builder.col(t)->data.AppendSlice(scratch[static_cast<size_t>(src)].data.AsSlice());
+    }
+    builder.CommitRow(row_number);
+    ++out->rows_out;
+    ++row_number;
+  }
+  builder.Finish(header_template_, &out->csv);
+  return Status::OK();
+}
+
+Status ConversionPlan::ExecuteColumnarRemappedVartext(const ConversionInput& input,
+                                                      ConvertedChunk* out) const {
+  ByteReader reader(Slice(input.chunk.payload));
+  uint64_t row_number = input.first_row_number;
+  const size_t expected = fields_.size();
+  std::vector<std::string_view> record_fields(expected);
+  ColumnarChunkBuilder builder(target_widths_);
+  while (!reader.AtEnd()) {
+    auto line = reader.ReadLengthPrefixed16();
+    if (!line.ok()) {
+      // A framing error poisons the rest of the chunk (reference semantics).
+      return line.status().WithContext("chunk " + std::to_string(input.chunk.chunk_seq));  // hqlint:allow(per-row-alloc)
+    }
+    std::string_view text = line.ValueOrDie().ToStringView();
+    size_t nfields = 0;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == legacy_delimiter_) {
+        // Unchecked construction: start <= i <= size() always holds.
+        if (nfields < expected) {
+          record_fields[nfields] = std::string_view(text.data() + start, i - start);
+        }
+        ++nfields;
+        start = i + 1;
+      }
+    }
+    if (nfields != expected) {
+      out->errors.push_back(
+          RecordError{row_number, legacy::kErrFieldCountMismatch, "",
+                      "vartext record has " + std::to_string(nfields) +          // hqlint:allow(per-row-alloc)
+                          " fields, layout expects " + std::to_string(expected)});  // hqlint:allow(per-row-alloc)
+      ++row_number;
+      continue;
+    }
+    for (size_t t = 0; t < out_source_.size(); ++t) {
+      const int src = out_source_[t];
+      if (src < 0) {
+        builder.AppendNullCell(t);  // target field absent from the source
+        continue;
+      }
+      std::string_view field = record_fields[static_cast<size_t>(src)];
+      if (field.empty()) {
+        builder.MarkNull(t);  // empty vartext field == NULL (legacy rule)
+      } else {
+        builder.col(t)->data.AppendString(field);
+      }
+    }
+    builder.CommitRow(row_number);
+    ++out->rows_out;
+    ++row_number;
+  }
+  builder.Finish(header_template_, &out->csv);
+  return Status::OK();
+}
+
+}  // namespace hyperq::core

@@ -214,7 +214,9 @@ constexpr size_t kRowNumSuffixHint = 22;
 }  // namespace
 
 ConversionPlan ConversionPlan::Compile(const types::Schema& layout, legacy::DataFormat format,
-                                       char legacy_delimiter, cdw::CsvOptions csv_options) {
+                                       char legacy_delimiter, cdw::CsvOptions csv_options,
+                                       cdw::StagingFormat staging_format,
+                                       const types::Schema* staging_schema) {
   ConversionPlan plan;
   plan.format_ = format;
   plan.legacy_delimiter_ = legacy_delimiter;
@@ -235,6 +237,9 @@ ConversionPlan ConversionPlan::Compile(const types::Schema& layout, legacy::Data
     if (field.type.id == TypeId::kVarchar) plan.has_varwidth_ = true;
   }
   plan.per_row_hint_ = fixed + layout.num_fields() + kRowNumSuffixHint;
+  if (staging_format == cdw::StagingFormat::kBinary && staging_schema != nullptr) {
+    plan.AttachBinaryStaging(layout, *staging_schema);
+  }
   return plan;
 }
 
@@ -250,6 +255,17 @@ size_t ConversionPlan::EstimateCsvBytes(uint32_t row_count, size_t payload_bytes
   }
   // Chunk headers may carry row_count == 0; never reserve below the old
   // payload-proportional floor.
+  return std::max(estimate, payload_bytes + payload_bytes / 8);
+}
+
+size_t ConversionPlan::EstimateStagingBytes(uint32_t row_count, size_t payload_bytes) const {
+  if (staging_format_ != cdw::StagingFormat::kBinary) {
+    return EstimateCsvBytes(row_count, payload_bytes);
+  }
+  const bool payload_carried = has_varwidth_ || format_ == legacy::DataFormat::kVartext;
+  size_t estimate = header_template_.size() +
+                    static_cast<size_t>(row_count) * per_row_binary_hint_ +
+                    (payload_carried ? payload_bytes : 0) + 64;
   return std::max(estimate, payload_bytes + payload_bytes / 8);
 }
 
@@ -351,6 +367,14 @@ Status ConversionPlan::Execute(const ConversionInput& input, ConvertedChunk* out
   out->order_index = input.order_index;
   out->first_row_number = input.first_row_number;
   out->rows_in = input.chunk.row_count;
+  if (staging_format_ == cdw::StagingFormat::kBinary) {
+    if (remapped_) {
+      if (format_ == legacy::DataFormat::kVartext) return ExecuteColumnarRemappedVartext(input, out);
+      return ExecuteColumnarRemappedBinary(input, out);
+    }
+    if (format_ == legacy::DataFormat::kVartext) return ExecuteColumnarVartext(input, out);
+    return ExecuteColumnarBinary(input, out);
+  }
   if (remapped_) {
     if (format_ == legacy::DataFormat::kVartext) return ExecuteRemappedVartext(input, out);
     return ExecuteRemappedBinary(input, out);

@@ -30,6 +30,9 @@
 
 namespace hyperq::core {
 
+/// Per-column output sink of the HQB1 columnar encoder (conversion_columnar.h).
+struct ColumnSink;
+
 class ConversionPlan {
  public:
   struct FieldPlan;
@@ -41,22 +44,39 @@ class ConversionPlan {
   using FieldKernel = common::Status (*)(const FieldPlan&, common::ByteReader* body, bool null,
                                          common::ByteBuffer* out);
 
+  /// The HQB1 counterpart of FieldKernel: consumes the same wire bytes but
+  /// appends the typed staging value (little-endian, already widened to the
+  /// CDW-mapped staging type) to the field's ColumnSink. NULL cells append
+  /// the zero-filled fixed slot (nothing for varlen); the caller owns the
+  /// null bitmap. Implemented in conversion_columnar.cc.
+  using ColumnKernel = common::Status (*)(const FieldPlan&, common::ByteReader* body, bool null,
+                                          ColumnSink* col);
+
   struct FieldPlan {
     FieldKernel kernel = nullptr;
+    /// HQB1 columnar kernel (set only when compiled for binary staging).
+    ColumnKernel col_kernel = nullptr;
     /// DECIMAL scale (digits after the point).
     int32_t scale = 0;
     /// CHAR width in bytes.
     int32_t length = 0;
     /// Worst-case CSV text width for fixed-width types (0 = payload-carried).
     uint32_t width_hint = 0;
+    /// Fixed width of the field's CDW-mapped staging cell (0 = varlen).
+    uint32_t staging_width = 0;
     /// CSV output delimiter (copied here so kernels stay context-free).
     char csv_delimiter = ',';
   };
 
   /// Compiles a plan for a layout DataConverter::Create already validated
-  /// (non-empty; all-VARCHAR when vartext).
+  /// (non-empty; all-VARCHAR when vartext). When `staging_format` is kBinary,
+  /// `staging_schema` (the MakeStagingSchema result: CDW-mapped columns +
+  /// HQ_ROWNUM) must be supplied; Execute then emits one HQB1 block per
+  /// chunk instead of CSV text.
   static ConversionPlan Compile(const types::Schema& layout, legacy::DataFormat format,
-                                char legacy_delimiter, cdw::CsvOptions csv_options);
+                                char legacy_delimiter, cdw::CsvOptions csv_options,
+                                cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv,
+                                const types::Schema* staging_schema = nullptr);
 
   /// Compiles a schema-drift remap plan: chunks arrive encoded in
   /// `source_layout` but the staging CSV must keep `target_layout`'s column
@@ -67,10 +87,16 @@ class ConversionPlan {
   ///   - matched fields are emitted in target order with the source kernel.
   /// Implemented in conversion_remap.cc (off the fused hot path: drift
   /// windows are rare and correctness beats fusion there).
+  /// With binary staging, `staging_schema` is the TARGET layout's staging
+  /// schema (what the staging table and the block headers carry); the caller
+  /// (DataConverter::CreateRemapped) must already have verified the drift is
+  /// type-stable — every name-matched field keeps its staging type.
   static ConversionPlan CompileRemapped(const types::Schema& source_layout,
                                         const types::Schema& target_layout,
                                         legacy::DataFormat format, char legacy_delimiter,
-                                        cdw::CsvOptions csv_options);
+                                        cdw::CsvOptions csv_options,
+                                        cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv,
+                                        const types::Schema* staging_schema = nullptr);
 
   /// Converts one chunk into `out` (csv is appended to; metadata fields and
   /// errors are filled in). Per-record data errors are collected and the
@@ -81,6 +107,12 @@ class ConversionPlan {
   /// Output-size estimate for reserving the CSV buffer: per-field width
   /// hints x row count plus the variable-width bytes carried in the payload.
   size_t EstimateCsvBytes(uint32_t row_count, size_t payload_bytes) const;
+
+  /// Format-aware estimate for the staging output buffer: EstimateCsvBytes
+  /// for CSV plans, header + typed-section sizing for HQB1 plans.
+  size_t EstimateStagingBytes(uint32_t row_count, size_t payload_bytes) const;
+
+  cdw::StagingFormat staging_format() const { return staging_format_; }
 
   size_t num_fields() const { return fields_.size(); }
 
@@ -99,6 +131,19 @@ class ConversionPlan {
   common::Status ExecuteVartext(const ConversionInput& input, ConvertedChunk* out) const;
   common::Status ExecuteRemappedBinary(const ConversionInput& input, ConvertedChunk* out) const;
   common::Status ExecuteRemappedVartext(const ConversionInput& input, ConvertedChunk* out) const;
+  /// HQB1 columnar drivers (conversion_columnar.cc): same chunk loop and
+  /// error/rollback semantics as the CSV drivers above, emitting one HQB1
+  /// block instead of CSV lines.
+  common::Status ExecuteColumnarBinary(const ConversionInput& input, ConvertedChunk* out) const;
+  common::Status ExecuteColumnarVartext(const ConversionInput& input, ConvertedChunk* out) const;
+  common::Status ExecuteColumnarRemappedBinary(const ConversionInput& input,
+                                               ConvertedChunk* out) const;
+  common::Status ExecuteColumnarRemappedVartext(const ConversionInput& input,
+                                                ConvertedChunk* out) const;
+  /// Binds the HQB1 encoding state (header template, target widths, column
+  /// kernels for `source_layout`'s fields). Defined in conversion_columnar.cc.
+  void AttachBinaryStaging(const types::Schema& source_layout,
+                           const types::Schema& staging_schema);
   /// Fused decode+encode of one binary record (fields, HQ_ROWNUM, newline).
   common::Status BinaryRecordToCsv(common::ByteReader* reader, uint64_t row_number,
                                    common::ByteBuffer* out) const;
@@ -111,6 +156,14 @@ class ConversionPlan {
   /// Sum of fixed width hints + delimiters + HQ_ROWNUM + newline, per row.
   size_t per_row_hint_ = 0;
   bool has_varwidth_ = false;
+  /// HQB1 staging state (set by AttachBinaryStaging; empty for CSV plans).
+  cdw::StagingFormat staging_format_ = cdw::StagingFormat::kCsv;
+  /// Pre-serialized block header for the staging schema (row count 0).
+  common::ByteBuffer header_template_;
+  /// Fixed staging cell width per staging column incl. HQ_ROWNUM (0=varlen).
+  std::vector<uint32_t> target_widths_;
+  /// Typed-section bytes per row (fixed widths + varlen offsets + bitmap).
+  size_t per_row_binary_hint_ = 0;
   /// Remap mode (CompileRemapped): target slot -> source field index, -1 when
   /// the target field has no source (NULL). fields_ describes the SOURCE
   /// layout in remap mode; emission order comes from this table.

@@ -31,7 +31,9 @@ using conversion_detail::AppendIntText;
 ConversionPlan ConversionPlan::CompileRemapped(const types::Schema& source_layout,
                                                const types::Schema& target_layout,
                                                legacy::DataFormat format, char legacy_delimiter,
-                                               cdw::CsvOptions csv_options) {
+                                               cdw::CsvOptions csv_options,
+                                               cdw::StagingFormat staging_format,
+                                               const types::Schema* staging_schema) {
   // Kernels, indicator width and size hints all describe the SOURCE layout:
   // that is what arrives on the wire.
   ConversionPlan plan = Compile(source_layout, format, legacy_delimiter, csv_options);
@@ -44,6 +46,11 @@ ConversionPlan ConversionPlan::CompileRemapped(const types::Schema& source_layou
   }
   for (const auto& field : source_layout.fields()) {
     if (target_layout.FieldIndex(field.name) < 0) ++plan.dropped_sources_;
+  }
+  if (staging_format == cdw::StagingFormat::kBinary && staging_schema != nullptr) {
+    // Kernels/widths come from the SOURCE layout, block headers from the
+    // TARGET staging schema (what the staging table was created from).
+    plan.AttachBinaryStaging(source_layout, *staging_schema);
   }
   return plan;
 }

@@ -27,7 +27,8 @@ Result<Schema> MakeStagingSchema(const Schema& layout) {
 }
 
 Result<DataConverter> DataConverter::Create(Schema layout, legacy::DataFormat format,
-                                            char delimiter, cdw::CsvOptions csv_options) {
+                                            char delimiter, cdw::CsvOptions csv_options,
+                                            cdw::StagingFormat staging_format) {
   if (layout.num_fields() == 0) return Status::Invalid("empty load layout");
   if (format == legacy::DataFormat::kVartext) {
     for (const auto& f : layout.fields()) {
@@ -38,13 +39,20 @@ Result<DataConverter> DataConverter::Create(Schema layout, legacy::DataFormat fo
       }
     }
   }
-  return DataConverter(std::move(layout), format, delimiter, csv_options);
+  if (staging_format == cdw::StagingFormat::kBinary) {
+    HQ_ASSIGN_OR_RETURN(Schema staging, MakeStagingSchema(layout));
+    return DataConverter(std::move(layout), format, delimiter, csv_options, staging_format,
+                         &staging);
+  }
+  return DataConverter(std::move(layout), format, delimiter, csv_options, staging_format,
+                       nullptr);
 }
 
 Result<DataConverter> DataConverter::CreateRemapped(Schema source_layout,
                                                     const Schema& target_layout,
                                                     legacy::DataFormat format, char delimiter,
-                                                    cdw::CsvOptions csv_options) {
+                                                    cdw::CsvOptions csv_options,
+                                                    cdw::StagingFormat staging_format) {
   if (source_layout.num_fields() == 0) return Status::Invalid("empty load layout");
   if (target_layout.num_fields() == 0) return Status::Invalid("empty target layout");
   if (format == legacy::DataFormat::kVartext) {
@@ -56,27 +64,52 @@ Result<DataConverter> DataConverter::CreateRemapped(Schema source_layout,
       }
     }
   }
-  return DataConverter(std::move(source_layout), target_layout, format, delimiter, csv_options);
+  if (staging_format == cdw::StagingFormat::kBinary) {
+    // Binary staging requires type-stable drift: a name-matched field whose
+    // CDW-mapped staging type changed cannot be encoded into the target
+    // layout's typed block columns (the negotiation rule: type-changing
+    // drift requires csv staging).
+    for (const auto& tf : target_layout.fields()) {
+      int src = source_layout.FieldIndex(tf.name);
+      if (src < 0) continue;
+      HQ_ASSIGN_OR_RETURN(types::TypeDesc src_staging,
+                          types::MapLegacyTypeToCdw(source_layout.field(src).type));
+      HQ_ASSIGN_OR_RETURN(types::TypeDesc tgt_staging, types::MapLegacyTypeToCdw(tf.type));
+      if (!(src_staging == tgt_staging)) {
+        return Status::Invalid("schema drift changed the staging type of field " + tf.name +
+                               " (" + tgt_staging.ToString() + " -> " + src_staging.ToString() +
+                               "); type-changing drift requires csv staging");
+      }
+    }
+    HQ_ASSIGN_OR_RETURN(Schema staging, MakeStagingSchema(target_layout));
+    return DataConverter(std::move(source_layout), target_layout, format, delimiter,
+                         csv_options, staging_format, &staging);
+  }
+  return DataConverter(std::move(source_layout), target_layout, format, delimiter, csv_options,
+                       staging_format, nullptr);
 }
 
 DataConverter::DataConverter(Schema layout, legacy::DataFormat format, char delimiter,
-                             cdw::CsvOptions csv_options)
+                             cdw::CsvOptions csv_options, cdw::StagingFormat staging_format,
+                             const Schema* staging_schema)
     : layout_(std::move(layout)),
       format_(format),
       delimiter_(delimiter),
       csv_options_(csv_options),
-      plan_(std::make_unique<ConversionPlan>(
-          ConversionPlan::Compile(layout_, format_, delimiter_, csv_options_))) {}
+      plan_(std::make_unique<ConversionPlan>(ConversionPlan::Compile(
+          layout_, format_, delimiter_, csv_options_, staging_format, staging_schema))) {}
 
 DataConverter::DataConverter(Schema source_layout, const Schema& target_layout,
                              legacy::DataFormat format, char delimiter,
-                             cdw::CsvOptions csv_options)
+                             cdw::CsvOptions csv_options, cdw::StagingFormat staging_format,
+                             const Schema* staging_schema)
     : layout_(std::move(source_layout)),
       format_(format),
       delimiter_(delimiter),
       csv_options_(csv_options),
       plan_(std::make_unique<ConversionPlan>(ConversionPlan::CompileRemapped(
-          layout_, target_layout, format_, delimiter_, csv_options_))) {}
+          layout_, target_layout, format_, delimiter_, csv_options_, staging_format,
+          staging_schema))) {}
 
 DataConverter::DataConverter(DataConverter&&) noexcept = default;
 DataConverter& DataConverter::operator=(DataConverter&&) noexcept = default;
@@ -86,7 +119,7 @@ Result<ConvertedChunk> DataConverter::Convert(const ConversionInput& input,
                                               common::BufferPool* pool) const {
   ConvertedChunk out;
   const size_t estimate =
-      plan_->EstimateCsvBytes(input.chunk.row_count, input.chunk.payload.size());
+      plan_->EstimateStagingBytes(input.chunk.row_count, input.chunk.payload.size());
   if (pool != nullptr) {
     out.csv = common::ByteBuffer(pool->Acquire(estimate));
   } else {

@@ -72,10 +72,13 @@ class ConversionPlan;
 class DataConverter {
  public:
   /// Fails fast on invalid combinations (vartext requires an all-VARCHAR
-  /// layout, the legacy restriction).
-  static common::Result<DataConverter> Create(types::Schema layout, legacy::DataFormat format,
-                                              char delimiter,
-                                              cdw::CsvOptions csv_options = {});
+  /// layout, the legacy restriction). `staging_format` selects the staging
+  /// bytes Convert emits: CSV text (the compatibility default) or HQB1
+  /// typed columnar blocks (the direct-pipe path, staging_binary.h).
+  static common::Result<DataConverter> Create(
+      types::Schema layout, legacy::DataFormat format, char delimiter,
+      cdw::CsvOptions csv_options = {},
+      cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv);
 
   /// Drift-tolerant converter: chunks are decoded in `source_layout` but the
   /// CSV columns are emitted in `target_layout` order, matched by name
@@ -83,10 +86,17 @@ class DataConverter {
   /// by streaming sessions after a mid-stream layout change; the staging
   /// table keeps the target layout's staging schema. layout() returns the
   /// SOURCE layout (what the wire carries).
-  static common::Result<DataConverter> CreateRemapped(types::Schema source_layout,
-                                                      const types::Schema& target_layout,
-                                                      legacy::DataFormat format, char delimiter,
-                                                      cdw::CsvOptions csv_options = {});
+  ///
+  /// With binary staging the drift must be TYPE-STABLE: every name-matched
+  /// field must keep its CDW-mapped staging type, because the staging file's
+  /// block headers carry the target layout's typed columns and a converter
+  /// cannot change a file's cell encoding mid-stream. Type-changing drift
+  /// returns Invalid — callers fall back to CSV staging for that session
+  /// (the documented negotiation rule).
+  static common::Result<DataConverter> CreateRemapped(
+      types::Schema source_layout, const types::Schema& target_layout,
+      legacy::DataFormat format, char delimiter, cdw::CsvOptions csv_options = {},
+      cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv);
 
   DataConverter(DataConverter&&) noexcept;
   DataConverter& operator=(DataConverter&&) noexcept;
@@ -112,9 +122,11 @@ class DataConverter {
 
  private:
   DataConverter(types::Schema layout, legacy::DataFormat format, char delimiter,
-                cdw::CsvOptions csv_options);
+                cdw::CsvOptions csv_options, cdw::StagingFormat staging_format,
+                const types::Schema* staging_schema);
   DataConverter(types::Schema source_layout, const types::Schema& target_layout,
-                legacy::DataFormat format, char delimiter, cdw::CsvOptions csv_options);
+                legacy::DataFormat format, char delimiter, cdw::CsvOptions csv_options,
+                cdw::StagingFormat staging_format, const types::Schema* staging_schema);
 
   types::Schema layout_;
   legacy::DataFormat format_;

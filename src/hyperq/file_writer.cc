@@ -26,8 +26,8 @@ FileWriter::~FileWriter() {
 }
 
 Status FileWriter::OpenNext() {
-  current_path_ =
-      options_.directory + "/" + prefix_ + "_" + std::to_string(next_file_index_++) + ".csv";
+  current_path_ = options_.directory + "/" + prefix_ + "_" +
+                  std::to_string(next_file_index_++) + options_.file_extension;
   current_ = std::fopen(current_path_.c_str(), "wb");
   if (current_ == nullptr) {
     return Status::IOError("cannot create staging file: " + current_path_);

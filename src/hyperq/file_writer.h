@@ -24,6 +24,12 @@ struct FileWriterOptions {
   size_t file_size_threshold = 4u << 20;
   bool compress = false;
 
+  /// Extension of the file series (".csv" for text staging, ".hqb" for HQB1
+  /// binary blocks — see cdw::StagingFileExtension). Rotation happens only
+  /// after a whole chunk append, so every finalized file ends on a record
+  /// (resp. block) boundary regardless of format.
+  std::string file_extension = ".csv";
+
   /// Optional telemetry: compression latency histogram and the owning job's
   /// trace (compress spans attach under `trace_parent`). Null disables.
   obs::Histogram* compress_seconds = nullptr;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cdw/staging_format.h"
 #include "common/retry.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -31,6 +32,15 @@ struct HyperQOptions {
 
   /// Compress finalized staging files before upload.
   bool compress_staging_files = false;
+
+  /// Staging bytes written between the converter and COPY. kCsv (the
+  /// compatibility default) stages escaped text that the CDW parses cell by
+  /// cell; kBinary stages HQB1 typed columnar blocks (cdw/staging_binary.h)
+  /// that COPY validates against the catalog fingerprint and appends without
+  /// per-cell parsing — the direct-pipe load path. Streaming sessions fall
+  /// back to kCsv for a session whose schema drift is type-changing (the
+  /// negotiation rule; see DataConverter::CreateRemapped).
+  cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv;
 
   /// In-flight pipeline memory budget (0 = unlimited). Exceeding it is the
   /// simulated out-of-memory condition of Figure 10's one-million-credit run.

@@ -43,9 +43,9 @@ Result<std::shared_ptr<ImportJob>> ImportJob::Create(const std::string& job_id,
   HQ_RETURN_NOT_OK(ctx.cdw->catalog()->GetTable(begin.target_table).status());
 
   HQ_ASSIGN_OR_RETURN(types::Schema staging_schema, MakeStagingSchema(begin.layout));
-  HQ_ASSIGN_OR_RETURN(
-      DataConverter converter,
-      DataConverter::Create(begin.layout, begin.format, begin.delimiter, cdw::CsvOptions{}));
+  HQ_ASSIGN_OR_RETURN(DataConverter converter,
+                      DataConverter::Create(begin.layout, begin.format, begin.delimiter,
+                                            cdw::CsvOptions{}, ctx.options.staging_format));
 
   // Per-job error-handling overrides from the client script (.set commands).
   if (begin.max_errors != 0) ctx.options.max_errors = begin.max_errors;
@@ -99,6 +99,7 @@ ImportJob::ImportJob(std::string job_id, legacy::BeginLoadBody begin, JobContext
     m_.apply_seconds = r->GetHistogram("hyperq_dml_apply_seconds");
     m_.converter_queue = r->GetGauge("hyperq_converter_queue_depth");
     m_.jobs_active = r->GetGauge("hyperq_import_jobs_active");
+    m_.staging_bytes_per_row = r->GetGauge("hyperq_staging_bytes_per_row");
     m_.jobs_started->Increment();
     m_.jobs_active->Add(1);
   }
@@ -124,6 +125,7 @@ void ImportJob::StartWriters() {
   fw_options.directory = ctx_.options.local_staging_dir + "/" + SanitizeId(job_id_);
   fw_options.file_size_threshold = ctx_.options.file_size_threshold;
   fw_options.compress = ctx_.options.compress_staging_files;
+  fw_options.file_extension = cdw::StagingFileExtension(ctx_.options.staging_format);
   fw_options.compress_seconds =
       ctx_.metrics == nullptr ? nullptr : ctx_.metrics->GetHistogram("hyperq_compress_seconds");
   fw_options.trace = trace_;
@@ -286,7 +288,8 @@ void ImportJob::WriterLoop(size_t writer_index) {
     });
     write_timer.StopAndObserve();
     write_span.End();
-    // The CSV bytes are on disk (or abandoned): recycle the buffer either way.
+    const size_t staged_bytes = item->converted.csv.size();
+    // The staging bytes are on disk (or abandoned): recycle the buffer either way.
     if (ctx_.buffers != nullptr) {
       ctx_.buffers->Release(std::move(item->converted.csv.vector()));
     }
@@ -322,6 +325,7 @@ void ImportJob::WriterLoop(size_t writer_index) {
     {
       common::MutexLock lock(&mu_);
       rows_staged_ += item->converted.rows_out;
+      bytes_staged_ += staged_bytes;
       for (auto& e : item->converted.errors) data_errors_.push_back(std::move(e));
     }
     if (!finalized.empty()) {
@@ -416,10 +420,17 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   uint64_t copied;
   {
     obs::ScopedSpan copy_span(trace_.get(), obs::Phase::kCdwCopy, "copy");
+    // Format negotiation: the job tells COPY what it staged, so a malformed
+    // object fails loudly instead of being misparsed under auto-sniffing.
+    cdw::CopyOptions copy_options;
+    copy_options.format = ctx_.options.staging_format == cdw::StagingFormat::kBinary
+                              ? cdw::CopyFormat::kBinary
+                              : cdw::CopyFormat::kCsv;
     common::RetryPolicy retry = MakeIoRetry("cdw");
     HQ_ASSIGN_OR_RETURN(copied, retry.RunResult<uint64_t>("cdw.copy", [&](
                                     const common::RetryAttempt&) {
-                          return ctx_.cdw->CopyInto(staging_table_, remote_prefix_);
+                          return ctx_.cdw->CopyInto(staging_table_, remote_prefix_,
+                                                    copy_options);
                         }));
   }
   if (m_.rows_copied != nullptr) m_.rows_copied->Increment(copied);
@@ -434,6 +445,10 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   stats_.bytes_uploaded = bytes_uploaded;
   stats_.rows_copied = copied;
   stats_.chunks_abandoned = chunks_abandoned_;
+  stats_.bytes_staged = bytes_staged_;
+  if (m_.staging_bytes_per_row != nullptr && rows_staged_ != 0) {
+    m_.staging_bytes_per_row->Set(static_cast<int64_t>(bytes_staged_ / rows_staged_));
+  }
   timings_.acquisition_seconds = acquisition_timer_.ElapsedSeconds();
   if (copied != rows_staged_) {
     return Status::Internal("COPY loaded " + std::to_string(copied) + " rows, staged " +

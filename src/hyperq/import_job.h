@@ -70,6 +70,10 @@ struct AcquisitionStats {
   uint64_t files_uploaded = 0;
   uint64_t bytes_uploaded = 0;
   uint64_t rows_copied = 0;
+  /// Staging bytes written by the converter stage (CSV text or HQB1 blocks,
+  /// per HyperQOptions::staging_format); bytes_staged / rows_staged is the
+  /// exported staging-bytes-per-row gauge.
+  uint64_t bytes_staged = 0;
   /// Chunks dropped after exhausting per-chunk staging retries (graceful
   /// degradation: each lands in the ET table with code 9058 instead of
   /// failing the job).
@@ -164,6 +168,7 @@ class ImportJob {
     obs::Histogram* apply_seconds = nullptr;
     obs::Gauge* converter_queue = nullptr;
     obs::Gauge* jobs_active = nullptr;
+    obs::Gauge* staging_bytes_per_row = nullptr;
   } m_;
   std::atomic<bool> active_gauge_held_{true};
 
@@ -181,6 +186,7 @@ class ImportJob {
   uint64_t bytes_received_ HQ_GUARDED_BY(mu_) = 0;
   std::vector<RecordError> data_errors_ HQ_GUARDED_BY(mu_);
   uint64_t rows_staged_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_staged_ HQ_GUARDED_BY(mu_) = 0;
   uint64_t chunks_abandoned_ HQ_GUARDED_BY(mu_) = 0;
   common::Status fatal_ HQ_GUARDED_BY(mu_);
   bool acquisition_finished_ HQ_GUARDED_BY(mu_) = false;

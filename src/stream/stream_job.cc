@@ -60,7 +60,7 @@ Result<std::shared_ptr<StreamJob>> StreamJob::Create(const std::string& job_id,
   HQ_ASSIGN_OR_RETURN(
       core::DataConverter converter,
       core::DataConverter::Create(begin.layout, begin.format, begin.delimiter,
-                                  cdw::CsvOptions{}));
+                                  cdw::CsvOptions{}, ctx.options.staging_format));
 
   // Per-stream error-handling overrides from the client script.
   if (begin.max_errors != 0) ctx.options.max_errors = begin.max_errors;
@@ -90,7 +90,8 @@ StreamJob::StreamJob(std::string job_id, legacy::BeginStreamBody begin, core::Jo
       ctx_(std::move(ctx)),
       converter_(std::move(converter)),
       staging_schema_(std::move(staging_schema)),
-      dml_(std::move(dml)) {
+      dml_(std::move(dml)),
+      staging_format_(ctx_.options.staging_format) {
   staging_table_ = "HQ_STRM_" + SanitizeId(job_id_);
   remote_prefix_ = "stream/" + SanitizeId(job_id_) + "/";
   local_dir_ = ctx_.options.local_staging_dir + "/" + SanitizeId(job_id_);
@@ -108,6 +109,7 @@ StreamJob::StreamJob(std::string job_id, legacy::BeginStreamBody begin, core::Jo
     m_.fields_dropped = r->GetCounter("hyperq_stream_fields_dropped_total");
     m_.fields_nulled = r->GetCounter("hyperq_stream_fields_nulled_total");
     m_.commit_replays = r->GetCounter("hyperq_stream_commit_replays_total");
+    m_.format_fallbacks = r->GetCounter("hyperq_stream_format_fallback_total");
     m_.batch_latency = r->GetHistogram("hyperq_stream_batch_latency_seconds");
     m_.watermark_lag = r->GetGauge("hyperq_stream_watermark_lag_seconds");
     m_.jobs_active = r->GetGauge("hyperq_stream_jobs_active");
@@ -184,6 +186,7 @@ Status StreamJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
     fw_options.directory = local_dir_;
     fw_options.file_size_threshold = ctx_.options.file_size_threshold;
     fw_options.compress = ctx_.options.compress_staging_files;
+    fw_options.file_extension = cdw::StagingFileExtension(staging_format_);
     fw_options.trace = trace_;
     fw_options.trace_parent = trace_ == nullptr ? 0 : trace_->root_id();
     batch_writer_ =
@@ -249,9 +252,35 @@ Status StreamJob::ChangeLayout(const types::Schema& layout) {
   Result<core::DataConverter> next =
       layout == begin_.layout
           ? core::DataConverter::Create(layout, begin_.format, begin_.delimiter,
-                                        cdw::CsvOptions{})
+                                        cdw::CsvOptions{}, staging_format_)
           : core::DataConverter::CreateRemapped(layout, begin_.layout, begin_.format,
-                                                begin_.delimiter, cdw::CsvOptions{});
+                                                begin_.delimiter, cdw::CsvOptions{},
+                                                staging_format_);
+  if (!next.ok() && staging_format_ == cdw::StagingFormat::kBinary &&
+      layout != begin_.layout) {
+    // Format negotiation: type-changing drift cannot be encoded into the
+    // staging table's typed binary columns, so the session falls back to csv
+    // staging (permanently — a later drift back would otherwise recreate the
+    // file-name series and collide with the batch's existing objects). The
+    // open staging file is finalized first so every staged object stays
+    // single-format; COPY sniffs the format per object, so the resulting
+    // mixed-format batch prefix loads and dedups correctly.
+    HQ_LOG_WARN() << "stream " << job_id_ << ": " << next.status().message()
+                  << " — falling back to csv staging for this session";
+    if (batch_writer_ != nullptr) {
+      HQ_RETURN_NOT_OK(batch_writer_->Finish(&batch_files_));
+      batch_writer_ = nullptr;
+    }
+    staging_format_ = cdw::StagingFormat::kCsv;
+    if (m_.format_fallbacks != nullptr) m_.format_fallbacks->Increment();
+    {
+      common::MutexLock lock(&mu_);
+      ++stats_.format_fallbacks;
+    }
+    next = core::DataConverter::CreateRemapped(layout, begin_.layout, begin_.format,
+                                               begin_.delimiter, cdw::CsvOptions{},
+                                               cdw::StagingFormat::kCsv);
+  }
   HQ_RETURN_NOT_OK(next.status());
   converter_ = std::move(next).ValueOrDie();
 
@@ -406,6 +435,8 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
   uint64_t copied = 0;
   if (!batch.empty()) {
     obs::ScopedSpan copy_span(trace_.get(), obs::Phase::kCdwCopy, "copy");
+    // Default CopyFormat::kAuto on purpose: a batch cut across a format
+    // fallback holds both .hqb and .csv objects, and auto sniffs per object.
     common::RetryPolicy retry = MakeIoRetry("cdw");
     HQ_ASSIGN_OR_RETURN(copied,
                         retry.RunResult<uint64_t>("cdw.copy", [&](const common::RetryAttempt&) {

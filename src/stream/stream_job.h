@@ -69,6 +69,11 @@ struct StreamStats {
   uint64_t commit_retries = 0;  ///< pipeline re-runs on a retained sealed batch
   uint64_t ledger_evictions = 0;
   uint64_t staging_rows_pruned = 0;  ///< applied rows deleted from the staging table
+  /// Sessions negotiated down from binary to csv staging because a layout
+  /// drift changed a name-matched field's staging type (see
+  /// DataConverter::CreateRemapped). At most 1 per stream: the fallback is
+  /// sticky for the session.
+  uint64_t format_fallbacks = 0;
 };
 
 class StreamJob {
@@ -159,6 +164,13 @@ class StreamJob {
   std::string staging_table_;
   std::string remote_prefix_;
   std::string local_dir_;
+  /// Effective staging format for NEW staging files. Starts as the node's
+  /// configured format; negotiated down to kCsv (permanently, for this
+  /// session) when a type-changing drift makes binary staging impossible.
+  /// Already-written files keep their format — each staged object is
+  /// single-format and COPY sniffs per object, so a mixed-format batch
+  /// prefix loads correctly and its ledger keys stay format-tagged.
+  cdw::StagingFormat staging_format_ = cdw::StagingFormat::kCsv;
 
   std::shared_ptr<obs::Trace> trace_;
   struct Instruments {
@@ -171,6 +183,7 @@ class StreamJob {
     obs::Counter* fields_dropped = nullptr;
     obs::Counter* fields_nulled = nullptr;
     obs::Counter* commit_replays = nullptr;
+    obs::Counter* format_fallbacks = nullptr;
     obs::Histogram* batch_latency = nullptr;
     obs::Gauge* watermark_lag = nullptr;
     obs::Gauge* jobs_active = nullptr;

@@ -132,6 +132,61 @@ TEST(CsvStreamReaderTest, FieldViewsAliasInputUntilNext) {
   EXPECT_EQ(alpha.text, "alpha");
 }
 
+TEST(CsvStreamReaderTest, SwarAndScalarScansParseIdentically) {
+  // The SWAR bulk scan is an optimization of the scalar dispatch loop, not a
+  // second parser: on every corpus — including ones engineered around the
+  // 8-byte probe boundary — both settings must yield the same records. A
+  // mid-field '"' is deliberately structural to the SWAR scanner but literal
+  // data to the CSV grammar, so it exercises the fall-through.
+  const std::string_view corpora[] = {
+      "a,b,c\n1,2,3\n",
+      ",\"\",x\n",
+      "\"a,b\nc\",tail\n",
+      "\"he said \"\"hi\"\"\",\"\"\"\"\n",
+      "a,b\r\nc,d\r\n",
+      "\"a\rb\"\n",
+      "a,b\nlast,row",
+      "mid\"quote,stays\"data\n",            // literal '"' inside unquoted field
+      "exactly7,exactly7\nexactly7,12345\n",  // runs straddling 8-byte probes
+      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa,b\n",  // long clean run
+      "\"aaaaaaaaaaaaaaaaaaaaaaaaaaaaa\",b\n",
+  };
+  CsvOptions swar_on;
+  CsvOptions swar_off;
+  swar_off.swar_scan = false;
+  for (std::string_view corpus : corpora) {
+    SCOPED_TRACE(std::string(corpus));
+    EXPECT_EQ(Drain(corpus, swar_on), Drain(corpus, swar_off));
+  }
+  // Randomized sweep: EncodeCsvRecord corpora with quotes/CR/LF/NULLs.
+  for (uint64_t seed = 100; seed < 140; ++seed) {
+    common::Random rng(seed);
+    common::ByteBuffer encoded;
+    size_t nrecords = rng.NextBounded(12);
+    for (size_t r = 0; r < nrecords; ++r) {
+      CsvRecord record;
+      size_t nfields = 1 + rng.NextBounded(5);
+      for (size_t f = 0; f < nfields; ++f) {
+        if (rng.NextBool(0.2)) {
+          record.push_back(std::nullopt);
+          continue;
+        }
+        static constexpr char kPool[] = "ab,\"\n\r|; ";
+        std::string text;
+        size_t len = rng.NextBounded(20);
+        for (size_t c = 0; c < len; ++c) {
+          text.push_back(kPool[rng.NextBounded(sizeof(kPool) - 1)]);
+        }
+        record.push_back(std::move(text));
+      }
+      EncodeCsvRecord(record, CsvOptions{}, &encoded);
+    }
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_EQ(Drain(encoded.AsSlice().ToStringView(), swar_on),
+              Drain(encoded.AsSlice().ToStringView(), swar_off));
+  }
+}
+
 TEST(CsvStreamReaderTest, MatchesBatchParseCsvOnGeneratedCorpora) {
   // Equivalence sweep: encode random records with EncodeCsvRecord, then
   // check the streaming reader and batch ParseCsv see the same thing.

@@ -309,6 +309,59 @@ select ID, NAME from SRC order by ID;
       << "chaos export wrote different bytes than the fault-free export";
 }
 
+TEST_F(ChaosE2eTest, BinaryStagingUnderChaosMatchesFaultFreeCsvBaseline) {
+  // The staging-format differential under fire: the binary direct-pipe run,
+  // fault-free AND under the full chaos regime, must land the byte-identical
+  // table the fault-free CSV run lands. Retried uploads and retried COPYs
+  // exercise the format-tagged ledger keys on .hqb objects.
+  const std::string data = SampleData(1000);
+
+  StartNode();
+  WriteInput(data);
+  auto csv_run = MakeClient().RunScript(BaseScript());
+  ASSERT_TRUE(csv_run.ok()) << csv_run.status().ToString();
+  EXPECT_EQ(csv_run->imports[0].report.rows_inserted, 1000u);
+  const std::string baseline = TableContents("PROD.CUSTOMER");
+  ASSERT_FALSE(baseline.empty());
+  StopNode();
+  ResetResilienceState();
+
+  HyperQOptions binary;
+  binary.staging_format = cdw::StagingFormat::kBinary;
+  StartNode(binary);
+  WriteInput(data);
+  auto clean_run = MakeClient().RunScript(BaseScript());
+  ASSERT_TRUE(clean_run.ok()) << clean_run.status().ToString();
+  EXPECT_EQ(clean_run->imports[0].report.rows_inserted, 1000u);
+  EXPECT_EQ(clean_run->imports[0].report.et_errors, 0u);
+  EXPECT_EQ(TableContents("PROD.CUSTOMER"), baseline)
+      << "fault-free binary staging landed different bytes than CSV staging";
+  StopNode();
+  ResetResilienceState();
+
+  HyperQOptions chaos;
+  chaos.staging_format = cdw::StagingFormat::kBinary;
+  chaos.fault_spec = kChaosSpec;
+  chaos.io_retry.max_attempts = 8;
+  chaos.io_retry.initial_backoff_micros = 50;
+  chaos.io_retry.max_backoff_micros = 2000;
+  StartNode(chaos);
+  WriteInput(data);
+  auto chaos_run = MakeClient().RunScript(BaseScript());
+  ASSERT_TRUE(chaos_run.ok()) << chaos_run.status().ToString();
+  EXPECT_EQ(chaos_run->imports[0].report.rows_inserted, 1000u);
+  EXPECT_EQ(chaos_run->imports[0].report.et_errors, 0u);
+  auto stats = node_->JobStats(chaos_run->imports[0].job_id).ValueOrDie();
+  EXPECT_EQ(stats.chunks_abandoned, 0u);
+  EXPECT_GE(common::RetryStats::Global().total_retries(), 1u);
+
+  common::FaultInjector::Global().Disarm();
+  EXPECT_EQ(TableContents("PROD.CUSTOMER"), baseline)
+      << "binary staging under chaos landed different bytes than the CSV baseline";
+  EXPECT_EQ(TableContents("PROD.CUSTOMER_ET"), "");
+  EXPECT_EQ(TableContents("PROD.CUSTOMER_UV"), "");
+}
+
 TEST_F(ChaosE2eTest, ConnectionDropFailsTheRunInsteadOfHanging) {
   // A dropped wire mid-handshake severs the session; the client must see a
   // terminal error promptly (EOF / IOError), never hang the run. ctest's
