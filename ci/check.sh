@@ -45,6 +45,15 @@ check_lock_graph() {
       echo "lock-order graph contains a cycle; see dump above" >&2
       exit 1
     fi
+    # Static-vs-runtime diff: every edge the runtime graph observed must be
+    # derivable from the interprocedural may-acquire proof (a gap means the
+    # static analysis is blind to a real code path). The annotated edge set
+    # is archived next to the hotpath proofs.
+    echo "=== interlock static-vs-runtime lock-order diff ==="
+    ./build/tools/hqcheck/hqcheck --interlock --root "$ROOT" \
+      --manifest tools/hqcheck/lock_ranks.txt \
+      --lockgraph "$HQ_LOCK_GRAPH_OUT" \
+      --report build/hqcheck_interlock_runtime.txt src
   else
     echo "=== lock-order graph: no dump produced ($HQ_LOCK_GRAPH_OUT missing) ==="
   fi
@@ -65,6 +74,16 @@ for stage in "${STAGES[@]}"; do
       ./build-lint/tools/hqcheck/hqcheck --root "$ROOT" \
         --manifest tools/hqcheck/lock_ranks.txt src tools bench \
         | tee build-lint/hqcheck_report.txt
+      # Whole-program passes (v3): the interprocedural may-acquire proof and
+      # the untrusted-input taint proof over every wire decoder. Reports are
+      # archived next to hqcheck_report.txt; unused trusted-frontier entries
+      # and stale allow markers fail the stage like any other finding.
+      ./build-lint/tools/hqcheck/hqcheck --interlock --root "$ROOT" \
+        --manifest tools/hqcheck/lock_ranks.txt \
+        --report build-lint/hqcheck_interlock.txt src
+      ./build-lint/tools/hqcheck/hqcheck --taint --root "$ROOT" \
+        --surfaces tools/hqcheck/taint_surfaces.txt \
+        --report build-lint/hqcheck_taint.txt src
       ctest --preset lint -j "$JOBS"
       ;;
     clang-tidy)

@@ -98,6 +98,15 @@ Result<ByteBuffer> Decompress(Slice input) {
   HQ_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
   if (magic != kMagic) return Status::ProtocolError("bad HQZ magic");
   HQ_ASSIGN_OR_RETURN(uint32_t raw_size, reader.ReadU32());
+  // raw_size is wire-controlled: bound it by the format's best case before
+  // reserving, or an 8-byte frame claiming 4 GiB allocates 4 GiB up front.
+  // A match costs >= 3 input bytes and emits <= 255 + kMinMatch output
+  // bytes, so 256x the remaining payload over-covers any valid stream.
+  if (raw_size > reader.remaining() * 256) {
+    return Status::ProtocolError("implausible HQZ raw size " + std::to_string(raw_size) +
+                                 " for " + std::to_string(reader.remaining()) +
+                                 " compressed bytes");
+  }
   ByteBuffer out;
   out.reserve(raw_size);
   while (!reader.AtEnd()) {

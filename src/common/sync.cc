@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
 
 /// Runtime half of the ranked lock hierarchy (see sync.h and DESIGN.md
 /// "Lock hierarchy & deadlock detection"):
@@ -121,6 +124,39 @@ void LockOrderGraph::RecordEdge(LockRank holder, LockRank acquired) {
       1, std::memory_order_relaxed);
 }
 
+void LockOrderGraph::RecordNameEdge(const char* holder, LockRank holder_rank,
+                                    const char* acquired, LockRank acquired_rank) {
+  if (holder == nullptr) holder = LockRankName(holder_rank);
+  if (acquired == nullptr) acquired = LockRankName(acquired_rank);
+  const uintptr_t h = reinterpret_cast<uintptr_t>(holder) >> 3;
+  const uintptr_t a = reinterpret_cast<uintptr_t>(acquired) >> 3;
+  const size_t start = static_cast<size_t>(h * 1315423911u ^ a * 2654435761u) % kNameSlots;
+  for (int probe = 0; probe < kNameProbeLimit; ++probe) {
+    NameSlot& slot = name_slots_[(start + probe) % kNameSlots];
+    const char* sh = slot.holder.load(std::memory_order_acquire);
+    if (sh == nullptr) {
+      const char* expected = nullptr;
+      sh = slot.holder.compare_exchange_strong(expected, holder, std::memory_order_acq_rel)
+               ? holder
+               : expected;
+    }
+    if (sh != holder) continue;
+    const char* sa = slot.acquired.load(std::memory_order_acquire);
+    if (sa == nullptr) {
+      const char* expected = nullptr;
+      sa = slot.acquired.compare_exchange_strong(expected, acquired, std::memory_order_acq_rel)
+               ? acquired
+               : expected;
+    }
+    if (sa != acquired) continue;
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Table exhausted around this hash neighbourhood: count the loss instead
+  // of blocking or growing — the rank-level edge was already recorded.
+  dropped_name_edges_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void LockOrderGraph::RecordContention(LockRank rank) {
   contention_[static_cast<int>(rank)].fetch_add(1, std::memory_order_relaxed);
 }
@@ -155,6 +191,22 @@ LockOrderSnapshot LockOrderGraph::Snapshot() const {
           {static_cast<LockRank>(from), static_cast<LockRank>(to), count});
     }
   }
+  // Name-pair edges: merge slots by string value (the same literal can be
+  // claimed at different addresses across TUs) into (holder, acquired) order.
+  std::map<std::pair<std::string, std::string>, uint64_t> named;
+  for (const NameSlot& slot : name_slots_) {
+    uint64_t count = slot.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    const char* h = slot.holder.load(std::memory_order_acquire);
+    const char* a = slot.acquired.load(std::memory_order_acquire);
+    if (h == nullptr || a == nullptr) continue;
+    named[{h, a}] += count;
+  }
+  for (auto& [pair, count] : named) {
+    snap.name_edges.push_back({pair.first, pair.second, count});
+  }
+  snap.dropped_name_edges = dropped_name_edges_.load(std::memory_order_relaxed);
+
   // Cycle search by DFS with an explicit path, so the first cycle found can
   // be reported as a witness. Self-edges (a rank nested inside itself
   // outside MutexLock2) count as cycles.
@@ -200,6 +252,12 @@ void LockOrderGraph::ResetForTesting() {
       edges_[from][to].store(0, std::memory_order_relaxed);
     }
   }
+  for (NameSlot& slot : name_slots_) {
+    slot.holder.store(nullptr, std::memory_order_relaxed);
+    slot.acquired.store(nullptr, std::memory_order_relaxed);
+    slot.count.store(0, std::memory_order_relaxed);
+  }
+  dropped_name_edges_.store(0, std::memory_order_relaxed);
 }
 
 void SetDeadlockDetectForTesting(bool enabled) {
@@ -221,6 +279,7 @@ void OnLockAttempt(const void* mu, LockRank rank, const char* name, const char* 
   // makes the pair safe, and a self-edge would read as a cycle.
   if (!(allow_equal_top && rank == top.rank)) {
     LockOrderGraph::Global().RecordEdge(top.rank, rank);
+    LockOrderGraph::Global().RecordNameEdge(top.name, top.rank, name, rank);
   }
   if (!DeadlockDetectEnabled()) return;
   for (int i = 0; i < stack.depth; ++i) {

@@ -133,10 +133,27 @@ struct LockOrderEdge {
   uint64_t count = 0;
 };
 
+/// The per-instance refinement of a rank edge: the constructor-supplied
+/// mutex names of the pair ("server_jobs" -> "bounded_queue"). Rank pairs
+/// prove the hierarchy is respected; name pairs say which actual mutexes
+/// travel each edge, which is what a static analyzer can diff its proven
+/// call-site edges against. Unnamed mutexes fall back to their rank name.
+struct LockOrderNameEdge {
+  std::string holder;
+  std::string acquired;
+  uint64_t count = 0;
+};
+
 /// Point-in-time copy of the process-wide lock-order graph.
 struct LockOrderSnapshot {
   /// Every observed rank-pair edge, ordered by (holder, acquired).
   std::vector<LockOrderEdge> edges;
+  /// Every observed mutex-name pair edge, merged by name and ordered by
+  /// (holder, acquired). Slots are bounded: when the fixed-size table
+  /// overflows, `dropped_name_edges` counts the recordings that could not
+  /// be attributed (the rank-pair edges above are never dropped).
+  std::vector<LockOrderNameEdge> name_edges;
+  uint64_t dropped_name_edges = 0;
   /// Blocked (contended) acquisitions per rank, indexed by LockRank value.
   uint64_t contention[kNumLockRanks] = {};
   /// Wait-time distribution of those contended acquisitions, per rank:
@@ -164,6 +181,12 @@ class LockOrderGraph {
   static LockOrderGraph& Global();
 
   void RecordEdge(LockRank holder, LockRank acquired);
+  /// Records the mutex-name pair travelling a rank edge. Lock-free: claims a
+  /// slot in a fixed pointer-keyed table (mutex names are string literals,
+  /// so pointer identity is cheap and Snapshot() merges by value). Null
+  /// names are attributed to their rank's name.
+  void RecordNameEdge(const char* holder, LockRank holder_rank, const char* acquired,
+                      LockRank acquired_rank);
   void RecordContention(LockRank rank);
   /// Records how long a contended acquisition blocked in `lock()`.
   void RecordWait(LockRank rank, uint64_t wait_nanos);
@@ -176,7 +199,22 @@ class LockOrderGraph {
 
  private:
   LockOrderGraph() = default;
+
+  /// One claimed (holder-name, acquired-name) cell. Claim order is holder
+  /// then acquired; a slot whose second CAS loses stays half-claimed for
+  /// that pair and the loser probes on, so every slot belongs to exactly
+  /// one pointer pair for the life of the process.
+  struct NameSlot {
+    std::atomic<const char*> holder{nullptr};
+    std::atomic<const char*> acquired{nullptr};
+    std::atomic<uint64_t> count{0};
+  };
+  static constexpr int kNameSlots = 512;
+  static constexpr int kNameProbeLimit = 64;
+
   std::atomic<uint64_t> edges_[kNumLockRanks][kNumLockRanks] = {};
+  NameSlot name_slots_[kNameSlots];
+  std::atomic<uint64_t> dropped_name_edges_{0};
   std::atomic<uint64_t> contention_[kNumLockRanks] = {};
   std::atomic<uint64_t> wait_count_[kNumLockRanks] = {};
   std::atomic<uint64_t> wait_nanos_[kNumLockRanks] = {};

@@ -150,6 +150,14 @@ void EncodeSchema(const types::Schema& schema, ByteBuffer* out) {
 
 Result<types::Schema> DecodeSchema(ByteReader* reader) {
   HQ_ASSIGN_OR_RETURN(uint16_t n, reader->ReadU16());
+  // Every encoded field costs at least 17 bytes (2 name-length + 1 type id +
+  // 3x4 i32 + 1 charset + 1 nullable); a count the payload cannot possibly
+  // back is a malformed parcel, not a reservation request.
+  if (n > reader->remaining() / 17) {
+    return Status::ProtocolError("parcel schema claims " + std::to_string(n) +
+                                 " fields but only " + std::to_string(reader->remaining()) +
+                                 " bytes follow");
+  }
   std::vector<types::Field> fields;
   fields.reserve(n);
   for (uint16_t i = 0; i < n; ++i) {

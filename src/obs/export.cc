@@ -117,6 +117,17 @@ std::string LockGraphToDot(const common::LockOrderSnapshot& snapshot) {
            common::LockRankName(edge.acquired) + " [label=\"" + std::to_string(edge.count) +
            "\"];\n";
   }
+  // Per-instance refinement: which named mutexes actually travelled the rank
+  // edges above. Quoted nodes keep them distinct from the rank identifiers,
+  // so the same DOT stays parseable at both granularities.
+  for (const common::LockOrderNameEdge& edge : snapshot.name_edges) {
+    out += "  \"" + edge.holder + "\" -> \"" + edge.acquired + "\" [label=\"" +
+           std::to_string(edge.count) + "\"];\n";
+  }
+  if (snapshot.dropped_name_edges != 0) {
+    out += "  // name edges dropped (slot table full): " +
+           std::to_string(snapshot.dropped_name_edges) + "\n";
+  }
   for (int r = 0; r < common::kNumLockRanks; ++r) {
     if (snapshot.contention[r] == 0) continue;
     out += std::string("  ") + common::LockRankName(static_cast<common::LockRank>(r)) +
@@ -146,6 +157,16 @@ std::string LockGraphToJson(const common::LockOrderSnapshot& snapshot) {
     first = false;
   }
   out += first ? "],\n" : "\n  ],\n";
+  out += "  \"name_edges\": [";
+  first = true;
+  for (const common::LockOrderNameEdge& edge : snapshot.name_edges) {
+    out += first ? "\n" : ",\n";
+    out += std::string("    {\"holder\": \"") + edge.holder + "\", \"acquired\": \"" +
+           edge.acquired + "\", \"count\": " + std::to_string(edge.count) + "}";
+    first = false;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"dropped_name_edges\": " + std::to_string(snapshot.dropped_name_edges) + ",\n";
   out += "  \"contention\": {";
   first = true;
   for (int r = 0; r < common::kNumLockRanks; ++r) {

@@ -227,6 +227,14 @@ Result<TdfValue> DecodeValue(const TdfField& field, ByteReader* reader) {
     }
     case FieldKind::kList: {
       HQ_ASSIGN_OR_RETURN(uint64_t n, GetUVarint(reader));
+      // Each element costs at least its 1-byte present flag, so an element
+      // count beyond the remaining bytes cannot decode — reject it before
+      // reserve() turns a 3-byte list header into a giant allocation.
+      if (n > reader->remaining()) {
+        return Status::ProtocolError("TDF list claims " + std::to_string(n) +
+                                     " elements but only " +
+                                     std::to_string(reader->remaining()) + " bytes follow");
+      }
       TdfValueList items;
       items.reserve(n);
       for (uint64_t i = 0; i < n; ++i) {
@@ -407,6 +415,17 @@ Result<TdfReader> TdfReader::Open(Slice packet) {
   if (have_rows) {
     ByteReader rows_reader(rows_section);
     HQ_ASSIGN_OR_RETURN(uint64_t n, GetUVarint(&rows_reader));
+    // A row costs at least 1 byte per field (the present flag), and an empty
+    // schema cannot back any row at all — so a row count beyond the
+    // remaining section bytes is unsatisfiable. Rejecting it here also kills
+    // the 0-field + huge-n spin (n empty rows decode from 0 bytes) and the
+    // up-front reserve() of a count the packet never delivers.
+    if (n > rows_reader.remaining()) {
+      return Status::ProtocolError("TDF row section claims " + std::to_string(n) +
+                                   " rows but only " +
+                                   std::to_string(rows_reader.remaining()) +
+                                   " bytes follow");
+    }
     out.rows_.reserve(n);
     for (uint64_t r = 0; r < n; ++r) {
       TdfRow row;

@@ -69,6 +69,19 @@ TEST(CompressionTest, TruncatedStreamRejected) {
   EXPECT_FALSE(Decompress(truncated).ok());
 }
 
+TEST(CompressionTest, ImplausibleRawSizeRejectedBeforeAllocation) {
+  // An 8-byte frame claiming a 4 GiB payload must be rejected up front —
+  // not allocated, not decoded. Regression for the wire-controlled reserve().
+  ByteBuffer bomb;
+  bomb.AppendU32(0x315A5148U);  // "HQZ1"
+  bomb.AppendU32(0xFFFFFFFFU);  // claimed raw size: ~4 GiB, zero payload
+  auto result = Decompress(bomb.AsSlice());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsProtocolError());
+  EXPECT_NE(result.status().ToString().find("implausible"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(CompressionTest, SizeMismatchRejected) {
   std::vector<uint8_t> input{'a', 'b', 'c', 'd'};
   ByteBuffer compressed;

@@ -254,6 +254,54 @@ TEST(LockOrderGraphTest, RecordsObservedEdges) {
   LockOrderGraph::Global().ResetForTesting();
 }
 
+TEST(LockOrderGraphTest, RecordsPerInstanceNameEdges) {
+  LockOrderGraph::Global().ResetForTesting();
+  Mutex outer{LockRank::kServer, "name_outer"};
+  Mutex inner_a{LockRank::kQueue, "name_inner_a"};
+  Mutex inner_b{LockRank::kQueue, "name_inner_b"};
+  for (int i = 0; i < 3; ++i) {
+    MutexLock outer_lock(&outer);
+    // lock-order: kServer > kQueue
+    MutexLock inner_lock(&inner_a);
+  }
+  {
+    MutexLock outer_lock(&outer);
+    // lock-order: kServer > kQueue
+    MutexLock inner_lock(&inner_b);
+  }
+  LockOrderSnapshot snap = LockOrderGraph::Global().Snapshot();
+  // One rank edge, but two distinct per-instance name edges beneath it.
+  ASSERT_EQ(snap.edges.size(), 1u);
+  ASSERT_EQ(snap.name_edges.size(), 2u);
+  uint64_t count_a = 0, count_b = 0;
+  for (const LockOrderNameEdge& e : snap.name_edges) {
+    EXPECT_EQ(e.holder, "name_outer");
+    if (e.acquired == "name_inner_a") count_a = e.count;
+    if (e.acquired == "name_inner_b") count_b = e.count;
+  }
+  EXPECT_EQ(count_a, 3u);
+  EXPECT_EQ(count_b, 1u);
+  EXPECT_EQ(snap.dropped_name_edges, 0u);
+  LockOrderGraph::Global().ResetForTesting();
+  EXPECT_TRUE(LockOrderGraph::Global().Snapshot().name_edges.empty());
+}
+
+TEST(LockOrderGraphTest, UnnamedMutexFallsBackToRankNameInNameEdges) {
+  LockOrderGraph::Global().ResetForTesting();
+  Mutex outer{LockRank::kServer, "named_holder"};
+  Mutex inner{LockRank::kQueue};  // no instance name
+  {
+    MutexLock outer_lock(&outer);
+    // lock-order: kServer > kQueue
+    MutexLock inner_lock(&inner);
+  }
+  LockOrderSnapshot snap = LockOrderGraph::Global().Snapshot();
+  ASSERT_EQ(snap.name_edges.size(), 1u);
+  EXPECT_EQ(snap.name_edges[0].holder, "named_holder");
+  EXPECT_EQ(snap.name_edges[0].acquired, LockRankName(LockRank::kQueue));
+  LockOrderGraph::Global().ResetForTesting();
+}
+
 TEST(LockOrderGraphTest, InversionRecordedAsCycleWhenValidatorOff) {
   LockOrderGraph::Global().ResetForTesting();
   ScopedDetect detect(false);  // production mode: record, don't abort

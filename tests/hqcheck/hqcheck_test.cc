@@ -205,6 +205,213 @@ TEST(HqcheckMutationTest, SuppressionSilencesAndAuditTrailHolds) {
 }
 
 // ---------------------------------------------------------------------------
+// Golden + mutation: interprocedural may-acquire (rule family 1 of v3)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Interlock(const std::string& path, const std::string& content,
+                                   const std::string& lockgraph_dot = "",
+                                   std::string* report_out = nullptr) {
+  Analyzer analyzer;
+  analyzer.AddFile(path, content);
+  InterlockOptions options;
+  options.lockgraph_dot = lockgraph_dot;
+  options.lockgraph_path = lockgraph_dot.empty() ? "" : "runtime.dot";
+  std::ostringstream report;
+  std::vector<std::string> got = FormatAll(analyzer.RunInterlock(options, &report));
+  if (report_out != nullptr) *report_out = report.str();
+  return got;
+}
+
+std::string IpcSource() { return ReadFileOrDie(TestdataPath("interlock_ipc.cc")); }
+
+TEST(HqcheckInterlockTest, TransitiveAcquireUnderLockIsReported) {
+  std::string report;
+  std::vector<std::string> got = Interlock("interlock_ipc.cc", IpcSource(), "", &report);
+  ASSERT_EQ(got.size(), 1u) << report;
+  EXPECT_NE(got[0].find("interlock_ipc.cc:39:"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("[may-acquire]"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("Front::BadUnderQueue calls Mid::Relay"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("holding `queue_mu_` (kQueue)"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("may acquire kStore"), std::string::npos) << got[0];
+  // GoodUnderQueue (kLogging < kQueue) and the deferred lambda stay silent,
+  // but both contribute to the proven static edge set.
+  EXPECT_NE(report.find("kQueue -> kStore"), std::string::npos) << report;
+  EXPECT_NE(report.find("kQueue -> kLogging"), std::string::npos) << report;
+}
+
+TEST(HqcheckInterlockMutationTest, RemovingTheLockSilencesTheFinding) {
+  std::string mutated = ReplaceOnce(IpcSource(),
+                                    "  void BadUnderQueue() {\n"
+                                    "    common::MutexLock lock(&queue_mu_);\n",
+                                    "  void BadUnderQueue() {\n");
+  EXPECT_EQ(Interlock("interlock_ipc.cc", mutated), std::vector<std::string>{});
+}
+
+TEST(HqcheckInterlockMutationTest, MakingTheCalleeChainCleanSilencesTheFinding) {
+  // Deep::Touch drops to kLogging: the whole chain becomes strictly
+  // descending, so the fixpoint summary must clear the finding.
+  std::string mutated =
+      ReplaceOnce(IpcSource(), "    common::MutexLock lock(&store_mu_);",
+                  "    common::MutexLock lock(&log_mu_);");
+  EXPECT_EQ(Interlock("interlock_ipc.cc", mutated), std::vector<std::string>{});
+}
+
+TEST(HqcheckInterlockMutationTest, SuppressionConsumesAndStaleMarkerReports) {
+  std::string mutated = ReplaceOnce(IpcSource(), "    mid_.Relay();\n  }\n\n  void Good",
+                                    "    mid_.Relay();  // hqcheck:allow(may-acquire)\n  }\n\n"
+                                    "  void Good");
+  EXPECT_EQ(Interlock("interlock_ipc.cc", mutated), std::vector<std::string>{});
+  // The same marker on a line that suppresses nothing is itself a finding.
+  std::string stale = ReplaceOnce(IpcSource(), "    mid_.Trace();",
+                                  "    mid_.Trace();  // hqcheck:allow(may-acquire)");
+  std::vector<std::string> got = Interlock("interlock_ipc.cc", stale);
+  ASSERT_EQ(got.size(), 2u);  // the real finding + the stale marker
+  EXPECT_NE(got[1].find("stale hqcheck:allow(may-acquire) marker"), std::string::npos)
+      << got[1];
+}
+
+TEST(HqcheckInterlockTest, RuntimeEdgeNotDerivableStaticallyIsReported) {
+  // The runtime graph saw kCdw -> kStore; nothing in this file can derive
+  // it, so the proof must admit the blind spot instead of staying quiet.
+  std::string dot =
+      "digraph lock_order {\n"
+      "  kCdw -> kStore [label=\"3\"];\n"
+      "}\n";
+  std::vector<std::string> got = Interlock("interlock_ipc.cc", IpcSource(), dot);
+  ASSERT_EQ(got.size(), 2u);  // the may-acquire finding + the diff gap
+  EXPECT_NE(got[1].find("runtime.dot:0:"), std::string::npos) << got[1];
+  EXPECT_NE(got[1].find("kCdw -> kStore"), std::string::npos) << got[1];
+  EXPECT_NE(got[1].find("not derivable from the static call graph"), std::string::npos)
+      << got[1];
+}
+
+TEST(HqcheckInterlockTest, RuntimeNameEdgesDiffThroughRankNames) {
+  // Per-instance name edges (quoted nodes) map to ranks via the manifest or
+  // the kRank fallback; a derivable pair passes, an underivable one reports.
+  std::string derivable =
+      "digraph lock_order {\n"
+      "  \"kQueue\" -> \"kStore\" [label=\"1\"];\n"
+      "}\n";
+  std::vector<std::string> got = Interlock("interlock_ipc.cc", IpcSource(), derivable);
+  ASSERT_EQ(got.size(), 1u);  // only the BadUnderQueue finding — edge derives
+  std::string underivable =
+      "digraph lock_order {\n"
+      "  \"kCatalog\" -> \"kServer\" [label=\"1\"];\n"
+      "}\n";
+  got = Interlock("interlock_ipc.cc", IpcSource(), underivable);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_NE(got[1].find("runtime mutex-name edge \"kCatalog\" -> \"kServer\""),
+            std::string::npos)
+      << got[1];
+}
+
+TEST(HqcheckInterlockTest, RuntimeCycleIsReported) {
+  std::string dot =
+      "digraph lock_order {\n"
+      "  kQueue -> kStore [label=\"1\"];\n"
+      "  kStore -> kQueue [label=\"1\"];\n"
+      "}\n";
+  std::vector<std::string> got = Interlock("interlock_ipc.cc", IpcSource(), dot);
+  bool saw_cycle = false;
+  for (const std::string& d : got) {
+    if (d.find("runtime lock-order graph contains a cycle") != std::string::npos) {
+      saw_cycle = true;
+    }
+  }
+  EXPECT_TRUE(saw_cycle);
+}
+
+// ---------------------------------------------------------------------------
+// Golden + mutation: untrusted-input taint (rule family 2 of v3)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Taint(const std::string& path, const std::string& content,
+                               const std::string& surfaces = "decoder *::Decode\n") {
+  Analyzer analyzer;
+  analyzer.AddFile(path, content);
+  TaintOptions options;
+  options.surfaces_path = "surfaces.txt";
+  options.surfaces = surfaces;
+  return FormatAll(analyzer.RunTaint(options, nullptr));
+}
+
+std::string DecoderSource() { return ReadFileOrDie(TestdataPath("taint_decoder.cc")); }
+
+TEST(HqcheckTaintTest, UncheckedWireCountReachingResizeIsReported) {
+  std::vector<std::string> got = Taint("taint_decoder.cc", DecoderSource());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].find("taint_decoder.cc:12:"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("[taint]"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("`n` (wire-derived"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("WireCodec::Decode"), std::string::npos) << got[0];
+  // `m` is remaining()-checked before reserve(): no second finding.
+}
+
+TEST(HqcheckTaintMutationTest, RemovingTheBoundsCheckAddsAFinding) {
+  std::string mutated = ReplaceOnce(DecoderSource(),
+                                    "    if (m > reader->remaining()) {\n"
+                                    "      return common::Status::ProtocolError(\"bad element "
+                                    "count\");\n"
+                                    "    }\n",
+                                    "");
+  std::vector<std::string> got = Taint("taint_decoder.cc", mutated);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_NE(got[1].find("`m` (wire-derived"), std::string::npos) << got[1];
+}
+
+TEST(HqcheckTaintMutationTest, TrustedMarkerSuppressesWithJustification) {
+  std::string mutated = ReplaceOnce(
+      DecoderSource(), "    buf_.resize(n);",
+      "    // hqcheck:trusted(taint): n is re-validated by the caller's frame bound\n"
+      "    buf_.resize(n);");
+  EXPECT_EQ(Taint("taint_decoder.cc", mutated), std::vector<std::string>{});
+}
+
+TEST(HqcheckTaintMutationTest, TrustedMarkerWithoutJustificationIsAFinding) {
+  std::string mutated =
+      ReplaceOnce(DecoderSource(), "    buf_.resize(n);",
+                  "    buf_.resize(n);  // hqcheck:trusted(taint):");
+  std::vector<std::string> got = Taint("taint_decoder.cc", mutated);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].find("has no justification"), std::string::npos) << got[0];
+}
+
+TEST(HqcheckTaintMutationTest, UnusedTrustedMarkerIsAFinding) {
+  std::string mutated =
+      ReplaceOnce(DecoderSource(), "    items_.reserve(m);",
+                  "    // hqcheck:trusted(taint): nothing here needs it\n"
+                  "    items_.reserve(m);");
+  std::vector<std::string> got = Taint("taint_decoder.cc", mutated);
+  ASSERT_EQ(got.size(), 2u);  // the real resize(n) finding + the stale marker
+  EXPECT_NE(got[1].find("unused hqcheck:trusted(taint) marker"), std::string::npos) << got[1];
+}
+
+TEST(HqcheckTaintMutationTest, PlainAllowMarkerIsRejected) {
+  std::string mutated = ReplaceOnce(DecoderSource(), "    buf_.resize(n);",
+                                    "    buf_.resize(n);  // hqcheck:allow(taint)");
+  std::vector<std::string> got = Taint("taint_decoder.cc", mutated);
+  ASSERT_EQ(got.size(), 2u);  // the unsuppressed finding + the rejection
+  EXPECT_NE(got[1].find("hqcheck:allow(taint) is not honoured"), std::string::npos) << got[1];
+}
+
+TEST(HqcheckTaintTest, StaleDecoderPatternIsAFinding) {
+  std::vector<std::string> got = Taint("taint_decoder.cc", DecoderSource(),
+                                       "decoder *::Decode\ndecoder Gone::Decoder\n");
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_NE(got[0].find("surfaces.txt:2:"), std::string::npos) << got[0];
+  EXPECT_NE(got[0].find("`Gone::Decoder` matches no function"), std::string::npos) << got[0];
+}
+
+TEST(HqcheckTaintTest, NonDecoderFunctionsAreOutOfScope) {
+  // The same unchecked resize in a function the surfaces manifest does not
+  // name must stay silent — taint is a decoder-frontier rule, not repo-wide.
+  std::vector<std::string> got =
+      Taint("taint_decoder.cc", DecoderSource(), "decoder NoSuch::Thing\n");
+  ASSERT_EQ(got.size(), 1u);  // only the stale-pattern audit
+  EXPECT_NE(got[0].find("matches no function"), std::string::npos) << got[0];
+}
+
+// ---------------------------------------------------------------------------
 // Hot-path symbol proof over synthetic disassembly
 // ---------------------------------------------------------------------------
 
@@ -292,6 +499,86 @@ TEST(HqcheckCliTest, ExitCodesAndUsage) {
   EXPECT_EQ(RunHqcheck({TestdataPath("enum_switch.cc")}, out, err), 1);
   EXPECT_EQ(RunHqcheck({}, out, err), 2);
   EXPECT_EQ(RunHqcheck({"--bogus-flag", TestdataPath("clean.cc")}, out, err), 2);
+}
+
+TEST(HqcheckCliTest, InterlockModeExitCodes) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(RunHqcheck({"--interlock", TestdataPath("interlock_ipc.cc")}, out, err), 1)
+      << out.str() << err.str();
+  EXPECT_NE(out.str().find("[may-acquire]"), std::string::npos) << out.str();
+  EXPECT_EQ(RunHqcheck({"--interlock", TestdataPath("clean.cc")}, out, err), 0);
+}
+
+std::string WriteTempFile(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  EXPECT_TRUE(out.good()) << "cannot write " << path;
+  return path;
+}
+
+TEST(HqcheckCliTest, TaintModeExitCodes) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const std::string surfaces = WriteTempFile("hq_surfaces.txt", "decoder *::Decode\n");
+  EXPECT_EQ(RunHqcheck(
+                {"--taint", "--surfaces", surfaces, TestdataPath("taint_decoder.cc")}, out, err),
+            1)
+      << out.str() << err.str();
+  EXPECT_NE(out.str().find("[taint]"), std::string::npos) << out.str();
+  // A clean decoder frontier exits 0 — the pattern must match something or
+  // the stale-pattern audit itself fails the run.
+  const std::string clean_surfaces = WriteTempFile("hq_surfaces_clean.txt", "decoder Store::*\n");
+  EXPECT_EQ(RunHqcheck(
+                {"--taint", "--surfaces", clean_surfaces, TestdataPath("clean.cc")}, out, err),
+            0)
+      << out.str() << err.str();
+  // --taint without --surfaces is a usage error, not a vacuous pass.
+  EXPECT_EQ(RunHqcheck({"--taint", TestdataPath("clean.cc")}, out, err), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Source-digest stamp: stale-object proofs must fail loudly
+// ---------------------------------------------------------------------------
+
+TEST(HqcheckStampTest, HotpathProofFailsWhenStampedSourcesDrift) {
+  const std::string src = WriteTempFile("hq_stamp_src.cc", "int answer = 42;\n");
+  const std::string stamp_path = ::testing::TempDir() + "hq_stamp.txt";
+  const std::string disasm = WriteTempFile("hq_stamp_disasm.txt", FakeDisasm("memcpy"));
+  std::ostringstream out;
+  std::ostringstream err;
+  ASSERT_EQ(RunHqcheck({"--make-stamp", stamp_path, src}, out, err), 0) << err.str();
+  // Fresh stamp: the proof runs and passes.
+  EXPECT_EQ(RunHqcheck({"--hotpath", "--roots", "::Kernel", "--stamp", stamp_path, "--disasm",
+                        disasm},
+                       out, err),
+            0)
+      << err.str();
+  // Source drifts after the stamp was taken: the proof must refuse to run
+  // rather than pass vacuously over stale objects.
+  WriteTempFile("hq_stamp_src.cc", "int answer = 43;\n");
+  err.str("");
+  EXPECT_EQ(RunHqcheck({"--hotpath", "--roots", "::Kernel", "--stamp", stamp_path, "--disasm",
+                        disasm},
+                       out, err),
+            2);
+  EXPECT_NE(err.str().find("stale proof inputs"), std::string::npos) << err.str();
+}
+
+TEST(HqcheckStampTest, MissingOrEmptyStampFails) {
+  const std::string disasm = WriteTempFile("hq_stamp_disasm2.txt", FakeDisasm("memcpy"));
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(RunHqcheck({"--hotpath", "--roots", "::Kernel", "--stamp",
+                        ::testing::TempDir() + "hq_no_such_stamp.txt", "--disasm", disasm},
+                       out, err),
+            2);
+  const std::string empty = WriteTempFile("hq_empty_stamp.txt", "");
+  EXPECT_EQ(
+      RunHqcheck({"--hotpath", "--roots", "::Kernel", "--stamp", empty, "--disasm", disasm},
+                 out, err),
+      2);
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+// Known-bad input for the interprocedural may-acquire rule. No function
+// here nests two MutexLocks directly — the intra-TU lock-nesting rule stays
+// silent — but Front::BadUnderQueue holds kQueue while calling through Mid
+// into Deep::Touch, which acquires kStore. Only the fixpoint summary over
+// the call graph can see that.
+#include "common/sync.h"
+
+namespace demo {
+
+class Deep {
+ public:
+  void Touch() {
+    common::MutexLock lock(&store_mu_);
+  }
+
+  void Log() {
+    common::MutexLock lock(&log_mu_);
+  }
+
+ private:
+  common::Mutex store_mu_{common::LockRank::kStore, "ipc_store"};
+  common::Mutex log_mu_{common::LockRank::kLogging, "ipc_log"};
+};
+
+class Mid {
+ public:
+  void Relay() { deep_.Touch(); }
+
+  void Trace() { deep_.Log(); }
+
+ private:
+  Deep deep_;
+};
+
+class Front {
+ public:
+  void BadUnderQueue() {
+    common::MutexLock lock(&queue_mu_);
+    mid_.Relay();
+  }
+
+  void GoodUnderQueue() {
+    common::MutexLock lock(&queue_mu_);
+    mid_.Trace();
+  }
+
+  void DeferredLambdaIsNotACall() {
+    common::MutexLock lock(&queue_mu_);
+    auto later = [this] { mid_.Relay(); };
+    (void)later;
+  }
+
+ private:
+  common::Mutex queue_mu_{common::LockRank::kQueue, "ipc_queue"};
+  Mid mid_;
+};
+
+}  // namespace demo

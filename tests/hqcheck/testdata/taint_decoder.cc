@@ -1,0 +1,26 @@
+// Known-bad input for the taint rule: `n` comes straight off the wire and
+// reaches resize() with no dominating bounds check. `m` is validated against
+// remaining() first, so its reserve() must stay silent.
+#include "common/bytes.h"
+
+namespace demo {
+
+class WireCodec {
+ public:
+  common::Status Decode(common::ByteReader* reader) {
+    HQ_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+    buf_.resize(n);
+    HQ_ASSIGN_OR_RETURN(uint32_t m, reader->ReadU32());
+    if (m > reader->remaining()) {
+      return common::Status::ProtocolError("bad element count");
+    }
+    items_.reserve(m);
+    return common::Status::Ok();
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+  std::vector<int> items_;
+};
+
+}  // namespace demo

@@ -271,5 +271,18 @@ TEST(SchemaCodecTest, AllTypeParametersSurvive) {
   EXPECT_EQ(*decoded, schema);
 }
 
+TEST(SchemaCodecTest, FieldCountBeyondPayloadIsProtocolError) {
+  // A 2-byte header claiming 65535 fields must fail before reserve(), not
+  // after allocating a 65535-slot vector for a payload that cannot back it.
+  ByteBuffer buf;
+  buf.AppendU16(0xFFFF);
+  common::ByteReader reader(buf.AsSlice());
+  auto decoded = DecodeSchema(&reader);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsProtocolError());
+  EXPECT_NE(decoded.status().ToString().find("claims"), std::string::npos)
+      << decoded.status().ToString();
+}
+
 }  // namespace
 }  // namespace hyperq::legacy

@@ -179,7 +179,26 @@ TEST(SnapshotDumperTest, WritesLockGraphDotFileOnEveryDump) {
   EXPECT_NE(dot.find("digraph"), std::string::npos) << dot;
   EXPECT_NE(dot.find("kServer"), std::string::npos) << dot;
   EXPECT_NE(dot.find("kJob"), std::string::npos) << dot;
+  // Per-instance mutex-name edges ride along in the same DOT file.
+  EXPECT_NE(dot.find("\"dump_outer\" -> \"dump_inner\""), std::string::npos) << dot;
   std::remove(path.c_str());
+  common::LockOrderGraph::Global().ResetForTesting();
+}
+
+TEST(LockGraphJsonTest, NameEdgesAppearInJsonExport) {
+  common::LockOrderGraph::Global().ResetForTesting();
+  common::Mutex outer{common::LockRank::kServer, "json_outer"};
+  common::Mutex inner{common::LockRank::kJob, "json_inner"};
+  {
+    common::MutexLock lock_outer(&outer);
+    // lock-order: kServer > kJob
+    common::MutexLock lock_inner(&inner);
+  }
+  const std::string json = LockGraphToJson(common::LockOrderGraph::Global().Snapshot());
+  EXPECT_NE(json.find("\"name_edges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("json_outer"), std::string::npos) << json;
+  EXPECT_NE(json.find("json_inner"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped_name_edges\": 0"), std::string::npos) << json;
   common::LockOrderGraph::Global().ResetForTesting();
 }
 

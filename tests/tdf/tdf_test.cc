@@ -212,6 +212,68 @@ TEST(TdfNestedTest, FlatViewRejectsNestedSchema) {
   EXPECT_TRUE(reader.ToFlatRows().status().IsTypeError());
 }
 
+// Rebuilds a writer-produced packet with an attacker-chosen rows-section
+// body: header | schema section (copied verbatim) | rows section (forged).
+ByteBuffer ForgeRowsSection(ByteBuffer packet, const ByteBuffer& rows_body) {
+  ByteReader r(packet.AsSlice());
+  r.Skip(6).ok();  // magic + version
+  r.ReadByte().ValueOrDie();
+  auto schema_body = r.ReadLengthPrefixed32().ValueOrDie();
+  ByteBuffer forged;
+  forged.AppendBytes(packet.data(), 6);
+  forged.AppendByte(1);  // kSectionSchema
+  forged.AppendU32(static_cast<uint32_t>(schema_body.size()));
+  forged.AppendSlice(schema_body);
+  forged.AppendByte(2);  // kSectionRows
+  forged.AppendU32(static_cast<uint32_t>(rows_body.size()));
+  forged.AppendSlice(rows_body.AsSlice());
+  return forged;
+}
+
+TEST(TdfTest, RowCountBeyondSectionBytesIsProtocolError) {
+  // A forged rows section claiming 100M rows with no row bytes must fail
+  // before reserve(), and must not spin decoding empty rows when the schema
+  // is degenerate. Regression for the wire-controlled row-count reserve().
+  TdfWriter writer(TdfSchema::FromFlat(FlatSchema()));
+  ByteBuffer rows_body;
+  PutUVarint(100000000ull, &rows_body);  // claimed rows; zero bytes follow
+  auto reader = TdfReader::Open(ForgeRowsSection(writer.Finish(), rows_body).AsSlice());
+  ASSERT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsProtocolError());
+  EXPECT_NE(reader.status().ToString().find("row section claims"), std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(TdfTest, RowCountBombWithEmptySchemaIsProtocolError) {
+  // With a zero-field schema every row decodes from zero bytes, so a huge
+  // claimed count used to spin the decode loop at full speed. The count
+  // bound rejects it outright.
+  TdfWriter writer{TdfSchema{}};
+  ByteBuffer rows_body;
+  PutUVarint(1ull << 40, &rows_body);
+  auto reader = TdfReader::Open(ForgeRowsSection(writer.Finish(), rows_body).AsSlice());
+  ASSERT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsProtocolError());
+}
+
+TEST(TdfNestedTest, ListCountBeyondPayloadIsProtocolError) {
+  // One row whose list field claims 16M elements backed by zero bytes must
+  // be rejected before items.reserve(n) allocates for the phantom elements.
+  TdfSchema schema;
+  schema.fields.push_back(
+      TdfField::List("TAGS", TdfField::Scalar("item", TypeDesc::Varchar(8))));
+  TdfWriter writer(schema);
+  ByteBuffer rows_body;
+  PutUVarint(1, &rows_body);      // one row
+  rows_body.AppendByte(1);        // list present
+  PutUVarint(1 << 24, &rows_body);  // claimed elements; nothing follows
+  auto reader = TdfReader::Open(ForgeRowsSection(writer.Finish(), rows_body).AsSlice());
+  ASSERT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsProtocolError());
+  EXPECT_NE(reader.status().ToString().find("list claims"), std::string::npos)
+      << reader.status().ToString();
+}
+
 TEST(TdfNestedTest, StructArityEnforced) {
   TdfWriter writer(NestedSchema());
   TdfRow row;

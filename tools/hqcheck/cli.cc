@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -8,8 +9,24 @@
 #include <vector>
 
 #include "hqcheck.h"
+#include "internal.h"
 
 namespace hqcheck {
+
+namespace internal {
+
+std::string Fnv64Hex(const std::string& data) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -24,6 +41,10 @@ bool SkippedComponent(const std::filesystem::path& p) {
 bool CheckableExtension(const std::filesystem::path& p) {
   auto ext = p.extension().string();
   return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool ObjectExtension(const std::string& arg) {
+  return internal::EndsWith(arg, ".o") || internal::EndsWith(arg, ".obj");
 }
 
 bool ReadFile(const std::filesystem::path& path, std::string* out, std::ostream& err,
@@ -60,11 +81,148 @@ bool Disassemble(const std::string& object, std::string* out, std::ostream& err)
   return true;
 }
 
+/// Expands file-or-directory inputs into the sorted list of checkable
+/// sources (recursing into directories, skipping testdata/build trees).
+bool CollectSourceFiles(const std::vector<std::filesystem::path>& inputs,
+                        std::vector<std::filesystem::path>* files, std::ostream& err) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const fs::path& input : inputs) {
+    if (fs::is_directory(input, ec)) {
+      for (auto it = fs::recursive_directory_iterator(input, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && SkippedComponent(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && CheckableExtension(it->path()) &&
+            !SkippedComponent(it->path())) {
+          files->push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files->push_back(input);
+    } else {
+      err << "hqcheck: cannot read " << input.string() << "\n";
+      return false;
+    }
+  }
+  std::sort(files->begin(), files->end());
+  return true;
+}
+
+/// Loads every collected source into the analyzer, with paths rebased onto
+/// --root for stable diagnostics.
+bool LoadAnalyzer(const std::vector<std::filesystem::path>& files,
+                  const std::filesystem::path& root, Analyzer* analyzer, std::ostream& err) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content, err, "source")) return false;
+    std::string display = file.string();
+    if (!root.empty()) {
+      auto rel = fs::relative(file, root, ec);
+      if (!ec && !rel.empty()) display = rel.string();
+    }
+    analyzer->AddFile(std::move(display), std::move(content));
+  }
+  return true;
+}
+
+bool LoadManifest(const std::filesystem::path& manifest_path, const std::filesystem::path& root,
+                  Analyzer* analyzer, std::ostream& err) {
+  namespace fs = std::filesystem;
+  if (manifest_path.empty()) return true;
+  std::string content;
+  if (!ReadFile(manifest_path, &content, err, "manifest")) return false;
+  std::string display = manifest_path.string();
+  std::error_code ec;
+  if (!root.empty()) {
+    auto rel = fs::relative(manifest_path, root, ec);
+    if (!ec && !rel.empty()) display = rel.string();
+  }
+  analyzer->SetManifest(std::move(display), std::move(content));
+  return true;
+}
+
+/// Verifies a --make-stamp digest file against the current sources. Any
+/// missing file or digest mismatch means the objects about to be proven were
+/// built from different sources — the proof would be vacuous.
+bool VerifyStamp(const std::string& stamp_path, std::ostream& err) {
+  std::string stamp;
+  if (!ReadFile(stamp_path, &stamp, err, "stamp file")) return false;
+  std::istringstream in(stamp);
+  std::string line;
+  int entries = 0;
+  bool ok = true;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string digest, path;
+    if (!(fields >> digest >> path) || digest.size() != 16) {
+      err << "hqcheck: malformed stamp line " << stamp_path << ":" << lineno << "\n";
+      ok = false;
+      continue;
+    }
+    ++entries;
+    std::string content;
+    if (!ReadFile(path, &content, err, "stamped source")) {
+      ok = false;
+      continue;
+    }
+    std::string now = internal::Fnv64Hex(content);
+    if (now != digest) {
+      err << "hqcheck: stale proof inputs: " << path << " digest " << now
+          << " != stamped " << digest << " — rebuild the objects before proving\n";
+      ok = false;
+    }
+  }
+  if (entries == 0) {
+    err << "hqcheck: stamp file " << stamp_path << " lists no sources\n";
+    ok = false;
+  }
+  return ok;
+}
+
+int RunMakeStampMode(const std::vector<std::string>& args, std::ostream& err) {
+  std::vector<std::string> positional;
+  for (const std::string& a : args) {
+    if (a == "--make-stamp") continue;
+    if (a.rfind("--", 0) == 0) {
+      err << "hqcheck: unknown flag " << a << "\n";
+      return 2;
+    }
+    positional.push_back(a);
+  }
+  if (positional.size() < 2) {
+    err << "usage: hqcheck --make-stamp <out-file> <source-file>...\n";
+    return 2;
+  }
+  std::ostringstream out_text;
+  out_text << "# hqcheck source-digest stamp: <fnv1a-64> <path>\n";
+  for (size_t i = 1; i < positional.size(); ++i) {
+    std::string content;
+    if (!ReadFile(positional[i], &content, err, "source")) return 2;
+    out_text << internal::Fnv64Hex(content) << " " << positional[i] << "\n";
+  }
+  std::ofstream out_file(positional[0], std::ios::binary);
+  if (!out_file) {
+    err << "hqcheck: cannot write stamp file " << positional[0] << "\n";
+    return 2;
+  }
+  out_file << out_text.str();
+  return 0;
+}
+
 int RunHotpathMode(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   HotpathProofOptions options;
   std::string allow_path;
   std::string report_path;
   std::string disasm_path;
+  std::string stamp_path;
   std::vector<std::string> objects;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -92,6 +250,10 @@ int RunHotpathMode(const std::vector<std::string>& args, std::ostream& out, std:
       const std::string* v = value("--disasm");
       if (v == nullptr) return 2;
       disasm_path = *v;
+    } else if (a == "--stamp") {
+      const std::string* v = value("--stamp");
+      if (v == nullptr) return 2;
+      stamp_path = *v;
     } else if (a == "--verbose") {
       options.verbose = true;
     } else if (a.rfind("--", 0) == 0) {
@@ -109,6 +271,7 @@ int RunHotpathMode(const std::vector<std::string>& args, std::ostream& out, std:
     err << "hqcheck: --hotpath takes either object files or --disasm <file>\n";
     return 2;
   }
+  if (!stamp_path.empty() && !VerifyStamp(stamp_path, err)) return 2;
 
   std::vector<Diagnostic> diags;
   if (!allow_path.empty()) {
@@ -142,12 +305,184 @@ int RunHotpathMode(const std::vector<std::string>& args, std::ostream& out, std:
   return 1;
 }
 
+int RunInterlockMode(const std::vector<std::string>& args, std::ostream& out,
+                     std::ostream& err) {
+  namespace fs = std::filesystem;
+  fs::path root;
+  fs::path manifest_path;
+  std::string lockgraph_path;
+  std::string report_path;
+  std::vector<std::string> disasm_paths;
+  std::vector<std::string> objects;
+  std::vector<fs::path> inputs;
+  InterlockOptions options;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        err << "hqcheck: " << flag << " requires an argument\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--interlock") continue;
+    if (a == "--root") {
+      const std::string* v = value("--root");
+      if (v == nullptr) return 2;
+      root = *v;
+    } else if (a == "--manifest") {
+      const std::string* v = value("--manifest");
+      if (v == nullptr) return 2;
+      manifest_path = *v;
+    } else if (a == "--lockgraph") {
+      const std::string* v = value("--lockgraph");
+      if (v == nullptr) return 2;
+      lockgraph_path = *v;
+    } else if (a == "--report") {
+      const std::string* v = value("--report");
+      if (v == nullptr) return 2;
+      report_path = *v;
+    } else if (a == "--disasm") {
+      const std::string* v = value("--disasm");
+      if (v == nullptr) return 2;
+      disasm_paths.push_back(*v);
+    } else if (a == "--verbose") {
+      options.verbose = true;
+    } else if (a.rfind("--", 0) == 0) {
+      err << "hqcheck: unknown flag " << a << "\n";
+      return 2;
+    } else if (ObjectExtension(a)) {
+      objects.push_back(a);
+    } else {
+      inputs.emplace_back(a);
+    }
+  }
+  if (inputs.empty()) {
+    err << "hqcheck: --interlock requires at least one source file or directory\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  if (!CollectSourceFiles(inputs, &files, err)) return 2;
+  Analyzer analyzer;
+  if (!LoadAnalyzer(files, root, &analyzer, err)) return 2;
+  if (!LoadManifest(manifest_path, root, &analyzer, err)) return 2;
+
+  for (const std::string& d : disasm_paths) {
+    std::string text;
+    if (!ReadFile(d, &text, err, "disassembly")) return 2;
+    options.disasm += text;
+  }
+  for (const std::string& object : objects) {
+    if (!Disassemble(object, &options.disasm, err)) return 2;
+  }
+  if (!lockgraph_path.empty()) {
+    if (!ReadFile(lockgraph_path, &options.lockgraph_dot, err, "lock graph dot")) return 2;
+    options.lockgraph_path = lockgraph_path;
+  }
+
+  std::ostringstream report;
+  std::vector<Diagnostic> diags = analyzer.RunInterlock(options, &report);
+  if (!report_path.empty()) {
+    std::ofstream rf(report_path, std::ios::binary);
+    rf << report.str();
+  }
+  for (const Diagnostic& d : diags) out << Format(d) << "\n";
+  if (diags.empty()) {
+    out << report.str();
+    return 0;
+  }
+  out << diags.size() << " violation" << (diags.size() == 1 ? "" : "s") << " in "
+      << files.size() << " files\n";
+  return 1;
+}
+
+int RunTaintMode(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  namespace fs = std::filesystem;
+  fs::path root;
+  std::string surfaces_path;
+  std::string report_path;
+  std::vector<fs::path> inputs;
+  TaintOptions options;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        err << "hqcheck: " << flag << " requires an argument\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--taint") continue;
+    if (a == "--root") {
+      const std::string* v = value("--root");
+      if (v == nullptr) return 2;
+      root = *v;
+    } else if (a == "--surfaces") {
+      const std::string* v = value("--surfaces");
+      if (v == nullptr) return 2;
+      surfaces_path = *v;
+    } else if (a == "--report") {
+      const std::string* v = value("--report");
+      if (v == nullptr) return 2;
+      report_path = *v;
+    } else if (a == "--verbose") {
+      options.verbose = true;
+    } else if (a.rfind("--", 0) == 0) {
+      err << "hqcheck: unknown flag " << a << "\n";
+      return 2;
+    } else {
+      inputs.emplace_back(a);
+    }
+  }
+  if (surfaces_path.empty()) {
+    err << "hqcheck: --taint requires --surfaces <file>\n";
+    return 2;
+  }
+  if (inputs.empty()) {
+    err << "hqcheck: --taint requires at least one source file or directory\n";
+    return 2;
+  }
+  if (!ReadFile(surfaces_path, &options.surfaces, err, "surfaces manifest")) return 2;
+  options.surfaces_path = surfaces_path;
+  {
+    std::error_code ec;
+    if (!root.empty()) {
+      auto rel = fs::relative(surfaces_path, root, ec);
+      if (!ec && !rel.empty()) options.surfaces_path = rel.string();
+    }
+  }
+
+  std::vector<fs::path> files;
+  if (!CollectSourceFiles(inputs, &files, err)) return 2;
+  Analyzer analyzer;
+  if (!LoadAnalyzer(files, root, &analyzer, err)) return 2;
+
+  std::ostringstream report;
+  std::vector<Diagnostic> diags = analyzer.RunTaint(options, &report);
+  if (!report_path.empty()) {
+    std::ofstream rf(report_path, std::ios::binary);
+    rf << report.str();
+  }
+  for (const Diagnostic& d : diags) out << Format(d) << "\n";
+  if (diags.empty()) {
+    out << report.str();
+    return 0;
+  }
+  out << diags.size() << " violation" << (diags.size() == 1 ? "" : "s") << " in "
+      << files.size() << " files\n";
+  return 1;
+}
+
 }  // namespace
 
 int RunHqcheck(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   namespace fs = std::filesystem;
   for (const std::string& a : args) {
     if (a == "--hotpath") return RunHotpathMode(args, out, err);
+    if (a == "--interlock") return RunInterlockMode(args, out, err);
+    if (a == "--taint") return RunTaintMode(args, out, err);
+    if (a == "--make-stamp") return RunMakeStampMode(args, err);
   }
 
   fs::path root;
@@ -175,56 +510,21 @@ int RunHqcheck(const std::vector<std::string>& args, std::ostream& out, std::ost
   }
   if (inputs.empty()) {
     err << "usage: hqcheck [--root <dir>] [--manifest <file>] <file-or-dir>...\n"
+           "       hqcheck --interlock [--root <dir>] [--manifest <file>] [--lockgraph <dot>]\n"
+           "               [--report <file>] (<file-or-dir> | --disasm <txt> | <object.o>)...\n"
+           "       hqcheck --taint --surfaces <file> [--root <dir>] [--report <file>]\n"
+           "               <file-or-dir>...\n"
            "       hqcheck --hotpath --roots <regex> [--allow <file>] [--report <file>]\n"
-           "               (--disasm <txt> | <object.o>...)\n";
+           "               [--stamp <file>] (--disasm <txt> | <object.o>...)\n"
+           "       hqcheck --make-stamp <out-file> <source-file>...\n";
     return 2;
   }
 
   std::vector<fs::path> files;
-  std::error_code ec;
-  for (const fs::path& input : inputs) {
-    if (fs::is_directory(input, ec)) {
-      for (auto it = fs::recursive_directory_iterator(input, ec);
-           it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_directory() && SkippedComponent(it->path())) {
-          it.disable_recursion_pending();
-          continue;
-        }
-        if (it->is_regular_file() && CheckableExtension(it->path()) &&
-            !SkippedComponent(it->path())) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(input, ec)) {
-      files.push_back(input);
-    } else {
-      err << "hqcheck: cannot read " << input.string() << "\n";
-      return 2;
-    }
-  }
-  std::sort(files.begin(), files.end());
-
+  if (!CollectSourceFiles(inputs, &files, err)) return 2;
   Analyzer analyzer;
-  for (const fs::path& file : files) {
-    std::string content;
-    if (!ReadFile(file, &content, err, "source")) return 2;
-    std::string display = file.string();
-    if (!root.empty()) {
-      auto rel = fs::relative(file, root, ec);
-      if (!ec && !rel.empty()) display = rel.string();
-    }
-    analyzer.AddFile(std::move(display), std::move(content));
-  }
-  if (!manifest_path.empty()) {
-    std::string content;
-    if (!ReadFile(manifest_path, &content, err, "manifest")) return 2;
-    std::string display = manifest_path.string();
-    if (!root.empty()) {
-      auto rel = fs::relative(manifest_path, root, ec);
-      if (!ec && !rel.empty()) display = rel.string();
-    }
-    analyzer.SetManifest(std::move(display), std::move(content));
-  }
+  if (!LoadAnalyzer(files, root, &analyzer, err)) return 2;
+  if (!LoadManifest(manifest_path, root, &analyzer, err)) return 2;
 
   std::vector<Diagnostic> diags = analyzer.Run();
   for (const Diagnostic& d : diags) out << Format(d) << "\n";

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "internal.h"
+
 namespace hqcheck {
 
 namespace {
@@ -15,8 +17,14 @@ namespace {
 bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
 bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
 
+}  // namespace
+
+namespace internal {
+
+namespace {
 const char* const kLockRankNames[] = {"kLogging", "kObs",  "kQueue", "kPool",   "kStore",
                                       "kCatalog", "kJob",  "kCdw",   "kServer", "kLifecycle"};
+}  // namespace
 
 int LockRankIndex(const std::string& name) {
   for (size_t i = 0; i < sizeof(kLockRankNames) / sizeof(kLockRankNames[0]); ++i) {
@@ -25,7 +33,13 @@ int LockRankIndex(const std::string& name) {
   return -1;
 }
 
-}  // namespace
+const char* LockRankNameAt(int index) {
+  return index >= 0 && index < kNumLockRanks ? kLockRankNames[index] : "k?";
+}
+
+}  // namespace internal
+
+using internal::LockRankIndex;
 
 std::string Format(const Diagnostic& d) {
   std::ostringstream os;
@@ -45,6 +59,17 @@ bool LexedFile::Allowed(int line, const std::string& rule) const {
   return has(line) || has(line - 1);
 }
 
+const TrustedMarker* LexedFile::Trusted(int line, const std::string& rule) const {
+  auto find = [&](int l) -> const TrustedMarker* {
+    for (const TrustedMarker& m : trusted) {
+      if (m.line == l && m.rule == rule) return &m;
+    }
+    return nullptr;
+  };
+  const TrustedMarker* m = find(line);
+  return m != nullptr ? m : find(line - 1);
+}
+
 LexedFile Lex(std::string path, const std::string& content) {
   LexedFile out;
   out.path = std::move(path);
@@ -55,9 +80,10 @@ LexedFile Lex(std::string path, const std::string& content) {
     out.allows.resize(std::max(out.allows.size(), static_cast<size_t>(l)));
     out.allows[static_cast<size_t>(l - 1)].insert(std::move(rule));
   };
-  // Harvests hqcheck:allow(rule) markers out of comment text spanning
-  // [begin, end); `at_line` is the line the comment starts on (markers in a
-  // multi-line block comment land on their own line).
+  // Harvests hqcheck:allow(rule) and hqcheck:trusted(rule): justification
+  // markers out of comment text spanning [begin, end); `at_line` is the line
+  // the comment starts on (markers in a multi-line block comment land on
+  // their own line).
   auto harvest = [&](size_t begin, size_t end, int at_line) {
     int l = at_line;
     for (size_t p = begin; p < end;) {
@@ -67,11 +93,34 @@ LexedFile Lex(std::string path, const std::string& content) {
         continue;
       }
       const std::string kMarker = "hqcheck:allow(";
+      const std::string kTrusted = "hqcheck:trusted(";
       if (content.compare(p, kMarker.size(), kMarker) == 0) {
         size_t open = p + kMarker.size();
         size_t close = content.find(')', open);
         if (close != std::string::npos && close < end) {
           allow_at(l, content.substr(open, close - open));
+        }
+        p = open;
+      } else if (content.compare(p, kTrusted.size(), kTrusted) == 0) {
+        size_t open = p + kTrusted.size();
+        size_t close = content.find(')', open);
+        if (close != std::string::npos && close < end) {
+          TrustedMarker m;
+          m.line = l;
+          m.rule = content.substr(open, close - open);
+          // Justification: everything after an optional `:` up to the end of
+          // the comment line, trimmed. An empty justification is the taint
+          // pass's problem to reject, not the lexer's.
+          size_t j = close + 1;
+          if (j < end && content[j] == ':') ++j;
+          size_t stop = j;
+          while (stop < end && content[stop] != '\n') ++stop;
+          std::string just = content.substr(j, stop - j);
+          size_t b = just.find_first_not_of(" \t");
+          size_t e = just.find_last_not_of(" \t");
+          m.justification =
+              b == std::string::npos ? "" : just.substr(b, e == std::string::npos ? 0 : e - b + 1);
+          out.trusted.push_back(std::move(m));
         }
         p = open;
       } else {
@@ -263,46 +312,17 @@ std::vector<ManifestEntry> ParseManifest(const std::string& path, const std::str
 
 namespace {
 
-struct EnumInfo {
-  std::string name;
-  std::vector<std::string> enumerators;
-  std::string path;
-  int line = 0;
-};
-
-struct MutexSite {
-  std::string scope;  // owning class, or "" at namespace/function scope
-  std::string var;
-  std::string rank;   // "" when the construction names no LockRank
-  std::string label;  // "" when the construction names no string
-  std::string path;
-  int line = 0;
-};
-
-/// Everything pass 1 learns about the linted set, merged across files.
-struct Declarations {
-  // class -> field -> guard mutex (last identifier of the annotation arg).
-  std::map<std::string, std::map<std::string, std::string>> guarded;
-  // class -> method -> set of mutexes the method requires.
-  std::map<std::string, std::map<std::string, std::set<std::string>>> requires_;
-  // class -> mutex member -> rank name; "" class for namespace-scope mutexes.
-  std::map<std::string, std::map<std::string, std::string>> mutex_ranks;
-  // mutex variable name -> rank, when every declaration of that name agrees
-  // (used to resolve lock-nesting when the owning class is not in view).
-  std::map<std::string, std::string> var_ranks;
-  std::set<std::string> var_rank_conflicts;
-  std::map<std::string, EnumInfo> enums;
-  std::set<std::string> ambiguous_enums;  // same name, different enumerators
-  // enumerator -> enum names it appears in (for unqualified case labels).
-  std::map<std::string, std::set<std::string>> enumerator_owners;
-  std::vector<MutexSite> mutex_sites;
-};
-
 /// One entry of the scope stack a token walk maintains.
 struct Scope {
   enum Kind { kNamespace, kClass, kBlock } kind = kBlock;
   std::string name;  // class/namespace name; "" for blocks
 };
+
+}  // namespace
+
+// The declaration model and token-walk helpers are shared with the
+// interprocedural (interlock.cc) and taint (taint.cc) passes via internal.h.
+namespace internal {
 
 const std::set<std::string>& ControlKeywords() {
   static const std::set<std::string> kw = {
@@ -444,6 +464,31 @@ void CollectDeclarations(const LexedFile& f, Declarations* decls) {
         ++k;
       }
       if (definition) {
+        if (!name.empty()) {
+          decls->class_names.insert(name);
+          // Inheritance clause `class D : public B1, private ns::B2<T> {`:
+          // record B -> D so virtual calls through a base resolve to every
+          // override. The base is the last identifier of each segment at
+          // angle depth 0 (drops namespace qualifiers and template args).
+          if (t[j].text == ":") {
+            int angle = 0;
+            std::string base;
+            for (size_t b = j + 1; b <= k; ++b) {
+              const std::string& x = t[b].text;
+              if (x == "<") ++angle;
+              if (x == ">") --angle;
+              if (angle > 0) continue;
+              if (t[b].kind == TokKind::kIdent && x != "public" && x != "protected" &&
+                  x != "private" && x != "virtual") {
+                base = x;
+              }
+              if (x == "," || x == "{") {
+                if (!base.empty()) decls->derived[base].insert(name);
+                base.clear();
+              }
+            }
+          }
+        }
         scopes.push_back({Scope::kClass, name});
         i = k;  // consume through the `{`
       }
@@ -546,9 +591,223 @@ void CollectDeclarations(const LexedFile& f, Declarations* decls) {
   }
 }
 
+void CollectVarTypes(const LexedFile& f, const std::set<std::string>& class_names,
+                     std::map<std::string, std::set<std::string>>* var_types) {
+  const std::vector<Token>& t = f.tokens;
+  // Skips balanced template args starting at the `<` at index i; returns the
+  // index after the matching `>`, or i when the brackets do not balance
+  // locally (comparison operator, not template args).
+  auto skip_angles = [&](size_t i) -> size_t {
+    int depth = 0;
+    for (size_t j = i; j + 1 < t.size() && j < i + 64; ++j) {
+      const std::string& x = t[j].text;
+      if (x == ";" || x == "{") return i;
+      if (x == "<") ++depth;
+      if (x == ">") {
+        if (--depth == 0) return j + 1;
+      }
+    }
+    return i;
+  };
+  auto record = [&](size_t j, const std::string& cls) {
+    // j points at the would-be variable name; the token after it must end a
+    // declarator (rules out `Foo Bar::` qualified definitions and casts).
+    if (t[j].kind != TokKind::kIdent || ControlKeywords().count(t[j].text) != 0) return;
+    const std::string& after = t[j + 1].text;
+    if (after == ";" || after == "=" || after == "{" || after == "(" || after == "," ||
+        after == ")" || after == "[" ||
+        // `Type name_ HQ_GUARDED_BY(mu_);` — attribute macros end a
+        // declarator too, and member fields are receivers like any local.
+        (t[j + 1].kind == TokKind::kIdent && after.rfind("HQ_", 0) == 0)) {
+      (*var_types)[t[j].text].insert(cls);
+    }
+  };
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    // `unique_ptr<Foo> p` / `shared_ptr<Foo> p`: the pointee class is the
+    // receiver type for `p->Method()` resolution. Containers are deliberately
+    // not handled — `vector<Foo> v` makes `v.size()` a Foo method otherwise.
+    if ((t[i].text == "unique_ptr" || t[i].text == "shared_ptr") && t[i + 1].text == "<") {
+      size_t end = skip_angles(i + 1);
+      if (end == i + 1) continue;
+      std::string cls;
+      for (size_t k = i + 2; k + 1 < end; ++k) {
+        if (t[k].kind == TokKind::kIdent && class_names.count(t[k].text) != 0) cls = t[k].text;
+      }
+      if (cls.empty()) continue;
+      size_t j = end;
+      while (t[j].text == "*" || t[j].text == "&" || t[j].text == "const") ++j;
+      record(j, cls);
+      continue;
+    }
+    if (class_names.count(t[i].text) == 0) continue;
+    size_t j = i + 1;
+    if (t[j].text == "<") {
+      size_t end = skip_angles(j);
+      if (end == j) continue;
+      j = end;
+    }
+    while (t[j].text == "*" || t[j].text == "&" || t[j].text == "const") ++j;
+    record(j, t[i].text);
+  }
+}
+
+std::string ResolveRank(const Declarations& d, const std::string& cls,
+                        const std::string& guard) {
+  auto cit = d.mutex_ranks.find(cls);
+  if (cit != d.mutex_ranks.end()) {
+    auto vit = cit->second.find(guard);
+    if (vit != cit->second.end()) return vit->second;
+  }
+  if (d.var_rank_conflicts.count(guard) == 0) {
+    auto vit = d.var_ranks.find(guard);
+    if (vit != d.var_ranks.end()) return vit->second;
+  }
+  return "";
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Finds every function body in the file and hands it to `fn`. Maintains the
+/// same scope stack as CollectDeclarations so inline methods know their
+/// class; `X::Name(` qualifiers win over the enclosing scope.
+void ForEachFunctionBody(const LexedFile& f, const BodyCallback& fn) {
+  const std::vector<Token>& t = f.tokens;
+  std::vector<Scope> scopes;
+  auto current_class = [&]() -> std::string {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+    }
+    return "";
+  };
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "{") scopes.push_back({Scope::kBlock, ""});
+      if (tok.text == "}" && !scopes.empty()) scopes.pop_back();
+      continue;
+    }
+    if (tok.kind != TokKind::kIdent) continue;
+    if (tok.text == "namespace") {
+      size_t j = i + 1;
+      while (t[j].kind == TokKind::kIdent || t[j].text == "::") ++j;
+      if (t[j].text == "{") {
+        scopes.push_back({Scope::kNamespace, ""});
+        i = j;
+      }
+      continue;
+    }
+    if (tok.text == "enum") {
+      size_t j = i + 1;
+      while (j + 1 < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+      if (t[j].text == "{") j = MatchingClose(t, j);
+      i = j;
+      continue;
+    }
+    if (tok.text == "class" || tok.text == "struct") {
+      size_t j = i + 1;
+      std::string name;
+      if (t[j].kind == TokKind::kIdent && ControlKeywords().count(t[j].text) == 0) {
+        name = t[j].text;
+        ++j;
+      }
+      size_t k = j;
+      int angle = 0;
+      while (k + 1 < t.size()) {
+        const std::string& x = t[k].text;
+        if (x == "<") ++angle;
+        if (x == ">") --angle;
+        if (angle == 0 && (x == ";" || x == "=" || x == ")" || x == ",")) break;
+        if (angle == 0 && x == "{") {
+          scopes.push_back({Scope::kClass, name});
+          i = k;
+          break;
+        }
+        ++k;
+      }
+      continue;
+    }
+    if (ControlKeywords().count(tok.text) != 0) continue;
+    if (t[i + 1].text != "(") continue;
+    // Candidate function name. Find the owning class: `X::Name(` wins over
+    // the enclosing scope.
+    std::string cls = current_class();
+    std::string method = tok.text;
+    bool qualified = false;
+    if (i >= 2 && t[i - 1].text == "::" && t[i - 2].kind == TokKind::kIdent) {
+      cls = t[i - 2].text;
+      qualified = true;
+    }
+    bool dtor = i > 0 && t[i - 1].text == "~";
+    size_t params_close = MatchingClose(t, i + 1);
+    // Scan the trailing tokens for the body `{`; a `;` or `=` first means a
+    // declaration (or `= default`).
+    size_t j = params_close + 1;
+    bool body = false;
+    while (j + 1 < t.size()) {
+      const std::string& x = t[j].text;
+      if (x == "{") {
+        body = true;
+        break;
+      }
+      if (x == ";" || x == "=" || x == ",") break;
+      if (x == ":") {
+        // Constructor initializer list: `name(args) [,] ... {`.
+        ++j;
+        while (j + 1 < t.size()) {
+          // Each initializer: qualified name then ( ... ) or { ... }.
+          while (j + 1 < t.size() && t[j].text != "(" && t[j].text != "{" && t[j].text != ";") {
+            ++j;
+          }
+          if (t[j].text == ";") break;
+          size_t c = MatchingClose(t, j);
+          j = c + 1;
+          if (t[j].text == ",") {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        if (t[j].text == "{") body = true;
+        break;
+      }
+      if (t[j].text == "(") {
+        j = MatchingClose(t, j) + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (!body) {
+      i = params_close;
+      continue;
+    }
+    size_t body_close = MatchingClose(t, j);
+    bool ctor_dtor = dtor || (qualified ? method == cls : (!cls.empty() && method == cls));
+    fn(cls, dtor ? "~" + method : method, ctor_dtor, j, body_close);
+    i = body_close;
+  }
+}
+
+}  // namespace internal
+
+using internal::CollectDeclarations;
+using internal::ControlKeywords;
+using internal::Declarations;
+using internal::EndsWith;
+using internal::EnumInfo;
+using internal::LastIdent;
+using internal::MatchingClose;
+using internal::MutexSite;
+using internal::ResolveRank;
+
 // ---------------------------------------------------------------------------
 // Function-body analysis (pass 2)
 // ---------------------------------------------------------------------------
+
+namespace {
 
 struct LiveLock {
   std::string guard;  // last identifier of the mutex expression
@@ -566,20 +825,6 @@ struct BodyContext {
   bool ctor_dtor = false;
   std::vector<Diagnostic>* diags = nullptr;
 };
-
-std::string ResolveRank(const Declarations& d, const std::string& cls,
-                        const std::string& guard) {
-  auto cit = d.mutex_ranks.find(cls);
-  if (cit != d.mutex_ranks.end()) {
-    auto vit = cit->second.find(guard);
-    if (vit != cit->second.end()) return vit->second;
-  }
-  if (d.var_rank_conflicts.count(guard) == 0) {
-    auto vit = d.var_ranks.find(guard);
-    if (vit != d.var_ranks.end()) return vit->second;
-  }
-  return "";
-}
 
 /// Walks one function body in [open, close] (token indexes of the braces)
 /// and applies the guarded-field, lock-nesting and enum-switch rules.
@@ -800,135 +1045,22 @@ void AnalyzeBody(const BodyContext& ctx, size_t open, size_t close) {
   }
 }
 
-/// Finds function bodies and hands each to AnalyzeBody. Maintains the same
-/// scope stack as CollectDeclarations so inline methods know their class.
+/// Finds function bodies (via the shared walker) and hands each to
+/// AnalyzeBody.
 void AnalyzeFile(const LexedFile& f, const Declarations& decls,
                  std::vector<Diagnostic>* diags) {
-  const std::vector<Token>& t = f.tokens;
-  std::vector<Scope> scopes;
-  auto current_class = [&]() -> std::string {
-    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
-      if (it->kind == Scope::kClass) return it->name;
-    }
-    return "";
-  };
-  for (size_t i = 0; i + 1 < t.size(); ++i) {
-    const Token& tok = t[i];
-    if (tok.kind == TokKind::kPunct) {
-      if (tok.text == "{") scopes.push_back({Scope::kBlock, ""});
-      if (tok.text == "}" && !scopes.empty()) scopes.pop_back();
-      continue;
-    }
-    if (tok.kind != TokKind::kIdent) continue;
-    if (tok.text == "namespace") {
-      size_t j = i + 1;
-      while (t[j].kind == TokKind::kIdent || t[j].text == "::") ++j;
-      if (t[j].text == "{") {
-        scopes.push_back({Scope::kNamespace, ""});
-        i = j;
-      }
-      continue;
-    }
-    if (tok.text == "enum") {
-      size_t j = i + 1;
-      while (j + 1 < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
-      if (t[j].text == "{") j = MatchingClose(t, j);
-      i = j;
-      continue;
-    }
-    if (tok.text == "class" || tok.text == "struct") {
-      size_t j = i + 1;
-      std::string name;
-      if (t[j].kind == TokKind::kIdent && ControlKeywords().count(t[j].text) == 0) {
-        name = t[j].text;
-        ++j;
-      }
-      size_t k = j;
-      int angle = 0;
-      while (k + 1 < t.size()) {
-        const std::string& x = t[k].text;
-        if (x == "<") ++angle;
-        if (x == ">") --angle;
-        if (angle == 0 && (x == ";" || x == "=" || x == ")" || x == ",")) break;
-        if (angle == 0 && x == "{") {
-          scopes.push_back({Scope::kClass, name});
-          i = k;
-          break;
-        }
-        ++k;
-      }
-      continue;
-    }
-    if (ControlKeywords().count(tok.text) != 0) continue;
-    if (t[i + 1].text != "(") continue;
-    // Candidate function name. Find the owning class: `X::Name(` wins over
-    // the enclosing scope.
-    std::string cls = current_class();
-    std::string method = tok.text;
-    bool qualified = false;
-    if (i >= 2 && t[i - 1].text == "::" && t[i - 2].kind == TokKind::kIdent) {
-      cls = t[i - 2].text;
-      qualified = true;
-    }
-    bool dtor = i > 0 && t[i - 1].text == "~";
-    size_t params_close = MatchingClose(t, i + 1);
-    // Scan the trailing tokens for the body `{`; a `;` or `=` first means a
-    // declaration (or `= default`).
-    size_t j = params_close + 1;
-    bool body = false;
-    while (j + 1 < t.size()) {
-      const std::string& x = t[j].text;
-      if (x == "{") {
-        body = true;
-        break;
-      }
-      if (x == ";" || x == "=" || x == ",") break;
-      if (x == ":") {
-        // Constructor initializer list: `name(args) [,] ... {`.
-        ++j;
-        while (j + 1 < t.size()) {
-          // Each initializer: qualified name then ( ... ) or { ... }.
-          while (j + 1 < t.size() && t[j].text != "(" && t[j].text != "{" && t[j].text != ";") {
-            ++j;
-          }
-          if (t[j].text == ";") break;
-          size_t c = MatchingClose(t, j);
-          j = c + 1;
-          if (t[j].text == ",") {
-            ++j;
-            continue;
-          }
-          break;
-        }
-        if (t[j].text == "{") body = true;
-        break;
-      }
-      if (t[j].text == "(") {
-        j = MatchingClose(t, j) + 1;
-        continue;
-      }
-      ++j;
-    }
-    if (!body) {
-      i = params_close;
-      continue;
-    }
-    size_t body_close = MatchingClose(t, j);
-    BodyContext ctx;
-    ctx.file = &f;
-    ctx.decls = &decls;
-    ctx.cls = cls;
-    ctx.method = dtor ? "~" + method : method;
-    ctx.ctor_dtor = dtor || (qualified ? method == cls : (!cls.empty() && method == cls));
-    ctx.diags = diags;
-    AnalyzeBody(ctx, j, body_close);
-    i = body_close;
-  }
-}
-
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+  internal::ForEachFunctionBody(
+      f, [&](const std::string& cls, const std::string& method, bool ctor_dtor, size_t open,
+             size_t close) {
+        BodyContext ctx;
+        ctx.file = &f;
+        ctx.decls = &decls;
+        ctx.cls = cls;
+        ctx.method = method;
+        ctx.ctor_dtor = ctor_dtor;
+        ctx.diags = diags;
+        AnalyzeBody(ctx, open, close);
+      });
 }
 
 }  // namespace

@@ -38,8 +38,22 @@
 ///                   (it swallows the -Wswitch signal that would otherwise
 ///                   flag the next enumerator someone adds).
 ///
+/// Whole-program rules (v3; see DESIGN.md "Static analysis v3"):
+///   may-acquire     interprocedural lock proof: per-function may-acquire
+///                   rank summaries computed to a fixpoint over the repo
+///                   call graph (scope-parser edges fused with objdump
+///                   relocation edges), flagging calls made under a lock to
+///                   functions that may acquire an equal-or-higher rank.
+///                   Diffable against the runtime LockOrderGraph DOT.
+///   taint           untrusted-input proof: wire integers inside decoder
+///                   functions are tainted until a bounds comparison
+///                   dominates them; indexes/lengths/memcpy-family sinks
+///                   fed by unchecked taint are findings.
+///
 /// Any rule is suppressed for a line by `// hqcheck:allow(<rule>)` on the
-/// same line or the line directly above it.
+/// same line or the line directly above it — except taint, whose only
+/// escape is `// hqcheck:trusted(taint): <justification>`; the justification
+/// is mandatory and unused markers are audited (stale ones fail).
 ///
 /// The binary-level rule (hotpath-symbol) lives in symbol_proof.cc: a
 /// reachability proof over `objdump -dr` call relocations asserting that no
@@ -76,13 +90,26 @@ struct Token {
   int line = 0;      // 1-based
 };
 
+/// One `// hqcheck:trusted(<rule>): <justification>` comment marker — the
+/// source-level mirror of the hotpath allow frontier. Unlike plain allow
+/// markers, a trusted marker must carry justification text and passes audit
+/// both ways: a marker that suppresses nothing is itself a finding.
+struct TrustedMarker {
+  int line = 0;  // 1-based line the marker appears on
+  std::string rule;
+  std::string justification;
+};
+
 struct LexedFile {
   std::string path;
   std::vector<Token> tokens;                  // kEnd-terminated
   std::vector<std::set<std::string>> allows;  // per line (0-based), from comments
+  std::vector<TrustedMarker> trusted;         // in file order
   int line_count = 0;
 
   bool Allowed(int line, const std::string& rule) const;  // line is 1-based
+  /// Marker for `rule` on `line` or the line above, or nullptr.
+  const TrustedMarker* Trusted(int line, const std::string& rule) const;
 };
 
 /// Lexes C++ source: comments are consumed (harvesting hqcheck:allow
@@ -111,6 +138,34 @@ std::vector<ManifestEntry> ParseManifest(const std::string& path, const std::str
 // Analyzer
 // ---------------------------------------------------------------------------
 
+/// Options for the interprocedural may-acquire pass (rule `may-acquire`,
+/// defined in interlock.cc; see DESIGN.md "Static analysis v3").
+struct InterlockOptions {
+  /// Pre-captured `objdump -dr` output. Its relocation edges are fused into
+  /// the source call graph as extra summary-propagation edges, covering
+  /// cross-TU calls through templates/inlined headers the scope parser
+  /// cannot attribute. Optional.
+  std::string disasm;
+  /// Contents of a runtime LockOrderGraph DOT dump (obs::LockGraphToDot) to
+  /// diff against the static edge set: every runtime edge must be statically
+  /// derivable (a gap is a diagnostic — the static set is supposed to be a
+  /// superset), and statically-proven edges never traveled at runtime are
+  /// listed in the report. Optional.
+  std::string lockgraph_dot;
+  std::string lockgraph_path;  // echoed in diagnostics against the dot
+  bool verbose = false;
+};
+
+/// Options for the untrusted-input taint pass (rule `taint`, defined in
+/// taint.cc). `surfaces` is the contents of tools/hqcheck/taint_surfaces.txt
+/// naming the decoder functions to analyse (`decoder Class::Method`, `*`
+/// wildcards allowed) and extra taint-source functions (`source GetVarint`).
+struct TaintOptions {
+  std::string surfaces_path;
+  std::string surfaces;
+  bool verbose = false;
+};
+
 class Analyzer {
  public:
   /// Registers one file for the next Run(). `path` is echoed verbatim in
@@ -119,12 +174,30 @@ class Analyzer {
 
   /// Provides the lock-rank manifest (contents of lock_ranks.txt). Without
   /// it the lock-rank rule only checks construction-site consistency, not
-  /// manifest membership.
+  /// manifest membership, and the interlock runtime diff cannot map mutex
+  /// names back to ranks.
   void SetManifest(std::string path, std::string content);
 
   /// Runs every rule over every added file. Deterministic: diagnostics are
   /// sorted by (path, line, rule). Safe to call repeatedly.
   std::vector<Diagnostic> Run() const;
+
+  /// Interprocedural may-acquire lock proof over the added files: builds the
+  /// repo-wide call graph (scope parser intra-TU, objdump relocations
+  /// cross-TU), computes per-function may-acquire rank summaries to a
+  /// fixpoint, and flags any call made while holding rank R to a function
+  /// whose summary may acquire rank >= R. `report` (may be null) receives
+  /// the proven static edge set and the runtime diff.
+  std::vector<Diagnostic> RunInterlock(const InterlockOptions& options,
+                                       std::ostream* report) const;
+
+  /// Untrusted-input taint proof over the added files: inside every decoder
+  /// named by the surfaces manifest, integers read from the wire are tainted
+  /// and must be dominated by a bounds comparison before reaching an index,
+  /// size, or memcpy-family sink. Suppression is only via audited
+  /// `// hqcheck:trusted(taint): <justification>` markers, and stale markers
+  /// are themselves findings.
+  std::vector<Diagnostic> RunTaint(const TaintOptions& options, std::ostream* report) const;
 
  private:
   struct SourceFile {
@@ -176,16 +249,24 @@ std::vector<Diagnostic> RunHotpathProof(const std::string& disasm,
 // ---------------------------------------------------------------------------
 
 /// Shared by main() and the tests (so exit codes are testable in-process).
-/// Two modes:
+/// Modes:
 ///   hqcheck [--root <dir>] [--manifest <file>] <file-or-dir>...
+///   hqcheck --interlock [--root <dir>] [--manifest <file>]
+///           [--lockgraph <dot>] [--report <file>]
+///           (<file-or-dir> | --disasm <txt> | <object.o>)...
+///   hqcheck --taint --surfaces <file> [--root <dir>] [--report <file>]
+///           <file-or-dir>...
 ///   hqcheck --hotpath --roots <regex> [--allow <file>] [--report <file>]
-///           (--disasm <txt> | <object.o>...)
+///           [--stamp <file>] (--disasm <txt> | <object.o>...)
+///   hqcheck --make-stamp <out-file> <source-file>...
 /// Directories are walked recursively for .h/.hpp/.cc/.cpp files, skipping
 /// "testdata" and build directories. With --root, reported paths are
-/// relative to it. In --hotpath mode object files are disassembled with
-/// `objdump -dr`; --disasm feeds pre-captured output instead (tests).
-/// Returns 0 (clean), 1 (violations printed to `out`), 2 (usage/IO error
-/// printed to `err`).
+/// relative to it. Object files are disassembled with `objdump -dr`;
+/// --disasm feeds pre-captured output instead (tests). --make-stamp records
+/// a digest per source file; --stamp makes --hotpath verify those digests
+/// against the current sources first, so a proof over stale objects fails
+/// loudly instead of passing vacuously. Returns 0 (clean), 1 (violations
+/// printed to `out`), 2 (usage/IO error printed to `err`).
 int RunHqcheck(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
 }  // namespace hqcheck

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hqcheck.h"
+#include "internal.h"
 
 /// \file symbol_proof.cc
 /// The hotpath-symbol rule: a reachability proof over the *compiled*
@@ -144,6 +145,23 @@ CallGraph ParseDisassembly(const std::string& disasm) {
 }
 
 }  // namespace
+
+namespace internal {
+
+// The interlock pass fuses these relocation edges into its source call graph
+// (cross-TU summary propagation); same parser, shared shape.
+BinCallGraph ParseDisasmCallGraph(const std::string& disasm) {
+  CallGraph g = ParseDisassembly(disasm);
+  BinCallGraph out;
+  out.edges = std::move(g.edges);
+  out.object_of = std::move(g.object_of);
+  out.definition_order = std::move(g.definition_order);
+  return out;
+}
+
+std::string DemangleSymbol(const std::string& sym) { return Demangle(sym); }
+
+}  // namespace internal
 
 std::vector<AllowEntry> ParseAllowFile(const std::string& path, const std::string& content,
                                        std::vector<Diagnostic>* diags) {

@@ -1,0 +1,476 @@
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hqcheck.h"
+#include "internal.h"
+
+/// \file taint.cc
+/// The taint rule: an untrusted-input proof over the wire decoders. Bytes
+/// arriving from net::Transport, ObjectStore gets, and TDF reads are
+/// attacker-controlled; `ByteReader` makes the *reads* safe (every Read*
+/// checks remaining()), but the integer *values* read — lengths, counts,
+/// offsets — flow onward into indexes, allocation sizes, and memcpy bounds.
+/// This pass tracks those values lexically inside every decoder function
+/// named by the surfaces manifest (tools/hqcheck/taint_surfaces.txt):
+///
+///   sources   the integer-returning ByteReader reads (ReadByte..ReadF64)
+///             plus manifest `source` functions (varint decoders); memcpy
+///             into `&var` inside a decoder also taints var (that is what
+///             "decode" means);
+///   taint     propagates through assignments and arithmetic; a value
+///             computed from a tainted value is tainted;
+///   checks    a comparison operator dominates (lexically precedes) a use —
+///             the approximation of a bounds check; values produced by the
+///             bounds-checked consumers (ReadSlice / Skip /
+///             ReadLengthPrefixed*) are born clean;
+///   sinks     subscripts, memcpy/memmove/memset/strncpy arguments,
+///             .resize()/.reserve()/SubSlice() arguments, and
+///             `.data() + expr` pointer arithmetic.
+///
+/// A tainted, unchecked value reaching a sink is a finding. The only escape
+/// is an audited `// hqcheck:trusted(taint): <justification>` marker on the
+/// sink line (or the line above) — mirroring the hotpath allow frontier:
+/// justification text is mandatory, and a marker that suppresses nothing is
+/// itself a finding, as is a `decoder` manifest entry that matches no
+/// function. `hqcheck:allow(taint)` is rejected outright so the audited
+/// frontier stays the single escape hatch.
+
+namespace hqcheck {
+
+namespace {
+
+using internal::ControlKeywords;
+using internal::EndsWith;
+using internal::LastIdent;
+using internal::MatchingClose;
+
+/// Glob-lite matcher: `*` spans any sequence; everything else is literal.
+bool PatternMatch(const std::string& pat, const std::string& s) {
+  size_t p = 0, i = 0, star = std::string::npos, mark = 0;
+  while (i < s.size()) {
+    if (p < pat.size() && (pat[p] == s[i])) {
+      ++p;
+      ++i;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star = p++;
+      mark = i;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      i = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+struct Surfaces {
+  std::vector<std::pair<std::string, int>> decoders;  // pattern, manifest line
+  std::set<std::string> sources;                      // extra source functions
+};
+
+Surfaces ParseSurfaces(const std::string& path, const std::string& content,
+                       std::vector<Diagnostic>* diags) {
+  Surfaces out;
+  std::istringstream in(content);
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    std::string text = raw.substr(0, raw.find('#'));
+    std::istringstream fields(text);
+    std::string kind, name, extra;
+    if (!(fields >> kind)) continue;
+    if (!(fields >> name) || (fields >> extra)) {
+      diags->push_back({path, line, "taint",
+                        "surfaces line must be `decoder <Class::Method>` or `source <fn>`"});
+      continue;
+    }
+    if (kind == "decoder") {
+      out.decoders.push_back({name, line});
+    } else if (kind == "source") {
+      out.sources.insert(name);
+    } else {
+      diags->push_back({path, line, "taint",
+                        "unknown surfaces directive `" + kind + "` (decoder|source)"});
+    }
+  }
+  return out;
+}
+
+/// Integer-returning ByteReader reads: their results are wire-controlled.
+const std::set<std::string>& IntReadFns() {
+  static const std::set<std::string> fns = {"ReadByte", "ReadU16", "ReadU32", "ReadU64",
+                                            "ReadI8",   "ReadI16", "ReadI32", "ReadI64",
+                                            "ReadF64"};
+  return fns;
+}
+
+/// Bounds-checked consumers: they validate against remaining() internally,
+/// so their results are born clean and their arguments are not sinks.
+const std::set<std::string>& SafeConsumers() {
+  static const std::set<std::string> fns = {"ReadSlice", "Skip", "ReadLengthPrefixed16",
+                                            "ReadLengthPrefixed32"};
+  return fns;
+}
+
+const std::set<std::string>& MemFns() {
+  static const std::set<std::string> fns = {"memcpy", "memmove", "memset", "strncpy", "strcpy"};
+  return fns;
+}
+
+const std::set<std::string>& SizeSinkMethods() {
+  static const std::set<std::string> fns = {"resize", "reserve", "SubSlice"};
+  return fns;
+}
+
+enum TaintState { kClean = 0, kTainted = 1, kChecked = 2 };
+
+struct VarTaint {
+  TaintState state = kClean;
+  int line = 0;
+  std::string origin;  // the source function, for messages
+};
+
+struct DecoderStats {
+  std::string key;
+  std::string path;
+  int line = 0;
+  int tainted_vars = 0;
+  int sinks = 0;
+  int findings = 0;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> Analyzer::RunTaint(const TaintOptions& options,
+                                           std::ostream* report) const {
+  std::vector<Diagnostic> diags;
+  Surfaces surfaces = ParseSurfaces(options.surfaces_path, options.surfaces, &diags);
+
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files_.size());
+  for (const SourceFile& f : files_) lexed.push_back(Lex(f.path, f.content));
+
+  std::set<std::string> matched_patterns;
+  std::set<const TrustedMarker*> consumed_markers;
+  std::vector<DecoderStats> stats;
+
+  for (const LexedFile& f : lexed) {
+    internal::ForEachFunctionBody(f, [&](const std::string& cls, const std::string& method,
+                                         bool /*ctor_dtor*/, size_t open, size_t close) {
+      std::string key = cls.empty() ? method : cls + "::" + method;
+      bool is_decoder = false;
+      for (const auto& [pat, mline] : surfaces.decoders) {
+        (void)mline;
+        if (PatternMatch(pat, key) || (cls.empty() && PatternMatch(pat, "::" + method))) {
+          is_decoder = true;
+          matched_patterns.insert(pat);
+        }
+      }
+      if (!is_decoder) return;
+
+      const std::vector<Token>& t = f.tokens;
+      DecoderStats st;
+      st.key = key;
+      st.path = f.path;
+      st.line = t[open].line;
+
+      std::map<std::string, VarTaint> vars;
+      std::set<size_t> template_closers;  // `>` tokens proven to close template args
+
+      auto is_source_ident = [&](const std::string& name) {
+        return IntReadFns().count(name) != 0 || surfaces.sources.count(name) != 0;
+      };
+      // Taint verdict of an expression token range: source call > safe
+      // consumer > tainted var > checked var > clean.
+      auto expr_taint = [&](size_t begin, size_t end, std::string* origin) -> TaintState {
+        bool tainted = false, checked = false;
+        for (size_t k = begin; k < end && k < t.size(); ++k) {
+          if (t[k].kind != TokKind::kIdent) continue;
+          if (SafeConsumers().count(t[k].text) != 0) return kClean;
+          if (is_source_ident(t[k].text)) {
+            if (origin != nullptr) *origin = t[k].text;
+            return kTainted;
+          }
+          auto it = vars.find(t[k].text);
+          if (it != vars.end()) {
+            if (it->second.state == kTainted) {
+              tainted = true;
+              if (origin != nullptr && origin->empty()) *origin = it->second.origin;
+            }
+            if (it->second.state == kChecked) checked = true;
+          }
+        }
+        return tainted ? kTainted : (checked ? kChecked : kClean);
+      };
+      auto set_var = [&](const std::string& name, TaintState s, int line,
+                        const std::string& origin) {
+        if (name.empty()) return;
+        if (s == kClean) {
+          vars.erase(name);
+          return;
+        }
+        if (s == kTainted) ++st.tainted_vars;
+        vars[name] = {s, line, origin};
+      };
+      // A finding at `line` about `var` flowing into `sink`; the audited
+      // trusted frontier is the only suppression.
+      auto finding = [&](int line, const std::string& var, const std::string& origin,
+                         const std::string& sink) {
+        ++st.sinks;
+        const TrustedMarker* m = f.Trusted(line, "taint");
+        if (m != nullptr) {
+          consumed_markers.insert(m);
+          if (m->justification.empty()) {
+            diags.push_back({f.path, m->line, "taint",
+                             "hqcheck:trusted(taint) marker has no justification text; the "
+                             "frontier is audited — say why this use is bounded"});
+          }
+          return;
+        }
+        ++st.findings;
+        diags.push_back(
+            {f.path, line, "taint",
+             "`" + var + "` (wire-derived" + (origin.empty() ? "" : " via " + origin) +
+                 ") reaches " + sink + " in " + key +
+                 " without a dominating bounds check; validate it first or add "
+                 "`// hqcheck:trusted(taint): <why this is bounded>`"});
+      };
+      // Any tainted ident inside [begin, end) triggers a finding against
+      // `sink`; checked and clean idents pass.
+      auto check_args = [&](size_t begin, size_t end, const std::string& sink, int line) {
+        for (size_t k = begin; k < end && k < t.size(); ++k) {
+          if (t[k].kind != TokKind::kIdent) continue;
+          auto it = vars.find(t[k].text);
+          if (it != vars.end() && it->second.state == kTainted) {
+            finding(line, t[k].text, it->second.origin, sink);
+          }
+        }
+      };
+      // Forward scan from a `<` for matching template-arg brackets: only
+      // type-ish tokens allowed inside. Returns the closer index or npos.
+      auto template_close = [&](size_t i) -> size_t {
+        int angle = 0;
+        for (size_t k = i; k < close && k < i + 24; ++k) {
+          const std::string& x = t[k].text;
+          if (x == "<") ++angle;
+          else if (x == ">") {
+            if (--angle == 0) return k;
+          } else if (!(t[k].kind == TokKind::kIdent || t[k].kind == TokKind::kNumber ||
+                       x == "::" || x == "," || x == "*" || x == "&")) {
+            return std::string::npos;
+          }
+        }
+        return std::string::npos;
+      };
+
+      for (size_t i = open; i <= close && i < t.size(); ++i) {
+        const Token& tok = t[i];
+
+        if (tok.kind == TokKind::kIdent && tok.text == "HQ_ASSIGN_OR_RETURN" &&
+            t[i + 1].text == "(") {
+          size_t args_close = MatchingClose(t, i + 1);
+          // Split the two top-level macro arguments.
+          size_t comma = args_close;
+          int depth = 0;
+          for (size_t k = i + 2; k < args_close; ++k) {
+            const std::string& x = t[k].text;
+            if (x == "(" || x == "[" || x == "{" || x == "<") ++depth;
+            if (x == ")" || x == "]" || x == "}" || x == ">") --depth;
+            if (depth == 0 && x == ",") {
+              comma = k;
+              break;
+            }
+          }
+          std::string target = LastIdent(t, i + 2, comma);
+          std::string origin;
+          TaintState s = expr_taint(comma + 1, args_close, &origin);
+          set_var(target, s, tok.line, origin);
+          continue;  // keep scanning inside the macro for sinks below
+        }
+
+        if (tok.kind != TokKind::kPunct) {
+          // Sink: mem-family call. Also the decode idiom `memcpy(&var, src,
+          // n)`: var now holds wire bytes, so it becomes tainted.
+          if (tok.kind == TokKind::kIdent && MemFns().count(tok.text) != 0 &&
+              t[i + 1].text == "(") {
+            size_t args_close = MatchingClose(t, i + 1);
+            check_args(i + 2, args_close, "a " + tok.text + " argument", tok.line);
+            if (t[i + 2].text == "&" && t[i + 3].kind == TokKind::kIdent) {
+              set_var(t[i + 3].text, kTainted, tok.line, tok.text);
+            }
+            i = args_close;
+            continue;
+          }
+          // Sink: size-sink method call `x.resize(n)` / `slice.SubSlice(a, b)`.
+          if (tok.kind == TokKind::kIdent && SizeSinkMethods().count(tok.text) != 0 &&
+              t[i + 1].text == "(" && i > open &&
+              (t[i - 1].text == "." || t[i - 1].text == "->")) {
+            size_t args_close = MatchingClose(t, i + 1);
+            check_args(i + 2, args_close, "." + tok.text + "()", tok.line);
+            i = args_close;
+            continue;
+          }
+          // Sink: pointer arithmetic off a raw buffer: `.data() + expr`.
+          if (tok.kind == TokKind::kIdent && tok.text == "data" && t[i + 1].text == "(" &&
+              t[i + 2].text == ")" && t[i + 3].text == "+") {
+            size_t k = i + 4;
+            int depth = 0;
+            while (k < close) {
+              const std::string& x = t[k].text;
+              if (x == "(" || x == "[") ++depth;
+              if (x == ")" || x == "]") {
+                if (depth == 0) break;
+                --depth;
+              }
+              if (depth == 0 && (x == "," || x == ";")) break;
+              ++k;
+            }
+            check_args(i + 4, k, ".data() + offset arithmetic", tok.line);
+            i = k - 1;
+            continue;
+          }
+          continue;
+        }
+
+        // --- punctuation from here on ---
+
+        // Subscript sink: `expr[...]` (same expression-position test as the
+        // lambda detection elsewhere, inverted).
+        if (tok.text == "[" && i > open) {
+          const Token& prev = t[i - 1];
+          bool subscript = prev.kind == TokKind::kIdent
+                               ? ControlKeywords().count(prev.text) == 0
+                               : prev.text == ")" || prev.text == "]";
+          if (prev.kind == TokKind::kNumber || prev.kind == TokKind::kString) subscript = true;
+          if (subscript) {
+            size_t sub_close = MatchingClose(t, i);
+            check_args(i + 1, sub_close, "a subscript", tok.line);
+          }
+          continue;
+        }
+
+        // Assignment: `lhs = expr ;` / `lhs |= expr ;` — propagate taint.
+        static const std::set<std::string> kAssignOps = {"=",  "+=", "-=", "*=", "/=",
+                                                         "%=", "&=", "|=", "^=", "<<=",
+                                                         ">>="};
+        if (kAssignOps.count(tok.text) != 0 && i > open &&
+            t[i - 1].kind == TokKind::kIdent) {
+          const std::string& lhs = t[i - 1].text;
+          size_t end = i + 1;
+          int depth = 0;
+          while (end < close) {
+            const std::string& x = t[end].text;
+            if (x == "(" || x == "[" || x == "{") ++depth;
+            if (x == ")" || x == "]" || x == "}") {
+              if (depth == 0) break;
+              --depth;
+            }
+            if (depth == 0 && (x == ";" || x == ",")) break;
+            ++end;
+          }
+          std::string origin;
+          TaintState s = expr_taint(i + 1, end, &origin);
+          if (tok.text == "=") {
+            set_var(lhs, s, tok.line, origin);
+          } else if (s == kTainted) {
+            set_var(lhs, kTainted, tok.line, origin);  // compound: absorb taint
+          }
+          continue;  // the RHS is re-scanned for sinks as the walk proceeds
+        }
+
+        // Comparison: marks every tainted identifier in the surrounding
+        // condition window as checked — the lexical-dominance approximation
+        // of "a bounds check precedes the use".
+        static const std::set<std::string> kCompareOps = {"<", "<=", ">", ">=", "==", "!="};
+        if (kCompareOps.count(tok.text) != 0) {
+          if (tok.text == "<") {
+            size_t closer = template_close(i);
+            if (closer != std::string::npos) {
+              template_closers.insert(closer);
+              continue;  // template args, not a comparison
+            }
+          }
+          if (tok.text == ">" && template_closers.count(i) != 0) continue;
+          static const std::set<std::string> kBoundary = {"(", ")", ";",  ",",  "{",
+                                                          "}", "&&", "||", "?", ":"};
+          auto mark = [&](size_t k) {
+            if (t[k].kind != TokKind::kIdent) return;
+            auto it = vars.find(t[k].text);
+            if (it != vars.end() && it->second.state == kTainted) it->second.state = kChecked;
+          };
+          for (size_t k = i; k-- > open;) {
+            if (t[k].kind == TokKind::kPunct && kBoundary.count(t[k].text) != 0) break;
+            mark(k);
+          }
+          for (size_t k = i + 1; k < close; ++k) {
+            if (t[k].kind == TokKind::kPunct && kBoundary.count(t[k].text) != 0) break;
+            mark(k);
+          }
+          continue;
+        }
+      }
+
+      stats.push_back(st);
+    });
+  }
+
+  // Audit: every trusted marker must have suppressed something, and plain
+  // allow(taint) markers are not a thing — the frontier stays audited.
+  for (const LexedFile& f : lexed) {
+    for (const TrustedMarker& m : f.trusted) {
+      if (m.rule != "taint") continue;
+      if (consumed_markers.count(&m) != 0) continue;
+      diags.push_back({f.path, m.line, "taint",
+                       "unused hqcheck:trusted(taint) marker: it suppresses no finding — "
+                       "remove it (stale frontier entries hide the next real one)"});
+    }
+    for (size_t l = 0; l < f.allows.size(); ++l) {
+      if (f.allows[l].count("taint") == 0) continue;
+      diags.push_back({f.path, static_cast<int>(l) + 1, "taint",
+                       "hqcheck:allow(taint) is not honoured; the taint rule only accepts "
+                       "audited `hqcheck:trusted(taint): <justification>` markers"});
+    }
+  }
+
+  // Audit: decoder patterns that match nothing are stale manifest debt.
+  for (const auto& [pat, mline] : surfaces.decoders) {
+    if (matched_patterns.count(pat) != 0) continue;
+    diags.push_back({options.surfaces_path, mline, "taint",
+                     "decoder pattern `" + pat +
+                         "` matches no function in the analysed sources; fix the spelling "
+                         "or remove the stale entry"});
+  }
+
+  if (report != nullptr) {
+    size_t total_findings = 0;
+    for (const DecoderStats& st : stats) total_findings += static_cast<size_t>(st.findings);
+    *report << "taint: " << stats.size() << " decoder functions analysed, "
+            << surfaces.sources.size() << " extra source fns, " << total_findings
+            << " unaudited findings\n";
+    for (const DecoderStats& st : stats) {
+      *report << "  decoder " << st.key << " (" << st.path << ":" << st.line << "): "
+              << st.tainted_vars << " tainted values, " << st.sinks << " guarded sinks, "
+              << st.findings << " findings\n";
+    }
+    for (const Diagnostic& d : diags) *report << "  VIOLATION " << Format(d) << "\n";
+  }
+
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  diags.erase(std::unique(diags.begin(), diags.end()), diags.end());
+  return diags;
+}
+
+}  // namespace hqcheck
