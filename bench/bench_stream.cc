@@ -18,6 +18,8 @@
 /// only (every batch committed, every row applied): commit latency in
 /// debug/sanitizer CI builds is not meaningful.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -84,7 +86,7 @@ struct StreamRunMetrics {
 /// infrastructure errors (benchmarks want loud failures); commit failures
 /// surface in the returned flags.
 StreamRunMetrics RunStream(const StreamRunConfig& config) {
-  const std::string work_dir = "/tmp/hq_bench_stream";
+  const std::string work_dir = "/tmp/hq_bench_stream." + std::to_string(::getpid());
   std::filesystem::remove_all(work_dir);
   std::filesystem::create_directories(work_dir);
 

@@ -42,6 +42,10 @@ struct JobRunResult {
   core::AcquisitionStats stats;
   core::DmlApplyResult dml;
   legacy::JobReportBody report;
+  /// The job's data-quality outcome (enabled=false when the gate was off)
+  /// and the quarantine table the gate diverted into ("" when off).
+  core::QualityJobReport quality;
+  std::string quarantine_table;
   uint64_t bytes_input = 0;
   /// Populated when the node runs with observability enabled: the final
   /// registry snapshot and the import job's span tree.
@@ -116,6 +120,10 @@ inline common::Result<JobRunResult> RunImportJob(const JobRunConfig& config) {
   }
   if (stats.ok()) result.stats = *stats;
   if (dml.ok()) result.dml = *dml;
+  auto quality = node.JobQualityReport(job_id);
+  if (quality.ok()) result.quality = *quality;
+  auto qrtn = node.JobQuarantineTable(job_id);
+  if (qrtn.ok()) result.quarantine_table = *qrtn;
   node.Stop();  // joins session threads so the sampled gauges settle
   if (node.metrics() != nullptr) {
     result.metrics = node.MetricsSnapshot();

@@ -48,12 +48,17 @@ check_lock_graph() {
     # Static-vs-runtime diff: every edge the runtime graph observed must be
     # derivable from the interprocedural may-acquire proof (a gap means the
     # static analysis is blind to a real code path). The annotated edge set
-    # is archived next to the hotpath proofs.
+    # is archived next to the hotpath proofs. The default build's own .o
+    # objects feed the proof too, so the disassembly side sees exactly the
+    # code that ran the e2e suite (inlined acquires included), not just the
+    # sources.
     echo "=== interlock static-vs-runtime lock-order diff ==="
+    mapfile -t INTERLOCK_OBJECTS < <(find "$ROOT/build/src" -name '*.o' | sort)
     ./build/tools/hqcheck/hqcheck --interlock --root "$ROOT" \
       --manifest tools/hqcheck/lock_ranks.txt \
       --lockgraph "$HQ_LOCK_GRAPH_OUT" \
-      --report build/hqcheck_interlock_runtime.txt src
+      --report build/hqcheck_interlock_runtime.txt src \
+      ${INTERLOCK_OBJECTS[@]+"${INTERLOCK_OBJECTS[@]}"}
   else
     echo "=== lock-order graph: no dump produced ($HQ_LOCK_GRAPH_OUT missing) ==="
   fi
@@ -139,6 +144,10 @@ for stage in "${STAGES[@]}"; do
       # SWAR CSV scan: both scan paths must parse identically (the speedup is
       # gated only on full runs; debug-build timing is noise).
       ctest --preset default -R '^bench_csv_scan_smoke$' --output-on-failure
+      # Data-quality gate cost: the fused per-field check ops must stay
+      # within 2% of the gate-off kernels (plus the run's own measured A/A
+      # noise floor) on clean data, for the text AND columnar families.
+      ctest --preset default -R '^bench_quality_smoke$' --output-on-failure
       ;;
     chaos-smoke)
       # Resilience gate (DESIGN.md "Fault injection & resilient load path"):

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "hyperq/conversion_text.h"
+#include "hyperq/quality.h"
 #include "legacy/errors.h"
 #include "legacy/row_format.h"
 #include "types/date.h"
@@ -105,72 +106,102 @@ void AppendTimestampText(types::TimestampMicros micros, char delimiter, ByteBuff
 
 using FieldPlan = ConversionPlan::FieldPlan;
 
-Status KernelBoolean(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelBoolean(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                     QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(uint8_t b, body->ReadByte());
+  if (f.checks != nullptr) QcPresence(*f.checks, null, q);
   if (!null) AppendCsvText(b != 0 ? "1" : "0", f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelInt8(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelInt8(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                  QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(int8_t v, body->ReadI8());
+  if (f.checks != nullptr) QcNumeric(*f.checks, null, static_cast<double>(v), q);
   if (!null) AppendIntText<int32_t>(v, f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelInt16(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelInt16(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                   QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(int16_t v, body->ReadI16());
+  if (f.checks != nullptr) QcNumeric(*f.checks, null, static_cast<double>(v), q);
   if (!null) AppendIntText<int32_t>(v, f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelInt32(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelInt32(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                   QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(int32_t v, body->ReadI32());
+  if (f.checks != nullptr) QcNumeric(*f.checks, null, static_cast<double>(v), q);
   if (!null) AppendIntText(v, f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelInt64(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelInt64(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                   QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(int64_t v, body->ReadI64());
+  if (f.checks != nullptr) QcNumeric(*f.checks, null, static_cast<double>(v), q);
   if (!null) AppendIntText(v, f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelFloat64(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelFloat64(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                     QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(double v, body->ReadF64());
+  if (f.checks != nullptr) QcNumeric(*f.checks, null, v, q);
   if (!null) AppendFloatText(v, f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelDecimal(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelDecimal(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                     QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(int64_t unscaled, body->ReadI64());
+  // Quality range bounds are pre-scaled to unscaled units at compile.
+  if (f.checks != nullptr) QcNumeric(*f.checks, null, static_cast<double>(unscaled), q);
   if (!null) AppendDecimalText(unscaled, f.scale, f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelDate(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelDate(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                  QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(int32_t enc, body->ReadI32());
-  if (null) return Status::OK();
+  if (null) {
+    if (f.checks != nullptr) QcNullField(*f.checks, q);
+    return Status::OK();
+  }
   HQ_ASSIGN_OR_RETURN(types::DateDays days, legacy::LegacyDateDecode(enc));
+  if (f.checks != nullptr) QcNumeric(*f.checks, false, static_cast<double>(days), q);
   AppendDateText(days, f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelTimestamp(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelTimestamp(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                       QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(Slice text, body->ReadSlice(legacy::kLegacyTimestampWidth));
-  if (null) return Status::OK();
+  if (null) {
+    if (f.checks != nullptr) QcNullField(*f.checks, q);
+    return Status::OK();
+  }
   HQ_ASSIGN_OR_RETURN(types::TimestampMicros ts, types::ParseTimestampIso(text.ToStringView()));
+  if (f.checks != nullptr) QcNumeric(*f.checks, false, static_cast<double>(ts), q);
   AppendTimestampText(ts, f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelChar(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelChar(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                  QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(Slice text, body->ReadSlice(static_cast<size_t>(f.length)));
+  // CHAR is checked as wired, blank padding included (documented in quality.h).
+  if (f.checks != nullptr) QcString(*f.checks, null, reinterpret_cast<const char*>(text.data()), text.size(), q);
   if (!null) AppendCsvText(text.ToStringView(), f.csv_delimiter, out);
   return Status::OK();
 }
 
-Status KernelVarchar(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out) {
+Status KernelVarchar(const FieldPlan& f, ByteReader* body, bool null, ByteBuffer* out,
+                     QualityScratch* q) {
   HQ_ASSIGN_OR_RETURN(Slice text, body->ReadLengthPrefixed16());
+  if (f.checks != nullptr) QcString(*f.checks, null, reinterpret_cast<const char*>(text.data()), text.size(), q);
   if (!null) AppendCsvText(text.ToStringView(), f.csv_delimiter, out);
   return Status::OK();
 }
@@ -269,15 +300,14 @@ size_t ConversionPlan::EstimateStagingBytes(uint32_t row_count, size_t payload_b
   return std::max(estimate, payload_bytes + payload_bytes / 8);
 }
 
-Status ConversionPlan::BinaryRecordToCsv(ByteReader* reader, uint64_t row_number,
-                                         ByteBuffer* out) const {
-  HQ_ASSIGN_OR_RETURN(Slice record, reader->ReadLengthPrefixed16());
+Status ConversionPlan::BinaryBodyToCsv(Slice record, uint64_t row_number, ByteBuffer* out,
+                                       QualityScratch* q) const {
   ByteReader body(record);
   HQ_ASSIGN_OR_RETURN(Slice indicators, body.ReadSlice(indicator_bytes_));
   for (size_t i = 0; i < fields_.size(); ++i) {
     if (i != 0) out->AppendByte(static_cast<uint8_t>(csv_delimiter_));
     const bool null = (indicators[i / 8] & (0x80u >> (i % 8))) != 0;
-    HQ_RETURN_NOT_OK(fields_[i].kernel(fields_[i], &body, null, out));
+    HQ_RETURN_NOT_OK(fields_[i].kernel(fields_[i], &body, null, out, q));
   }
   if (!body.AtEnd()) {
     return Status::ProtocolError("trailing bytes in legacy binary record");
@@ -288,13 +318,23 @@ Status ConversionPlan::BinaryRecordToCsv(ByteReader* reader, uint64_t row_number
   return Status::OK();
 }
 
+Status ConversionPlan::BinaryRecordToCsv(ByteReader* reader, uint64_t row_number,
+                                         ByteBuffer* out, QualityScratch* q) const {
+  HQ_ASSIGN_OR_RETURN(Slice record, reader->ReadLengthPrefixed16());
+  return BinaryBodyToCsv(record, row_number, out, q);
+}
+
 Status ConversionPlan::ExecuteBinary(const ConversionInput& input, ConvertedChunk* out) const {
   ByteReader reader(Slice(input.chunk.payload));
   uint64_t row_number = input.first_row_number;
   size_t capacity = out->csv.vector().capacity();
+  const CompiledQuality* cq = quality_;
+  QualityScratch qs;
+  if (cq != nullptr) qs.Init(*cq);
   while (!reader.AtEnd()) {
     const size_t mark = out->csv.size();
-    Status s = BinaryRecordToCsv(&reader, row_number, &out->csv);
+    if (cq != nullptr) qs.BeginRow();
+    Status s = BinaryRecordToCsv(&reader, row_number, &out->csv, &qs);
     if (!s.ok()) {
       // Binary decode is positional: a bad record invalidates the rest of
       // the chunk payload. Roll back the partially-emitted record.
@@ -303,6 +343,17 @@ Status ConversionPlan::ExecuteBinary(const ConversionInput& input, ConvertedChun
                                         s.message() + " (remainder of chunk skipped)"});
       break;
     }
+    if (cq != nullptr) {
+      QcFinishRow(&qs);
+      qs.CommitRowStats();
+      if (qs.row_kind != QualityKind::kNone) {
+        // Record-atomic diversion: the emitted line moves to the quarantine
+        // stream with its reason tail; the staging output rolls back.
+        QcQuarantineCsvRow(*cq, &qs, &out->csv, mark, &out->qrtn);
+        ++row_number;
+        continue;
+      }
+    }
     ++out->rows_out;
     ++row_number;
     if (out->csv.vector().capacity() != capacity) {
@@ -310,6 +361,7 @@ Status ConversionPlan::ExecuteBinary(const ConversionInput& input, ConvertedChun
       ++out->csv_reallocs;
     }
   }
+  if (cq != nullptr) FinishChunkQuality(*cq, qs, &out->quality);
   return Status::OK();
 }
 
@@ -318,14 +370,24 @@ Status ConversionPlan::ExecuteVartext(const ConversionInput& input, ConvertedChu
   uint64_t row_number = input.first_row_number;
   const size_t expected = fields_.size();
   size_t capacity = out->csv.vector().capacity();
+  const CompiledQuality* cq = quality_;
+  // Raw pointer into the field table: vector::operator[] is an opaque call
+  // in unoptimized builds, and this lookup sits inside the per-field split
+  // loop (the bench-smoke quality-overhead gate measures that build).
+  const FieldPlan* field_plans = fields_.data();
+  QualityScratch qs;
+  if (cq != nullptr) qs.Init(*cq);
   while (!reader.AtEnd()) {
     auto line = reader.ReadLengthPrefixed16();
     if (!line.ok()) {
       // A framing error poisons the rest of the chunk (reference semantics).
+      if (cq != nullptr) FinishChunkQuality(*cq, qs, &out->quality);
       return line.status().WithContext("chunk " + std::to_string(input.chunk.chunk_seq));  // hqlint:allow(per-row-alloc)
     }
     std::string_view text = line.ValueOrDie().ToStringView();
+    const char* text_data = text.data();
     const size_t mark = out->csv.size();
+    if (cq != nullptr) qs.BeginRow();
     size_t nfields = 0;
     size_t start = 0;
     for (size_t i = 0; i <= text.size(); ++i) {
@@ -334,7 +396,18 @@ Status ConversionPlan::ExecuteVartext(const ConversionInput& input, ConvertedChu
         // Unchecked construction: start <= i <= size() always holds, and
         // substr's bounds check would put __throw_out_of_range_fmt on the
         // hot path (hqcheck hotpath-symbol).
-        std::string_view field(text.data() + start, i - start);
+        const size_t flen = i - start;
+        std::string_view field(text_data + start, flen);
+        // Vartext has no kernels: the quality check op runs fused into the
+        // split loop. Like the columnar kernels, the guard is the checks
+        // pointer itself (nullptr on every field when the gate is off), so
+        // both gate modes pay the same predicted branch. Raw pointer+length
+        // arguments: string_view accessors are opaque calls in unoptimized
+        // builds (the overhead gate's build).
+        if (nfields < expected) {
+          const QualityFieldChecks* checks = field_plans[nfields].checks;
+          if (checks != nullptr) QcString(*checks, flen == 0, text_data + start, flen, &qs);
+        }
         // Empty vartext field == NULL (legacy rule): emit nothing.
         if (!field.empty()) AppendCsvText(field, csv_delimiter_, &out->csv);
         ++nfields;
@@ -353,6 +426,15 @@ Status ConversionPlan::ExecuteVartext(const ConversionInput& input, ConvertedChu
     out->csv.AppendByte(static_cast<uint8_t>(csv_delimiter_));
     AppendIntText(row_number, csv_delimiter_, &out->csv);
     out->csv.AppendByte('\n');
+    if (cq != nullptr) {
+      QcFinishRow(&qs);
+      qs.CommitRowStats();
+      if (qs.row_kind != QualityKind::kNone) {
+        QcQuarantineCsvRow(*cq, &qs, &out->csv, mark, &out->qrtn);
+        ++row_number;
+        continue;
+      }
+    }
     ++out->rows_out;
     ++row_number;
     if (out->csv.vector().capacity() != capacity) {
@@ -360,7 +442,16 @@ Status ConversionPlan::ExecuteVartext(const ConversionInput& input, ConvertedChu
       ++out->csv_reallocs;
     }
   }
+  if (cq != nullptr) FinishChunkQuality(*cq, qs, &out->quality);
   return Status::OK();
+}
+
+void ConversionPlan::AttachQuality(const CompiledQuality* quality) {
+  quality_ = quality;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    fields_[i].checks =
+        quality != nullptr && i < quality->num_fields() ? quality->field_checks(i) : nullptr;
+  }
 }
 
 Status ConversionPlan::Execute(const ConversionInput& input, ConvertedChunk* out) const {

@@ -32,6 +32,10 @@ namespace hyperq::core {
 
 /// Per-column output sink of the HQB1 columnar encoder (conversion_columnar.h).
 struct ColumnSink;
+/// Data-quality gate types (quality.h); plans only hold pointers.
+class CompiledQuality;
+struct QualityFieldChecks;
+struct QualityScratch;
 
 class ConversionPlan {
  public:
@@ -39,23 +43,31 @@ class ConversionPlan {
 
   /// A field kernel consumes the field's wire bytes from `body` (always, even
   /// for NULL fields: binary slots are positional) and, when not null,
-  /// appends the CSV-escaped text to `out`. Errors must carry exactly the
-  /// message the reference decode path would produce.
+  /// appends the CSV-escaped text to `out`. When the field carries quality
+  /// checks (`f.checks != nullptr`) the kernel runs them fused over the
+  /// decoded value into `q`; gate-off cost is that one predicted branch.
+  /// Errors must carry exactly the message the reference decode path would
+  /// produce.
   using FieldKernel = common::Status (*)(const FieldPlan&, common::ByteReader* body, bool null,
-                                         common::ByteBuffer* out);
+                                         common::ByteBuffer* out, QualityScratch* q);
 
   /// The HQB1 counterpart of FieldKernel: consumes the same wire bytes but
   /// appends the typed staging value (little-endian, already widened to the
   /// CDW-mapped staging type) to the field's ColumnSink. NULL cells append
   /// the zero-filled fixed slot (nothing for varlen); the caller owns the
-  /// null bitmap. Implemented in conversion_columnar.cc.
+  /// null bitmap. Quality checks fuse here exactly as in FieldKernel.
+  /// Implemented in conversion_columnar.cc.
   using ColumnKernel = common::Status (*)(const FieldPlan&, common::ByteReader* body, bool null,
-                                          ColumnSink* col);
+                                          ColumnSink* col, QualityScratch* q);
 
   struct FieldPlan {
     FieldKernel kernel = nullptr;
     /// HQB1 columnar kernel (set only when compiled for binary staging).
     ColumnKernel col_kernel = nullptr;
+    /// Fused quality check ops for this field (nullptr = none; the clean
+    /// path tests exactly this pointer). Owned by DataConverter's
+    /// CompiledQuality, attached via AttachQuality.
+    const QualityFieldChecks* checks = nullptr;
     /// DECIMAL scale (digits after the point).
     int32_t scale = 0;
     /// CHAR width in bytes.
@@ -98,10 +110,21 @@ class ConversionPlan {
                                         cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv,
                                         const types::Schema* staging_schema = nullptr);
 
+  /// Arms the data-quality gate: distributes `quality`'s per-field check ops
+  /// into the FieldPlans and keeps the compiled table for cross-field rules
+  /// and quarantine reason tails. `quality` must outlive the plan (the
+  /// owning DataConverter guarantees this); nullptr detaches.
+  void AttachQuality(const CompiledQuality* quality);
+  const CompiledQuality* quality() const { return quality_; }
+
   /// Converts one chunk into `out` (csv is appended to; metadata fields and
   /// errors are filled in). Per-record data errors are collected and the
   /// partial CSV of the offending record is rolled back; only a vartext
   /// framing error fails the whole chunk (mirroring the reference path).
+  /// With a quality gate attached, rows violating a constraint are diverted
+  /// record-atomically into `out->qrtn` (always CSV: raw field text in
+  /// target order + HQ_ROWNUM + the reason tail) and `out->quality` carries
+  /// the chunk's aggregate counters.
   common::Status Execute(const ConversionInput& input, ConvertedChunk* out) const;
 
   /// Output-size estimate for reserving the CSV buffer: per-field width
@@ -146,7 +169,12 @@ class ConversionPlan {
                            const types::Schema& staging_schema);
   /// Fused decode+encode of one binary record (fields, HQ_ROWNUM, newline).
   common::Status BinaryRecordToCsv(common::ByteReader* reader, uint64_t row_number,
-                                   common::ByteBuffer* out) const;
+                                   common::ByteBuffer* out, QualityScratch* q) const;
+  /// Same, over an already-framed record body — shared by BinaryRecordToCsv
+  /// and the columnar drivers' quarantine re-render (a violating HQB1 row is
+  /// re-encoded as CSV text for the quarantine stream).
+  common::Status BinaryBodyToCsv(common::Slice record, uint64_t row_number,
+                                 common::ByteBuffer* out, QualityScratch* q) const;
 
   std::vector<FieldPlan> fields_;
   legacy::DataFormat format_ = legacy::DataFormat::kBinary;
@@ -171,6 +199,8 @@ class ConversionPlan {
   bool remapped_ = false;
   size_t dropped_sources_ = 0;
   size_t nulled_targets_ = 0;
+  /// Attached quality gate (nullptr = off). Not owned.
+  const CompiledQuality* quality_ = nullptr;
 };
 
 }  // namespace hyperq::core

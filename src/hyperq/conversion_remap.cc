@@ -3,6 +3,7 @@
 
 #include "hyperq/conversion_plan.h"
 #include "hyperq/conversion_text.h"
+#include "hyperq/quality.h"
 #include "legacy/errors.h"
 
 /// \file conversion_remap.cc
@@ -64,7 +65,11 @@ Status ConversionPlan::ExecuteRemappedBinary(const ConversionInput& input,
   // strings are escaped to `""`).
   std::vector<ByteBuffer> scratch(fields_.size());
   std::vector<uint8_t> null_flags(fields_.size(), 0);
+  const CompiledQuality* cq = quality_;
+  QualityScratch qs;
+  if (cq != nullptr) qs.Init(*cq);
   while (!reader.AtEnd()) {
+    if (cq != nullptr) qs.BeginRow();
     Status record_status = [&]() -> Status {
       HQ_ASSIGN_OR_RETURN(Slice record, reader.ReadLengthPrefixed16());
       ByteReader body(record);
@@ -73,7 +78,7 @@ Status ConversionPlan::ExecuteRemappedBinary(const ConversionInput& input,
         scratch[i].clear();
         const bool null = (indicators[i / 8] & (0x80u >> (i % 8))) != 0;
         null_flags[i] = null ? 1 : 0;
-        HQ_RETURN_NOT_OK(fields_[i].kernel(fields_[i], &body, null, &scratch[i]));
+        HQ_RETURN_NOT_OK(fields_[i].kernel(fields_[i], &body, null, &scratch[i], &qs));
       }
       if (!body.AtEnd()) {
         return Status::ProtocolError("trailing bytes in legacy binary record");
@@ -89,18 +94,38 @@ Status ConversionPlan::ExecuteRemappedBinary(const ConversionInput& input,
                                             " (remainder of chunk skipped)"});
       break;
     }
+    ByteBuffer* dest = &out->csv;
+    bool quarantined = false;
+    if (cq != nullptr) {
+      QcFinishRow(&qs);
+      qs.CommitRowStats();
+      if (qs.row_kind != QualityKind::kNone) {
+        // Nothing emitted yet (decode went to scratch): build the record
+        // directly into the quarantine stream instead of the staging CSV.
+        dest = &out->qrtn;
+        quarantined = true;
+      }
+    }
     for (size_t t = 0; t < out_source_.size(); ++t) {
-      if (t != 0) out->csv.AppendByte(static_cast<uint8_t>(csv_delimiter_));
+      if (t != 0) dest->AppendByte(static_cast<uint8_t>(csv_delimiter_));
       const int src = out_source_[t];
       if (src < 0 || null_flags[static_cast<size_t>(src)] != 0) continue;  // NULL slot
-      out->csv.AppendSlice(scratch[static_cast<size_t>(src)].AsSlice());
+      dest->AppendSlice(scratch[static_cast<size_t>(src)].AsSlice());
     }
-    out->csv.AppendByte(static_cast<uint8_t>(csv_delimiter_));
-    AppendIntText(row_number, csv_delimiter_, &out->csv);
-    out->csv.AppendByte('\n');
+    dest->AppendByte(static_cast<uint8_t>(csv_delimiter_));
+    AppendIntText(row_number, csv_delimiter_, dest);
+    if (quarantined) {
+      dest->AppendString(cq->constraint(qs.row_id).csv_suffix);
+      dest->AppendByte('\n');
+      ++qs.rows_quarantined;
+      ++row_number;
+      continue;
+    }
+    dest->AppendByte('\n');
     ++out->rows_out;
     ++row_number;
   }
+  if (cq != nullptr) FinishChunkQuality(*cq, qs, &out->quality);
   return Status::OK();
 }
 
@@ -110,10 +135,14 @@ Status ConversionPlan::ExecuteRemappedVartext(const ConversionInput& input,
   uint64_t row_number = input.first_row_number;
   const size_t expected = fields_.size();
   std::vector<std::string_view> record_fields(expected);
+  const CompiledQuality* cq = quality_;
+  QualityScratch qs;
+  if (cq != nullptr) qs.Init(*cq);
   while (!reader.AtEnd()) {
     auto line = reader.ReadLengthPrefixed16();
     if (!line.ok()) {
       // A framing error poisons the rest of the chunk (reference semantics).
+      if (cq != nullptr) FinishChunkQuality(*cq, qs, &out->quality);
       return line.status().WithContext("chunk " + std::to_string(input.chunk.chunk_seq));
     }
     std::string_view text = line.ValueOrDie().ToStringView();
@@ -138,20 +167,47 @@ Status ConversionPlan::ExecuteRemappedVartext(const ConversionInput& input,
       ++row_number;
       continue;
     }
+    ByteBuffer* dest = &out->csv;
+    bool quarantined = false;
+    if (cq != nullptr) {
+      // Checks run over SOURCE fields (the wire record), as everywhere.
+      qs.BeginRow();
+      for (size_t i = 0; i < expected; ++i) {
+        const QualityFieldChecks* checks = fields_[i].checks;
+        if (checks != nullptr) {
+          const std::string_view rf = record_fields[i];
+          QcString(*checks, rf.empty(), rf.data(), rf.size(), &qs);
+        }
+      }
+      QcFinishRow(&qs);
+      qs.CommitRowStats();
+      if (qs.row_kind != QualityKind::kNone) {
+        dest = &out->qrtn;
+        quarantined = true;
+      }
+    }
     for (size_t t = 0; t < out_source_.size(); ++t) {
-      if (t != 0) out->csv.AppendByte(static_cast<uint8_t>(csv_delimiter_));
+      if (t != 0) dest->AppendByte(static_cast<uint8_t>(csv_delimiter_));
       const int src = out_source_[t];
       if (src < 0) continue;  // target field absent from the source: NULL
       std::string_view field = record_fields[static_cast<size_t>(src)];
       // Empty vartext field == NULL (legacy rule): emit nothing.
-      if (!field.empty()) AppendCsvText(field, csv_delimiter_, &out->csv);
+      if (!field.empty()) AppendCsvText(field, csv_delimiter_, dest);
     }
-    out->csv.AppendByte(static_cast<uint8_t>(csv_delimiter_));
-    AppendIntText(row_number, csv_delimiter_, &out->csv);
-    out->csv.AppendByte('\n');
+    dest->AppendByte(static_cast<uint8_t>(csv_delimiter_));
+    AppendIntText(row_number, csv_delimiter_, dest);
+    if (quarantined) {
+      dest->AppendString(cq->constraint(qs.row_id).csv_suffix);
+      dest->AppendByte('\n');
+      ++qs.rows_quarantined;
+      ++row_number;
+      continue;
+    }
+    dest->AppendByte('\n');
     ++out->rows_out;
     ++row_number;
   }
+  if (cq != nullptr) FinishChunkQuality(*cq, qs, &out->quality);
   return Status::OK();
 }
 

@@ -28,7 +28,8 @@ Result<Schema> MakeStagingSchema(const Schema& layout) {
 
 Result<DataConverter> DataConverter::Create(Schema layout, legacy::DataFormat format,
                                             char delimiter, cdw::CsvOptions csv_options,
-                                            cdw::StagingFormat staging_format) {
+                                            cdw::StagingFormat staging_format,
+                                            const TableQualitySpec* quality) {
   if (layout.num_fields() == 0) return Status::Invalid("empty load layout");
   if (format == legacy::DataFormat::kVartext) {
     for (const auto& f : layout.fields()) {
@@ -39,20 +40,28 @@ Result<DataConverter> DataConverter::Create(Schema layout, legacy::DataFormat fo
       }
     }
   }
+  std::unique_ptr<CompiledQuality> compiled;
+  if (quality != nullptr) {
+    HQ_ASSIGN_OR_RETURN(CompiledQuality cq,
+                        CompiledQuality::Compile(*quality, layout, /*allow_missing_columns=*/false,
+                                                 csv_options.delimiter));
+    compiled = std::make_unique<CompiledQuality>(std::move(cq));
+  }
   if (staging_format == cdw::StagingFormat::kBinary) {
     HQ_ASSIGN_OR_RETURN(Schema staging, MakeStagingSchema(layout));
     return DataConverter(std::move(layout), format, delimiter, csv_options, staging_format,
-                         &staging);
+                         &staging, std::move(compiled));
   }
   return DataConverter(std::move(layout), format, delimiter, csv_options, staging_format,
-                       nullptr);
+                       nullptr, std::move(compiled));
 }
 
 Result<DataConverter> DataConverter::CreateRemapped(Schema source_layout,
                                                     const Schema& target_layout,
                                                     legacy::DataFormat format, char delimiter,
                                                     cdw::CsvOptions csv_options,
-                                                    cdw::StagingFormat staging_format) {
+                                                    cdw::StagingFormat staging_format,
+                                                    const TableQualitySpec* quality) {
   if (source_layout.num_fields() == 0) return Status::Invalid("empty load layout");
   if (target_layout.num_fields() == 0) return Status::Invalid("empty target layout");
   if (format == legacy::DataFormat::kVartext) {
@@ -63,6 +72,18 @@ Result<DataConverter> DataConverter::CreateRemapped(Schema source_layout,
                                f.name + " is " + f.type.ToString());
       }
     }
+  }
+  // Quality checks run on the decoded wire record, so the spec compiles
+  // against the SOURCE layout. Constraints naming columns the drifted wire
+  // no longer carries go dormant for the window instead of failing the
+  // session (allow_missing_columns).
+  std::unique_ptr<CompiledQuality> compiled;
+  if (quality != nullptr) {
+    HQ_ASSIGN_OR_RETURN(CompiledQuality cq,
+                        CompiledQuality::Compile(*quality, source_layout,
+                                                 /*allow_missing_columns=*/true,
+                                                 csv_options.delimiter));
+    compiled = std::make_unique<CompiledQuality>(std::move(cq));
   }
   if (staging_format == cdw::StagingFormat::kBinary) {
     // Binary staging requires type-stable drift: a name-matched field whose
@@ -83,33 +104,41 @@ Result<DataConverter> DataConverter::CreateRemapped(Schema source_layout,
     }
     HQ_ASSIGN_OR_RETURN(Schema staging, MakeStagingSchema(target_layout));
     return DataConverter(std::move(source_layout), target_layout, format, delimiter,
-                         csv_options, staging_format, &staging);
+                         csv_options, staging_format, &staging, std::move(compiled));
   }
   return DataConverter(std::move(source_layout), target_layout, format, delimiter, csv_options,
-                       staging_format, nullptr);
+                       staging_format, nullptr, std::move(compiled));
 }
 
 DataConverter::DataConverter(Schema layout, legacy::DataFormat format, char delimiter,
                              cdw::CsvOptions csv_options, cdw::StagingFormat staging_format,
-                             const Schema* staging_schema)
+                             const Schema* staging_schema,
+                             std::unique_ptr<CompiledQuality> quality)
     : layout_(std::move(layout)),
       format_(format),
       delimiter_(delimiter),
       csv_options_(csv_options),
       plan_(std::make_unique<ConversionPlan>(ConversionPlan::Compile(
-          layout_, format_, delimiter_, csv_options_, staging_format, staging_schema))) {}
+          layout_, format_, delimiter_, csv_options_, staging_format, staging_schema))),
+      quality_(std::move(quality)) {
+  plan_->AttachQuality(quality_.get());
+}
 
 DataConverter::DataConverter(Schema source_layout, const Schema& target_layout,
                              legacy::DataFormat format, char delimiter,
                              cdw::CsvOptions csv_options, cdw::StagingFormat staging_format,
-                             const Schema* staging_schema)
+                             const Schema* staging_schema,
+                             std::unique_ptr<CompiledQuality> quality)
     : layout_(std::move(source_layout)),
       format_(format),
       delimiter_(delimiter),
       csv_options_(csv_options),
       plan_(std::make_unique<ConversionPlan>(ConversionPlan::CompileRemapped(
           layout_, target_layout, format_, delimiter_, csv_options_, staging_format,
-          staging_schema))) {}
+          staging_schema))),
+      quality_(std::move(quality)) {
+  plan_->AttachQuality(quality_.get());
+}
 
 DataConverter::DataConverter(DataConverter&&) noexcept = default;
 DataConverter& DataConverter::operator=(DataConverter&&) noexcept = default;
@@ -140,6 +169,14 @@ Result<ConvertedChunk> DataConverter::ConvertReference(const ConversionInput& in
   cdw::CsvRecord record;
   record.reserve(layout_.num_fields() + 1);
 
+  // Interpretive twin of the fused quality gate: checks run over the
+  // materialized Values (binary) or decoded field text (vartext), so the
+  // differential test can demand identical quarantine rows and counters from
+  // two independent implementations.
+  const CompiledQuality* cq = quality_.get();
+  QualityScratch qs;
+  if (cq != nullptr) qs.Init(*cq);
+
   if (format_ == legacy::DataFormat::kVartext) {
     ByteReader reader(Slice(input.chunk.payload));
     while (!reader.AtEnd()) {
@@ -153,10 +190,20 @@ Result<ConvertedChunk> DataConverter::ConvertReference(const ConversionInput& in
           ++row_number;
           continue;
         }
+        if (cq != nullptr) FinishChunkQuality(*cq, qs, &out.quality);
         return decoded.status().WithContext("chunk " + std::to_string(input.chunk.chunk_seq));
       }
       record.clear();
+      if (cq != nullptr) qs.BeginRow();
+      size_t field_index = 0;
       for (const auto& field : *decoded) {
+        if (cq != nullptr) {
+          const QualityFieldChecks* checks = cq->field_checks(field_index);
+          if (checks != nullptr) {
+            QcString(*checks, field.null, field.text.data(), field.text.size(), &qs);
+          }
+        }
+        ++field_index;
         if (field.null) {
           record.push_back(std::nullopt);
         } else {
@@ -164,7 +211,17 @@ Result<ConvertedChunk> DataConverter::ConvertReference(const ConversionInput& in
         }
       }
       record.push_back(std::to_string(row_number));
+      const size_t mark = out.csv.size();
       cdw::EncodeCsvRecord(record, csv_options_, &out.csv);
+      if (cq != nullptr) {
+        QcFinishRow(&qs);
+        qs.CommitRowStats();
+        if (qs.row_kind != QualityKind::kNone) {
+          QcQuarantineCsvRow(*cq, &qs, &out.csv, mark, &out.qrtn);
+          ++row_number;
+          continue;
+        }
+      }
       ++out.rows_out;
       ++row_number;
     }
@@ -183,7 +240,11 @@ Result<ConvertedChunk> DataConverter::ConvertReference(const ConversionInput& in
       }
       const Row& row = *decoded;
       record.clear();
+      if (cq != nullptr) qs.BeginRow();
+      size_t field_index = 0;
       for (const auto& v : row) {
+        if (cq != nullptr) cq->ValidateValue(field_index, v, &qs);
+        ++field_index;
         if (v.is_null()) {
           record.push_back(std::nullopt);
         } else {
@@ -191,11 +252,22 @@ Result<ConvertedChunk> DataConverter::ConvertReference(const ConversionInput& in
         }
       }
       record.push_back(std::to_string(row_number));
+      const size_t mark = out.csv.size();
       cdw::EncodeCsvRecord(record, csv_options_, &out.csv);
+      if (cq != nullptr) {
+        QcFinishRow(&qs);
+        qs.CommitRowStats();
+        if (qs.row_kind != QualityKind::kNone) {
+          QcQuarantineCsvRow(*cq, &qs, &out.csv, mark, &out.qrtn);
+          ++row_number;
+          continue;
+        }
+      }
       ++out.rows_out;
       ++row_number;
     }
   }
+  if (cq != nullptr) FinishChunkQuality(*cq, qs, &out.quality);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "cdw/staging_format.h"
 #include "common/bytes.h"
 #include "common/result.h"
+#include "hyperq/quality.h"
 #include "legacy/parcel.h"
 #include "legacy/row_format.h"
 #include "types/schema.h"
@@ -64,6 +65,14 @@ struct ConvertedChunk {
   /// (exported as an obs counter; should stay 0 when the plan's size
   /// estimate is right).
   uint64_t csv_reallocs = 0;
+  /// Quality-gate quarantine stream: one CSV line per violating row (raw
+  /// field text in target order, HQ_ROWNUM, then the reason tail
+  /// constraint-id,kind,column,bound). Always CSV, even for HQB1 staging —
+  /// quarantine rows are all-varchar diagnostics, not typed reload data.
+  /// Empty when the gate is off or the chunk is clean.
+  common::ByteBuffer qrtn;
+  /// Per-chunk quality counters (zeroed when the gate is off).
+  ChunkQuality quality;
 };
 
 /// Compiled fast path for Convert (see conversion_plan.h).
@@ -75,10 +84,15 @@ class DataConverter {
   /// layout, the legacy restriction). `staging_format` selects the staging
   /// bytes Convert emits: CSV text (the compatibility default) or HQB1
   /// typed columnar blocks (the direct-pipe path, staging_binary.h).
+  /// `quality` (optional) arms the data-quality gate: the table's constraint
+  /// spec is compiled against `layout` here — off the hot path — and fused
+  /// into the conversion kernels. Unknown columns are an error (the spec is
+  /// part of the job contract).
   static common::Result<DataConverter> Create(
       types::Schema layout, legacy::DataFormat format, char delimiter,
       cdw::CsvOptions csv_options = {},
-      cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv);
+      cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv,
+      const TableQualitySpec* quality = nullptr);
 
   /// Drift-tolerant converter: chunks are decoded in `source_layout` but the
   /// CSV columns are emitted in `target_layout` order, matched by name
@@ -93,10 +107,14 @@ class DataConverter {
   /// cannot change a file's cell encoding mid-stream. Type-changing drift
   /// returns Invalid — callers fall back to CSV staging for that session
   /// (the documented negotiation rule).
+  /// `quality` compiles against the SOURCE layout (checks run on decoded
+  /// wire fields); constraints whose columns left the wire layout go dormant
+  /// for the drift window instead of erroring.
   static common::Result<DataConverter> CreateRemapped(
       types::Schema source_layout, const types::Schema& target_layout,
       legacy::DataFormat format, char delimiter, cdw::CsvOptions csv_options = {},
-      cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv);
+      cdw::StagingFormat staging_format = cdw::StagingFormat::kCsv,
+      const TableQualitySpec* quality = nullptr);
 
   DataConverter(DataConverter&&) noexcept;
   DataConverter& operator=(DataConverter&&) noexcept;
@@ -119,20 +137,26 @@ class DataConverter {
 
   const types::Schema& layout() const { return layout_; }
   const ConversionPlan& plan() const { return *plan_; }
+  /// The compiled quality gate, nullptr when off.
+  const CompiledQuality* quality() const { return quality_.get(); }
 
  private:
   DataConverter(types::Schema layout, legacy::DataFormat format, char delimiter,
                 cdw::CsvOptions csv_options, cdw::StagingFormat staging_format,
-                const types::Schema* staging_schema);
+                const types::Schema* staging_schema,
+                std::unique_ptr<CompiledQuality> quality);
   DataConverter(types::Schema source_layout, const types::Schema& target_layout,
                 legacy::DataFormat format, char delimiter, cdw::CsvOptions csv_options,
-                cdw::StagingFormat staging_format, const types::Schema* staging_schema);
+                cdw::StagingFormat staging_format, const types::Schema* staging_schema,
+                std::unique_ptr<CompiledQuality> quality);
 
   types::Schema layout_;
   legacy::DataFormat format_;
   char delimiter_;
   cdw::CsvOptions csv_options_;
   std::unique_ptr<ConversionPlan> plan_;
+  /// Owns the compiled constraint table the plan's FieldPlans point into.
+  std::unique_ptr<CompiledQuality> quality_;
 };
 
 }  // namespace hyperq::core

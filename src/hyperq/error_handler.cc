@@ -34,6 +34,28 @@ Schema MakeUvErrorSchema(const Schema& layout) {
   return schema;
 }
 
+common::Result<Schema> MakeQuarantineSchema(const Schema& layout) {
+  static constexpr const char* kReserved[] = {"QRTN_ROWNUM", "QRTN_CONSTRAINT", "QRTN_KIND",
+                                              "QRTN_COLUMN", "QRTN_BOUND"};
+  for (const char* name : kReserved) {
+    if (layout.FieldIndex(name) >= 0) {
+      return common::Status::Invalid(std::string("layout already contains reserved column ") +
+                                     name);
+    }
+  }
+  Schema schema;
+  for (const auto& f : layout.fields()) {
+    int32_t width = f.type.length > 0 ? f.type.length : 64;
+    schema.AddField(types::Field(f.name, TypeDesc::Varchar(width)));
+  }
+  schema.AddField(types::Field("QRTN_ROWNUM", TypeDesc::Int64(), /*nullable=*/false));
+  schema.AddField(types::Field("QRTN_CONSTRAINT", TypeDesc::Int32(), /*nullable=*/false));
+  schema.AddField(types::Field("QRTN_KIND", TypeDesc::Varchar(16), /*nullable=*/false));
+  schema.AddField(types::Field("QRTN_COLUMN", TypeDesc::Varchar(128)));
+  schema.AddField(types::Field("QRTN_BOUND", TypeDesc::Varchar(256)));
+  return schema;
+}
+
 std::string SqlQuote(const std::string& s) {
   std::string out = "'";
   for (char c : s) {

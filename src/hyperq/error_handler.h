@@ -52,6 +52,17 @@ struct DmlApplyResult {
 types::Schema MakeEtErrorSchema();
 types::Schema MakeUvErrorSchema(const types::Schema& layout);
 
+/// Quarantine table for the data-quality gate (HQ_QRTN_<job>): the load
+/// layout's columns as raw text — quarantined rows are diagnostics, not typed
+/// reload data — plus the reason columns the conversion kernels emit:
+///   QRTN_ROWNUM BIGINT        source row number (the HQ_ROWNUM value)
+///   QRTN_CONSTRAINT INTEGER   constraint id within the table's spec block
+///   QRTN_KIND VARCHAR(16)     reason-code family (notnull, range, ...)
+///   QRTN_COLUMN VARCHAR(128)  column the constraint names
+///   QRTN_BOUND VARCHAR(256)   violated bound, human-readable
+/// Fails when the layout already uses a QRTN_* reserved name.
+common::Result<types::Schema> MakeQuarantineSchema(const types::Schema& layout);
+
 class AdaptiveDmlApplier {
  public:
   /// `legacy_dml` is the un-bound legacy DML (with :placeholders).

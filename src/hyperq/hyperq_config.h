@@ -5,6 +5,7 @@
 
 #include "cdw/staging_format.h"
 #include "common/retry.h"
+#include "hyperq/quality.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -82,6 +83,13 @@ struct HyperQOptions {
   /// env variable, which takes precedence when set). Empty = leave the
   /// injector alone.
   std::string fault_spec;
+
+  /// Declarative data-quality gate (src/hyperq/quality.h): per-table
+  /// constraint spec compiled into the conversion kernels, quarantine
+  /// diversion into HQ_QRTN_<job>, and the degradation policy deciding
+  /// quarantine-and-continue vs abort-over-threshold. `quality.spec = ""`
+  /// keeps the gate off (zero hot-path cost beyond one predicted branch).
+  QualityOptions quality;
 
   /// Retry policy for every transient-failure hop of the load path: staging
   /// uploads, COPY, DML/ET statements, export queries. Chunk staging shares

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "cloudstore/bulk_loader.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "legacy/errors.h"
 #include "sql/parser.h"
@@ -42,10 +43,33 @@ Result<std::shared_ptr<ImportJob>> ImportJob::Create(const std::string& job_id,
   // The target table must already exist in the CDW.
   HQ_RETURN_NOT_OK(ctx.cdw->catalog()->GetTable(begin.target_table).status());
 
+  // Config specs are part of the job contract: an unparseable fault_spec or
+  // quality spec fails BeginLoad loudly (ProtocolError) instead of silently
+  // degrading to "no injection" / "no gate".
+  if (!ctx.options.fault_spec.empty()) {
+    uint64_t seed = 0;
+    std::vector<std::pair<int, common::FaultRule>> rules;
+    Status parsed = common::ParseFaultSpec(ctx.options.fault_spec, &seed, &rules);
+    if (!parsed.ok()) {
+      return Status::ProtocolError("invalid fault_spec: " + parsed.message());
+    }
+  }
+  const TableQualitySpec* table_quality = nullptr;
+  QualitySpec parsed_quality;
+  if (!ctx.options.quality.spec.empty()) {
+    auto parsed = ParseQualitySpec(ctx.options.quality.spec);
+    if (!parsed.ok()) {
+      return Status::ProtocolError("invalid quality spec: " + parsed.status().message());
+    }
+    parsed_quality = std::move(parsed).ValueOrDie();
+    table_quality = FindTableQuality(parsed_quality, begin.target_table);
+  }
+
   HQ_ASSIGN_OR_RETURN(types::Schema staging_schema, MakeStagingSchema(begin.layout));
   HQ_ASSIGN_OR_RETURN(DataConverter converter,
                       DataConverter::Create(begin.layout, begin.format, begin.delimiter,
-                                            cdw::CsvOptions{}, ctx.options.staging_format));
+                                            cdw::CsvOptions{}, ctx.options.staging_format,
+                                            table_quality));
 
   // Per-job error-handling overrides from the client script (.set commands).
   if (begin.max_errors != 0) ctx.options.max_errors = begin.max_errors;
@@ -62,6 +86,14 @@ Result<std::shared_ptr<ImportJob>> ImportJob::Create(const std::string& job_id,
       RecreateTable(job->ctx_.cdw, job->begin_.error_table_et, MakeEtErrorSchema()));
   HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->begin_.error_table_uv,
                                  MakeUvErrorSchema(begin.layout)));
+  if (!job->qrtn_table_.empty()) {
+    // Quarantine table for the quality gate: recreated per run like the
+    // error tables, and deliberately NOT dropped at ApplyDml — it is the
+    // operator's record of what the gate rejected and why.
+    HQ_ASSIGN_OR_RETURN(types::Schema qrtn_schema, MakeQuarantineSchema(begin.layout));
+    HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->qrtn_table_, qrtn_schema));
+    job->ctx_.cdw->ForgetCopies(job->qrtn_table_);
+  }
   job->StartWriters();
   return job;
 }
@@ -75,6 +107,13 @@ ImportJob::ImportJob(std::string job_id, legacy::BeginLoadBody begin, JobContext
       staging_schema_(std::move(staging_schema)) {
   staging_table_ = "HQ_STG_" + SanitizeId(job_id_);
   remote_prefix_ = "staging/" + SanitizeId(job_id_) + "/";
+  const CompiledQuality* quality = converter_.quality();
+  if (quality != nullptr) {
+    qrtn_table_ = "HQ_QRTN_" + SanitizeId(job_id_);
+    qrtn_remote_prefix_ = "quarantine/" + SanitizeId(job_id_) + "/";
+    quality_violations_by_id_.assign(quality->num_constraints(), 0);
+    quality_field_nulls_.assign(quality->num_fields(), 0);
+  }
   if (begin_.error_table_et.empty()) begin_.error_table_et = begin_.target_table + "_ET";
   if (begin_.error_table_uv.empty()) begin_.error_table_uv = begin_.target_table + "_UV";
   if (ctx_.tracer != nullptr) trace_ = ctx_.tracer->StartTrace(job_id_, obs::Phase::kImport);
@@ -100,6 +139,18 @@ ImportJob::ImportJob(std::string job_id, legacy::BeginLoadBody begin, JobContext
     m_.converter_queue = r->GetGauge("hyperq_converter_queue_depth");
     m_.jobs_active = r->GetGauge("hyperq_import_jobs_active");
     m_.staging_bytes_per_row = r->GetGauge("hyperq_staging_bytes_per_row");
+    if (quality != nullptr) {
+      m_.rows_quarantined = r->GetCounter("hyperq_quality_rows_quarantined_total");
+      m_.violation_rate_bp = r->GetGauge("hyperq_quality_violation_rate_bp");
+      m_.quality_violations.reserve(quality->num_constraints());
+      for (size_t id = 0; id < quality->num_constraints(); ++id) {
+        const QualityConstraintInfo& info = quality->constraint(id);
+        m_.quality_violations.push_back(
+            r->GetCounter("hyperq_quality_violations_total{constraint=\"" +
+                          std::to_string(id) + ":" +
+                          std::string(QualityKindName(info.kind)) + ":" + info.column + "\"}"));
+      }
+    }
     m_.jobs_started->Increment();
     m_.jobs_active->Add(1);
   }
@@ -133,6 +184,16 @@ void ImportJob::StartWriters() {
   for (size_t i = 0; i < n; ++i) {
     file_writers_.push_back(
         std::make_unique<FileWriter>(fw_options, "part_w" + std::to_string(i)));
+  }
+  if (converter_.quality() != nullptr) {
+    // Quarantine stream rides the same writer threads and disk/retry path
+    // but always as CSV (diagnostics, not typed reload data).
+    FileWriterOptions q_options = fw_options;
+    q_options.file_extension = cdw::StagingFileExtension(cdw::StagingFormat::kCsv);
+    for (size_t i = 0; i < n; ++i) {
+      qrtn_writers_.push_back(
+          std::make_unique<FileWriter>(q_options, "qrtn_w" + std::to_string(i)));
+    }
   }
   for (size_t i = 0; i < n; ++i) {
     writer_threads_.emplace_back([this, i] { WriterLoop(i); });
@@ -322,10 +383,61 @@ void ImportJob::WriterLoop(size_t writer_index) {
         m_.csv_reallocs->Increment(item->converted.csv_reallocs);
       }
     }
+
+    // Quality gate: persist the chunk's quarantine stream through the same
+    // disk/retry path, then merge the chunk's quality counters.
+    const ChunkQuality& cq = item->converted.quality;
+    uint64_t qrtn_rows_written = 0;
+    if (!qrtn_writers_.empty() && cq.rows_quarantined != 0) {
+      std::vector<FinalizedFile> qrtn_finalized;
+      common::RetryPolicy qrtn_retry = MakeIoRetry("staging_disk");
+      Status qs = qrtn_retry.Run("bulkload.file", [&](const common::RetryAttempt&) {
+        return qrtn_writers_[writer_index]->Append(item->converted.qrtn.AsSlice(),
+                                                   &qrtn_finalized);
+      });
+      if (qs.ok()) {
+        qrtn_rows_written = cq.rows_quarantined;
+      } else if (common::IsRetryableStatus(qs)) {
+        // Same degradation as an abandoned staging chunk: the diverted rows
+        // are lost but audited in the ET table; the load itself continues.
+        RecordError abandoned;
+        abandoned.row_number = item->converted.first_row_number;
+        abandoned.code = legacy::kErrChunkAbandoned;
+        abandoned.message = "quarantine rows abandoned after staging retries: " + qs.message();
+        if (m_.chunks_abandoned != nullptr) m_.chunks_abandoned->Increment();
+        common::MutexLock lock(&mu_);
+        data_errors_.push_back(std::move(abandoned));
+      } else {
+        NoteFatal(qs);
+      }
+      if (!qrtn_finalized.empty()) {
+        common::MutexLock lock(&finalize_mu_);
+        for (auto& f : qrtn_finalized) qrtn_finalized_files_.push_back(std::move(f));
+      }
+    }
+    if (m_.rows_quarantined != nullptr && cq.rows_quarantined != 0) {
+      m_.rows_quarantined->Increment(cq.rows_quarantined);
+    }
+    if (!m_.quality_violations.empty()) {
+      for (size_t id = 0; id < cq.violations_by_id.size(); ++id) {
+        if (cq.violations_by_id[id] != 0) {
+          m_.quality_violations[id]->Increment(cq.violations_by_id[id]);
+        }
+      }
+    }
     {
       common::MutexLock lock(&mu_);
       rows_staged_ += item->converted.rows_out;
       bytes_staged_ += staged_bytes;
+      quality_rows_checked_ += cq.rows_checked;
+      rows_quarantined_ += cq.rows_quarantined;
+      qrtn_rows_staged_ += qrtn_rows_written;
+      for (size_t id = 0; id < cq.violations_by_id.size(); ++id) {
+        quality_violations_by_id_[id] += cq.violations_by_id[id];
+      }
+      for (size_t f = 0; f < cq.field_nulls.size(); ++f) {
+        quality_field_nulls_[f] += cq.field_nulls[f];
+      }
       for (auto& e : item->converted.errors) data_errors_.push_back(std::move(e));
     }
     if (!finalized.empty()) {
@@ -339,6 +451,15 @@ void ImportJob::WriterLoop(size_t writer_index) {
   if (!finalized.empty()) {
     common::MutexLock lock(&finalize_mu_);
     for (auto& f : finalized) finalized_files_.push_back(std::move(f));
+  }
+  if (!qrtn_writers_.empty()) {
+    std::vector<FinalizedFile> qrtn_finalized;
+    Status qs = qrtn_writers_[writer_index]->Finish(&qrtn_finalized);
+    if (!qs.ok()) NoteFatal(qs);
+    if (!qrtn_finalized.empty()) {
+      common::MutexLock lock(&finalize_mu_);
+      for (auto& f : qrtn_finalized) qrtn_finalized_files_.push_back(std::move(f));
+    }
   }
 }
 
@@ -367,23 +488,30 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
     }
   }
 
-  // Bulk-upload all finalized staging files in one batched request.
+  // Bulk-upload all finalized staging files (plus the quarantine files, under
+  // their own remote prefix) in one batched request.
   std::vector<std::vector<uint8_t>> payloads;
   std::vector<std::pair<std::string, Slice>> batch;
   uint64_t bytes_uploaded = 0;
   {
     common::MutexLock lock(&finalize_mu_);
-    payloads.reserve(finalized_files_.size());
-    for (const auto& f : finalized_files_) {
+    payloads.reserve(finalized_files_.size() + qrtn_finalized_files_.size());
+    auto stage_for_upload = [&](const FinalizedFile& f,
+                                const std::string& prefix) -> Status {
       HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, cloud::ReadFileBytes(f.path));
       bytes_uploaded += bytes.size();
       payloads.push_back(std::move(bytes));
-    }
-    for (size_t i = 0; i < finalized_files_.size(); ++i) {
-      std::string name = finalized_files_[i].path;
+      std::string name = f.path;
       size_t slash = name.find_last_of('/');
       if (slash != std::string::npos) name = name.substr(slash + 1);
-      batch.emplace_back(remote_prefix_ + name, Slice(payloads[i]));
+      batch.emplace_back(prefix + name, Slice(payloads.back()));
+      return Status::OK();
+    };
+    for (const auto& f : finalized_files_) {
+      HQ_RETURN_NOT_OK(stage_for_upload(f, remote_prefix_));
+    }
+    for (const auto& f : qrtn_finalized_files_) {
+      HQ_RETURN_NOT_OK(stage_for_upload(f, qrtn_remote_prefix_));
     }
   }
   if (!batch.empty()) {
@@ -412,6 +540,7 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   {
     common::MutexLock lock(&finalize_mu_);
     for (const auto& f : finalized_files_) std::remove(f.path.c_str());
+    for (const auto& f : qrtn_finalized_files_) std::remove(f.path.c_str());
   }
 
   // In-the-cloud COPY into the staging table. Safe to retry: the CDW keeps a
@@ -435,6 +564,21 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   }
   if (m_.rows_copied != nullptr) m_.rows_copied->Increment(copied);
 
+  // Quarantine COPY runs BEFORE the degradation policy is evaluated, so an
+  // aborted-over-threshold job still leaves its full diagnostics queryable.
+  uint64_t qrtn_copied = 0;
+  if (!qrtn_table_.empty()) {
+    obs::ScopedSpan copy_span(trace_.get(), obs::Phase::kCdwCopy, "copy_quarantine");
+    cdw::CopyOptions copy_options;
+    copy_options.format = cdw::CopyFormat::kCsv;
+    common::RetryPolicy retry = MakeIoRetry("cdw");
+    HQ_ASSIGN_OR_RETURN(qrtn_copied, retry.RunResult<uint64_t>("cdw.copy", [&](
+                                         const common::RetryAttempt&) {
+                          return ctx_.cdw->CopyInto(qrtn_table_, qrtn_remote_prefix_,
+                                                    copy_options);
+                        }));
+  }
+
   common::MutexLock lock(&mu_);
   stats_.chunks = chunk_counter_;
   stats_.rows_received = row_counter_;
@@ -446,6 +590,7 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   stats_.rows_copied = copied;
   stats_.chunks_abandoned = chunks_abandoned_;
   stats_.bytes_staged = bytes_staged_;
+  stats_.rows_quarantined = rows_quarantined_;
   if (m_.staging_bytes_per_row != nullptr && rows_staged_ != 0) {
     m_.staging_bytes_per_row->Set(static_cast<int64_t>(bytes_staged_ / rows_staged_));
   }
@@ -453,6 +598,39 @@ Status ImportJob::FinishAcquisition(uint64_t client_total_chunks, uint64_t clien
   if (copied != rows_staged_) {
     return Status::Internal("COPY loaded " + std::to_string(copied) + " rows, staged " +
                             std::to_string(rows_staged_));
+  }
+  if (qrtn_copied != qrtn_rows_staged_) {
+    return Status::Internal("quarantine COPY loaded " + std::to_string(qrtn_copied) +
+                            " rows, staged " + std::to_string(qrtn_rows_staged_));
+  }
+  if (converter_.quality() != nullptr) {
+    quality_report_ =
+        BuildQualityJobReport(*converter_.quality(), quality_violations_by_id_,
+                              quality_field_nulls_, quality_rows_checked_, rows_quarantined_);
+    if (m_.violation_rate_bp != nullptr) {
+      m_.violation_rate_bp->Set(static_cast<int64_t>(quality_report_.violation_rate * 10000));
+    }
+    if (ctx_.options.quality.abort_over_threshold) {
+      // Reason-coded graceful degradation, job flavor: the load aborts (the
+      // quarantine table and report survive) when the job-level watermark or
+      // any nullrate ceiling is breached.
+      if (quality_report_.violation_rate > ctx_.options.quality.max_violation_rate) {
+        return Status::ConstraintViolation(
+            "quality violation rate " + std::to_string(quality_report_.violation_rate) +
+            " exceeds max_violation_rate " +
+            std::to_string(ctx_.options.quality.max_violation_rate) + " (" +
+            std::to_string(rows_quarantined_) + " of " +
+            std::to_string(quality_rows_checked_) + " rows quarantined to " + qrtn_table_ +
+            ")");
+      }
+      for (const auto& c : quality_report_.constraints) {
+        if (c.breached) {
+          return Status::ConstraintViolation(
+              "quality constraint " + c.column + " " + c.bound + " breached (observed " +
+              std::to_string(c.observed) + "); quarantine table " + qrtn_table_);
+        }
+      }
+    }
   }
   return Status::OK();
 }
@@ -545,6 +723,11 @@ AcquisitionStats ImportJob::stats() const {
 DmlApplyResult ImportJob::dml_result() const {
   common::MutexLock lock(&mu_);
   return dml_result_;
+}
+
+QualityJobReport ImportJob::quality_report() const {
+  common::MutexLock lock(&mu_);
+  return quality_report_;
 }
 
 }  // namespace hyperq::core

@@ -78,6 +78,8 @@ struct AcquisitionStats {
   /// degradation: each lands in the ET table with code 9058 instead of
   /// failing the job).
   uint64_t chunks_abandoned = 0;
+  /// Rows the data-quality gate diverted to the HQ_QRTN_<job> table.
+  uint64_t rows_quarantined = 0;
 };
 
 class ImportJob {
@@ -111,6 +113,12 @@ class ImportJob {
   PhaseTimings timings() const HQ_EXCLUDES(mu_);
   AcquisitionStats stats() const HQ_EXCLUDES(mu_);
   DmlApplyResult dml_result() const HQ_EXCLUDES(mu_);
+  /// Per-job data-quality outcome (enabled=false when the gate is off).
+  /// Complete once FinishAcquisition returns.
+  QualityJobReport quality_report() const HQ_EXCLUDES(mu_);
+  /// Quarantine table name ("" when the gate is off). The table outlives the
+  /// job on purpose: quarantined rows are the operator's diagnostics.
+  const std::string& quarantine_table() const { return qrtn_table_; }
   /// The job's span tree (null when observability is disabled).
   std::shared_ptr<obs::Trace> trace() const { return trace_; }
 
@@ -143,6 +151,9 @@ class ImportJob {
   types::Schema staging_schema_;
   std::string staging_table_;
   std::string remote_prefix_;
+  /// Quarantine path state (all empty / unused when the gate is off).
+  std::string qrtn_table_;
+  std::string qrtn_remote_prefix_;
 
   /// Per-job span tree; node-wide instrument pointers cached once at
   /// construction (all null when observability is off — hot paths test one
@@ -169,14 +180,24 @@ class ImportJob {
     obs::Gauge* converter_queue = nullptr;
     obs::Gauge* jobs_active = nullptr;
     obs::Gauge* staging_bytes_per_row = nullptr;
+    obs::Counter* rows_quarantined = nullptr;
+    /// Violation-rate of the finished job, in basis points (rate * 10000).
+    obs::Gauge* violation_rate_bp = nullptr;
+    /// One labeled counter per compiled constraint
+    /// (hyperq_quality_violations_total{constraint="..."}), id-indexed.
+    std::vector<obs::Counter*> quality_violations;
   } m_;
   std::atomic<bool> active_gauge_held_{true};
 
   common::SequencedQueue<WorkItem> ordered_chunks_;
   std::vector<std::thread> writer_threads_;
   std::vector<std::unique_ptr<FileWriter>> file_writers_;
+  /// Per-writer quarantine-file writers (same cardinality as file_writers_
+  /// when the gate is on, else empty). Quarantine files are always CSV.
+  std::vector<std::unique_ptr<FileWriter>> qrtn_writers_;
   common::Mutex finalize_mu_{common::LockRank::kJob, "import_job_finalize"};
   std::vector<FinalizedFile> finalized_files_ HQ_GUARDED_BY(finalize_mu_);
+  std::vector<FinalizedFile> qrtn_finalized_files_ HQ_GUARDED_BY(finalize_mu_);
 
   mutable common::Mutex mu_{common::LockRank::kJob, "import_job"};
   common::CondVar conversions_done_;
@@ -188,6 +209,16 @@ class ImportJob {
   uint64_t rows_staged_ HQ_GUARDED_BY(mu_) = 0;
   uint64_t bytes_staged_ HQ_GUARDED_BY(mu_) = 0;
   uint64_t chunks_abandoned_ HQ_GUARDED_BY(mu_) = 0;
+  /// Quality-gate aggregates across all converted chunks (id/field indexed,
+  /// sized in the constructor when the gate is on).
+  uint64_t quality_rows_checked_ HQ_GUARDED_BY(mu_) = 0;
+  uint64_t rows_quarantined_ HQ_GUARDED_BY(mu_) = 0;
+  /// Quarantine rows durably written to staging files (the COPY row-count
+  /// check target; differs from rows_quarantined_ only on abandoned chunks).
+  uint64_t qrtn_rows_staged_ HQ_GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> quality_violations_by_id_ HQ_GUARDED_BY(mu_);
+  std::vector<uint64_t> quality_field_nulls_ HQ_GUARDED_BY(mu_);
+  QualityJobReport quality_report_ HQ_GUARDED_BY(mu_);
   common::Status fatal_ HQ_GUARDED_BY(mu_);
   bool acquisition_finished_ HQ_GUARDED_BY(mu_) = false;
 

@@ -632,6 +632,28 @@ Result<DmlApplyResult> HyperQServer::JobDmlResult(const std::string& job_id) con
   return it->second->dml_result();
 }
 
+Result<QualityJobReport> HyperQServer::JobQualityReport(const std::string& job_id) const {
+  common::MutexLock lock(&jobs_mu_);
+  if (auto it = import_jobs_.find(job_id); it != import_jobs_.end()) {
+    return it->second->quality_report();
+  }
+  if (auto it = stream_jobs_.find(job_id); it != stream_jobs_.end()) {
+    return it->second->quality_report();
+  }
+  return Status::NotFound("job not found: " + job_id);
+}
+
+Result<std::string> HyperQServer::JobQuarantineTable(const std::string& job_id) const {
+  common::MutexLock lock(&jobs_mu_);
+  if (auto it = import_jobs_.find(job_id); it != import_jobs_.end()) {
+    return it->second->quarantine_table();
+  }
+  if (auto it = stream_jobs_.find(job_id); it != stream_jobs_.end()) {
+    return it->second->quarantine_table();
+  }
+  return Status::NotFound("job not found: " + job_id);
+}
+
 Result<stream::StreamStats> HyperQServer::StreamJobStats(const std::string& job_id) const {
   common::MutexLock lock(&jobs_mu_);
   auto it = stream_jobs_.find(job_id);

@@ -79,6 +79,13 @@ class HyperQServer {
       HQ_EXCLUDES(jobs_mu_);
   common::Result<DmlApplyResult> JobDmlResult(const std::string& job_id) const
       HQ_EXCLUDES(jobs_mu_);
+  /// The job's data-quality outcome (enabled=false when the gate is off)
+  /// and its quarantine table name ("" when the gate is off). Works for
+  /// import and streaming jobs alike.
+  common::Result<QualityJobReport> JobQualityReport(const std::string& job_id) const
+      HQ_EXCLUDES(jobs_mu_);
+  common::Result<std::string> JobQuarantineTable(const std::string& job_id) const
+      HQ_EXCLUDES(jobs_mu_);
   /// The job's span tree (import and export jobs alike).
   common::Result<std::shared_ptr<obs::Trace>> JobTrace(const std::string& job_id) const;
 

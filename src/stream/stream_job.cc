@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "cloudstore/bulk_loader.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "hyperq/conversion_plan.h"
 #include "legacy/errors.h"
@@ -56,11 +57,34 @@ Result<std::shared_ptr<StreamJob>> StreamJob::Create(const std::string& job_id,
   }
   HQ_ASSIGN_OR_RETURN(sql::StatementPtr dml, sql::ParseStatement(begin.dml_sql));
 
+  // Config specs are part of the stream contract: an unparseable fault_spec
+  // or quality spec fails BeginStream loudly (ProtocolError) instead of
+  // silently degrading to "no injection" / "no gate".
+  if (!ctx.options.fault_spec.empty()) {
+    uint64_t seed = 0;
+    std::vector<std::pair<int, common::FaultRule>> rules;
+    Status parsed = common::ParseFaultSpec(ctx.options.fault_spec, &seed, &rules);
+    if (!parsed.ok()) {
+      return Status::ProtocolError("invalid fault_spec: " + parsed.message());
+    }
+  }
+  const core::TableQualitySpec* table_quality = nullptr;
+  core::QualitySpec parsed_quality;
+  if (!ctx.options.quality.spec.empty()) {
+    auto parsed = core::ParseQualitySpec(ctx.options.quality.spec);
+    if (!parsed.ok()) {
+      return Status::ProtocolError("invalid quality spec: " + parsed.status().message());
+    }
+    parsed_quality = std::move(parsed).ValueOrDie();
+    table_quality = core::FindTableQuality(parsed_quality, begin.target_table);
+  }
+
   HQ_ASSIGN_OR_RETURN(types::Schema staging_schema, core::MakeStagingSchema(begin.layout));
   HQ_ASSIGN_OR_RETURN(
       core::DataConverter converter,
       core::DataConverter::Create(begin.layout, begin.format, begin.delimiter,
-                                  cdw::CsvOptions{}, ctx.options.staging_format));
+                                  cdw::CsvOptions{}, ctx.options.staging_format,
+                                  table_quality));
 
   // Per-stream error-handling overrides from the client script.
   if (begin.max_errors != 0) ctx.options.max_errors = begin.max_errors;
@@ -68,6 +92,10 @@ Result<std::shared_ptr<StreamJob>> StreamJob::Create(const std::string& job_id,
 
   auto job = std::shared_ptr<StreamJob>(new StreamJob(
       job_id, begin, std::move(ctx), std::move(converter), staging_schema, std::move(dml)));
+  if (table_quality != nullptr) {
+    // Kept so drift-swapped converters recompile the same constraint table.
+    job->table_quality_ = *table_quality;
+  }
 
   // CDW-side state: one staging table accumulating every micro-batch (the
   // globally monotone HQ_ROWNUM is what lets per-batch DML ranges compose
@@ -79,6 +107,13 @@ Result<std::shared_ptr<StreamJob>> StreamJob::Create(const std::string& job_id,
       RecreateTable(job->ctx_.cdw, job->begin_.error_table_et, core::MakeEtErrorSchema()));
   HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->begin_.error_table_uv,
                                  core::MakeUvErrorSchema(begin.layout)));
+  if (!job->qrtn_table_.empty()) {
+    // Quarantine table: recreated per stream and NOT dropped at Finish — it
+    // is the operator's record of what the gate rejected and why.
+    HQ_ASSIGN_OR_RETURN(types::Schema qrtn_schema, core::MakeQuarantineSchema(begin.layout));
+    HQ_RETURN_NOT_OK(RecreateTable(job->ctx_.cdw, job->qrtn_table_, qrtn_schema));
+    job->ctx_.cdw->ForgetCopies(job->qrtn_table_);
+  }
   return job;
 }
 
@@ -95,6 +130,16 @@ StreamJob::StreamJob(std::string job_id, legacy::BeginStreamBody begin, core::Jo
   staging_table_ = "HQ_STRM_" + SanitizeId(job_id_);
   remote_prefix_ = "stream/" + SanitizeId(job_id_) + "/";
   local_dir_ = ctx_.options.local_staging_dir + "/" + SanitizeId(job_id_);
+  const core::CompiledQuality* quality = converter_.quality();
+  if (quality != nullptr) {
+    quality_on_ = true;
+    qrtn_table_ = "HQ_QRTN_" + SanitizeId(job_id_);
+    qrtn_remote_prefix_ = "quarantine/" + SanitizeId(job_id_) + "/";
+    batch_violations_by_id_.assign(quality->num_constraints(), 0);
+    batch_nulls_by_id_.assign(quality->num_constraints(), 0);
+    quality_violations_by_id_.assign(quality->num_constraints(), 0);
+    quality_nulls_by_id_.assign(quality->num_constraints(), 0);
+  }
   if (begin_.error_table_et.empty()) begin_.error_table_et = begin_.target_table + "_ET";
   if (begin_.error_table_uv.empty()) begin_.error_table_uv = begin_.target_table + "_UV";
   if (ctx_.tracer != nullptr) trace_ = ctx_.tracer->StartTrace(job_id_, obs::Phase::kImport);
@@ -113,6 +158,18 @@ StreamJob::StreamJob(std::string job_id, legacy::BeginStreamBody begin, core::Jo
     m_.batch_latency = r->GetHistogram("hyperq_stream_batch_latency_seconds");
     m_.watermark_lag = r->GetGauge("hyperq_stream_watermark_lag_seconds");
     m_.jobs_active = r->GetGauge("hyperq_stream_jobs_active");
+    if (quality != nullptr) {
+      m_.rows_quarantined = r->GetCounter("hyperq_quality_rows_quarantined_total");
+      m_.batches_rejected = r->GetCounter("hyperq_stream_batches_rejected_total");
+      m_.violation_rate_bp = r->GetGauge("hyperq_quality_violation_rate_bp");
+      m_.quality_violations.reserve(quality->num_constraints());
+      for (size_t id = 0; id < quality->num_constraints(); ++id) {
+        const core::QualityConstraintInfo& info = quality->constraint(id);
+        m_.quality_violations.push_back(r->GetCounter(
+            "hyperq_quality_violations_total{constraint=\"" + std::to_string(id) + ":" +
+            std::string(core::QualityKindName(info.kind)) + ":" + info.column + "\"}"));
+      }
+    }
     m_.jobs_active->Add(1);
   }
 }
@@ -230,6 +287,65 @@ Status StreamJob::SubmitChunk(const legacy::DataChunkBody& chunk) {
   } else {
     batch_rows_staged_ += converted.rows_out;
     for (auto& e : converted.errors) batch_errors_.push_back(std::move(e));
+    const core::CompiledQuality* cq = converter_.quality();
+    if (cq != nullptr) {
+      // Merge the chunk's quality counters into the open batch (id-keyed, so
+      // aggregates survive drift-swapped converters), then persist its
+      // quarantine rows through the same disk/retry path.
+      const core::ChunkQuality& q = converted.quality;
+      batch_quality_rows_checked_ += q.rows_checked;
+      batch_rows_quarantined_ += q.rows_quarantined;
+      for (size_t id = 0; id < q.violations_by_id.size(); ++id) {
+        batch_violations_by_id_[id] += q.violations_by_id[id];
+      }
+      for (const core::CompiledQuality::NullRateCeiling& nr : cq->null_rate_ceilings()) {
+        if (nr.field < q.field_nulls.size()) batch_nulls_by_id_[nr.id] += q.field_nulls[nr.field];
+      }
+      if (q.rows_quarantined != 0) {
+        if (batch_qrtn_writer_ == nullptr) {
+          core::FileWriterOptions q_options;
+          q_options.directory = local_dir_;
+          q_options.file_size_threshold = ctx_.options.file_size_threshold;
+          q_options.compress = ctx_.options.compress_staging_files;
+          q_options.file_extension = cdw::StagingFileExtension(cdw::StagingFormat::kCsv);
+          q_options.trace = trace_;
+          q_options.trace_parent = trace_ == nullptr ? 0 : trace_->root_id();
+          batch_qrtn_writer_ = std::make_unique<core::FileWriter>(
+              q_options, BatchPrefix(batch_seq) + "_qrtn");
+        }
+        common::RetryPolicy qrtn_retry = MakeIoRetry("staging_disk");
+        Status q_appended = qrtn_retry.Run("bulkload.file", [&](const common::RetryAttempt&) {
+          return batch_qrtn_writer_->Append(converted.qrtn.AsSlice(), &batch_qrtn_files_);
+        });
+        if (q_appended.ok()) {
+          batch_qrtn_rows_staged_ += q.rows_quarantined;
+        } else if (common::IsRetryableStatus(q_appended)) {
+          core::RecordError abandoned;
+          abandoned.row_number = first_row;
+          abandoned.code = legacy::kErrChunkAbandoned;
+          abandoned.message =
+              "quarantine rows abandoned after staging retries: " + q_appended.message();
+          batch_errors_.push_back(std::move(abandoned));
+          ++new_errors;
+          common::MutexLock lock(&mu_);
+          ++stats_.chunks_abandoned;
+        } else {
+          return q_appended;
+        }
+      }
+      if (m_.rows_quarantined != nullptr && q.rows_quarantined != 0) {
+        m_.rows_quarantined->Increment(q.rows_quarantined);
+      }
+      if (!m_.quality_violations.empty()) {
+        for (size_t id = 0; id < q.violations_by_id.size(); ++id) {
+          if (q.violations_by_id[id] != 0) {
+            m_.quality_violations[id]->Increment(q.violations_by_id[id]);
+          }
+        }
+      }
+      common::MutexLock lock(&mu_);
+      stats_.rows_quarantined += q.rows_quarantined;
+    }
   }
   ++batch_chunks_;
   if (new_errors != 0) {
@@ -249,13 +365,16 @@ Status StreamJob::ChangeLayout(const types::Schema& layout) {
   }
   if (layout == converter_.layout()) return Status::OK();  // no drift
 
+  // Drift-swapped converters recompile the same quality constraints: ids are
+  // spec-ordered, so the id-keyed aggregates keep composing across windows.
+  const core::TableQualitySpec* quality = quality_on_ ? &table_quality_ : nullptr;
   Result<core::DataConverter> next =
       layout == begin_.layout
           ? core::DataConverter::Create(layout, begin_.format, begin_.delimiter,
-                                        cdw::CsvOptions{}, staging_format_)
+                                        cdw::CsvOptions{}, staging_format_, quality)
           : core::DataConverter::CreateRemapped(layout, begin_.layout, begin_.format,
                                                 begin_.delimiter, cdw::CsvOptions{},
-                                                staging_format_);
+                                                staging_format_, quality);
   if (!next.ok() && staging_format_ == cdw::StagingFormat::kBinary &&
       layout != begin_.layout) {
     // Format negotiation: type-changing drift cannot be encoded into the
@@ -279,7 +398,7 @@ Status StreamJob::ChangeLayout(const types::Schema& layout) {
     }
     next = core::DataConverter::CreateRemapped(layout, begin_.layout, begin_.format,
                                                begin_.delimiter, cdw::CsvOptions{},
-                                               cdw::StagingFormat::kCsv);
+                                               cdw::StagingFormat::kCsv, quality);
   }
   HQ_RETURN_NOT_OK(next.status());
   converter_ = std::move(next).ValueOrDie();
@@ -367,8 +486,24 @@ Status StreamJob::SealOpenBatch(uint64_t batch_seq) {
     common::MutexLock lock(&mu_);
     sealed.last_row = row_counter_;
   }
+  std::unique_ptr<core::FileWriter> qrtn_writer = std::move(batch_qrtn_writer_);
+  sealed.qrtn_files = std::move(batch_qrtn_files_);
+  batch_qrtn_files_.clear();
+  sealed.quality_rows_checked = batch_quality_rows_checked_;
+  sealed.rows_quarantined = batch_rows_quarantined_;
+  sealed.qrtn_rows_staged = batch_qrtn_rows_staged_;
+  sealed.violations_by_id = std::move(batch_violations_by_id_);
+  sealed.nulls_by_id = std::move(batch_nulls_by_id_);
+  batch_quality_rows_checked_ = 0;
+  batch_rows_quarantined_ = 0;
+  batch_qrtn_rows_staged_ = 0;
+  batch_violations_by_id_.assign(sealed.violations_by_id.size(), 0);
+  batch_nulls_by_id_.assign(sealed.nulls_by_id.size(), 0);
   if (writer != nullptr) {
     HQ_RETURN_NOT_OK(writer->Finish(&sealed.files));
+  }
+  if (qrtn_writer != nullptr) {
+    HQ_RETURN_NOT_OK(qrtn_writer->Finish(&sealed.qrtn_files));
   }
   sealed_ = std::move(sealed);
   return Status::OK();
@@ -396,22 +531,43 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
   const uint64_t first_row = sealed.first_row;
   const uint64_t last_row = sealed.last_row;
 
+  // Per-micro-batch degradation policy: a batch whose violation rate exceeds
+  // the per-batch watermark is rejected — its quarantine rows still ship (the
+  // operator's evidence) but its staging rows never reach the target table,
+  // so a drifting upstream poisons only the offending batch, not the stream.
+  // The decision is a pure function of sealed state: every commit attempt of
+  // this batch decides the same way.
+  const double batch_rate =
+      sealed.quality_rows_checked == 0
+          ? 0.0
+          : static_cast<double>(sealed.rows_quarantined) /
+                static_cast<double>(sealed.quality_rows_checked);
+  const bool rejected = quality_on_ && ctx_.options.quality.abort_over_threshold &&
+                        batch_rate > ctx_.options.quality.batch_max_violation_rate;
+
   // Upload this batch's files under its own zero-padded prefix — the scope
-  // of the COPY below and the unit of ledger eviction.
+  // of the COPY below and the unit of ledger eviction. Quarantine files ride
+  // the same put batch under their own per-batch prefix; a rejected batch
+  // uploads only those.
   const std::string batch_prefix = remote_prefix_ + BatchPrefix(batch_seq) + "/";
+  const std::string qrtn_batch_prefix = qrtn_remote_prefix_ + BatchPrefix(batch_seq) + "/";
   std::vector<std::vector<uint8_t>> payloads;
   std::vector<std::pair<std::string, Slice>> batch;
-  payloads.reserve(files.size());
-  for (const auto& f : files) {
-    HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, cloud::ReadFileBytes(f.path));
-    payloads.push_back(std::move(bytes));
-  }
-  for (size_t i = 0; i < files.size(); ++i) {
-    std::string name = files[i].path;
-    size_t slash = name.find_last_of('/');
-    if (slash != std::string::npos) name = name.substr(slash + 1);
-    batch.emplace_back(batch_prefix + name, Slice(payloads[i]));
-  }
+  payloads.reserve(files.size() + sealed.qrtn_files.size());
+  auto stage_for_upload = [&](const std::vector<core::FinalizedFile>& local,
+                              const std::string& prefix) -> Status {
+    for (const auto& f : local) {
+      HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, cloud::ReadFileBytes(f.path));
+      payloads.push_back(std::move(bytes));
+      std::string name = f.path;
+      size_t slash = name.find_last_of('/');
+      if (slash != std::string::npos) name = name.substr(slash + 1);
+      batch.emplace_back(prefix + name, Slice(payloads.back()));
+    }
+    return Status::OK();
+  };
+  if (!rejected) HQ_RETURN_NOT_OK(stage_for_upload(files, batch_prefix));
+  HQ_RETURN_NOT_OK(stage_for_upload(sealed.qrtn_files, qrtn_batch_prefix));
   if (!batch.empty()) {
     obs::ScopedSpan upload_span(trace_.get(), obs::Phase::kStorePut, "upload");
     // Resume-aware retry: each attempt re-uploads only the objects not yet
@@ -433,7 +589,7 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
   // a lost ack: the per-table ledger skips already-ingested objects, and the
   // per-batch prefix scopes the cumulative count to exactly this batch.
   uint64_t copied = 0;
-  if (!batch.empty()) {
+  if (!rejected && !files.empty()) {
     obs::ScopedSpan copy_span(trace_.get(), obs::Phase::kCdwCopy, "copy");
     // Default CopyFormat::kAuto on purpose: a batch cut across a format
     // fallback holds both .hqb and .csv objects, and auto sniffs per object.
@@ -443,9 +599,28 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
                           return ctx_.cdw->CopyInto(staging_table_, batch_prefix);
                         }));
   }
-  if (copied != rows_staged) {
+  if (!rejected && copied != rows_staged) {
     return Status::Internal("micro-batch COPY loaded " + std::to_string(copied) +
                             " rows, staged " + std::to_string(rows_staged));
+  }
+
+  // COPY this batch's quarantine rows (always CSV) into the job's quarantine
+  // table. Same ledger idempotence as the main COPY, scoped to the batch's
+  // own quarantine prefix.
+  if (sealed.qrtn_rows_staged != 0) {
+    obs::ScopedSpan qrtn_span(trace_.get(), obs::Phase::kCdwCopy, "copy_quarantine");
+    cdw::CopyOptions copy_options;
+    copy_options.format = cdw::CopyFormat::kCsv;
+    common::RetryPolicy retry = MakeIoRetry("cdw");
+    uint64_t qrtn_copied = 0;
+    HQ_ASSIGN_OR_RETURN(
+        qrtn_copied, retry.RunResult<uint64_t>("cdw.copy", [&](const common::RetryAttempt&) {
+          return ctx_.cdw->CopyInto(qrtn_table_, qrtn_batch_prefix, copy_options);
+        }));
+    if (qrtn_copied != sealed.qrtn_rows_staged) {
+      return Status::Internal("quarantine COPY loaded " + std::to_string(qrtn_copied) +
+                              " rows, staged " + std::to_string(sealed.qrtn_rows_staged));
+    }
   }
 
   // Record this batch's data errors in the ET table, then apply the stream
@@ -468,7 +643,7 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
   }
 
   core::DmlApplyResult dml;
-  if (last_row >= first_row) {
+  if (!rejected && last_row >= first_row) {
     obs::ScopedSpan apply_span(trace_.get(), obs::Phase::kDmlApply, "apply");
     core::AdaptiveOptions adaptive;
     adaptive.max_errors = ctx_.options.max_errors;
@@ -493,6 +668,7 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
   // drop ledger entries that have fallen out of the replay window so
   // arbitrarily long streams keep a bounded ledger.
   for (const auto& f : files) std::remove(f.path.c_str());
+  for (const auto& f : sealed.qrtn_files) std::remove(f.path.c_str());
   committed_row_high_ = last_row;
 
   // Prune the applied rows from the accumulating staging table. Every later
@@ -502,7 +678,7 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
   // each batch's COPY count check and DML range scan cost O(stream) instead
   // of O(batch). Best-effort: a failed prune costs latency, not rows.
   uint64_t pruned = 0;
-  if (last_row >= first_row) {
+  if (!rejected && last_row >= first_row) {
     Result<cdw::ExecResult> del = ctx_.cdw->ExecuteSql(
         "DELETE FROM " + staging_table_ + " WHERE HQ_ROWNUM <= " + std::to_string(last_row));
     if (del.ok()) {
@@ -514,12 +690,19 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
   }
 
   uint64_t evicted = 0;
-  ledgered_prefixes_.push_back(batch_prefix);
-  const size_t keep = std::max<size_t>(1, ctx_.options.stream_ledger_keep_batches);
-  while (ledgered_prefixes_.size() > keep) {
-    ctx_.cdw->ForgetCopiesWithPrefix(staging_table_, ledgered_prefixes_.front());
-    ledgered_prefixes_.pop_front();
-    ++evicted;
+  if (!rejected) {
+    ledgered_prefixes_.push_back(batch_prefix);
+    const size_t keep = std::max<size_t>(1, ctx_.options.stream_ledger_keep_batches);
+    while (ledgered_prefixes_.size() > keep) {
+      ctx_.cdw->ForgetCopiesWithPrefix(staging_table_, ledgered_prefixes_.front());
+      ledgered_prefixes_.pop_front();
+      ++evicted;
+    }
+  }
+  if (sealed.qrtn_rows_staged != 0) {
+    // Replays of this commit are answered from the journal without re-running
+    // COPY, so the quarantine ledger entries are dead weight once durable.
+    ctx_.cdw->ForgetCopiesWithPrefix(qrtn_table_, qrtn_batch_prefix);
   }
 
   last_watermark_ = watermark_micros;
@@ -531,6 +714,10 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
       std::chrono::duration<double>(std::chrono::steady_clock::now() - sealed.open_time)
           .count();
   const size_t batch_errors = sealed.errors.size();
+  const uint64_t q_rows_checked = sealed.quality_rows_checked;
+  const uint64_t q_rows_quarantined = sealed.rows_quarantined;
+  std::vector<uint64_t> q_violations = std::move(sealed.violations_by_id);
+  std::vector<uint64_t> q_nulls = std::move(sealed.nulls_by_id);
   sealed_.reset();
 
   legacy::BatchCommittedBody reply;
@@ -547,21 +734,43 @@ Result<legacy::BatchCommittedBody> StreamJob::CommitSealed(uint64_t watermark_mi
     dml_totals_.range_errors += dml.range_errors;
     dml_totals_.statements_issued += dml.statements_issued;
     data_errors_recorded_ += batch_errors;
+    // batches_committed is the commit-protocol sequence number, so a rejected
+    // batch advances it too (the journal is keyed by batch_seq either way).
     ++stats_.batches_committed;
-    stats_.rows_committed += rows_staged;
+    if (rejected) ++stats_.batches_rejected;
+    if (!rejected) stats_.rows_committed += rows_staged;
     stats_.ledger_evictions += evicted;
     stats_.staging_rows_pruned += pruned;
+    quality_rows_checked_ += q_rows_checked;
+    for (size_t id = 0; id < q_violations.size() && id < quality_violations_by_id_.size(); ++id) {
+      quality_violations_by_id_[id] += q_violations[id];
+    }
+    for (size_t id = 0; id < q_nulls.size() && id < quality_nulls_by_id_.size(); ++id) {
+      quality_nulls_by_id_[id] += q_nulls[id];
+    }
     reply.rows_total =
         dml_totals_.rows_inserted + dml_totals_.rows_updated + dml_totals_.rows_deleted;
     reply.et_errors = dml_totals_.et_errors + data_errors_recorded_;
-    reply.message = "batch " + std::to_string(batch_seq) + " committed";
+    reply.message =
+        rejected ? "batch " + std::to_string(batch_seq) + " rejected by quality gate (" +
+                       std::to_string(q_rows_quarantined) + "/" +
+                       std::to_string(q_rows_checked) + " rows quarantined to " + qrtn_table_ +
+                       ")"
+                 : "batch " + std::to_string(batch_seq) + " committed";
     committed_batches_[batch_seq] = reply;
   }
   if (m_.batches_committed != nullptr) {
-    m_.batches_committed->Increment();
-    m_.rows_committed->Increment(rows_staged);
+    if (rejected) {
+      m_.batches_rejected->Increment();
+    } else {
+      m_.batches_committed->Increment();
+      m_.rows_committed->Increment(rows_staged);
+    }
     m_.batch_latency->Observe(batch_seconds);
     m_.watermark_lag->Set(std::max<int64_t>(0, lag_micros / 1000000));
+  }
+  if (m_.violation_rate_bp != nullptr && q_rows_checked != 0) {
+    m_.violation_rate_bp->Set(batch_rate * 10000);
   }
   return reply;
 }
@@ -610,6 +819,54 @@ Result<legacy::JobReportBody> StreamJob::Finish(uint64_t total_chunks, uint64_t 
 StreamStats StreamJob::stats() const {
   common::MutexLock lock(&mu_);
   return stats_;
+}
+
+core::QualityJobReport StreamJob::quality_report() {
+  // The busy token serializes with in-flight calls, making the open-batch
+  // and sealed aggregates safe to read here.
+  BusyToken busy(this);
+  const core::CompiledQuality* cq = converter_.quality();
+  if (cq == nullptr) return core::QualityJobReport{};
+  // All-time view: committed batches + the sealed batch (if a commit is
+  // pending retry) + the open batch, to match stats_.rows_quarantined which
+  // counts at submit time.
+  uint64_t rows_checked = batch_quality_rows_checked_;
+  std::vector<uint64_t> violations_by_id = batch_violations_by_id_;
+  std::vector<uint64_t> nulls_by_id = batch_nulls_by_id_;
+  if (sealed_.has_value()) {
+    rows_checked += sealed_->quality_rows_checked;
+    for (size_t id = 0; id < sealed_->violations_by_id.size() && id < violations_by_id.size();
+         ++id) {
+      violations_by_id[id] += sealed_->violations_by_id[id];
+    }
+    for (size_t id = 0; id < sealed_->nulls_by_id.size() && id < nulls_by_id.size(); ++id) {
+      nulls_by_id[id] += sealed_->nulls_by_id[id];
+    }
+  }
+  uint64_t rows_quarantined = 0;
+  {
+    common::MutexLock lock(&mu_);
+    rows_checked += quality_rows_checked_;
+    rows_quarantined = stats_.rows_quarantined;
+    for (size_t id = 0; id < quality_violations_by_id_.size() && id < violations_by_id.size();
+         ++id) {
+      violations_by_id[id] += quality_violations_by_id_[id];
+    }
+    for (size_t id = 0; id < quality_nulls_by_id_.size() && id < nulls_by_id.size(); ++id) {
+      nulls_by_id[id] += quality_nulls_by_id_[id];
+    }
+  }
+  // BuildQualityJobReport takes field-indexed null counts; reconstruct them
+  // from the id-keyed totals (ids are stable across drift recompiles, field
+  // indices are not).
+  std::vector<uint64_t> field_nulls(cq->num_fields(), 0);
+  for (const core::CompiledQuality::NullRateCeiling& nr : cq->null_rate_ceilings()) {
+    if (nr.field < field_nulls.size() && nr.id < nulls_by_id.size()) {
+      field_nulls[nr.field] = nulls_by_id[nr.id];
+    }
+  }
+  return core::BuildQualityJobReport(*cq, violations_by_id, field_nulls, rows_checked,
+                                     rows_quarantined);
 }
 
 }  // namespace hyperq::stream

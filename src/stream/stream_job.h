@@ -74,6 +74,11 @@ struct StreamStats {
   /// DataConverter::CreateRemapped). At most 1 per stream: the fallback is
   /// sticky for the session.
   uint64_t format_fallbacks = 0;
+  /// Rows the data-quality gate diverted to the HQ_QRTN_<job> table.
+  uint64_t rows_quarantined = 0;
+  /// Micro-batches rejected by abort-over-threshold (quarantine shipped,
+  /// staging rows dropped, stream kept healthy).
+  uint64_t batches_rejected = 0;
 };
 
 class StreamJob {
@@ -120,6 +125,11 @@ class StreamJob {
   const std::string& job_id() const { return job_id_; }
   const legacy::BeginStreamBody& begin() const { return begin_; }
   StreamStats stats() const HQ_EXCLUDES(mu_);
+  /// Cumulative data-quality outcome across every batch so far
+  /// (enabled=false when the gate is off). Serializes with in-flight calls.
+  core::QualityJobReport quality_report() HQ_EXCLUDES(mu_);
+  /// Quarantine table name ("" when the gate is off); outlives the stream.
+  const std::string& quarantine_table() const { return qrtn_table_; }
   std::shared_ptr<obs::Trace> trace() const { return trace_; }
 
  private:
@@ -164,6 +174,14 @@ class StreamJob {
   std::string staging_table_;
   std::string remote_prefix_;
   std::string local_dir_;
+  /// Quality gate (all empty / unused when off). The table block is kept so
+  /// drift-swapped converters recompile the same constraints — ids are
+  /// spec-ordered and thus stable across recompiles, which is what lets the
+  /// id-keyed aggregates below span drift windows.
+  bool quality_on_ = false;
+  core::TableQualitySpec table_quality_;
+  std::string qrtn_table_;
+  std::string qrtn_remote_prefix_;
   /// Effective staging format for NEW staging files. Starts as the node's
   /// configured format; negotiated down to kCsv (permanently, for this
   /// session) when a type-changing drift makes binary staging impossible.
@@ -187,6 +205,11 @@ class StreamJob {
     obs::Histogram* batch_latency = nullptr;
     obs::Gauge* watermark_lag = nullptr;
     obs::Gauge* jobs_active = nullptr;
+    obs::Counter* rows_quarantined = nullptr;
+    obs::Counter* batches_rejected = nullptr;
+    obs::Gauge* violation_rate_bp = nullptr;
+    /// hyperq_quality_violations_total{constraint="..."}, id-indexed.
+    std::vector<obs::Counter*> quality_violations;
   } m_;
   std::atomic<bool> active_gauge_held_{true};
 
@@ -206,6 +229,15 @@ class StreamJob {
   std::vector<core::RecordError> batch_errors_;
   uint64_t batch_chunks_ = 0;
   uint64_t batch_rows_staged_ = 0;
+  /// Open-batch quarantine stream (busy-serialized; empty when gate off).
+  std::unique_ptr<core::FileWriter> batch_qrtn_writer_;
+  std::vector<core::FinalizedFile> batch_qrtn_files_;
+  /// Open-batch quality aggregates, constraint-id keyed (stable over drift).
+  uint64_t batch_quality_rows_checked_ = 0;
+  uint64_t batch_rows_quarantined_ = 0;
+  uint64_t batch_qrtn_rows_staged_ = 0;
+  std::vector<uint64_t> batch_violations_by_id_;
+  std::vector<uint64_t> batch_nulls_by_id_;
   /// Global row number of the last row belonging to a committed batch.
   uint64_t committed_row_high_ = 0;
   std::chrono::steady_clock::time_point batch_open_;
@@ -222,6 +254,13 @@ class StreamJob {
     uint64_t first_row = 0;
     uint64_t last_row = 0;
     std::chrono::steady_clock::time_point open_time;
+    /// Quality-gate state sealed with the batch (empty/zero when off).
+    std::vector<core::FinalizedFile> qrtn_files;
+    uint64_t quality_rows_checked = 0;
+    uint64_t rows_quarantined = 0;
+    uint64_t qrtn_rows_staged = 0;
+    std::vector<uint64_t> violations_by_id;
+    std::vector<uint64_t> nulls_by_id;
   };
   std::optional<SealedBatch> sealed_;  ///< pending commit (busy-serialized)
 
@@ -232,6 +271,11 @@ class StreamJob {
   std::map<uint64_t, legacy::BatchCommittedBody> committed_batches_ HQ_GUARDED_BY(mu_);
   /// Committed batch prefixes whose ledger entries are still retained.
   std::deque<std::string> ledgered_prefixes_;
+
+  /// Cumulative quality aggregates across committed batches.
+  uint64_t quality_rows_checked_ HQ_GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> quality_violations_by_id_ HQ_GUARDED_BY(mu_);
+  std::vector<uint64_t> quality_nulls_by_id_ HQ_GUARDED_BY(mu_);
 
   /// Cumulative DML results across batches (for the final JobReport).
   core::DmlApplyResult dml_totals_ HQ_GUARDED_BY(mu_);

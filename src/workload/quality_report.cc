@@ -1,0 +1,31 @@
+#include "workload/quality_report.h"
+
+namespace hyperq::workload {
+
+ReportTable QualitySummaryTable(const std::vector<QualityJobRow>& jobs) {
+  ReportTable table({"job", "rows_checked", "quarantined", "violations", "rate", "qrtn_table"});
+  for (const auto& job : jobs) {
+    if (!job.enabled) {
+      table.AddRow({job.job_id, "(gate off)", "-", "-", "-", "-"});
+      continue;
+    }
+    table.AddRow({job.job_id, std::to_string(job.rows_checked),
+                  std::to_string(job.rows_quarantined), std::to_string(job.violations_total),
+                  FormatPercent(job.violation_rate),
+                  job.quarantine_table.empty() ? "-" : job.quarantine_table});
+  }
+  return table;
+}
+
+ReportTable QualityConstraintTable(const QualityJobRow& job) {
+  ReportTable table({"id", "kind", "column", "bound", "violations", "observed", "breached"});
+  for (const auto& c : job.constraints) {
+    table.AddRow({std::to_string(c.id), c.kind, c.column.empty() ? "-" : c.column,
+                  c.bound.empty() ? "-" : c.bound, std::to_string(c.violations),
+                  c.observed == 0 ? "-" : FormatPercent(c.observed),
+                  c.breached ? "yes" : "no"});
+  }
+  return table;
+}
+
+}  // namespace hyperq::workload

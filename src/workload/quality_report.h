@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/report.h"
+
+/// \file quality_report.h
+/// Folds per-job data-quality outcomes (the core/stream quality gate) into
+/// the benchmark harness's ReportTable format, next to the span tables: one
+/// summary row per job, plus a per-constraint breakdown with reason codes.
+/// hq_workload deliberately does not link hq_core, so the input is a plain
+/// mirror of core::QualityJobReport that callers copy field-by-field.
+
+namespace hyperq::workload {
+
+struct QualityConstraintRow {
+  uint32_t id = 0;
+  std::string kind;    ///< QualityKindName() of the constraint
+  std::string column;  ///< target column ("" for cross-field rules)
+  std::string bound;   ///< human-readable violated bound
+  uint64_t violations = 0;
+  /// Observed null rate for nullrate constraints (0 otherwise).
+  double observed = 0;
+  bool breached = false;  ///< nullrate ceiling exceeded at job end
+};
+
+struct QualityJobRow {
+  std::string job_id;
+  bool enabled = false;  ///< gate off => the row prints as "(gate off)"
+  uint64_t rows_checked = 0;
+  uint64_t rows_quarantined = 0;
+  uint64_t violations_total = 0;
+  double violation_rate = 0;
+  std::string quarantine_table;
+  std::vector<QualityConstraintRow> constraints;
+};
+
+/// One row per job: rows checked/quarantined, violation rate, quarantine
+/// table. Jobs with the gate off still get a row so a mixed run is legible.
+ReportTable QualitySummaryTable(const std::vector<QualityJobRow>& jobs);
+
+/// Per-constraint breakdown for one job, in constraint-id (spec) order:
+/// id, kind, column, bound, violation count, observed null rate, breached.
+ReportTable QualityConstraintTable(const QualityJobRow& job);
+
+}  // namespace hyperq::workload

@@ -1,5 +1,7 @@
 #include "cloudstore/bulk_loader.h"
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -12,7 +14,7 @@ namespace {
 class BulkLoaderTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "/tmp/hq_bulk_loader_test";
+    dir_ = "/tmp/hq_bulk_loader_test." + std::to_string(::getpid());
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
   }

@@ -1,5 +1,7 @@
 #include "etlscript/etl_client.h"
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -17,7 +19,7 @@ namespace {
 class EtlClientE2eTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    work_dir_ = "/tmp/hq_etl_client_e2e";
+    work_dir_ = "/tmp/hq_etl_client_e2e." + std::to_string(::getpid());
     std::filesystem::remove_all(work_dir_);
     std::filesystem::create_directories(work_dir_);
     store_ = std::make_unique<cloud::ObjectStore>();

@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -18,7 +20,7 @@ namespace {
 /// spawned per Hyper-Q node, with each CreditManager being shared for all
 /// concurrent ETL jobs on the node."
 TEST(ConcurrentJobsTest, ManyJobsShareOneNodeAndCreditPool) {
-  std::string work_dir = "/tmp/hq_concurrent_jobs";
+  std::string work_dir = "/tmp/hq_concurrent_jobs." + std::to_string(::getpid());
   std::filesystem::remove_all(work_dir);
   std::filesystem::create_directories(work_dir);
 

@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -18,7 +20,7 @@ namespace {
 class DmlVariantsE2eTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    work_dir_ = "/tmp/hq_dml_variants_e2e";
+    work_dir_ = "/tmp/hq_dml_variants_e2e." + std::to_string(::getpid());
     std::filesystem::remove_all(work_dir_);
     std::filesystem::create_directories(work_dir_);
     store_ = std::make_unique<cloud::ObjectStore>();

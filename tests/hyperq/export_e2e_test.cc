@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -14,7 +16,7 @@ namespace {
 class ExportE2eTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    work_dir_ = "/tmp/hq_export_e2e";
+    work_dir_ = "/tmp/hq_export_e2e." + std::to_string(::getpid());
     std::filesystem::remove_all(work_dir_);
     std::filesystem::create_directories(work_dir_);
     store_ = std::make_unique<cloud::ObjectStore>();

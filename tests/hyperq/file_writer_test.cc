@@ -1,5 +1,7 @@
 #include "hyperq/file_writer.h"
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -13,7 +15,7 @@ namespace {
 class FileWriterTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "/tmp/hq_file_writer_test";
+    dir_ = "/tmp/hq_file_writer_test." + std::to_string(::getpid());
     std::filesystem::remove_all(dir_);
   }
 

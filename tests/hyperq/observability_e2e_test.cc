@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -23,7 +25,7 @@ namespace {
 class ObservabilityE2eTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    work_dir_ = "/tmp/hq_obs_e2e";
+    work_dir_ = "/tmp/hq_obs_e2e." + std::to_string(::getpid());
     std::filesystem::remove_all(work_dir_);
     std::filesystem::create_directories(work_dir_);
   }

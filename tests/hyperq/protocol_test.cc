@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "cdw/cdw_server.h"
@@ -15,7 +17,7 @@ class ProtocolTest : public ::testing::Test {
  protected:
   ProtocolTest() : cdw_(&store_) {
     HyperQOptions options;
-    options.local_staging_dir = "/tmp/hq_protocol_test/staging";
+    options.local_staging_dir = std::string("/tmp/hq_protocol_test.") + std::to_string(::getpid()) + "/staging";
     node_ = std::make_unique<HyperQServer>(&cdw_, &store_, options);
     node_->Start();
   }

@@ -1,0 +1,393 @@
+#include "hyperq/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "hyperq/error_handler.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace hyperq::core {
+namespace {
+
+using types::Field;
+using types::Schema;
+using types::TypeDesc;
+using types::Value;
+
+// ---------------------------------------------------------------------------
+// Spec parser
+// ---------------------------------------------------------------------------
+
+TEST(QualitySpecParserTest, ParsesEveryCheckKind) {
+  auto spec = ParseQualitySpec(
+      "orders{O_TOTAL:notnull,range[0,100000];O_RATE:nullrate<=0.25;"
+      "O_ID:len[1,16],charset[A-Z0-9_],pattern[ORD*];"
+      "pair:O_SHIP<=O_DUE;pair:O_LO<O_HI;require:O_SHIP if O_TOTAL}");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->tables.size(), 1u);
+  const TableQualitySpec& t = spec->tables[0];
+  EXPECT_EQ(t.table, "orders");
+  ASSERT_EQ(t.constraints.size(), 9u);
+
+  EXPECT_EQ(t.constraints[0].kind, QualityKind::kNotNull);
+  EXPECT_EQ(t.constraints[0].column, "O_TOTAL");
+
+  EXPECT_EQ(t.constraints[1].kind, QualityKind::kRange);
+  EXPECT_TRUE(t.constraints[1].has_min);
+  EXPECT_TRUE(t.constraints[1].has_max);
+  EXPECT_EQ(t.constraints[1].min, 0);
+  EXPECT_EQ(t.constraints[1].max, 100000);
+
+  EXPECT_EQ(t.constraints[2].kind, QualityKind::kNullRate);
+  EXPECT_EQ(t.constraints[2].max, 0.25);
+
+  EXPECT_EQ(t.constraints[3].kind, QualityKind::kLength);
+  EXPECT_EQ(t.constraints[3].min, 1);
+  EXPECT_EQ(t.constraints[3].max, 16);
+
+  EXPECT_EQ(t.constraints[4].kind, QualityKind::kCharset);
+  EXPECT_EQ(t.constraints[4].text, "A-Z0-9_");
+
+  EXPECT_EQ(t.constraints[5].kind, QualityKind::kPattern);
+  EXPECT_EQ(t.constraints[5].text, "ORD*");
+
+  EXPECT_EQ(t.constraints[6].kind, QualityKind::kOrderedPair);
+  EXPECT_EQ(t.constraints[6].column, "O_SHIP");
+  EXPECT_EQ(t.constraints[6].column2, "O_DUE");
+  EXPECT_FALSE(t.constraints[6].strict);
+
+  EXPECT_EQ(t.constraints[7].kind, QualityKind::kOrderedPair);
+  EXPECT_TRUE(t.constraints[7].strict);
+
+  EXPECT_EQ(t.constraints[8].kind, QualityKind::kConditionalRequired);
+  EXPECT_EQ(t.constraints[8].column, "O_SHIP");
+  EXPECT_EQ(t.constraints[8].column2, "O_TOTAL");
+}
+
+TEST(QualitySpecParserTest, MultipleTablesAndCaseInsensitiveLookup) {
+  auto spec = ParseQualitySpec("A{X:notnull} prod.orders{Y:len[0,5]}");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->tables.size(), 2u);
+  EXPECT_NE(FindTableQuality(*spec, "a"), nullptr);
+  EXPECT_NE(FindTableQuality(*spec, "PROD.ORDERS"), nullptr);
+  EXPECT_EQ(FindTableQuality(*spec, "prod.other"), nullptr);
+}
+
+TEST(QualitySpecParserTest, EmptySpecMeansGateOff) {
+  auto spec = ParseQualitySpec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->tables.empty());
+}
+
+TEST(QualitySpecParserTest, OpenEndedBoundsAndBracketNesting) {
+  // A ',' inside brackets must not split checks; one-sided bounds parse.
+  auto spec = ParseQualitySpec("t{C:range[5,],len[,8],charset[a-z,]}");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const auto& cs = spec->tables[0].constraints;
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_TRUE(cs[0].has_min);
+  EXPECT_FALSE(cs[0].has_max);
+  EXPECT_FALSE(cs[1].has_min);
+  EXPECT_TRUE(cs[1].has_max);
+  EXPECT_EQ(cs[2].text, "a-z,");
+}
+
+TEST(QualitySpecParserTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "orders",                       // no block
+      "{X:notnull}",                  // empty table name
+      "t{X:notnull",                  // unterminated block
+      "t{}",                          // no constraints
+      "t{X}",                         // rule without ':'
+      "t{X:frobnicate}",              // unknown check
+      "t{X:range[1,0]}",              // empty range
+      "t{X:range[,]}",                // constrains nothing
+      "t{X:range[a,b]}",              // bad number
+      "t{X:len[-3,5]}",               // negative length
+      "t{X:nullrate<=1.5}",           // ceiling out of [0,1]
+      "t{X:charset[]}",               // empty charset
+      "t{X:charset[z-a]}",            // inverted range (caught at compile)
+      "t{pair:A}",                    // pair without comparator
+      "t{require:A}",                 // require without 'if'
+      "t{X:notnull} t{Y:notnull}",    // duplicate table block
+  };
+  for (const char* spec : bad) {
+    auto parsed = ParseQualitySpec(spec);
+    if (parsed.ok()) {
+      // The inverted charset range is rejected by Compile, not the parser.
+      Schema layout;
+      layout.AddField(Field("X", TypeDesc::Varchar(8)));
+      auto compiled = CompiledQuality::Compile(parsed->tables[0], layout,
+                                               /*allow_missing_columns=*/false);
+      EXPECT_FALSE(compiled.ok()) << "spec not rejected: " << spec;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+Schema OrdersLayout() {
+  Schema layout;
+  layout.AddField(Field("O_ID", TypeDesc::Varchar(16)));
+  layout.AddField(Field("O_TOTAL", TypeDesc::Decimal(18, 2)));
+  layout.AddField(Field("O_SHIP", TypeDesc::Date()));
+  layout.AddField(Field("O_DUE", TypeDesc::Date()));
+  return layout;
+}
+
+TEST(QualityCompileTest, UnknownColumnFailsUnlessDriftTolerant) {
+  auto spec = ParseQualitySpec("t{GONE:notnull}");
+  ASSERT_TRUE(spec.ok());
+  auto strict = CompiledQuality::Compile(spec->tables[0], OrdersLayout(),
+                                         /*allow_missing_columns=*/false);
+  EXPECT_FALSE(strict.ok());
+
+  auto drifted = CompiledQuality::Compile(spec->tables[0], OrdersLayout(),
+                                          /*allow_missing_columns=*/true);
+  ASSERT_TRUE(drifted.ok()) << drifted.status().ToString();
+  // The constraint stays registered (ids are stable across drift) but no
+  // field op references it: a clean pass-through.
+  EXPECT_EQ(drifted->num_constraints(), 1u);
+  for (size_t i = 0; i < drifted->num_fields(); ++i) {
+    EXPECT_EQ(drifted->field_checks(i), nullptr);
+  }
+}
+
+TEST(QualityCompileTest, TypeChecksRejectMismatchedConstraints) {
+  Schema layout = OrdersLayout();
+  for (const char* spec_text : {"t{O_ID:range[0,1]}",      // range on varchar
+                                "t{O_TOTAL:len[1,5]}",     // len on decimal
+                                "t{pair:O_ID<O_TOTAL}"}) {  // pair on varchar
+    auto spec = ParseQualitySpec(spec_text);
+    ASSERT_TRUE(spec.ok()) << spec_text;
+    auto compiled = CompiledQuality::Compile(spec->tables[0], layout, false);
+    EXPECT_FALSE(compiled.ok()) << spec_text;
+  }
+}
+
+TEST(QualityCompileTest, DecimalRangeBoundsArePreScaled) {
+  auto spec = ParseQualitySpec("t{O_TOTAL:range[0,100]}");
+  ASSERT_TRUE(spec.ok());
+  auto cq = CompiledQuality::Compile(spec->tables[0], OrdersLayout(), false);
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  const QualityFieldChecks* c = cq->field_checks(1);
+  ASSERT_NE(c, nullptr);
+  // DECIMAL(18,2): kernels see unscaled integers, so [0,100] -> [0,10000].
+  EXPECT_EQ(c->min, 0);
+  EXPECT_EQ(c->max, 10000);
+}
+
+TEST(QualityCompileTest, CharsetMaskCoversRangesAndLiterals) {
+  Schema layout;
+  layout.AddField(Field("C", TypeDesc::Varchar(8)));
+  auto spec = ParseQualitySpec("t{C:charset[a-c_-]}");
+  ASSERT_TRUE(spec.ok());
+  auto cq = CompiledQuality::Compile(spec->tables[0], layout, false);
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  const QualityFieldChecks* c = cq->field_checks(0);
+  ASSERT_NE(c, nullptr);
+  auto in_set = [&](char ch) {
+    const uint8_t u = static_cast<uint8_t>(ch);
+    return (c->charset[u >> 6] & (1ull << (u & 63))) != 0;
+  };
+  EXPECT_TRUE(in_set('a'));
+  EXPECT_TRUE(in_set('b'));
+  EXPECT_TRUE(in_set('c'));
+  EXPECT_TRUE(in_set('_'));
+  EXPECT_TRUE(in_set('-'));  // trailing '-' is a literal
+  EXPECT_FALSE(in_set('d'));
+  EXPECT_FALSE(in_set('A'));
+}
+
+TEST(QualityCompileTest, PatternPoolSurvivesMove) {
+  Schema layout;
+  layout.AddField(Field("C", TypeDesc::Varchar(8)));
+  auto spec = ParseQualitySpec("t{C:pattern[AB?*]}");
+  ASSERT_TRUE(spec.ok());
+  auto compiled = CompiledQuality::Compile(spec->tables[0], layout, false);
+  ASSERT_TRUE(compiled.ok());
+  CompiledQuality moved = std::move(compiled).ValueOrDie();
+  const QualityFieldChecks* c = moved.field_checks(0);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(std::string_view(c->pattern, c->pattern_len), "AB?*");
+}
+
+// ---------------------------------------------------------------------------
+// Glob matcher
+// ---------------------------------------------------------------------------
+
+bool Glob(std::string_view pattern, std::string_view s) {
+  return QcGlobMatch(pattern.data(), static_cast<uint32_t>(pattern.size()), s.data(),
+                     s.size());
+}
+
+TEST(QualityGlobTest, MatchesLiteralsStarsAndQuestions) {
+  EXPECT_TRUE(Glob("abc", "abc"));
+  EXPECT_FALSE(Glob("abc", "abd"));
+  EXPECT_FALSE(Glob("abc", "abcd"));
+  EXPECT_TRUE(Glob("a?c", "abc"));
+  EXPECT_FALSE(Glob("a?c", "ac"));
+  EXPECT_TRUE(Glob("*", ""));
+  EXPECT_TRUE(Glob("*", "anything"));
+  EXPECT_TRUE(Glob("ORD*", "ORD-1234"));
+  EXPECT_FALSE(Glob("ORD*", "XRD-1234"));
+  EXPECT_TRUE(Glob("*xyz", "abcxyz"));
+  EXPECT_FALSE(Glob("*xyz", "abcxy"));
+  EXPECT_TRUE(Glob("a*b*c", "a--b--c"));
+  EXPECT_TRUE(Glob("a*b*c", "abc"));
+  EXPECT_FALSE(Glob("a*b*c", "acb"));
+  EXPECT_TRUE(Glob("", ""));
+  EXPECT_FALSE(Glob("", "x"));
+  // Backtracking: the first '*' must be able to re-expand.
+  EXPECT_TRUE(Glob("*aab", "aaab"));
+}
+
+// ---------------------------------------------------------------------------
+// Reference validation semantics (ValidateValue + scratch)
+// ---------------------------------------------------------------------------
+
+class QualityValidateTest : public ::testing::Test {
+ protected:
+  void CompileSpec(const std::string& spec_text) {
+    auto spec = ParseQualitySpec(spec_text);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    auto cq = CompiledQuality::Compile(spec->tables[0], OrdersLayout(), false);
+    ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+    cq_ = std::make_unique<CompiledQuality>(std::move(cq).ValueOrDie());
+    scratch_ = std::make_unique<QualityScratch>();
+    scratch_->Init(*cq_);
+  }
+
+  /// Runs one row through the reference validator; returns the row's
+  /// first-violation kind (kNone = clean).
+  QualityKind Row(const Value& id, const Value& total, const Value& ship, const Value& due) {
+    scratch_->BeginRow();
+    cq_->ValidateValue(0, id, scratch_.get());
+    cq_->ValidateValue(1, total, scratch_.get());
+    cq_->ValidateValue(2, ship, scratch_.get());
+    cq_->ValidateValue(3, due, scratch_.get());
+    QcFinishRow(scratch_.get());
+    scratch_->CommitRowStats();
+    if (scratch_->row_kind != QualityKind::kNone) ++scratch_->rows_quarantined;
+    return scratch_->row_kind;
+  }
+
+  std::unique_ptr<CompiledQuality> cq_;
+  std::unique_ptr<QualityScratch> scratch_;
+};
+
+TEST_F(QualityValidateTest, FirstViolationInFieldOrderDecidesTheReason) {
+  CompileSpec(
+      "t{O_ID:len[1,4],pattern[ORD*];O_TOTAL:notnull,range[0,100];pair:O_SHIP<=O_DUE}");
+  // Clean row.
+  EXPECT_EQ(Row(Value::String("ORD1"), Value::Dec(types::Decimal(5000, 2)),
+                Value::Date(100), Value::Date(200)),
+            QualityKind::kNone);
+  // O_ID too long AND O_TOTAL out of range: length fires first (field order).
+  EXPECT_EQ(Row(Value::String("ORD-TOOLONG"), Value::Dec(types::Decimal(99999999, 2)),
+                Value::Date(100), Value::Date(200)),
+            QualityKind::kLength);
+  // Pattern violation only.
+  EXPECT_EQ(Row(Value::String("XX"), Value::Dec(types::Decimal(5000, 2)),
+                Value::Date(100), Value::Date(200)),
+            QualityKind::kPattern);
+  // NULL O_TOTAL.
+  EXPECT_EQ(Row(Value::String("ORD1"), Value::Null(), Value::Date(100), Value::Date(200)),
+            QualityKind::kNotNull);
+  // Ship after due: cross-field rules run last.
+  EXPECT_EQ(Row(Value::String("ORD1"), Value::Dec(types::Decimal(5000, 2)),
+                Value::Date(300), Value::Date(200)),
+            QualityKind::kOrderedPair);
+  // NULL operands make a pair vacuously true.
+  EXPECT_EQ(Row(Value::String("ORD1"), Value::Dec(types::Decimal(5000, 2)), Value::Null(),
+                Value::Date(200)),
+            QualityKind::kNone);
+
+  EXPECT_EQ(scratch_->rows_checked, 6u);
+  EXPECT_EQ(scratch_->rows_quarantined, 4u);
+}
+
+TEST_F(QualityValidateTest, ConditionalRequireFiresOnlyWhenConditionPresent) {
+  CompileSpec("t{require:O_SHIP if O_TOTAL}");
+  // O_TOTAL present, O_SHIP missing -> violation.
+  EXPECT_EQ(Row(Value::Null(), Value::Dec(types::Decimal(100, 2)), Value::Null(),
+                Value::Null()),
+            QualityKind::kConditionalRequired);
+  // O_TOTAL absent -> no requirement.
+  EXPECT_EQ(Row(Value::Null(), Value::Null(), Value::Null(), Value::Null()),
+            QualityKind::kNone);
+  // Both present -> clean.
+  EXPECT_EQ(Row(Value::Null(), Value::Dec(types::Decimal(100, 2)), Value::Date(1),
+                Value::Null()),
+            QualityKind::kNone);
+}
+
+TEST_F(QualityValidateTest, NullRateCountsNullsWithoutQuarantining) {
+  CompileSpec("t{O_ID:nullrate<=0.5}");
+  EXPECT_EQ(Row(Value::Null(), Value::Null(), Value::Null(), Value::Null()),
+            QualityKind::kNone);
+  EXPECT_EQ(Row(Value::String("A"), Value::Null(), Value::Null(), Value::Null()),
+            QualityKind::kNone);
+  EXPECT_EQ(Row(Value::Null(), Value::Null(), Value::Null(), Value::Null()),
+            QualityKind::kNone);
+  EXPECT_EQ(scratch_->rows_quarantined, 0u);
+  EXPECT_EQ(scratch_->field_nulls[0], 2u);
+
+  std::vector<uint64_t> by_id(cq_->num_constraints(), 0);
+  std::vector<uint64_t> nulls(cq_->num_fields(), 0);
+  nulls[0] = scratch_->field_nulls[0];
+  QualityJobReport report = BuildQualityJobReport(*cq_, by_id, nulls, 3, 0);
+  ASSERT_EQ(report.constraints.size(), 1u);
+  EXPECT_EQ(report.constraints[0].kind, QualityKind::kNullRate);
+  EXPECT_NEAR(report.constraints[0].observed, 2.0 / 3.0, 1e-9);
+  EXPECT_TRUE(report.constraints[0].breached);  // 0.667 > 0.5
+}
+
+TEST(QualityReportTest, AggregatesRatesAndBounds) {
+  Schema layout;
+  layout.AddField(Field("C", TypeDesc::Varchar(8)));
+  auto spec = ParseQualitySpec("t{C:len[1,4],notnull}");
+  ASSERT_TRUE(spec.ok());
+  auto cq = CompiledQuality::Compile(spec->tables[0], layout, false);
+  ASSERT_TRUE(cq.ok());
+  std::vector<uint64_t> by_id = {7, 3};
+  std::vector<uint64_t> nulls = {0};
+  QualityJobReport report = BuildQualityJobReport(*cq, by_id, nulls, 100, 9);
+  EXPECT_TRUE(report.enabled);
+  EXPECT_EQ(report.rows_checked, 100u);
+  EXPECT_EQ(report.rows_quarantined, 9u);
+  EXPECT_EQ(report.violations_total, 10u);
+  EXPECT_NEAR(report.violation_rate, 0.09, 1e-9);
+  ASSERT_EQ(report.constraints.size(), 2u);
+  EXPECT_EQ(report.constraints[0].bound, "len[1,4]");
+  EXPECT_EQ(report.constraints[0].violations, 7u);
+  EXPECT_EQ(report.constraints[1].bound, "notnull");
+}
+
+// ---------------------------------------------------------------------------
+// Quarantine schema
+// ---------------------------------------------------------------------------
+
+TEST(QuarantineSchemaTest, AppendsReasonColumnsAndRejectsCollisions) {
+  Schema layout;
+  layout.AddField(Field("A", TypeDesc::Int32()));
+  layout.AddField(Field("B", TypeDesc::Varchar(10)));
+  auto schema = MakeQuarantineSchema(layout);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  ASSERT_EQ(schema->num_fields(), 7u);
+  EXPECT_EQ(schema->field(0).name, "A");
+  EXPECT_EQ(schema->field(2).name, "QRTN_ROWNUM");
+  EXPECT_EQ(schema->field(3).name, "QRTN_CONSTRAINT");
+  EXPECT_EQ(schema->field(4).name, "QRTN_KIND");
+  EXPECT_EQ(schema->field(5).name, "QRTN_COLUMN");
+  EXPECT_EQ(schema->field(6).name, "QRTN_BOUND");
+
+  Schema colliding;
+  colliding.AddField(Field("QRTN_KIND", TypeDesc::Varchar(4)));
+  EXPECT_FALSE(MakeQuarantineSchema(colliding).ok());
+}
+
+}  // namespace
+}  // namespace hyperq::core

@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -157,7 +159,7 @@ TEST(RaceRegressionTest, ServerLifecycleSurvivesRacingStops) {
   cloud::ObjectStore store;
   cdw::CdwServer cdw(&store);
   HyperQOptions options;
-  options.local_staging_dir = "/tmp/hq_race_lifecycle/staging";
+  options.local_staging_dir = std::string("/tmp/hq_race_lifecycle.") + std::to_string(::getpid()) + "/staging";
   // A listener close is permanent, so each round gets a fresh node; the
   // storm is racing Stop() calls against each other (and a racing Start()).
   for (int round = 0; round < 5; ++round) {
@@ -178,7 +180,7 @@ TEST(RaceRegressionTest, ServerLifecycleSurvivesRacingStops) {
 /// window of plausible job ids (the client names jobs "job_<n>") for the
 /// whole lifetime of a real import.
 TEST(RaceRegressionTest, JobStateReadableWhileImportRuns) {
-  std::string work_dir = "/tmp/hq_race_job_state";
+  std::string work_dir = "/tmp/hq_race_job_state." + std::to_string(::getpid());
   std::filesystem::remove_all(work_dir);
   std::filesystem::create_directories(work_dir);
 

@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -43,7 +45,7 @@ Schema BaseLayout() {
 class StreamE2eTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    work_dir_ = "/tmp/hq_stream_e2e";
+    work_dir_ = "/tmp/hq_stream_e2e." + std::to_string(::getpid());
     std::filesystem::remove_all(work_dir_);
     std::filesystem::create_directories(work_dir_);
     ResetResilienceState();

@@ -1,0 +1,226 @@
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdw/cdw_server.h"
+#include "cloudstore/object_store.h"
+#include "hyperq/server.h"
+#include "stream/stream_client.h"
+
+/// \file stream_quality_e2e_test.cc
+/// The data-quality gate on the streaming path: BeginStream refuses
+/// unparseable specs loudly, dirty rows divert to the stream's quarantine
+/// table, and the per-micro-batch watermark rejects a poisoned batch without
+/// taking down the stream — later clean batches keep committing.
+
+namespace hyperq::stream {
+namespace {
+
+using core::HyperQOptions;
+using core::HyperQServer;
+using types::Field;
+using types::Schema;
+using types::TypeDesc;
+
+Schema BaseLayout() {
+  Schema layout;
+  layout.AddField(Field("CUST_ID", TypeDesc::Varchar(5)));
+  layout.AddField(Field("CUST_NAME", TypeDesc::Varchar(50)));
+  layout.AddField(Field("JOIN_DATE", TypeDesc::Varchar(10)));
+  return layout;
+}
+
+class StreamQualityE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    work_dir_ = "/tmp/hq_stream_quality_e2e." + std::to_string(::getpid());
+    std::filesystem::remove_all(work_dir_);
+    std::filesystem::create_directories(work_dir_);
+  }
+
+  void TearDown() override { StopNode(); }
+
+  void StartNode(HyperQOptions options = {}) {
+    store_ = std::make_unique<cloud::ObjectStore>();
+    cdw_ = std::make_unique<cdw::CdwServer>(store_.get());
+    options.local_staging_dir = work_dir_ + "/staging";
+    node_ = std::make_unique<HyperQServer>(cdw_.get(), store_.get(), options);
+    node_->Start();
+    Schema target;
+    target.AddField(Field("CUST_ID", TypeDesc::Varchar(5), false));
+    target.AddField(Field("CUST_NAME", TypeDesc::Varchar(50)));
+    target.AddField(Field("JOIN_DATE", TypeDesc::Date()));
+    ASSERT_TRUE(
+        cdw_->catalog()->CreateTable("PROD.CUSTOMER", target, {"CUST_ID"}, true).ok());
+  }
+
+  void StopNode() {
+    if (node_) {
+      node_->Stop();
+      node_.reset();
+    }
+  }
+
+  StreamClient MakeStreamClient() {
+    StreamClientOptions options;
+    options.connector =
+        [this](const std::string&) -> common::Result<std::shared_ptr<net::Transport>> {
+      auto t = node_->Connect();
+      if (!t) return common::Status::IOError("node down");
+      return t;
+    };
+    return StreamClient(std::move(options));
+  }
+
+  static legacy::BeginStreamBody MakeBegin() {
+    legacy::BeginStreamBody begin;
+    begin.job_id = "strm_quality";
+    begin.target_table = "PROD.CUSTOMER";
+    begin.format = legacy::DataFormat::kVartext;
+    begin.delimiter = '|';
+    begin.layout = BaseLayout();
+    begin.dml_label = "Ins";
+    begin.dml_sql =
+        "insert into PROD.CUSTOMER values ("
+        "trim(:CUST_ID), trim(:CUST_NAME), "
+        "cast(:JOIN_DATE as DATE format 'YYYY-MM-DD'));";
+    return begin;
+  }
+
+  uint64_t CountRows(const std::string& table) {
+    auto result = cdw_->ExecuteSql("SELECT COUNT(*) FROM " + table).ValueOrDie();
+    return static_cast<uint64_t>(result.rows[0][0].int_value());
+  }
+
+  std::string work_dir_;
+  std::unique_ptr<cloud::ObjectStore> store_;
+  std::unique_ptr<cdw::CdwServer> cdw_;
+  std::unique_ptr<HyperQServer> node_;
+};
+
+TEST_F(StreamQualityE2eTest, UnparseableSpecsFailBeginStreamLoudly) {
+  HyperQOptions bad_quality;
+  bad_quality.quality.spec = "PROD.CUSTOMER{CUST_ID:frobnicate}";
+  StartNode(bad_quality);
+  {
+    auto client = MakeStreamClient();
+    auto begin = client.Begin(MakeBegin());
+    ASSERT_FALSE(begin.ok());
+    EXPECT_NE(begin.ToString().find("invalid quality spec"), std::string::npos)
+        << begin.ToString();
+  }
+  StopNode();
+
+  HyperQOptions bad_faults;
+  bad_faults.fault_spec = "objstore.put=error,p=not-a-number";
+  StartNode(bad_faults);
+  auto client = MakeStreamClient();
+  auto begin = client.Begin(MakeBegin());
+  ASSERT_FALSE(begin.ok());
+  EXPECT_NE(begin.ToString().find("invalid fault_spec"), std::string::npos)
+      << begin.ToString();
+}
+
+TEST_F(StreamQualityE2eTest, PoisonedBatchIsRejectedWithoutTakingDownTheStream) {
+  HyperQOptions gated;
+  gated.quality.spec = "PROD.CUSTOMER{CUST_ID:notnull,charset[0-9]}";
+  gated.quality.abort_over_threshold = true;
+  gated.quality.batch_max_violation_rate = 0.5;
+  StartNode(gated);
+
+  auto client = MakeStreamClient();
+  ASSERT_TRUE(client.Begin(MakeBegin()).ok());
+
+  // Batch 1: clean — commits normally.
+  ASSERT_TRUE(client.SendLines({"1|Ada|2012-01-01", "2|Bob|2012-01-01"}).ok());
+  auto first = client.Commit(1000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->rows_in_batch, 2u);
+  EXPECT_EQ(first->message, "batch 1 committed");
+
+  // Batch 2: 2 of 3 rows violate (0.67 > 0.5) — the whole batch is rejected,
+  // including its clean row; a drifting upstream poisons only this batch.
+  ASSERT_TRUE(
+      client.SendLines({"3|Cyd|2012-01-01", "X4|Dee|2012-01-01", "|Eve|2012-01-01"}).ok());
+  auto second = client.Commit(2000);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(second->message.find("rejected by quality gate"), std::string::npos)
+      << second->message;
+  EXPECT_EQ(second->rows_in_batch, 0u);
+
+  // Batch 3: clean again — the stream keeps going.
+  ASSERT_TRUE(client.SendLines({"5|Fay|2012-01-01", "6|Gus|2012-01-01"}).ok());
+  auto third = client.Commit(3000);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ(third->rows_in_batch, 2u);
+  EXPECT_EQ(third->message, "batch 3 committed");
+
+  auto report = client.End();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_inserted, 4u);
+  ASSERT_TRUE(client.Logoff().ok());
+
+  EXPECT_EQ(CountRows("PROD.CUSTOMER"), 4u);
+
+  auto stats = node_->StreamJobStats("strm_quality").ValueOrDie();
+  EXPECT_EQ(stats.batches_committed, 3u);  // commit-protocol seq, incl. the reject
+  EXPECT_EQ(stats.batches_rejected, 1u);
+  EXPECT_EQ(stats.rows_committed, 4u);
+
+  // Both violating rows of the rejected batch are the operator's evidence.
+  const std::string qrtn = node_->JobQuarantineTable("strm_quality").ValueOrDie();
+  ASSERT_FALSE(qrtn.empty());
+  // The executor only sorts on projected columns, so QRTN_ROWNUM rides along.
+  auto rows = cdw_->ExecuteSql("SELECT QRTN_ROWNUM, QRTN_KIND, QRTN_COLUMN, CUST_NAME FROM " +
+                               qrtn + " ORDER BY QRTN_ROWNUM")
+                  .ValueOrDie();
+  ASSERT_EQ(rows.rows.size(), 2u);
+  EXPECT_EQ(rows.rows[0][0].int_value(), 4);  // stream-wide arrival order
+  EXPECT_EQ(rows.rows[0][1].string_value(), "charset");
+  EXPECT_EQ(rows.rows[0][3].string_value(), "Dee");
+  EXPECT_EQ(rows.rows[1][0].int_value(), 5);
+  EXPECT_EQ(rows.rows[1][1].string_value(), "notnull");
+  EXPECT_EQ(rows.rows[1][2].string_value(), "CUST_ID");
+  EXPECT_EQ(rows.rows[1][3].string_value(), "Eve");
+
+  auto qreport = node_->JobQualityReport("strm_quality").ValueOrDie();
+  EXPECT_TRUE(qreport.enabled);
+  EXPECT_EQ(qreport.rows_checked, 7u);
+  EXPECT_EQ(qreport.rows_quarantined, 2u);
+}
+
+TEST_F(StreamQualityE2eTest, QuarantineAndContinueKeepsCleanRowsOfADirtyBatch) {
+  // Without abort_over_threshold the per-batch watermark is inert: dirty rows
+  // divert, clean rows of the same batch still commit.
+  HyperQOptions lenient;
+  lenient.quality.spec = "PROD.CUSTOMER{CUST_ID:notnull,charset[0-9]}";
+  StartNode(lenient);
+
+  auto client = MakeStreamClient();
+  ASSERT_TRUE(client.Begin(MakeBegin()).ok());
+  ASSERT_TRUE(
+      client.SendLines({"1|Ada|2012-01-01", "X2|Bad|2012-01-01", "3|Cyd|2012-01-01"}).ok());
+  auto commit = client.Commit(1000);
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(commit->rows_in_batch, 2u);
+  EXPECT_EQ(commit->message, "batch 1 committed");
+  auto report = client.End();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_inserted, 2u);
+  ASSERT_TRUE(client.Logoff().ok());
+
+  EXPECT_EQ(CountRows("PROD.CUSTOMER"), 2u);
+  const std::string qrtn = node_->JobQuarantineTable("strm_quality").ValueOrDie();
+  EXPECT_EQ(CountRows(qrtn), 1u);
+  auto stats = node_->StreamJobStats("strm_quality").ValueOrDie();
+  EXPECT_EQ(stats.batches_rejected, 0u);
+  EXPECT_EQ(stats.rows_quarantined, 1u);
+}
+
+}  // namespace
+}  // namespace hyperq::stream
